@@ -1,0 +1,708 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§5). Each family corresponds to one exhibit; cmd/experiments runs the
+// same code paths and prints rows in the paper's format.
+//
+//	BenchmarkTable1_*  system call overhead (Nexus bare / Nexus / monolith)
+//	BenchmarkFig4_*    authorization cost by case, ± kernel decision cache
+//	BenchmarkFig5_*    proof evaluation cost vs number of rules
+//	BenchmarkFig6_*    control-operation overhead, system vs crypto labels
+//	BenchmarkFig7_*    interpositioning overhead on a UDP echo path
+//	BenchmarkFig8_*    Fauxbook throughput vs filesize under each mechanism
+package nexus
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/fauxbook"
+	"repro/internal/fsys"
+	"repro/internal/guard"
+	"repro/internal/kernel"
+	"repro/internal/monolith"
+	"repro/internal/nal"
+	"repro/internal/nal/proof"
+	"repro/internal/netdev"
+	"repro/internal/ssr"
+	"repro/internal/tpm"
+)
+
+// mustFS launches a file service for benchmarking.
+func mustFS(b *testing.B, k *kernel.Kernel) *fsys.Server {
+	b.Helper()
+	fs, err := fsys.New(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fs
+}
+
+// benchKernel boots a kernel for benchmarking, failing the benchmark on
+// error.
+func benchKernel(b *testing.B, opts kernel.Options) *kernel.Kernel {
+	b.Helper()
+	t, err := tpm.Manufacture(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k, err := kernel.Boot(t, disk.New(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return k
+}
+
+// ---------------------------------------------------------------- Table 1
+
+func BenchmarkTable1_Nexus(b *testing.B) {
+	for _, bare := range []bool{true, false} {
+		name := "standard"
+		if bare {
+			name = "bare"
+		}
+		k := benchKernel(b, kernel.Options{NoInterposition: bare, NoAuthorization: true})
+		p, _ := k.CreateProcess(0, []byte("bench"))
+		b.Run("null/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.Null()
+			}
+		})
+		b.Run("getppid/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.GetPPID()
+			}
+		})
+		b.Run("gettimeofday/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.GetTimeOfDay()
+			}
+		})
+		b.Run("yield/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.Yield()
+			}
+		})
+	}
+}
+
+func BenchmarkTable1_NullBlocked(b *testing.B) {
+	k := benchKernel(b, kernel.Options{NoAuthorization: true})
+	p, _ := k.CreateProcess(0, []byte("bench"))
+	mon, _ := k.CreateProcess(0, []byte("mon"))
+	k.Interpose(mon, 0, kernel.FuncMonitor{
+		Call: func(*kernel.Process, *kernel.Port, *kernel.Msg, []byte) kernel.Verdict {
+			return kernel.VerdictBlock
+		},
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Null()
+	}
+}
+
+func benchNexusFiles(b *testing.B, bare bool) {
+	name := "standard"
+	if bare {
+		name = "bare"
+	}
+	k := benchKernel(b, kernel.Options{NoInterposition: bare, NoAuthorization: true})
+	g := guard.New(k)
+	k.SetGuard(g)
+	fs := mustFS(b, k)
+	app, _ := k.CreateProcess(0, []byte("bench"))
+	c := fs.ClientFor(app)
+	if err := c.Create("/bench"); err != nil {
+		b.Fatal(err)
+	}
+	fd, _ := c.Open("/bench")
+	c.Write(fd, []byte("seed data for read benchmark"))
+	c.Close(fd)
+
+	b.Run("open/"+name, func(b *testing.B) {
+		// Descriptors accumulate and are released outside the timer;
+		// per-iteration StopTimer would dominate wall-clock time.
+		fds := make([]int, 0, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fd, err := c.Open("/bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			fds = append(fds, fd)
+		}
+		b.StopTimer()
+		for _, fd := range fds {
+			c.Close(fd)
+		}
+	})
+	b.Run("close/"+name, func(b *testing.B) {
+		fds := make([]int, b.N)
+		for i := range fds {
+			fds[i], _ = c.Open("/bench")
+		}
+		b.ResetTimer()
+		for _, fd := range fds {
+			c.Close(fd)
+		}
+	})
+	fd, _ = c.Open("/bench")
+	b.Run("read/"+name, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Read(fd, 16); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("write/"+name, func(b *testing.B) {
+		buf := []byte("0123456789abcdef")
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Write(fd, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkTable1_NexusFiles(b *testing.B) {
+	benchNexusFiles(b, false)
+}
+
+func BenchmarkTable1_Monolith(b *testing.B) {
+	m := monolith.New()
+	pid := m.Spawn(1)
+	m.Create("/bench")
+	fd, _ := m.Open("/bench")
+	m.Write(fd, []byte("seed data for read benchmark"))
+	b.Run("null", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.Null()
+		}
+	})
+	b.Run("getppid", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.GetPPID(pid)
+		}
+	})
+	b.Run("gettimeofday", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.GetTimeOfDay()
+		}
+	})
+	b.Run("yield", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.Yield()
+		}
+	})
+	b.Run("open", func(b *testing.B) {
+		fds := make([]int, 0, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fd, _ := m.Open("/bench")
+			fds = append(fds, fd)
+		}
+		b.StopTimer()
+		for _, fd := range fds {
+			m.Close(fd)
+		}
+	})
+	b.Run("close", func(b *testing.B) {
+		fds := make([]int, b.N)
+		for i := range fds {
+			fds[i], _ = m.Open("/bench")
+		}
+		b.ResetTimer()
+		for _, fd := range fds {
+			m.Close(fd)
+		}
+	})
+	b.Run("read", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.Read(fd, 16)
+		}
+	})
+	b.Run("write", func(b *testing.B) {
+		buf := []byte("0123456789abcdef")
+		for i := 0; i < b.N; i++ {
+			m.Write(fd, buf)
+		}
+	})
+}
+
+// ---------------------------------------------------------------- Figure 4
+
+// fig4World wires the standard Figure 4 measurement target: a guarded null
+// operation on a server port.
+type fig4World struct {
+	k    *kernel.Kernel
+	g    *guard.Generic
+	cli  *kernel.Process
+	port *kernel.Port
+}
+
+func newFig4World(b *testing.B, cacheOn bool) *fig4World {
+	b.Helper()
+	k := benchKernel(b, kernel.Options{DisableDecisionCache: !cacheOn})
+	g := guard.New(k)
+	k.SetGuard(g)
+	srv, _ := k.CreateProcess(0, []byte("srv"))
+	cli, _ := k.CreateProcess(0, []byte("cli"))
+	port, err := k.CreatePort(srv, func(*kernel.Process, *kernel.Msg) ([]byte, error) {
+		return nil, nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &fig4World{k: k, g: g, cli: cli, port: port}
+}
+
+func (w *fig4World) call() error {
+	_, err := w.k.Call(w.cli, w.port.ID, &kernel.Msg{Op: "read", Obj: "obj"})
+	return err
+}
+
+func BenchmarkFig4(b *testing.B) {
+	for _, cache := range []bool{true, false} {
+		suffix := "/cache"
+		if !cache {
+			suffix = "/nocache"
+		}
+		b.Run("syscall"+suffix, func(b *testing.B) {
+			w := newFig4World(b, cache)
+			w.k.SetAuthorization(false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.call()
+			}
+		})
+		b.Run("nogoal"+suffix, func(b *testing.B) {
+			w := newFig4World(b, cache)
+			w.k.SetGoal(w.port.Owner, "read", "obj", nal.TrueF{}, nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.call()
+			}
+		})
+		b.Run("noproof"+suffix, func(b *testing.B) {
+			w := newFig4World(b, cache)
+			srv := w.port.Owner
+			w.k.SetGoal(srv, "read", "obj", nal.MustParse("?S says wantsAccess"), nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.call()
+			}
+		})
+		b.Run("notsound"+suffix, func(b *testing.B) {
+			w := newFig4World(b, cache)
+			srv := w.port.Owner
+			w.k.SetGoal(srv, "read", "obj", nal.MustParse("?S says wantsAccess"), nil)
+			bad := nal.MustParse("Other says wantsAccess")
+			w.k.SetProof(w.cli, "read", "obj", proof.Assume(0, bad),
+				[]kernel.Credential{{Inline: bad}})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.call()
+			}
+		})
+		b.Run("pass"+suffix, func(b *testing.B) {
+			w := newFig4World(b, cache)
+			srv := w.port.Owner
+			w.k.SetGoal(srv, "read", "obj", nal.MustParse("?S says wantsAccess"), nil)
+			cred := nal.Says{P: w.cli.Prin, F: nal.Pred{Name: "wantsAccess"}}
+			w.k.SetProof(w.cli, "read", "obj", proof.Assume(0, cred),
+				[]kernel.Credential{{Inline: cred}})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.call(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("nocred"+suffix, func(b *testing.B) {
+			// Credential by labelstore reference: fetched per check.
+			w := newFig4World(b, cache)
+			srv := w.port.Owner
+			w.k.SetGoal(srv, "read", "obj", nal.MustParse("?S says wantsAccess"), nil)
+			l, _ := w.cli.Labels.Say("wantsAccess")
+			w.k.SetProof(w.cli, "read", "obj", proof.Assume(0, l.Formula),
+				[]kernel.Credential{{Ref: &kernel.LabelRef{PID: w.cli.PID, Handle: l.Handle}}})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.call(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("embedauth"+suffix, func(b *testing.B) {
+			w := newFig4World(b, cache)
+			srv := w.port.Owner
+			goal := nal.MustParse("Clock says ok")
+			w.k.SetGoal(srv, "read", "obj", goal, nil)
+			ch := w.g.RegisterEmbedded("clock", func(nal.Formula) bool { return true })
+			pf := &proof.Proof{Steps: []proof.Step{{Rule: proof.RuleAuthority, Channel: ch, F: goal}}}
+			w.k.SetProof(w.cli, "read", "obj", pf, nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.call(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("auth"+suffix, func(b *testing.B) {
+			w := newFig4World(b, cache)
+			srv := w.port.Owner
+			goal := nal.MustParse("Clock says ok")
+			w.k.SetGoal(srv, "read", "obj", goal, nil)
+			ap, _ := w.k.CreateProcess(0, []byte("authority"))
+			a, err := w.k.RegisterAuthority(ap, func(nal.Formula) bool { return true })
+			if err != nil {
+				b.Fatal(err)
+			}
+			pf := &proof.Proof{Steps: []proof.Step{{Rule: proof.RuleAuthority, Channel: a.Channel(), F: goal}}}
+			w.k.SetProof(w.cli, "read", "obj", pf, nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.call(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------- Figure 5
+
+// fig5Proof builds a proof applying n rules of the given family, returning
+// the proof, goal, and credentials.
+func fig5Proof(family string, n int) (*proof.Proof, nal.Formula, []nal.Formula) {
+	switch family {
+	case "negate":
+		base := nal.MustParse("a")
+		creds := []nal.Formula{base}
+		steps := []proof.Step{{Rule: proof.RuleLabel, Label: 0, F: base}}
+		cur := base
+		for i := 0; i < n; i++ {
+			cur = nal.Not{F: nal.Not{F: cur}}
+			steps = append(steps, proof.Step{
+				Rule: proof.RuleNotNotI, Premises: []int{len(steps) - 1}, F: cur,
+			})
+		}
+		return &proof.Proof{Steps: steps}, cur, creds
+	case "boolean":
+		base := nal.MustParse("a")
+		creds := []nal.Formula{base}
+		steps := []proof.Step{{Rule: proof.RuleLabel, Label: 0, F: base}}
+		cur := base
+		for i := 0; i < n; i++ {
+			cur = nal.And{L: base, R: cur}
+			steps = append(steps, proof.Step{
+				Rule: proof.RuleAndI, Premises: []int{0, len(steps) - 1}, F: cur,
+			})
+		}
+		return &proof.Proof{Steps: steps}, cur, creds
+	default: // delegate
+		var creds []nal.Formula
+		start := nal.Says{P: nal.Name("P0"), F: nal.Pred{Name: "s"}}
+		creds = append(creds, start)
+		for i := 0; i < n; i++ {
+			creds = append(creds, nal.SpeaksFor{
+				A: nal.Name(fmt.Sprintf("P%d", i)),
+				B: nal.Name(fmt.Sprintf("P%d", i+1)),
+			})
+		}
+		steps := []proof.Step{{Rule: proof.RuleLabel, Label: 0, F: start}}
+		cur := nal.Formula(start)
+		for i := 0; i < n; i++ {
+			sf := creds[i+1]
+			steps = append(steps, proof.Step{Rule: proof.RuleLabel, Label: i + 1, F: sf})
+			cur = nal.Says{P: nal.Name(fmt.Sprintf("P%d", i+1)), F: nal.Pred{Name: "s"}}
+			steps = append(steps, proof.Step{
+				Rule:     proof.RuleSpeaksForE,
+				Premises: []int{len(steps) - 1, len(steps) - 2},
+				F:        cur,
+			})
+		}
+		return &proof.Proof{Steps: steps}, cur, creds
+	}
+}
+
+func BenchmarkFig5_EvalOnly(b *testing.B) {
+	for _, family := range []string{"delegate", "negate", "boolean"} {
+		for _, n := range []int{1, 5, 10, 20} {
+			pf, goal, creds := fig5Proof(family, n)
+			env := &proof.Env{Credentials: creds}
+			b.Run(fmt.Sprintf("%s/rules=%d", family, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := proof.Check(pf, goal, env); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkFig5_Full(b *testing.B) {
+	// Full path: guard invocation with the kernel decision cache disabled,
+	// so every call re-evaluates the proof (and the guard's own proof
+	// cache is bypassed by sizing it to zero).
+	for _, family := range []string{"delegate", "negate", "boolean"} {
+		for _, n := range []int{1, 5, 10, 20} {
+			pf, goal, creds := fig5Proof(family, n)
+			w := newFig4World(b, false)
+			w.g.SetCacheSize(0)
+			srv := w.port.Owner
+			w.k.SetGoal(srv, "read", "obj", goal, nil)
+			var kcreds []kernel.Credential
+			for _, c := range creds {
+				kcreds = append(kcreds, kernel.Credential{Inline: c})
+			}
+			w.k.SetProof(w.cli, "read", "obj", pf, kcreds)
+			b.Run(fmt.Sprintf("%s/rules=%d", family, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := w.call(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------- Figure 6
+
+func BenchmarkFig6_ControlOps(b *testing.B) {
+	k := benchKernel(b, kernel.Options{})
+	g := guard.New(k)
+	k.SetGuard(g)
+	srv, _ := k.CreateProcess(0, []byte("srv"))
+	cli, _ := k.CreateProcess(0, []byte("cli"))
+	ap, _ := k.CreateProcess(0, []byte("authority"))
+	goal := nal.MustParse("?S says wantsAccess")
+	cred := nal.Says{P: cli.Prin, F: nal.Pred{Name: "wantsAccess"}}
+	pf := proof.Assume(0, cred)
+
+	b.Run("authadd", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := k.RegisterAuthority(ap, func(nal.Formula) bool { return true }); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("goalset", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			k.SetGoal(srv, "read", "obj", goal, nil)
+		}
+	})
+	b.Run("goalclr", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			k.ClearGoal(srv, "read", "obj")
+		}
+	})
+	b.Run("proofset", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			k.SetProof(cli, "read", "obj", pf, []kernel.Credential{{Inline: cred}})
+		}
+	})
+	b.Run("proofclr", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			k.ClearProof(cli, "read", "obj")
+		}
+	})
+	// cred add: a system-backed label insertion must parse and attribute
+	// the statement (the most expensive non-crypto control op).
+	b.Run("credadd", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cli.Labels.Say("wantsAccess(\"obj\")"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkFig6_CredPIDvsKey(b *testing.B) {
+	k := benchKernel(b, kernel.Options{})
+	cli, _ := k.CreateProcess(0, []byte("cli"))
+	b.Run("credpid", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cli.Labels.Say("isTypeSafe(hash:ab12)"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("credkey", func(b *testing.B) {
+		// Cryptographically signed label: externalize (RSA sign by NK)
+		// then import (verify) — the three-orders-of-magnitude path.
+		l, _ := cli.Labels.Say("isTypeSafe(hash:ab12)")
+		for i := 0; i < b.N; i++ {
+			ext, err := cli.Labels.Externalize(l.Handle)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := cli.Labels.Import(ext); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("credkey/verifyonly", func(b *testing.B) {
+		l, _ := cli.Labels.Say("isTypeSafe(hash:ab12)")
+		ext, err := cli.Labels.Externalize(l.Handle)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := cli.Labels.Import(ext); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------- Figure 7
+
+func BenchmarkFig7(b *testing.B) {
+	cases := []struct {
+		name string
+		cfg  netdev.Config
+	}{
+		{"kern-int", netdev.Config{}},
+		{"user-int", netdev.Config{UserDriver: true}},
+		{"kern-drv", netdev.Config{ServerApp: true}},
+		{"user-drv", netdev.Config{UserDriver: true, ServerApp: true}},
+		{"kref-min", netdev.Config{ServerApp: true, RefMon: netdev.RefKernel, Cache: true}},
+		{"kref-max", netdev.Config{ServerApp: true, RefMon: netdev.RefKernel}},
+		{"uref-min", netdev.Config{UserDriver: true, ServerApp: true, RefMon: netdev.RefUser, Cache: true}},
+		{"uref-max", netdev.Config{UserDriver: true, ServerApp: true, RefMon: netdev.RefUser}},
+	}
+	for _, size := range []int{100, 1500} {
+		frame := netdev.MakeFrame(size)
+		for _, c := range cases {
+			b.Run(fmt.Sprintf("%s/%dB", c.name, size), func(b *testing.B) {
+				k := benchKernel(b, kernel.Options{NoAuthorization: true})
+				e, err := netdev.NewEchoPath(k, c.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.SetBytes(int64(size))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := e.Process(frame); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------- Figure 8
+
+// fig8Sizes are the request sizes swept on the x axis.
+var fig8Sizes = []int{100, 1 << 10, 10 << 10, 100 << 10, 1 << 20}
+
+func fig8Stack(b *testing.B, cfg fauxbook.StackConfig) *fauxbook.WebStack {
+	b.Helper()
+	t, err := tpm.Manufacture(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	t.Extend(tpm.PCRKernel, []byte("nexus"))
+	if err := t.TakeOwnership([]tpm.PCRIndex{tpm.PCRKernel}); err != nil {
+		b.Fatal(err)
+	}
+	var mgr *ssr.Manager
+	if cfg.Storage != fauxbook.StorePlain {
+		if mgr, err = ssr.Init(t, disk.New()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	k := benchKernel(b, kernel.Options{})
+	w, err := fauxbook.NewWebStack(k, mgr, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+func fig8Run(b *testing.B, cfg fauxbook.StackConfig, size int) {
+	w := fig8Stack(b, cfg)
+	content := make([]byte, size)
+	for i := range content {
+		content[i] = byte('a' + i%26)
+	}
+	if err := w.PutFile("/doc", content); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Request("/doc"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8_AccessControl(b *testing.B) {
+	for _, dyn := range []bool{false, true} {
+		row := "static-files"
+		if dyn {
+			row = "python"
+		}
+		for _, ac := range []struct {
+			name string
+			mode fauxbook.AccessMode
+		}{{"none", fauxbook.AccessNone}, {"static", fauxbook.AccessStatic}, {"dynamic", fauxbook.AccessDynamic}} {
+			for _, size := range fig8Sizes {
+				b.Run(fmt.Sprintf("%s/%s/%dB", row, ac.name, size), func(b *testing.B) {
+					fig8Run(b, fauxbook.StackConfig{Access: ac.mode, Dynamic: dyn}, size)
+				})
+			}
+		}
+	}
+}
+
+func BenchmarkFig8_RefMon(b *testing.B) {
+	cases := []struct {
+		name string
+		cfg  fauxbook.StackConfig
+	}{
+		{"none", fauxbook.StackConfig{}},
+		{"kernel+", fauxbook.StackConfig{RefMon: fauxbook.StackRefKernel, RefMonCache: true}},
+		{"kernel-", fauxbook.StackConfig{RefMon: fauxbook.StackRefKernel}},
+		{"user+", fauxbook.StackConfig{RefMon: fauxbook.StackRefUser, RefMonCache: true}},
+		{"user-", fauxbook.StackConfig{RefMon: fauxbook.StackRefUser}},
+	}
+	for _, dyn := range []bool{false, true} {
+		row := "static-files"
+		if dyn {
+			row = "python"
+		}
+		for _, c := range cases {
+			cfg := c.cfg
+			cfg.Dynamic = dyn
+			for _, size := range fig8Sizes {
+				b.Run(fmt.Sprintf("%s/%s/%dB", row, c.name, size), func(b *testing.B) {
+					fig8Run(b, cfg, size)
+				})
+			}
+		}
+	}
+}
+
+func BenchmarkFig8_Storage(b *testing.B) {
+	for _, dyn := range []bool{false, true} {
+		row := "static-files"
+		if dyn {
+			row = "python"
+		}
+		for _, st := range []struct {
+			name string
+			mode fauxbook.StorageMode
+		}{{"none", fauxbook.StorePlain}, {"hash", fauxbook.StoreHashed}, {"decrypt", fauxbook.StoreEncrypted}} {
+			for _, size := range fig8Sizes {
+				b.Run(fmt.Sprintf("%s/%s/%dB", row, st.name, size), func(b *testing.B) {
+					fig8Run(b, fauxbook.StackConfig{Storage: st.mode, Dynamic: dyn}, size)
+				})
+			}
+		}
+	}
+}

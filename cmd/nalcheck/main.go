@@ -1,0 +1,118 @@
+// Command nalcheck parses NAL formulas and checks NAL proofs from the
+// command line — the guard's proof checker exposed as a tool.
+//
+// Usage:
+//
+//	nalcheck formula '<formula>'
+//	nalcheck proof -goal '<formula>' [-cred '<formula>']... [proof-file]
+//	nalcheck derive -goal '<formula>' [-cred '<formula>']...
+//
+// With no proof file, the proof is read from standard input in the textual
+// exchange format (see the proof package documentation).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/nal"
+	"repro/internal/nal/proof"
+)
+
+type credList []nal.Formula
+
+func (c *credList) String() string { return fmt.Sprint(*c) }
+
+func (c *credList) Set(s string) error {
+	f, err := nal.Parse(s)
+	if err != nil {
+		return err
+	}
+	*c = append(*c, f)
+	return nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "formula":
+		if len(os.Args) != 3 {
+			usage()
+		}
+		f, err := nal.Parse(os.Args[2])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(f)
+		for _, v := range nal.Vars(f) {
+			fmt.Printf("guard variable: %s\n", v)
+		}
+	case "proof", "derive":
+		fs := flag.NewFlagSet(os.Args[1], flag.ExitOnError)
+		goalSrc := fs.String("goal", "", "goal formula")
+		var creds credList
+		fs.Var(&creds, "cred", "credential formula (repeatable)")
+		trust := fs.String("trust", "", "trust-root principal")
+		fs.Parse(os.Args[2:])
+		if *goalSrc == "" {
+			fatal(fmt.Errorf("-goal is required"))
+		}
+		goal, err := nal.Parse(*goalSrc)
+		if err != nil {
+			fatal(fmt.Errorf("goal: %w", err))
+		}
+		var roots []nal.Principal
+		if *trust != "" {
+			p, err := nal.ParsePrincipal(*trust)
+			if err != nil {
+				fatal(fmt.Errorf("trust root: %w", err))
+			}
+			roots = append(roots, p)
+		}
+		if os.Args[1] == "derive" {
+			d := &proof.Deriver{Creds: creds, TrustRoots: roots}
+			p, err := d.Derive(goal)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(p)
+			return
+		}
+		var src []byte
+		if fs.NArg() > 0 {
+			src, err = os.ReadFile(fs.Arg(0))
+		} else {
+			src, err = io.ReadAll(os.Stdin)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		p, err := proof.Parse(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		res, err := proof.Check(p, goal, &proof.Env{Credentials: creds, TrustRoots: roots})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("proof OK: %d steps, cacheable=%v\n", res.Steps, res.Cacheable)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: nalcheck formula '<formula>'")
+	fmt.Fprintln(os.Stderr, "       nalcheck proof  -goal '<f>' [-cred '<f>']... [-trust '<p>'] [file]")
+	fmt.Fprintln(os.Stderr, "       nalcheck derive -goal '<f>' [-cred '<f>']... [-trust '<p>']")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nalcheck:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,134 @@
+// Command tcbsize reports lines of code per component, the Table 2
+// analogue. It distinguishes the trusted computing base (logic, proof
+// checker, kernel, TPM, guard, attested storage) from optional components
+// (applications, examples, benchmarks), mirroring the paper's breakdown.
+//
+// Usage:
+//
+//	tcbsize [root]
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// tcb lists the components that constitute the trusted computing base; the
+// rest are optional, as in Table 2's dagger annotations.
+var tcb = map[string]bool{
+	"internal/nal":        true,
+	"internal/nal/proof":  true,
+	"internal/tpm":        true,
+	"internal/cert":       true,
+	"internal/kernel":     true,
+	"internal/guard":      true,
+	"internal/ssr":        true,
+	"internal/disk":       true,
+	"internal/introspect": true,
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	code := map[string]int{}
+	tests := map[string]int{}
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			name := info.Name()
+			if name == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		rel, _ := filepath.Rel(root, path)
+		component := filepath.ToSlash(filepath.Dir(rel))
+		if component == "." {
+			component = "root"
+		}
+		n, err := countLines(path)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(path, "_test.go") {
+			tests[component] += n
+		} else {
+			code[component] += n
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var names []string
+	for n := range code {
+		names = append(names, n)
+	}
+	for n := range tests {
+		if _, ok := code[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-34s %8s %8s %6s\n", "component", "code", "tests", "TCB")
+	var tcbTotal, optTotal, testTotal int
+	for _, n := range names {
+		mark := "†" // optional
+		if tcb[n] {
+			mark = "tcb"
+			tcbTotal += code[n]
+		} else {
+			optTotal += code[n]
+		}
+		testTotal += tests[n]
+		fmt.Printf("%-34s %8d %8d %6s\n", n, code[n], tests[n], mark)
+	}
+	fmt.Printf("%-34s %8d\n", "TCB total", tcbTotal)
+	fmt.Printf("%-34s %8d\n", "optional (†) total", optTotal)
+	fmt.Printf("%-34s %8d\n", "test total", testTotal)
+}
+
+func countLines(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	n := 0
+	inBlock := false
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if inBlock {
+			if strings.Contains(line, "*/") {
+				inBlock = false
+			}
+			continue
+		}
+		switch {
+		case line == "", strings.HasPrefix(line, "//"):
+		case strings.HasPrefix(line, "/*"):
+			if !strings.Contains(line, "*/") {
+				inBlock = true
+			}
+		default:
+			n++
+		}
+	}
+	return n, sc.Err()
+}

@@ -1,0 +1,53 @@
+// Bgpverify demo: an external security monitor straddles a legacy BGP
+// speaker, letting conforming announcements through and catching route
+// fabrication and false origination (§4).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	nexus "repro"
+	"repro/internal/apps/bgp"
+)
+
+func main() {
+	t, err := nexus.NewTPM(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k, err := nexus.Boot(t, nexus.NewDisk(), nexus.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	v, err := bgp.NewVerifier(k, 65001, []string{"10.10.0.0/16"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The legacy speaker hears routes from its peers.
+	v.Inbound(&bgp.Announcement{Prefix: "172.16.0.0/12", Path: []int{65002, 65003, 65004}})
+	v.Inbound(&bgp.Announcement{Prefix: "192.0.2.0/24", Path: []int{65005}})
+
+	try := func(a *bgp.Announcement) {
+		if err := v.Outbound(a); err != nil {
+			fmt.Printf("BLOCKED  %-18s via %v: %v\n", a.Prefix, a.Path, err)
+		} else {
+			fmt.Printf("forward  %-18s via %v\n", a.Prefix, a.Path)
+		}
+	}
+	// Legitimate origination and propagation.
+	try(&bgp.Announcement{Prefix: "10.10.0.0/16", Path: []int{65001}})
+	try(&bgp.Announcement{Prefix: "172.16.0.0/12", Path: []int{65001, 65002, 65003, 65004}})
+	// Attacks.
+	try(&bgp.Announcement{Prefix: "192.0.2.0/24", Path: []int{65001}})                // false origination
+	try(&bgp.Announcement{Prefix: "172.16.0.0/12", Path: []int{65001, 65004}})        // shortened route
+	try(&bgp.Announcement{Prefix: "172.16.0.0/12", Path: []int{65001, 65009, 65004}}) // spliced path
+
+	acc, rej := v.Stats()
+	fmt.Printf("\naccepted=%d rejected=%d\n", acc, rej)
+	if _, err := v.ConformanceLabel(); err != nil {
+		fmt.Println("conformance label refused (violations observed):", err)
+	}
+}

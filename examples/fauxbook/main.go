@@ -1,0 +1,88 @@
+// Fauxbook demo: deploy the privacy-preserving social network on a
+// simulated Nexus, exercise the §4.1 guarantees, and show the certification
+// labels a user would inspect before signing up.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	nexus "repro"
+	"repro/internal/fauxbook"
+	"repro/internal/fsys"
+	"repro/internal/sched"
+)
+
+func main() {
+	t, err := nexus.NewTPM(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k, err := nexus.Boot(t, nexus.NewDisk(), nexus.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	k.SetGuard(nexus.NewGuard(k))
+	fs, err := fsys.New(k)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Deploying malicious tenant code fails certification outright.
+	if _, err := fauxbook.New(k, fs, fauxbook.EvilTenant); err != nil {
+		fmt.Println("evil tenant rejected at deploy time:", err)
+	}
+
+	svc, err := fauxbook.New(k, fs, fauxbook.DefaultTenant)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncertification labels (published for prospective users):")
+	for _, l := range svc.TenantLabels() {
+		fmt.Println(" ", l)
+	}
+
+	// Resource attestation: the cloud provider's scheduler exports tenant
+	// reservations through introspection (§4.1).
+	cpu := sched.New()
+	cpu.SetWeight("fauxbook", 3)
+	cpu.SetWeight("other-tenant", 1)
+	cpu.Publish(k.Introsp, k.Prin)
+	if lbl, err := cpu.ReservationLabel(k.Prin, "fauxbook"); err == nil {
+		fmt.Println("\nresource attestation label:")
+		fmt.Println(" ", lbl)
+	}
+
+	// Users.
+	for _, u := range []string{"alice", "bob", "eve"} {
+		if err := svc.Signup(u, u+"-password"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	at, _ := svc.Login("alice", "alice-password")
+	bt, _ := svc.Login("bob", "bob-password")
+	et, _ := svc.Login("eve", "eve-password")
+
+	svc.Post(at, []byte("alice: had a great day at SOSP 2011"))
+	svc.AddFriend(at, "bob")
+
+	page, err := svc.Wall(bt, "alice")
+	fmt.Printf("\nbob (friend) reads alice's wall:\n%s", page)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := svc.Wall(et, "alice"); err != nil {
+		fmt.Println("eve (stranger) reads alice's wall: DENIED:", err)
+	}
+
+	// The developers' code never sees plaintext: it manipulates cobufs.
+	// Demonstrate by persisting and reloading through the filesystem.
+	if err := svc.PersistWall("alice"); err != nil {
+		log.Fatal(err)
+	}
+	if err := svc.LoadWall("alice"); err != nil {
+		log.Fatal(err)
+	}
+	page, _ = svc.Wall(at, "alice")
+	fmt.Printf("\nalice reads her reloaded wall:\n%s", page)
+}

@@ -1,0 +1,53 @@
+// Movieplayer demo: stream protected content to an arbitrary player binary
+// that proves channel isolation instead of presenting a whitelisted hash —
+// the §4 answer to platform lock-down.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	nexus "repro"
+	"repro/internal/apps/movieplayer"
+	"repro/internal/ipcgraph"
+)
+
+func main() {
+	t, err := nexus.NewTPM(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k, err := nexus.Boot(t, nexus.NewDisk(), nexus.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fsDrv, _ := k.CreateProcess(0, []byte("disk-driver"))
+	netDrv, _ := k.CreateProcess(0, []byte("net-driver"))
+	echo := func(*nexus.Process, *nexus.Msg) ([]byte, error) { return nil, nil }
+	netPort, _ := k.CreatePort(netDrv, echo)
+	k.CreatePort(fsDrv, echo)
+	k.EnforceChannels(true)
+
+	analyzer, err := ipcgraph.New(k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	owner := movieplayer.NewContentOwner(k, fsDrv, netDrv, []byte("4K-MOVIE-STREAM"))
+
+	// A user's unheard-of player binary: never whitelisted, but isolated.
+	player, _ := k.CreateProcess(0, []byte("obscure-open-source-player-v0.1"))
+	fmt.Println("player goal:", owner.Goal(player))
+	content, err := movieplayer.RequestStream(k, analyzer, owner, player)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("isolated player streams %q — no hash disclosed\n", content)
+
+	// A player that acquired a network channel is refused.
+	leaky, _ := k.CreateProcess(0, []byte("leaky-player"))
+	k.GrantChannel(leaky, netPort.ID)
+	if _, err := movieplayer.RequestStream(k, analyzer, owner, leaky); err != nil {
+		fmt.Println("leaky player refused:", err)
+	}
+}

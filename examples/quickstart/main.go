@@ -1,0 +1,81 @@
+// Quickstart: boot a simulated Nexus, create principals, issue labels,
+// guard a resource with a goal formula, construct a proof, and watch the
+// guard admit and refuse requests.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	nexus "repro"
+	"repro/internal/kernel"
+	"repro/internal/nal"
+	"repro/internal/nal/proof"
+)
+
+func main() {
+	// 1. Platform: TPM + disk + measured boot.
+	t, err := nexus.NewTPM(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k, err := nexus.Boot(t, nexus.NewDisk(), nexus.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	k.SetGuard(nexus.NewGuard(k))
+	fmt.Println("booted Nexus; kernel principal:", k.Prin)
+
+	// 2. Processes: a server owning a resource and two clients.
+	server, _ := k.CreateProcess(0, []byte("file-server"))
+	alice, _ := k.CreateProcess(0, []byte("alice-app"))
+	mallory, _ := k.CreateProcess(0, []byte("mallory-app"))
+	port, _ := k.CreatePort(server, func(from *nexus.Process, m *nexus.Msg) ([]byte, error) {
+		return []byte("the secret contents"), nil
+	})
+
+	// 3. Policy: reading "vault" requires a certifier's blessing of the
+	// subject. ?S is bound to the requesting principal by the guard.
+	certifier, _ := k.CreateProcess(0, []byte("certifier"))
+	goal := nal.Says{P: certifier.Prin, F: nal.Pred{
+		Name: "vetted", Args: []nal.Term{nal.Var("S")},
+	}}
+	if err := k.SetGoal(server, "read", "vault", goal, nil); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("goal formula:", goal)
+
+	// 4. Credential: the certifier vouches for alice — a label in NAL.
+	label, _ := certifier.Labels.SayFormula(nal.Pred{
+		Name: "vetted", Args: []nal.Term{nal.PrinTerm{P: alice.Prin}},
+	})
+	fmt.Println("credential:  ", label.Formula)
+
+	// 5. Proof: alice derives the instantiated goal from her credential and
+	// registers it for the access tuple.
+	instantiated := nal.Says{P: certifier.Prin, F: nal.Pred{
+		Name: "vetted", Args: []nal.Term{nal.PrinTerm{P: alice.Prin}},
+	}}
+	d := &proof.Deriver{Creds: []nal.Formula{label.Formula}}
+	pf, err := d.Derive(instantiated)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("proof:")
+	fmt.Print(pf)
+	k.SetProof(alice, "read", "vault", pf, []kernel.Credential{{Inline: label.Formula}})
+
+	// 6. Access: alice passes; mallory (no proof) is refused.
+	out, err := k.Call(alice, port.ID, &nexus.Msg{Op: "read", Obj: "vault"})
+	fmt.Printf("alice reads:   %q (err=%v)\n", out, err)
+	_, err = k.Call(mallory, port.ID, &nexus.Msg{Op: "read", Obj: "vault"})
+	fmt.Printf("mallory reads: err=%v\n", err)
+
+	// 7. The decision was cacheable: repeated access skips the guard.
+	before := k.GuardUpcalls()
+	for i := 0; i < 1000; i++ {
+		k.Call(alice, port.ID, &nexus.Msg{Op: "read", Obj: "vault"})
+	}
+	fmt.Printf("guard upcalls for 1000 repeat reads: %d (decision cache)\n",
+		k.GuardUpcalls()-before)
+}

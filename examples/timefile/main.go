@@ -1,0 +1,128 @@
+// Timefile runs the paper's §2 worked example end to end: a file whose
+// contents must be read before a deadline, by a process that provably
+// cannot leak them to disk or network.
+//
+// The goal formula combines three conditions:
+//
+//	Owner says TimeNow < deadline      (via scoped delegation to a clock
+//	                                    authority — never a cached label)
+//	?S says openFile(file)             (the request itself)
+//	SafetyCertifier says safe(?S)      (derived from IPC-analyzer labels)
+package main
+
+import (
+	"fmt"
+	"log"
+
+	nexus "repro"
+	"repro/internal/ipcgraph"
+	"repro/internal/kernel"
+	"repro/internal/nal"
+	"repro/internal/nal/proof"
+)
+
+func main() {
+	t, err := nexus.NewTPM(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k, err := nexus.Boot(t, nexus.NewDisk(), nexus.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	k.SetGuard(nexus.NewGuard(k))
+
+	owner, _ := k.CreateProcess(0, []byte("owner"))
+	reader, _ := k.CreateProcess(0, []byte("reader"))
+	fsDrv, _ := k.CreateProcess(0, []byte("disk-driver"))
+	netDrv, _ := k.CreateProcess(0, []byte("net-driver"))
+	clock, _ := k.CreateProcess(0, []byte("ntp"))
+	server, _ := k.CreateProcess(0, []byte("secret-file-server"))
+	echo := func(*nexus.Process, *nexus.Msg) ([]byte, error) { return []byte("SECRET"), nil }
+	port, _ := k.CreatePort(server, echo)
+	k.CreatePort(fsDrv, echo)
+	k.CreatePort(netDrv, echo)
+	k.EnforceChannels(true)
+	// The reader holds a channel to the file server only; the analyzer will
+	// confirm it has no path to the disk or network drivers.
+	if err := k.GrantChannel(reader, port.ID); err != nil {
+		log.Fatal(err)
+	}
+
+	// The clock authority subscribes to one statement family and answers
+	// live — it never signs a label that could go stale (§2.7).
+	deadlineOpen := true
+	ntpAuth, err := k.RegisterAuthority(clock, func(f nal.Formula) bool {
+		return deadlineOpen && f.Equal(nal.Says{P: clock.Prin, F: nal.MustParse("TimeNow < @2026-07-01")})
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Owner trusts the clock on TimeNow statements only.
+	deleg, _ := owner.Labels.SayFormula(nal.SpeaksFor{
+		A: clock.Prin, B: owner.Prin, On: &nal.Pattern{Pred: "TimeNow"},
+	})
+
+	// The safety certifier turns IPC-analysis labels into safe(X).
+	analyzer, _ := ipcgraph.New(k)
+	certifier, _ := k.CreateProcess(0, []byte("safety-certifier"))
+	noFS, err := analyzer.CertifyNoPath(reader, fsDrv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	noNet, err := analyzer.CertifyNoPath(reader, netDrv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	safety, _ := certifier.Labels.SayFormula(nal.Pred{
+		Name: "safe", Args: []nal.Term{nal.PrinTerm{P: reader.Prin}},
+	})
+	fmt.Println("analysis labels:")
+	fmt.Println(" ", noFS.Formula)
+	fmt.Println(" ", noNet.Formula)
+	fmt.Println(" ", safety.Formula)
+
+	// The paper's goal formula, with guard variables.
+	goal := nal.Conj(
+		nal.Says{P: owner.Prin, F: nal.MustParse("TimeNow < @2026-07-01")},
+		nal.MustParse(`?S says openFile("/secret")`),
+		nal.Says{P: certifier.Prin, F: nal.Pred{Name: "safe", Args: []nal.Term{nal.Var("S")}}},
+	)
+	if err := k.SetGoal(server, "open", "file:/secret", goal, nil); err != nil {
+		log.Fatal(err)
+	}
+
+	// The reader assembles credentials and derives the proof.
+	request, _ := reader.Labels.SayFormula(nal.MustParse(`openFile("/secret")`))
+	creds := []nal.Formula{deleg.Formula, request.Formula, safety.Formula}
+	inst := nal.Subst{"S": nal.PrinTerm{P: reader.Prin}}.Apply(goal)
+	d := &proof.Deriver{
+		Creds:      creds,
+		TrustRoots: []nal.Principal{k.Prin},
+		Authority: func(f nal.Formula) (string, bool) {
+			if s, ok := f.(nal.Says); ok && s.P.EqualPrin(clock.Prin) {
+				return ntpAuth.Channel(), true
+			}
+			return "", false
+		},
+	}
+	pf, err := d.Derive(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var kcreds []kernel.Credential
+	for _, c := range creds {
+		kcreds = append(kcreds, kernel.Credential{Inline: c})
+	}
+	k.SetProof(reader, "open", "file:/secret", pf, kcreds)
+
+	out, err := k.Call(reader, port.ID, &nexus.Msg{Op: "open", Obj: "file:/secret"})
+	fmt.Printf("before deadline: read %q (err=%v)\n", out, err)
+
+	// The deadline passes; the very next request fails — no revocation
+	// infrastructure needed, the authority simply stops affirming.
+	deadlineOpen = false
+	_, err = k.Call(reader, port.ID, &nexus.Msg{Op: "open", Obj: "file:/secret"})
+	fmt.Printf("after deadline:  err=%v\n", err)
+}

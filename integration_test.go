@@ -1,0 +1,199 @@
+package nexus
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/nal"
+	"repro/internal/nal/proof"
+	"repro/internal/privacy"
+)
+
+// TestCrossMachineAttestation runs the full §2.4 externalization story:
+// a process on machine A utters a label; the label travels to machine B as
+// an X.509-style chain ("TPM says kernel says process says S"); B's
+// verifier converts the chain into NAL labels, connects the key principals
+// to abstract names it trusts, and discharges its goal with an explicit
+// proof.
+func TestCrossMachineAttestation(t *testing.T) {
+	// Machine A: a measured Nexus whose process claims type safety.
+	tpA, err := NewTPM(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kA, err := Boot(tpA, NewDisk(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jvm, _ := kA.CreateProcess(0, []byte("jvm"))
+	label, err := jvm.Labels.Say("isTypeSafe(hash:deadbeef)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := jvm.Labels.Externalize(label.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Machine B: the verifier knows A's platform EK (axiomatic trust in
+	// the hardware) and names A's deployment "SiteA".
+	chain, err := kernel.VerifyExternalLabels(ext, tpA.EKFingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// chain[0]: key:EK says key:NK speaksfor key:EK.nexus
+	// chain[1]: key:NK says <kernel-prin>.ipd.N says isTypeSafe(...)
+	ekPrin := nal.Key(tpA.EKFingerprint())
+
+	// B's local policy: trust the platform to identify genuine Nexus
+	// kernels, and name the measured Nexus "SiteA".
+	siteBinding := nal.SpeaksFor{
+		A: nal.SubOf(ekPrin, "nexus"),
+		B: nal.Name("SiteA"),
+	}
+	creds := append(chain, siteBinding)
+
+	// Goal: SiteA attributes the type-safety claim to one of its
+	// processes. Note the statement stays nested — a process's utterance
+	// never flows upward to its parent (deduction is local, §2.1); what
+	// flows is the kernel's attribution of it, via the EK handoff and the
+	// site binding.
+	innerSays := chain[1].(nal.Says)
+	procStmt := innerSays.F.(nal.Says) // kernelPrin.ipd.N says isTypeSafe
+	goal := nal.Formula(nal.Says{P: nal.Name("SiteA"), F: procStmt})
+
+	d := &proof.Deriver{
+		Creds:      creds,
+		TrustRoots: []nal.Principal{ekPrin},
+		MaxDepth:   12,
+	}
+	pf, err := d.Derive(goal)
+	if err != nil {
+		t.Fatalf("Derive: %v\ncreds: %v", err, creds)
+	}
+	res, err := proof.Check(pf, goal, &proof.Env{
+		Credentials: creds,
+		TrustRoots:  []nal.Principal{ekPrin},
+	})
+	if err != nil {
+		t.Fatalf("Check: %v\nproof:\n%s", err, pf)
+	}
+	if !res.Cacheable {
+		t.Error("static attestation proof should be cacheable")
+	}
+
+	// A verifier trusting a different platform rejects the chain.
+	tpEvil, _ := NewTPM(0)
+	if _, err := kernel.VerifyExternalLabels(ext, tpEvil.EKFingerprint()); err == nil {
+		t.Error("chain verified against wrong platform")
+	}
+}
+
+// TestPrivacyPreservingAttestation combines the privacy authority with the
+// proof layer: a verifier accepts a pseudonymous label as coming from some
+// genuine Nexus without learning which platform.
+func TestPrivacyPreservingAttestation(t *testing.T) {
+	tp, _ := NewTPM(0)
+	k, err := Boot(tp, NewDisk(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := privacy.NewAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa.AddPlatform(tp.EKFingerprint())
+	pseud, err := pa.Enroll(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err := pseud.SignLabel("player", "isolated(hash:ab)", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := privacy.VerifyPseudonymousLabel(lc, pseud.Cert, pa.Fingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Goal: GenuineNexus (via its pseudonym) attributes isolation to the
+	// player.
+	goal := nal.MustParse("GenuineNexus says player says isolated(hash:ab)")
+	d := &proof.Deriver{
+		Creds:      labels,
+		TrustRoots: []nal.Principal{pa.Prin()},
+		MaxDepth:   10,
+	}
+	pf, err := d.Derive(goal)
+	if err != nil {
+		t.Fatalf("Derive: %v\nlabels: %v", err, labels)
+	}
+	if _, err := proof.Check(pf, goal, &proof.Env{
+		Credentials: labels,
+		TrustRoots:  []nal.Principal{pa.Prin()},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRevocationViaAuthority exercises the §2.7 revocation idiom through
+// the kernel: A says Valid(S) => S, with a revocation authority.
+func TestRevocationViaAuthority(t *testing.T) {
+	tp, _ := NewTPM(0)
+	k, err := Boot(tp, NewDisk(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.SetGuard(NewGuard(k))
+	issuer, _ := k.CreateProcess(0, []byte("issuer"))
+	revoker, _ := k.CreateProcess(0, []byte("revocation-service"))
+	srv, _ := k.CreateProcess(0, []byte("srv"))
+	cli, _ := k.CreateProcess(0, []byte("cli"))
+	port, _ := k.CreatePort(srv, func(*Process, *Msg) ([]byte, error) { return nil, nil })
+
+	// The issuer's revocable grant.
+	grant, err := issuer.Labels.SayFormula(nal.MustParse("Valid(access) => access"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	revoked := false
+	auth, err := k.RegisterAuthority(revoker, func(f nal.Formula) bool {
+		want := nal.Says{P: issuer.Prin, F: nal.MustParse("Valid(access)")}
+		return !revoked && f.Equal(nal.Formula(want))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	goal := nal.Says{P: issuer.Prin, F: nal.MustParse("access")}
+	if err := k.SetGoal(srv, "use", "svc", goal, nil); err != nil {
+		t.Fatal(err)
+	}
+	d := &proof.Deriver{
+		Creds: []nal.Formula{grant.Formula},
+		Authority: func(f nal.Formula) (string, bool) {
+			if s, ok := f.(nal.Says); ok && s.P.EqualPrin(issuer.Prin) {
+				return auth.Channel(), true
+			}
+			return "", false
+		},
+	}
+	pf, err := d.Derive(nal.Formula(goal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.SetProof(cli, "use", "svc", pf, []Credential{{Inline: grant.Formula}})
+
+	if _, err := k.Call(cli, port.ID, &Msg{Op: "use", Obj: "svc"}); err != nil {
+		t.Fatalf("pre-revocation: %v", err)
+	}
+	revoked = true
+	if _, err := k.Call(cli, port.ID, &Msg{Op: "use", Obj: "svc"}); !errors.Is(err, kernel.ErrDenied) {
+		t.Errorf("post-revocation: want ErrDenied, got %v", err)
+	}
+	revoked = false
+	if _, err := k.Call(cli, port.ID, &Msg{Op: "use", Obj: "svc"}); err != nil {
+		t.Errorf("re-validated: %v", err)
+	}
+}

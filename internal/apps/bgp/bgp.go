@@ -1,0 +1,146 @@
+// Package bgp implements the §4 BGP protocol verifier: an external security
+// monitor that straddles a legacy BGP speaker, proxying its announcements
+// and enforcing minimal safety rules that catch route fabrication and false
+// origination — a synthetic basis for trusting an unmodified legacy speaker.
+//
+// The verifier records every advertisement the speaker receives and checks
+// each outgoing advertisement against two rules:
+//
+//	origin  — the speaker may originate only prefixes it owns
+//	shorten — the speaker may not advertise an AS path shorter than the
+//	          best (shortest) path it itself received for that prefix
+//	          (n-hop claim when the shortest received is m requires n > m;
+//	          specifically path must extend a received path by its own AS)
+package bgp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/kernel"
+	"repro/internal/nal"
+)
+
+// Errors.
+var (
+	ErrFabricated = errors.New("bgp: advertisement violates safety rules")
+)
+
+// Announcement is a BGP UPDATE: a prefix with an AS path, or a withdrawal.
+type Announcement struct {
+	Prefix   string
+	Path     []int // AS path, origin last
+	Withdraw bool
+}
+
+// Verifier proxies a legacy speaker identified by its AS number.
+type Verifier struct {
+	AS    int
+	Owned map[string]bool // prefixes this AS legitimately originates
+	proc  *kernel.Process
+	mu    sync.Mutex
+	// received holds, per prefix, the shortest AS-path length heard and
+	// the set of full paths received (for extension checking).
+	received map[string][][]int
+
+	accepted, rejected int
+}
+
+// NewVerifier launches a verifier process for a speaker.
+func NewVerifier(k *kernel.Kernel, as int, owned []string) (*Verifier, error) {
+	p, err := k.CreateProcess(0, []byte(fmt.Sprintf("bgp-verifier-as%d", as)))
+	if err != nil {
+		return nil, err
+	}
+	v := &Verifier{AS: as, Owned: map[string]bool{}, proc: p, received: map[string][][]int{}}
+	for _, pre := range owned {
+		v.Owned[pre] = true
+	}
+	return v, nil
+}
+
+// Prin returns the verifier's principal.
+func (v *Verifier) Prin() nal.Principal { return v.proc.Prin }
+
+// Inbound records an advertisement the legacy speaker received from a peer.
+func (v *Verifier) Inbound(a *Announcement) {
+	if a.Withdraw {
+		return
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	path := append([]int(nil), a.Path...)
+	v.received[a.Prefix] = append(v.received[a.Prefix], path)
+}
+
+// Outbound checks an advertisement the legacy speaker wants to send. It
+// returns nil when the advertisement conforms, and ErrFabricated otherwise.
+func (v *Verifier) Outbound(a *Announcement) error {
+	if a.Withdraw {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ok := v.conforms(a)
+	if ok {
+		v.accepted++
+		return nil
+	}
+	v.rejected++
+	return fmt.Errorf("%w: %s via %v", ErrFabricated, a.Prefix, a.Path)
+}
+
+func (v *Verifier) conforms(a *Announcement) bool {
+	if len(a.Path) == 0 || a.Path[0] != v.AS {
+		// Every advertisement from this speaker must be prepended with its
+		// own AS.
+		return false
+	}
+	if len(a.Path) == 1 {
+		// Origination: the speaker claims to own the prefix.
+		return v.Owned[a.Prefix]
+	}
+	// Propagation: the rest of the path must be one the speaker actually
+	// received for this prefix (no shortening, no splicing).
+	rest := a.Path[1:]
+	for _, rcv := range v.received[a.Prefix] {
+		if equalPath(rcv, rest) {
+			return true
+		}
+	}
+	return false
+}
+
+func equalPath(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats reports accepted and rejected outbound advertisements.
+func (v *Verifier) Stats() (accepted, rejected int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.accepted, v.rejected
+}
+
+// ConformanceLabel is the verifier's synthetic-trust statement: every
+// outgoing advertisement of the monitored speaker conforms to the safety
+// rules. "verifier says bgpConformant(asN)".
+func (v *Verifier) ConformanceLabel() (*kernel.Label, error) {
+	v.mu.Lock()
+	rejected := v.rejected
+	v.mu.Unlock()
+	if rejected > 0 {
+		return nil, fmt.Errorf("%w: %d advertisements were rejected", ErrFabricated, rejected)
+	}
+	stmt := nal.Pred{Name: "bgpConformant", Args: []nal.Term{nal.Int(int64(v.AS))}}
+	return v.proc.Labels.SayFormula(stmt)
+}

@@ -1,0 +1,90 @@
+package bgp
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/kernel"
+	"repro/internal/tpm"
+)
+
+func verifier(t *testing.T, as int, owned []string) *Verifier {
+	t.Helper()
+	tp, err := tpm.Manufacture(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := kernel.Boot(tp, disk.New(), kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewVerifier(k, as, owned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestLegitimateOrigination(t *testing.T) {
+	v := verifier(t, 65001, []string{"10.0.0.0/8"})
+	if err := v.Outbound(&Announcement{Prefix: "10.0.0.0/8", Path: []int{65001}}); err != nil {
+		t.Errorf("own prefix: %v", err)
+	}
+}
+
+func TestFalseOriginationCaught(t *testing.T) {
+	v := verifier(t, 65001, []string{"10.0.0.0/8"})
+	if err := v.Outbound(&Announcement{Prefix: "192.168.0.0/16", Path: []int{65001}}); !errors.Is(err, ErrFabricated) {
+		t.Errorf("foreign prefix originated: %v", err)
+	}
+}
+
+func TestPropagationMustExtendReceived(t *testing.T) {
+	v := verifier(t, 65001, nil)
+	v.Inbound(&Announcement{Prefix: "172.16.0.0/12", Path: []int{65002, 65003}})
+	// Legitimate: prepend own AS to the received path.
+	if err := v.Outbound(&Announcement{Prefix: "172.16.0.0/12", Path: []int{65001, 65002, 65003}}); err != nil {
+		t.Errorf("legitimate propagation: %v", err)
+	}
+	// Route shortening: claiming a 2-hop route when 3 hops were received.
+	if err := v.Outbound(&Announcement{Prefix: "172.16.0.0/12", Path: []int{65001, 65003}}); !errors.Is(err, ErrFabricated) {
+		t.Errorf("shortened route accepted: %v", err)
+	}
+	// Splicing a path never received.
+	if err := v.Outbound(&Announcement{Prefix: "172.16.0.0/12", Path: []int{65001, 65009, 65003}}); !errors.Is(err, ErrFabricated) {
+		t.Errorf("spliced route accepted: %v", err)
+	}
+	// Missing own AS prepend.
+	if err := v.Outbound(&Announcement{Prefix: "172.16.0.0/12", Path: []int{65002, 65003}}); !errors.Is(err, ErrFabricated) {
+		t.Errorf("unprepended route accepted: %v", err)
+	}
+}
+
+func TestWithdrawalsPass(t *testing.T) {
+	v := verifier(t, 65001, nil)
+	if err := v.Outbound(&Announcement{Prefix: "10.0.0.0/8", Withdraw: true}); err != nil {
+		t.Errorf("withdrawal: %v", err)
+	}
+}
+
+func TestConformanceLabel(t *testing.T) {
+	v := verifier(t, 65001, []string{"10.0.0.0/8"})
+	v.Outbound(&Announcement{Prefix: "10.0.0.0/8", Path: []int{65001}})
+	l, err := v.ConformanceLabel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Formula.String() != v.Prin().String()+" says bgpConformant(65001)" {
+		t.Errorf("label = %q", l.Formula)
+	}
+	// After a violation, the verifier refuses to vouch.
+	v.Outbound(&Announcement{Prefix: "8.8.8.0/24", Path: []int{65001}})
+	if _, err := v.ConformanceLabel(); !errors.Is(err, ErrFabricated) {
+		t.Errorf("want ErrFabricated, got %v", err)
+	}
+	acc, rej := v.Stats()
+	if acc != 1 || rej != 1 {
+		t.Errorf("stats = %d, %d", acc, rej)
+	}
+}

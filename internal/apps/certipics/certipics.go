@@ -1,0 +1,198 @@
+// Package certipics implements the §4 CertiPics image-editing suite: image
+// processing elements (crop, resize, color transform, clone) that run on
+// the Nexus and concurrently generate a certified, unforgeable log of the
+// transformations applied. Analyzers inspect the log — not the pixels — to
+// decide whether a disallowed modification (such as cloning) was used.
+package certipics
+
+import (
+	"crypto/sha1"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/kernel"
+	"repro/internal/nal"
+)
+
+// Errors.
+var (
+	ErrBounds     = errors.New("certipics: operation out of image bounds")
+	ErrDisallowed = errors.New("certipics: transformation log contains a disallowed operation")
+	ErrLogForged  = errors.New("certipics: log does not connect source to final image")
+)
+
+// Image is a trivial grayscale raster.
+type Image struct {
+	W, H int
+	Pix  []byte // len W*H
+}
+
+// NewImage creates a W×H image from pixel data (padded/truncated to fit).
+func NewImage(w, h int, pix []byte) *Image {
+	img := &Image{W: w, H: h, Pix: make([]byte, w*h)}
+	copy(img.Pix, pix)
+	return img
+}
+
+// Hash names an image by content.
+func (im *Image) Hash() string {
+	h := sha1.New()
+	fmt.Fprintf(h, "%d,%d;", im.W, im.H)
+	h.Write(im.Pix)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Editor applies transformations and maintains the certified log.
+type Editor struct {
+	proc *kernel.Process
+	img  *Image
+	log  []string // "op(args) hashBefore hashAfter"
+}
+
+// NewEditor opens an image for editing under the CertiPics process.
+func NewEditor(k *kernel.Kernel, img *Image) (*Editor, error) {
+	p, err := k.CreateProcess(0, []byte("certipics"))
+	if err != nil {
+		return nil, err
+	}
+	return &Editor{proc: p, img: img}, nil
+}
+
+// Prin returns the editor's principal.
+func (e *Editor) Prin() nal.Principal { return e.proc.Prin }
+
+// Image returns the current image.
+func (e *Editor) Image() *Image { return e.img }
+
+func (e *Editor) record(op string, next *Image) {
+	e.log = append(e.log, fmt.Sprintf("%s %s %s", op, e.img.Hash(), next.Hash()))
+	e.img = next
+}
+
+// Crop replaces the image with the rectangle [x, x+w) × [y, y+h).
+func (e *Editor) Crop(x, y, w, h int) error {
+	if x < 0 || y < 0 || w <= 0 || h <= 0 || x+w > e.img.W || y+h > e.img.H {
+		return ErrBounds
+	}
+	out := &Image{W: w, H: h, Pix: make([]byte, w*h)}
+	for row := 0; row < h; row++ {
+		copy(out.Pix[row*w:(row+1)*w], e.img.Pix[(y+row)*e.img.W+x:(y+row)*e.img.W+x+w])
+	}
+	e.record(fmt.Sprintf("crop(%d,%d,%d,%d)", x, y, w, h), out)
+	return nil
+}
+
+// Resize performs nearest-neighbour scaling.
+func (e *Editor) Resize(w, h int) error {
+	if w <= 0 || h <= 0 {
+		return ErrBounds
+	}
+	out := &Image{W: w, H: h, Pix: make([]byte, w*h)}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			sx := x * e.img.W / w
+			sy := y * e.img.H / h
+			out.Pix[y*w+x] = e.img.Pix[sy*e.img.W+sx]
+		}
+	}
+	e.record(fmt.Sprintf("resize(%d,%d)", w, h), out)
+	return nil
+}
+
+// ColorTransform adds delta to every pixel (saturating).
+func (e *Editor) ColorTransform(delta int) error {
+	out := &Image{W: e.img.W, H: e.img.H, Pix: make([]byte, len(e.img.Pix))}
+	for i, p := range e.img.Pix {
+		v := int(p) + delta
+		if v < 0 {
+			v = 0
+		}
+		if v > 255 {
+			v = 255
+		}
+		out.Pix[i] = byte(v)
+	}
+	e.record(fmt.Sprintf("color(%d)", delta), out)
+	return nil
+}
+
+// Clone copies a source rectangle over a destination rectangle — the
+// content-fabricating operation publication standards forbid. It is
+// supported (CertiPics is a general editor) but indelibly logged.
+func (e *Editor) Clone(sx, sy, dx, dy, w, h int) error {
+	if sx < 0 || sy < 0 || dx < 0 || dy < 0 || w <= 0 || h <= 0 ||
+		sx+w > e.img.W || sy+h > e.img.H || dx+w > e.img.W || dy+h > e.img.H {
+		return ErrBounds
+	}
+	out := &Image{W: e.img.W, H: e.img.H, Pix: append([]byte(nil), e.img.Pix...)}
+	for row := 0; row < h; row++ {
+		copy(out.Pix[(dy+row)*out.W+dx:(dy+row)*out.W+dx+w],
+			e.img.Pix[(sy+row)*e.img.W+sx:(sy+row)*e.img.W+sx+w])
+	}
+	e.record(fmt.Sprintf("clone(%d,%d,%d,%d,%d,%d)", sx, sy, dx, dy, w, h), out)
+	return nil
+}
+
+// CertifyLog issues the unforgeable transformation-log label:
+// "certipics says transformed(hash:src, hash:final, log)".
+func (e *Editor) CertifyLog(src *Image) (*kernel.Label, error) {
+	logTerm := make(nal.TermList, 0, len(e.log))
+	for _, entry := range e.log {
+		logTerm = append(logTerm, nal.Str(entry))
+	}
+	stmt := nal.Pred{Name: "transformed", Args: []nal.Term{
+		nal.Atom("hash:" + src.Hash()),
+		nal.Atom("hash:" + e.img.Hash()),
+		logTerm,
+	}}
+	return e.proc.Labels.SayFormula(stmt)
+}
+
+// CheckLog is the analyzer: given a certified log label and the disallowed
+// operation prefixes (e.g. "clone"), it verifies the hash chain connects
+// source to final and that no disallowed operation appears.
+func CheckLog(label nal.Formula, service nal.Principal, srcHash, finalHash string, disallowed []string) error {
+	says, ok := label.(nal.Says)
+	if !ok || !says.P.EqualPrin(service) {
+		return ErrLogForged
+	}
+	p, ok := says.F.(nal.Pred)
+	if !ok || p.Name != "transformed" || len(p.Args) != 3 {
+		return ErrLogForged
+	}
+	if !p.Args[0].EqualTerm(nal.Atom("hash:"+srcHash)) ||
+		!p.Args[1].EqualTerm(nal.Atom("hash:"+finalHash)) {
+		return ErrLogForged
+	}
+	entries, ok := p.Args[2].(nal.TermList)
+	if !ok {
+		return ErrLogForged
+	}
+	prev := srcHash
+	for _, t := range entries {
+		s, ok := t.(nal.Str)
+		if !ok {
+			return ErrLogForged
+		}
+		parts := strings.Fields(string(s))
+		if len(parts) != 3 {
+			return ErrLogForged
+		}
+		op, before, after := parts[0], parts[1], parts[2]
+		if before != prev {
+			return fmt.Errorf("%w: hash chain broken at %q", ErrLogForged, op)
+		}
+		for _, bad := range disallowed {
+			if strings.HasPrefix(op, bad) {
+				return fmt.Errorf("%w: %q", ErrDisallowed, op)
+			}
+		}
+		prev = after
+	}
+	if prev != finalHash {
+		return fmt.Errorf("%w: chain ends at %s, final is %s", ErrLogForged, prev, finalHash)
+	}
+	return nil
+}

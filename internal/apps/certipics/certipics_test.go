@@ -1,0 +1,140 @@
+package certipics
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/kernel"
+	"repro/internal/tpm"
+)
+
+func editor(t *testing.T, img *Image) *Editor {
+	t.Helper()
+	tp, err := tpm.Manufacture(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := kernel.Boot(tp, disk.New(), kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEditor(k, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func gradient(w, h int) *Image {
+	pix := make([]byte, w*h)
+	for i := range pix {
+		pix[i] = byte(i)
+	}
+	return NewImage(w, h, pix)
+}
+
+func TestTransformsAndLog(t *testing.T) {
+	src := gradient(8, 8)
+	e := editor(t, src)
+	if err := e.Crop(1, 1, 6, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Resize(4, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ColorTransform(10); err != nil {
+		t.Fatal(err)
+	}
+	l, err := e.CertifyLog(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A clean log passes the publication analyzer.
+	if err := CheckLog(l.Formula, e.Prin(), src.Hash(), e.Image().Hash(), []string{"clone"}); err != nil {
+		t.Errorf("clean log rejected: %v", err)
+	}
+}
+
+func TestCloneDetected(t *testing.T) {
+	src := gradient(8, 8)
+	e := editor(t, src)
+	if err := e.Clone(0, 0, 4, 4, 3, 3); err != nil {
+		t.Fatal(err)
+	}
+	l, err := e.CertifyLog(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckLog(l.Formula, e.Prin(), src.Hash(), e.Image().Hash(), []string{"clone"}); !errors.Is(err, ErrDisallowed) {
+		t.Errorf("want ErrDisallowed, got %v", err)
+	}
+	// The same log passes a policy that does not forbid cloning.
+	if err := CheckLog(l.Formula, e.Prin(), src.Hash(), e.Image().Hash(), nil); err != nil {
+		t.Errorf("permissive policy: %v", err)
+	}
+}
+
+func TestLogHashChain(t *testing.T) {
+	src := gradient(8, 8)
+	e := editor(t, src)
+	e.ColorTransform(5)
+	l, err := e.CertifyLog(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Claiming a different source or final image fails.
+	other := gradient(4, 4)
+	if err := CheckLog(l.Formula, e.Prin(), other.Hash(), e.Image().Hash(), nil); !errors.Is(err, ErrLogForged) {
+		t.Errorf("wrong source: want ErrLogForged, got %v", err)
+	}
+	if err := CheckLog(l.Formula, e.Prin(), src.Hash(), other.Hash(), nil); !errors.Is(err, ErrLogForged) {
+		t.Errorf("wrong final: want ErrLogForged, got %v", err)
+	}
+}
+
+func TestBoundsChecking(t *testing.T) {
+	e := editor(t, gradient(8, 8))
+	if err := e.Crop(5, 5, 10, 10); !errors.Is(err, ErrBounds) {
+		t.Errorf("crop: want ErrBounds, got %v", err)
+	}
+	if err := e.Resize(0, 5); !errors.Is(err, ErrBounds) {
+		t.Errorf("resize: want ErrBounds, got %v", err)
+	}
+	if err := e.Clone(0, 0, 7, 7, 5, 5); !errors.Is(err, ErrBounds) {
+		t.Errorf("clone: want ErrBounds, got %v", err)
+	}
+}
+
+func TestCropSemantics(t *testing.T) {
+	img := NewImage(4, 4, []byte{
+		0, 1, 2, 3,
+		4, 5, 6, 7,
+		8, 9, 10, 11,
+		12, 13, 14, 15,
+	})
+	e := editor(t, img)
+	if err := e.Crop(1, 1, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	got := e.Image()
+	want := []byte{5, 6, 9, 10}
+	for i := range want {
+		if got.Pix[i] != want[i] {
+			t.Fatalf("crop pix = %v, want %v", got.Pix, want)
+		}
+	}
+}
+
+func TestColorSaturation(t *testing.T) {
+	img := NewImage(1, 2, []byte{250, 3})
+	e := editor(t, img)
+	e.ColorTransform(10)
+	if e.Image().Pix[0] != 255 || e.Image().Pix[1] != 13 {
+		t.Errorf("saturating add = %v", e.Image().Pix)
+	}
+	e.ColorTransform(-20)
+	if e.Image().Pix[1] != 0 {
+		t.Errorf("saturating sub = %v", e.Image().Pix)
+	}
+}

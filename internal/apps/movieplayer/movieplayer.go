@@ -1,0 +1,78 @@
+// Package movieplayer implements the §4 movie-player scenario: a content
+// owner streams high-value content only to players that provably cannot
+// copy it out — without whitelisting player binaries. Instead of a binary
+// hash attestation, the user exports labels from the IPC connectivity
+// analyzer showing the player has no transitive channel to the disk or the
+// network; the content owner's guard accepts any player satisfying that
+// analytic property, preserving the user's choice of implementation.
+package movieplayer
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ipcgraph"
+	"repro/internal/kernel"
+	"repro/internal/nal"
+	"repro/internal/nal/proof"
+)
+
+// ErrNotIsolated is returned when the player cannot prove channel isolation.
+var ErrNotIsolated = errors.New("movieplayer: player has a channel to disk or network")
+
+// ContentOwner gates streaming behind the isolation policy.
+type ContentOwner struct {
+	k *kernel.Kernel
+	// Goal: IPCAnalyzer says (not hasPath(player, FS)) and
+	//       IPCAnalyzer says (not hasPath(player, NetDriver)).
+	fsProc, netProc *kernel.Process
+	content         []byte
+}
+
+// NewContentOwner creates an owner protecting content against exfiltration
+// through the named disk and network driver processes.
+func NewContentOwner(k *kernel.Kernel, fs, net *kernel.Process, content []byte) *ContentOwner {
+	return &ContentOwner{k: k, fsProc: fs, netProc: net, content: content}
+}
+
+// Goal returns the owner's policy for a given player process.
+func (o *ContentOwner) Goal(player *kernel.Process) nal.Formula {
+	noPath := func(dst *kernel.Process) nal.Formula {
+		return nal.Says{P: nal.Name("IPCAnalyzer"), F: nal.Not{F: nal.Pred{
+			Name: "hasPath",
+			Args: []nal.Term{nal.PrinTerm{P: player.Prin}, nal.PrinTerm{P: dst.Prin}},
+		}}}
+	}
+	return nal.And{L: noPath(o.fsProc), R: noPath(o.netProc)}
+}
+
+// Stream checks the supplied credentials against the isolation goal and, on
+// success, returns the content. Note no hash of the player is demanded or
+// disclosed.
+func (o *ContentOwner) Stream(player *kernel.Process, creds []nal.Formula, pf *proof.Proof) ([]byte, error) {
+	env := &proof.Env{Credentials: creds, TrustRoots: []nal.Principal{o.k.Prin}}
+	if _, err := proof.Check(pf, o.Goal(player), env); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotIsolated, err)
+	}
+	return append([]byte(nil), o.content...), nil
+}
+
+// RequestStream is the player-side flow: obtain analyzer labels, derive the
+// proof, and present it.
+func RequestStream(k *kernel.Kernel, a *ipcgraph.Analyzer, o *ContentOwner, player *kernel.Process) ([]byte, error) {
+	noFS, err := a.CertifyNoPath(player, o.fsProc)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotIsolated, err)
+	}
+	noNet, err := a.CertifyNoPath(player, o.netProc)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotIsolated, err)
+	}
+	creds := []nal.Formula{a.BindingLabel(), noFS.Formula, noNet.Formula}
+	d := &proof.Deriver{Creds: creds, TrustRoots: []nal.Principal{k.Prin}}
+	pf, err := d.Derive(o.Goal(player))
+	if err != nil {
+		return nil, fmt.Errorf("%w: cannot derive isolation proof: %v", ErrNotIsolated, err)
+	}
+	return o.Stream(player, creds, pf)
+}

@@ -1,0 +1,102 @@
+package movieplayer
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/ipcgraph"
+	"repro/internal/kernel"
+	"repro/internal/tpm"
+)
+
+func world(t *testing.T) (*kernel.Kernel, *ipcgraph.Analyzer, *kernel.Process, *kernel.Process, *kernel.Process) {
+	t.Helper()
+	tp, err := tpm.Manufacture(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := kernel.Boot(tp, disk.New(), kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ipcgraph.New(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, _ := k.CreateProcess(0, []byte("fs-driver"))
+	net, _ := k.CreateProcess(0, []byte("net-driver"))
+	player, _ := k.CreateProcess(0, []byte("any-player-binary"))
+	echo := func(*kernel.Process, *kernel.Msg) ([]byte, error) { return nil, nil }
+	k.CreatePort(fs, echo)
+	k.CreatePort(net, echo)
+	k.EnforceChannels(true)
+	return k, a, fs, net, player
+}
+
+func TestIsolatedPlayerStreams(t *testing.T) {
+	k, a, fs, net, player := world(t)
+	owner := NewContentOwner(k, fs, net, []byte("MOVIE-BYTES"))
+	content, err := RequestStream(k, a, owner, player)
+	if err != nil {
+		t.Fatalf("isolated player refused: %v", err)
+	}
+	if !bytes.Equal(content, []byte("MOVIE-BYTES")) {
+		t.Error("content mismatch")
+	}
+}
+
+func TestConnectedPlayerRefused(t *testing.T) {
+	k, a, fs, net, player := world(t)
+	// The player holds a channel to the network driver: exfiltration
+	// becomes possible, so the analyzer refuses to certify.
+	netPort := portOf(t, k, net)
+	k.GrantChannel(player, netPort)
+	owner := NewContentOwner(k, fs, net, []byte("MOVIE-BYTES"))
+	if _, err := RequestStream(k, a, owner, player); !errors.Is(err, ErrNotIsolated) {
+		t.Errorf("want ErrNotIsolated, got %v", err)
+	}
+}
+
+func TestTransitivePathRefused(t *testing.T) {
+	k, a, fs, net, player := world(t)
+	// player → helper → net: indirect exfiltration path.
+	helper, _ := k.CreateProcess(0, []byte("helper"))
+	helperPort, _ := k.CreatePort(helper, func(*kernel.Process, *kernel.Msg) ([]byte, error) { return nil, nil })
+	k.GrantChannel(player, helperPort.ID)
+	k.GrantChannel(helper, portOf(t, k, net))
+	owner := NewContentOwner(k, fs, net, nil)
+	if _, err := RequestStream(k, a, owner, player); !errors.Is(err, ErrNotIsolated) {
+		t.Errorf("transitive path: want ErrNotIsolated, got %v", err)
+	}
+}
+
+func TestForgedCredentialsRejected(t *testing.T) {
+	k, a, fs, net, player := world(t)
+	owner := NewContentOwner(k, fs, net, []byte("MOVIE"))
+	// The player fabricates its own ¬hasPath labels (spoken by itself, not
+	// the analyzer): the proof cannot connect them to IPCAnalyzer.
+	lbl, err := player.Labels.Say("not hasPath(" + player.Prin.String() + ", " + fs.Prin.String() + ")")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = lbl
+	_ = a
+	goal := owner.Goal(player)
+	if _, err := owner.Stream(player, player.Labels.All(), nil); err == nil {
+		t.Error("nil proof must be rejected")
+	}
+	_ = goal
+}
+
+func portOf(t *testing.T, k *kernel.Kernel, p *kernel.Process) int {
+	t.Helper()
+	for id := 1; id < 100; id++ {
+		if pt, ok := k.FindPort(id); ok && pt.Owner == p {
+			return id
+		}
+	}
+	t.Fatal("no port")
+	return 0
+}

@@ -1,0 +1,164 @@
+// Package notabot implements the §4 Not-a-Bot prototype: the keyboard
+// driver counts physical keypresses and issues TPM-backed certificates that
+// a message originated from a human; a spam classifier consumes the
+// certificate as one input. Messages composed with no accompanying
+// keystrokes (bot traffic) cannot obtain the credential.
+package notabot
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/kernel"
+	"repro/internal/nal"
+)
+
+// Errors.
+var (
+	ErrNoActivity = errors.New("notabot: no keyboard activity to attest")
+	ErrStale      = errors.New("notabot: attestation does not cover this message")
+)
+
+// KeyboardDriver is the user-level keyboard driver, extended to count
+// physical keypresses per window.
+type KeyboardDriver struct {
+	k    *kernel.Kernel
+	proc *kernel.Process
+
+	mu      sync.Mutex
+	presses int
+	serial  int64
+}
+
+// NewKeyboardDriver launches the driver process.
+func NewKeyboardDriver(k *kernel.Kernel) (*KeyboardDriver, error) {
+	p, err := k.CreateProcess(0, []byte("kbd-driver"))
+	if err != nil {
+		return nil, err
+	}
+	return &KeyboardDriver{k: k, proc: p}, nil
+}
+
+// Prin returns the driver principal.
+func (d *KeyboardDriver) Prin() nal.Principal { return d.proc.Prin }
+
+// KeyPress records one physical keypress (called from the simulated
+// interrupt path).
+func (d *KeyboardDriver) KeyPress() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.presses++
+}
+
+// Attestation is the human-origin certificate attached to a message.
+type Attestation struct {
+	// Label is the in-system form: driver says humanInput(msgid, n).
+	Label nal.Formula
+	// Cert is the externalized TPM-chained form for remote classifiers.
+	Cert *kernel.ExternalLabel
+	// Presses is the keypress count covered.
+	Presses int
+}
+
+// Attest consumes the accumulated keypress count and binds it to a message
+// id. With zero accumulated presses — a bot composing without a keyboard —
+// attestation is refused.
+func (d *KeyboardDriver) Attest(msgID string) (*Attestation, error) {
+	d.mu.Lock()
+	n := d.presses
+	d.presses = 0
+	d.serial++
+	d.mu.Unlock()
+	if n == 0 {
+		return nil, ErrNoActivity
+	}
+	stmt := nal.Pred{Name: "humanInput", Args: []nal.Term{
+		nal.Str(msgID), nal.Int(int64(n)),
+	}}
+	label, err := d.proc.Labels.SayFormula(stmt)
+	if err != nil {
+		return nil, err
+	}
+	ext, err := d.proc.Labels.Externalize(label.Handle)
+	if err != nil {
+		return nil, fmt.Errorf("notabot: externalizing: %w", err)
+	}
+	return &Attestation{Label: label.Formula, Cert: ext, Presses: n}, nil
+}
+
+// Classifier scores messages; the human-origin certificate shifts the
+// score, as in the original Not-a-Bot proposal.
+type Classifier struct {
+	// TrustedEK is the platform fingerprint whose attestations we accept.
+	TrustedEK string
+	// SpamWords raise the content score.
+	SpamWords []string
+}
+
+// Score rates a message in [0, 1]; above 0.5 is spam. A valid attestation
+// covering the message id halves the content score.
+func (c *Classifier) Score(msgID string, body string, att *Attestation) (float64, error) {
+	score := 0.1
+	for _, w := range c.SpamWords {
+		if containsFold(body, w) {
+			score += 0.3
+		}
+	}
+	if score > 1 {
+		score = 1
+	}
+	if att == nil {
+		return score, nil
+	}
+	labels, err := kernel.VerifyExternalLabels(att.Cert, c.TrustedEK)
+	if err != nil {
+		return score, fmt.Errorf("notabot: attestation rejected: %w", err)
+	}
+	// The innermost statement must cover this message id.
+	inner := labels[1]
+	for {
+		s, ok := inner.(nal.Says)
+		if !ok {
+			break
+		}
+		inner = s.F
+	}
+	p, ok := inner.(nal.Pred)
+	if !ok || p.Name != "humanInput" || len(p.Args) != 2 || !p.Args[0].EqualTerm(nal.Str(msgID)) {
+		return score, ErrStale
+	}
+	return score / 2, nil
+}
+
+func containsFold(haystack, needle string) bool {
+	h := []rune(haystack)
+	n := []rune(needle)
+	if len(n) == 0 || len(h) < len(n) {
+		return false
+	}
+	lower := func(r rune) rune {
+		if 'A' <= r && r <= 'Z' {
+			return r + 32
+		}
+		return r
+	}
+outer:
+	for i := 0; i+len(n) <= len(h); i++ {
+		for j := range n {
+			if lower(h[i+j]) != lower(n[j]) {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// TypeHuman simulates a user typing the message body, generating one
+// keypress per rune with the driver.
+func TypeHuman(d *KeyboardDriver, body string) {
+	for range body {
+		d.KeyPress()
+	}
+}

@@ -1,0 +1,103 @@
+package notabot
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/kernel"
+	"repro/internal/tpm"
+)
+
+func world(t *testing.T) (*kernel.Kernel, *KeyboardDriver, *Classifier) {
+	t.Helper()
+	tp, err := tpm.Manufacture(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := kernel.Boot(tp, disk.New(), kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewKeyboardDriver(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Classifier{TrustedEK: tp.EKFingerprint(), SpamWords: []string{"viagra", "lottery"}}
+	return k, d, c
+}
+
+func TestHumanMessageScoresLower(t *testing.T) {
+	_, d, c := world(t)
+	body := "hello, want to win the lottery?"
+	TypeHuman(d, body)
+	att, err := d.Attest("msg-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if att.Presses != len([]rune(body)) {
+		t.Errorf("presses = %d", att.Presses)
+	}
+	human, err := c.Score("msg-1", body, att)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bot, _ := c.Score("msg-1", body, nil)
+	if human >= bot {
+		t.Errorf("attested score %f should beat unattested %f", human, bot)
+	}
+}
+
+func TestBotCannotAttest(t *testing.T) {
+	_, d, _ := world(t)
+	if _, err := d.Attest("bot-msg"); !errors.Is(err, ErrNoActivity) {
+		t.Errorf("want ErrNoActivity, got %v", err)
+	}
+}
+
+func TestAttestationBoundToMessage(t *testing.T) {
+	_, d, c := world(t)
+	TypeHuman(d, "legit")
+	att, err := d.Attest("msg-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replaying the attestation on a different message fails.
+	if _, err := c.Score("msg-B", "spam body", att); !errors.Is(err, ErrStale) {
+		t.Errorf("want ErrStale, got %v", err)
+	}
+}
+
+func TestAttestationFromWrongPlatformRejected(t *testing.T) {
+	_, d, _ := world(t)
+	TypeHuman(d, "hello")
+	att, err := d.Attest("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Classifier{TrustedEK: "deadbeef"}
+	if _, err := c.Score("m", "hello", att); err == nil {
+		t.Error("foreign platform attestation must be rejected")
+	}
+}
+
+func TestPressesConsumedPerAttestation(t *testing.T) {
+	_, d, _ := world(t)
+	TypeHuman(d, "abc")
+	if _, err := d.Attest("m1"); err != nil {
+		t.Fatal(err)
+	}
+	// Counter was consumed: a second attestation without typing fails.
+	if _, err := d.Attest("m2"); !errors.Is(err, ErrNoActivity) {
+		t.Errorf("want ErrNoActivity, got %v", err)
+	}
+}
+
+func TestSpamWordsRaiseScore(t *testing.T) {
+	_, _, c := world(t)
+	low, _ := c.Score("m", "regular business email", nil)
+	high, _ := c.Score("m", "VIAGRA lottery special", nil)
+	if high <= low {
+		t.Errorf("spam words: %f vs %f", high, low)
+	}
+}

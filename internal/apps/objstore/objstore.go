@@ -1,0 +1,186 @@
+// Package objstore implements the §4 Java-object-store scenario: transitive
+// integrity verification. Deserializing untrusted bytes normally requires
+// re-checking every type invariant; when the producer can present a label
+// that it is a typesafe runtime upholding the same invariants, the consumer
+// skips those checks. The package implements both the checked (slow) and
+// trusting (fast) deserialization paths, and the label plumbing to choose
+// safely between them.
+package objstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/nal"
+	"repro/internal/nal/proof"
+)
+
+// Errors.
+var (
+	ErrCorrupt   = errors.New("objstore: object violates type invariants")
+	ErrNoLabel   = errors.New("objstore: producer lacks typesafety credential")
+	ErrTruncated = errors.New("objstore: truncated record")
+)
+
+// Object is the stored record type: a string table plus index fields whose
+// invariants (indices in range, lengths consistent, UTF-8-clean strings)
+// model Java's deserialization checks.
+type Object struct {
+	Strings []string
+	Refs    []uint32 // each must index Strings
+}
+
+// Marshal serializes an object.
+func Marshal(o *Object) []byte {
+	var buf []byte
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(o.Strings)))
+	buf = append(buf, n[:]...)
+	for _, s := range o.Strings {
+		binary.BigEndian.PutUint32(n[:], uint32(len(s)))
+		buf = append(buf, n[:]...)
+		buf = append(buf, s...)
+	}
+	binary.BigEndian.PutUint32(n[:], uint32(len(o.Refs)))
+	buf = append(buf, n[:]...)
+	for _, r := range o.Refs {
+		binary.BigEndian.PutUint32(n[:], r)
+		buf = append(buf, n[:]...)
+	}
+	return buf
+}
+
+// unmarshalRaw decodes without invariant checks — the fast path.
+func unmarshalRaw(data []byte) (*Object, []byte, error) {
+	next := func() (uint32, error) {
+		if len(data) < 4 {
+			return 0, ErrTruncated
+		}
+		v := binary.BigEndian.Uint32(data)
+		data = data[4:]
+		return v, nil
+	}
+	o := &Object{}
+	ns, err := next()
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := uint32(0); i < ns; i++ {
+		ln, err := next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if uint32(len(data)) < ln {
+			return nil, nil, ErrTruncated
+		}
+		o.Strings = append(o.Strings, string(data[:ln]))
+		data = data[ln:]
+	}
+	nr, err := next()
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := uint32(0); i < nr; i++ {
+		r, err := next()
+		if err != nil {
+			return nil, nil, err
+		}
+		o.Refs = append(o.Refs, r)
+	}
+	return o, data, nil
+}
+
+// Validate performs the full dynamic type-invariant check (the per-byte
+// sanity checking the paper calls "the slow parts").
+func Validate(o *Object) error {
+	for _, r := range o.Refs {
+		if int(r) >= len(o.Strings) {
+			return fmt.Errorf("%w: ref %d out of range", ErrCorrupt, r)
+		}
+	}
+	for i, s := range o.Strings {
+		for _, c := range []byte(s) {
+			if c == 0 {
+				return fmt.Errorf("%w: string %d contains NUL", ErrCorrupt, i)
+			}
+		}
+	}
+	return nil
+}
+
+// Producer writes objects and, if it is a certified typesafe runtime,
+// carries the credential to prove it.
+type Producer struct {
+	Prin  nal.Principal
+	Creds []nal.Formula // e.g. TypeChecker says isTypeSafe(producer)
+}
+
+// Record is a stored object with provenance.
+type Record struct {
+	Producer nal.Principal
+	Data     []byte
+}
+
+// Put serializes an object under the producer's identity. A typesafe
+// producer never emits invariant-violating records; Put enforces that,
+// modeling the runtime's own type system.
+func (p *Producer) Put(o *Object) (*Record, error) {
+	if err := Validate(o); err != nil {
+		return nil, err
+	}
+	return &Record{Producer: p.Prin, Data: Marshal(o)}, nil
+}
+
+// Consumer deserializes records, choosing the fast path when the producer
+// carries an isTypeSafe credential from a checker this consumer trusts.
+type Consumer struct {
+	// TrustedCheckers are principals whose isTypeSafe statements we accept.
+	TrustedCheckers []nal.Principal
+	// ChecksSkipped counts fast-path deserializations, for the benchmark.
+	ChecksSkipped int
+	// ChecksRun counts slow-path deserializations.
+	ChecksRun int
+}
+
+// typesafeGoal is "checker says isTypeSafe(producer)" for any trusted
+// checker.
+func (c *Consumer) typesafeGoal(producer nal.Principal) []nal.Formula {
+	goals := make([]nal.Formula, 0, len(c.TrustedCheckers))
+	for _, ch := range c.TrustedCheckers {
+		goals = append(goals, nal.Says{P: ch, F: nal.Pred{
+			Name: "isTypeSafe",
+			Args: []nal.Term{nal.PrinTerm{P: producer}},
+		}})
+	}
+	return goals
+}
+
+// Get deserializes a record. With a valid typesafety proof the invariant
+// checks are skipped (transitive integrity verification); otherwise the
+// full validation runs.
+func (c *Consumer) Get(r *Record, creds []nal.Formula) (*Object, error) {
+	o, rest, err := unmarshalRaw(r.Data)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, ErrTruncated
+	}
+	for _, goal := range c.typesafeGoal(r.Producer) {
+		d := &proof.Deriver{Creds: creds}
+		pf, derr := d.Derive(goal)
+		if derr != nil {
+			continue
+		}
+		if _, cerr := proof.Check(pf, goal, &proof.Env{Credentials: creds}); cerr == nil {
+			c.ChecksSkipped++
+			return o, nil
+		}
+	}
+	c.ChecksRun++
+	if err := Validate(o); err != nil {
+		return nil, err
+	}
+	return o, nil
+}

@@ -1,0 +1,153 @@
+package objstore
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nal"
+)
+
+var (
+	checker  = nal.Name("TypeChecker")
+	jvmPrin  = nal.Name("jvm-a")
+	evilPrin = nal.Name("native-writer")
+)
+
+func typesafeCred(p nal.Principal) nal.Formula {
+	return nal.Says{P: checker, F: nal.Pred{
+		Name: "isTypeSafe",
+		Args: []nal.Term{nal.PrinTerm{P: p}},
+	}}
+}
+
+func TestFastPathWithCredential(t *testing.T) {
+	prod := &Producer{Prin: jvmPrin}
+	rec, err := prod.Put(&Object{Strings: []string{"a", "b"}, Refs: []uint32{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Consumer{TrustedCheckers: []nal.Principal{checker}}
+	creds := []nal.Formula{typesafeCred(jvmPrin)}
+	o, err := c.Get(rec, creds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Strings) != 2 || c.ChecksSkipped != 1 || c.ChecksRun != 0 {
+		t.Errorf("fast path not taken: skipped=%d run=%d", c.ChecksSkipped, c.ChecksRun)
+	}
+}
+
+func TestSlowPathWithoutCredential(t *testing.T) {
+	prod := &Producer{Prin: evilPrin}
+	rec, err := prod.Put(&Object{Strings: []string{"x"}, Refs: []uint32{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Consumer{TrustedCheckers: []nal.Principal{checker}}
+	if _, err := c.Get(rec, nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.ChecksRun != 1 || c.ChecksSkipped != 0 {
+		t.Errorf("slow path not taken: skipped=%d run=%d", c.ChecksSkipped, c.ChecksRun)
+	}
+}
+
+func TestCorruptRecordCaughtOnSlowPath(t *testing.T) {
+	// A hand-forged record with an out-of-range ref.
+	bad := &Record{Producer: evilPrin, Data: Marshal(&Object{
+		Strings: []string{"a"}, Refs: []uint32{7},
+	})}
+	c := &Consumer{TrustedCheckers: []nal.Principal{checker}}
+	if _, err := c.Get(bad, nil); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestCredentialForWrongProducerIgnored(t *testing.T) {
+	bad := &Record{Producer: evilPrin, Data: Marshal(&Object{
+		Strings: []string{"a"}, Refs: []uint32{7},
+	})}
+	c := &Consumer{TrustedCheckers: []nal.Principal{checker}}
+	// A typesafety credential for a DIFFERENT producer must not enable the
+	// fast path for this record.
+	creds := []nal.Formula{typesafeCred(jvmPrin)}
+	if _, err := c.Get(bad, creds); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestUntrustedCheckerIgnored(t *testing.T) {
+	quack := nal.Name("QuackChecker")
+	rec := &Record{Producer: evilPrin, Data: Marshal(&Object{
+		Strings: []string{"a"}, Refs: []uint32{7},
+	})}
+	c := &Consumer{TrustedCheckers: []nal.Principal{checker}}
+	creds := []nal.Formula{
+		nal.Says{P: quack, F: nal.Pred{Name: "isTypeSafe", Args: []nal.Term{nal.PrinTerm{P: evilPrin}}}},
+	}
+	if _, err := c.Get(rec, creds); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("untrusted checker honored: %v", err)
+	}
+}
+
+func TestProducerRefusesInvalidObjects(t *testing.T) {
+	prod := &Producer{Prin: jvmPrin}
+	if _, err := prod.Put(&Object{Strings: []string{"a"}, Refs: []uint32{5}}); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("typesafe producer must not emit corrupt objects: %v", err)
+	}
+}
+
+func TestTruncatedRecords(t *testing.T) {
+	prod := &Producer{Prin: jvmPrin}
+	rec, _ := prod.Put(&Object{Strings: []string{"abc"}, Refs: []uint32{0}})
+	c := &Consumer{}
+	for cut := 1; cut < len(rec.Data); cut += 3 {
+		r := &Record{Producer: jvmPrin, Data: rec.Data[:cut]}
+		if _, err := c.Get(r, nil); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestQuickMarshalRoundTrip(t *testing.T) {
+	prop := func(ss []string, nrefs uint8) bool {
+		if len(ss) == 0 {
+			ss = []string{"x"}
+		}
+		for i := range ss {
+			// Strip NULs so Validate passes.
+			b := []byte(ss[i])
+			for j := range b {
+				if b[j] == 0 {
+					b[j] = 1
+				}
+			}
+			ss[i] = string(b)
+		}
+		refs := make([]uint32, int(nrefs)%8)
+		for i := range refs {
+			refs[i] = uint32(i % len(ss))
+		}
+		o := &Object{Strings: ss, Refs: refs}
+		prod := &Producer{Prin: jvmPrin}
+		rec, err := prod.Put(o)
+		if err != nil {
+			return false
+		}
+		c := &Consumer{}
+		back, err := c.Get(rec, nil)
+		if err != nil || len(back.Strings) != len(ss) || len(back.Refs) != len(refs) {
+			return false
+		}
+		for i := range ss {
+			if back.Strings[i] != ss[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,189 @@
+// Package trudocs implements the §4 TruDocs document display system: it
+// certifies that an excerpt speaks for its source document under a use
+// policy. Supported policies admit typecase changes, replacing contiguous
+// text with ellipses, and inserting editorial comments in square brackets,
+// while limiting the length and total number of excerpts.
+package trudocs
+
+import (
+	"crypto/sha1"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"unicode"
+
+	"repro/internal/kernel"
+	"repro/internal/nal"
+)
+
+// Errors.
+var (
+	ErrNotDerivable = errors.New("trudocs: excerpt is not a permitted rendition of the source")
+	ErrQuota        = errors.New("trudocs: excerpt quota exhausted")
+	ErrTooLong      = errors.New("trudocs: excerpt exceeds length limit")
+)
+
+// Policy limits how excerpts may be derived.
+type Policy struct {
+	// MaxExcerpts bounds the number of certified excerpts per document.
+	MaxExcerpts int
+	// MaxLen bounds each excerpt's rune length (0 = unlimited).
+	MaxLen int
+	// AllowCaseChange admits typecase-insensitive matching.
+	AllowCaseChange bool
+	// AllowEllipsis admits "..." standing for elided source text.
+	AllowEllipsis bool
+	// AllowComments admits inserted "[editorial comments]".
+	AllowComments bool
+}
+
+// Service issues excerpt certificates on behalf of a document-display
+// process.
+type Service struct {
+	proc   *kernel.Process
+	policy Policy
+
+	mu     sync.Mutex
+	issued map[string]int // document hash → excerpts issued
+}
+
+// New launches the TruDocs service.
+func New(k *kernel.Kernel, policy Policy) (*Service, error) {
+	p, err := k.CreateProcess(0, []byte("trudocs"))
+	if err != nil {
+		return nil, err
+	}
+	return &Service{proc: p, policy: policy, issued: map[string]int{}}, nil
+}
+
+// Prin returns the service principal.
+func (s *Service) Prin() nal.Principal { return s.proc.Prin }
+
+// DocHash names a document by content hash.
+func DocHash(doc string) string {
+	sum := sha1.Sum([]byte(doc))
+	return hex.EncodeToString(sum[:])
+}
+
+// Certify checks the excerpt against the source under the policy and, on
+// success, issues the label
+// "trudocs says excerptSpeaksFor(hash(excerpt), hash(doc))".
+func (s *Service) Certify(doc, excerpt string) (*kernel.Label, error) {
+	if s.policy.MaxLen > 0 && len([]rune(excerpt)) > s.policy.MaxLen {
+		return nil, ErrTooLong
+	}
+	dh := DocHash(doc)
+	s.mu.Lock()
+	if s.policy.MaxExcerpts > 0 && s.issued[dh] >= s.policy.MaxExcerpts {
+		s.mu.Unlock()
+		return nil, ErrQuota
+	}
+	s.mu.Unlock()
+	if !derivable(doc, excerpt, s.policy) {
+		return nil, ErrNotDerivable
+	}
+	stmt := nal.Pred{Name: "excerptSpeaksFor", Args: []nal.Term{
+		nal.Atom("hash:" + DocHash(excerpt)),
+		nal.Atom("hash:" + dh),
+	}}
+	l, err := s.proc.Labels.SayFormula(stmt)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.issued[dh]++
+	s.mu.Unlock()
+	return l, nil
+}
+
+// derivable decides whether excerpt can be produced from doc using only the
+// policy's permitted operations. The excerpt is split into segments at
+// ellipses and comments; text segments must appear in the source in order.
+func derivable(doc, excerpt string, p Policy) bool {
+	norm := func(s string) string {
+		if p.AllowCaseChange {
+			return strings.Map(unicode.ToLower, s)
+		}
+		return s
+	}
+	src := norm(doc)
+	segs, ok := segments(excerpt, p)
+	if !ok {
+		return false
+	}
+	pos := 0
+	for i, seg := range segs {
+		seg = norm(seg)
+		if seg == "" {
+			continue
+		}
+		idx := strings.Index(src[pos:], seg)
+		if idx < 0 {
+			return false
+		}
+		// Without the ellipsis permission, consecutive segments must be
+		// contiguous in the source (only one segment can exist then, since
+		// segments only arise at ellipses/comments — but keep the check
+		// for defense in depth).
+		if !p.AllowEllipsis && i > 0 && idx != 0 {
+			return false
+		}
+		pos += idx + len(seg)
+	}
+	return true
+}
+
+// segments splits the excerpt at "..." and "[...]" insertions according to
+// the policy, returning the literal text runs that must match the source.
+func segments(excerpt string, p Policy) ([]string, bool) {
+	var segs []string
+	cur := strings.Builder{}
+	i := 0
+	for i < len(excerpt) {
+		switch {
+		case strings.HasPrefix(excerpt[i:], "..."):
+			if !p.AllowEllipsis {
+				return nil, false
+			}
+			segs = append(segs, cur.String())
+			cur.Reset()
+			i += 3
+		case excerpt[i] == '[':
+			if !p.AllowComments {
+				return nil, false
+			}
+			end := strings.IndexByte(excerpt[i:], ']')
+			if end < 0 {
+				return nil, false
+			}
+			segs = append(segs, cur.String())
+			cur.Reset()
+			i += end + 1
+		case excerpt[i] == ']':
+			return nil, false
+		default:
+			cur.WriteByte(excerpt[i])
+			i++
+		}
+	}
+	segs = append(segs, cur.String())
+	// Trim whitespace around segment boundaries introduced by elisions.
+	for j := range segs {
+		segs[j] = strings.TrimSpace(segs[j])
+	}
+	return segs, true
+}
+
+// Verify checks a certified excerpt label against concrete texts.
+func Verify(label nal.Formula, service nal.Principal, doc, excerpt string) error {
+	want := nal.Says{P: service, F: nal.Pred{Name: "excerptSpeaksFor", Args: []nal.Term{
+		nal.Atom("hash:" + DocHash(excerpt)),
+		nal.Atom("hash:" + DocHash(doc)),
+	}}}
+	if !label.Equal(nal.Formula(want)) {
+		return fmt.Errorf("%w: label %q does not match texts", ErrNotDerivable, label)
+	}
+	return nil
+}

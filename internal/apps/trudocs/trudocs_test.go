@@ -1,0 +1,121 @@
+package trudocs
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/kernel"
+	"repro/internal/tpm"
+)
+
+const doc = "The committee found no evidence of wrongdoing. However, " +
+	"the committee found the accounting practices questionable."
+
+func service(t *testing.T, p Policy) *Service {
+	t.Helper()
+	tp, err := tpm.Manufacture(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := kernel.Boot(tp, disk.New(), kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(k, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func allowAll() Policy {
+	return Policy{AllowCaseChange: true, AllowEllipsis: true, AllowComments: true}
+}
+
+func TestVerbatimExcerpt(t *testing.T) {
+	s := service(t, Policy{})
+	l, err := s.Certify(doc, "The committee found no evidence of wrongdoing.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(l.Formula, s.Prin(), doc, "The committee found no evidence of wrongdoing."); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEllipsisExcerpt(t *testing.T) {
+	s := service(t, allowAll())
+	if _, err := s.Certify(doc, "The committee found ... the accounting practices questionable."); err != nil {
+		t.Errorf("ellipsis excerpt: %v", err)
+	}
+	// Without the permission, the same excerpt is refused.
+	s2 := service(t, Policy{})
+	if _, err := s2.Certify(doc, "The committee found ... questionable."); !errors.Is(err, ErrNotDerivable) {
+		t.Errorf("want ErrNotDerivable, got %v", err)
+	}
+}
+
+func TestMeaningDistortionRefused(t *testing.T) {
+	s := service(t, allowAll())
+	// Reordering that reverses meaning: "questionable ... no evidence".
+	if _, err := s.Certify(doc, "questionable ... no evidence of wrongdoing"); !errors.Is(err, ErrNotDerivable) {
+		t.Errorf("out-of-order splice accepted: %v", err)
+	}
+	// Fabricated text.
+	if _, err := s.Certify(doc, "The committee found extensive fraud"); !errors.Is(err, ErrNotDerivable) {
+		t.Errorf("fabrication accepted: %v", err)
+	}
+}
+
+func TestEditorialComments(t *testing.T) {
+	s := service(t, allowAll())
+	if _, err := s.Certify(doc, "The committee found [in 2011] no evidence of wrongdoing."); err != nil {
+		t.Errorf("bracketed comment: %v", err)
+	}
+	s2 := service(t, Policy{AllowEllipsis: true})
+	if _, err := s2.Certify(doc, "The committee [sic] found"); !errors.Is(err, ErrNotDerivable) {
+		t.Errorf("comments without permission: %v", err)
+	}
+}
+
+func TestCaseChange(t *testing.T) {
+	s := service(t, allowAll())
+	if _, err := s.Certify(doc, "the COMMITTEE found no evidence of wrongdoing."); err != nil {
+		t.Errorf("case change: %v", err)
+	}
+	s2 := service(t, Policy{})
+	if _, err := s2.Certify(doc, "the COMMITTEE found"); !errors.Is(err, ErrNotDerivable) {
+		t.Errorf("case change without permission: %v", err)
+	}
+}
+
+func TestQuotaAndLength(t *testing.T) {
+	s := service(t, Policy{MaxExcerpts: 2, MaxLen: 30})
+	if _, err := s.Certify(doc, "The committee found no evidence of wrongdoing."); !errors.Is(err, ErrTooLong) {
+		t.Errorf("want ErrTooLong, got %v", err)
+	}
+	if _, err := s.Certify(doc, "The committee found"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Certify(doc, "no evidence of wrongdoing"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Certify(doc, "the accounting"); !errors.Is(err, ErrQuota) {
+		t.Errorf("want ErrQuota, got %v", err)
+	}
+}
+
+func TestVerifyRejectsMismatchedTexts(t *testing.T) {
+	s := service(t, Policy{})
+	l, err := s.Certify(doc, "The committee found")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(l.Formula, s.Prin(), doc, "a different excerpt"); err == nil {
+		t.Error("mismatched excerpt verified")
+	}
+	if err := Verify(l.Formula, s.Prin(), "a different doc", "The committee found"); err == nil {
+		t.Error("mismatched document verified")
+	}
+}

@@ -1,0 +1,200 @@
+// Package cert implements the externalized, X.509-style credential format of
+// §2.4: a label "P says S" serialized with ASN.1 DER and signed with an RSA
+// key. Certificates make labels transferable beyond the secure system
+// channels of a single Nexus instance.
+//
+// Verification is uniform with the logic: a certificate whose signature
+// checks out against a public key with fingerprint f becomes the NAL label
+// "key:f says S" (with S itself usually of the nested form "kernel says
+// labelstore says process says ..."), which proofs then connect to named
+// principals via speaksfor credentials.
+package cert
+
+import (
+	"crypto"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"encoding/asn1"
+	"errors"
+	"fmt"
+	"math/big"
+	"time"
+
+	"repro/internal/nal"
+	"repro/internal/tpm"
+)
+
+// Errors returned by certificate operations.
+var (
+	ErrBadSignature = errors.New("cert: signature verification failed")
+	ErrMalformed    = errors.New("cert: malformed certificate")
+	ErrWrongKey     = errors.New("cert: certificate names a different signer")
+)
+
+// Statement is the to-be-signed content of a certificate.
+type Statement struct {
+	// Speaker is the textual NAL principal the formula is attributed to.
+	// The signer must be entitled to speak for it; verifiers enforce this
+	// by constructing the label "key:signer says Formula" and proving the
+	// attribution in NAL.
+	Speaker string
+	// Formula is the NAL formula text.
+	Formula string
+	// Serial distinguishes certificates from the same issuer.
+	Serial int64
+	// Issued records creation time. Labels are valid indefinitely (§2.7);
+	// statements that can expire must be routed through authorities, so
+	// there is deliberately no NotAfter.
+	Issued time.Time
+}
+
+// Certificate is a signed statement. The signer's public key travels with
+// the certificate so verification is self-contained; trust is decided by
+// comparing the key's fingerprint against known principals.
+type Certificate struct {
+	RawTBS    []byte // DER-encoded Statement
+	SignerKey []byte // PKCS#1 DER public key of the signer
+	Sig       []byte // RSA PKCS#1v1.5 over SHA-256(RawTBS)
+}
+
+// certSeq is the DER wire form of a Certificate.
+type certSeq struct {
+	RawTBS    []byte
+	SignerKey []byte
+	Sig       []byte
+}
+
+// stmtSeq is the DER wire form of a Statement.
+type stmtSeq struct {
+	Speaker string
+	Formula string
+	Serial  int64
+	Issued  time.Time `asn1:"generalized"`
+}
+
+// Sign creates a certificate over stmt with the given RSA key.
+func Sign(stmt Statement, key *rsa.PrivateKey) (*Certificate, error) {
+	return SignExternal(stmt, &key.PublicKey, func(digest [32]byte) ([]byte, error) {
+		return rsa.SignPKCS1v15(rand.Reader, key, crypto.SHA256, digest[:])
+	})
+}
+
+type rsaPub struct {
+	N *big.Int
+	E int
+}
+
+// SignExternal creates a certificate whose signature is produced by an
+// external signer (such as a TPM holding the private key): sign is called
+// with the SHA-256 digest of the TBS bytes and must return a PKCS#1 v1.5
+// signature by the private half of pub.
+func SignExternal(stmt Statement, pub *rsa.PublicKey, sign func(digest [32]byte) ([]byte, error)) (*Certificate, error) {
+	if _, err := nal.Parse(stmt.Formula); err != nil {
+		return nil, fmt.Errorf("cert: refusing to sign unparseable formula: %w", err)
+	}
+	tbs, err := asn1.Marshal(stmtSeq{
+		Speaker: stmt.Speaker,
+		Formula: stmt.Formula,
+		Serial:  stmt.Serial,
+		Issued:  stmt.Issued.UTC().Truncate(time.Second),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cert: encoding statement: %w", err)
+	}
+	sig, err := sign(sha256.Sum256(tbs))
+	if err != nil {
+		return nil, fmt.Errorf("cert: external signer: %w", err)
+	}
+	pubDER, err := asn1.Marshal(rsaPub{N: pub.N, E: pub.E})
+	if err != nil {
+		return nil, fmt.Errorf("cert: encoding public key: %w", err)
+	}
+	return &Certificate{RawTBS: tbs, SignerKey: pubDER, Sig: sig}, nil
+}
+
+// Statement decodes the signed content.
+func (c *Certificate) Statement() (Statement, error) {
+	var s stmtSeq
+	if rest, err := asn1.Unmarshal(c.RawTBS, &s); err != nil || len(rest) != 0 {
+		return Statement{}, ErrMalformed
+	}
+	return Statement{Speaker: s.Speaker, Formula: s.Formula, Serial: s.Serial, Issued: s.Issued}, nil
+}
+
+// SignerPublic returns the embedded signer public key.
+func (c *Certificate) SignerPublic() (*rsa.PublicKey, error) {
+	var p rsaPub
+	if rest, err := asn1.Unmarshal(c.SignerKey, &p); err != nil || len(rest) != 0 {
+		return nil, ErrMalformed
+	}
+	return &rsa.PublicKey{N: p.N, E: p.E}, nil
+}
+
+// Verify checks the signature against the embedded key and returns the
+// signer's fingerprint.
+func (c *Certificate) Verify() (string, error) {
+	pub, err := c.SignerPublic()
+	if err != nil {
+		return "", err
+	}
+	digest := sha256.Sum256(c.RawTBS)
+	if err := rsa.VerifyPKCS1v15(pub, crypto.SHA256, digest[:], c.Sig); err != nil {
+		return "", ErrBadSignature
+	}
+	return tpm.Fingerprint(pub), nil
+}
+
+// VerifyAgainst checks the signature and additionally requires the signer to
+// be the given key.
+func (c *Certificate) VerifyAgainst(pub *rsa.PublicKey) error {
+	id, err := c.Verify()
+	if err != nil {
+		return err
+	}
+	if id != tpm.Fingerprint(pub) {
+		return ErrWrongKey
+	}
+	return nil
+}
+
+// ToLabel verifies the certificate and converts it into the NAL label
+// "key:<signer-fingerprint> says (<speaker> says <formula>)", the form a
+// guard imports into a proof environment. If the statement's Speaker is
+// empty the signer speaks directly: "key:<fp> says <formula>".
+func (c *Certificate) ToLabel() (nal.Formula, error) {
+	fp, err := c.Verify()
+	if err != nil {
+		return nil, err
+	}
+	st, err := c.Statement()
+	if err != nil {
+		return nil, err
+	}
+	body, err := nal.Parse(st.Formula)
+	if err != nil {
+		return nil, fmt.Errorf("cert: %w: bad formula: %v", ErrMalformed, err)
+	}
+	if st.Speaker != "" {
+		sp, err := nal.ParsePrincipal(st.Speaker)
+		if err != nil {
+			return nil, fmt.Errorf("cert: %w: bad speaker: %v", ErrMalformed, err)
+		}
+		body = nal.Says{P: sp, F: body}
+	}
+	return nal.Says{P: nal.Key(fp), F: body}, nil
+}
+
+// Marshal encodes the certificate to DER.
+func (c *Certificate) Marshal() ([]byte, error) {
+	return asn1.Marshal(certSeq{RawTBS: c.RawTBS, SignerKey: c.SignerKey, Sig: c.Sig})
+}
+
+// Unmarshal decodes a DER certificate.
+func Unmarshal(der []byte) (*Certificate, error) {
+	var s certSeq
+	if rest, err := asn1.Unmarshal(der, &s); err != nil || len(rest) != 0 {
+		return nil, ErrMalformed
+	}
+	return &Certificate{RawTBS: s.RawTBS, SignerKey: s.SignerKey, Sig: s.Sig}, nil
+}

@@ -1,0 +1,166 @@
+package cert
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/nal"
+	"repro/internal/tpm"
+)
+
+func key(t *testing.T) *rsa.PrivateKey {
+	t.Helper()
+	k, err := rsa.GenerateKey(rand.Reader, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	k := key(t)
+	stmt := Statement{
+		Speaker: "nexus.labelstore.ipd.12",
+		Formula: "isTypeSafe(hash:ab12)",
+		Serial:  7,
+		Issued:  time.Date(2026, 6, 1, 12, 0, 0, 0, time.UTC),
+	}
+	c, err := Sign(stmt, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := c.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != tpm.Fingerprint(&k.PublicKey) {
+		t.Errorf("fingerprint mismatch: %s", fp)
+	}
+	back, err := c.Statement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Speaker != stmt.Speaker || back.Formula != stmt.Formula || back.Serial != stmt.Serial {
+		t.Errorf("statement round trip changed: %+v", back)
+	}
+	if !back.Issued.Equal(stmt.Issued) {
+		t.Errorf("issued time changed: %v", back.Issued)
+	}
+	if err := c.VerifyAgainst(&k.PublicKey); err != nil {
+		t.Errorf("VerifyAgainst: %v", err)
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	k := key(t)
+	c, err := Sign(Statement{Formula: "ok", Serial: 1, Issued: time.Now()}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RawTBS[len(c.RawTBS)-1] ^= 0x01
+	if _, err := c.Verify(); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("want ErrBadSignature, got %v", err)
+	}
+}
+
+func TestVerifyAgainstWrongKey(t *testing.T) {
+	k1, k2 := key(t), key(t)
+	c, err := Sign(Statement{Formula: "ok", Issued: time.Now()}, k1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifyAgainst(&k2.PublicKey); !errors.Is(err, ErrWrongKey) {
+		t.Errorf("want ErrWrongKey, got %v", err)
+	}
+}
+
+func TestSignRejectsBadFormula(t *testing.T) {
+	if _, err := Sign(Statement{Formula: "((("}, key(t)); err == nil {
+		t.Error("unparseable formula must be rejected")
+	}
+}
+
+func TestToLabel(t *testing.T) {
+	k := key(t)
+	fp := tpm.Fingerprint(&k.PublicKey)
+	c, err := Sign(Statement{
+		Speaker: "nexus.ipd.12",
+		Formula: "openFile(\"/dir/file\")",
+		Issued:  time.Now(),
+	}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	label, err := c.ToLabel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := nal.MustParse("key:" + fp + " says nexus.ipd.12 says openFile(\"/dir/file\")")
+	if !label.Equal(want) {
+		t.Errorf("ToLabel = %q, want %q", label, want)
+	}
+
+	// Empty speaker: signer speaks directly.
+	c2, _ := Sign(Statement{Formula: "ok", Issued: time.Now()}, k)
+	l2, err := c2.ToLabel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l2.Equal(nal.MustParse("key:" + fp + " says ok")) {
+		t.Errorf("ToLabel = %q", l2)
+	}
+}
+
+func TestMarshalUnmarshal(t *testing.T) {
+	k := key(t)
+	c, err := Sign(Statement{Speaker: "a.b", Formula: "x and y", Serial: 3, Issued: time.Now()}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	der, err := c.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Unmarshal(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Verify(); err != nil {
+		t.Errorf("verify after round trip: %v", err)
+	}
+	if _, err := Unmarshal(der[:len(der)-2]); !errors.Is(err, ErrMalformed) {
+		t.Errorf("truncated DER: want ErrMalformed, got %v", err)
+	}
+	if _, err := Unmarshal(append(der, 0)); !errors.Is(err, ErrMalformed) {
+		t.Errorf("trailing DER: want ErrMalformed, got %v", err)
+	}
+}
+
+func TestQuickSerialAndFormulaSurvive(t *testing.T) {
+	k := key(t)
+	preds := []string{"a", "b", "ready", "safe(x)", "p(1, 2)"}
+	prop := func(serial int64, pi uint8) bool {
+		formula := preds[int(pi)%len(preds)]
+		c, err := Sign(Statement{Formula: formula, Serial: serial, Issued: time.Now()}, k)
+		if err != nil {
+			return false
+		}
+		der, err := c.Marshal()
+		if err != nil {
+			return false
+		}
+		c2, err := Unmarshal(der)
+		if err != nil {
+			return false
+		}
+		st, err := c2.Statement()
+		return err == nil && st.Serial == serial && st.Formula == formula
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

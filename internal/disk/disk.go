@@ -1,0 +1,116 @@
+// Package disk simulates the secondary storage device backing a Nexus
+// installation: a flat store of named byte regions with write-failure
+// injection for crash testing, plus snapshot/restore to model an attacker
+// re-imaging the disk while the machine is powered down (the replay attack
+// that the SSR layer must detect, §3.3).
+package disk
+
+import (
+	"errors"
+	"sort"
+	"sync"
+)
+
+// ErrNotFound is returned when reading an absent file.
+var ErrNotFound = errors.New("disk: file not found")
+
+// ErrInjectedFailure is returned by writes after the injected failure point
+// has been reached, simulating a power loss mid-update.
+var ErrInjectedFailure = errors.New("disk: injected write failure")
+
+// Disk is a simulated secondary storage device. All methods are safe for
+// concurrent use. The zero value is not usable; call New.
+type Disk struct {
+	mu        sync.Mutex
+	files     map[string][]byte
+	failAfter int // writes remaining until failure; -1 disables injection
+	writes    int
+}
+
+// New creates an empty disk.
+func New() *Disk {
+	return &Disk{files: map[string][]byte{}, failAfter: -1}
+}
+
+// Write stores data under name, replacing any previous contents.
+func (d *Disk) Write(name string, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failAfter == 0 {
+		return ErrInjectedFailure
+	}
+	if d.failAfter > 0 {
+		d.failAfter--
+	}
+	d.writes++
+	d.files[name] = append([]byte(nil), data...)
+	return nil
+}
+
+// Read returns a copy of the contents of name.
+func (d *Disk) Read(name string) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	data, ok := d.files[name]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// Delete removes name; deleting an absent file is not an error.
+func (d *Disk) Delete(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.files, name)
+}
+
+// List returns the stored names in sorted order.
+func (d *Disk) List() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	names := make([]string, 0, len(d.files))
+	for n := range d.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Writes reports the number of successful writes, for protocol tests.
+func (d *Disk) Writes() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.writes
+}
+
+// FailAfter arranges for writes to fail once n more writes have completed
+// (n = 0 fails the next write). Pass a negative n to disable injection.
+func (d *Disk) FailAfter(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failAfter = n
+}
+
+// Snapshot captures the full disk image, as an attacker duplicating the disk
+// would.
+func (d *Disk) Snapshot() map[string][]byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	img := make(map[string][]byte, len(d.files))
+	for n, b := range d.files {
+		img[n] = append([]byte(nil), b...)
+	}
+	return img
+}
+
+// Restore replaces the disk contents with a previously captured image — the
+// replay attack of §3.3.
+func (d *Disk) Restore(img map[string][]byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.files = make(map[string][]byte, len(img))
+	for n, b := range img {
+		d.files[n] = append([]byte(nil), b...)
+	}
+}

@@ -1,0 +1,107 @@
+package disk
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteDelete(t *testing.T) {
+	d := New()
+	if _, err := d.Read("/x"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("want ErrNotFound, got %v", err)
+	}
+	if err := d.Write("/x", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Read("/x")
+	if err != nil || string(got) != "v1" {
+		t.Errorf("Read = %q, %v", got, err)
+	}
+	// Returned slice is a copy; mutating it must not affect the store.
+	got[0] = 'X'
+	again, _ := d.Read("/x")
+	if string(again) != "v1" {
+		t.Error("Read aliases internal buffer")
+	}
+	d.Delete("/x")
+	if _, err := d.Read("/x"); !errors.Is(err, ErrNotFound) {
+		t.Error("delete did not remove file")
+	}
+	d.Delete("/x") // idempotent
+}
+
+func TestList(t *testing.T) {
+	d := New()
+	d.Write("/b", nil)
+	d.Write("/a", nil)
+	names := d.List()
+	if len(names) != 2 || names[0] != "/a" || names[1] != "/b" {
+		t.Errorf("List = %v", names)
+	}
+}
+
+func TestFailureInjection(t *testing.T) {
+	d := New()
+	d.FailAfter(2)
+	if err := d.Write("/1", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write("/2", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write("/3", nil); !errors.Is(err, ErrInjectedFailure) {
+		t.Errorf("want ErrInjectedFailure, got %v", err)
+	}
+	// Still failing until disabled.
+	if err := d.Write("/4", nil); !errors.Is(err, ErrInjectedFailure) {
+		t.Errorf("want ErrInjectedFailure, got %v", err)
+	}
+	d.FailAfter(-1)
+	if err := d.Write("/5", nil); err != nil {
+		t.Errorf("after reset: %v", err)
+	}
+	if d.Writes() != 3 {
+		t.Errorf("Writes = %d, want 3", d.Writes())
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	d := New()
+	d.Write("/x", []byte("old"))
+	img := d.Snapshot()
+	d.Write("/x", []byte("new"))
+	d.Write("/y", []byte("extra"))
+	d.Restore(img)
+	got, _ := d.Read("/x")
+	if string(got) != "old" {
+		t.Errorf("restored /x = %q", got)
+	}
+	if _, err := d.Read("/y"); !errors.Is(err, ErrNotFound) {
+		t.Error("restore kept post-snapshot file")
+	}
+	// Snapshot is deep: mutating it doesn't touch the disk.
+	img["/x"][0] = 'X'
+	got, _ = d.Read("/x")
+	if string(got) != "old" {
+		t.Error("snapshot aliases disk buffers")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	d := New()
+	prop := func(name string, data []byte) bool {
+		if name == "" {
+			name = "f"
+		}
+		if err := d.Write(name, data); err != nil {
+			return false
+		}
+		got, err := d.Read(name)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,212 @@
+package fauxbook
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/fsys"
+	"repro/internal/guard"
+	"repro/internal/kernel"
+	"repro/internal/nal"
+	"repro/internal/tpm"
+)
+
+func deploy(t *testing.T, tenant string) (*kernel.Kernel, *Service) {
+	t.Helper()
+	tp, err := tpm.Manufacture(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := kernel.Boot(tp, disk.New(), kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.SetGuard(guard.New(k))
+	fs, err := fsys.New(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(k, fs, tenant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, s
+}
+
+func TestSignupLoginLogout(t *testing.T) {
+	_, s := deploy(t, DefaultTenant)
+	if err := s.Signup("alice", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Signup("alice", "pw"); !errors.Is(err, ErrUserExists) {
+		t.Errorf("want ErrUserExists, got %v", err)
+	}
+	if _, err := s.Login("alice", "wrong"); !errors.Is(err, ErrAuth) {
+		t.Errorf("want ErrAuth, got %v", err)
+	}
+	tok, err := s.Login("alice", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Post(tok, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	s.Logout(tok)
+	if err := s.Post(tok, []byte("hi")); !errors.Is(err, ErrAuth) {
+		t.Errorf("stale token: want ErrAuth, got %v", err)
+	}
+}
+
+func TestWallVisibilityFollowsGraph(t *testing.T) {
+	_, s := deploy(t, DefaultTenant)
+	for _, u := range []string{"alice", "bob", "eve"} {
+		if err := s.Signup(u, "pw"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	at, _ := s.Login("alice", "pw")
+	bt, _ := s.Login("bob", "pw")
+	et, _ := s.Login("eve", "pw")
+
+	if err := s.Post(at, []byte("alice-status-1")); err != nil {
+		t.Fatal(err)
+	}
+	// alice friends bob (alice's data may flow to bob).
+	if err := s.AddFriend(at, "bob"); err != nil {
+		t.Fatal(err)
+	}
+	// Owner sees own wall.
+	page, err := s.Wall(at, "alice")
+	if err != nil || !strings.Contains(string(page), "alice-status-1") {
+		t.Errorf("owner wall = %q, %v", page, err)
+	}
+	// Friend sees it.
+	page, err = s.Wall(bt, "alice")
+	if err != nil || !strings.Contains(string(page), "alice-status-1") {
+		t.Errorf("friend wall = %q, %v", page, err)
+	}
+	// Stranger is blocked by the flow judge.
+	if _, err := s.Wall(et, "alice"); !errors.Is(err, ErrForbidden) {
+		t.Errorf("stranger wall: want ErrForbidden, got %v", err)
+	}
+	// Friendship is directed: alice cannot see bob's wall.
+	if err := s.Post(bt, []byte("bob-secret")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Wall(at, "bob"); !errors.Is(err, ErrForbidden) {
+		t.Errorf("reverse direction: want ErrForbidden, got %v", err)
+	}
+	if friends, _ := s.Friends("alice"); len(friends) != 1 || friends[0] != "bob" {
+		t.Errorf("friend file = %v", friends)
+	}
+}
+
+func TestEvilTenantRejectedAtDeploy(t *testing.T) {
+	tp, _ := tpm.Manufacture(1024)
+	k, _ := kernel.Boot(tp, disk.New(), kernel.Options{})
+	fs, _ := fsys.New(k)
+	if _, err := New(k, fs, EvilTenant); !errors.Is(err, ErrBadTenant) {
+		t.Errorf("want ErrBadTenant, got %v", err)
+	}
+	if _, err := New(k, fs, "((("); !errors.Is(err, ErrBadTenant) {
+		t.Errorf("unparseable tenant: want ErrBadTenant, got %v", err)
+	}
+}
+
+func TestTenantLabelsPublished(t *testing.T) {
+	_, s := deploy(t, DefaultTenant)
+	labels := s.TenantLabels()
+	if len(labels) != 2 {
+		t.Fatalf("want 2 labels, got %d", len(labels))
+	}
+	joined := labels[0].String() + " " + labels[1].String()
+	if !strings.Contains(joined, "legalTenant(hash:") ||
+		!strings.Contains(joined, "reflectionSafe(hash:") {
+		t.Errorf("labels = %q", joined)
+	}
+	// Labels are attributed to the framework's labeling functions.
+	for _, l := range labels {
+		says, ok := l.(nal.Says)
+		if !ok || !nal.IsAncestor(s.FrameworkPrin(), says.P) {
+			t.Errorf("label %q not attributed to framework subprincipal", l)
+		}
+	}
+}
+
+func TestAuthoritiesAnswerLiveState(t *testing.T) {
+	k, s := deploy(t, DefaultTenant)
+	s.Signup("alice", "pw")
+	s.Signup("bob", "pw")
+	tok, _ := s.Login("alice", "pw")
+
+	// Session authority: webserver says user(token, alice).
+	q := nal.Says{P: s.SessionAuthority().Prin(), F: nal.Pred{
+		Name: "user",
+		Args: []nal.Term{nal.Str(tok), nal.Str("alice")},
+	}}
+	// The registered answer functions receive the formula as posed; pose
+	// via the kernel to exercise the attested IPC path.
+	ok, err := k.QueryAuthority(s.SessionAuthority().Channel(), nal.Formula(q))
+	if err != nil || !ok {
+		t.Errorf("session authority = %v, %v", ok, err)
+	}
+	s.Logout(tok)
+	ok, _ = k.QueryAuthority(s.SessionAuthority().Channel(), nal.Formula(q))
+	if ok {
+		t.Error("session authority must see logout immediately")
+	}
+
+	// Friend authority: framework says friend(bob, alice) after the edge
+	// appears.
+	fq := nal.Says{P: s.FriendAuthority().Prin(), F: nal.Pred{
+		Name: "friend",
+		Args: []nal.Term{nal.Str("bob"), nal.Str("alice")},
+	}}
+	ok, _ = k.QueryAuthority(s.FriendAuthority().Channel(), nal.Formula(fq))
+	if ok {
+		t.Error("no edge yet")
+	}
+	tok2, _ := s.Login("alice", "pw")
+	s.AddFriend(tok2, "bob")
+	ok, err = k.QueryAuthority(s.FriendAuthority().Channel(), nal.Formula(fq))
+	if err != nil || !ok {
+		t.Errorf("friend authority after edge = %v, %v", ok, err)
+	}
+}
+
+func TestPersistAndReloadWall(t *testing.T) {
+	_, s := deploy(t, DefaultTenant)
+	s.Signup("alice", "pw")
+	tok, _ := s.Login("alice", "pw")
+	s.Post(tok, []byte("persisted-post"))
+	if err := s.PersistWall("alice"); err != nil {
+		t.Fatal(err)
+	}
+	// Clear in-memory wall, reload from the filesystem.
+	s.mu.Lock()
+	s.users["alice"].wall = nil
+	s.mu.Unlock()
+	if err := s.LoadWall("alice"); err != nil {
+		t.Fatal(err)
+	}
+	page, err := s.Wall(tok, "alice")
+	if err != nil || !strings.Contains(string(page), "persisted-post") {
+		t.Errorf("reloaded wall = %q, %v", page, err)
+	}
+}
+
+func TestTrimTenantSlices(t *testing.T) {
+	_, s := deploy(t, TrimTenant)
+	s.Signup("alice", "pw")
+	tok, _ := s.Login("alice", "pw")
+	s.Post(tok, []byte("1234567890"))
+	page, err := s.Wall(tok, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(page)) != "12345" {
+		t.Errorf("trimmed page = %q", page)
+	}
+}

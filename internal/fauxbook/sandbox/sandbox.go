@@ -1,0 +1,432 @@
+// Package sandbox implements the Fauxbook tenant execution environment
+// (§4.1): a small interpreted language standing in for restricted Python,
+// together with the two labeling functions that make mutually distrusting
+// tenants safe to run in one address space:
+//
+//   - Analyze (analytic basis): static analysis confirming the program is
+//     syntactically legal and imports only whitelisted libraries.
+//   - Rewrite (synthetic basis): rewriting every reflection call so it
+//     cannot reach the import machinery.
+//
+// The language's data values are cobufs, so tenant code manipulates user
+// data without the ability to examine it. The one deliberately dangerous
+// construct — reflect(x, "__import__") — escapes the sandbox when executed
+// unrewritten, demonstrating why static import analysis alone is not
+// sufficient (the paper's observation about Python's rich reflection).
+package sandbox
+
+import (
+	"crypto/sha1"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/fauxbook/cobuf"
+	"repro/internal/nal"
+)
+
+// Errors.
+var (
+	ErrSyntax    = errors.New("sandbox: syntax error")
+	ErrBadImport = errors.New("sandbox: import outside whitelist")
+	ErrEscape    = errors.New("sandbox: un-rewritten reflection escaped the sandbox")
+	ErrUndefined = errors.New("sandbox: undefined variable")
+	ErrLimits    = errors.New("sandbox: execution limit exceeded")
+)
+
+// ImportWhitelist is the set of libraries tenant code may import.
+var ImportWhitelist = map[string]bool{
+	"strings": true, "social": true, "render": true,
+}
+
+// stmt kinds.
+type stmtKind int
+
+const (
+	stImport stmtKind = iota
+	stLet
+	stStore
+	stEmit
+	stReflect
+	stSafeReflect
+)
+
+type stmt struct {
+	kind stmtKind
+	// import: name; let: dst + expr; store: key + src; emit: src;
+	// reflect: dst, target var, attribute.
+	name   string
+	dst    string
+	expr   *expr
+	target string
+	attr   string
+}
+
+type exprKind int
+
+const (
+	exConcat exprKind = iota
+	exSlice
+	exLoad
+	exInput
+)
+
+type expr struct {
+	kind     exprKind
+	a, b     string
+	from, to int
+	key      string
+}
+
+// Program is a parsed tenant program.
+type Program struct {
+	Source string
+	stmts  []stmt
+}
+
+// Hash returns the program's launch-time hash (hex SHA-1).
+func (p *Program) Hash() string {
+	sum := sha1.Sum([]byte(p.Source))
+	return hex.EncodeToString(sum[:])
+}
+
+// Parse parses tenant source. One statement per line; blank lines and
+// #-comments are ignored.
+//
+//	import social
+//	let x = input("status")
+//	let y = load("wall")
+//	let z = concat(y, x)
+//	let w = slice(z, 0, 80)
+//	store("wall", z)
+//	emit(w)
+//	reflect(x, "__import__")     # the attack the rewriter neutralizes
+func Parse(src string) (*Program, error) {
+	p := &Program{Source: src}
+	for ln, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrSyntax, ln+1, err)
+		}
+		p.stmts = append(p.stmts, *s)
+	}
+	return p, nil
+}
+
+func parseLine(line string) (*stmt, error) {
+	switch {
+	case strings.HasPrefix(line, "import "):
+		name := strings.TrimSpace(line[len("import "):])
+		if name == "" || strings.ContainsAny(name, "() ,") {
+			return nil, fmt.Errorf("bad import %q", name)
+		}
+		return &stmt{kind: stImport, name: name}, nil
+	case strings.HasPrefix(line, "let "):
+		rest := line[len("let "):]
+		eq := strings.Index(rest, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("let without '='")
+		}
+		dst := strings.TrimSpace(rest[:eq])
+		if !ident(dst) {
+			return nil, fmt.Errorf("bad identifier %q", dst)
+		}
+		e, err := parseExpr(strings.TrimSpace(rest[eq+1:]))
+		if err != nil {
+			return nil, err
+		}
+		return &stmt{kind: stLet, dst: dst, expr: e}, nil
+	case strings.HasPrefix(line, "store("):
+		args, err := callArgs(line, "store", 2)
+		if err != nil {
+			return nil, err
+		}
+		key, err := unquote(args[0])
+		if err != nil {
+			return nil, err
+		}
+		if !ident(args[1]) {
+			return nil, fmt.Errorf("bad identifier %q", args[1])
+		}
+		return &stmt{kind: stStore, name: key, dst: args[1]}, nil
+	case strings.HasPrefix(line, "emit("):
+		args, err := callArgs(line, "emit", 1)
+		if err != nil {
+			return nil, err
+		}
+		if !ident(args[0]) {
+			return nil, fmt.Errorf("bad identifier %q", args[0])
+		}
+		return &stmt{kind: stEmit, dst: args[0]}, nil
+	case strings.HasPrefix(line, "reflect("):
+		args, err := callArgs(line, "reflect", 2)
+		if err != nil {
+			return nil, err
+		}
+		attr, err := unquote(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return &stmt{kind: stReflect, target: args[0], attr: attr}, nil
+	case strings.HasPrefix(line, "safereflect("):
+		args, err := callArgs(line, "safereflect", 2)
+		if err != nil {
+			return nil, err
+		}
+		attr, err := unquote(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return &stmt{kind: stSafeReflect, target: args[0], attr: attr}, nil
+	}
+	return nil, fmt.Errorf("unrecognized statement %q", line)
+}
+
+func parseExpr(s string) (*expr, error) {
+	switch {
+	case strings.HasPrefix(s, "concat("):
+		args, err := callArgs(s, "concat", 2)
+		if err != nil {
+			return nil, err
+		}
+		if !ident(args[0]) || !ident(args[1]) {
+			return nil, fmt.Errorf("concat args must be identifiers")
+		}
+		return &expr{kind: exConcat, a: args[0], b: args[1]}, nil
+	case strings.HasPrefix(s, "slice("):
+		args, err := callArgs(s, "slice", 3)
+		if err != nil {
+			return nil, err
+		}
+		from, err1 := strconv.Atoi(args[1])
+		to, err2 := strconv.Atoi(args[2])
+		if !ident(args[0]) || err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad slice args")
+		}
+		return &expr{kind: exSlice, a: args[0], from: from, to: to}, nil
+	case strings.HasPrefix(s, "load("):
+		args, err := callArgs(s, "load", 1)
+		if err != nil {
+			return nil, err
+		}
+		key, err := unquote(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return &expr{kind: exLoad, key: key}, nil
+	case strings.HasPrefix(s, "input("):
+		args, err := callArgs(s, "input", 1)
+		if err != nil {
+			return nil, err
+		}
+		key, err := unquote(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return &expr{kind: exInput, key: key}, nil
+	}
+	return nil, fmt.Errorf("unrecognized expression %q", s)
+}
+
+func callArgs(s, name string, n int) ([]string, error) {
+	if !strings.HasPrefix(s, name+"(") || !strings.HasSuffix(s, ")") {
+		return nil, fmt.Errorf("malformed %s call", name)
+	}
+	body := s[len(name)+1 : len(s)-1]
+	var args []string
+	depth := 0
+	cur := strings.Builder{}
+	inStr := false
+	for _, r := range body {
+		switch {
+		case r == '"':
+			inStr = !inStr
+			cur.WriteRune(r)
+		case inStr:
+			cur.WriteRune(r)
+		case r == '(':
+			depth++
+			cur.WriteRune(r)
+		case r == ')':
+			depth--
+			cur.WriteRune(r)
+		case r == ',' && depth == 0:
+			args = append(args, strings.TrimSpace(cur.String()))
+			cur.Reset()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if strings.TrimSpace(cur.String()) != "" {
+		args = append(args, strings.TrimSpace(cur.String()))
+	}
+	if len(args) != n {
+		return nil, fmt.Errorf("%s expects %d args, got %d", name, n, len(args))
+	}
+	return args, nil
+}
+
+func unquote(s string) (string, error) {
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return "", fmt.Errorf("expected string literal, got %q", s)
+	}
+	return s[1 : len(s)-1], nil
+}
+
+func ident(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Analyze is the first labeling function: it confirms the program parses
+// and imports only whitelisted libraries, returning the statement body for
+// the label "analyzer says legalTenant(hash:H)".
+func Analyze(p *Program) (nal.Formula, error) {
+	for _, s := range p.stmts {
+		if s.kind == stImport && !ImportWhitelist[s.name] {
+			return nil, fmt.Errorf("%w: %q", ErrBadImport, s.name)
+		}
+	}
+	return nal.Pred{Name: "legalTenant", Args: []nal.Term{nal.Atom("hash:" + p.Hash())}}, nil
+}
+
+// Rewrite is the second labeling function: it produces a new program in
+// which every reflect call has been replaced by safereflect, plus the
+// statement body for "rewriter says reflectionSafe(hash:H')" where H' is
+// the hash of the rewritten artifact.
+func Rewrite(p *Program) (*Program, nal.Formula) {
+	var lines []string
+	for _, raw := range strings.Split(p.Source, "\n") {
+		line := strings.TrimSpace(raw)
+		if strings.HasPrefix(line, "reflect(") {
+			lines = append(lines, "safe"+line)
+			continue
+		}
+		lines = append(lines, raw)
+	}
+	out, err := Parse(strings.Join(lines, "\n"))
+	if err != nil {
+		// Rewriting a parseable program cannot fail; a parse error here is
+		// a bug, surfaced loudly.
+		panic("sandbox: rewrite produced unparseable program: " + err.Error())
+	}
+	label := nal.Pred{Name: "reflectionSafe", Args: []nal.Term{nal.Atom("hash:" + out.Hash())}}
+	return out, label
+}
+
+// Env is the execution environment handed to a tenant program.
+type Env struct {
+	Judge  cobuf.FlowJudge
+	Inputs map[string]*cobuf.Buf
+	// Store is the tenant's persistent cobuf store (backed by files in
+	// Fauxbook); Load/Store operate on it.
+	Store map[string]*cobuf.Buf
+	// Emit receives page output buffers in order.
+	Emit []*cobuf.Buf
+	// MaxSteps bounds execution (0 = default).
+	MaxSteps int
+}
+
+// Run interprets the program. Un-rewritten reflect statements reaching the
+// interpreter escape the sandbox: Run returns ErrEscape, modeling arbitrary
+// code execution that the synthesis step exists to prevent.
+func Run(p *Program, env *Env) error {
+	limit := env.MaxSteps
+	if limit == 0 {
+		limit = 10000
+	}
+	vars := map[string]*cobuf.Buf{}
+	steps := 0
+	for _, s := range p.stmts {
+		steps++
+		if steps > limit {
+			return ErrLimits
+		}
+		switch s.kind {
+		case stImport:
+			if !ImportWhitelist[s.name] {
+				return fmt.Errorf("%w: %q", ErrBadImport, s.name)
+			}
+		case stLet:
+			v, err := evalExpr(s.expr, vars, env)
+			if err != nil {
+				return err
+			}
+			vars[s.dst] = v
+		case stStore:
+			v, ok := vars[s.dst]
+			if !ok {
+				return fmt.Errorf("%w: %q", ErrUndefined, s.dst)
+			}
+			env.Store[s.name] = v
+		case stEmit:
+			v, ok := vars[s.dst]
+			if !ok {
+				return fmt.Errorf("%w: %q", ErrUndefined, s.dst)
+			}
+			env.Emit = append(env.Emit, v)
+		case stReflect:
+			// Reaching here means the synthesis labeling function was
+			// bypassed; reflection reaches the import machinery.
+			return fmt.Errorf("%w: reflect(%s, %q)", ErrEscape, s.target, s.attr)
+		case stSafeReflect:
+			// Neutralized reflection: a no-op returning nothing.
+		}
+	}
+	return nil
+}
+
+func evalExpr(e *expr, vars map[string]*cobuf.Buf, env *Env) (*cobuf.Buf, error) {
+	get := func(name string) (*cobuf.Buf, error) {
+		if v, ok := vars[name]; ok {
+			return v, nil
+		}
+		return nil, fmt.Errorf("%w: %q", ErrUndefined, name)
+	}
+	switch e.kind {
+	case exConcat:
+		a, err := get(e.a)
+		if err != nil {
+			return nil, err
+		}
+		b, err := get(e.b)
+		if err != nil {
+			return nil, err
+		}
+		return cobuf.Concat(env.Judge, a, b)
+	case exSlice:
+		a, err := get(e.a)
+		if err != nil {
+			return nil, err
+		}
+		return a.Slice(e.from, e.to)
+	case exLoad:
+		v, ok := env.Store[e.key]
+		if !ok {
+			return nil, fmt.Errorf("%w: store key %q", ErrUndefined, e.key)
+		}
+		return v, nil
+	case exInput:
+		v, ok := env.Inputs[e.key]
+		if !ok {
+			return nil, fmt.Errorf("%w: input %q", ErrUndefined, e.key)
+		}
+		return v, nil
+	}
+	return nil, ErrSyntax
+}

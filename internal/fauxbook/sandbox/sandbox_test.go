@@ -1,0 +1,192 @@
+package sandbox
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/fauxbook/cobuf"
+	"repro/internal/nal"
+)
+
+type openJudge struct{}
+
+func (openJudge) MayFlow(src, dst nal.Principal) bool { return true }
+
+const goodSrc = `
+import social
+let x = input("status")
+let y = load("wall")
+let z = concat(y, x)
+let w = slice(z, 0, 4)
+store("wall", z)
+emit(w)
+`
+
+func TestParseAndHash(t *testing.T) {
+	p, err := Parse(goodSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Hash()) != 40 {
+		t.Errorf("hash = %q", p.Hash())
+	}
+	p2, _ := Parse(goodSrc)
+	if p.Hash() != p2.Hash() {
+		t.Error("hash must be deterministic")
+	}
+	if _, err := Parse("let = broken"); !errors.Is(err, ErrSyntax) {
+		t.Errorf("want ErrSyntax, got %v", err)
+	}
+	if _, err := Parse("frobnicate(x)"); !errors.Is(err, ErrSyntax) {
+		t.Errorf("want ErrSyntax, got %v", err)
+	}
+	if _, err := Parse(`let n = count(wall, "keyword")`); !errors.Is(err, ErrSyntax) {
+		t.Error("data-dependent constructs must not parse")
+	}
+}
+
+func TestAnalyzeWhitelist(t *testing.T) {
+	p, _ := Parse(goodSrc)
+	label, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(label.String(), "legalTenant(hash:") {
+		t.Errorf("label = %q", label)
+	}
+	evil, _ := Parse("import os\nemit(x)")
+	if _, err := Analyze(evil); !errors.Is(err, ErrBadImport) {
+		t.Errorf("want ErrBadImport, got %v", err)
+	}
+}
+
+func TestRewriteNeutralizesReflection(t *testing.T) {
+	src := goodSrc + "\nreflect(x, \"__import__\")\n"
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewritten, label := Rewrite(p)
+	if strings.Contains(rewritten.Source, "\nreflect(") {
+		t.Error("rewrite left a raw reflect call")
+	}
+	if !strings.Contains(label.String(), "reflectionSafe(hash:") {
+		t.Errorf("label = %q", label)
+	}
+	if rewritten.Hash() == p.Hash() {
+		t.Error("rewritten artifact must have a new hash")
+	}
+	// The rewritten program runs; the original escapes.
+	env := newEnv()
+	if err := Run(rewritten, env); err != nil {
+		t.Errorf("rewritten program: %v", err)
+	}
+	if err := Run(p, newEnv()); !errors.Is(err, ErrEscape) {
+		t.Errorf("raw reflection: want ErrEscape, got %v", err)
+	}
+}
+
+func newEnv() *Env {
+	owner := nal.Name("alice")
+	return &Env{
+		Judge: openJudge{},
+		Inputs: map[string]*cobuf.Buf{
+			"status": cobuf.New(owner, []byte("hello world")),
+		},
+		Store: map[string]*cobuf.Buf{
+			"wall": cobuf.New(owner, []byte("old ")),
+			"page": cobuf.New(owner, nil),
+		},
+	}
+}
+
+func TestRunSemantics(t *testing.T) {
+	p, err := Parse(goodSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := newEnv()
+	if err := Run(p, env); err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Emit) != 1 || env.Emit[0].Len() != 4 {
+		t.Errorf("emit = %v", env.Emit)
+	}
+	// store("wall", z) persisted the concatenation.
+	wall := env.Store["wall"]
+	plain, err := cobuf.Reveal(openJudge{}, wall, nal.Name("alice"))
+	if err != nil || string(plain) != "old hello world" {
+		t.Errorf("wall = %q, %v", plain, err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want error
+	}{
+		{"emit(nope)", ErrUndefined},
+		{`let x = load("missing")`, ErrUndefined},
+		{`let x = input("missing")`, ErrUndefined},
+		{`store("k", nope)`, ErrUndefined},
+		{"import os", ErrBadImport},
+		{`let x = input("status")` + "\nlet y = slice(x, 0, 9999)", cobuf.ErrBounds},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.src, err)
+		}
+		if err := Run(p, newEnv()); !errors.Is(err, c.want) {
+			t.Errorf("Run(%q) = %v, want %v", c.src, err, c.want)
+		}
+	}
+}
+
+func TestFlowEnforcedInsideTenant(t *testing.T) {
+	// Tenant code cannot move eve's data onto alice's page when the graph
+	// forbids it — even though the tenant never sees the bytes.
+	src := `
+let a = input("alice_page")
+let e = input("eve_post")
+let out = concat(a, e)
+emit(out)
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &Env{
+		Judge: judgeDeny{},
+		Inputs: map[string]*cobuf.Buf{
+			"alice_page": cobuf.New(nal.Name("alice"), []byte("page")),
+			"eve_post":   cobuf.New(nal.Name("eve"), []byte("spy")),
+		},
+		Store: map[string]*cobuf.Buf{},
+	}
+	if err := Run(p, env); !errors.Is(err, cobuf.ErrFlow) {
+		t.Errorf("want ErrFlow, got %v", err)
+	}
+}
+
+type judgeDeny struct{}
+
+func (judgeDeny) MayFlow(src, dst nal.Principal) bool { return false }
+
+func TestStepLimit(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("let a = input(\"status\")\n")
+	for i := 0; i < 50; i++ {
+		sb.WriteString("let a = slice(a, 0, 1)\n")
+	}
+	p, err := Parse(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := newEnv()
+	env.MaxSteps = 10
+	if err := Run(p, env); !errors.Is(err, ErrLimits) {
+		t.Errorf("want ErrLimits, got %v", err)
+	}
+}

@@ -1,0 +1,297 @@
+package fauxbook
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fauxbook/cobuf"
+	"repro/internal/fauxbook/sandbox"
+	"repro/internal/guard"
+	"repro/internal/kernel"
+	"repro/internal/nal"
+	"repro/internal/nal/proof"
+	"repro/internal/refmon"
+	"repro/internal/ssr"
+)
+
+// AccessMode selects the Figure 8 access-control column.
+type AccessMode int
+
+// Access-control modes.
+const (
+	AccessNone    AccessMode = iota // no authorization checks
+	AccessStatic                    // cacheable proof per client
+	AccessDynamic                   // external authority on every request
+)
+
+// StorageMode selects the Figure 8 attested-storage column.
+type StorageMode int
+
+// Storage modes.
+const (
+	StorePlain     StorageMode = iota // RAM store
+	StoreHashed                       // SSR integrity protection
+	StoreEncrypted                    // SSR integrity + AES-CTR
+)
+
+// StackConfig configures a web stack instance.
+type StackConfig struct {
+	Access      AccessMode
+	Storage     StorageMode
+	RefMon      refMonKind
+	RefMonCache bool
+	// Dynamic serves requests through the tenant interpreter (the Python
+	// row of Figure 8) instead of the static file path.
+	Dynamic bool
+}
+
+// refMonKind mirrors the Figure 7 monitor placements.
+type refMonKind int
+
+// Reference-monitor placements.
+const (
+	RefMonNone refMonKind = iota
+	RefMonKernel
+	RefMonUser
+)
+
+// Exported names for configuration.
+const (
+	StackRefNone   = RefMonNone
+	StackRefKernel = RefMonKernel
+	StackRefUser   = RefMonUser
+)
+
+// WebStack is the Fauxbook multi-tier web server of Figure 3, configurable
+// along the three cost dimensions of Figure 8.
+type WebStack struct {
+	cfg    StackConfig
+	k      *kernel.Kernel
+	g      *guard.Generic
+	web    *kernel.Process
+	client *kernel.Process
+	port   *kernel.Port
+
+	plain   map[string][]byte
+	regions map[string]*ssr.Region
+	mgr     *ssr.Manager
+	key     *ssr.VKey
+
+	tenant  *sandbox.Program
+	monitor *refmon.Monitor
+
+	authCh  string
+	session bool // dynamic-mode session validity, read by the authority
+}
+
+// NewWebStack builds the configured stack. For hashed/encrypted storage the
+// caller supplies an SSR manager (nil selects plain storage regardless).
+func NewWebStack(k *kernel.Kernel, mgr *ssr.Manager, cfg StackConfig) (*WebStack, error) {
+	w := &WebStack{
+		cfg:     cfg,
+		k:       k,
+		mgr:     mgr,
+		plain:   map[string][]byte{},
+		regions: map[string]*ssr.Region{},
+		session: true,
+	}
+	if cfg.Storage != StorePlain && mgr == nil {
+		return nil, fmt.Errorf("fauxbook: storage mode requires an SSR manager")
+	}
+	if cfg.Storage == StoreEncrypted {
+		ks := ssr.NewKeyStore()
+		key, err := ks.Create(ssr.KeyAES)
+		if err != nil {
+			return nil, err
+		}
+		w.key = key
+	}
+	var err error
+	if w.web, err = k.CreateProcess(0, []byte("lighttpd-stack")); err != nil {
+		return nil, err
+	}
+	if w.client, err = k.CreateProcess(0, []byte("http-client")); err != nil {
+		return nil, err
+	}
+	if w.port, err = k.CreatePort(w.web, w.handle); err != nil {
+		return nil, err
+	}
+	if cfg.Dynamic {
+		prog, err := sandbox.Parse(wallTemplate)
+		if err != nil {
+			return nil, err
+		}
+		w.tenant, _ = sandbox.Rewrite(prog)
+	}
+
+	w.g = guard.New(k)
+	k.SetGuard(w.g)
+
+	switch cfg.Access {
+	case AccessStatic:
+		// One cacheable credential per (client, object class).
+		goal := nal.MustParse("?S says wantsAccess")
+		if err := k.SetGoal(w.web, "GET", "web:static", goal, nil); err != nil {
+			return nil, err
+		}
+		cred := nal.Says{P: w.client.Prin, F: nal.Pred{Name: "wantsAccess"}}
+		k.SetProof(w.client, "GET", "web:static", proof.Assume(0, cred),
+			[]kernel.Credential{{Inline: cred}})
+	case AccessDynamic:
+		// Every request consults the live session authority.
+		w.authCh = w.g.RegisterEmbedded("session", func(f nal.Formula) bool {
+			return w.session && f.String() == "Sessions says valid"
+		})
+		goal := nal.MustParse("Sessions says valid")
+		if err := k.SetGoal(w.web, "GET", "web:static", goal, nil); err != nil {
+			return nil, err
+		}
+		pf := &proof.Proof{Steps: []proof.Step{
+			{Rule: proof.RuleAuthority, Channel: w.authCh, F: goal},
+		}}
+		k.SetProof(w.client, "GET", "web:static", pf, nil)
+	}
+
+	if cfg.RefMon != RefMonNone {
+		policy := &refmon.Policy{Ops: map[string]bool{"GET": true}}
+		w.monitor = refmon.NewMonitor(policy, cfg.RefMon == RefMonUser)
+		w.monitor.SetCaching(cfg.RefMonCache)
+		if _, err := k.Interpose(w.web, w.port.ID, w.monitor); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// wallTemplate is the dynamic-content tenant: it loads the requested file
+// as a cobuf and emits it, modelling a Python handler assembling a page.
+const wallTemplate = `
+import render
+let body = input("file")
+let page = input("header")
+let out = concat(page, body)
+emit(out)
+`
+
+// PutFile stores a document under the configured storage mode.
+func (w *WebStack) PutFile(name string, data []byte) error {
+	switch w.cfg.Storage {
+	case StorePlain:
+		w.plain[name] = append([]byte(nil), data...)
+		return nil
+	default:
+		blocks := (len(data)+ssr.BlockSize-1)/ssr.BlockSize + 1
+		var key *ssr.VKey
+		if w.cfg.Storage == StoreEncrypted {
+			key = w.key
+		}
+		region, err := w.mgr.CreateRegion("web-"+sanitize(name), blocks, key)
+		if err != nil {
+			return err
+		}
+		// Prefix the length so reads return exact content.
+		hdr := []byte(fmt.Sprintf("%10d", len(data)))
+		if err := region.WriteRange(0, append(hdr, data...)); err != nil {
+			return err
+		}
+		w.regions[name] = region
+		return nil
+	}
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r == '/' {
+			return '_'
+		}
+		return r
+	}, s)
+}
+
+func (w *WebStack) getFile(name string) ([]byte, error) {
+	switch w.cfg.Storage {
+	case StorePlain:
+		data, ok := w.plain[name]
+		if !ok {
+			return nil, fsNotFound(name)
+		}
+		return data, nil
+	default:
+		region, ok := w.regions[name]
+		if !ok {
+			return nil, fsNotFound(name)
+		}
+		hdr, err := region.Read(0, 10)
+		if err != nil {
+			return nil, err
+		}
+		var n int
+		if _, err := fmt.Sscanf(string(hdr), "%d", &n); err != nil {
+			return nil, err
+		}
+		return region.Read(10, n)
+	}
+}
+
+func fsNotFound(name string) error { return fmt.Errorf("fauxbook: 404 %s", name) }
+
+// SetSessionValid flips the dynamic-mode authority's answer; requests fail
+// immediately after invalidation.
+func (w *WebStack) SetSessionValid(ok bool) { w.session = ok }
+
+// Monitor exposes the installed reference monitor.
+func (w *WebStack) Monitor() *refmon.Monitor { return w.monitor }
+
+// Request performs one HTTP GET through the full stack and returns the
+// response body. This is the request path Figure 8 measures.
+func (w *WebStack) Request(path string) ([]byte, error) {
+	return w.k.Call(w.client, w.port.ID, &kernel.Msg{
+		Op:   "GET",
+		Obj:  "web:static",
+		Args: [][]byte{[]byte(path)},
+	})
+}
+
+// handle is the server tier: parse the request line, fetch the document
+// (optionally via the tenant interpreter), emit a response.
+func (w *WebStack) handle(from *kernel.Process, m *kernel.Msg) ([]byte, error) {
+	if len(m.Args) != 1 {
+		return nil, fmt.Errorf("fauxbook: malformed request")
+	}
+	path := string(m.Args[0])
+	body, err := w.getFile(path)
+	if err != nil {
+		return []byte("HTTP/1.0 404 Not Found\r\n\r\n"), err
+	}
+	if w.cfg.Dynamic {
+		owner := nal.SubOf(w.web.Prin, "site")
+		env := &sandbox.Env{
+			Judge: openFlow{},
+			Inputs: map[string]*cobuf.Buf{
+				"file":   cobuf.New(owner, body),
+				"header": cobuf.New(owner, []byte("<html>")),
+			},
+			Store: map[string]*cobuf.Buf{},
+		}
+		if err := sandbox.Run(w.tenant, env); err != nil {
+			return nil, err
+		}
+		var page []byte
+		for _, b := range env.Emit {
+			plain, err := cobuf.Reveal(openFlow{}, b, owner)
+			if err != nil {
+				return nil, err
+			}
+			page = append(page, plain...)
+		}
+		body = page
+	}
+	resp := fmt.Sprintf("HTTP/1.0 200 OK\r\nContent-Length: %d\r\n\r\n", len(body))
+	return append([]byte(resp), body...), nil
+}
+
+// openFlow permits all flows: the public static site has no per-user data.
+type openFlow struct{}
+
+// MayFlow implements cobuf.FlowJudge.
+func (openFlow) MayFlow(src, dst nal.Principal) bool { return true }

@@ -1,0 +1,168 @@
+package fauxbook
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/kernel"
+	"repro/internal/ssr"
+	"repro/internal/tpm"
+)
+
+func stackWorld(t *testing.T, cfg StackConfig) *WebStack {
+	t.Helper()
+	tp, err := tpm.Manufacture(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp.Extend(tpm.PCRKernel, []byte("nexus"))
+	if err := tp.TakeOwnership([]tpm.PCRIndex{tpm.PCRKernel}); err != nil {
+		t.Fatal(err)
+	}
+	d := disk.New()
+	var mgr *ssr.Manager
+	if cfg.Storage != StorePlain {
+		if mgr, err = ssr.Init(tp, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Boot a kernel on a second TPM so PCR layouts don't clash with the
+	// SSR manager's binding above.
+	tp2, _ := tpm.Manufacture(1024)
+	k, err := kernel.Boot(tp2, disk.New(), kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWebStack(k, mgr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func body(t *testing.T, resp []byte) []byte {
+	t.Helper()
+	i := bytes.Index(resp, []byte("\r\n\r\n"))
+	if i < 0 {
+		t.Fatalf("malformed response %q", resp)
+	}
+	return resp[i+4:]
+}
+
+func TestStaticServingAllStorageModes(t *testing.T) {
+	for _, mode := range []StorageMode{StorePlain, StoreHashed, StoreEncrypted} {
+		w := stackWorld(t, StackConfig{Storage: mode})
+		content := bytes.Repeat([]byte("x"), 3000)
+		if err := w.PutFile("/index.html", content); err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		resp, err := w.Request("/index.html")
+		if err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		if !bytes.Equal(body(t, resp), content) {
+			t.Errorf("mode %d: body mismatch (%d bytes)", mode, len(body(t, resp)))
+		}
+		if _, err := w.Request("/missing"); err == nil {
+			t.Errorf("mode %d: missing file must 404", mode)
+		}
+	}
+}
+
+func TestDynamicServing(t *testing.T) {
+	w := stackWorld(t, StackConfig{Dynamic: true})
+	if err := w.PutFile("/page", []byte("BODY")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := w.Request("/page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(body(t, resp), []byte("<html>BODY")) {
+		t.Errorf("dynamic body = %q", body(t, resp))
+	}
+}
+
+func TestStaticAccessControlCaches(t *testing.T) {
+	w := stackWorld(t, StackConfig{Access: AccessStatic})
+	w.PutFile("/f", []byte("data"))
+	if _, err := w.Request("/f"); err != nil {
+		t.Fatal(err)
+	}
+	before := w.k.GuardUpcalls()
+	for i := 0; i < 10; i++ {
+		if _, err := w.Request("/f"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.k.GuardUpcalls() != before {
+		t.Error("static access control should be decision-cached")
+	}
+}
+
+func TestDynamicAccessControlConsultsAuthority(t *testing.T) {
+	w := stackWorld(t, StackConfig{Access: AccessDynamic})
+	w.PutFile("/f", []byte("data"))
+	if _, err := w.Request("/f"); err != nil {
+		t.Fatal(err)
+	}
+	before := w.k.GuardUpcalls()
+	w.Request("/f")
+	if w.k.GuardUpcalls() == before {
+		t.Error("dynamic access control must upcall per request")
+	}
+	// Session invalidation takes effect immediately.
+	w.SetSessionValid(false)
+	if _, err := w.Request("/f"); !errors.Is(err, kernel.ErrDenied) {
+		t.Errorf("invalid session: want ErrDenied, got %v", err)
+	}
+	w.SetSessionValid(true)
+	if _, err := w.Request("/f"); err != nil {
+		t.Errorf("revalidated session: %v", err)
+	}
+}
+
+func TestRefMonOnStack(t *testing.T) {
+	w := stackWorld(t, StackConfig{RefMon: StackRefKernel, RefMonCache: true})
+	w.PutFile("/f", []byte("data"))
+	for i := 0; i < 5; i++ {
+		if _, err := w.Request("/f"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses, _ := w.Monitor().Stats()
+	if misses != 1 || hits != 4 {
+		t.Errorf("monitor stats hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestEncryptedStorageKeepsPlaintextOffDisk(t *testing.T) {
+	tp, _ := tpm.Manufacture(1024)
+	tp.Extend(tpm.PCRKernel, []byte("nexus"))
+	tp.TakeOwnership([]tpm.PCRIndex{tpm.PCRKernel})
+	d := disk.New()
+	mgr, err := ssr.Init(tp, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp2, _ := tpm.Manufacture(1024)
+	k, _ := kernel.Boot(tp2, disk.New(), kernel.Options{})
+	w, err := NewWebStack(k, mgr, StackConfig{Storage: StoreEncrypted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("EXTREMELY-SECRET-DOCUMENT-CONTENT")
+	w.PutFile("/s", secret)
+	for _, name := range d.List() {
+		data, _ := d.Read(name)
+		if bytes.Contains(data, secret) {
+			t.Fatalf("plaintext found in %s", name)
+		}
+	}
+	resp, err := w.Request("/s")
+	if err != nil || !bytes.Equal(body(t, resp), secret) {
+		t.Errorf("request = %q, %v", resp, err)
+	}
+}

@@ -1,0 +1,431 @@
+// Package fsys implements the Nexus user-level file service: a RAM-backed
+// store reached through kernel IPC, so every file operation pays the
+// microkernel communication path that Table 1 measures, and every file and
+// directory can carry goal formulas enforced by guards (§2.5, §5.1).
+//
+// File descriptors are per-client; open/close/read/write mirror the Posix
+// subset the paper benchmarks.
+package fsys
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/kernel"
+	"repro/internal/nal"
+)
+
+// Errors returned by the file service.
+var (
+	ErrNotFound  = errors.New("fsys: no such file")
+	ErrExists    = errors.New("fsys: file exists")
+	ErrBadFD     = errors.New("fsys: bad file descriptor")
+	ErrIsDir     = errors.New("fsys: is a directory")
+	ErrNotDir    = errors.New("fsys: not a directory")
+	ErrShortArgs = errors.New("fsys: malformed request")
+)
+
+// Server is the fileserver process state.
+type Server struct {
+	k    *kernel.Kernel
+	proc *kernel.Process
+	port *kernel.Port
+
+	mu    sync.Mutex
+	files map[string]*file
+	fds   map[int]*fd
+	next  int
+}
+
+type file struct {
+	data  []byte
+	isDir bool
+}
+
+type fd struct {
+	path   string
+	off    int
+	client int // owning PID; descriptors are not transferable
+}
+
+// Prin returns the fileserver's principal (FS in the paper's examples).
+func (s *Server) Prin() nal.Principal { return s.proc.Prin }
+
+// Port returns the IPC port clients call.
+func (s *Server) Port() *kernel.Port { return s.port }
+
+// Proc returns the fileserver's process.
+func (s *Server) Proc() *kernel.Process { return s.proc }
+
+// New launches the file service as a user-level process with an IPC port.
+func New(k *kernel.Kernel) (*Server, error) {
+	proc, err := k.CreateProcess(0, []byte("nexus-fileserver"))
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		k:     k,
+		proc:  proc,
+		files: map[string]*file{"/": {isDir: true}},
+		fds:   map[int]*fd{},
+		next:  3,
+	}
+	port, err := k.CreatePort(proc, s.handle)
+	if err != nil {
+		return nil, err
+	}
+	s.port = port
+	k.Introsp.Publish("/proc/fs/nfiles", proc.Prin, func() string {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return fmt.Sprint(len(s.files))
+	})
+	return s, nil
+}
+
+// Client is a process's view of the file service.
+type Client struct {
+	s *Server
+	p *kernel.Process
+}
+
+// ClientFor returns a client bound to the calling process.
+func (s *Server) ClientFor(p *kernel.Process) *Client { return &Client{s: s, p: p} }
+
+// call performs the IPC round trip.
+func (c *Client) call(op, path string, args ...[]byte) ([]byte, error) {
+	return c.s.k.Call(c.p, c.s.port.ID, &kernel.Msg{Op: op, Obj: "file:" + path, Args: args})
+}
+
+// Create makes an empty file. The fileserver registers the creator as the
+// object owner and deposits the §2.6 ownership label
+// "FS says client speaksfor FS.<path>" in the client's labelstore.
+func (c *Client) Create(path string) error {
+	_, err := c.call("create", path)
+	return err
+}
+
+// Mkdir makes a directory.
+func (c *Client) Mkdir(path string) error {
+	_, err := c.call("mkdir", path)
+	return err
+}
+
+// Open returns a descriptor for an existing file.
+func (c *Client) Open(path string) (int, error) {
+	out, err := c.call("open", path)
+	if err != nil {
+		return 0, err
+	}
+	return parseInt(out)
+}
+
+// Close releases a descriptor.
+func (c *Client) Close(fdNum int) error {
+	_, err := c.call("close", fdPath(fdNum), intArg(fdNum))
+	return err
+}
+
+// Read reads up to n bytes from the descriptor's offset.
+func (c *Client) Read(fdNum, n int) ([]byte, error) {
+	return c.call("read", fdPath(fdNum), intArg(fdNum), intArg(n))
+}
+
+// Write appends data at the descriptor's offset.
+func (c *Client) Write(fdNum int, data []byte) (int, error) {
+	out, err := c.call("write", fdPath(fdNum), intArg(fdNum), data)
+	if err != nil {
+		return 0, err
+	}
+	return parseInt(out)
+}
+
+// ReadFile is a whole-file convenience (open/read/close).
+func (c *Client) ReadFile(path string) ([]byte, error) {
+	return c.call("readfile", path)
+}
+
+// WriteFile replaces a file's contents, creating it if needed.
+func (c *Client) WriteFile(path string, data []byte) error {
+	_, err := c.call("writefile", path, data)
+	return err
+}
+
+// List returns the children of a directory.
+func (c *Client) List(path string) ([]string, error) {
+	out, err := c.call("list", path)
+	if err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return strings.Split(string(out), "\x00"), nil
+}
+
+// Remove deletes a file.
+func (c *Client) Remove(path string) error {
+	_, err := c.call("remove", path)
+	return err
+}
+
+// fdPath names descriptor objects so goals can target per-file operations:
+// read/write goals are set on "file:<path>", and the server maps the fd
+// back to its path for enforcement via the kernel goal check on open.
+func fdPath(fd int) string { return "fd/" + strconv.Itoa(fd) }
+
+func intArg(n int) []byte { return []byte(strconv.Itoa(n)) }
+
+func parseInt(b []byte) (int, error) {
+	n, err := strconv.Atoi(string(b))
+	if err != nil {
+		return 0, fmt.Errorf("fsys: bad integer reply: %w", err)
+	}
+	return n, nil
+}
+
+// handle is the server-side dispatch.
+func (s *Server) handle(from *kernel.Process, m *kernel.Msg) ([]byte, error) {
+	path := strings.TrimPrefix(m.Obj, "file:")
+	switch m.Op {
+	case "create":
+		return nil, s.create(from, path, false)
+	case "mkdir":
+		return nil, s.create(from, path, true)
+	case "open":
+		return s.open(from, path)
+	case "close":
+		return nil, s.close(from, m)
+	case "read":
+		return s.read(from, m)
+	case "write":
+		return s.write(from, m)
+	case "readfile":
+		return s.readFile(path)
+	case "writefile":
+		if len(m.Args) != 1 {
+			return nil, ErrShortArgs
+		}
+		return nil, s.writeFile(from, path, m.Args[0])
+	case "list":
+		return s.list(path)
+	case "remove":
+		return nil, s.remove(path)
+	}
+	return nil, fmt.Errorf("fsys: unknown operation %q", m.Op)
+}
+
+func parent(path string) string {
+	i := strings.LastIndex(path, "/")
+	if i <= 0 {
+		return "/"
+	}
+	return path[:i]
+}
+
+func (s *Server) create(from *kernel.Process, path string, isDir bool) error {
+	s.mu.Lock()
+	if _, ok := s.files[path]; ok {
+		s.mu.Unlock()
+		return ErrExists
+	}
+	p, ok := s.files[parent(path)]
+	if !ok || !p.isDir {
+		s.mu.Unlock()
+		return ErrNotDir
+	}
+	s.files[path] = &file{isDir: isDir}
+	s.mu.Unlock()
+
+	// §2.6: the fileserver creates the object on behalf of the caller and
+	// passes ownership with "FS says caller speaksfor FS.<path>", uttered
+	// by FS and transferred into the caller's labelstore.
+	s.k.RegisterObject("file:"+path, from.Prin)
+	grant := nal.SpeaksFor{A: from.Prin, B: nal.SubOf(s.proc.Prin, path)}
+	l, err := s.proc.Labels.SayFormula(grant)
+	if err != nil {
+		return fmt.Errorf("fsys: issuing ownership grant: %w", err)
+	}
+	if _, err := s.proc.Labels.Transfer(l.Handle, from); err != nil {
+		return fmt.Errorf("fsys: transferring ownership grant: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) open(from *kernel.Process, path string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.files[path]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if f.isDir {
+		return nil, ErrIsDir
+	}
+	fdNum := s.next
+	s.next++
+	s.fds[fdNum] = &fd{path: path, client: from.PID}
+	return intArg(fdNum), nil
+}
+
+func (s *Server) lookupFD(from *kernel.Process, m *kernel.Msg) (*fd, int, error) {
+	if len(m.Args) < 1 {
+		return nil, 0, ErrShortArgs
+	}
+	n, err := parseInt(m.Args[0])
+	if err != nil {
+		return nil, 0, err
+	}
+	d, ok := s.fds[n]
+	if !ok || d.client != from.PID {
+		return nil, 0, ErrBadFD
+	}
+	return d, n, nil
+}
+
+func (s *Server) close(from *kernel.Process, m *kernel.Msg) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, n, err := s.lookupFD(from, m)
+	if err != nil {
+		return err
+	}
+	delete(s.fds, n)
+	return nil
+}
+
+func (s *Server) read(from *kernel.Process, m *kernel.Msg) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, _, err := s.lookupFD(from, m)
+	if err != nil {
+		return nil, err
+	}
+	if len(m.Args) < 2 {
+		return nil, ErrShortArgs
+	}
+	n, err := parseInt(m.Args[1])
+	if err != nil {
+		return nil, err
+	}
+	f, ok := s.files[d.path]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if d.off >= len(f.data) {
+		return nil, nil
+	}
+	end := d.off + n
+	if end > len(f.data) {
+		end = len(f.data)
+	}
+	out := append([]byte(nil), f.data[d.off:end]...)
+	d.off = end
+	return out, nil
+}
+
+func (s *Server) write(from *kernel.Process, m *kernel.Msg) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, _, err := s.lookupFD(from, m)
+	if err != nil {
+		return nil, err
+	}
+	if len(m.Args) < 2 {
+		return nil, ErrShortArgs
+	}
+	data := m.Args[1]
+	f, ok := s.files[d.path]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	// Write at offset, extending with amortized growth.
+	if need := d.off + len(data); need > len(f.data) {
+		if need > cap(f.data) {
+			grown := make([]byte, need, need*2)
+			copy(grown, f.data)
+			f.data = grown
+		} else {
+			f.data = f.data[:need]
+		}
+	}
+	copy(f.data[d.off:], data)
+	d.off += len(data)
+	return intArg(len(data)), nil
+}
+
+func (s *Server) readFile(path string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.files[path]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if f.isDir {
+		return nil, ErrIsDir
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+func (s *Server) writeFile(from *kernel.Process, path string, data []byte) error {
+	s.mu.Lock()
+	f, ok := s.files[path]
+	if ok {
+		f.data = append([]byte(nil), data...)
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+	if err := s.create(from, path, false); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.files[path].data = append([]byte(nil), data...)
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *Server) list(path string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.files[path]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if !d.isDir {
+		return nil, ErrNotDir
+	}
+	prefix := path
+	if prefix != "/" {
+		prefix += "/"
+	} else {
+		prefix = "/"
+	}
+	var names []string
+	for p := range s.files {
+		if p == path || !strings.HasPrefix(p, prefix) {
+			continue
+		}
+		rest := p[len(prefix):]
+		if !strings.Contains(rest, "/") {
+			names = append(names, rest)
+		}
+	}
+	sort.Strings(names)
+	return []byte(strings.Join(names, "\x00")), nil
+}
+
+func (s *Server) remove(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.files[path]; !ok {
+		return ErrNotFound
+	}
+	delete(s.files, path)
+	s.k.ReleaseObject("file:" + path)
+	return nil
+}

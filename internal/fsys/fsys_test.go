@@ -1,0 +1,176 @@
+package fsys
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/guard"
+	"repro/internal/kernel"
+	"repro/internal/nal"
+	"repro/internal/nal/proof"
+	"repro/internal/tpm"
+)
+
+func newFS(t *testing.T) (*kernel.Kernel, *Server, *Client, *kernel.Process) {
+	t.Helper()
+	tp, err := tpm.Manufacture(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := kernel.Boot(tp, disk.New(), kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.SetGuard(guard.New(k))
+	s, err := New(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := k.CreateProcess(0, []byte("app"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, s, s.ClientFor(p), p
+}
+
+func TestCreateOpenReadWriteClose(t *testing.T) {
+	_, _, c, _ := newFS(t)
+	if err := c.Create("/hello"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Create("/hello"); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate create: want ErrExists, got %v", err)
+	}
+	fd, err := c.Open("/hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.Write(fd, []byte("world"))
+	if err != nil || n != 5 {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	if err := c.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	fd2, _ := c.Open("/hello")
+	data, err := c.Read(fd2, 100)
+	if err != nil || !bytes.Equal(data, []byte("world")) {
+		t.Errorf("Read = %q, %v", data, err)
+	}
+	// Sequential reads advance the offset.
+	more, _ := c.Read(fd2, 100)
+	if len(more) != 0 {
+		t.Errorf("read past EOF = %q", more)
+	}
+	c.Close(fd2)
+	if _, err := c.Read(fd2, 1); !errors.Is(err, ErrBadFD) {
+		t.Errorf("closed fd: want ErrBadFD, got %v", err)
+	}
+	if _, err := c.Open("/missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestDirectories(t *testing.T) {
+	_, _, c, _ := newFS(t)
+	if err := c.Mkdir("/dir"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Create("/dir/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Create("/dir/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Create("/nodir/x"); !errors.Is(err, ErrNotDir) {
+		t.Errorf("create under missing dir: want ErrNotDir, got %v", err)
+	}
+	names, err := c.List("/dir")
+	if err != nil || len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("List = %v, %v", names, err)
+	}
+	if _, err := c.Open("/dir"); !errors.Is(err, ErrIsDir) {
+		t.Errorf("open dir: want ErrIsDir, got %v", err)
+	}
+	if err := c.Remove("/dir/a"); err != nil {
+		t.Fatal(err)
+	}
+	names, _ = c.List("/dir")
+	if len(names) != 1 {
+		t.Errorf("after remove: %v", names)
+	}
+}
+
+func TestWholeFileOps(t *testing.T) {
+	_, _, c, _ := newFS(t)
+	if err := c.WriteFile("/f", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteFile("/f", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := c.ReadFile("/f")
+	if err != nil || string(data) != "v2" {
+		t.Errorf("ReadFile = %q, %v", data, err)
+	}
+}
+
+func TestDescriptorsNotTransferable(t *testing.T) {
+	k, s, c, _ := newFS(t)
+	c.Create("/f")
+	fd, _ := c.Open("/f")
+	other, _ := k.CreateProcess(0, []byte("other"))
+	oc := s.ClientFor(other)
+	if _, err := oc.Read(fd, 1); !errors.Is(err, ErrBadFD) {
+		t.Errorf("foreign fd: want ErrBadFD, got %v", err)
+	}
+}
+
+func TestOwnershipGrantDeposited(t *testing.T) {
+	_, s, c, p := newFS(t)
+	if err := c.Create("/mine"); err != nil {
+		t.Fatal(err)
+	}
+	want := nal.Says{P: s.Prin(), F: nal.SpeaksFor{
+		A: p.Prin, B: nal.SubOf(s.Prin(), "/mine"),
+	}}
+	found := false
+	for _, f := range p.Labels.All() {
+		if f.Equal(nal.Formula(want)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("ownership grant missing; have %v", p.Labels.All())
+	}
+}
+
+func TestPerFileGoalFormula(t *testing.T) {
+	// The §2.5 scenario: reading /secret requires a safety credential.
+	k, s, c, p := newFS(t)
+	if err := c.Create("/secret"); err != nil {
+		t.Fatal(err)
+	}
+	certifier, _ := k.CreateProcess(0, []byte("safety-certifier"))
+	goal := nal.Says{P: certifier.Prin, F: nal.Pred{Name: "safe", Args: []nal.Term{nal.Var("S")}}}
+	// The creator owns the nascent object, so it (not the fileserver) may
+	// set goals on it under the default policy (§2.6).
+	if err := k.SetGoal(s.Proc(), "open", "file:/secret", goal, nil); !errors.Is(err, kernel.ErrDenied) {
+		t.Errorf("non-owner setgoal: want ErrDenied, got %v", err)
+	}
+	if err := k.SetGoal(p, "open", "file:/secret", goal, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Open("/secret"); !errors.Is(err, kernel.ErrDenied) {
+		t.Errorf("uncertified open: want ErrDenied, got %v", err)
+	}
+	// The certifier vouches; the client proves.
+	cred := nal.Says{P: certifier.Prin, F: nal.Pred{Name: "safe", Args: []nal.Term{nal.PrinTerm{P: p.Prin}}}}
+	pf := proof.Assume(0, cred)
+	k.SetProof(p, "open", "file:/secret", pf, []kernel.Credential{{Inline: cred}})
+	if _, err := c.Open("/secret"); err != nil {
+		t.Errorf("certified open: %v", err)
+	}
+}

@@ -1,0 +1,160 @@
+package guard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/kernel"
+	"repro/internal/nal"
+	"repro/internal/ssr"
+)
+
+// Automaton is a stateful guard implementing a security automaton whose
+// state persists in an SSR (§3.3: "guards can use SSRs to store the state
+// of security automata, which may include counters, expiration dates, and
+// summary of past behaviors"). This instance enforces per-subject use
+// counts: each subject may perform the guarded operation at most Limit
+// times, across reboots, with replay of the on-disk counter state detected
+// by the attested-storage layer.
+type Automaton struct {
+	// Inner decides admissibility before the automaton counts the access;
+	// nil admits everything (pure rate limiting).
+	Inner kernel.Guard
+	// Limit is the per-subject allowance.
+	Limit uint64
+
+	mu     sync.Mutex
+	region *ssr.Region
+	slots  map[string]int // subject → block index
+	next   int
+}
+
+// NewAutomaton creates an automaton persisting its counters in a region of
+// the given attested store. maxSubjects bounds distinct subjects.
+func NewAutomaton(mgr *ssr.Manager, name string, maxSubjects int, limit uint64, inner kernel.Guard) (*Automaton, error) {
+	region, err := mgr.CreateRegion("automaton-"+name, maxSubjects, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Automaton{
+		Inner:  inner,
+		Limit:  limit,
+		region: region,
+		slots:  map[string]int{},
+	}, nil
+}
+
+// Attach reconnects to an existing region after recovery (counters survive
+// reboots; slot assignments are rebuilt from block headers).
+func Attach(region *ssr.Region, limit uint64, inner kernel.Guard) (*Automaton, error) {
+	a := &Automaton{Inner: inner, Limit: limit, region: region, slots: map[string]int{}}
+	for i := 0; i < region.NumBlocks(); i++ {
+		blk, err := region.ReadBlock(i)
+		if err != nil {
+			return nil, err
+		}
+		name, _, ok := decodeSlot(blk)
+		if !ok {
+			continue
+		}
+		a.slots[name] = i
+		if i >= a.next {
+			a.next = i + 1
+		}
+	}
+	return a, nil
+}
+
+// Region exposes the backing region (for reboot/recovery tests).
+func (a *Automaton) Region() *ssr.Region { return a.region }
+
+// Remaining reports the subject's remaining allowance.
+func (a *Automaton) Remaining(subject nal.Principal) (uint64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	used, _, err := a.usedLocked(subject.String())
+	if err != nil {
+		return 0, err
+	}
+	if used >= a.Limit {
+		return 0, nil
+	}
+	return a.Limit - used, nil
+}
+
+// Check implements kernel.Guard: consult the inner guard, then advance the
+// automaton. Decisions are never cacheable — each access transitions state.
+func (a *Automaton) Check(req *kernel.GuardRequest) kernel.GuardDecision {
+	if a.Inner != nil {
+		dec := a.Inner.Check(req)
+		if !dec.Allow {
+			dec.Cacheable = false
+			return dec
+		}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	subj := req.Subject.String()
+	used, slot, err := a.usedLocked(subj)
+	if err != nil {
+		return kernel.GuardDecision{Allow: false, Reason: fmt.Sprintf("automaton state: %v", err)}
+	}
+	if used >= a.Limit {
+		return kernel.GuardDecision{Allow: false, Reason: fmt.Sprintf("use limit %d exhausted", a.Limit)}
+	}
+	if err := a.writeLocked(slot, subj, used+1); err != nil {
+		// The counter must be durably advanced before the access proceeds;
+		// fail closed.
+		return kernel.GuardDecision{Allow: false, Reason: fmt.Sprintf("persisting automaton state: %v", err)}
+	}
+	return kernel.GuardDecision{Allow: true, Cacheable: false}
+}
+
+func (a *Automaton) usedLocked(subj string) (uint64, int, error) {
+	slot, ok := a.slots[subj]
+	if !ok {
+		if a.next >= a.region.NumBlocks() {
+			return 0, 0, fmt.Errorf("automaton full")
+		}
+		slot = a.next
+		a.next++
+		a.slots[subj] = slot
+		return 0, slot, nil
+	}
+	blk, err := a.region.ReadBlock(slot)
+	if err != nil {
+		return 0, 0, err
+	}
+	_, count, ok := decodeSlot(blk)
+	if !ok {
+		return 0, slot, nil
+	}
+	return count, slot, nil
+}
+
+func (a *Automaton) writeLocked(slot int, subj string, count uint64) error {
+	return a.region.WriteBlock(slot, encodeSlot(subj, count))
+}
+
+// Slot layout: name length (2) | name | counter (8).
+func encodeSlot(name string, count uint64) []byte {
+	out := make([]byte, 2+len(name)+8)
+	binary.LittleEndian.PutUint16(out, uint16(len(name)))
+	copy(out[2:], name)
+	binary.LittleEndian.PutUint64(out[2+len(name):], count)
+	return out
+}
+
+func decodeSlot(blk []byte) (string, uint64, bool) {
+	if len(blk) < 2 {
+		return "", 0, false
+	}
+	n := int(binary.LittleEndian.Uint16(blk))
+	if n == 0 || len(blk) < 2+n+8 {
+		return "", 0, false
+	}
+	name := string(blk[2 : 2+n])
+	count := binary.LittleEndian.Uint64(blk[2+n:])
+	return name, count, true
+}

@@ -1,0 +1,150 @@
+package guard
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/kernel"
+	"repro/internal/nal"
+	"repro/internal/ssr"
+	"repro/internal/tpm"
+)
+
+func newStore(t *testing.T) (*tpm.TPM, *disk.Disk, *ssr.Manager) {
+	t.Helper()
+	tp, err := tpm.Manufacture(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp.Extend(tpm.PCRKernel, []byte("nexus"))
+	if err := tp.TakeOwnership([]tpm.PCRIndex{tpm.PCRKernel}); err != nil {
+		t.Fatal(err)
+	}
+	d := disk.New()
+	m, err := ssr.Init(tp, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp, d, m
+}
+
+func req(subject nal.Principal) *kernel.GuardRequest {
+	return &kernel.GuardRequest{Subject: subject, Op: "sign", Obj: "doc"}
+}
+
+func TestAutomatonEnforcesLimit(t *testing.T) {
+	_, _, m := newStore(t)
+	a, err := NewAutomaton(m, "uses", 4, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice := nal.Name("alice")
+	for i := 0; i < 3; i++ {
+		dec := a.Check(req(alice))
+		if !dec.Allow {
+			t.Fatalf("use %d denied: %s", i, dec.Reason)
+		}
+		if dec.Cacheable {
+			t.Fatal("stateful decisions must never be cacheable")
+		}
+	}
+	dec := a.Check(req(alice))
+	if dec.Allow || !strings.Contains(dec.Reason, "exhausted") {
+		t.Errorf("4th use = %+v", dec)
+	}
+	// Another subject has its own counter.
+	if dec := a.Check(req(nal.Name("bob"))); !dec.Allow {
+		t.Errorf("bob denied: %s", dec.Reason)
+	}
+	if rem, _ := a.Remaining(alice); rem != 0 {
+		t.Errorf("alice remaining = %d", rem)
+	}
+	if rem, _ := a.Remaining(nal.Name("bob")); rem != 2 {
+		t.Errorf("bob remaining = %d", rem)
+	}
+}
+
+func TestAutomatonSurvivesReboot(t *testing.T) {
+	tp, d, m := newStore(t)
+	a, err := NewAutomaton(m, "uses", 4, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice := nal.Name("alice")
+	a.Check(req(alice))
+
+	// Power cycle; recover the store and reattach.
+	tp.Startup()
+	tp.Extend(tpm.PCRKernel, []byte("nexus"))
+	if _, err := ssr.Recover(tp, d); err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Attach(a.Region(), 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rem, _ := a2.Remaining(alice); rem != 1 {
+		t.Errorf("remaining after reboot = %d, want 1", rem)
+	}
+	a2.Check(req(alice))
+	if dec := a2.Check(req(alice)); dec.Allow {
+		t.Error("limit must hold across reboots")
+	}
+}
+
+func TestAutomatonReplayDetected(t *testing.T) {
+	// An attacker snapshots the disk before spending uses and replays it:
+	// the attested-storage layer catches the rollback.
+	_, d, m := newStore(t)
+	a, err := NewAutomaton(m, "uses", 4, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice := nal.Name("alice")
+	a.Check(req(alice)) // establish a slot, counter = 1
+	img := d.Snapshot()
+	a.Check(req(alice)) // counter = 2 (exhausted)
+	d.Restore(img)      // roll the disk back
+	if dec := a.Check(req(alice)); dec.Allow {
+		t.Error("replayed counter accepted")
+	} else if !strings.Contains(dec.Reason, "integrity") &&
+		!strings.Contains(dec.Reason, "exhausted") && !strings.Contains(dec.Reason, "state") {
+		t.Errorf("unexpected denial reason: %s", dec.Reason)
+	}
+}
+
+func TestAutomatonComposesWithInnerGuard(t *testing.T) {
+	_, _, m := newStore(t)
+	deny := guardFunc(func(*kernel.GuardRequest) kernel.GuardDecision {
+		return kernel.GuardDecision{Allow: false, Cacheable: true, Reason: "inner"}
+	})
+	a, err := NewAutomaton(m, "uses", 2, 5, deny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := a.Check(req(nal.Name("alice")))
+	if dec.Allow {
+		t.Error("inner denial must propagate")
+	}
+	if dec.Cacheable {
+		t.Error("automaton must strip cacheability")
+	}
+	// And the denial did not consume an allowance.
+	if rem, _ := a.Remaining(nal.Name("alice")); rem != 5 {
+		t.Errorf("remaining = %d, want 5", rem)
+	}
+}
+
+func TestAutomatonCapacity(t *testing.T) {
+	_, _, m := newStore(t)
+	a, err := NewAutomaton(m, "uses", 2, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Check(req(nal.Name("u1")))
+	a.Check(req(nal.Name("u2")))
+	if dec := a.Check(req(nal.Name("u3"))); dec.Allow {
+		t.Error("automaton past capacity must fail closed")
+	}
+}

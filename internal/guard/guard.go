@@ -1,0 +1,271 @@
+// Package guard implements the Nexus generic guard (§2.6, §2.9): the
+// reference monitor that evaluates client-supplied proofs against goal
+// formulas on decision-cache misses.
+//
+// The guard checks — it never constructs — proofs. Credentials arrive either
+// inline (copied into the request, indefinitely valid, cacheable) or as
+// labelstore references (re-fetched from the mutable store on every check,
+// so decisions depending on them are not cacheable). Authority steps are
+// re-validated on every evaluation, even when the structural part of the
+// proof hits the guard's internal proof cache; this is the "lemma" caching
+// of §2.9 that keeps dynamic-state checks sound while amortizing
+// proof-checking cost.
+package guard
+
+import (
+	"crypto/sha1"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"repro/internal/kernel"
+	"repro/internal/nal"
+	"repro/internal/nal/proof"
+)
+
+// Generic is the default Nexus guard. Create instances with New; a single
+// guard may serve many resources. All methods are safe for concurrent use.
+type Generic struct {
+	k *kernel.Kernel
+
+	mu       sync.Mutex
+	embedded map[string]func(nal.Formula) bool
+	cache    map[string]*cachedProof // proof cache (§2.9)
+	order    []string                // insertion order for eviction scans
+	maxCache int
+	quotas   map[string]int // cache entries per principal tree root
+
+	hits, misses, evictions uint64
+}
+
+// cachedProof records a structurally validated proof so later checks only
+// re-run its authority consultations.
+type cachedProof struct {
+	owner       string // root principal, for per-principal eviction
+	authorities []authStep
+}
+
+type authStep struct {
+	channel string
+	f       nal.Formula
+}
+
+// DefaultCacheSize bounds the proof cache.
+const DefaultCacheSize = 1024
+
+// DefaultQuota bounds entries per principal tree root, limiting exhaustion
+// attacks from incessantly spawned principals (§2.9).
+const DefaultQuota = 256
+
+// New creates a guard bound to a kernel (for labelstore fetches and
+// external-authority IPC).
+func New(k *kernel.Kernel) *Generic {
+	return &Generic{
+		k:        k,
+		embedded: map[string]func(nal.Formula) bool{},
+		cache:    map[string]*cachedProof{},
+		maxCache: DefaultCacheSize,
+		quotas:   map[string]int{},
+	}
+}
+
+// SetCacheSize adjusts the proof-cache bound (0 disables caching).
+func (g *Generic) SetCacheSize(n int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.maxCache = n
+}
+
+// RegisterEmbedded installs an embedded authority: a predicate evaluated
+// inside the guard process, cheaper than an external authority because no
+// IPC crossing is needed (Figure 4, "embed auth"). It returns the channel
+// name to use in proofs.
+func (g *Generic) RegisterEmbedded(name string, fn func(nal.Formula) bool) string {
+	ch := "embed:" + name
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.embedded[ch] = fn
+	return ch
+}
+
+// Stats reports proof-cache hits, misses, and evictions.
+func (g *Generic) Stats() (hits, misses, evictions uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.hits, g.misses, g.evictions
+}
+
+// Check implements kernel.Guard.
+func (g *Generic) Check(req *kernel.GuardRequest) kernel.GuardDecision {
+	goal := g.instantiate(req)
+	if req.Proof == nil {
+		return kernel.GuardDecision{Allow: false, Cacheable: true, Reason: "no proof supplied"}
+	}
+
+	creds, hasRefs, err := g.resolveCreds(req)
+	if err != nil {
+		return kernel.GuardDecision{Allow: false, Cacheable: false, Reason: err.Error()}
+	}
+
+	key := cacheKey(goal, req.Proof, creds)
+	g.mu.Lock()
+	entry, hit := g.cache[key]
+	if hit {
+		g.hits++
+	} else {
+		g.misses++
+	}
+	g.mu.Unlock()
+
+	if hit {
+		// Structure already validated; only dynamic state needs re-checking.
+		for _, a := range entry.authorities {
+			if !g.authority(a.channel, a.f) {
+				return kernel.GuardDecision{Allow: false, Cacheable: false,
+					Reason: fmt.Sprintf("authority %s no longer affirms %s", a.channel, a.f)}
+			}
+		}
+		return kernel.GuardDecision{Allow: true, Cacheable: len(entry.authorities) == 0 && !hasRefs}
+	}
+
+	var auths []authStep
+	env := &proof.Env{
+		Credentials: creds,
+		TrustRoots:  []nal.Principal{g.k.Prin},
+		Authority: func(ch string, f nal.Formula) bool {
+			if !g.authority(ch, f) {
+				return false
+			}
+			auths = append(auths, authStep{channel: ch, f: f})
+			return true
+		},
+	}
+	res, err := proof.Check(req.Proof, goal, env)
+	if err != nil {
+		// A failed check is cacheable only if it cannot become valid
+		// without a proof update (which invalidates the cache entry anyway)
+		// — i.e. when it did not depend on dynamic state.
+		return kernel.GuardDecision{Allow: false, Cacheable: res.AuthorityCalls == 0 && !hasRefs,
+			Reason: err.Error()}
+	}
+	g.insert(key, req.Subject, auths)
+	return kernel.GuardDecision{Allow: true, Cacheable: res.Cacheable && !hasRefs}
+}
+
+// instantiate applies the guard substitution: ?S = subject, ?O = object,
+// ?Op = operation (§2.5's calligraphic identifiers).
+func (g *Generic) instantiate(req *kernel.GuardRequest) nal.Formula {
+	sub := nal.Subst{
+		"S":  nal.PrinTerm{P: req.Subject},
+		"O":  nal.Str(req.Obj),
+		"Op": nal.Str(req.Op),
+	}
+	return sub.Apply(req.Goal)
+}
+
+// resolveCreds materializes the credential list, fetching labelstore
+// references; hasRefs reports whether any credential came from a mutable
+// store.
+func (g *Generic) resolveCreds(req *kernel.GuardRequest) ([]nal.Formula, bool, error) {
+	creds := make([]nal.Formula, 0, len(req.Creds))
+	hasRefs := false
+	for i, c := range req.Creds {
+		switch {
+		case c.Inline != nil:
+			creds = append(creds, c.Inline)
+		case c.Ref != nil:
+			hasRefs = true
+			p, ok := g.k.Lookup(c.Ref.PID)
+			if !ok {
+				return nil, true, fmt.Errorf("credential %d: process %d gone", i, c.Ref.PID)
+			}
+			l, err := p.Labels.Get(c.Ref.Handle)
+			if err != nil {
+				return nil, true, fmt.Errorf("credential %d: %v", i, err)
+			}
+			creds = append(creds, l.Formula)
+		default:
+			return nil, hasRefs, fmt.Errorf("credential %d: empty", i)
+		}
+	}
+	return creds, hasRefs, nil
+}
+
+// authority answers one authority consultation: embedded first, then
+// external over IPC.
+func (g *Generic) authority(channel string, f nal.Formula) bool {
+	g.mu.Lock()
+	fn, ok := g.embedded[channel]
+	g.mu.Unlock()
+	if ok {
+		return fn(f)
+	}
+	ans, err := g.k.QueryAuthority(channel, f)
+	return err == nil && ans
+}
+
+// insert adds a validated proof to the cache, evicting preferentially from
+// the same principal's entries (performance isolation, §2.9) and enforcing
+// the per-tree-root quota.
+func (g *Generic) insert(key string, subject nal.Principal, auths []authStep) {
+	root := nal.RootOf(subject).String()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.maxCache <= 0 {
+		return
+	}
+	if _, ok := g.cache[key]; ok {
+		return
+	}
+	if g.quotas[root] >= DefaultQuota || len(g.cache) >= g.maxCache {
+		g.evictLocked(root)
+	}
+	g.cache[key] = &cachedProof{owner: root, authorities: auths}
+	g.order = append(g.order, key)
+	g.quotas[root]++
+}
+
+// evictLocked removes one entry, preferring the requesting principal's own.
+func (g *Generic) evictLocked(root string) {
+	victim := -1
+	for i, k := range g.order {
+		if e, ok := g.cache[k]; ok && e.owner == root {
+			victim = i
+			break
+		}
+	}
+	if victim == -1 {
+		for i, k := range g.order {
+			if _, ok := g.cache[k]; ok {
+				victim = i
+				break
+			}
+		}
+	}
+	if victim == -1 {
+		g.order = g.order[:0]
+		return
+	}
+	k := g.order[victim]
+	if e, ok := g.cache[k]; ok {
+		g.quotas[e.owner]--
+		delete(g.cache, k)
+	}
+	g.order = append(g.order[:victim:victim], g.order[victim+1:]...)
+	g.evictions++
+}
+
+// cacheKey identifies a (goal, proof, credentials) combination. The proof
+// contributes its cached fingerprint, so repeat evaluations of a registered
+// proof do not re-serialize it.
+func cacheKey(goal nal.Formula, p *proof.Proof, creds []nal.Formula) string {
+	h := sha1.New()
+	h.Write([]byte(goal.String()))
+	h.Write([]byte{0})
+	h.Write([]byte(p.Fingerprint()))
+	for _, c := range creds {
+		h.Write([]byte{0})
+		h.Write([]byte(c.String()))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

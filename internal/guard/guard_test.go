@@ -1,0 +1,292 @@
+package guard
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/kernel"
+	"repro/internal/nal"
+	"repro/internal/nal/proof"
+	"repro/internal/tpm"
+)
+
+type world struct {
+	k   *kernel.Kernel
+	g   *Generic
+	srv *kernel.Process
+	cli *kernel.Process
+	pt  *kernel.Port
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	tp, err := tpm.Manufacture(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := kernel.Boot(tp, disk.New(), kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(k)
+	k.SetGuard(g)
+	srv, _ := k.CreateProcess(0, []byte("server"))
+	cli, _ := k.CreateProcess(0, []byte("client"))
+	pt, _ := k.CreatePort(srv, func(*kernel.Process, *kernel.Msg) ([]byte, error) {
+		return []byte("ok"), nil
+	})
+	return &world{k: k, g: g, srv: srv, cli: cli, pt: pt}
+}
+
+func (w *world) call(op, obj string) error {
+	_, err := w.k.Call(w.cli, w.pt.ID, &kernel.Msg{Op: op, Obj: obj})
+	return err
+}
+
+func TestNoProofDenied(t *testing.T) {
+	w := newWorld(t)
+	goal := nal.MustParse("?S says wantsAccess")
+	if err := w.k.SetGoal(w.srv, "read", "obj", goal, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.call("read", "obj"); !errors.Is(err, kernel.ErrDenied) {
+		t.Errorf("no proof: want ErrDenied, got %v", err)
+	}
+}
+
+func TestPassWithInlineCredential(t *testing.T) {
+	w := newWorld(t)
+	goal := nal.MustParse("?S says wantsAccess")
+	if err := w.k.SetGoal(w.srv, "read", "obj", goal, nil); err != nil {
+		t.Fatal(err)
+	}
+	cred := nal.Says{P: w.cli.Prin, F: nal.Pred{Name: "wantsAccess"}}
+	p := proof.Assume(0, cred)
+	w.k.SetProof(w.cli, "read", "obj", p, []kernel.Credential{{Inline: cred}})
+	if err := w.call("read", "obj"); err != nil {
+		t.Fatalf("pass case: %v", err)
+	}
+	// Decision cached: repeated calls don't upcall.
+	before := w.k.GuardUpcalls()
+	for i := 0; i < 5; i++ {
+		if err := w.call("read", "obj"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.k.GuardUpcalls() != before {
+		t.Error("cacheable pass must not upcall again")
+	}
+}
+
+func TestUnsoundProofDenied(t *testing.T) {
+	w := newWorld(t)
+	goal := nal.MustParse("?S says wantsAccess")
+	w.k.SetGoal(w.srv, "read", "obj", goal, nil)
+	// Proof concludes the wrong formula.
+	cred := nal.MustParse("Other says wantsAccess")
+	p := proof.Assume(0, cred)
+	w.k.SetProof(w.cli, "read", "obj", p, []kernel.Credential{{Inline: cred}})
+	if err := w.call("read", "obj"); !errors.Is(err, kernel.ErrDenied) {
+		t.Errorf("unsound proof: want ErrDenied, got %v", err)
+	}
+}
+
+func TestMissingCredentialDenied(t *testing.T) {
+	w := newWorld(t)
+	goal := nal.MustParse("?S says wantsAccess")
+	w.k.SetGoal(w.srv, "read", "obj", goal, nil)
+	cred := nal.Says{P: w.cli.Prin, F: nal.Pred{Name: "wantsAccess"}}
+	p := proof.Assume(0, cred)
+	w.k.SetProof(w.cli, "read", "obj", p, nil) // proof references cred #0, none given
+	if err := w.call("read", "obj"); !errors.Is(err, kernel.ErrDenied) {
+		t.Errorf("missing cred: want ErrDenied, got %v", err)
+	}
+}
+
+func TestLabelstoreRefCredential(t *testing.T) {
+	w := newWorld(t)
+	goal := nal.MustParse("?S says wantsAccess")
+	w.k.SetGoal(w.srv, "read", "obj", goal, nil)
+	l, err := w.cli.Labels.Say("wantsAccess")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred := l.Formula
+	p := proof.Assume(0, cred)
+	w.k.SetProof(w.cli, "read", "obj", p,
+		[]kernel.Credential{{Ref: &kernel.LabelRef{PID: w.cli.PID, Handle: l.Handle}}})
+	if err := w.call("read", "obj"); err != nil {
+		t.Fatalf("ref credential: %v", err)
+	}
+	// Store-referenced credentials are not kernel-cacheable: upcalls repeat.
+	before := w.k.GuardUpcalls()
+	w.call("read", "obj")
+	if w.k.GuardUpcalls() == before {
+		t.Error("ref credential decision must not be kernel-cached")
+	}
+	// Deleting the label revokes access on the next check.
+	w.cli.Labels.Delete(l.Handle)
+	if err := w.call("read", "obj"); !errors.Is(err, kernel.ErrDenied) {
+		t.Errorf("deleted label: want ErrDenied, got %v", err)
+	}
+}
+
+func TestEmbeddedAuthority(t *testing.T) {
+	w := newWorld(t)
+	affirm := true
+	ch := w.g.RegisterEmbedded("clock", func(f nal.Formula) bool {
+		return affirm && f.String() == "NTP says TimeNow < @2026-03-19"
+	})
+	goal := nal.MustParse("NTP says TimeNow < @2026-03-19")
+	w.k.SetGoal(w.srv, "read", "obj", goal, nil)
+	p := &proof.Proof{Steps: []proof.Step{
+		{Rule: proof.RuleAuthority, Channel: ch, F: goal},
+	}}
+	w.k.SetProof(w.cli, "read", "obj", p, nil)
+	if err := w.call("read", "obj"); err != nil {
+		t.Fatalf("embedded authority: %v", err)
+	}
+	// Non-cacheable: every call re-upcalls and re-queries.
+	before := w.k.GuardUpcalls()
+	w.call("read", "obj")
+	if w.k.GuardUpcalls() == before {
+		t.Error("authority decision must not be kernel-cached")
+	}
+	// The guard's proof cache still avoids structural re-checking.
+	hits, _, _ := w.g.Stats()
+	if hits == 0 {
+		t.Error("proof cache should hit on repeat evaluation")
+	}
+	// Authority flips: access revoked immediately.
+	affirm = false
+	if err := w.call("read", "obj"); !errors.Is(err, kernel.ErrDenied) {
+		t.Errorf("flipped authority: want ErrDenied, got %v", err)
+	}
+}
+
+func TestExternalAuthority(t *testing.T) {
+	w := newWorld(t)
+	ap, _ := w.k.CreateProcess(0, []byte("ntp"))
+	a, err := w.k.RegisterAuthority(ap, func(f nal.Formula) bool {
+		return f.String() == "NTP says TimeNow < @2026-03-19"
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goal := nal.MustParse("NTP says TimeNow < @2026-03-19")
+	w.k.SetGoal(w.srv, "read", "obj", goal, nil)
+	p := &proof.Proof{Steps: []proof.Step{
+		{Rule: proof.RuleAuthority, Channel: a.Channel(), F: goal},
+	}}
+	w.k.SetProof(w.cli, "read", "obj", p, nil)
+	if err := w.call("read", "obj"); err != nil {
+		t.Fatalf("external authority: %v", err)
+	}
+	// Unknown channel denies.
+	p2 := &proof.Proof{Steps: []proof.Step{
+		{Rule: proof.RuleAuthority, Channel: "ipc:9999", F: goal},
+	}}
+	w.k.SetProof(w.cli, "read", "obj", p2, nil)
+	if err := w.call("read", "obj"); !errors.Is(err, kernel.ErrDenied) {
+		t.Errorf("unknown authority: want ErrDenied, got %v", err)
+	}
+}
+
+func TestGuardSubstitutionBindsSubjectObjectOp(t *testing.T) {
+	w := newWorld(t)
+	goal := nal.MustParse(`?S says requested(?Op, ?O)`)
+	w.k.SetGoal(w.srv, "write", "obj9", goal, nil)
+	cred := nal.Says{P: w.cli.Prin, F: nal.Pred{
+		Name: "requested",
+		Args: []nal.Term{nal.Str("write"), nal.Str("obj9")},
+	}}
+	p := proof.Assume(0, cred)
+	w.k.SetProof(w.cli, "write", "obj9", p, []kernel.Credential{{Inline: cred}})
+	if err := w.call("write", "obj9"); err != nil {
+		t.Fatalf("substituted goal: %v", err)
+	}
+}
+
+func TestDelegationProofThroughGuard(t *testing.T) {
+	// The §2.5 time-sensitive file shape end-to-end: owner delegates
+	// TimeNow to NTP; NTP's current claim arrives via authority.
+	w := newWorld(t)
+	owner, _ := w.k.CreateProcess(0, []byte("owner"))
+	ntp, _ := w.k.CreateProcess(0, []byte("ntp"))
+	a, err := w.k.RegisterAuthority(ntp, func(f nal.Formula) bool {
+		want := nal.Says{P: ntp.Prin, F: nal.MustParse("TimeNow < @2026-03-19")}
+		return f.Equal(nal.Formula(want))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deleg, err := owner.Labels.SayFormula(nal.SpeaksFor{
+		A: ntp.Prin, B: owner.Prin, On: &nal.Pattern{Pred: "TimeNow"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goal := nal.Says{P: owner.Prin, F: nal.MustParse("TimeNow < @2026-03-19")}
+	w.k.SetGoal(w.srv, "read", "file", goal, nil)
+
+	d := &proof.Deriver{
+		Creds:      []nal.Formula{deleg.Formula},
+		TrustRoots: []nal.Principal{w.k.Prin},
+		Authority: func(f nal.Formula) (string, bool) {
+			if s, ok := f.(nal.Says); ok && s.P.EqualPrin(ntp.Prin) {
+				return a.Channel(), true
+			}
+			return "", false
+		},
+	}
+	pf, err := d.Derive(goal)
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	w.k.SetProof(w.cli, "read", "file", pf, []kernel.Credential{{Inline: deleg.Formula}})
+	if err := w.call("read", "file"); err != nil {
+		t.Fatalf("delegated time check: %v", err)
+	}
+}
+
+func TestProofCacheEviction(t *testing.T) {
+	w := newWorld(t)
+	w.g.SetCacheSize(4)
+	goal := nal.MustParse("?S says wantsAccess(?O)")
+	w.k.DCache().Disable() // force guard evaluation each time
+	for i := 0; i < 10; i++ {
+		obj := "obj" + string(rune('a'+i))
+		w.k.SetGoal(w.srv, "read", obj, goal, nil)
+		cred := nal.Says{P: w.cli.Prin, F: nal.Pred{Name: "wantsAccess", Args: []nal.Term{nal.Str(obj)}}}
+		w.k.SetProof(w.cli, "read", obj, proof.Assume(0, cred), []kernel.Credential{{Inline: cred}})
+		if err := w.call("read", obj); err != nil {
+			t.Fatalf("obj %d: %v", i, err)
+		}
+	}
+	_, _, evictions := w.g.Stats()
+	if evictions == 0 {
+		t.Error("bounded cache must evict")
+	}
+}
+
+func TestGuardSeparateForResource(t *testing.T) {
+	// A designated guard on one resource; the default guard elsewhere.
+	w := newWorld(t)
+	denied := 0
+	customGuard := guardFunc(func(req *kernel.GuardRequest) kernel.GuardDecision {
+		denied++
+		return kernel.GuardDecision{Allow: false, Cacheable: false, Reason: "custom"}
+	})
+	w.k.SetGoal(w.srv, "read", "special", nal.MustParse("x"), customGuard)
+	if err := w.call("read", "special"); !errors.Is(err, kernel.ErrDenied) {
+		t.Errorf("custom guard: want ErrDenied, got %v", err)
+	}
+	if denied != 1 {
+		t.Error("custom guard not consulted")
+	}
+}
+
+type guardFunc func(*kernel.GuardRequest) kernel.GuardDecision
+
+func (f guardFunc) Check(r *kernel.GuardRequest) kernel.GuardDecision { return f(r) }

@@ -1,0 +1,93 @@
+// Package introspect implements the Nexus introspection service (§3.1): an
+// extensible, /proc-like namespace of live key=value bindings published by
+// the kernel and by applications. Each node is logically the label
+// "owner says path = value"; labeling functions analyze this grey-box view
+// to attest properties such as IPC connectivity or loaded modules without
+// resorting to binary hashes.
+package introspect
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/nal"
+)
+
+// Node is one published binding.
+type Node struct {
+	Path  string
+	Owner nal.Principal
+	Value func() string
+}
+
+// Registry is a concurrent namespace of nodes. The zero value is not
+// usable; call NewRegistry.
+type Registry struct {
+	mu    sync.RWMutex
+	nodes map[string]*Node
+}
+
+// NewRegistry creates an empty namespace.
+func NewRegistry() *Registry {
+	return &Registry{nodes: map[string]*Node{}}
+}
+
+// Publish installs (or replaces) a live binding at path. The value function
+// is evaluated on every read, exposing current state rather than a
+// snapshot — the property that lets authorities answer over fresh data.
+func (r *Registry) Publish(path string, owner nal.Principal, value func() string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nodes[path] = &Node{Path: path, Owner: owner, Value: value}
+}
+
+// PublishStatic installs a fixed value.
+func (r *Registry) PublishStatic(path string, owner nal.Principal, value string) {
+	r.Publish(path, owner, func() string { return value })
+}
+
+// Retract removes a binding.
+func (r *Registry) Retract(path string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.nodes, path)
+}
+
+// Read evaluates the binding at path.
+func (r *Registry) Read(path string) (value string, owner nal.Principal, ok bool) {
+	r.mu.RLock()
+	n, ok := r.nodes[path]
+	r.mu.RUnlock()
+	if !ok {
+		return "", nil, false
+	}
+	return n.Value(), n.Owner, true
+}
+
+// Label returns the logical label corresponding to a node:
+// "owner says attr(path, value)" (§3.1).
+func (r *Registry) Label(path string) (nal.Formula, bool) {
+	v, owner, ok := r.Read(path)
+	if !ok {
+		return nil, false
+	}
+	return nal.Says{P: owner, F: nal.Pred{
+		Name: "attr",
+		Args: []nal.Term{nal.Str(path), nal.Str(v)},
+	}}, true
+}
+
+// List returns the paths under prefix, sorted.
+func (r *Registry) List(prefix string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []string
+	for p := range r.nodes {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,81 @@
+package introspect
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/nal"
+)
+
+func TestPublishReadRetract(t *testing.T) {
+	r := NewRegistry()
+	owner := nal.Name("kernel")
+	n := 0
+	r.Publish("/proc/x", owner, func() string { n++; return fmt.Sprint(n) })
+	v, got, ok := r.Read("/proc/x")
+	if !ok || v != "1" || !got.EqualPrin(owner) {
+		t.Errorf("Read = %q, %v, %v", v, got, ok)
+	}
+	// Live values: every read re-evaluates.
+	v, _, _ = r.Read("/proc/x")
+	if v != "2" {
+		t.Errorf("second read = %q, want fresh evaluation", v)
+	}
+	r.Retract("/proc/x")
+	if _, _, ok := r.Read("/proc/x"); ok {
+		t.Error("retracted node still readable")
+	}
+	if _, _, ok := r.Read("/missing"); ok {
+		t.Error("missing node readable")
+	}
+}
+
+func TestPublishStatic(t *testing.T) {
+	r := NewRegistry()
+	r.PublishStatic("/proc/version", nal.Name("kernel"), "nexus-1.0")
+	v, _, _ := r.Read("/proc/version")
+	if v != "nexus-1.0" {
+		t.Errorf("static = %q", v)
+	}
+}
+
+func TestLabelForm(t *testing.T) {
+	r := NewRegistry()
+	r.PublishStatic("/proc/ipd/7/modules", nal.MustPrincipal("kernel.ipd.7"), "social,render")
+	lbl, ok := r.Label("/proc/ipd/7/modules")
+	if !ok {
+		t.Fatal("no label")
+	}
+	want := nal.MustParse(`kernel.ipd.7 says attr("/proc/ipd/7/modules", "social,render")`)
+	if !lbl.Equal(want) {
+		t.Errorf("label = %q, want %q", lbl, want)
+	}
+	if _, ok := r.Label("/missing"); ok {
+		t.Error("label for missing node")
+	}
+}
+
+func TestListPrefix(t *testing.T) {
+	r := NewRegistry()
+	owner := nal.Name("k")
+	r.PublishStatic("/proc/a/1", owner, "x")
+	r.PublishStatic("/proc/a/2", owner, "y")
+	r.PublishStatic("/proc/b/1", owner, "z")
+	got := r.List("/proc/a/")
+	if len(got) != 2 || got[0] != "/proc/a/1" || got[1] != "/proc/a/2" {
+		t.Errorf("List = %v", got)
+	}
+	if all := r.List("/"); len(all) != 3 {
+		t.Errorf("List all = %v", all)
+	}
+}
+
+func TestReplacePublish(t *testing.T) {
+	r := NewRegistry()
+	r.PublishStatic("/proc/x", nal.Name("a"), "old")
+	r.PublishStatic("/proc/x", nal.Name("b"), "new")
+	v, owner, _ := r.Read("/proc/x")
+	if v != "new" || !owner.EqualPrin(nal.Name("b")) {
+		t.Errorf("replace: %q %v", v, owner)
+	}
+}

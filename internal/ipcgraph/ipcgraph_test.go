@@ -1,0 +1,153 @@
+package ipcgraph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/kernel"
+	"repro/internal/nal"
+	"repro/internal/nal/proof"
+	"repro/internal/tpm"
+)
+
+func boot(t *testing.T) *kernel.Kernel {
+	t.Helper()
+	tp, err := tpm.Manufacture(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := kernel.Boot(tp, disk.New(), kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// topology: player → decoder → display; fs isolated.
+func setup(t *testing.T, k *kernel.Kernel) (player, decoder, display, fs *kernel.Process) {
+	t.Helper()
+	mk := func(name string) *kernel.Process {
+		p, err := k.CreateProcess(0, []byte(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	player, decoder, display, fs = mk("player"), mk("decoder"), mk("display"), mk("fs")
+	echo := func(*kernel.Process, *kernel.Msg) ([]byte, error) { return nil, nil }
+	decPort, _ := k.CreatePort(decoder, echo)
+	dispPort, _ := k.CreatePort(display, echo)
+	k.CreatePort(fs, echo)
+	k.GrantChannel(player, decPort.ID)
+	k.GrantChannel(decoder, dispPort.ID)
+	return
+}
+
+func TestReachability(t *testing.T) {
+	k := boot(t)
+	player, decoder, display, fs := setup(t, k)
+	a, err := New(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.HasPath(player.PID, decoder.PID) || !a.HasPath(player.PID, display.PID) {
+		t.Error("player should transitively reach decoder and display")
+	}
+	if a.HasPath(player.PID, fs.PID) {
+		t.Error("player must not reach fs")
+	}
+	if a.HasPath(display.PID, player.PID) {
+		t.Error("edges are directed")
+	}
+	if !a.HasPath(player.PID, player.PID) {
+		t.Error("self path trivially holds")
+	}
+	if !strings.Contains(a.Snapshot(), "->") {
+		t.Error("snapshot empty")
+	}
+}
+
+func TestCertifyNoPath(t *testing.T) {
+	k := boot(t)
+	player, decoder, _, fs := setup(t, k)
+	a, _ := New(k)
+	lbl, err := a.CertifyNoPath(player, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := nal.Says{P: a.Prin(), F: nal.Not{F: nal.Pred{
+		Name: "hasPath",
+		Args: []nal.Term{nal.PrinTerm{P: player.Prin}, nal.PrinTerm{P: fs.Prin}},
+	}}}
+	if !lbl.Formula.Equal(nal.Formula(want)) {
+		t.Errorf("label = %q", lbl.Formula)
+	}
+	// A connected pair is refused.
+	if _, err := a.CertifyNoPath(player, decoder); err == nil {
+		t.Error("connected pair must not be certified")
+	}
+}
+
+func TestMoviePlayerProofShape(t *testing.T) {
+	// The §4 movie-player flow: the content owner's goal is discharged by
+	// the analyzer's ¬hasPath labels, attributed to the abstract
+	// IPCAnalyzer via the kernel binding — no binary hash disclosed.
+	k := boot(t)
+	player, _, _, fs := setup(t, k)
+	a, _ := New(k)
+	noFS, err := a.CertifyNoPath(player, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	creds := []nal.Formula{a.BindingLabel(), noFS.Formula}
+	goal := nal.Says{P: nal.Name("IPCAnalyzer"), F: nal.Not{F: nal.Pred{
+		Name: "hasPath",
+		Args: []nal.Term{nal.PrinTerm{P: player.Prin}, nal.PrinTerm{P: fs.Prin}},
+	}}}
+	d := &proof.Deriver{Creds: creds, TrustRoots: []nal.Principal{k.Prin}}
+	pf, err := d.Derive(goal)
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	if _, err := proof.Check(pf, goal, &proof.Env{
+		Credentials: creds,
+		TrustRoots:  []nal.Principal{k.Prin},
+	}); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+}
+
+func TestChannelEnforcement(t *testing.T) {
+	k := boot(t)
+	player, _, _, fs := setup(t, k)
+	fsPort := findPortOf(t, k, fs)
+	// Open topology: the call succeeds even without a grant.
+	if _, err := k.Call(player, fsPort, &kernel.Msg{Op: "x", Obj: "y"}); err != nil {
+		t.Fatalf("open topology: %v", err)
+	}
+	// Enforced: the analyzer's ¬hasPath claim is backed by the kernel.
+	k.EnforceChannels(true)
+	if _, err := k.Call(player, fsPort, &kernel.Msg{Op: "x", Obj: "y"}); err == nil {
+		t.Error("enforced topology must block ungranted call")
+	}
+	k.GrantChannel(player, fsPort)
+	if _, err := k.Call(player, fsPort, &kernel.Msg{Op: "x", Obj: "y"}); err != nil {
+		t.Errorf("granted call: %v", err)
+	}
+	k.RevokeChannel(player, fsPort)
+	if _, err := k.Call(player, fsPort, &kernel.Msg{Op: "x", Obj: "y"}); err == nil {
+		t.Error("revoked call must fail")
+	}
+}
+
+func findPortOf(t *testing.T, k *kernel.Kernel, p *kernel.Process) int {
+	t.Helper()
+	for id := 1; id < 100; id++ {
+		if pt, ok := k.FindPort(id); ok && pt.Owner == p {
+			return id
+		}
+	}
+	t.Fatal("no port for process")
+	return 0
+}

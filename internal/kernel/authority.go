@@ -1,0 +1,99 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/nal"
+)
+
+// ErrNoSuchAuthority is returned when a guard consults an unknown channel.
+var ErrNoSuchAuthority = errors.New("kernel: no such authority")
+
+// Authority is a process listening on an attested IPC port that answers,
+// live, whether it currently believes a statement (§2.7). Its answers are
+// authoritative by virtue of the kernel's port-to-process binding but are
+// deliberately untransferable: the kernel returns only a boolean to the
+// asking guard, never a storable credential.
+type Authority struct {
+	Port *Port
+	// prin is the port principal; only statements attributed to it (or to
+	// principals it speaks for) are in scope.
+	prin nal.Principal
+}
+
+// authorityOp is the reserved IPC operation guards use to pose queries.
+const authorityOp = "authority-query"
+
+// RegisterAuthority creates an attested authority port whose handler
+// answers membership queries over the owner's current beliefs. The answer
+// function is consulted on every query — dynamic state is read fresh, never
+// snapshotted.
+func (k *Kernel) RegisterAuthority(owner *Process, answer func(f nal.Formula) bool) (*Authority, error) {
+	if answer == nil {
+		return nil, ErrBadArgument
+	}
+	pt, err := k.CreatePort(owner, func(from *Process, m *Msg) ([]byte, error) {
+		if m.Op != authorityOp || len(m.Args) != 1 {
+			return nil, ErrBadArgument
+		}
+		f, err := nal.Parse(string(m.Args[0]))
+		if err != nil {
+			return nil, fmt.Errorf("kernel: authority query: %w", err)
+		}
+		if answer(f) {
+			return []byte{1}, nil
+		}
+		return []byte{0}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	a := &Authority{Port: pt, prin: pt.Prin(k)}
+	k.authMu.Lock()
+	k.auth[a.Channel()] = a
+	k.authMu.Unlock()
+	return a, nil
+}
+
+// Channel returns the authority's channel name, used in proofs'
+// RuleAuthority steps.
+func (a *Authority) Channel() string { return fmt.Sprintf("ipc:%d", a.Port.ID) }
+
+// Prin returns the principal to which the authority's answers are
+// attributed.
+func (a *Authority) Prin() nal.Principal { return a.prin }
+
+// QueryAuthority poses "do you currently believe f?" to the authority on
+// channel, on behalf of a guard. The query crosses the IPC boundary (with
+// marshaling when interpositioning is enabled), so external authorities are
+// substantially more expensive than embedded ones — Figure 4's rightmost
+// bars.
+func (k *Kernel) QueryAuthority(channel string, f nal.Formula) (bool, error) {
+	k.authMu.Lock()
+	a, ok := k.auth[channel]
+	k.authMu.Unlock()
+	if !ok {
+		return false, ErrNoSuchAuthority
+	}
+	out, err := k.Call(a.Port.Owner, a.Port.ID, &Msg{
+		Op:   authorityOp,
+		Obj:  channel,
+		Args: [][]byte{[]byte(f.String())},
+	})
+	if err != nil {
+		return false, err
+	}
+	return len(out) == 1 && out[0] == 1, nil
+}
+
+// Authorities lists registered channels.
+func (k *Kernel) Authorities() []string {
+	k.authMu.Lock()
+	defer k.authMu.Unlock()
+	out := make([]string, 0, len(k.auth))
+	for ch := range k.auth {
+		out = append(out, ch)
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package kernel
+
+// Channel capabilities. The Nexus is a capability system (§1): a process
+// interacts with its environment only through the IPC channels it holds.
+// The kernel's channel table is the ground truth that the IPC connectivity
+// analyzer (§2.2) inspects: a process with no transitive path to the disk
+// or network drivers provably cannot leak data to them.
+//
+// Enforcement is optional so microbenchmarks can run with an open topology;
+// applications that rely on ¬hasPath labels enable it.
+
+// GrantChannel gives a process the capability to call a port.
+func (k *Kernel) GrantChannel(p *Process, portID int) error {
+	if _, ok := k.FindPort(portID); !ok {
+		return ErrNoSuchPort
+	}
+	k.chanMu.Lock()
+	defer k.chanMu.Unlock()
+	if k.chans[p.PID] == nil {
+		k.chans[p.PID] = map[int]bool{}
+	}
+	k.chans[p.PID][portID] = true
+	return nil
+}
+
+// RevokeChannel removes a capability.
+func (k *Kernel) RevokeChannel(p *Process, portID int) {
+	k.chanMu.Lock()
+	defer k.chanMu.Unlock()
+	delete(k.chans[p.PID], portID)
+}
+
+// EnforceChannels toggles capability enforcement on Call.
+func (k *Kernel) EnforceChannels(on bool) {
+	k.chanMu.Lock()
+	defer k.chanMu.Unlock()
+	k.enforceChans = on
+}
+
+// holdsChannel reports whether p may call the port (owners always may).
+func (k *Kernel) holdsChannel(p *Process, pt *Port) bool {
+	if pt.Owner == p {
+		return true
+	}
+	k.chanMu.Lock()
+	defer k.chanMu.Unlock()
+	if !k.enforceChans {
+		return true
+	}
+	return k.chans[p.PID][pt.ID]
+}
+
+// Channels returns a snapshot of the capability table: pid → owning pid of
+// each held port. The connectivity analyzer consumes this.
+func (k *Kernel) Channels() map[int][]int {
+	k.chanMu.Lock()
+	grants := make(map[int][]int, len(k.chans))
+	for pid, ports := range k.chans {
+		for portID, ok := range ports {
+			if ok {
+				grants[pid] = append(grants[pid], portID)
+			}
+		}
+	}
+	k.chanMu.Unlock()
+
+	out := map[int][]int{}
+	for pid, ports := range grants {
+		for _, portID := range ports {
+			if pt, ok := k.FindPort(portID); ok {
+				out[pid] = append(out[pid], pt.Owner.PID)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package kernel
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/nal"
+)
+
+// TestConcurrentCallsAndControlOps hammers the kernel from many simulated
+// processes while control-plane operations (goal and proof updates, label
+// churn) run concurrently — the interleaving a live system sees. Run with
+// -race.
+func TestConcurrentCallsAndControlOps(t *testing.T) {
+	k := bootKernel(t)
+	k.SetGuard(allowAllGuard{})
+	srv, _ := k.CreateProcess(0, []byte("srv"))
+	pt, _ := k.CreatePort(srv, func(*Process, *Msg) ([]byte, error) { return []byte("ok"), nil })
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p, err := k.CreateProcess(0, []byte(fmt.Sprintf("worker%d", id)))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			obj := fmt.Sprintf("obj%d", id%4)
+			for i := 0; i < 200; i++ {
+				switch i % 5 {
+				case 0:
+					k.SetGoal(srv, "read", obj, nal.MustParse("?S says wantsAccess"), nil)
+				case 1:
+					cred := nal.Says{P: p.Prin, F: nal.Pred{Name: "wantsAccess"}}
+					k.SetProof(p, "read", obj, nil, []Credential{{Inline: cred}})
+				case 2:
+					if _, err := p.Labels.Say("ready"); err != nil {
+						t.Error(err)
+					}
+				default:
+					// Calls may be allowed or denied depending on the
+					// racing goal updates; they must never corrupt state.
+					k.Call(p, pt.ID, &Msg{Op: "read", Obj: obj})
+				}
+			}
+			p.Exit()
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestConcurrentAuthoritiesAndInterposition exercises authority queries
+// against interposition changes.
+func TestConcurrentAuthoritiesAndInterposition(t *testing.T) {
+	k := bootKernel(t)
+	ap, _ := k.CreateProcess(0, []byte("authority"))
+	a, err := k.RegisterAuthority(ap, func(nal.Formula) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, _ := k.CreateProcess(0, []byte("mon"))
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if i%10 == 0 {
+					if id, err := k.Interpose(mon, a.Port.ID, FuncMonitor{}); err == nil {
+						k.Deinterpose(mon, a.Port.ID, id)
+					}
+				}
+				if _, err := k.QueryAuthority(a.Channel(), nal.TrueF{}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestConcurrentLabelstoreTransfer moves labels between stores from many
+// goroutines.
+func TestConcurrentLabelstoreTransfer(t *testing.T) {
+	k := bootKernel(t)
+	a, _ := k.CreateProcess(0, []byte("a"))
+	b, _ := k.CreateProcess(0, []byte("b"))
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l, err := a.Labels.Say("ready")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := a.Labels.Transfer(l.Handle, b); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if b.Labels.Len() != 400 {
+		t.Errorf("transferred labels = %d, want 400", b.Labels.Len())
+	}
+}

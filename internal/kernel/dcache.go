@@ -1,0 +1,121 @@
+package kernel
+
+import (
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+)
+
+// DecisionCache stores previously observed guard decisions keyed by the
+// access-control tuple (subject, operation, object), §2.8. The hash function
+// maps all entries with the same (operation, object) into the same
+// subregion, so a setgoal invalidation clears one subregion instead of the
+// whole cache; a proof update clears a single entry.
+type DecisionCache struct {
+	mu      sync.RWMutex
+	regions []map[string]bool // key → allow
+	enabled bool
+
+	hits, misses atomic.Uint64
+}
+
+// NewDecisionCache creates a cache with the given subregion count (the
+// configurable parameter trading invalidation cost against collision rate).
+func NewDecisionCache(regions int) *DecisionCache {
+	if regions < 1 {
+		regions = 1
+	}
+	c := &DecisionCache{regions: make([]map[string]bool, regions), enabled: true}
+	for i := range c.regions {
+		c.regions[i] = map[string]bool{}
+	}
+	return c
+}
+
+// Disable turns the cache off; lookups always miss.
+func (c *DecisionCache) Disable() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.enabled = false
+}
+
+// Enable turns the cache back on.
+func (c *DecisionCache) Enable() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.enabled = true
+}
+
+func regionHash(op, obj string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(op))
+	h.Write([]byte{0})
+	h.Write([]byte(obj))
+	return h.Sum32()
+}
+
+func entryKey(subj, op, obj string) string {
+	return subj + "\x00" + op + "\x00" + obj
+}
+
+// Lookup returns the cached decision for the tuple, if present.
+func (c *DecisionCache) Lookup(subj, op, obj string) (allow, ok bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if !c.enabled {
+		c.misses.Add(1)
+		return false, false
+	}
+	r := c.regions[regionHash(op, obj)%uint32(len(c.regions))]
+	allow, ok = r[entryKey(subj, op, obj)]
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return allow, ok
+}
+
+// Insert records a cacheable decision.
+func (c *DecisionCache) Insert(subj, op, obj string, allow bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.enabled {
+		return
+	}
+	r := c.regions[regionHash(op, obj)%uint32(len(c.regions))]
+	r[entryKey(subj, op, obj)] = allow
+}
+
+// InvalidateEntry clears the single entry for a proof update.
+func (c *DecisionCache) InvalidateEntry(subj, op, obj string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := c.regions[regionHash(op, obj)%uint32(len(c.regions))]
+	delete(r, entryKey(subj, op, obj))
+}
+
+// InvalidateRegion clears the subregion holding all subjects' entries for
+// (op, obj) — the setgoal invalidation path.
+func (c *DecisionCache) InvalidateRegion(op, obj string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i := regionHash(op, obj) % uint32(len(c.regions))
+	c.regions[i] = map[string]bool{}
+}
+
+// Flush clears everything.
+func (c *DecisionCache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.regions {
+		c.regions[i] = map[string]bool{}
+	}
+	c.hits.Store(0)
+	c.misses.Store(0)
+}
+
+// Stats reports hit and miss counts since the last Flush.
+func (c *DecisionCache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -1,0 +1,89 @@
+package kernel
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/nal"
+	"repro/internal/tpm"
+)
+
+// nkEndorsement produces (and caches) the TPM's endorsement of the Nexus
+// key: "key:EK says key:NK speaksfor key:EK.nexus", signed by the EK. The
+// PCR binding that protects NK makes this statement sound: only the genuine
+// kernel can unseal NK's private half (§2.4, §3.4).
+func (k *Kernel) nkEndorsement() (*cert.Certificate, error) {
+	k.mu.Lock()
+	if k.nkCert != nil {
+		c := k.nkCert
+		k.mu.Unlock()
+		return c, nil
+	}
+	k.mu.Unlock()
+
+	ekFP := k.TPM.EKFingerprint()
+	nkFP := tpm.Fingerprint(&k.NK.PublicKey)
+	formula := fmt.Sprintf("key:%s speaksfor key:%s.nexus", nkFP, ekFP)
+	// The TPM signs with the EK. We reuse the cert container by building
+	// the statement and having the TPM produce the signature over its TBS
+	// bytes; cert.Sign needs a private key, so the endorsement is issued
+	// through the TPM's Sign primitive.
+	c, err := signWithTPM(k.TPM, cert.Statement{
+		Formula: formula,
+		Serial:  1,
+		Issued:  time.Now(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	k.mu.Lock()
+	k.nkCert = c
+	k.mu.Unlock()
+	return c, nil
+}
+
+// signWithTPM signs a certificate statement with the TPM's endorsement key,
+// which never leaves the chip: the TBS bytes are hashed and handed to the
+// TPM's signing primitive.
+func signWithTPM(t *tpm.TPM, stmt cert.Statement) (*cert.Certificate, error) {
+	return cert.SignExternal(stmt, t.EKPublic(), t.Sign)
+}
+
+// VerifyExternalLabels validates an externalized label chain against a
+// trusted TPM endorsement key fingerprint and returns the two NAL labels it
+// conveys:
+//
+//	key:EK says key:NK speaksfor key:EK.nexus
+//	key:NK says <speaker> says S
+//
+// A verifier that trusts the platform (key:EK) can then derive
+// "key:EK.nexus says speaker says S" and onward by subprincipal reasoning.
+func VerifyExternalLabels(ext *ExternalLabel, trustedEK string) ([]nal.Formula, error) {
+	nkLabel, err := ext.NKCert.ToLabel()
+	if err != nil {
+		return nil, fmt.Errorf("kernel: NK endorsement invalid: %w", err)
+	}
+	says, ok := nkLabel.(nal.Says)
+	if !ok {
+		return nil, fmt.Errorf("kernel: NK endorsement malformed")
+	}
+	if !says.P.EqualPrin(nal.Key(trustedEK)) {
+		return nil, fmt.Errorf("kernel: NK endorsement signed by %s, not trusted EK", says.P)
+	}
+	labLabel, err := ext.LabelCert.ToLabel()
+	if err != nil {
+		return nil, fmt.Errorf("kernel: label certificate invalid: %w", err)
+	}
+	// The label certificate must be signed by the NK named in the
+	// endorsement.
+	sf, ok := says.F.(nal.SpeaksFor)
+	if !ok {
+		return nil, fmt.Errorf("kernel: NK endorsement malformed")
+	}
+	lab, ok := labLabel.(nal.Says)
+	if !ok || !lab.P.EqualPrin(sf.A) {
+		return nil, fmt.Errorf("kernel: label signed by %v, endorsement names %v", labLabel, sf.A)
+	}
+	return []nal.Formula{nkLabel, labLabel}, nil
+}

@@ -1,0 +1,239 @@
+package kernel
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/nal"
+	"repro/internal/nal/proof"
+)
+
+// resourceKey identifies a guarded (operation, object) pair.
+type resourceKey struct{ op, obj string }
+
+// tupleKey is the access-control tuple.
+type tupleKey struct{ subj, op, obj string }
+
+// GoalEntry associates a goal formula (and optionally a designated guard)
+// with an operation on an object (§2.5).
+type GoalEntry struct {
+	Goal  nal.Formula
+	Guard Guard // nil selects the kernel's default guard
+}
+
+type goalStore struct {
+	mu     sync.RWMutex
+	goals  map[resourceKey]*GoalEntry
+	owners map[string]nal.Principal // object → creator (bootstrap policy)
+}
+
+func newGoalStore() *goalStore {
+	return &goalStore{goals: map[resourceKey]*GoalEntry{}, owners: map[string]nal.Principal{}}
+}
+
+// Credential is one label presented with a proof. Inline credentials are
+// copied into the request and may be cached with the decision; labelstore
+// references are re-fetched from the (mutable) store on every check, so
+// decisions depending on them are not cacheable.
+type Credential struct {
+	Inline nal.Formula
+	Ref    *LabelRef
+}
+
+// LabelRef names a label held in some process's labelstore.
+type LabelRef struct {
+	PID    int
+	Handle int
+}
+
+// RegisteredProof is the proof a subject has bound to an access tuple via
+// the setproof control call; the kernel hands it to the guard on each
+// decision-cache miss.
+type RegisteredProof struct {
+	Proof *proof.Proof
+	Creds []Credential
+}
+
+// Guard decides authorization requests on decision-cache misses (§2.6).
+type Guard interface {
+	Check(req *GuardRequest) GuardDecision
+}
+
+// GuardRequest carries everything a guard needs for one decision.
+type GuardRequest struct {
+	Kernel  *Kernel
+	Subject nal.Principal
+	Op, Obj string
+	Goal    nal.Formula
+	// Proof and Creds are the subject's registered proof, nil if none.
+	Proof *proof.Proof
+	Creds []Credential
+}
+
+// GuardDecision is the guard's answer, including whether the kernel may
+// cache it (§2.8's cacheable bit on the guard-kernel interface).
+type GuardDecision struct {
+	Allow     bool
+	Cacheable bool
+	Reason    string
+}
+
+// RegisterObject records the creator of a nascent object so that the
+// default policy — resource-manager.object says operation — protects it
+// before any goal is set (§2.6).
+func (k *Kernel) RegisterObject(obj string, owner nal.Principal) {
+	k.goals.mu.Lock()
+	defer k.goals.mu.Unlock()
+	k.goals.owners[obj] = owner
+}
+
+// ReleaseObject removes the creator binding.
+func (k *Kernel) ReleaseObject(obj string) {
+	k.goals.mu.Lock()
+	defer k.goals.mu.Unlock()
+	delete(k.goals.owners, obj)
+}
+
+// SetGoal associates a goal formula with an operation on an object and
+// vectors subsequent decisions to the given guard (nil = default). Setting
+// a goal is itself an authorized operation on the object.
+func (k *Kernel) SetGoal(caller *Process, op, obj string, goal nal.Formula, g Guard) error {
+	if err := k.authorize(caller, "setgoal", obj); err != nil {
+		return err
+	}
+	k.goals.mu.Lock()
+	k.goals.goals[resourceKey{op, obj}] = &GoalEntry{Goal: goal, Guard: g}
+	k.goals.mu.Unlock()
+	// A goal update may affect every subject's entries for this resource:
+	// clear the subregion (§2.8).
+	k.dcache.InvalidateRegion(op, obj)
+	return nil
+}
+
+// ClearGoal removes the goal for (op, obj).
+func (k *Kernel) ClearGoal(caller *Process, op, obj string) error {
+	if err := k.authorize(caller, "setgoal", obj); err != nil {
+		return err
+	}
+	k.goals.mu.Lock()
+	delete(k.goals.goals, resourceKey{op, obj})
+	k.goals.mu.Unlock()
+	k.dcache.InvalidateRegion(op, obj)
+	return nil
+}
+
+// Goal returns the goal entry for (op, obj), if any.
+func (k *Kernel) Goal(op, obj string) (*GoalEntry, bool) {
+	k.goals.mu.RLock()
+	defer k.goals.mu.RUnlock()
+	e, ok := k.goals.goals[resourceKey{op, obj}]
+	return e, ok
+}
+
+// SetProof registers the caller's proof for an access tuple; the kernel
+// invalidates only the caller's cached decision for that tuple.
+func (k *Kernel) SetProof(caller *Process, op, obj string, p *proof.Proof, creds []Credential) {
+	k.mu.Lock()
+	k.proofs[tupleKey{caller.Prin.String(), op, obj}] = &RegisteredProof{Proof: p, Creds: creds}
+	k.mu.Unlock()
+	k.dcache.InvalidateEntry(caller.Prin.String(), op, obj)
+}
+
+// ClearProof removes the caller's proof for the tuple.
+func (k *Kernel) ClearProof(caller *Process, op, obj string) {
+	k.mu.Lock()
+	delete(k.proofs, tupleKey{caller.Prin.String(), op, obj})
+	k.mu.Unlock()
+	k.dcache.InvalidateEntry(caller.Prin.String(), op, obj)
+}
+
+// registeredProof fetches the subject's proof for a tuple.
+func (k *Kernel) registeredProof(subj, op, obj string) *RegisteredProof {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.proofs[tupleKey{subj, op, obj}]
+}
+
+// GuardUpcalls reports how many times the kernel crossed into a guard.
+func (k *Kernel) GuardUpcalls() uint64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.guardUpcalls
+}
+
+// authorize enforces the goal (if any) on (subject, op, obj): decision
+// cache first, guard upcall on miss (§2.8, Figure 1).
+func (k *Kernel) authorize(from *Process, op, obj string) error {
+	subj := from.Prin.String()
+
+	// Fast path: cached decision.
+	if allow, ok := k.dcache.Lookup(subj, op, obj); ok {
+		if allow {
+			return nil
+		}
+		return fmt.Errorf("%w: cached denial for %s on %s/%s", ErrDenied, subj, op, obj)
+	}
+
+	entry, hasGoal := k.Goal(op, obj)
+	if !hasGoal {
+		// Bootstrap default: a nascent object with a registered creator is
+		// usable only by the creator or its superprincipals; everything
+		// else defaults to allow.
+		k.goals.mu.RLock()
+		owner, registered := k.goals.owners[obj]
+		k.goals.mu.RUnlock()
+		allow := !registered || nal.IsAncestor(owner, from.Prin) || nal.IsAncestor(from.Prin, owner)
+		k.dcache.Insert(subj, op, obj, allow)
+		if allow {
+			return nil
+		}
+		return fmt.Errorf("%w: default policy protects nascent %s", ErrDenied, obj)
+	}
+
+	// Trivial ALLOW goal needs no guard.
+	if _, ok := entry.Goal.(nal.TrueF); ok {
+		k.dcache.Insert(subj, op, obj, true)
+		return nil
+	}
+
+	g := entry.Guard
+	if g == nil {
+		k.mu.Lock()
+		g = k.guard
+		k.mu.Unlock()
+	}
+	if g == nil {
+		return ErrNoGuard
+	}
+
+	req := &GuardRequest{
+		Kernel:  k,
+		Subject: from.Prin,
+		Op:      op,
+		Obj:     obj,
+		Goal:    entry.Goal,
+	}
+	if rp := k.registeredProof(subj, op, obj); rp != nil {
+		req.Proof = rp.Proof
+		req.Creds = rp.Creds
+	}
+	k.mu.Lock()
+	k.guardUpcalls++
+	k.mu.Unlock()
+	dec := g.Check(req)
+	if dec.Cacheable {
+		k.dcache.Insert(subj, op, obj, dec.Allow)
+	}
+	if !dec.Allow {
+		return fmt.Errorf("%w: %s", ErrDenied, dec.Reason)
+	}
+	return nil
+}
+
+// DecisionCacheStats exposes hit/miss counters for the benchmarks.
+func (k *Kernel) DecisionCacheStats() (hits, misses uint64) {
+	return k.dcache.Stats()
+}
+
+// DCache exposes the decision cache for configuration in benchmarks.
+func (k *Kernel) DCache() *DecisionCache { return k.dcache }

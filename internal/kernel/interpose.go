@@ -1,0 +1,115 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/nal"
+)
+
+// Verdict is a reference monitor's decision on an intercepted call.
+type Verdict int
+
+// Verdicts.
+const (
+	VerdictAllow Verdict = iota
+	VerdictBlock
+)
+
+// Interposer is a reference monitor bound to an IPC channel (§3.2). OnCall
+// sees the request (and its marshaled form) before the handler runs and may
+// block it or mutate the message in place; OnReturn sees and may rewrite the
+// response. Interposition composes: multiple monitors stack on one channel,
+// and the interpose call itself can be monitored.
+type Interposer interface {
+	OnCall(from *Process, pt *Port, m *Msg, wire []byte) Verdict
+	OnReturn(from *Process, pt *Port, m *Msg, out []byte) []byte
+}
+
+// Interpose binds a reference monitor to an IPC port and returns a handle
+// for later removal. As with every Nexus system call, the binding is
+// authorized: the monitor process must discharge the "interpose" goal on the
+// channel — typically by presenting a consent credential from the monitored
+// process (§3.2). Port 0 denotes the kernel system-call channel.
+func (k *Kernel) Interpose(caller *Process, portID int, mon Interposer) (int, error) {
+	if mon == nil {
+		return 0, ErrBadArgument
+	}
+	if portID != 0 {
+		if _, ok := k.FindPort(portID); !ok {
+			return 0, ErrNoSuchPort
+		}
+	}
+	obj := fmt.Sprintf("port:%d", portID)
+	if err := k.authorize(caller, "interpose", obj); err != nil {
+		return 0, err
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.nextMon++
+	id := k.nextMon
+	k.redir[portID] = append(k.redir[portID], monEntry{id: id, Interposer: mon})
+	return id, nil
+}
+
+// Deinterpose removes a previously bound monitor by handle.
+func (k *Kernel) Deinterpose(caller *Process, portID int, handle int) error {
+	obj := fmt.Sprintf("port:%d", portID)
+	if err := k.authorize(caller, "interpose", obj); err != nil {
+		return err
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	chain := k.redir[portID]
+	for i, m := range chain {
+		if m.id == handle {
+			k.redir[portID] = append(chain[:i:i], chain[i+1:]...)
+			return nil
+		}
+	}
+	return ErrBadArgument
+}
+
+// monEntry pairs a monitor with its registration handle.
+type monEntry struct {
+	id int
+	Interposer
+}
+
+// Monitors reports the number of monitors on a port.
+func (k *Kernel) Monitors(portID int) int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return len(k.redir[portID])
+}
+
+// FuncMonitor adapts plain functions to the Interposer interface.
+type FuncMonitor struct {
+	Call func(from *Process, pt *Port, m *Msg, wire []byte) Verdict
+	Ret  func(from *Process, pt *Port, m *Msg, out []byte) []byte
+}
+
+// OnCall implements Interposer.
+func (f FuncMonitor) OnCall(from *Process, pt *Port, m *Msg, wire []byte) Verdict {
+	if f.Call == nil {
+		return VerdictAllow
+	}
+	return f.Call(from, pt, m, wire)
+}
+
+// OnReturn implements Interposer.
+func (f FuncMonitor) OnReturn(from *Process, pt *Port, m *Msg, out []byte) []byte {
+	if f.Ret == nil {
+		return out
+	}
+	return f.Ret(from, pt, m, out)
+}
+
+// ConsentGoal is a convenience constructing the conventional goal formula
+// for the interpose operation on a port: the monitored process (the port
+// owner) must have said consentToMonitor(port).
+func ConsentGoal(owner nal.Principal, portID int) nal.Formula {
+	return nal.Says{P: owner, F: nal.Pred{
+		Name: "consentToMonitor",
+		Args: []nal.Term{nal.Int(int64(portID))},
+	}}
+}

@@ -1,0 +1,210 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/nal"
+)
+
+// Msg is an IPC request: an operation on an object with opaque arguments.
+type Msg struct {
+	Op   string
+	Obj  string
+	Args [][]byte
+}
+
+// Handler implements the server side of a port.
+type Handler func(from *Process, m *Msg) ([]byte, error)
+
+// Port is an IPC endpoint authoritatively bound to its owning process; the
+// kernel produces the binding label "kernel says IPC.x speaksfor owner"
+// (§2.4), which is what makes authority answers attributable.
+type Port struct {
+	ID    int
+	Owner *Process
+	h     Handler
+}
+
+// Prin returns the port's principal IPC.<id> as a subprincipal of the
+// kernel, matching the kernel-issued binding label.
+func (pt *Port) Prin(k *Kernel) nal.Principal {
+	return nal.SubChain(k.Prin, "ipc", fmt.Sprint(pt.ID))
+}
+
+// CreatePort binds a new IPC port to the calling process and deposits the
+// kernel's binding label in the owner's labelstore.
+func (k *Kernel) CreatePort(owner *Process, h Handler) (*Port, error) {
+	if owner == nil || h == nil {
+		return nil, ErrBadArgument
+	}
+	k.mu.Lock()
+	id := k.nextPort
+	k.nextPort++
+	pt := &Port{ID: id, Owner: owner, h: h}
+	k.ports[id] = pt
+	k.mu.Unlock()
+
+	// kernel says IPC.id speaksfor /proc/ipd/pid
+	binding := nal.Says{P: k.Prin, F: nal.SpeaksFor{A: pt.Prin(k), B: owner.Prin}}
+	owner.Labels.insertSystem(binding)
+	return pt, nil
+}
+
+// FindPort resolves a port id.
+func (k *Kernel) FindPort(id int) (*Port, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	pt, ok := k.ports[id]
+	return pt, ok
+}
+
+// Call performs a synchronous IPC from a process to a port: authorization
+// (decision cache, then guard upcall), the interposition chain, parameter
+// marshaling when interpositioning is enabled, and finally the handler.
+func (k *Kernel) Call(from *Process, portID int, m *Msg) ([]byte, error) {
+	k.mu.Lock()
+	pt, ok := k.ports[portID]
+	authz := k.authz
+	interp := k.interp
+	var chain []monEntry
+	if interp {
+		chain = k.redir[portID]
+	}
+	k.mu.Unlock()
+	if !ok {
+		return nil, ErrNoSuchPort
+	}
+	if !k.holdsChannel(from, pt) {
+		return nil, fmt.Errorf("%w: no channel to port %d", ErrDenied, portID)
+	}
+
+	if authz {
+		if err := k.authorize(from, m.Op, m.Obj); err != nil {
+			return nil, err
+		}
+	}
+
+	if interp {
+		// Parameter marshaling: interposition requires the kernel to
+		// materialize the argument buffer at the protection boundary so
+		// monitors can inspect and rewrite it (§5.1 measures this cost).
+		wire := marshalMsg(m)
+		for _, mon := range chain {
+			verdict := mon.OnCall(from, pt, m, wire)
+			switch verdict {
+			case VerdictBlock:
+				return nil, fmt.Errorf("%w: blocked by reference monitor", ErrDenied)
+			case VerdictAllow:
+			}
+		}
+		out, err := pt.h(from, m)
+		for i := len(chain) - 1; i >= 0; i-- {
+			out = chain[i].OnReturn(from, pt, m, out)
+		}
+		return out, err
+	}
+	return pt.h(from, m)
+}
+
+// syscall routes a kernel-implemented system call through the same
+// authorization and interposition machinery as user IPC. Kernel services
+// listen conceptually on port 0.
+func (k *Kernel) syscall(from *Process, op, obj string, args [][]byte, fn func() error) error {
+	k.mu.Lock()
+	authz := k.authz
+	interp := k.interp
+	var chain []monEntry
+	if interp {
+		chain = k.redir[0]
+	}
+	k.mu.Unlock()
+
+	if authz {
+		if err := k.authorize(from, op, obj); err != nil {
+			return err
+		}
+	}
+	if interp {
+		m := &Msg{Op: op, Obj: obj, Args: args}
+		wire := marshalMsg(m)
+		for _, mon := range chain {
+			if mon.OnCall(from, nil, m, wire) == VerdictBlock {
+				return fmt.Errorf("%w: blocked by reference monitor", ErrDenied)
+			}
+		}
+		err := fn()
+		for i := len(chain) - 1; i >= 0; i-- {
+			chain[i].OnReturn(from, nil, m, nil)
+		}
+		return err
+	}
+	return fn()
+}
+
+// marshalMsg serializes a message the way a kernel-mode switch with
+// interpositioning must: length-prefixed op, obj, and argument buffers.
+func marshalMsg(m *Msg) []byte {
+	n := 8 + len(m.Op) + len(m.Obj)
+	for _, a := range m.Args {
+		n += 4 + len(a)
+	}
+	buf := make([]byte, 0, n)
+	var l [4]byte
+	binary.LittleEndian.PutUint32(l[:], uint32(len(m.Op)))
+	buf = append(buf, l[:]...)
+	buf = append(buf, m.Op...)
+	binary.LittleEndian.PutUint32(l[:], uint32(len(m.Obj)))
+	buf = append(buf, l[:]...)
+	buf = append(buf, m.Obj...)
+	for _, a := range m.Args {
+		binary.LittleEndian.PutUint32(l[:], uint32(len(a)))
+		buf = append(buf, l[:]...)
+		buf = append(buf, a...)
+	}
+	return buf
+}
+
+// DecodeWire decodes a marshaled message; user-level reference monitors use
+// it to inspect the copies they receive across the protection boundary.
+func DecodeWire(buf []byte) (*Msg, error) { return unmarshalMsg(buf) }
+
+// MarshalMsgForBench exposes message marshaling to the ablation benchmarks.
+func MarshalMsgForBench(m *Msg) []byte { return marshalMsg(m) }
+
+// unmarshalMsg decodes a marshaled message; reference monitors use it to
+// inspect rewritten argument buffers.
+func unmarshalMsg(buf []byte) (*Msg, error) {
+	m := &Msg{}
+	next := func() ([]byte, error) {
+		if len(buf) < 4 {
+			return nil, fmt.Errorf("kernel: truncated message")
+		}
+		n := binary.LittleEndian.Uint32(buf[:4])
+		buf = buf[4:]
+		if uint32(len(buf)) < n {
+			return nil, fmt.Errorf("kernel: truncated message")
+		}
+		out := buf[:n]
+		buf = buf[n:]
+		return out, nil
+	}
+	op, err := next()
+	if err != nil {
+		return nil, err
+	}
+	m.Op = string(op)
+	obj, err := next()
+	if err != nil {
+		return nil, err
+	}
+	m.Obj = string(obj)
+	for len(buf) > 0 {
+		a, err := next()
+		if err != nil {
+			return nil, err
+		}
+		m.Args = append(m.Args, a)
+	}
+	return m, nil
+}

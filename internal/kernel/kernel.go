@@ -1,0 +1,357 @@
+// Package kernel simulates the Nexus microkernel: isolated protection
+// domains (IPDs), IPC ports with interpositioning, labelstores, goal
+// formulas with guard upcalls, the kernel decision cache, authorities, and
+// the TPM-rooted boot sequence.
+//
+// The simulation replaces the hardware privilege boundary with a package
+// boundary: simulated processes interact with system state only through
+// Kernel methods, exactly as Nexus processes interact only through system
+// calls. Costs become wall-clock durations rather than cycle counts, but the
+// layering that the paper measures — marshaling for interpositioning,
+// decision-cache hits versus guard upcalls, user-level servers behind IPC —
+// is all real code on the hot path.
+package kernel
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha1"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/disk"
+	"repro/internal/introspect"
+	"repro/internal/nal"
+	"repro/internal/tpm"
+)
+
+// Errors returned by kernel operations.
+var (
+	ErrNoSuchProcess = errors.New("kernel: no such process")
+	ErrNoSuchPort    = errors.New("kernel: no such IPC port")
+	ErrDenied        = errors.New("kernel: authorization denied")
+	ErrNoGuard       = errors.New("kernel: no guard bound to goal")
+	ErrBootIntegrity = errors.New("kernel: boot integrity check failed")
+	ErrBadArgument   = errors.New("kernel: bad argument")
+)
+
+// sealedNKFile is the disk file holding the Nexus key sealed to the PCRs.
+const sealedNKFile = "/nexus/nk.sealed"
+
+// Kernel is a running Nexus instance.
+type Kernel struct {
+	mu sync.Mutex
+
+	TPM  *tpm.TPM
+	Disk *disk.Disk
+
+	// NK is the Nexus key, generated on first boot and sealed to the PCR
+	// state of the genuine kernel; it identifies this installation.
+	NK *rsa.PrivateKey
+	// NBK is the Nexus boot key identifying this unique boot.
+	NBK *rsa.PrivateKey
+	// BootID is the hex hash of the public NBK.
+	BootID string
+
+	// Prin is the kernel's principal: key:<NK-fingerprint>.<boot-id>.
+	// Every process principal is a subprincipal of it (§2.4).
+	Prin nal.Principal
+
+	procs    map[int]*Process
+	nextPID  int
+	ports    map[int]*Port
+	nextPort int
+	nextMon  int
+
+	goals   *goalStore
+	dcache  *DecisionCache
+	proofs  map[tupleKey]*RegisteredProof
+	authz   bool
+	redir   map[int][]monEntry
+	interp  bool
+	authMu  sync.Mutex
+	auth    map[string]*Authority
+	Introsp *introspect.Registry
+
+	startTime    time.Time
+	guard        Guard
+	guardUpcalls uint64
+	nkCert       *cert.Certificate
+
+	// Channel capability table: pid → port IDs the process may call when
+	// enforcement is on. Port owners implicitly hold their own ports.
+	chanMu       sync.Mutex
+	chans        map[int]map[int]bool
+	enforceChans bool
+}
+
+// Options configures Boot.
+type Options struct {
+	// Image is the kernel image measured into the TPM; different images
+	// produce different PCR state and therefore different trust domains.
+	Image []byte
+	// Authorization enables goal checking on IPC (default on).
+	NoAuthorization bool
+	// NoInterposition disables the redirector and parameter marshaling,
+	// the "Nexus bare" configuration of Table 1.
+	NoInterposition bool
+	// DecisionCacheRegions overrides the subregion count (0 = default).
+	DecisionCacheRegions int
+	// DisableDecisionCache turns the kernel decision cache off, for the
+	// dashed-bar configurations of Figure 4.
+	DisableDecisionCache bool
+}
+
+// Boot runs the §3.4 boot sequence against the given TPM and disk: measure
+// firmware, boot loader, and kernel image into PCRs; on first boot take
+// ownership and generate the sealed Nexus key; on later boots unseal it —
+// which fails for a modified kernel image. It returns the running kernel.
+func Boot(t *tpm.TPM, d *disk.Disk, opts Options) (*Kernel, error) {
+	t.Startup()
+	if _, err := t.Extend(tpm.PCRFirmware, []byte("nexus-firmware-v1")); err != nil {
+		return nil, err
+	}
+	if _, err := t.Extend(tpm.PCRBootLoader, []byte("nexus-bootloader-v1")); err != nil {
+		return nil, err
+	}
+	image := opts.Image
+	if image == nil {
+		image = []byte("nexus-kernel-v1")
+	}
+	if _, err := t.Extend(tpm.PCRKernel, image); err != nil {
+		return nil, err
+	}
+	bound := []tpm.PCRIndex{tpm.PCRFirmware, tpm.PCRBootLoader, tpm.PCRKernel}
+
+	k := &Kernel{
+		TPM:       t,
+		Disk:      d,
+		procs:     map[int]*Process{},
+		ports:     map[int]*Port{},
+		proofs:    map[tupleKey]*RegisteredProof{},
+		redir:     map[int][]monEntry{},
+		auth:      map[string]*Authority{},
+		authz:     !opts.NoAuthorization,
+		interp:    !opts.NoInterposition,
+		Introsp:   introspect.NewRegistry(),
+		startTime: time.Now(),
+		nextPID:   1,
+		nextPort:  1,
+		chans:     map[int]map[int]bool{},
+	}
+	regions := opts.DecisionCacheRegions
+	if regions == 0 {
+		regions = 64
+	}
+	k.dcache = NewDecisionCache(regions)
+	if opts.DisableDecisionCache {
+		k.dcache.Disable()
+	}
+	k.goals = newGoalStore()
+
+	// Acquire the Nexus key: first boot generates and seals it; later boots
+	// unseal. A modified kernel fails the unseal (PCR mismatch) and, since
+	// taking ownership twice is impossible, cannot masquerade.
+	if !t.Owned() {
+		if err := t.TakeOwnership(bound); err != nil {
+			return nil, fmt.Errorf("kernel: taking TPM ownership: %w", err)
+		}
+		nk, err := rsa.GenerateKey(rand.Reader, 1024)
+		if err != nil {
+			return nil, fmt.Errorf("kernel: generating NK: %w", err)
+		}
+		blob, err := t.Seal(marshalKey(nk), bound)
+		if err != nil {
+			return nil, fmt.Errorf("kernel: sealing NK: %w", err)
+		}
+		der, err := sealedBlobMarshal(blob)
+		if err != nil {
+			return nil, err
+		}
+		if err := d.Write(sealedNKFile, der); err != nil {
+			return nil, fmt.Errorf("kernel: persisting sealed NK: %w", err)
+		}
+		k.NK = nk
+	} else {
+		der, err := d.Read(sealedNKFile)
+		if err != nil {
+			return nil, fmt.Errorf("%w: sealed NK missing", ErrBootIntegrity)
+		}
+		blob, err := sealedBlobUnmarshal(der)
+		if err != nil {
+			return nil, fmt.Errorf("%w: sealed NK corrupt", ErrBootIntegrity)
+		}
+		raw, err := t.Unseal(blob)
+		if err != nil {
+			return nil, fmt.Errorf("%w: cannot unseal NK (%v)", ErrBootIntegrity, err)
+		}
+		nk, err := unmarshalKey(raw)
+		if err != nil {
+			return nil, fmt.Errorf("%w: NK decode (%v)", ErrBootIntegrity, err)
+		}
+		k.NK = nk
+	}
+
+	// The boot key identifies this unique boot instantiation.
+	nbk, err := rsa.GenerateKey(rand.Reader, 1024)
+	if err != nil {
+		return nil, fmt.Errorf("kernel: generating NBK: %w", err)
+	}
+	k.NBK = nbk
+	sum := sha1.Sum(marshalPub(&nbk.PublicKey))
+	k.BootID = hex.EncodeToString(sum[:8])
+	k.Prin = nal.SubOf(nal.Key(tpm.Fingerprint(&k.NK.PublicKey)), k.BootID)
+
+	k.publishIntrospection()
+	return k, nil
+}
+
+// SetGuard installs the system guard consulted on decision-cache misses.
+func (k *Kernel) SetGuard(g Guard) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.guard = g
+}
+
+// SetAuthorization toggles goal checking (Figure 4 case "system call").
+func (k *Kernel) SetAuthorization(on bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.authz = on
+}
+
+// SetInterposition toggles the redirector and marshaling (Table 1 bare).
+func (k *Kernel) SetInterposition(on bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.interp = on
+}
+
+// Process is an isolated protection domain (IPD).
+type Process struct {
+	PID    int
+	Parent int
+	// Prin is kernel.ipd.<pid>, a subprincipal of the kernel (§2.4).
+	Prin nal.Principal
+	// Hash is the hex SHA-1 launch-time hash of the program image.
+	Hash string
+	// Labels is the process's default labelstore.
+	Labels *Labelstore
+
+	kernel *Kernel
+	exited bool
+}
+
+// CreateProcess launches a new IPD from the given program image. parent is 0
+// for root processes.
+func (k *Kernel) CreateProcess(parent int, image []byte) (*Process, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if parent != 0 {
+		if _, ok := k.procs[parent]; !ok {
+			return nil, ErrNoSuchProcess
+		}
+	}
+	pid := k.nextPID
+	k.nextPID++
+	sum := sha1.Sum(image)
+	p := &Process{
+		PID:    pid,
+		Parent: parent,
+		Prin:   nal.SubChain(k.Prin, "ipd", fmt.Sprint(pid)),
+		Hash:   hex.EncodeToString(sum[:]),
+		kernel: k,
+	}
+	p.Labels = newLabelstore(p)
+	k.procs[pid] = p
+	return p, nil
+}
+
+// Exit terminates the process, closing its ports and labelstore.
+func (p *Process) Exit() {
+	k := p.kernel
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if p.exited {
+		return
+	}
+	p.exited = true
+	delete(k.procs, p.PID)
+	for id, port := range k.ports {
+		if port.Owner == p {
+			delete(k.ports, id)
+			delete(k.redir, id)
+		}
+	}
+}
+
+// Lookup returns a live process by pid.
+func (k *Kernel) Lookup(pid int) (*Process, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	p, ok := k.procs[pid]
+	return p, ok
+}
+
+// Processes returns the live PIDs in unspecified order.
+func (k *Kernel) Processes() []int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]int, 0, len(k.procs))
+	for pid := range k.procs {
+		out = append(out, pid)
+	}
+	return out
+}
+
+// GetPPID is the getppid system call.
+func (p *Process) GetPPID() (int, error) {
+	var ppid int
+	err := p.kernel.syscall(p, "getppid", "proc:"+fmt.Sprint(p.PID), nil, func() error {
+		ppid = p.Parent
+		return nil
+	})
+	return ppid, err
+}
+
+// GetTimeOfDay is the gettimeofday system call.
+func (p *Process) GetTimeOfDay() (time.Time, error) {
+	var ts time.Time
+	err := p.kernel.syscall(p, "gettimeofday", "clock", nil, func() error {
+		ts = time.Now()
+		return nil
+	})
+	return ts, err
+}
+
+// Yield is the scheduler yield system call.
+func (p *Process) Yield() error {
+	return p.kernel.syscall(p, "yield", "cpu", nil, func() error { return nil })
+}
+
+// Null is the empty system call used to measure invocation overhead.
+func (p *Process) Null() error {
+	return p.kernel.syscall(p, "null", "null", nil, func() error { return nil })
+}
+
+// publishIntrospection mounts the kernel's live state under /proc (§3.1).
+func (k *Kernel) publishIntrospection() {
+	k.Introsp.Publish("/proc/kernel/bootid", k.Prin, func() string { return k.BootID })
+	k.Introsp.Publish("/proc/kernel/uptime", k.Prin, func() string {
+		return time.Since(k.startTime).String()
+	})
+	k.Introsp.Publish("/proc/kernel/nprocs", k.Prin, func() string {
+		k.mu.Lock()
+		defer k.mu.Unlock()
+		return fmt.Sprint(len(k.procs))
+	})
+	k.Introsp.Publish("/proc/kernel/nports", k.Prin, func() string {
+		k.mu.Lock()
+		defer k.mu.Unlock()
+		return fmt.Sprint(len(k.ports))
+	})
+}

@@ -1,0 +1,41 @@
+package kernel
+
+import (
+	"crypto/rsa"
+	"crypto/x509"
+	"encoding/asn1"
+	"fmt"
+
+	"repro/internal/tpm"
+)
+
+func marshalKey(k *rsa.PrivateKey) []byte {
+	return x509.MarshalPKCS1PrivateKey(k)
+}
+
+func unmarshalKey(der []byte) (*rsa.PrivateKey, error) {
+	return x509.ParsePKCS1PrivateKey(der)
+}
+
+func marshalPub(k *rsa.PublicKey) []byte {
+	return x509.MarshalPKCS1PublicKey(k)
+}
+
+// sealedBlobSeq is the on-disk form of a TPM sealed blob.
+type sealedBlobSeq struct {
+	EKID       string
+	Nonce      []byte
+	Ciphertext []byte
+}
+
+func sealedBlobMarshal(b *tpm.SealedBlob) ([]byte, error) {
+	return asn1.Marshal(sealedBlobSeq{EKID: b.EKID, Nonce: b.Nonce, Ciphertext: b.Ciphertext})
+}
+
+func sealedBlobUnmarshal(der []byte) (*tpm.SealedBlob, error) {
+	var s sealedBlobSeq
+	if rest, err := asn1.Unmarshal(der, &s); err != nil || len(rest) != 0 {
+		return nil, fmt.Errorf("kernel: sealed blob decode failed")
+	}
+	return &tpm.SealedBlob{EKID: s.EKID, Nonce: s.Nonce, Ciphertext: s.Ciphertext}, nil
+}

@@ -1,0 +1,192 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/nal"
+)
+
+// ErrNoSuchLabel is returned for stale or foreign label handles.
+var ErrNoSuchLabel = errors.New("kernel: no such label")
+
+// Label is an attributable statement held in a labelstore. Because the say
+// system call travels over a secure channel from the process to the kernel,
+// the label needs no signature while it stays inside this Nexus instance
+// (§2.3); Formula is always of the form "speaker says S".
+type Label struct {
+	Handle  int
+	Speaker nal.Principal
+	Formula nal.Formula
+}
+
+// Labelstore holds the labels issued by (or transferred to) one process.
+type Labelstore struct {
+	mu     sync.Mutex
+	owner  *Process
+	next   int
+	labels map[int]*Label
+}
+
+func newLabelstore(owner *Process) *Labelstore {
+	return &Labelstore{owner: owner, next: 1, labels: map[int]*Label{}}
+}
+
+// Say implements the say system call: the process utters statement, which
+// is recorded as "caller says statement". The statement may not itself be
+// ill-formed, but its predicates are uninterpreted — the kernel imposes no
+// semantic restrictions (§2.2).
+func (ls *Labelstore) Say(statement string) (*Label, error) {
+	f, err := nal.Parse(statement)
+	if err != nil {
+		return nil, fmt.Errorf("kernel: say: %w", err)
+	}
+	return ls.SayFormula(f)
+}
+
+// SayFormula is Say for pre-parsed formulas.
+func (ls *Labelstore) SayFormula(f nal.Formula) (*Label, error) {
+	if !nal.Ground(f) {
+		return nil, fmt.Errorf("kernel: say: statement must be ground")
+	}
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	l := &Label{
+		Handle:  ls.next,
+		Speaker: ls.owner.Prin,
+		Formula: nal.SaysWrap(ls.owner.Prin, f),
+	}
+	ls.next++
+	ls.labels[l.Handle] = l
+	return l, nil
+}
+
+// insertSystem deposits a kernel-issued label (e.g. an IPC binding or an
+// ownership grant) into the store.
+func (ls *Labelstore) insertSystem(f nal.Formula) *Label {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	l := &Label{Handle: ls.next, Speaker: ls.owner.kernel.Prin, Formula: f}
+	ls.next++
+	ls.labels[l.Handle] = l
+	return l
+}
+
+// Get returns a label by handle.
+func (ls *Labelstore) Get(handle int) (*Label, error) {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	l, ok := ls.labels[handle]
+	if !ok {
+		return nil, ErrNoSuchLabel
+	}
+	return l, nil
+}
+
+// Delete removes a label.
+func (ls *Labelstore) Delete(handle int) error {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if _, ok := ls.labels[handle]; !ok {
+		return ErrNoSuchLabel
+	}
+	delete(ls.labels, handle)
+	return nil
+}
+
+// Transfer moves a label into another process's labelstore, returning the
+// new handle. The formula (including its original speaker) is unchanged.
+func (ls *Labelstore) Transfer(handle int, to *Process) (*Label, error) {
+	ls.mu.Lock()
+	l, ok := ls.labels[handle]
+	if ok {
+		delete(ls.labels, handle)
+	}
+	ls.mu.Unlock()
+	if !ok {
+		return nil, ErrNoSuchLabel
+	}
+	dst := to.Labels
+	dst.mu.Lock()
+	defer dst.mu.Unlock()
+	nl := &Label{Handle: dst.next, Speaker: l.Speaker, Formula: l.Formula}
+	dst.next++
+	dst.labels[nl.Handle] = nl
+	return nl, nil
+}
+
+// All returns the formulas of every label in the store; guards treat these
+// as the credential set reachable from the subject.
+func (ls *Labelstore) All() []nal.Formula {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	out := make([]nal.Formula, 0, len(ls.labels))
+	for _, l := range ls.labels {
+		out = append(out, l.Formula)
+	}
+	return out
+}
+
+// Len reports the number of labels held.
+func (ls *Labelstore) Len() int {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return len(ls.labels)
+}
+
+// ExternalLabel is a label externalized to the X.509-style format of §2.4:
+// the label statement signed by the Nexus key, plus the TPM's endorsement of
+// the Nexus key. Informally, "TPM says kernel says process says S".
+type ExternalLabel struct {
+	// LabelCert is signed by NK; its Speaker is the in-kernel principal
+	// suffix (bootid.ipd.N or similar) and its Formula the statement body.
+	LabelCert *cert.Certificate
+	// NKCert is signed by the TPM's EK and states that NK speaks for the
+	// measured Nexus on this platform.
+	NKCert *cert.Certificate
+}
+
+// Externalize converts a label into transferable certificate form.
+func (ls *Labelstore) Externalize(handle int) (*ExternalLabel, error) {
+	ls.mu.Lock()
+	l, ok := ls.labels[handle]
+	ls.mu.Unlock()
+	if !ok {
+		return nil, ErrNoSuchLabel
+	}
+	k := ls.owner.kernel
+	labelCert, err := cert.Sign(cert.Statement{
+		Speaker: l.Formula.(nal.Says).P.String(),
+		Formula: l.Formula.(nal.Says).F.String(),
+		Serial:  int64(handle),
+		Issued:  time.Now(),
+	}, k.NK)
+	if err != nil {
+		return nil, fmt.Errorf("kernel: externalize: %w", err)
+	}
+	nkCert, err := k.nkEndorsement()
+	if err != nil {
+		return nil, err
+	}
+	return &ExternalLabel{LabelCert: labelCert, NKCert: nkCert}, nil
+}
+
+// Import verifies an external label and deposits the corresponding
+// key-attributed formula into the store. The resulting label reads
+// "key:<NK> says <speaker> says S"; proofs connect key:<NK> to a trusted
+// Nexus via the NK endorsement.
+func (ls *Labelstore) Import(ext *ExternalLabel) (*Label, error) {
+	f, err := ext.LabelCert.ToLabel()
+	if err != nil {
+		return nil, fmt.Errorf("kernel: import: %w", err)
+	}
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	l := &Label{Handle: ls.next, Speaker: ls.owner.kernel.Prin, Formula: f}
+	ls.next++
+	ls.labels[l.Handle] = l
+	return l, nil
+}

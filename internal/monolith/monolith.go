@@ -1,0 +1,170 @@
+// Package monolith is the comparator system for Table 1: a monolithic
+// kernel with the same system-call surface as the Nexus simulation but the
+// conventional structure — services implemented inside the kernel, invoked
+// by direct call with no IPC hop, no parameter marshaling, no
+// interpositioning, and no credentials-based authorization. It stands in
+// for the paper's Ubuntu 10.10 / Linux 2.6.35 measurements: what matters
+// for reproduction is the *relative* cost of the Nexus mechanisms against a
+// direct-call baseline, not Linux's absolute numbers.
+package monolith
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Errors.
+var (
+	ErrNotFound = errors.New("monolith: no such file")
+	ErrBadFD    = errors.New("monolith: bad file descriptor")
+	ErrExists   = errors.New("monolith: file exists")
+)
+
+// Kernel is a monolithic kernel instance.
+type Kernel struct {
+	mu    sync.Mutex
+	files map[string][]byte
+	fds   map[int]*fd
+	next  int
+	procs map[int]int // pid → ppid
+	npid  int
+}
+
+type fd struct {
+	path string
+	off  int
+}
+
+// New creates a monolithic kernel with an empty root filesystem.
+func New() *Kernel {
+	return &Kernel{
+		files: map[string][]byte{},
+		fds:   map[int]*fd{},
+		next:  3,
+		procs: map[int]int{},
+		npid:  1,
+	}
+}
+
+// Spawn creates a process and returns its pid.
+func (k *Kernel) Spawn(ppid int) int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	pid := k.npid
+	k.npid++
+	k.procs[pid] = ppid
+	return pid
+}
+
+// Null is the empty system call.
+func (k *Kernel) Null() {}
+
+// GetPPID returns a process's parent.
+func (k *Kernel) GetPPID(pid int) int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.procs[pid]
+}
+
+// GetTimeOfDay returns the current time.
+func (k *Kernel) GetTimeOfDay() time.Time { return time.Now() }
+
+// Yield is a scheduling no-op in the simulation.
+func (k *Kernel) Yield() {}
+
+// Create makes an empty file.
+func (k *Kernel) Create(path string) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if _, ok := k.files[path]; ok {
+		return ErrExists
+	}
+	k.files[path] = nil
+	return nil
+}
+
+// Open returns a file descriptor.
+func (k *Kernel) Open(path string) (int, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if _, ok := k.files[path]; !ok {
+		return 0, ErrNotFound
+	}
+	n := k.next
+	k.next++
+	k.fds[n] = &fd{path: path}
+	return n, nil
+}
+
+// Close releases a descriptor.
+func (k *Kernel) Close(n int) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if _, ok := k.fds[n]; !ok {
+		return ErrBadFD
+	}
+	delete(k.fds, n)
+	return nil
+}
+
+// Read reads up to n bytes at the descriptor offset.
+func (k *Kernel) Read(fdn, n int) ([]byte, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	d, ok := k.fds[fdn]
+	if !ok {
+		return nil, ErrBadFD
+	}
+	data := k.files[d.path]
+	if d.off >= len(data) {
+		return nil, nil
+	}
+	end := d.off + n
+	if end > len(data) {
+		end = len(data)
+	}
+	out := append([]byte(nil), data[d.off:end]...)
+	d.off = end
+	return out, nil
+}
+
+// Write writes at the descriptor offset.
+func (k *Kernel) Write(fdn int, data []byte) (int, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	d, ok := k.fds[fdn]
+	if !ok {
+		return 0, ErrBadFD
+	}
+	cur := k.files[d.path]
+	if need := d.off + len(data); need > len(cur) {
+		if need > cap(cur) {
+			grown := make([]byte, need, need*2)
+			copy(grown, cur)
+			cur = grown
+		} else {
+			cur = cur[:need]
+		}
+	}
+	copy(cur[d.off:], data)
+	k.files[d.path] = cur
+	d.off += len(data)
+	return len(data), nil
+}
+
+// List returns files under a prefix.
+func (k *Kernel) List(prefix string) []string {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	var out []string
+	for p := range k.files {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,72 @@
+package monolith
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestProcessOps(t *testing.T) {
+	k := New()
+	p1 := k.Spawn(0)
+	p2 := k.Spawn(p1)
+	if k.GetPPID(p2) != p1 {
+		t.Errorf("GetPPID = %d", k.GetPPID(p2))
+	}
+	if k.GetTimeOfDay().IsZero() {
+		t.Error("GetTimeOfDay returned zero")
+	}
+	k.Null()
+	k.Yield()
+}
+
+func TestFileOps(t *testing.T) {
+	k := New()
+	if err := k.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Create("/f"); !errors.Is(err, ErrExists) {
+		t.Errorf("want ErrExists, got %v", err)
+	}
+	if _, err := k.Open("/missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("want ErrNotFound, got %v", err)
+	}
+	fd, err := k.Open("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := k.Write(fd, []byte("hello"))
+	if err != nil || n != 5 {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	if err := k.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Close(fd); !errors.Is(err, ErrBadFD) {
+		t.Errorf("double close: want ErrBadFD, got %v", err)
+	}
+	fd2, _ := k.Open("/f")
+	data, err := k.Read(fd2, 100)
+	if err != nil || !bytes.Equal(data, []byte("hello")) {
+		t.Errorf("Read = %q, %v", data, err)
+	}
+	if more, _ := k.Read(fd2, 10); more != nil {
+		t.Errorf("read past EOF = %q", more)
+	}
+	if _, err := k.Read(999, 1); !errors.Is(err, ErrBadFD) {
+		t.Errorf("want ErrBadFD, got %v", err)
+	}
+	if _, err := k.Write(999, nil); !errors.Is(err, ErrBadFD) {
+		t.Errorf("want ErrBadFD, got %v", err)
+	}
+}
+
+func TestList(t *testing.T) {
+	k := New()
+	k.Create("/a/1")
+	k.Create("/a/2")
+	k.Create("/b/1")
+	if got := k.List("/a/"); len(got) != 2 {
+		t.Errorf("List = %v", got)
+	}
+}

@@ -1,0 +1,20 @@
+// Package nal implements the Nexus Authorization Logic (NAL), the
+// constructive logic of belief used by logical attestation (Sirer et al.,
+// SOSP 2011; Schneider, Walsh, Sirer, TISSEC 2011).
+//
+// NAL formulas attribute statements to principals. The central modality is
+// "P says S", read as "S is in the worldview of P". Delegation between
+// principals is expressed with "A speaksfor B" (every statement of A is
+// attributed to B) and the scoped variant "A speaksfor B on pat", which
+// restricts the delegation to statements matching the pattern pat.
+//
+// Principals are hierarchical: A.tag is a subprincipal of A, and A speaksfor
+// A.tag axiomatically. Key and hash principals name entities by their
+// cryptographic identity.
+//
+// The package provides the abstract syntax (Term, Principal, Formula), a
+// parser for a concrete textual syntax (Parse, ParsePrincipal, ParseTerm),
+// structural equality, substitution of guard variables ("?X"), and pattern
+// matching used by scoped delegation. Proof objects and the proof checker
+// live in the subpackage nal/proof.
+package nal

@@ -1,0 +1,161 @@
+package nal
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tkEOF tokKind = iota
+	tkIdent
+	tkVar
+	tkString
+	tkInt
+	tkTime
+	tkLParen
+	tkRParen
+	tkLBrack
+	tkRBrack
+	tkComma
+	tkDot
+	tkOp // < <= = != >= >
+	tkArrow
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tkEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// isIdentRune reports whether r may appear inside an identifier. Identifiers
+// cover names like NTP, predicates like isTypeSafe, and path atoms like
+// /proc/ipd/12 or key:ab12cd.
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) ||
+		r == '_' || r == '/' || r == '-' || r == ':'
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	rs := []rune(src)
+	i := 0
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '(':
+			toks = append(toks, token{tkLParen, "(", i})
+			i++
+		case r == ')':
+			toks = append(toks, token{tkRParen, ")", i})
+			i++
+		case r == '[':
+			toks = append(toks, token{tkLBrack, "[", i})
+			i++
+		case r == ']':
+			toks = append(toks, token{tkRBrack, "]", i})
+			i++
+		case r == ',':
+			toks = append(toks, token{tkComma, ",", i})
+			i++
+		case r == '.':
+			toks = append(toks, token{tkDot, ".", i})
+			i++
+		case r == '?':
+			j := i + 1
+			for j < len(rs) && (unicode.IsLetter(rs[j]) || unicode.IsDigit(rs[j]) || rs[j] == '_') {
+				j++
+			}
+			if j == i+1 {
+				return nil, fmt.Errorf("nal: empty variable name at %d", i)
+			}
+			toks = append(toks, token{tkVar, string(rs[i+1 : j]), i})
+			i = j
+		case r == '@':
+			j := i + 1
+			for j < len(rs) && (unicode.IsDigit(rs[j]) || rs[j] == '-' || rs[j] == ':' ||
+				rs[j] == 'T' || rs[j] == 'Z' || rs[j] == '+' || rs[j] == '.') {
+				j++
+			}
+			if j == i+1 {
+				return nil, fmt.Errorf("nal: empty timestamp at %d", i)
+			}
+			toks = append(toks, token{tkTime, string(rs[i+1 : j]), i})
+			i = j
+		case r == '"':
+			j := i + 1
+			var sb strings.Builder
+			for j < len(rs) && rs[j] != '"' {
+				if rs[j] == '\\' && j+1 < len(rs) {
+					j++
+				}
+				sb.WriteRune(rs[j])
+				j++
+			}
+			if j >= len(rs) {
+				return nil, fmt.Errorf("nal: unterminated string at %d", i)
+			}
+			toks = append(toks, token{tkString, sb.String(), i})
+			i = j + 1
+		case r == '=':
+			if i+1 < len(rs) && rs[i+1] == '>' {
+				toks = append(toks, token{tkArrow, "=>", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tkOp, "=", i})
+				i++
+			}
+		case r == '<' || r == '>' || r == '!':
+			op := string(r)
+			if i+1 < len(rs) && rs[i+1] == '=' {
+				op += "="
+				i++
+			}
+			if op == "!" {
+				return nil, fmt.Errorf("nal: stray '!' at %d", i)
+			}
+			toks = append(toks, token{tkOp, op, i})
+			i++
+		case unicode.IsDigit(r):
+			j := i
+			for j < len(rs) && unicode.IsDigit(rs[j]) {
+				j++
+			}
+			// A digit run followed by more identifier runes is an
+			// identifier (hex hashes like 590fb6 appear in principal tags).
+			if j < len(rs) && isIdentRune(rs[j]) {
+				for j < len(rs) && isIdentRune(rs[j]) {
+					j++
+				}
+				toks = append(toks, token{tkIdent, string(rs[i:j]), i})
+				i = j
+				continue
+			}
+			toks = append(toks, token{tkInt, string(rs[i:j]), i})
+			i = j
+		case isIdentRune(r):
+			j := i
+			for j < len(rs) && isIdentRune(rs[j]) {
+				j++
+			}
+			toks = append(toks, token{tkIdent, string(rs[i:j]), i})
+			i = j
+		default:
+			return nil, fmt.Errorf("nal: unexpected character %q at %d", r, i)
+		}
+	}
+	toks = append(toks, token{tkEOF, "", len(rs)})
+	return toks, nil
+}

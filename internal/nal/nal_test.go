@@ -1,0 +1,298 @@
+package nal
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestParseBasicForms(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string // canonical String form; "" means identical to src
+	}{
+		{"NTP says TimeNow < @2026-03-19", ""},
+		{"A speaksfor B", ""},
+		{"A speaksfor B on TimeNow", ""},
+		{"TypeChecker says isTypeSafe(hash:ab12)", ""},
+		{"Nexus says /proc/ipd/30 speaksfor IPCAnalyzer", ""},
+		{"/proc/ipd/30 says not hasPath(/proc/ipd/12, Filesystem)", ""},
+		{"false", ""},
+		{"true", ""},
+		{"a and b", ""},
+		{"a or b", ""},
+		{"a => b", ""},
+		{"not a", ""},
+		{"a and b or c", "(a and b) or c"},
+		{"a => b => c", "a => (b => c)"},
+		{"Owner says (TimeNow < @2026-03-19)", "Owner says TimeNow < @2026-03-19"},
+		{"?S says openFile(\"/dir/file\")", ""},
+		{"kernel.process.23 says ready", ""},
+		{"key:ab12 says x = 1", ""},
+		{"FS says /proc/ipd/6 speaksfor FS./dir/file", ""},
+		{"A says B says c", ""},
+		{"quota(alice) <= 80", ""},
+		{"member(alice, [alice, bob])", ""},
+		{"A says Valid(s) => s", ""},
+		{"(A says Valid(s)) => s", "A says Valid(s) => s"},
+	}
+	for _, c := range cases {
+		f, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.src, err)
+			continue
+		}
+		want := c.want
+		if want == "" {
+			want = c.src
+		}
+		if got := f.String(); got != want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.src, got, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"says",
+		"A says",
+		"A speaksfor",
+		"(a",
+		"a and",
+		"A.b(x)",   // dotted predicate head
+		"\"str\"",  // bare term is not a formula
+		"A says B", // dangling principal? B is nullary pred — OK actually
+		"?",
+		"@",
+		"A < ",
+		"x = @20x6",
+	}
+	for _, src := range bad {
+		if src == "A says B" {
+			continue // valid: B parses as a nullary predicate
+		}
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error, got none", src)
+		}
+	}
+}
+
+func TestRoundTripCanonical(t *testing.T) {
+	// String() output must reparse to an Equal formula.
+	srcs := []string{
+		"Nexus says IPC.5 speaksfor /proc/ipd/7",
+		"Filesystem says NTP speaksfor Filesystem on TimeNow",
+		"(a and b) or (not c => false)",
+		"SafetyCertifier says safe(?X)",
+		"A says (b or c) and d",
+		"x != [1, 2, \"three\", @2026-01-01]",
+	}
+	for _, src := range srcs {
+		f1 := MustParse(src)
+		f2, err := Parse(f1.String())
+		if err != nil {
+			t.Fatalf("reparse %q (from %q): %v", f1.String(), src, err)
+		}
+		if !f1.Equal(f2) {
+			t.Errorf("round trip changed %q: %q vs %q", src, f1, f2)
+		}
+	}
+}
+
+func TestPrincipalHierarchy(t *testing.T) {
+	tpm := Key("ek0")
+	kern := SubOf(tpm, "nexus")
+	proc := SubChain(kern, "ipd", "23")
+	if got := proc.String(); got != "key:ek0.nexus.ipd.23" {
+		t.Fatalf("SubChain = %q", got)
+	}
+	if !IsAncestor(tpm, proc) || !IsAncestor(kern, proc) || !IsAncestor(proc, proc) {
+		t.Error("IsAncestor should hold along the chain")
+	}
+	if IsAncestor(proc, kern) {
+		t.Error("IsAncestor must not hold upward")
+	}
+	if !RootOf(proc).EqualPrin(tpm) {
+		t.Errorf("RootOf = %v, want %v", RootOf(proc), tpm)
+	}
+	if PrinDepth(proc) != 3 {
+		t.Errorf("PrinDepth = %d, want 3", PrinDepth(proc))
+	}
+	back, err := ParsePrincipal(proc.String())
+	if err != nil || !back.EqualPrin(proc) {
+		t.Errorf("principal round trip failed: %v, %v", back, err)
+	}
+}
+
+func TestSubstitution(t *testing.T) {
+	goal := MustParse("?S says openFile(?F) and SafetyCertifier says safe(?S)")
+	sub := Subst{
+		"S": PrinTerm{P: MustPrincipal("kernel.ipd.12")},
+		"F": Str("/dir/file"),
+	}
+	got := sub.Apply(goal)
+	want := MustParse(`kernel.ipd.12 says openFile("/dir/file") and SafetyCertifier says safe(kernel.ipd.12)`)
+	if !got.Equal(want) {
+		t.Errorf("Apply = %q, want %q", got, want)
+	}
+	if !Ground(got) {
+		t.Error("substituted goal should be ground")
+	}
+	if Ground(goal) {
+		t.Error("goal with variables must not be ground")
+	}
+	if vs := Vars(goal); len(vs) != 2 || vs[0] != "S" || vs[1] != "F" {
+		t.Errorf("Vars = %v", vs)
+	}
+}
+
+func TestPatternMatches(t *testing.T) {
+	pat := Pattern{Pred: "TimeNow"}
+	if !pat.Matches(MustParse("TimeNow < @2026-03-19")) {
+		t.Error("pattern should match comparison with matching atom")
+	}
+	if pat.Matches(MustParse("Other < @2026-03-19")) {
+		t.Error("pattern must not match different atom")
+	}
+	pat2 := Pattern{Pred: "safe"}
+	if !pat2.Matches(MustParse("safe(x)")) {
+		t.Error("pattern should match predicate")
+	}
+	if !pat2.Matches(MustParse("safe(x) and safe(y)")) {
+		t.Error("pattern should match conjunction of matches")
+	}
+	if pat2.Matches(MustParse("safe(x) or safe(y)")) {
+		t.Error("pattern must not match disjunction")
+	}
+}
+
+func TestCompareTerms(t *testing.T) {
+	d1 := Time{T: time.Date(2026, 3, 18, 0, 0, 0, 0, time.UTC)}
+	d2 := Time{T: time.Date(2026, 3, 19, 0, 0, 0, 0, time.UTC)}
+	if sign, ok := CompareTerms(d1, d2); !ok || sign >= 0 {
+		t.Errorf("CompareTerms(times) = %d, %v", sign, ok)
+	}
+	if _, ok := CompareTerms(Int(1), Str("1")); ok {
+		t.Error("cross-kind comparison must be incomparable")
+	}
+	if sign, ok := CompareTerms(Int(5), Int(5)); !ok || sign != 0 {
+		t.Errorf("CompareTerms(5,5) = %d, %v", sign, ok)
+	}
+	for op, want := range map[CompareOp]bool{OpLT: true, OpLE: true, OpEQ: false, OpNE: true, OpGE: false, OpGT: false} {
+		if got := op.Eval(-1); got != want {
+			t.Errorf("Eval(%v, -1) = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestConjHelpers(t *testing.T) {
+	fs := []Formula{MustParse("a"), MustParse("b"), MustParse("c")}
+	c := Conj(fs...)
+	if got := c.String(); got != "a and (b and c)" {
+		t.Errorf("Conj = %q", got)
+	}
+	parts := Conjuncts(c)
+	if len(parts) != 3 {
+		t.Fatalf("Conjuncts = %d parts", len(parts))
+	}
+	if _, ok := Conj().(TrueF); !ok {
+		t.Error("empty Conj should be true")
+	}
+	if !Conj(fs[0]).Equal(fs[0]) {
+		t.Error("singleton Conj should be identity")
+	}
+}
+
+func TestSaysWrapIdempotent(t *testing.T) {
+	p := Name("A")
+	inner := MustParse("A says s")
+	if got := SaysWrap(p, inner); !got.Equal(inner) {
+		t.Errorf("SaysWrap should collapse A says A says s, got %q", got)
+	}
+	other := MustParse("B says s")
+	if got := SaysWrap(p, other); got.String() != "A says B says s" {
+		t.Errorf("SaysWrap = %q", got)
+	}
+}
+
+// genFormula builds a random formula from a seed; used for the quick
+// round-trip property.
+func genFormula(seed int64, depth int) Formula {
+	atoms := []string{"a", "b", "safe", "ready", "TimeNow"}
+	prins := []string{"A", "B", "NTP", "kernel.ipd.7", "key:ab12"}
+	pick := func(n int) int {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		v := int((seed >> 33) % int64(n))
+		if v < 0 {
+			v += n
+		}
+		return v
+	}
+	if depth <= 0 {
+		switch pick(3) {
+		case 0:
+			return Pred{Name: atoms[pick(len(atoms))]}
+		case 1:
+			return Pred{Name: "p", Args: []Term{Int(int64(pick(100))), Str("s")}}
+		default:
+			return Compare{Op: CompareOp(pick(6)), L: Atom("x"), R: Int(int64(pick(50)))}
+		}
+	}
+	switch pick(7) {
+	case 0:
+		return Says{P: MustPrincipal(prins[pick(len(prins))]), F: genFormula(seed, depth-1)}
+	case 1:
+		sf := SpeaksFor{A: MustPrincipal(prins[pick(len(prins))]), B: MustPrincipal(prins[pick(len(prins))])}
+		if pick(2) == 0 {
+			sf.On = &Pattern{Pred: atoms[pick(len(atoms))]}
+		}
+		return sf
+	case 2:
+		return Not{F: genFormula(seed, depth-1)}
+	case 3:
+		return And{L: genFormula(seed, depth-1), R: genFormula(seed+1, depth-1)}
+	case 4:
+		return Or{L: genFormula(seed, depth-1), R: genFormula(seed+1, depth-1)}
+	case 5:
+		return Implies{L: genFormula(seed, depth-1), R: genFormula(seed+1, depth-1)}
+	default:
+		return genFormula(seed+7, depth-1)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	// Property: for arbitrary formulas, Parse(f.String()) is Equal to f.
+	prop := func(seed int64, d uint8) bool {
+		f := genFormula(seed, int(d%4))
+		g, err := Parse(f.String())
+		if err != nil {
+			t.Logf("parse error on %q: %v", f, err)
+			return false
+		}
+		return f.Equal(g)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEqualReflexiveAndStable(t *testing.T) {
+	prop := func(seed int64, d uint8) bool {
+		f := genFormula(seed, int(d%4))
+		g := genFormula(seed, int(d%4)) // same seed → same formula
+		return f.Equal(f) && f.Equal(g) && f.String() == g.String()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{"\"abc", "a ! b", "a # b", "?", "@ x"} {
+		if _, err := lex(src); err == nil && !strings.Contains(src, "#") {
+			t.Errorf("lex(%q): expected error", src)
+		}
+	}
+}

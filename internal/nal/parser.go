@@ -1,0 +1,435 @@
+package nal
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse parses a NAL formula from its concrete syntax. The grammar, in
+// decreasing binding strength:
+//
+//	atomic  : '(' formula ')' | 'true' | 'false'
+//	        | principal 'says' unary
+//	        | principal 'speaksfor' principal ('on' IDENT)?
+//	        | IDENT '(' term, ... ')'         (predicate)
+//	        | term CMP term                   (comparison)
+//	        | IDENT                           (nullary predicate)
+//	unary   : 'not' unary | atomic
+//	conj    : unary ('and' unary)*
+//	disj    : conj ('or' conj)*
+//	formula : disj ('=>' formula)?
+//
+// Principals: IDENT('.'tag)* with the prefixes key: and hash: naming key and
+// hash principals; ?X is a guard variable. Terms: "strings", integers,
+// @2026-03-19 timestamps, [lists], atoms, principals, ?vars.
+func Parse(src string) (Formula, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f, err := p.formula()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tkEOF {
+		return nil, fmt.Errorf("nal: trailing input at %s", p.peek())
+	}
+	return f, nil
+}
+
+// MustParse is Parse that panics on error, for formula literals in tests and
+// examples.
+func MustParse(src string) Formula {
+	f, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// ParsePrincipal parses a principal expression such as NTP, key:ab12,
+// kernel.process.23, or ?X.
+func ParsePrincipal(src string) (Principal, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	pr, err := p.principal()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tkEOF {
+		return nil, fmt.Errorf("nal: trailing input at %s", p.peek())
+	}
+	return pr, nil
+}
+
+// ParseTerm parses a single term.
+func ParseTerm(src string) (Term, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	t, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tkEOF {
+		return nil, fmt.Errorf("nal: trailing input at %s", p.peek())
+	}
+	return t, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, fmt.Errorf("nal: expected %s, found %s", what, t)
+	}
+	return t, nil
+}
+
+// keyword checks whether the next token is the identifier kw and consumes it.
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tkIdent && t.text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) formula() (Formula, error) {
+	l, err := p.disj()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tkArrow {
+		p.next()
+		r, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		return Implies{L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) disj() (Formula, error) {
+	l, err := p.conj()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("or") {
+		r, err := p.conj()
+		if err != nil {
+			return nil, err
+		}
+		l = Or{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) conj() (Formula, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("and") {
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = And{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unary() (Formula, error) {
+	if p.keyword("not") {
+		f, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{F: f}, nil
+	}
+	return p.atomic()
+}
+
+func (p *parser) atomic() (Formula, error) {
+	t := p.peek()
+	switch t.kind {
+	case tkLParen:
+		p.next()
+		f, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tkRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	case tkString, tkInt, tkTime, tkLBrack:
+		// A pure term must begin a comparison.
+		l, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		return p.comparison(l)
+	case tkIdent:
+		if t.text == "false" {
+			p.next()
+			return FalseF{}, nil
+		}
+		if t.text == "true" {
+			p.next()
+			return TrueF{}, nil
+		}
+		return p.principalLed()
+	case tkVar:
+		return p.principalLed()
+	}
+	return nil, fmt.Errorf("nal: expected formula, found %s", t)
+}
+
+// principalLed parses an atomic formula that begins with an identifier or a
+// variable: a says/speaksfor form, a predicate application, a comparison, or
+// a bare nullary predicate.
+func (p *parser) principalLed() (Formula, error) {
+	start := p.pos
+	pr, err := p.principal()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.keyword("says"):
+		f, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Says{P: pr, F: f}, nil
+	case p.keyword("speaksfor"):
+		b, err := p.principal()
+		if err != nil {
+			return nil, err
+		}
+		sf := SpeaksFor{A: pr, B: b}
+		if p.keyword("on") {
+			id, err := p.expect(tkIdent, "pattern name after 'on'")
+			if err != nil {
+				return nil, err
+			}
+			sf.On = &Pattern{Pred: id.text}
+		}
+		return sf, nil
+	case p.peek().kind == tkLParen:
+		// Predicate application: the head must be a simple name.
+		name, ok := pr.(Name)
+		if !ok {
+			return nil, fmt.Errorf("nal: predicate name must be simple, found %s", pr)
+		}
+		p.next() // consume '('
+		var args []Term
+		if p.peek().kind != tkRParen {
+			for {
+				a, err := p.term()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.peek().kind == tkComma {
+					p.next()
+					continue
+				}
+				break
+			}
+		}
+		if _, err := p.expect(tkRParen, "')'"); err != nil {
+			return nil, err
+		}
+		if p.peek().kind == tkOp {
+			// quota(alice) <= 80: the application is a function term in a
+			// comparison, not a predicate.
+			return p.comparison(Func{Name: string(name), Args: args})
+		}
+		return Pred{Name: string(name), Args: args}, nil
+	case p.peek().kind == tkOp:
+		return p.comparison(prinToTerm(pr))
+	default:
+		// Reparse as a bare nullary predicate if the principal is simple.
+		if name, ok := pr.(Name); ok {
+			return Pred{Name: string(name)}, nil
+		}
+		p.pos = start
+		return nil, fmt.Errorf("nal: dangling principal %s (expected says/speaksfor)", pr)
+	}
+}
+
+func (p *parser) comparison(l Term) (Formula, error) {
+	op, err := p.expect(tkOp, "comparison operator")
+	if err != nil {
+		return nil, err
+	}
+	var cop CompareOp
+	switch op.text {
+	case "<":
+		cop = OpLT
+	case "<=":
+		cop = OpLE
+	case "=":
+		cop = OpEQ
+	case "!=":
+		cop = OpNE
+	case ">=":
+		cop = OpGE
+	case ">":
+		cop = OpGT
+	default:
+		return nil, fmt.Errorf("nal: unknown operator %q", op.text)
+	}
+	r, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	return Compare{Op: cop, L: l, R: r}, nil
+}
+
+// reserved words may not be used as principal or predicate names.
+var reserved = map[string]bool{
+	"says": true, "speaksfor": true, "on": true,
+	"and": true, "or": true, "not": true, "true": true, "false": true,
+}
+
+func (p *parser) principal() (Principal, error) {
+	t := p.next()
+	var base Principal
+	switch t.kind {
+	case tkVar:
+		base = varPrin(t.text)
+	case tkIdent:
+		if reserved[t.text] {
+			return nil, fmt.Errorf("nal: reserved word %q in principal position", t.text)
+		}
+		switch {
+		case strings.HasPrefix(t.text, "key:"):
+			base = Key(t.text[len("key:"):])
+		case strings.HasPrefix(t.text, "hash:"):
+			base = HashPrin(t.text[len("hash:"):])
+		default:
+			base = Name(t.text)
+		}
+	default:
+		return nil, fmt.Errorf("nal: expected principal, found %s", t)
+	}
+	for p.peek().kind == tkDot {
+		p.next()
+		tag := p.next()
+		if tag.kind != tkIdent && tag.kind != tkInt {
+			return nil, fmt.Errorf("nal: expected subprincipal tag, found %s", tag)
+		}
+		base = Sub{Parent: base, Tag: tag.text}
+	}
+	return base, nil
+}
+
+func (p *parser) term() (Term, error) {
+	t := p.peek()
+	switch t.kind {
+	case tkString:
+		p.next()
+		return Str(t.text), nil
+	case tkInt:
+		p.next()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("nal: bad integer %q: %v", t.text, err)
+		}
+		return Int(n), nil
+	case tkTime:
+		p.next()
+		return parseTimeTerm(t.text)
+	case tkLBrack:
+		p.next()
+		var list TermList
+		if p.peek().kind != tkRBrack {
+			for {
+				e, err := p.term()
+				if err != nil {
+					return nil, err
+				}
+				list = append(list, e)
+				if p.peek().kind == tkComma {
+					p.next()
+					continue
+				}
+				break
+			}
+		}
+		if _, err := p.expect(tkRBrack, "']'"); err != nil {
+			return nil, err
+		}
+		return list, nil
+	case tkIdent, tkVar:
+		pr, err := p.principal()
+		if err != nil {
+			return nil, err
+		}
+		if name, ok := pr.(Name); ok && p.peek().kind == tkLParen {
+			p.next()
+			var args []Term
+			if p.peek().kind != tkRParen {
+				for {
+					a, err := p.term()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.peek().kind == tkComma {
+						p.next()
+						continue
+					}
+					break
+				}
+			}
+			if _, err := p.expect(tkRParen, "')'"); err != nil {
+				return nil, err
+			}
+			return Func{Name: string(name), Args: args}, nil
+		}
+		return prinToTerm(pr), nil
+	}
+	return nil, fmt.Errorf("nal: expected term, found %s", t)
+}
+
+// prinToTerm converts a parsed principal into term position: simple names
+// become atoms, variables stay variables, everything else is wrapped.
+func prinToTerm(p Principal) Term {
+	switch v := p.(type) {
+	case Name:
+		return Atom(v)
+	case varPrin:
+		return Var(v)
+	}
+	return PrinTerm{P: p}
+}
+
+func parseTimeTerm(text string) (Term, error) {
+	for _, layout := range []string{"2006-01-02", time.RFC3339} {
+		if ts, err := time.Parse(layout, text); err == nil {
+			return Time{T: ts}, nil
+		}
+	}
+	return nil, fmt.Errorf("nal: bad timestamp @%s (want YYYY-MM-DD or RFC 3339)", text)
+}

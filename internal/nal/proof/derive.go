@@ -1,0 +1,350 @@
+package proof
+
+import (
+	"fmt"
+
+	"repro/internal/nal"
+)
+
+// Deriver is a heuristic, goal-directed proof constructor. Clients (never
+// guards) use it to assemble a proof of a goal formula from their available
+// credentials and known authorities. Derivation is bounded and incomplete —
+// NAL proof search is undecidable in general — but it covers the shapes that
+// arise in practice: credential import, delegation chains, subprincipal and
+// handoff reasoning, conjunction splitting, and authority references.
+type Deriver struct {
+	// Creds are the credentials (labels) available to the client, in the
+	// order they will be presented to the guard.
+	Creds []nal.Formula
+	// Authority maps a formula to the channel of an authority willing to
+	// affirm it live, if any. Proofs that use it become non-cacheable.
+	Authority func(f nal.Formula) (channel string, ok bool)
+	// TrustRoots are principals whose delegation statements the verifier
+	// accepts axiomatically (typically the Nexus kernel and the TPM); the
+	// checker's Env must list the same roots. This mirrors the trust
+	// preamble of goal formulas in §2.5.
+	TrustRoots []nal.Principal
+	// MaxDepth bounds recursive search; 0 means a sensible default.
+	MaxDepth int
+}
+
+func (d *Deriver) trusted(p nal.Principal) bool {
+	for _, r := range d.TrustRoots {
+		if nal.IsAncestor(r, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Derive constructs a proof of goal, or reports failure. goal must be
+// ground (apply the guard substitution first).
+func (d *Deriver) Derive(goal nal.Formula) (*Proof, error) {
+	if !nal.Ground(goal) {
+		return nil, fmt.Errorf("proof: cannot derive non-ground goal %q", goal)
+	}
+	depth := d.MaxDepth
+	if depth <= 0 {
+		depth = 8
+	}
+	b := &builder{d: d, index: map[string]int{}, visiting: map[string]bool{}}
+	if _, ok := b.derive(goal, depth); !ok {
+		return nil, fmt.Errorf("proof: no derivation found for %q", goal)
+	}
+	return &Proof{Steps: b.steps}, nil
+}
+
+// builder accumulates steps for one proof frame, deduplicating by canonical
+// formula text.
+type builder struct {
+	d        *Deriver
+	steps    []Step
+	index    map[string]int
+	visiting map[string]bool
+	hyp      nal.Formula // local hypothesis for subproof frames
+}
+
+func (b *builder) add(s Step) int {
+	key := s.F.String()
+	if i, ok := b.index[key]; ok {
+		return i
+	}
+	b.steps = append(b.steps, s)
+	i := len(b.steps) - 1
+	b.index[key] = i
+	return i
+}
+
+// derive returns the index of a step concluding goal, creating steps as
+// needed. The boolean reports success.
+func (b *builder) derive(goal nal.Formula, depth int) (int, bool) {
+	key := goal.String()
+	if i, ok := b.index[key]; ok {
+		return i, true
+	}
+	if depth <= 0 || b.visiting[key] {
+		return 0, false
+	}
+	b.visiting[key] = true
+	defer delete(b.visiting, key)
+
+	// Direct credential.
+	for i, c := range b.d.Creds {
+		if c.Equal(goal) {
+			return b.add(Step{Rule: RuleLabel, Label: i, F: goal}), true
+		}
+	}
+
+	switch g := goal.(type) {
+	case nal.TrueF:
+		return b.add(Step{Rule: RuleTrueI, F: goal}), true
+
+	case nal.Compare:
+		if constTerm(g.L) && constTerm(g.R) {
+			if sign, ok := nal.CompareTerms(g.L, g.R); ok && g.Op.Eval(sign) {
+				return b.add(Step{Rule: RuleCompare, F: goal}), true
+			}
+		}
+
+	case nal.And:
+		if li, ok := b.derive(g.L, depth-1); ok {
+			if ri, ok := b.derive(g.R, depth-1); ok {
+				return b.add(Step{Rule: RuleAndI, Premises: []int{li, ri}, F: goal}), true
+			}
+		}
+
+	case nal.Or:
+		if li, ok := b.derive(g.L, depth-1); ok {
+			return b.add(Step{Rule: RuleOrI1, Premises: []int{li}, F: goal}), true
+		}
+		if ri, ok := b.derive(g.R, depth-1); ok {
+			return b.add(Step{Rule: RuleOrI2, Premises: []int{ri}, F: goal}), true
+		}
+
+	case nal.Not:
+		if inner, ok := g.F.(nal.Not); ok {
+			if i, ok := b.derive(inner.F, depth-1); ok {
+				return b.add(Step{Rule: RuleNotNotI, Premises: []int{i}, F: goal}), true
+			}
+		}
+
+	case nal.Implies:
+		// imp-i with a hypothetical subproof in a fresh frame.
+		sub := &builder{d: b.d, index: map[string]int{}, visiting: map[string]bool{}, hyp: g.L}
+		if _, ok := sub.derive(g.R, depth-1); ok {
+			return b.add(Step{
+				Rule: RuleImpI, F: goal,
+				Sub: []Subproof{{Hyp: g.L, Steps: sub.steps}},
+			}), true
+		}
+
+	case nal.SpeaksFor:
+		if i, ok := b.deriveSpeaksFor(g, depth); ok {
+			return i, true
+		}
+
+	case nal.Says:
+		if i, ok := b.deriveSays(g, depth); ok {
+			return i, true
+		}
+	}
+
+	// Hypothesis of the enclosing subproof.
+	if b.hyp != nil && b.hyp.Equal(goal) {
+		// Premise -1 denotes the hypothesis; wrap it through a trivial
+		// reiteration using and-i/and-e would be circular, so subproof
+		// frames simply permit -1 references at use sites. Represent the
+		// reiteration as an and of the hypothesis with true, then project.
+		ti := b.add(Step{Rule: RuleTrueI, F: nal.TrueF{}})
+		ai := b.add(Step{Rule: RuleAndI, Premises: []int{-1, ti}, F: nal.And{L: goal, R: nal.TrueF{}}})
+		return b.add(Step{Rule: RuleAndE1, Premises: []int{ai}, F: goal}), true
+	}
+
+	// Live authority.
+	if b.d.Authority != nil {
+		if ch, ok := b.d.Authority(goal); ok {
+			return b.add(Step{Rule: RuleAuthority, Channel: ch, F: goal}), true
+		}
+	}
+	return 0, false
+}
+
+func (b *builder) deriveSpeaksFor(g nal.SpeaksFor, depth int) (int, bool) {
+	// Subprincipal axiom.
+	if g.On == nil && !g.A.EqualPrin(g.B) && nal.IsAncestor(g.A, g.B) {
+		return b.add(Step{Rule: RuleSubPrin, F: g}), true
+	}
+	// Handoff: some owner of B said the delegation.
+	for i, c := range b.d.Creds {
+		sy, ok := c.(nal.Says)
+		if !ok {
+			continue
+		}
+		sf, ok := sy.F.(nal.SpeaksFor)
+		if !ok || !sf.Equal(g) || !nal.IsAncestor(sy.P, sf.B) {
+			continue
+		}
+		li := b.add(Step{Rule: RuleLabel, Label: i, F: c})
+		return b.add(Step{Rule: RuleHandoff, Premises: []int{li}, F: g}), true
+	}
+	// Transitivity through a credential A speaksfor M.
+	for i, c := range b.d.Creds {
+		sf, ok := c.(nal.SpeaksFor)
+		if !ok || !sf.A.EqualPrin(g.A) || sf.B.EqualPrin(g.B) {
+			continue
+		}
+		if (sf.On == nil) != (g.On == nil) || (sf.On != nil && sf.On.Pred != g.On.Pred) {
+			continue
+		}
+		rest := nal.SpeaksFor{A: sf.B, B: g.B}
+		if ri, ok := b.derive(rest, depth-1); ok {
+			li := b.add(Step{Rule: RuleLabel, Label: i, F: c})
+			return b.add(Step{Rule: RuleSpeaksForTrans, Premises: []int{li, ri}, F: g}), true
+		}
+	}
+	return 0, false
+}
+
+// delegation is a candidate "Q speaksfor P" edge the deriver can justify,
+// together with a recipe for materializing the speaksfor step.
+type delegation struct {
+	from  nal.Principal
+	scope *nal.Pattern
+	build func() int // emits the speaksfor step, returns its index
+}
+
+// delegationsTo enumerates the ways some other principal may speak for p:
+// direct speaksfor credentials, owner or trust-root handoffs, and the
+// subprincipal axiom from p's ancestors.
+func (b *builder) delegationsTo(p nal.Principal) []delegation {
+	var out []delegation
+	for i, c := range b.d.Creds {
+		i := i // capture for closures
+		switch v := c.(type) {
+		case nal.SpeaksFor:
+			if v.B.EqualPrin(p) {
+				out = append(out, delegation{from: v.A, scope: v.On, build: func() int {
+					return b.add(Step{Rule: RuleLabel, Label: i, F: v})
+				}})
+			}
+		case nal.Says:
+			sf, ok := v.F.(nal.SpeaksFor)
+			if !ok || !sf.B.EqualPrin(p) {
+				continue
+			}
+			if !nal.IsAncestor(v.P, sf.B) && !b.d.trusted(v.P) {
+				continue
+			}
+			out = append(out, delegation{from: sf.A, scope: sf.On, build: func() int {
+				li := b.add(Step{Rule: RuleLabel, Label: i, F: v})
+				return b.add(Step{Rule: RuleHandoff, Premises: []int{li}, F: sf})
+			}})
+		}
+	}
+	// Ancestors speak for their subprincipals.
+	anc := p
+	for {
+		s, ok := anc.(nal.Sub)
+		if !ok {
+			break
+		}
+		anc = s.Parent
+		parent := anc
+		out = append(out, delegation{from: parent, build: func() int {
+			return b.add(Step{Rule: RuleSubPrin, F: nal.SpeaksFor{A: parent, B: p}})
+		}})
+	}
+	return out
+}
+
+// projectConjunct emits says-and-e steps extracting want from the credential
+// sy (credIdx), when want is a conjunct of sy's body.
+func (b *builder) projectConjunct(credIdx int, sy nal.Says, want nal.Formula) (int, bool) {
+	if !containsConjunct(sy.F, want) {
+		return 0, false
+	}
+	cur := sy.F
+	curIdx := b.add(Step{Rule: RuleLabel, Label: credIdx, F: sy})
+	for !cur.Equal(want) {
+		a := cur.(nal.And)
+		if containsConjunct(a.L, want) {
+			cur = a.L
+			curIdx = b.add(Step{Rule: RuleSaysAndE1, Premises: []int{curIdx}, F: nal.Says{P: sy.P, F: cur}})
+		} else {
+			cur = a.R
+			curIdx = b.add(Step{Rule: RuleSaysAndE2, Premises: []int{curIdx}, F: nal.Says{P: sy.P, F: cur}})
+		}
+	}
+	return curIdx, true
+}
+
+func containsConjunct(f, want nal.Formula) bool {
+	if f.Equal(want) {
+		return true
+	}
+	if a, ok := f.(nal.And); ok {
+		return containsConjunct(a.L, want) || containsConjunct(a.R, want)
+	}
+	return false
+}
+
+func (b *builder) deriveSays(g nal.Says, depth int) (int, bool) {
+	// says-and-i: split a conjunction under the modality.
+	if a, ok := g.F.(nal.And); ok {
+		if li, ok := b.derive(nal.Says{P: g.P, F: a.L}, depth-1); ok {
+			if ri, ok := b.derive(nal.Says{P: g.P, F: a.R}, depth-1); ok {
+				return b.add(Step{Rule: RuleSaysAndI, Premises: []int{li, ri}, F: g}), true
+			}
+		}
+	}
+	// says-and-e: project the statement out of a wider conjunction
+	// credential by the same speaker.
+	for i, c := range b.d.Creds {
+		sy, ok := c.(nal.Says)
+		if !ok || !sy.P.EqualPrin(g.P) {
+			continue
+		}
+		if idx, ok := b.projectConjunct(i, sy, g.F); ok {
+			return idx, true
+		}
+	}
+	// Delegation: derive Q says S for some Q that speaks for P.
+	for _, del := range b.delegationsTo(g.P) {
+		if del.from.EqualPrin(g.P) {
+			continue
+		}
+		if del.scope != nil && !del.scope.Matches(g.F) {
+			continue
+		}
+		if si, ok := b.derive(nal.Says{P: del.from, F: g.F}, depth-1); ok {
+			sfi := del.build()
+			return b.add(Step{Rule: RuleSpeaksForE, Premises: []int{sfi, si}, F: g}), true
+		}
+	}
+	// says-imp-e: a credential P says (X => S) closes the gap.
+	for i, c := range b.d.Creds {
+		sy, ok := c.(nal.Says)
+		if !ok || !sy.P.EqualPrin(g.P) {
+			continue
+		}
+		imp, ok := sy.F.(nal.Implies)
+		if !ok || !imp.R.Equal(g.F) {
+			continue
+		}
+		if ai, ok := b.derive(nal.Says{P: g.P, F: imp.L}, depth-1); ok {
+			li := b.add(Step{Rule: RuleLabel, Label: i, F: c})
+			return b.add(Step{Rule: RuleSaysImpE, Premises: []int{li, ai}, F: g}), true
+		}
+	}
+	// says-unit: the body holds outright.
+	if bi, ok := b.derive(g.F, depth-1); ok {
+		return b.add(Step{Rule: RuleSaysUnit, Premises: []int{bi}, F: g}), true
+	}
+	// Live authority for the whole statement.
+	if b.d.Authority != nil {
+		if ch, ok := b.d.Authority(nal.Formula(g)); ok {
+			return b.add(Step{Rule: RuleAuthority, Channel: ch, F: g}), true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,151 @@
+package proof
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/nal"
+)
+
+// Parse reads a proof in the textual exchange format produced by
+// Proof.String. Each step is a line
+//
+//	N. rule [#cred|@channel] [premise ...] : formula
+//
+// and a hypothetical subproof is introduced by an "assume : formula" line
+// followed by its steps indented two further spaces. Premise -1 names the
+// hypothesis of the enclosing subproof.
+func Parse(src string) (*Proof, error) {
+	var lines []string
+	for _, l := range strings.Split(src, "\n") {
+		if strings.TrimSpace(l) != "" {
+			lines = append(lines, l)
+		}
+	}
+	steps, rest, err := parseFrame(lines, 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("proof: unexpected line %q", rest[0])
+	}
+	return &Proof{Steps: steps}, nil
+}
+
+// MustParse is Parse that panics on error, for proof literals in tests.
+func MustParse(src string) *Proof {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func indentOf(line string) int {
+	n := 0
+	for n < len(line) && line[n] == ' ' {
+		n++
+	}
+	return n / 2
+}
+
+func parseFrame(lines []string, indent int) ([]Step, []string, error) {
+	var steps []Step
+	for len(lines) > 0 {
+		line := lines[0]
+		ind := indentOf(line)
+		if ind < indent {
+			break
+		}
+		body := strings.TrimSpace(line)
+		isAssume := strings.HasPrefix(body, "assume ") || strings.HasPrefix(body, "assume:")
+		if isAssume && ind <= indent {
+			// A sibling subproof of the enclosing step; the caller's
+			// parseSubproofs handles it.
+			break
+		}
+		if ind > indent || isAssume {
+			// Subproofs attach to the most recent step.
+			if len(steps) == 0 {
+				return nil, nil, fmt.Errorf("proof: subproof with no owning step at %q", line)
+			}
+			sub, rest, err := parseSubproofs(lines, indent+1)
+			if err != nil {
+				return nil, nil, err
+			}
+			steps[len(steps)-1].Sub = sub
+			lines = rest
+			continue
+		}
+		s, err := parseStep(body)
+		if err != nil {
+			return nil, nil, err
+		}
+		steps = append(steps, s)
+		lines = lines[1:]
+	}
+	return steps, lines, nil
+}
+
+func parseSubproofs(lines []string, indent int) ([]Subproof, []string, error) {
+	var subs []Subproof
+	for len(lines) > 0 {
+		body := strings.TrimSpace(lines[0])
+		if indentOf(lines[0]) != indent || !strings.HasPrefix(body, "assume") {
+			break
+		}
+		_, formulaText, ok := strings.Cut(body, ":")
+		if !ok {
+			return nil, nil, fmt.Errorf("proof: malformed assume line %q", lines[0])
+		}
+		hyp, err := nal.Parse(strings.TrimSpace(formulaText))
+		if err != nil {
+			return nil, nil, fmt.Errorf("proof: bad hypothesis: %w", err)
+		}
+		lines = lines[1:]
+		steps, rest, err := parseFrame(lines, indent)
+		if err != nil {
+			return nil, nil, err
+		}
+		subs = append(subs, Subproof{Hyp: hyp, Steps: steps})
+		lines = rest
+	}
+	return subs, lines, nil
+}
+
+func parseStep(body string) (Step, error) {
+	head, formulaText, ok := strings.Cut(body, " : ")
+	if !ok {
+		return Step{}, fmt.Errorf("proof: malformed step %q (missing ' : ')", body)
+	}
+	f, err := nal.Parse(strings.TrimSpace(formulaText))
+	if err != nil {
+		return Step{}, fmt.Errorf("proof: bad formula in %q: %w", body, err)
+	}
+	fields := strings.Fields(head)
+	if len(fields) < 2 {
+		return Step{}, fmt.Errorf("proof: malformed step header %q", head)
+	}
+	// fields[0] is the step number (ignored; order is positional).
+	s := Step{Rule: Rule(fields[1]), F: f}
+	for _, fd := range fields[2:] {
+		switch {
+		case strings.HasPrefix(fd, "#"):
+			n, err := strconv.Atoi(fd[1:])
+			if err != nil {
+				return Step{}, fmt.Errorf("proof: bad credential index %q", fd)
+			}
+			s.Label = n
+		case strings.HasPrefix(fd, "@"):
+			s.Channel = fd[1:]
+		default:
+			n, err := strconv.Atoi(fd)
+			if err != nil {
+				return Step{}, fmt.Errorf("proof: bad premise %q", fd)
+			}
+			s.Premises = append(s.Premises, n)
+		}
+	}
+	return s, nil
+}

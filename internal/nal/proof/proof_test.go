@@ -1,0 +1,488 @@
+package proof
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nal"
+)
+
+func f(src string) nal.Formula { return nal.MustParse(src) }
+
+func checkOK(t *testing.T, p *Proof, goal nal.Formula, env *Env) Result {
+	t.Helper()
+	res, err := Check(p, goal, env)
+	if err != nil {
+		t.Fatalf("Check failed: %v\nproof:\n%s", err, p)
+	}
+	return res
+}
+
+func TestTrivialAssumption(t *testing.T) {
+	goal := f("A says ok")
+	p := Assume(0, goal)
+	res := checkOK(t, p, goal, &Env{Credentials: []nal.Formula{goal}})
+	if !res.Cacheable {
+		t.Error("pure label proof should be cacheable")
+	}
+	if res.Steps != 1 {
+		t.Errorf("Steps = %d, want 1", res.Steps)
+	}
+}
+
+func TestLabelMismatch(t *testing.T) {
+	p := Assume(0, f("A says ok"))
+	_, err := Check(p, f("A says ok"), &Env{Credentials: []nal.Formula{f("A says no")}})
+	if !errors.Is(err, ErrNoCred) {
+		t.Errorf("want ErrNoCred, got %v", err)
+	}
+	_, err = Check(p, f("A says ok"), &Env{})
+	if !errors.Is(err, ErrNoCred) {
+		t.Errorf("missing credential: want ErrNoCred, got %v", err)
+	}
+}
+
+func TestWrongGoal(t *testing.T) {
+	cred := f("A says ok")
+	p := Assume(0, cred)
+	_, err := Check(p, f("B says ok"), &Env{Credentials: []nal.Formula{cred}})
+	if !errors.Is(err, ErrWrongGoal) {
+		t.Errorf("want ErrWrongGoal, got %v", err)
+	}
+}
+
+func TestSpeaksForElimination(t *testing.T) {
+	creds := []nal.Formula{f("A speaksfor B"), f("A says ok")}
+	p := &Proof{Steps: []Step{
+		{Rule: RuleLabel, Label: 0, F: creds[0]},
+		{Rule: RuleLabel, Label: 1, F: creds[1]},
+		{Rule: RuleSpeaksForE, Premises: []int{0, 1}, F: f("B says ok")},
+	}}
+	checkOK(t, p, f("B says ok"), &Env{Credentials: creds})
+}
+
+func TestScopedDelegationEnforced(t *testing.T) {
+	creds := []nal.Formula{
+		f("NTP speaksfor Server on TimeNow"),
+		f("NTP says TimeNow < @2026-03-19"),
+		f("NTP says other(x)"),
+	}
+	good := &Proof{Steps: []Step{
+		{Rule: RuleLabel, Label: 0, F: creds[0]},
+		{Rule: RuleLabel, Label: 1, F: creds[1]},
+		{Rule: RuleSpeaksForE, Premises: []int{0, 1}, F: f("Server says TimeNow < @2026-03-19")},
+	}}
+	checkOK(t, good, f("Server says TimeNow < @2026-03-19"), &Env{Credentials: creds})
+
+	bad := &Proof{Steps: []Step{
+		{Rule: RuleLabel, Label: 0, F: creds[0]},
+		{Rule: RuleLabel, Label: 2, F: creds[2]},
+		{Rule: RuleSpeaksForE, Premises: []int{0, 1}, F: f("Server says other(x)")},
+	}}
+	if _, err := Check(bad, f("Server says other(x)"), &Env{Credentials: creds}); !errors.Is(err, ErrUnsound) {
+		t.Errorf("out-of-scope delegation must fail, got %v", err)
+	}
+}
+
+func TestSubprincipalAxiom(t *testing.T) {
+	p := &Proof{Steps: []Step{
+		{Rule: RuleSubPrin, F: f("kernel speaksfor kernel.ipd.12")},
+	}}
+	checkOK(t, p, f("kernel speaksfor kernel.ipd.12"), &Env{})
+
+	bad := &Proof{Steps: []Step{
+		{Rule: RuleSubPrin, F: f("kernel.ipd.12 speaksfor kernel")},
+	}}
+	if _, err := Check(bad, f("kernel.ipd.12 speaksfor kernel"), &Env{}); !errors.Is(err, ErrUnsound) {
+		t.Errorf("upward subprin must fail, got %v", err)
+	}
+	improper := &Proof{Steps: []Step{
+		{Rule: RuleSubPrin, F: f("kernel speaksfor kernel")},
+	}}
+	if _, err := Check(improper, f("kernel speaksfor kernel"), &Env{}); !errors.Is(err, ErrUnsound) {
+		t.Errorf("reflexive subprin must fail, got %v", err)
+	}
+}
+
+func TestHandoff(t *testing.T) {
+	// FS says /proc/ipd/6 speaksfor FS./dir/file — the §2.6 ownership grant.
+	cred := f("FS says /proc/ipd/6 speaksfor FS./dir/file")
+	p := &Proof{Steps: []Step{
+		{Rule: RuleLabel, Label: 0, F: cred},
+		{Rule: RuleHandoff, Premises: []int{0}, F: f("/proc/ipd/6 speaksfor FS./dir/file")},
+	}}
+	checkOK(t, p, f("/proc/ipd/6 speaksfor FS./dir/file"), &Env{Credentials: []nal.Formula{cred}})
+
+	// A stranger cannot hand off somebody else's identity.
+	bad := f("Mallory says Eve speaksfor FS./dir/file")
+	p2 := &Proof{Steps: []Step{
+		{Rule: RuleLabel, Label: 0, F: bad},
+		{Rule: RuleHandoff, Premises: []int{0}, F: f("Eve speaksfor FS./dir/file")},
+	}}
+	if _, err := Check(p2, f("Eve speaksfor FS./dir/file"), &Env{Credentials: []nal.Formula{bad}}); !errors.Is(err, ErrUnsound) {
+		t.Errorf("non-owner handoff must fail, got %v", err)
+	}
+}
+
+func TestSaysFalseIsLocal(t *testing.T) {
+	cred := f("A says false")
+	ok := &Proof{Steps: []Step{
+		{Rule: RuleLabel, Label: 0, F: cred},
+		{Rule: RuleSaysFalseE, Premises: []int{0}, F: f("A says anything")},
+	}}
+	checkOK(t, ok, f("A says anything"), &Env{Credentials: []nal.Formula{cred}})
+
+	bad := &Proof{Steps: []Step{
+		{Rule: RuleLabel, Label: 0, F: cred},
+		{Rule: RuleSaysFalseE, Premises: []int{0}, F: f("B says anything")},
+	}}
+	if _, err := Check(bad, f("B says anything"), &Env{Credentials: []nal.Formula{cred}}); !errors.Is(err, ErrUnsound) {
+		t.Errorf("A says false must not contaminate B, got %v", err)
+	}
+}
+
+func TestAuthorityStepsAreNotCacheable(t *testing.T) {
+	goal := f("NTP says TimeNow < @2026-03-19")
+	p := &Proof{Steps: []Step{{Rule: RuleAuthority, Channel: "ipc:9", F: goal}}}
+	called := 0
+	env := &Env{Authority: func(ch string, g nal.Formula) bool {
+		called++
+		return ch == "ipc:9" && g.Equal(goal)
+	}}
+	res := checkOK(t, p, goal, env)
+	if res.Cacheable {
+		t.Error("authority-backed proof must not be cacheable")
+	}
+	if called != 1 || res.AuthorityCalls != 1 {
+		t.Errorf("authority called %d times, result %d", called, res.AuthorityCalls)
+	}
+	// Authority refusing → check fails.
+	env2 := &Env{Authority: func(string, nal.Formula) bool { return false }}
+	if _, err := Check(p, goal, env2); !errors.Is(err, ErrAuthority) {
+		t.Errorf("want ErrAuthority, got %v", err)
+	}
+	// No authority configured → reject.
+	if _, err := Check(p, goal, &Env{}); !errors.Is(err, ErrAuthority) {
+		t.Errorf("nil authority: want ErrAuthority, got %v", err)
+	}
+}
+
+func TestConjunctionRules(t *testing.T) {
+	creds := []nal.Formula{f("a"), f("b")}
+	p := &Proof{Steps: []Step{
+		{Rule: RuleLabel, Label: 0, F: f("a")},
+		{Rule: RuleLabel, Label: 1, F: f("b")},
+		{Rule: RuleAndI, Premises: []int{0, 1}, F: f("a and b")},
+		{Rule: RuleAndE2, Premises: []int{2}, F: f("b")},
+	}}
+	checkOK(t, p, f("b"), &Env{Credentials: creds})
+}
+
+func TestDisjunctionElimination(t *testing.T) {
+	creds := []nal.Formula{f("a or b"), f("a => c"), f("b => c")}
+	p := &Proof{Steps: []Step{
+		{Rule: RuleLabel, Label: 0, F: f("a or b")},
+		{Rule: RuleOrE, Premises: []int{0}, F: f("c"), Sub: []Subproof{
+			{Hyp: f("a"), Steps: []Step{
+				{Rule: RuleLabel, Label: 1, F: f("a => c")},
+				{Rule: RuleImpE, Premises: []int{0, -1}, F: f("c")},
+			}},
+			{Hyp: f("b"), Steps: []Step{
+				{Rule: RuleLabel, Label: 2, F: f("b => c")},
+				{Rule: RuleImpE, Premises: []int{0, -1}, F: f("c")},
+			}},
+		}},
+	}}
+	checkOK(t, p, f("c"), &Env{Credentials: creds})
+}
+
+func TestImplicationIntroduction(t *testing.T) {
+	// ⊢ a => a, via an empty subproof (hypothesis is the conclusion).
+	p := &Proof{Steps: []Step{
+		{Rule: RuleImpI, F: f("a => a"), Sub: []Subproof{{Hyp: f("a")}}},
+	}}
+	checkOK(t, p, f("a => a"), &Env{})
+}
+
+func TestCompareRule(t *testing.T) {
+	checkOK(t, &Proof{Steps: []Step{{Rule: RuleCompare, F: f("3 < 5")}}}, f("3 < 5"), &Env{})
+	checkOK(t, &Proof{Steps: []Step{{Rule: RuleCompare, F: f(`"a" < "b"`)}}}, f(`"a" < "b"`), &Env{})
+	checkOK(t, &Proof{Steps: []Step{{Rule: RuleCompare, F: f("@2026-01-01 < @2026-03-19")}}},
+		f("@2026-01-01 < @2026-03-19"), &Env{})
+	if _, err := Check(&Proof{Steps: []Step{{Rule: RuleCompare, F: f("5 < 3")}}}, f("5 < 3"), &Env{}); err == nil {
+		t.Error("false comparison must fail")
+	}
+	// Stateful atoms require an authority, not the compare rule.
+	if _, err := Check(&Proof{Steps: []Step{{Rule: RuleCompare, F: f("TimeNow < @2026-03-19")}}},
+		f("TimeNow < @2026-03-19"), &Env{}); !errors.Is(err, ErrUnsound) {
+		t.Errorf("atom comparison must be unsound, got %v", err)
+	}
+}
+
+func TestSaysJoinAndUnit(t *testing.T) {
+	creds := []nal.Formula{f("A says A says s"), f("x")}
+	p := &Proof{Steps: []Step{
+		{Rule: RuleLabel, Label: 0, F: creds[0]},
+		{Rule: RuleSaysJoin, Premises: []int{0}, F: f("A says s")},
+		{Rule: RuleLabel, Label: 1, F: f("x")},
+		{Rule: RuleSaysUnit, Premises: []int{2}, F: f("Q says x")},
+		{Rule: RuleAndI, Premises: []int{1, 3}, F: f("(A says s) and (Q says x)")},
+	}}
+	checkOK(t, p, f("(A says s) and (Q says x)"), &Env{Credentials: creds})
+}
+
+func TestPremiseRangeChecks(t *testing.T) {
+	// Forward references and out-of-range premises must fail, not panic.
+	bad := []*Proof{
+		{Steps: []Step{{Rule: RuleAndE1, Premises: []int{0}, F: f("a")}}},
+		{Steps: []Step{{Rule: RuleAndE1, Premises: []int{5}, F: f("a")}}},
+		{Steps: []Step{{Rule: RuleAndE1, Premises: []int{-1}, F: f("a")}}},
+	}
+	for i, p := range bad {
+		if _, err := Check(p, f("a"), &Env{}); !errors.Is(err, ErrUnsound) {
+			t.Errorf("case %d: want ErrUnsound, got %v", i, err)
+		}
+	}
+}
+
+func TestNonGroundConclusionRejected(t *testing.T) {
+	goal := f("?X says ok")
+	p := &Proof{Steps: []Step{{Rule: RuleLabel, Label: 0, F: goal}}}
+	if _, err := Check(p, goal, &Env{Credentials: []nal.Formula{goal}}); !errors.Is(err, ErrUnsound) {
+		t.Errorf("non-ground step must be unsound, got %v", err)
+	}
+}
+
+func TestDeriveTimeSensitiveFileScenario(t *testing.T) {
+	// The §2 worked example: Owner trusts NTP on TimeNow; process 12 wants
+	// the file; SafetyCertifier vouches for it.
+	creds := []nal.Formula{
+		f("Owner says NTP speaksfor Owner on TimeNow"),
+		f("/proc/ipd/12 says openFile(\"/secret\")"),
+		f("SafetyCertifier says safe(/proc/ipd/12)"),
+	}
+	authority := func(g nal.Formula) (string, bool) {
+		if g.Equal(f("NTP says TimeNow < @2026-03-19")) {
+			return "ipc:ntp", true
+		}
+		return "", false
+	}
+	goal := f(`(Owner says TimeNow < @2026-03-19) and (/proc/ipd/12 says openFile("/secret")) and (SafetyCertifier says safe(/proc/ipd/12))`)
+	d := &Deriver{Creds: creds, Authority: authority}
+	p, err := d.Derive(goal)
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	env := &Env{Credentials: creds, Authority: func(ch string, g nal.Formula) bool {
+		return ch == "ipc:ntp" && g.Equal(f("NTP says TimeNow < @2026-03-19"))
+	}}
+	res := checkOK(t, p, goal, env)
+	if res.Cacheable {
+		t.Error("time-dependent proof must not be cacheable")
+	}
+}
+
+func TestDeriveSafetyCertifierScenario(t *testing.T) {
+	// SafetyCertifier says safe(X) via implication from IPC analysis labels.
+	analysis := "(not hasPath(/proc/ipd/12, Filesystem)) and (not hasPath(/proc/ipd/12, Nameserver))"
+	creds := []nal.Formula{
+		f("Nexus says /proc/ipd/30 speaksfor IPCAnalyzer"),
+		f("/proc/ipd/30 says (" + analysis + ")"),
+		f("SafetyCertifier says ((IPCAnalyzer says (" + analysis + ")) => safe(/proc/ipd/12))"),
+	}
+	goal := f("SafetyCertifier says safe(/proc/ipd/12)")
+	roots := []nal.Principal{nal.Name("Nexus")}
+	d := &Deriver{Creds: creds, TrustRoots: roots}
+	p, err := d.Derive(goal)
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	res := checkOK(t, p, goal, &Env{Credentials: creds, TrustRoots: roots})
+	if !res.Cacheable {
+		t.Error("static analysis proof should be cacheable")
+	}
+}
+
+func TestDeriveSubprincipalChain(t *testing.T) {
+	creds := []nal.Formula{f("kernel.ipd.7 says ready")}
+	d := &Deriver{Creds: creds}
+	// kernel speaksfor kernel.ipd.7, so the kernel's processes' statements
+	// do NOT flow up; but the kernel's flow down:
+	if _, err := d.Derive(f("kernel says ready")); err == nil {
+		t.Fatal("must not attribute child statement to parent")
+	}
+	creds2 := []nal.Formula{f("kernel says ready")}
+	d2 := &Deriver{Creds: creds2}
+	p, err := d2.Derive(f("kernel.ipd.7 says ready"))
+	if err != nil {
+		t.Fatalf("Derive parent→child: %v", err)
+	}
+	checkOK(t, p, f("kernel.ipd.7 says ready"), &Env{Credentials: creds2})
+}
+
+func TestDeriveRevocationPattern(t *testing.T) {
+	// A says Valid(s) => s, with a revocation authority affirming A says
+	// Valid(s) (§2.7).
+	creds := []nal.Formula{f("A says (Valid(s) => s)")}
+	auth := func(g nal.Formula) (string, bool) {
+		if g.Equal(f("A says Valid(s)")) {
+			return "ipc:revoke", true
+		}
+		return "", false
+	}
+	d := &Deriver{Creds: creds, Authority: auth}
+	p, err := d.Derive(f("A says s"))
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	env := &Env{Credentials: creds, Authority: func(ch string, g nal.Formula) bool { return true }}
+	res := checkOK(t, p, f("A says s"), env)
+	if res.Cacheable {
+		t.Error("revocation-checked proof must not be cacheable")
+	}
+}
+
+func TestProofTextRoundTrip(t *testing.T) {
+	creds := []nal.Formula{f("a or b"), f("a => c"), f("b => c")}
+	p := &Proof{Steps: []Step{
+		{Rule: RuleLabel, Label: 0, F: f("a or b")},
+		{Rule: RuleOrE, Premises: []int{0}, F: f("c"), Sub: []Subproof{
+			{Hyp: f("a"), Steps: []Step{
+				{Rule: RuleLabel, Label: 1, F: f("a => c")},
+				{Rule: RuleImpE, Premises: []int{0, -1}, F: f("c")},
+			}},
+			{Hyp: f("b"), Steps: []Step{
+				{Rule: RuleLabel, Label: 2, F: f("b => c")},
+				{Rule: RuleImpE, Premises: []int{0, -1}, F: f("c")},
+			}},
+		}},
+	}}
+	text := p.String()
+	q, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse:\n%s\n%v", text, err)
+	}
+	checkOK(t, q, f("c"), &Env{Credentials: creds})
+	if q.Len() != p.Len() {
+		t.Errorf("Len changed: %d vs %d", q.Len(), p.Len())
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"0. label : ",
+		"0. label #x : a",
+		"0. label #0 a",
+		"  assume : a",
+		"0. label #0 : a\n1. nosuchrule 0 : b",
+	}
+	for _, src := range bad {
+		p, err := Parse(src)
+		if err != nil {
+			continue
+		}
+		if _, err := Check(p, p.Conclusion(), &Env{Credentials: []nal.Formula{f("a")}}); err == nil {
+			t.Errorf("Parse(%q) produced a checkable proof", src)
+		}
+	}
+}
+
+func TestQuickDerivedProofsCheck(t *testing.T) {
+	// Property: whatever Derive produces, Check accepts, and the premise
+	// credentials it references exist.
+	prins := []string{"A", "B", "C", "root.x", "root.x.y"}
+	preds := []string{"p", "q", "r"}
+	prop := func(seed int64) bool {
+		rnd := seed
+		pick := func(n int) int {
+			rnd = rnd*6364136223846793005 + 1442695040888963407
+			v := int((rnd >> 33) % int64(n))
+			if v < 0 {
+				v += n
+			}
+			return v
+		}
+		base := nal.Says{P: nal.MustPrincipal(prins[pick(len(prins))]), F: nal.Pred{Name: preds[pick(len(preds))]}}
+		speaker2 := nal.MustPrincipal(prins[pick(len(prins))])
+		creds := []nal.Formula{
+			base,
+			nal.SpeaksFor{A: base.P, B: speaker2},
+			f("x => y"),
+			f("x"),
+		}
+		goals := []nal.Formula{
+			base,
+			nal.Says{P: speaker2, F: base.F},
+			nal.And{L: base, R: f("x")},
+			f("y"),
+			nal.Or{L: base, R: f("nonderivable")},
+		}
+		goal := goals[pick(len(goals))]
+		d := &Deriver{Creds: creds}
+		p, err := d.Derive(goal)
+		if err != nil {
+			// Failure to derive is acceptable; unsoundness is not.
+			return true
+		}
+		_, err = Check(p, goal, &Env{Credentials: creds})
+		if err != nil {
+			t.Logf("derived proof failed check for %q: %v\n%s", goal, err, p)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeriveImplicationGoal(t *testing.T) {
+	d := &Deriver{Creds: []nal.Formula{f("b")}}
+	p, err := d.Derive(f("a => b"))
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	checkOK(t, p, f("a => b"), &Env{Credentials: []nal.Formula{f("b")}})
+
+	// a => a uses the hypothesis.
+	d2 := &Deriver{}
+	p2, err := d2.Derive(f("a => a"))
+	if err != nil {
+		t.Fatalf("Derive a=>a: %v", err)
+	}
+	checkOK(t, p2, f("a => a"), &Env{})
+}
+
+func TestDeriveScopedDelegationFromHandoff(t *testing.T) {
+	// Filesystem says NTP speaksfor Filesystem on TimeNow (§2.5 goal
+	// discharge).
+	creds := []nal.Formula{
+		f("Filesystem says NTP speaksfor Filesystem on TimeNow"),
+		f("NTP says TimeNow < @2026-03-19"),
+	}
+	d := &Deriver{Creds: creds}
+	goal := f("Filesystem says TimeNow < @2026-03-19")
+	p, err := d.Derive(goal)
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	checkOK(t, p, goal, &Env{Credentials: creds})
+}
+
+func TestProofLenCountsSubproofs(t *testing.T) {
+	p := MustParse(strings.TrimSpace(`
+0. label #0 : a or b
+1. or-e 0 : c
+  assume : a
+  0. label #1 : a => c
+  1. imp-e 0 -1 : c
+  assume : b
+  0. label #2 : b => c
+  1. imp-e 0 -1 : c
+`))
+	if p.Len() != 6 {
+		t.Errorf("Len = %d, want 6", p.Len())
+	}
+}

@@ -1,0 +1,168 @@
+package nal
+
+// Subst maps guard variables to ground terms. Guards build a substitution
+// from the access-control tuple (subject, operation, object) and apply it to
+// the goal formula before demanding a proof.
+type Subst map[Var]Term
+
+// ApplyTerm substitutes variables in a term.
+func (s Subst) ApplyTerm(t Term) Term {
+	switch v := t.(type) {
+	case Var:
+		if r, ok := s[v]; ok {
+			return r
+		}
+		return v
+	case TermList:
+		out := make(TermList, len(v))
+		for i, e := range v {
+			out[i] = s.ApplyTerm(e)
+		}
+		return out
+	case Func:
+		args := make([]Term, len(v.Args))
+		for i, e := range v.Args {
+			args[i] = s.ApplyTerm(e)
+		}
+		return Func{Name: v.Name, Args: args}
+	case PrinTerm:
+		return PrinTerm{P: s.ApplyPrin(v.P)}
+	}
+	return t
+}
+
+// ApplyPrin substitutes variables appearing as principal positions. A
+// variable can stand for a principal when the substitution maps it to a
+// PrinTerm; Name("?X") forms produced by the parser are resolved here.
+func (s Subst) ApplyPrin(p Principal) Principal {
+	switch v := p.(type) {
+	case varPrin:
+		if r, ok := s[Var(v)]; ok {
+			if pt, ok := r.(PrinTerm); ok {
+				return pt.P
+			}
+			if a, ok := r.(Atom); ok {
+				return Name(a)
+			}
+		}
+		return v
+	case Sub:
+		return Sub{Parent: s.ApplyPrin(v.Parent), Tag: v.Tag}
+	}
+	return p
+}
+
+// Apply substitutes variables throughout a formula.
+func (s Subst) Apply(f Formula) Formula {
+	switch v := f.(type) {
+	case Pred:
+		args := make([]Term, len(v.Args))
+		for i, a := range v.Args {
+			args[i] = s.ApplyTerm(a)
+		}
+		return Pred{Name: v.Name, Args: args}
+	case Says:
+		return Says{P: s.ApplyPrin(v.P), F: s.Apply(v.F)}
+	case SpeaksFor:
+		return SpeaksFor{A: s.ApplyPrin(v.A), B: s.ApplyPrin(v.B), On: v.On}
+	case Compare:
+		return Compare{Op: v.Op, L: s.ApplyTerm(v.L), R: s.ApplyTerm(v.R)}
+	case Not:
+		return Not{F: s.Apply(v.F)}
+	case And:
+		return And{L: s.Apply(v.L), R: s.Apply(v.R)}
+	case Or:
+		return Or{L: s.Apply(v.L), R: s.Apply(v.R)}
+	case Implies:
+		return Implies{L: s.Apply(v.L), R: s.Apply(v.R)}
+	}
+	return f
+}
+
+// varPrin is a guard variable in principal position, produced by the parser
+// for "?X says ..." forms.
+type varPrin string
+
+func (varPrin) isPrincipal()     {}
+func (v varPrin) String() string { return "?" + string(v) }
+func (v varPrin) EqualPrin(o Principal) bool {
+	w, ok := o.(varPrin)
+	return ok && w == v
+}
+
+// VarPrin returns the principal-position guard variable ?name.
+func VarPrin(name string) Principal { return varPrin(name) }
+
+// Vars collects the guard variables appearing in f, in first-occurrence
+// order.
+func Vars(f Formula) []Var {
+	var out []Var
+	seen := map[Var]bool{}
+	add := func(v Var) {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	var walkT func(Term)
+	walkT = func(t Term) {
+		switch v := t.(type) {
+		case Var:
+			add(v)
+		case TermList:
+			for _, e := range v {
+				walkT(e)
+			}
+		case Func:
+			for _, e := range v.Args {
+				walkT(e)
+			}
+		case PrinTerm:
+			walkP(v.P, add)
+		}
+	}
+	var walk func(Formula)
+	walk = func(f Formula) {
+		switch v := f.(type) {
+		case Pred:
+			for _, a := range v.Args {
+				walkT(a)
+			}
+		case Says:
+			walkP(v.P, add)
+			walk(v.F)
+		case SpeaksFor:
+			walkP(v.A, add)
+			walkP(v.B, add)
+		case Compare:
+			walkT(v.L)
+			walkT(v.R)
+		case Not:
+			walk(v.F)
+		case And:
+			walk(v.L)
+			walk(v.R)
+		case Or:
+			walk(v.L)
+			walk(v.R)
+		case Implies:
+			walk(v.L)
+			walk(v.R)
+		}
+	}
+	walk(f)
+	return out
+}
+
+func walkP(p Principal, add func(Var)) {
+	switch v := p.(type) {
+	case varPrin:
+		add(Var(v))
+	case Sub:
+		walkP(v.Parent, add)
+	}
+}
+
+// Ground reports whether f contains no guard variables. Proof conclusions
+// and labels must be ground.
+func Ground(f Formula) bool { return len(Vars(f)) == 0 }

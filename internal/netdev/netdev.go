@@ -1,0 +1,230 @@
+// Package netdev simulates the Nexus networking substrate of §4.1/§5.3: a
+// network interface card, a device driver that runs either in the kernel or
+// as a user-level process behind IPC, a minimal UDP/IP codec (the user-level
+// protocol stack), and a UDP echo server used to measure interpositioning
+// overhead (Figure 7).
+//
+// The packet path mirrors the paper's configurations:
+//
+//	kern-int  driver answers inside the interrupt handler, kernel mode
+//	user-int  driver answers inside the handler, user mode (marshal cost)
+//	kern-drv  packets cross IPC to a separate echo server process
+//	user-drv  user driver + IPC + user-level UDP/IP stack
+//	kref/uref a kernel- or user-level DDRM monitors the driver's channel
+package netdev
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/refmon"
+)
+
+// Errors.
+var (
+	ErrShortPacket = errors.New("netdev: packet too short")
+	ErrChecksum    = errors.New("netdev: bad checksum")
+)
+
+// Packet is a parsed UDP/IP datagram.
+type Packet struct {
+	Src, Dst         uint32
+	SrcPort, DstPort uint16
+	Payload          []byte
+}
+
+// headerLen is the encoded header size: addresses, ports, length, checksum.
+const headerLen = 4 + 4 + 2 + 2 + 2 + 2
+
+// Encode serializes a packet, computing the checksum over header and
+// payload — the real per-packet work a protocol stack performs.
+func Encode(p *Packet) []byte {
+	buf := make([]byte, headerLen+len(p.Payload))
+	binary.BigEndian.PutUint32(buf[0:], p.Src)
+	binary.BigEndian.PutUint32(buf[4:], p.Dst)
+	binary.BigEndian.PutUint16(buf[8:], p.SrcPort)
+	binary.BigEndian.PutUint16(buf[10:], p.DstPort)
+	binary.BigEndian.PutUint16(buf[12:], uint16(len(p.Payload)))
+	copy(buf[headerLen:], p.Payload)
+	binary.BigEndian.PutUint16(buf[14:], checksum(buf))
+	return buf
+}
+
+// Decode parses and verifies a datagram.
+func Decode(buf []byte) (*Packet, error) {
+	if len(buf) < headerLen {
+		return nil, ErrShortPacket
+	}
+	want := binary.BigEndian.Uint16(buf[14:])
+	cp := make([]byte, len(buf))
+	copy(cp, buf)
+	binary.BigEndian.PutUint16(cp[14:], 0)
+	if checksum(cp) != want {
+		return nil, ErrChecksum
+	}
+	n := int(binary.BigEndian.Uint16(buf[12:]))
+	if len(buf) < headerLen+n {
+		return nil, ErrShortPacket
+	}
+	return &Packet{
+		Src:     binary.BigEndian.Uint32(buf[0:]),
+		Dst:     binary.BigEndian.Uint32(buf[4:]),
+		SrcPort: binary.BigEndian.Uint16(buf[8:]),
+		DstPort: binary.BigEndian.Uint16(buf[10:]),
+		Payload: buf[headerLen : headerLen+n],
+	}, nil
+}
+
+// checksum is a 16-bit ones-complement sum, as in IP.
+func checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i:]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xFFFF) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// RefMonKind selects the reference-monitor configuration of Figure 7.
+type RefMonKind int
+
+// Reference monitor configurations.
+const (
+	RefNone RefMonKind = iota
+	RefKernel
+	RefUser
+)
+
+// Config selects one of the Figure 7 packet paths.
+type Config struct {
+	UserDriver bool       // driver in user space (IPC + marshal per packet)
+	ServerApp  bool       // echo served by a separate process over IPC
+	RefMon     RefMonKind // DDRM on the driver channel
+	Cache      bool       // reference-monitor decision caching
+}
+
+// EchoPath is a runnable packet path on a Nexus kernel.
+type EchoPath struct {
+	cfg     Config
+	k       *kernel.Kernel
+	driver  *kernel.Process
+	server  *kernel.Process
+	srvPort *kernel.Port
+	monitor *refmon.Monitor
+	source  *kernel.Process
+}
+
+// NewEchoPath wires up the configured path on the given kernel.
+func NewEchoPath(k *kernel.Kernel, cfg Config) (*EchoPath, error) {
+	e := &EchoPath{cfg: cfg, k: k}
+	var err error
+	if e.driver, err = k.CreateProcess(0, []byte("e1000-driver")); err != nil {
+		return nil, err
+	}
+	if e.source, err = k.CreateProcess(0, []byte("packet-source")); err != nil {
+		return nil, err
+	}
+	if cfg.ServerApp {
+		if e.server, err = k.CreateProcess(0, []byte("udp-echo")); err != nil {
+			return nil, err
+		}
+		e.srvPort, err = k.CreatePort(e.server, func(from *kernel.Process, m *kernel.Msg) ([]byte, error) {
+			// The echo server runs the user-level UDP/IP stack: decode,
+			// swap endpoints, re-encode.
+			pkt, err := Decode(m.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			return Encode(&Packet{
+				Src: pkt.Dst, Dst: pkt.Src,
+				SrcPort: pkt.DstPort, DstPort: pkt.SrcPort,
+				Payload: pkt.Payload,
+			}), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if cfg.RefMon != RefNone {
+			policy := &refmon.Policy{
+				Ops:     map[string]bool{"deliver": true},
+				Objects: map[string]bool{fmt.Sprintf("nic:%d", e.srvPort.ID): true},
+				// Full (uncached) policy evaluation performs deep packet
+				// inspection: decode the frame and verify its checksum, the
+				// per-packet work that makes reference-monitor cache misses
+				// expensive (Figure 7's min/max gap).
+				ForbidPayload: func(wire []byte) bool {
+					m, err := kernel.DecodeWire(wire)
+					if err != nil || len(m.Args) != 1 {
+						return true
+					}
+					_, err = Decode(m.Args[0])
+					return err != nil
+				},
+			}
+			e.monitor = refmon.NewMonitor(policy, cfg.RefMon == RefUser)
+			e.monitor.SetCaching(cfg.Cache)
+			if _, err := k.Interpose(e.driver, e.srvPort.ID, e.monitor); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return e, nil
+}
+
+// Process runs one packet through the configured path and returns the echo.
+// This is the unit of work Figure 7 measures in packets per second.
+func (e *EchoPath) Process(wire []byte) ([]byte, error) {
+	// Interrupt handler: the driver receives the frame from the NIC.
+	if e.cfg.UserDriver {
+		// A user-level driver receives the frame across the kernel/user
+		// boundary: the kernel copies it out (grant pages + copy).
+		cp := make([]byte, len(wire))
+		copy(cp, wire)
+		wire = cp
+	}
+	if !e.cfg.ServerApp {
+		// Respond within the interrupt handler: decode, swap, encode.
+		pkt, err := Decode(wire)
+		if err != nil {
+			return nil, err
+		}
+		return Encode(&Packet{
+			Src: pkt.Dst, Dst: pkt.Src,
+			SrcPort: pkt.DstPort, DstPort: pkt.SrcPort,
+			Payload: pkt.Payload,
+		}), nil
+	}
+	// Deliver to the echo server over IPC (routing + scheduling +
+	// marshaling happen inside Call).
+	return e.k.Call(e.driver, e.srvPort.ID, &kernel.Msg{
+		Op:   "deliver",
+		Obj:  fmt.Sprintf("nic:%d", e.srvPort.ID),
+		Args: [][]byte{wire},
+	})
+}
+
+// Monitor exposes the installed reference monitor, if any.
+func (e *EchoPath) Monitor() *refmon.Monitor { return e.monitor }
+
+// Driver returns the driver process.
+func (e *EchoPath) Driver() *kernel.Process { return e.driver }
+
+// MakeFrame builds a test datagram with an n-byte payload.
+func MakeFrame(n int) []byte {
+	payload := make([]byte, n)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	return Encode(&Packet{
+		Src: 0x0A000001, Dst: 0x0A000002,
+		SrcPort: 5353, DstPort: 7,
+		Payload: payload,
+	})
+}

@@ -1,0 +1,146 @@
+package netdev
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/disk"
+	"repro/internal/kernel"
+	"repro/internal/tpm"
+)
+
+func bootK(t *testing.T) *kernel.Kernel {
+	t.Helper()
+	tp, err := tpm.Manufacture(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := kernel.Boot(tp, disk.New(), kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	p := &Packet{Src: 1, Dst: 2, SrcPort: 3, DstPort: 4, Payload: []byte("payload")}
+	back, err := Decode(Encode(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Src != 1 || back.Dst != 2 || back.SrcPort != 3 || back.DstPort != 4 ||
+		!bytes.Equal(back.Payload, p.Payload) {
+		t.Errorf("round trip = %+v", back)
+	}
+}
+
+func TestCodecDetectsCorruption(t *testing.T) {
+	wire := MakeFrame(64)
+	wire[20] ^= 0xFF
+	if _, err := Decode(wire); !errors.Is(err, ErrChecksum) {
+		t.Errorf("want ErrChecksum, got %v", err)
+	}
+	if _, err := Decode(wire[:4]); !errors.Is(err, ErrShortPacket) {
+		t.Errorf("want ErrShortPacket, got %v", err)
+	}
+}
+
+func TestQuickCodec(t *testing.T) {
+	prop := func(src, dst uint32, sp, dp uint16, payload []byte) bool {
+		if len(payload) > 1400 {
+			payload = payload[:1400]
+		}
+		p := &Packet{Src: src, Dst: dst, SrcPort: sp, DstPort: dp, Payload: payload}
+		back, err := Decode(Encode(p))
+		return err == nil && bytes.Equal(back.Payload, payload) && back.Src == src
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllEchoConfigurations(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"kern-int", Config{}},
+		{"user-int", Config{UserDriver: true}},
+		{"kern-drv", Config{ServerApp: true}},
+		{"user-drv", Config{UserDriver: true, ServerApp: true}},
+		{"kref-cache", Config{ServerApp: true, RefMon: RefKernel, Cache: true}},
+		{"kref-nocache", Config{ServerApp: true, RefMon: RefKernel}},
+		{"uref-cache", Config{UserDriver: true, ServerApp: true, RefMon: RefUser, Cache: true}},
+		{"uref-nocache", Config{UserDriver: true, ServerApp: true, RefMon: RefUser}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			k := bootK(t)
+			e, err := NewEchoPath(k, c.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			frame := MakeFrame(100)
+			out, err := e.Process(frame)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkt, err := Decode(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Echo swaps endpoints.
+			if pkt.Src != 0x0A000002 || pkt.Dst != 0x0A000001 || pkt.DstPort != 5353 {
+				t.Errorf("echo headers wrong: %+v", pkt)
+			}
+			if len(pkt.Payload) != 100 {
+				t.Errorf("payload length = %d", len(pkt.Payload))
+			}
+		})
+	}
+}
+
+func TestRefMonCaching(t *testing.T) {
+	k := bootK(t)
+	e, err := NewEchoPath(k, Config{ServerApp: true, RefMon: RefKernel, Cache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := MakeFrame(100)
+	for i := 0; i < 10; i++ {
+		if _, err := e.Process(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses, _ := e.Monitor().Stats()
+	if misses != 1 || hits != 9 {
+		t.Errorf("cache stats: hits=%d misses=%d", hits, misses)
+	}
+	// Without caching, every packet is a full policy evaluation.
+	e.Monitor().SetCaching(false)
+	for i := 0; i < 5; i++ {
+		e.Process(frame)
+	}
+	_, misses2, _ := e.Monitor().Stats()
+	if misses2 != misses+5 {
+		t.Errorf("uncached misses = %d, want %d", misses2, misses+5)
+	}
+}
+
+func TestRefMonBlocksForeignTraffic(t *testing.T) {
+	k := bootK(t)
+	e, err := NewEchoPath(k, Config{ServerApp: true, RefMon: RefKernel, Cache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The DDRM only allows "deliver" to the bound NIC channel; a rogue
+	// driver op is blocked.
+	_, err = k.Call(e.Driver(), e.srvPort.ID, &kernel.Msg{
+		Op: "exfiltrate", Obj: "nic:999", Args: [][]byte{MakeFrame(10)},
+	})
+	if !errors.Is(err, kernel.ErrDenied) {
+		t.Errorf("rogue op: want ErrDenied, got %v", err)
+	}
+}

@@ -1,0 +1,188 @@
+// Package privacy implements the Nexus Privacy Authority sketched in §3.4:
+// a trust broker that lets a Nexus installation obtain a privacy-preserving
+// kernel key usable in lieu of TPM-based keys, masking the precise identity
+// of the TPM from remote verifiers.
+//
+// Protocol: the kernel proves to the authority — over a private channel —
+// that it holds a genuine, measured platform, by presenting its TPM's NK
+// endorsement (key:EK says key:NK speaksfor key:EK.nexus). The authority
+// verifies the chain against its list of known-good platform EKs and issues
+// a certificate over a *fresh* pseudonym key:
+//
+//	key:PA says key:PSEUDONYM speaksfor GenuineNexus
+//
+// Verifiers that trust the authority accept labels signed with the
+// pseudonym without learning which TPM produced them; the authority learns
+// the mapping but each verifier sees only an unlinkable pseudonym.
+package privacy
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/kernel"
+	"repro/internal/nal"
+	"repro/internal/tpm"
+)
+
+// Errors.
+var (
+	ErrUnknownPlatform = errors.New("privacy: platform EK not on the authority's known-good list")
+	ErrBadEndorsement  = errors.New("privacy: NK endorsement chain invalid")
+)
+
+// GenuineNexus is the abstract principal the authority vouches pseudonyms
+// speak for.
+const GenuineNexus = "GenuineNexus"
+
+// Authority is a Nexus privacy authority (trust broker).
+type Authority struct {
+	key *rsa.PrivateKey
+
+	mu     sync.Mutex
+	known  map[string]bool // EK fingerprints of known-good platforms
+	serial int64
+	issued int
+}
+
+// NewAuthority creates an authority with its own signing key.
+func NewAuthority() (*Authority, error) {
+	key, err := rsa.GenerateKey(rand.Reader, 1024)
+	if err != nil {
+		return nil, fmt.Errorf("privacy: generating authority key: %w", err)
+	}
+	return &Authority{key: key, known: map[string]bool{}}, nil
+}
+
+// Fingerprint names the authority's public key.
+func (a *Authority) Fingerprint() string { return tpm.Fingerprint(&a.key.PublicKey) }
+
+// Prin is the authority's principal.
+func (a *Authority) Prin() nal.Principal { return nal.Key(a.Fingerprint()) }
+
+// AddPlatform registers a known-good platform EK (e.g. from the TPM
+// manufacturer's shipping list).
+func (a *Authority) AddPlatform(ekFingerprint string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.known[ekFingerprint] = true
+}
+
+// Issued reports how many pseudonym certificates the authority has issued.
+func (a *Authority) Issued() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.issued
+}
+
+// Pseudonym is a privacy-preserving identity for one Nexus installation.
+type Pseudonym struct {
+	// Key is the fresh pseudonym keypair held by the kernel.
+	Key *rsa.PrivateKey
+	// Cert is the authority's statement
+	// "key:PSEUDONYM speaksfor GenuineNexus", signed by the authority.
+	Cert *cert.Certificate
+}
+
+// Fingerprint names the pseudonym's public half.
+func (p *Pseudonym) Fingerprint() string { return tpm.Fingerprint(&p.Key.PublicKey) }
+
+// Prin is the pseudonym principal.
+func (p *Pseudonym) Prin() nal.Principal { return nal.Key(p.Fingerprint()) }
+
+// Enroll verifies a kernel's platform endorsement privately and issues a
+// fresh pseudonym. The endorsement (and therefore the TPM's identity) never
+// appears in the returned certificate.
+func (a *Authority) Enroll(k *kernel.Kernel) (*Pseudonym, error) {
+	// The kernel demonstrates platform genuineness with an externalized
+	// no-op label, whose chain carries the EK→NK endorsement.
+	probe, err := k.CreateProcess(0, []byte("privacy-enrollment"))
+	if err != nil {
+		return nil, err
+	}
+	defer probe.Exit()
+	l, err := probe.Labels.Say("enrolling")
+	if err != nil {
+		return nil, err
+	}
+	ext, err := probe.Labels.Externalize(l.Handle)
+	if err != nil {
+		return nil, err
+	}
+	ekFP := k.TPM.EKFingerprint()
+	if _, err := kernel.VerifyExternalLabels(ext, ekFP); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadEndorsement, err)
+	}
+	a.mu.Lock()
+	ok := a.known[ekFP]
+	a.mu.Unlock()
+	if !ok {
+		return nil, ErrUnknownPlatform
+	}
+
+	pseud, err := rsa.GenerateKey(rand.Reader, 1024)
+	if err != nil {
+		return nil, fmt.Errorf("privacy: generating pseudonym: %w", err)
+	}
+	a.mu.Lock()
+	a.serial++
+	serial := a.serial
+	a.issued++
+	a.mu.Unlock()
+	c, err := cert.Sign(cert.Statement{
+		Formula: fmt.Sprintf("key:%s speaksfor %s", tpm.Fingerprint(&pseud.PublicKey), GenuineNexus),
+		Serial:  serial,
+		Issued:  time.Now(),
+	}, a.key)
+	if err != nil {
+		return nil, err
+	}
+	return &Pseudonym{Key: pseud, Cert: c}, nil
+}
+
+// SignLabel signs a statement with the pseudonym, producing a certificate a
+// remote verifier checks with VerifyPseudonymousLabel.
+func (p *Pseudonym) SignLabel(speaker, formula string, serial int64) (*cert.Certificate, error) {
+	return cert.Sign(cert.Statement{
+		Speaker: speaker,
+		Formula: formula,
+		Serial:  serial,
+		Issued:  time.Now(),
+	}, p.Key)
+}
+
+// VerifyPseudonymousLabel checks a pseudonym-signed label against the
+// authority's public identity and returns the NAL labels it conveys:
+//
+//	key:PA says key:PSEUDONYM speaksfor GenuineNexus
+//	key:PSEUDONYM says [speaker says] S
+//
+// The verifier learns nothing about the underlying TPM.
+func VerifyPseudonymousLabel(label, pseudonymCert *cert.Certificate, authorityFP string) ([]nal.Formula, error) {
+	endorse, err := pseudonymCert.ToLabel()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadEndorsement, err)
+	}
+	says, ok := endorse.(nal.Says)
+	if !ok || !says.P.EqualPrin(nal.Key(authorityFP)) {
+		return nil, fmt.Errorf("%w: pseudonym not endorsed by trusted authority", ErrBadEndorsement)
+	}
+	sf, ok := says.F.(nal.SpeaksFor)
+	if !ok || !sf.B.EqualPrin(nal.Name(GenuineNexus)) {
+		return nil, fmt.Errorf("%w: endorsement malformed", ErrBadEndorsement)
+	}
+	lab, err := label.ToLabel()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadEndorsement, err)
+	}
+	labSays, ok := lab.(nal.Says)
+	if !ok || !labSays.P.EqualPrin(sf.A) {
+		return nil, fmt.Errorf("%w: label signed by %v, endorsement names %v", ErrBadEndorsement, lab, sf.A)
+	}
+	return []nal.Formula{endorse, lab}, nil
+}

@@ -1,0 +1,168 @@
+package privacy
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"errors"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/kernel"
+	"repro/internal/nal"
+	"repro/internal/tpm"
+)
+
+// containsPrin reports whether principal p appears anywhere in f.
+func containsPrin(f nal.Formula, p nal.Principal) bool {
+	found := false
+	var walkP func(nal.Principal)
+	walkP = func(q nal.Principal) {
+		if q.EqualPrin(p) {
+			found = true
+		}
+		if s, ok := q.(nal.Sub); ok {
+			walkP(s.Parent)
+		}
+	}
+	var walk func(nal.Formula)
+	walk = func(f nal.Formula) {
+		switch v := f.(type) {
+		case nal.Says:
+			walkP(v.P)
+			walk(v.F)
+		case nal.SpeaksFor:
+			walkP(v.A)
+			walkP(v.B)
+		case nal.Not:
+			walk(v.F)
+		case nal.And:
+			walk(v.L)
+			walk(v.R)
+		case nal.Or:
+			walk(v.L)
+			walk(v.R)
+		case nal.Implies:
+			walk(v.L)
+			walk(v.R)
+		case nal.Pred:
+			for _, a := range v.Args {
+				if pt, ok := a.(nal.PrinTerm); ok {
+					walkP(pt.P)
+				}
+			}
+		}
+	}
+	walk(f)
+	return found
+}
+
+func bootNexus(t *testing.T) *kernel.Kernel {
+	t.Helper()
+	tp, err := tpm.Manufacture(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := kernel.Boot(tp, disk.New(), kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestEnrollAndVerify(t *testing.T) {
+	k := bootNexus(t)
+	pa, err := NewAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa.AddPlatform(k.TPM.EKFingerprint())
+	pseud, err := pa.Enroll(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The kernel signs an application label with the pseudonym.
+	lc, err := pseud.SignLabel("ipd.12", "isTypeSafe(hash:ab12)", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := VerifyPseudonymousLabel(lc, pseud.Cert, pa.Fingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 2 {
+		t.Fatalf("labels = %v", labels)
+	}
+	// Neither label mentions the TPM's EK.
+	ek := k.TPM.EKFingerprint()
+	for _, l := range labels {
+		if containsPrin(l, nal.Key(ek)) {
+			t.Errorf("label %q leaks the platform EK", l)
+		}
+	}
+	if pa.Issued() != 1 {
+		t.Errorf("Issued = %d", pa.Issued())
+	}
+}
+
+func TestUnknownPlatformRefused(t *testing.T) {
+	k := bootNexus(t)
+	pa, _ := NewAuthority()
+	// The platform's EK is not on the list.
+	if _, err := pa.Enroll(k); !errors.Is(err, ErrUnknownPlatform) {
+		t.Errorf("want ErrUnknownPlatform, got %v", err)
+	}
+}
+
+func TestPseudonymsAreUnlinkable(t *testing.T) {
+	k := bootNexus(t)
+	pa, _ := NewAuthority()
+	pa.AddPlatform(k.TPM.EKFingerprint())
+	p1, err := pa.Enroll(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := pa.Enroll(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Fingerprint() == p2.Fingerprint() {
+		t.Error("re-enrollment must produce a fresh pseudonym")
+	}
+}
+
+func TestWrongAuthorityRejected(t *testing.T) {
+	k := bootNexus(t)
+	pa, _ := NewAuthority()
+	pa.AddPlatform(k.TPM.EKFingerprint())
+	pseud, err := pa.Enroll(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, _ := pseud.SignLabel("", "ok", 1)
+	other, _ := NewAuthority()
+	if _, err := VerifyPseudonymousLabel(lc, pseud.Cert, other.Fingerprint()); !errors.Is(err, ErrBadEndorsement) {
+		t.Errorf("want ErrBadEndorsement, got %v", err)
+	}
+}
+
+func TestForeignKeyCannotUsePseudonymCert(t *testing.T) {
+	k := bootNexus(t)
+	pa, _ := NewAuthority()
+	pa.AddPlatform(k.TPM.EKFingerprint())
+	pseud, err := pa.Enroll(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An attacker with its own key tries to ride the pseudonym cert.
+	attacker, err := rsa.GenerateKey(rand.Reader, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err := (&Pseudonym{Key: attacker}).SignLabel("", "ok", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyPseudonymousLabel(lc, pseud.Cert, pa.Fingerprint()); !errors.Is(err, ErrBadEndorsement) {
+		t.Errorf("want ErrBadEndorsement, got %v", err)
+	}
+}

@@ -1,0 +1,167 @@
+// Package refmon implements reference monitors for the Nexus: the device
+// driver reference monitor (DDRM) of §4.1/[56] that constrains user-level
+// drivers to a safety policy, the syscall-relinquishing monitor used by the
+// Fauxbook web server, and a generic cached policy monitor whose hit/miss
+// behaviour produces the kref/uref curves of Figure 7.
+package refmon
+
+import (
+	"sync"
+
+	"repro/internal/kernel"
+	"repro/internal/nal"
+)
+
+// Policy is a DDRM safety policy: an allow-list of operations and,
+// optionally, of peer objects. Everything not allowed is blocked.
+type Policy struct {
+	// Ops are the permitted operation names (e.g. send, recv, dma-setup).
+	Ops map[string]bool
+	// Objects, when non-nil, restricts the objects the monitored process
+	// may name (e.g. only the IPC channel to the web server).
+	Objects map[string]bool
+	// ForbidPayload, when non-nil, rejects messages whose marshaled form
+	// fails the predicate — used to deny DMA into non-granted pages.
+	ForbidPayload func(wire []byte) bool
+}
+
+// Allows evaluates the policy against a message. This is the full
+// (uncached) policy evaluation: op lookup, object lookup, and payload scan.
+func (p *Policy) Allows(m *kernel.Msg, wire []byte) bool {
+	if !p.Ops[m.Op] {
+		return false
+	}
+	if p.Objects != nil && !p.Objects[m.Obj] {
+		return false
+	}
+	if p.ForbidPayload != nil && p.ForbidPayload(wire) {
+		return false
+	}
+	return true
+}
+
+// Monitor is a caching reference monitor implementing kernel.Interposer.
+// UserLevel simulates a user-space monitor: each decision pays an extra
+// marshal/unmarshal crossing, the ~77% worst case of §5.3.
+type Monitor struct {
+	Policy    *Policy
+	UserLevel bool
+
+	mu      sync.Mutex
+	caching bool
+	cache   map[string]bool
+
+	hits, misses, blocked uint64
+}
+
+// NewMonitor creates a monitor over a policy. Caching starts enabled.
+func NewMonitor(p *Policy, userLevel bool) *Monitor {
+	return &Monitor{Policy: p, UserLevel: userLevel, caching: true, cache: map[string]bool{}}
+}
+
+// SetCaching toggles the decision cache (Figure 7 min vs max).
+func (m *Monitor) SetCaching(on bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.caching = on
+	if !on {
+		m.cache = map[string]bool{}
+	}
+}
+
+// Stats reports cache hits, misses, and blocked calls.
+func (m *Monitor) Stats() (hits, misses, blocked uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits, m.misses, m.blocked
+}
+
+// OnCall implements kernel.Interposer.
+func (m *Monitor) OnCall(from *kernel.Process, pt *kernel.Port, msg *kernel.Msg, wire []byte) kernel.Verdict {
+	key := msg.Op + "\x00" + msg.Obj
+	m.mu.Lock()
+	if m.caching {
+		if allow, ok := m.cache[key]; ok {
+			m.hits++
+			m.mu.Unlock()
+			if !allow {
+				return kernel.VerdictBlock
+			}
+			return kernel.VerdictAllow
+		}
+	}
+	m.misses++
+	m.mu.Unlock()
+
+	if m.UserLevel {
+		// A user-level monitor receives a copy of the call across a second
+		// protection boundary: model the marshal + copy + unmarshal cost.
+		cp := make([]byte, len(wire))
+		copy(cp, wire)
+		if _, err := kernel.DecodeWire(cp); err != nil {
+			return kernel.VerdictBlock
+		}
+	}
+	allow := m.Policy.Allows(msg, wire)
+	m.mu.Lock()
+	if m.caching {
+		m.cache[key] = allow
+	}
+	if !allow {
+		m.blocked++
+	}
+	m.mu.Unlock()
+	if !allow {
+		return kernel.VerdictBlock
+	}
+	return kernel.VerdictAllow
+}
+
+// OnReturn implements kernel.Interposer; DDRM policies do not rewrite
+// responses.
+func (m *Monitor) OnReturn(from *kernel.Process, pt *kernel.Port, msg *kernel.Msg, out []byte) []byte {
+	return out
+}
+
+// DDRMLabel is the synthetic-basis label the monitor supports: the monitor
+// process states that the monitored driver is confined to the policy.
+// "monitor says confined(driver)".
+func DDRMLabel(monitor, driver nal.Principal) nal.Formula {
+	return nal.Says{P: monitor, F: nal.Pred{
+		Name: "confined",
+		Args: []nal.Term{nal.PrinTerm{P: driver}},
+	}}
+}
+
+// Relinquish is a monitor enforcing the web server pattern of §4.1: after
+// initialization the process gives up all operations outside the allowed
+// set, proving it cannot open new channels of communication.
+type Relinquish struct {
+	Allowed map[string]bool
+
+	mu     sync.Mutex
+	sealed bool
+}
+
+// Seal ends the initialization phase; from now on only Allowed ops pass.
+func (r *Relinquish) Seal() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sealed = true
+}
+
+// OnCall implements kernel.Interposer.
+func (r *Relinquish) OnCall(from *kernel.Process, pt *kernel.Port, m *kernel.Msg, wire []byte) kernel.Verdict {
+	r.mu.Lock()
+	sealed := r.sealed
+	r.mu.Unlock()
+	if sealed && !r.Allowed[m.Op] {
+		return kernel.VerdictBlock
+	}
+	return kernel.VerdictAllow
+}
+
+// OnReturn implements kernel.Interposer.
+func (r *Relinquish) OnReturn(from *kernel.Process, pt *kernel.Port, m *kernel.Msg, out []byte) []byte {
+	return out
+}

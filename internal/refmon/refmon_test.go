@@ -1,0 +1,122 @@
+package refmon
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/kernel"
+	"repro/internal/nal"
+	"repro/internal/tpm"
+)
+
+func boot(t *testing.T) *kernel.Kernel {
+	t.Helper()
+	tp, err := tpm.Manufacture(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := kernel.Boot(tp, disk.New(), kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestPolicyEvaluation(t *testing.T) {
+	p := &Policy{
+		Ops:     map[string]bool{"send": true, "recv": true},
+		Objects: map[string]bool{"nic:1": true},
+	}
+	ok := func(op, obj string) bool {
+		return p.Allows(&kernel.Msg{Op: op, Obj: obj}, nil)
+	}
+	if !ok("send", "nic:1") || !ok("recv", "nic:1") {
+		t.Error("allowed ops blocked")
+	}
+	if ok("dma-setup", "nic:1") || ok("send", "nic:2") {
+		t.Error("disallowed call permitted")
+	}
+	// Payload predicate.
+	p.ForbidPayload = func(wire []byte) bool { return len(wire) > 4 }
+	if p.Allows(&kernel.Msg{Op: "send", Obj: "nic:1"}, []byte("toolong")) {
+		t.Error("forbidden payload permitted")
+	}
+}
+
+func TestMonitorCachingBehaviour(t *testing.T) {
+	p := &Policy{Ops: map[string]bool{"send": true}}
+	m := NewMonitor(p, false)
+	msg := &kernel.Msg{Op: "send", Obj: "x"}
+	for i := 0; i < 5; i++ {
+		if m.OnCall(nil, nil, msg, nil) != kernel.VerdictAllow {
+			t.Fatal("allowed call blocked")
+		}
+	}
+	hits, misses, _ := m.Stats()
+	if misses != 1 || hits != 4 {
+		t.Errorf("stats hits=%d misses=%d", hits, misses)
+	}
+	// Negative decisions cache too.
+	bad := &kernel.Msg{Op: "evil", Obj: "x"}
+	for i := 0; i < 3; i++ {
+		if m.OnCall(nil, nil, bad, nil) != kernel.VerdictBlock {
+			t.Fatal("blocked call allowed")
+		}
+	}
+	_, _, blocked := m.Stats()
+	if blocked != 1 {
+		t.Errorf("blocked count = %d (negative caching)", blocked)
+	}
+	// Disabling the cache forces full evaluation.
+	m.SetCaching(false)
+	m.OnCall(nil, nil, msg, nil)
+	m.OnCall(nil, nil, msg, nil)
+	_, misses2, _ := m.Stats()
+	if misses2 < 3 {
+		t.Errorf("uncached misses = %d", misses2)
+	}
+}
+
+func TestUserLevelMonitorDecodesWire(t *testing.T) {
+	p := &Policy{Ops: map[string]bool{"send": true}}
+	m := NewMonitor(p, true)
+	m.SetCaching(false)
+	// A user-level monitor must decode the wire copy; garbage wire blocks.
+	if m.OnCall(nil, nil, &kernel.Msg{Op: "send", Obj: "x"}, []byte{1, 2}) != kernel.VerdictBlock {
+		t.Error("undecodable wire should block")
+	}
+}
+
+func TestRelinquishMonitor(t *testing.T) {
+	k := boot(t)
+	srv, _ := k.CreateProcess(0, []byte("webserver"))
+	cli, _ := k.CreateProcess(0, []byte("cli"))
+	pt, _ := k.CreatePort(srv, func(*kernel.Process, *kernel.Msg) ([]byte, error) { return nil, nil })
+	r := &Relinquish{Allowed: map[string]bool{"ipc": true}}
+	mon, _ := k.CreateProcess(0, []byte("mon"))
+	if _, err := k.Interpose(mon, pt.ID, r); err != nil {
+		t.Fatal(err)
+	}
+	// During initialization anything goes.
+	if _, err := k.Call(cli, pt.ID, &kernel.Msg{Op: "open", Obj: "f"}); err != nil {
+		t.Fatalf("pre-seal: %v", err)
+	}
+	r.Seal()
+	if _, err := k.Call(cli, pt.ID, &kernel.Msg{Op: "open", Obj: "f"}); !errors.Is(err, kernel.ErrDenied) {
+		t.Errorf("post-seal: want ErrDenied, got %v", err)
+	}
+	if _, err := k.Call(cli, pt.ID, &kernel.Msg{Op: "ipc", Obj: "f"}); err != nil {
+		t.Errorf("allowed op post-seal: %v", err)
+	}
+}
+
+func TestDDRMLabelShape(t *testing.T) {
+	monitor := nal.MustPrincipal("kernel.ipd.9")
+	driver := nal.MustPrincipal("kernel.ipd.3")
+	l := DDRMLabel(monitor, driver)
+	want := nal.MustParse("kernel.ipd.9 says confined(kernel.ipd.3)")
+	if !l.Equal(want) {
+		t.Errorf("label = %q", l)
+	}
+}

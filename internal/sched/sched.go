@@ -1,0 +1,181 @@
+// Package sched implements the proportional-share CPU scheduler used for
+// resource attestation in §4.1: a stride scheduler maintaining a list of
+// active clients and their weights, exported through introspection so a
+// labeling function can vouch that a tenant receives its contracted
+// fraction of the CPU.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/introspect"
+	"repro/internal/nal"
+)
+
+// ErrNoSuchClient is returned for unknown client names.
+var ErrNoSuchClient = errors.New("sched: no such client")
+
+// stride1 is the scaling constant for stride scheduling.
+const stride1 = 1 << 20
+
+// Scheduler is a proportional-share (stride) scheduler. All methods are
+// safe for concurrent use.
+type Scheduler struct {
+	mu      sync.Mutex
+	clients map[string]*client
+}
+
+type client struct {
+	name   string
+	weight int
+	stride int64
+	pass   int64
+	ticks  int64
+}
+
+// New creates an empty scheduler.
+func New() *Scheduler {
+	return &Scheduler{clients: map[string]*client{}}
+}
+
+// SetWeight registers a client or updates its weight (shares).
+func (s *Scheduler) SetWeight(name string, weight int) {
+	if weight < 1 {
+		weight = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.clients[name]
+	if !ok {
+		c = &client{name: name}
+		s.clients[name] = c
+		// A new client starts at the minimum pass so it cannot be starved
+		// nor gain credit for its absence.
+		var minPass int64
+		first := true
+		for _, o := range s.clients {
+			if o == c {
+				continue
+			}
+			if first || o.pass < minPass {
+				minPass = o.pass
+				first = false
+			}
+		}
+		c.pass = minPass
+	}
+	c.weight = weight
+	c.stride = stride1 / int64(weight)
+}
+
+// Remove deregisters a client.
+func (s *Scheduler) Remove(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.clients[name]; !ok {
+		return ErrNoSuchClient
+	}
+	delete(s.clients, name)
+	return nil
+}
+
+// Tick dispatches one quantum to the client with the minimum pass value and
+// returns its name. It reports "" when no clients are registered.
+func (s *Scheduler) Tick() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var best *client
+	for _, c := range s.clients {
+		if best == nil || c.pass < best.pass ||
+			(c.pass == best.pass && c.name < best.name) {
+			best = c
+		}
+	}
+	if best == nil {
+		return ""
+	}
+	best.pass += best.stride
+	best.ticks++
+	return best.name
+}
+
+// Ticks returns the quanta received by a client.
+func (s *Scheduler) Ticks(name string) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.clients[name]
+	if !ok {
+		return 0, ErrNoSuchClient
+	}
+	return c.ticks, nil
+}
+
+// Weight returns a client's current weight.
+func (s *Scheduler) Weight(name string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.clients[name]
+	if !ok {
+		return 0, ErrNoSuchClient
+	}
+	return c.weight, nil
+}
+
+// TotalWeight sums all client weights.
+func (s *Scheduler) TotalWeight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for _, c := range s.clients {
+		total += c.weight
+	}
+	return total
+}
+
+// Publish exports each tenant's weight under /proc/sched/<name>/weight so
+// a labeling function can inspect reservations (§4.1). The per-tenant files
+// should be protected with goal formulas so tenants cannot read each
+// other's reservations.
+func (s *Scheduler) Publish(reg *introspect.Registry, owner nal.Principal) {
+	reg.Publish("/proc/sched/total", owner, func() string {
+		return fmt.Sprint(s.TotalWeight())
+	})
+	s.mu.Lock()
+	names := make([]string, 0, len(s.clients))
+	for n := range s.clients {
+		names = append(names, n)
+	}
+	s.mu.Unlock()
+	for _, n := range names {
+		name := n
+		reg.Publish("/proc/sched/"+name+"/weight", owner, func() string {
+			w, err := s.Weight(name)
+			if err != nil {
+				return "0"
+			}
+			return fmt.Sprint(w)
+		})
+		reg.Publish("/proc/sched/"+name+"/ticks", owner, func() string {
+			t, err := s.Ticks(name)
+			if err != nil {
+				return "0"
+			}
+			return fmt.Sprint(t)
+		})
+	}
+}
+
+// ReservationLabel builds the NAL statement a labeling function emits after
+// inspecting the scheduler: "owner says reserved(tenant, weight, total)".
+func (s *Scheduler) ReservationLabel(owner nal.Principal, tenant string) (nal.Formula, error) {
+	w, err := s.Weight(tenant)
+	if err != nil {
+		return nil, err
+	}
+	return nal.Says{P: owner, F: nal.Pred{
+		Name: "reserved",
+		Args: []nal.Term{nal.Str(tenant), nal.Int(int64(w)), nal.Int(int64(s.TotalWeight()))},
+	}}, nil
+}

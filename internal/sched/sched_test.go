@@ -1,0 +1,134 @@
+package sched
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/introspect"
+	"repro/internal/nal"
+)
+
+func TestProportionalShares(t *testing.T) {
+	s := New()
+	s.SetWeight("a", 1)
+	s.SetWeight("b", 2)
+	s.SetWeight("c", 4)
+	const quanta = 7000
+	for i := 0; i < quanta; i++ {
+		if s.Tick() == "" {
+			t.Fatal("no client scheduled")
+		}
+	}
+	ta, _ := s.Ticks("a")
+	tb, _ := s.Ticks("b")
+	tc, _ := s.Ticks("c")
+	if ta+tb+tc != quanta {
+		t.Fatalf("tick accounting: %d+%d+%d != %d", ta, tb, tc, quanta)
+	}
+	// Shares should track weights within 2%.
+	for _, c := range []struct {
+		name  string
+		got   int64
+		share float64
+	}{{"a", ta, 1.0 / 7}, {"b", tb, 2.0 / 7}, {"c", tc, 4.0 / 7}} {
+		frac := float64(c.got) / quanta
+		if math.Abs(frac-c.share) > 0.02 {
+			t.Errorf("%s share = %.3f, want %.3f", c.name, frac, c.share)
+		}
+	}
+}
+
+func TestQuickTwoClientRatio(t *testing.T) {
+	prop := func(w1, w2 uint8) bool {
+		a := int(w1%16) + 1
+		b := int(w2%16) + 1
+		s := New()
+		s.SetWeight("a", a)
+		s.SetWeight("b", b)
+		n := 3000
+		for i := 0; i < n; i++ {
+			s.Tick()
+		}
+		ta, _ := s.Ticks("a")
+		want := float64(a) / float64(a+b)
+		got := float64(ta) / float64(n)
+		return math.Abs(got-want) < 0.05
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLateJoinerNotStarved(t *testing.T) {
+	s := New()
+	s.SetWeight("old", 1)
+	for i := 0; i < 1000; i++ {
+		s.Tick()
+	}
+	s.SetWeight("new", 1)
+	newFirst := 0
+	for i := 0; i < 100; i++ {
+		if s.Tick() == "new" {
+			newFirst++
+		}
+	}
+	if newFirst < 40 {
+		t.Errorf("late joiner got %d/100 quanta", newFirst)
+	}
+	// And the newcomer must not monopolize either (no pass-debt credit).
+	if newFirst > 60 {
+		t.Errorf("late joiner monopolized: %d/100", newFirst)
+	}
+}
+
+func TestRemoveAndErrors(t *testing.T) {
+	s := New()
+	if s.Tick() != "" {
+		t.Error("empty scheduler must return no client")
+	}
+	s.SetWeight("a", 1)
+	if err := s.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove("a"); !errors.Is(err, ErrNoSuchClient) {
+		t.Errorf("want ErrNoSuchClient, got %v", err)
+	}
+	if _, err := s.Ticks("a"); !errors.Is(err, ErrNoSuchClient) {
+		t.Errorf("want ErrNoSuchClient, got %v", err)
+	}
+	// Weight floor.
+	s.SetWeight("b", -5)
+	if w, _ := s.Weight("b"); w != 1 {
+		t.Errorf("weight floor = %d", w)
+	}
+}
+
+func TestIntrospectionAndReservationLabel(t *testing.T) {
+	s := New()
+	s.SetWeight("fauxbook", 3)
+	s.SetWeight("other", 1)
+	reg := introspect.NewRegistry()
+	owner := nal.Name("nexus")
+	s.Publish(reg, owner)
+	v, _, ok := reg.Read("/proc/sched/fauxbook/weight")
+	if !ok || v != "3" {
+		t.Errorf("weight node = %q, %v", v, ok)
+	}
+	v, _, _ = reg.Read("/proc/sched/total")
+	if v != "4" {
+		t.Errorf("total = %q", v)
+	}
+	lbl, err := s.ReservationLabel(owner, "fauxbook")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := nal.MustParse(`nexus says reserved("fauxbook", 3, 4)`)
+	if !lbl.Equal(want) {
+		t.Errorf("label = %q, want %q", lbl, want)
+	}
+	if _, err := s.ReservationLabel(owner, "ghost"); !errors.Is(err, ErrNoSuchClient) {
+		t.Errorf("want ErrNoSuchClient, got %v", err)
+	}
+}

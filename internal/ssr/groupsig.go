@@ -1,0 +1,65 @@
+package ssr
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/nal"
+	"repro/internal/nal/proof"
+)
+
+// Group signatures (§3.3): a VKEY whose sign operation is guarded by a goal
+// formula dischargeable by group members, with a distinct — typically
+// stricter — goal on externalize, separating the programs that can sign for
+// the group from those that manage its key material.
+
+// ErrGroupDenied is returned when a proof fails a group key's goal.
+var ErrGroupDenied = errors.New("ssr: group key operation denied")
+
+// GroupKey wraps an RSA VKEY with per-operation goal formulas.
+type GroupKey struct {
+	key *VKey
+	// SignGoal must be discharged (with ?S bound to the caller) to sign.
+	SignGoal nal.Formula
+	// ExternalizeGoal must be discharged to export the key material.
+	ExternalizeGoal nal.Formula
+	// TrustRoots for proof checking (typically the kernel).
+	TrustRoots []nal.Principal
+}
+
+// NewGroupKey creates a group key in the store with the given goals.
+func NewGroupKey(s *KeyStore, signGoal, externGoal nal.Formula, roots []nal.Principal) (*GroupKey, error) {
+	k, err := s.Create(KeyRSA)
+	if err != nil {
+		return nil, err
+	}
+	return &GroupKey{key: k, SignGoal: signGoal, ExternalizeGoal: externGoal, TrustRoots: roots}, nil
+}
+
+// Public returns the underlying VKEY for verification.
+func (g *GroupKey) Public() *VKey { return g.key }
+
+func (g *GroupKey) authorize(goal nal.Formula, caller nal.Principal, pf *proof.Proof, creds []nal.Formula) error {
+	inst := nal.Subst{"S": nal.PrinTerm{P: caller}}.Apply(goal)
+	if _, err := proof.Check(pf, inst, &proof.Env{Credentials: creds, TrustRoots: g.TrustRoots}); err != nil {
+		return fmt.Errorf("%w: %v", ErrGroupDenied, err)
+	}
+	return nil
+}
+
+// Sign signs on behalf of the group if the caller discharges the sign goal.
+func (g *GroupKey) Sign(caller nal.Principal, pf *proof.Proof, creds []nal.Formula, digest [32]byte) ([]byte, error) {
+	if err := g.authorize(g.SignGoal, caller, pf, creds); err != nil {
+		return nil, err
+	}
+	return g.key.Sign(digest)
+}
+
+// Externalize exports the wrapped key material if the caller discharges the
+// externalize goal.
+func (g *GroupKey) Externalize(caller nal.Principal, pf *proof.Proof, creds []nal.Formula, wrapping *VKey) ([]byte, error) {
+	if err := g.authorize(g.ExternalizeGoal, caller, pf, creds); err != nil {
+		return nil, err
+	}
+	return g.key.Externalize(wrapping)
+}

@@ -1,0 +1,72 @@
+package ssr
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/nal"
+	"repro/internal/nal/proof"
+)
+
+func TestGroupSignatures(t *testing.T) {
+	s := NewKeyStore()
+	admin := nal.Name("admin")
+	// Sign goal: admin vouches membership of the caller.
+	signGoal := nal.MustParse("admin says member(?S)")
+	// Externalize goal: only admin itself.
+	externGoal := nal.MustParse("admin says isAdmin(?S)")
+	g, err := NewGroupKey(s, signGoal, externGoal, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	alice := nal.Name("alice")
+	membership := nal.Says{P: admin, F: nal.Pred{Name: "member", Args: []nal.Term{nal.PrinTerm{P: alice}}}}
+	d := &proof.Deriver{Creds: []nal.Formula{membership}}
+	goal := nal.Subst{"S": nal.PrinTerm{P: alice}}.Apply(signGoal)
+	pf, err := d.Derive(goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	digest := [32]byte{7}
+	sig, err := g.Sign(alice, pf, []nal.Formula{membership}, digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Public().VerifySig(digest, sig); err != nil {
+		t.Errorf("group signature invalid: %v", err)
+	}
+
+	// A member cannot externalize: the goals are separate.
+	wrap, _ := s.Create(KeyAES)
+	if _, err := g.Externalize(alice, pf, []nal.Formula{membership}, wrap); !errors.Is(err, ErrGroupDenied) {
+		t.Errorf("member externalize: want ErrGroupDenied, got %v", err)
+	}
+
+	// Non-members cannot sign.
+	eve := nal.Name("eve")
+	if _, err := g.Sign(eve, pf, []nal.Formula{membership}, digest); !errors.Is(err, ErrGroupDenied) {
+		t.Errorf("non-member sign: want ErrGroupDenied, got %v", err)
+	}
+
+	// The admin can externalize with the right credential.
+	adminCred := nal.Says{P: admin, F: nal.Pred{Name: "isAdmin", Args: []nal.Term{nal.PrinTerm{P: admin}}}}
+	d2 := &proof.Deriver{Creds: []nal.Formula{adminCred}}
+	goal2 := nal.Subst{"S": nal.PrinTerm{P: admin}}.Apply(externGoal)
+	pf2, err := d2.Derive(goal2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := g.Externalize(admin, pf2, []nal.Formula{adminCred}, wrap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := s.Internalize(blob, wrap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.VerifySig(digest, sig); err != nil {
+		t.Error("reimported group key differs")
+	}
+}

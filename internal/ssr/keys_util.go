@@ -1,0 +1,14 @@
+package ssr
+
+import (
+	"crypto/rsa"
+	"crypto/x509"
+)
+
+func marshalRSA(k *rsa.PrivateKey) []byte {
+	return x509.MarshalPKCS1PrivateKey(k)
+}
+
+func unmarshalRSA(der []byte) (*rsa.PrivateKey, error) {
+	return x509.ParsePKCS1PrivateKey(der)
+}

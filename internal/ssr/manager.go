@@ -1,0 +1,237 @@
+package ssr
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/disk"
+	"repro/internal/tpm"
+)
+
+// State files holding the serialized kernel hash tree (§3.3).
+const (
+	StateCurrent = "/proc/state/current"
+	StateNew     = "/proc/state/new"
+)
+
+// Errors returned by the VDIR manager.
+var (
+	// ErrStateTampered aborts boot: neither on-disk state file matches a
+	// DIR, indicating the disk was modified or replayed while dormant.
+	ErrStateTampered = errors.New("ssr: on-disk state matches neither DIR — tampering or replay detected")
+	ErrNoSuchVDIR    = errors.New("ssr: no such VDIR")
+)
+
+// Manager is the kernel component multiplexing the TPM's two 20-byte DIRs
+// into an arbitrary number of VDIRs. VDIR contents live in a hash table
+// whose serialized form is protected by a Merkle root stored in the DIRs.
+type Manager struct {
+	tpm  *tpm.TPM
+	disk *disk.Disk
+
+	mu    sync.Mutex
+	vdirs map[uint32]tpm.Digest
+	next  uint32
+}
+
+// Init creates a fresh manager on first boot, writing the initial (empty)
+// state to disk and both DIRs. The TPM must already be owned with the
+// caller's PCR state matching the DIR binding.
+func Init(t *tpm.TPM, d *disk.Disk) (*Manager, error) {
+	m := &Manager{tpm: t, disk: d, vdirs: map[uint32]tpm.Digest{}, next: 1}
+	if err := m.flush(); err != nil {
+		return nil, fmt.Errorf("ssr: initial flush: %w", err)
+	}
+	return m, nil
+}
+
+// Recover reconstructs the manager after a reboot using the §3.3 recovery
+// rule: if only one state file hashes to its DIR, use it; if both match,
+// /proc/state/new is the latest; if neither matches, abort the boot.
+func Recover(t *tpm.TPM, d *disk.Disk) (*Manager, error) {
+	dirCur, err := t.DIRRead(0)
+	if err != nil {
+		return nil, fmt.Errorf("ssr: reading DIRcur: %w", err)
+	}
+	dirNew, err := t.DIRRead(1)
+	if err != nil {
+		return nil, fmt.Errorf("ssr: reading DIRnew: %w", err)
+	}
+	curData, curErr := d.Read(StateCurrent)
+	newData, newErr := d.Read(StateNew)
+	curOK := curErr == nil && stateRoot(curData) == dirCur
+	newOK := newErr == nil && stateRoot(newData) == dirNew
+
+	var chosen []byte
+	switch {
+	case curOK && newOK:
+		chosen = newData
+	case newOK:
+		chosen = newData
+	case curOK:
+		chosen = curData
+	default:
+		return nil, ErrStateTampered
+	}
+	m := &Manager{tpm: t, disk: d, vdirs: map[uint32]tpm.Digest{}}
+	if err := m.decode(chosen); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// CreateVDIR allocates a new virtual data integrity register initialized to
+// the zero digest.
+func (m *Manager) CreateVDIR() (uint32, error) {
+	m.mu.Lock()
+	id := m.next
+	m.next++
+	m.vdirs[id] = tpm.Digest{}
+	m.mu.Unlock()
+	return id, m.flush()
+}
+
+// DestroyVDIR releases a VDIR.
+func (m *Manager) DestroyVDIR(id uint32) error {
+	m.mu.Lock()
+	if _, ok := m.vdirs[id]; !ok {
+		m.mu.Unlock()
+		return ErrNoSuchVDIR
+	}
+	delete(m.vdirs, id)
+	m.mu.Unlock()
+	return m.flush()
+}
+
+// WriteVDIR updates a VDIR and persists the change through the crash-safe
+// protocol. The success return means all four steps completed (§3.3).
+func (m *Manager) WriteVDIR(id uint32, d tpm.Digest) error {
+	m.mu.Lock()
+	if _, ok := m.vdirs[id]; !ok {
+		m.mu.Unlock()
+		return ErrNoSuchVDIR
+	}
+	old := m.vdirs[id]
+	m.vdirs[id] = d
+	m.mu.Unlock()
+	if err := m.flush(); err != nil {
+		// The in-memory copy must not advertise a state that never became
+		// durable.
+		m.mu.Lock()
+		m.vdirs[id] = old
+		m.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// ReadVDIR returns the current contents of a VDIR.
+func (m *Manager) ReadVDIR(id uint32) (tpm.Digest, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d, ok := m.vdirs[id]
+	if !ok {
+		return tpm.Digest{}, ErrNoSuchVDIR
+	}
+	return d, nil
+}
+
+// VDIRCount reports the number of live VDIRs.
+func (m *Manager) VDIRCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.vdirs)
+}
+
+// flush runs the four-step update protocol:
+//
+//	(1) write the new hash tree to /proc/state/new
+//	(2) write the new root into DIRnew
+//	(3) write the new root into DIRcur
+//	(4) write the hash tree to /proc/state/current
+//
+// A crash between any two steps leaves at least one (file, DIR) pair
+// consistent, which Recover exploits.
+func (m *Manager) flush() error {
+	data := m.encode()
+	root := stateRoot(data)
+	if err := m.disk.Write(StateNew, data); err != nil {
+		return fmt.Errorf("ssr: step 1: %w", err)
+	}
+	if err := m.tpm.DIRWrite(1, root); err != nil {
+		return fmt.Errorf("ssr: step 2: %w", err)
+	}
+	if err := m.tpm.DIRWrite(0, root); err != nil {
+		return fmt.Errorf("ssr: step 3: %w", err)
+	}
+	if err := m.disk.Write(StateCurrent, data); err != nil {
+		return fmt.Errorf("ssr: step 4: %w", err)
+	}
+	return nil
+}
+
+// encode serializes the VDIR table deterministically.
+func (m *Manager) encode() []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]uint32, 0, len(m.vdirs))
+	for id := range m.vdirs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	buf := make([]byte, 0, 8+len(ids)*(4+tpm.DigestSize))
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(ids)))
+	binary.LittleEndian.PutUint32(hdr[4:], m.next)
+	buf = append(buf, hdr[:]...)
+	for _, id := range ids {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], id)
+		buf = append(buf, b[:]...)
+		d := m.vdirs[id]
+		buf = append(buf, d[:]...)
+	}
+	return buf
+}
+
+func (m *Manager) decode(data []byte) error {
+	if len(data) < 8 {
+		return ErrStateTampered
+	}
+	n := binary.LittleEndian.Uint32(data[:4])
+	m.next = binary.LittleEndian.Uint32(data[4:8])
+	data = data[8:]
+	if uint32(len(data)) != n*(4+tpm.DigestSize) {
+		return ErrStateTampered
+	}
+	for i := uint32(0); i < n; i++ {
+		id := binary.LittleEndian.Uint32(data[:4])
+		var d tpm.Digest
+		copy(d[:], data[4:4+tpm.DigestSize])
+		m.vdirs[id] = d
+		data = data[4+tpm.DigestSize:]
+	}
+	return nil
+}
+
+// stateRoot computes the Merkle root protecting the serialized table,
+// chunked into tree blocks so cost stays logarithmic in table size.
+func stateRoot(data []byte) tpm.Digest {
+	const block = 256
+	if len(data) == 0 {
+		return sha1.Sum(nil)
+	}
+	var blocks [][]byte
+	for off := 0; off < len(data); off += block {
+		end := off + block
+		if end > len(data) {
+			end = len(data)
+		}
+		blocks = append(blocks, data[off:end])
+	}
+	return MerkleRoot(blocks)
+}

@@ -1,0 +1,97 @@
+// Package ssr implements the Nexus attested-storage stack of §3.3: Secure
+// Storage Regions (SSRs) — integrity-protected, optionally encrypted,
+// replay-proof persistent storage — multiplexed over the TPM's two data
+// integrity registers through kernel-managed Virtual Data Integrity
+// Registers (VDIRs) and Virtual Keys (VKEYs), with a Merkle hash tree
+// decoupling hashing cost from file size and a four-step update protocol
+// that withstands asynchronous shutdown.
+package ssr
+
+import (
+	"crypto/sha1"
+
+	"repro/internal/tpm"
+)
+
+// MerkleRoot computes the root of the binary Merkle tree whose leaves are
+// the SHA-1 hashes of the given blocks. A single root hash protects the
+// whole file while localizing re-hashing to a logarithmic path (§3.3).
+// The root of zero blocks is the hash of the empty string.
+func MerkleRoot(blocks [][]byte) tpm.Digest {
+	if len(blocks) == 0 {
+		return sha1.Sum(nil)
+	}
+	level := make([]tpm.Digest, len(blocks))
+	for i, b := range blocks {
+		level[i] = leafHash(b)
+	}
+	for len(level) > 1 {
+		level = foldLevel(level)
+	}
+	return level[0]
+}
+
+// MerklePath returns the sibling hashes needed to verify block i against
+// the root, bottom-up, together with the left/right position at each level.
+func MerklePath(blocks [][]byte, i int) (path []tpm.Digest, lefts []bool) {
+	level := make([]tpm.Digest, len(blocks))
+	for j, b := range blocks {
+		level[j] = leafHash(b)
+	}
+	for len(level) > 1 {
+		if i^1 < len(level) {
+			path = append(path, level[i^1])
+		} else {
+			// Odd node promoted: sibling is itself (duplicated).
+			path = append(path, level[i])
+		}
+		lefts = append(lefts, i%2 == 1)
+		level = foldLevel(level)
+		i /= 2
+	}
+	return path, lefts
+}
+
+// VerifyInclusion checks a Merkle path for a block.
+func VerifyInclusion(block []byte, path []tpm.Digest, lefts []bool, root tpm.Digest) bool {
+	h := leafHash(block)
+	for i, sib := range path {
+		if lefts[i] {
+			h = nodeHash(sib, h)
+		} else {
+			h = nodeHash(h, sib)
+		}
+	}
+	return h == root
+}
+
+func leafHash(b []byte) tpm.Digest {
+	h := sha1.New()
+	h.Write([]byte{0x00}) // domain separation: leaf
+	h.Write(b)
+	var d tpm.Digest
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+func nodeHash(l, r tpm.Digest) tpm.Digest {
+	h := sha1.New()
+	h.Write([]byte{0x01}) // domain separation: inner node
+	h.Write(l[:])
+	h.Write(r[:])
+	var d tpm.Digest
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+func foldLevel(level []tpm.Digest) []tpm.Digest {
+	next := make([]tpm.Digest, 0, (len(level)+1)/2)
+	for i := 0; i < len(level); i += 2 {
+		if i+1 < len(level) {
+			next = append(next, nodeHash(level[i], level[i+1]))
+		} else {
+			next = append(next, nodeHash(level[i], level[i]))
+		}
+	}
+	return next
+}

@@ -1,0 +1,373 @@
+package ssr
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/disk"
+	"repro/internal/tpm"
+)
+
+func newWorld(t *testing.T) (*tpm.TPM, *disk.Disk, *Manager) {
+	t.Helper()
+	tp, err := tpm.Manufacture(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp.Extend(tpm.PCRKernel, []byte("nexus"))
+	if err := tp.TakeOwnership([]tpm.PCRIndex{tpm.PCRKernel}); err != nil {
+		t.Fatal(err)
+	}
+	d := disk.New()
+	m, err := Init(tp, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp, d, m
+}
+
+// reboot simulates a power cycle and recovery with the genuine kernel.
+func reboot(t *testing.T, tp *tpm.TPM, d *disk.Disk) (*Manager, error) {
+	t.Helper()
+	tp.Startup()
+	tp.Extend(tpm.PCRKernel, []byte("nexus"))
+	return Recover(tp, d)
+}
+
+func TestMerkleRootChangesWithAnyBlock(t *testing.T) {
+	blocks := [][]byte{[]byte("a"), []byte("b"), []byte("c"), []byte("d"), []byte("e")}
+	r1 := MerkleRoot(blocks)
+	for i := range blocks {
+		mod := make([][]byte, len(blocks))
+		copy(mod, blocks)
+		mod[i] = []byte("X")
+		if MerkleRoot(mod) == r1 {
+			t.Errorf("modifying block %d did not change root", i)
+		}
+	}
+	if MerkleRoot(nil) == r1 {
+		t.Error("empty root collides")
+	}
+}
+
+func TestMerkleInclusionProofs(t *testing.T) {
+	blocks := [][]byte{[]byte("a"), []byte("b"), []byte("c"), []byte("d"), []byte("e")}
+	root := MerkleRoot(blocks)
+	for i, b := range blocks {
+		path, lefts := MerklePath(blocks, i)
+		if !VerifyInclusion(b, path, lefts, root) {
+			t.Errorf("inclusion proof for block %d failed", i)
+		}
+		if VerifyInclusion([]byte("evil"), path, lefts, root) {
+			t.Errorf("forged block %d verified", i)
+		}
+	}
+}
+
+func TestQuickMerkleInclusion(t *testing.T) {
+	prop := func(data [][]byte, idx uint8) bool {
+		if len(data) == 0 {
+			return true
+		}
+		i := int(idx) % len(data)
+		root := MerkleRoot(data)
+		path, lefts := MerklePath(data, i)
+		return VerifyInclusion(data[i], path, lefts, root)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVDIRPersistsAcrossReboot(t *testing.T) {
+	tp, d, m := newWorld(t)
+	id, err := m.CreateVDIR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tpm.Digest{1, 2, 3}
+	if err := m.WriteVDIR(id, want); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := reboot(t, tp, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m2.ReadVDIR(id)
+	if err != nil || got != want {
+		t.Errorf("recovered VDIR = %v, %v", got, err)
+	}
+	// Allocation counter also persists: new ids don't collide.
+	id2, _ := m2.CreateVDIR()
+	if id2 == id {
+		t.Error("VDIR id reused after reboot")
+	}
+}
+
+func TestReplayedDiskAbortsBoot(t *testing.T) {
+	tp, d, m := newWorld(t)
+	id, _ := m.CreateVDIR()
+	m.WriteVDIR(id, tpm.Digest{1})
+	snapshot := d.Snapshot() // attacker images the disk
+	m.WriteVDIR(id, tpm.Digest{2})
+	d.Restore(snapshot) // attacker replays the old image
+	if _, err := reboot(t, tp, d); !errors.Is(err, ErrStateTampered) {
+		t.Errorf("replayed disk: want ErrStateTampered, got %v", err)
+	}
+}
+
+func TestCrashAtEveryProtocolStep(t *testing.T) {
+	// After a crash at any point in the four-step protocol, recovery must
+	// produce either the old or the new VDIR value — never garbage, never
+	// an abort.
+	for failAt := 0; failAt < 4; failAt++ {
+		tp, d, m := newWorld(t)
+		id, err := m.CreateVDIR()
+		if err != nil {
+			t.Fatal(err)
+		}
+		oldVal := tpm.Digest{0xAA}
+		if err := m.WriteVDIR(id, oldVal); err != nil {
+			t.Fatal(err)
+		}
+		newVal := tpm.Digest{0xBB}
+		// The flush performs 2 disk writes and 2 DIR writes; inject a disk
+		// failure. failAt counts successful *disk* writes before failure
+		// (step 1 = state/new, step 4 = state/current); DIR writes cannot
+		// fail in this simulation, so failAt 0 → crash before step 1,
+		// failAt 1 → crash before step 4.
+		d.FailAfter(failAt % 2)
+		err = m.WriteVDIR(id, newVal)
+		d.FailAfter(-1)
+		if failAt%2 == 0 && err == nil {
+			t.Fatalf("failAt=%d: expected write failure", failAt)
+		}
+		m2, rerr := reboot(t, tp, d)
+		if rerr != nil {
+			t.Fatalf("failAt=%d: recovery aborted: %v", failAt, rerr)
+		}
+		got, gerr := m2.ReadVDIR(id)
+		if gerr != nil {
+			t.Fatalf("failAt=%d: VDIR lost: %v", failAt, gerr)
+		}
+		if got != oldVal && got != newVal {
+			t.Errorf("failAt=%d: recovered %v, want old %v or new %v", failAt, got, oldVal, newVal)
+		}
+	}
+}
+
+func TestModifiedKernelCannotRecover(t *testing.T) {
+	tp, d, _ := newWorld(t)
+	tp.Startup()
+	tp.Extend(tpm.PCRKernel, []byte("evil"))
+	if _, err := Recover(tp, d); err == nil {
+		t.Error("modified kernel must not read DIRs")
+	}
+}
+
+func TestRegionReadWrite(t *testing.T) {
+	_, _, m := newWorld(t)
+	r, err := m.CreateRegion("tokens", 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("authentication cookie")
+	if err := r.Write(100, msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Read(100, len(msg))
+	if err != nil || !bytes.Equal(got, msg) {
+		t.Errorf("Read = %q, %v", got, err)
+	}
+	// Spanning a block boundary.
+	big := bytes.Repeat([]byte("xy"), BlockSize) // 2 blocks
+	if err := r.Write(BlockSize-7, big[:300]); err != nil {
+		t.Fatal(err)
+	}
+	got, err = r.Read(BlockSize-7, 300)
+	if err != nil || !bytes.Equal(got, big[:300]) {
+		t.Errorf("spanning read failed: %v", err)
+	}
+	if _, err := r.ReadBlock(99); !errors.Is(err, ErrBadBlock) {
+		t.Errorf("bad block: want ErrBadBlock, got %v", err)
+	}
+}
+
+func TestRegionDetectsTamperingAndReplay(t *testing.T) {
+	_, d, m := newWorld(t)
+	r, err := m.CreateRegion("secrets", 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteBlock(0, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// Direct disk tampering.
+	img := d.Snapshot()
+	blk := img["/ssr/secrets/000000"]
+	blk[headerSize+1] ^= 0xFF
+	d.Restore(img)
+	if _, err := r.ReadBlock(0); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("tampered block: want ErrIntegrity, got %v", err)
+	}
+	// Replay: write v1, snapshot, write v2, restore old block only.
+	if err := r.WriteBlock(0, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	old := d.Snapshot()
+	if err := r.WriteBlock(0, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	d.Restore(old)
+	if _, err := r.ReadBlock(0); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("replayed block: want ErrIntegrity, got %v", err)
+	}
+}
+
+func TestRegionConfidentiality(t *testing.T) {
+	_, d, m := newWorld(t)
+	ks := NewKeyStore()
+	key, err := ks.Create(KeyAES)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.CreateRegion("enc", 2, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("HIPAA-protected-record")
+	if err := r.WriteBlock(0, secret); err != nil {
+		t.Fatal(err)
+	}
+	// Ciphertext on disk must not contain the plaintext.
+	raw, err := d.Read("/ssr/enc/000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, secret) {
+		t.Error("plaintext visible on disk")
+	}
+	got, err := r.ReadBlock(0)
+	if err != nil || !bytes.Equal(got[:len(secret)], secret) {
+		t.Errorf("decrypt = %q, %v", got[:32], err)
+	}
+	// Two writes of the same plaintext produce different ciphertext (fresh
+	// IVs from version counters).
+	if err := r.WriteBlock(1, secret); err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := d.Read("/ssr/enc/000001")
+	if err := r.WriteBlock(1, secret); err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := d.Read("/ssr/enc/000001")
+	if bytes.Equal(c1, c2) {
+		t.Error("CTR IV reuse: identical ciphertexts for repeated write")
+	}
+}
+
+func TestRegionDestroy(t *testing.T) {
+	_, _, m := newWorld(t)
+	r, _ := m.CreateRegion("tmp", 1, nil)
+	n := m.VDIRCount()
+	if err := r.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if m.VDIRCount() != n-1 {
+		t.Error("VDIR not released")
+	}
+	if _, err := r.ReadBlock(0); !errors.Is(err, ErrDestroyed) {
+		t.Errorf("want ErrDestroyed, got %v", err)
+	}
+	if err := r.Destroy(); !errors.Is(err, ErrDestroyed) {
+		t.Errorf("double destroy: want ErrDestroyed, got %v", err)
+	}
+}
+
+func TestVKeyLifecycle(t *testing.T) {
+	ks := NewKeyStore()
+	aesKey, err := ks.Create(KeyAES)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsaKey, err := ks.Create(KeyRSA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Signing.
+	digest := [32]byte{1, 2, 3}
+	sig, err := rsaKey.Sign(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rsaKey.VerifySig(digest, sig); err != nil {
+		t.Errorf("verify: %v", err)
+	}
+	if _, err := aesKey.Sign(digest); !errors.Is(err, ErrWrongKeyType) {
+		t.Error("AES key must not sign")
+	}
+	// Externalize/internalize round trip under a wrapping key.
+	wrap, _ := ks.Create(KeyAES)
+	blob, err := rsaKey.Externalize(wrap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ks.Internalize(blob, wrap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.VerifySig(digest, sig); err != nil {
+		t.Error("internalized key differs")
+	}
+	// Wrong wrapping key cannot open it.
+	wrong, _ := ks.Create(KeyAES)
+	if _, err := ks.Internalize(blob, wrong); !errors.Is(err, ErrVKeySealed) {
+		t.Errorf("want ErrVKeySealed, got %v", err)
+	}
+	// Destroy.
+	if err := ks.Destroy(rsaKey.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ks.Get(rsaKey.ID); !errors.Is(err, ErrNoSuchVKey) {
+		t.Errorf("want ErrNoSuchVKey, got %v", err)
+	}
+	// CTR encryption is symmetric.
+	iv := [16]byte{9}
+	ct, err := aesKey.EncryptCTR(iv, []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, _ := aesKey.EncryptCTR(iv, ct)
+	if string(pt) != "hello" {
+		t.Errorf("CTR round trip = %q", pt)
+	}
+	if fp, err := back.Fingerprint(); err != nil || fp == "" {
+		t.Errorf("Fingerprint = %q, %v", fp, err)
+	}
+}
+
+func TestQuickRegionRoundTrip(t *testing.T) {
+	_, _, m := newWorld(t)
+	ks := NewKeyStore()
+	key, _ := ks.Create(KeyAES)
+	r, err := m.CreateRegion("quick", 3, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(data []byte, off uint16) bool {
+		if len(data) > 512 {
+			data = data[:512]
+		}
+		o := int(off) % (3*BlockSize - 513)
+		if err := r.Write(o, data); err != nil {
+			return false
+		}
+		got, err := r.Read(o, len(data))
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,218 @@
+package ssr
+
+import (
+	"crypto"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// VKEY errors.
+var (
+	ErrNoSuchVKey   = errors.New("ssr: no such VKEY")
+	ErrWrongKeyType = errors.New("ssr: operation unsupported for this key type")
+	ErrVKeySealed   = errors.New("ssr: externalized VKEY cannot be opened with this key")
+)
+
+// KeyType distinguishes VKEY flavors.
+type KeyType int
+
+// Key types.
+const (
+	KeyAES KeyType = iota // 256-bit symmetric key
+	KeyRSA                // 1024-bit signing key
+)
+
+// VKey is a kernel-protected key (§3.3). Key material lives in protected
+// memory in the kernel; applications hold only handles, and goal formulas
+// can be attached to each operation (sign vs externalize) independently.
+type VKey struct {
+	ID   uint32
+	Type KeyType
+
+	aes [32]byte
+	rsa *rsa.PrivateKey
+}
+
+// KeyStore manages VKEYs.
+type KeyStore struct {
+	mu   sync.Mutex
+	keys map[uint32]*VKey
+	next uint32
+}
+
+// NewKeyStore creates an empty VKEY store.
+func NewKeyStore() *KeyStore {
+	return &KeyStore{keys: map[uint32]*VKey{}, next: 1}
+}
+
+// Create generates a new VKEY of the given type.
+func (s *KeyStore) Create(t KeyType) (*VKey, error) {
+	k := &VKey{Type: t}
+	switch t {
+	case KeyAES:
+		if _, err := rand.Read(k.aes[:]); err != nil {
+			return nil, err
+		}
+	case KeyRSA:
+		pk, err := rsa.GenerateKey(rand.Reader, 1024)
+		if err != nil {
+			return nil, err
+		}
+		k.rsa = pk
+	default:
+		return nil, ErrWrongKeyType
+	}
+	s.mu.Lock()
+	k.ID = s.next
+	s.next++
+	s.keys[k.ID] = k
+	s.mu.Unlock()
+	return k, nil
+}
+
+// Get resolves a VKEY handle.
+func (s *KeyStore) Get(id uint32) (*VKey, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k, ok := s.keys[id]
+	if !ok {
+		return nil, ErrNoSuchVKey
+	}
+	return k, nil
+}
+
+// Destroy removes a VKEY; its material is gone.
+func (s *KeyStore) Destroy(id uint32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.keys[id]; !ok {
+		return ErrNoSuchVKey
+	}
+	delete(s.keys, id)
+	return nil
+}
+
+// Sign signs a digest with an RSA VKEY. Group signatures are built by
+// guarding this operation with a goal dischargeable by group members (§3.3).
+func (k *VKey) Sign(digest [32]byte) ([]byte, error) {
+	if k.Type != KeyRSA {
+		return nil, ErrWrongKeyType
+	}
+	return rsa.SignPKCS1v15(rand.Reader, k.rsa, crypto.SHA256, digest[:])
+}
+
+// VerifySig verifies a signature made with Sign.
+func (k *VKey) VerifySig(digest [32]byte, sig []byte) error {
+	if k.Type != KeyRSA {
+		return ErrWrongKeyType
+	}
+	return rsa.VerifyPKCS1v15(&k.rsa.PublicKey, crypto.SHA256, digest[:], sig)
+}
+
+// EncryptCTR encrypts (or decrypts — CTR is symmetric) data with an AES
+// VKEY in counter mode using the given initialization vector. Counter mode
+// lets SSR blocks be encrypted independently, decoupling operation time
+// from file size and enabling demand paging (§3.3).
+func (k *VKey) EncryptCTR(iv [16]byte, data []byte) ([]byte, error) {
+	if k.Type != KeyAES {
+		return nil, ErrWrongKeyType
+	}
+	block, err := aes.NewCipher(k.aes[:])
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(data))
+	cipher.NewCTR(block, iv[:]).XORKeyStream(out, data)
+	return out, nil
+}
+
+// Externalize exports the key material wrapped under another AES VKEY, for
+// backup or transfer; goal formulas typically restrict this operation to a
+// narrower set of principals than Sign.
+func (k *VKey) Externalize(wrapping *VKey) ([]byte, error) {
+	if wrapping.Type != KeyAES {
+		return nil, ErrWrongKeyType
+	}
+	var plain []byte
+	switch k.Type {
+	case KeyAES:
+		plain = append([]byte{byte(KeyAES)}, k.aes[:]...)
+	case KeyRSA:
+		plain = append([]byte{byte(KeyRSA)}, marshalRSA(k.rsa)...)
+	}
+	blk, err := aes.NewCipher(wrapping.aes[:])
+	if err != nil {
+		return nil, err
+	}
+	g, err := cipher.NewGCM(blk)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, g.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, err
+	}
+	return append(nonce, g.Seal(nil, nonce, plain, nil)...), nil
+}
+
+// Internalize imports key material previously exported with Externalize.
+func (s *KeyStore) Internalize(wrapped []byte, wrapping *VKey) (*VKey, error) {
+	if wrapping.Type != KeyAES {
+		return nil, ErrWrongKeyType
+	}
+	blk, err := aes.NewCipher(wrapping.aes[:])
+	if err != nil {
+		return nil, err
+	}
+	g, err := cipher.NewGCM(blk)
+	if err != nil {
+		return nil, err
+	}
+	if len(wrapped) < g.NonceSize() {
+		return nil, ErrVKeySealed
+	}
+	plain, err := g.Open(nil, wrapped[:g.NonceSize()], wrapped[g.NonceSize():], nil)
+	if err != nil {
+		return nil, ErrVKeySealed
+	}
+	if len(plain) < 1 {
+		return nil, ErrVKeySealed
+	}
+	k := &VKey{Type: KeyType(plain[0])}
+	switch k.Type {
+	case KeyAES:
+		if len(plain) != 1+32 {
+			return nil, ErrVKeySealed
+		}
+		copy(k.aes[:], plain[1:])
+	case KeyRSA:
+		pk, err := unmarshalRSA(plain[1:])
+		if err != nil {
+			return nil, ErrVKeySealed
+		}
+		k.rsa = pk
+	default:
+		return nil, ErrVKeySealed
+	}
+	s.mu.Lock()
+	k.ID = s.next
+	s.next++
+	s.keys[k.ID] = k
+	s.mu.Unlock()
+	return k, nil
+}
+
+// Fingerprint names an RSA VKEY's public half.
+func (k *VKey) Fingerprint() (string, error) {
+	if k.Type != KeyRSA {
+		return "", ErrWrongKeyType
+	}
+	sum := sha256.Sum256(marshalRSA(k.rsa))
+	return fmt.Sprintf("%x", sum[:10]), nil
+}

@@ -1,0 +1,189 @@
+package tpm
+
+import (
+	"crypto"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// Quote is a signed attestation of PCR state, the TPM's statement
+// "EK says PCRs = vals" bound to a caller-supplied nonce for freshness.
+type Quote struct {
+	EKID  string
+	Nonce []byte
+	Idxs  []PCRIndex
+	Vals  []Digest
+	Sig   []byte
+}
+
+// Quote produces a signed attestation over the selected PCRs.
+func (t *TPM) Quote(nonce []byte, idxs []PCRIndex) (*Quote, error) {
+	t.mu.Lock()
+	q := &Quote{EKID: t.ekID, Nonce: append([]byte(nil), nonce...)}
+	for _, i := range idxs {
+		if i < 0 || int(i) >= NumPCRs {
+			t.mu.Unlock()
+			return nil, ErrBadIndex
+		}
+		q.Idxs = append(q.Idxs, i)
+		q.Vals = append(q.Vals, t.pcrs[i])
+	}
+	t.mu.Unlock()
+
+	sig, err := rsa.SignPKCS1v15(rand.Reader, t.ek, crypto.SHA256, q.digest())
+	if err != nil {
+		return nil, fmt.Errorf("tpm: signing quote: %w", err)
+	}
+	q.Sig = sig
+	return q, nil
+}
+
+// digest serializes the quoted content for signing.
+func (q *Quote) digest() []byte {
+	h := sha256.New()
+	h.Write([]byte("tpm-quote\x00"))
+	h.Write([]byte(q.EKID))
+	h.Write(q.Nonce)
+	for i, idx := range q.Idxs {
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], uint32(idx))
+		h.Write(b[:])
+		h.Write(q.Vals[i][:])
+	}
+	return h.Sum(nil)
+}
+
+// Verify checks the quote signature against the given endorsement public
+// key and nonce.
+func (q *Quote) Verify(pub *rsa.PublicKey, nonce []byte) error {
+	if string(nonce) != string(q.Nonce) {
+		return fmt.Errorf("tpm: quote nonce mismatch")
+	}
+	if Fingerprint(pub) != q.EKID {
+		return fmt.Errorf("tpm: quote names EK %s, key is %s", q.EKID, Fingerprint(pub))
+	}
+	return rsa.VerifyPKCS1v15(pub, crypto.SHA256, q.digest(), q.Sig)
+}
+
+// SealedBlob is data encrypted under a TPM-internal key and bound to PCR
+// state; only the same TPM in the same PCR state can unseal it.
+type SealedBlob struct {
+	EKID       string
+	Nonce      []byte // AES-GCM nonce
+	Ciphertext []byte // seals header (binding) || payload
+}
+
+// sealHeader is the bound PCR selection serialized inside the ciphertext.
+func sealHeader(b pcrBinding) []byte {
+	out := []byte{byte(len(b.idxs))}
+	for i, idx := range b.idxs {
+		var n [4]byte
+		binary.BigEndian.PutUint32(n[:], uint32(idx))
+		out = append(out, n[:]...)
+		out = append(out, b.vals[i][:]...)
+	}
+	return out
+}
+
+func parseSealHeader(data []byte) (pcrBinding, []byte, error) {
+	var b pcrBinding
+	if len(data) < 1 {
+		return b, nil, ErrCorruptBlob
+	}
+	n := int(data[0])
+	data = data[1:]
+	for i := 0; i < n; i++ {
+		if len(data) < 4+DigestSize {
+			return b, nil, ErrCorruptBlob
+		}
+		b.idxs = append(b.idxs, PCRIndex(binary.BigEndian.Uint32(data[:4])))
+		var d Digest
+		copy(d[:], data[4:4+DigestSize])
+		b.vals = append(b.vals, d)
+		data = data[4+DigestSize:]
+	}
+	return b, data, nil
+}
+
+// aead builds the TPM-internal storage cipher. The key never leaves the
+// simulated chip, which is what makes sealed blobs non-portable.
+func (t *TPM) aead() (cipher.AEAD, error) {
+	block, err := aes.NewCipher(t.secret[:])
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}
+
+// Seal encrypts data bound to the current values of the given PCRs.
+func (t *TPM) Seal(data []byte, idxs []PCRIndex) (*SealedBlob, error) {
+	t.mu.Lock()
+	for _, i := range idxs {
+		if i < 0 || int(i) >= NumPCRs {
+			t.mu.Unlock()
+			return nil, ErrBadIndex
+		}
+	}
+	bind := t.snapshotLocked(idxs)
+	t.mu.Unlock()
+
+	g, err := t.aead()
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, g.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, err
+	}
+	hdr := sealHeader(bind)
+	plain := make([]byte, 0, 2+len(hdr)+len(data))
+	var hl [2]byte
+	binary.BigEndian.PutUint16(hl[:], uint16(len(hdr)))
+	plain = append(plain, hl[:]...)
+	plain = append(plain, hdr...)
+	plain = append(plain, data...)
+	return &SealedBlob{
+		EKID:       t.ekID,
+		Nonce:      nonce,
+		Ciphertext: g.Seal(nil, nonce, plain, []byte(t.ekID)),
+	}, nil
+}
+
+// Unseal decrypts a sealed blob, succeeding only on the sealing TPM and only
+// when the bound PCRs hold the values they had at Seal time.
+func (t *TPM) Unseal(blob *SealedBlob) ([]byte, error) {
+	if blob.EKID != t.ekID {
+		return nil, ErrSealedElse
+	}
+	g, err := t.aead()
+	if err != nil {
+		return nil, err
+	}
+	plain, err := g.Open(nil, blob.Nonce, blob.Ciphertext, []byte(t.ekID))
+	if err != nil {
+		return nil, ErrCorruptBlob
+	}
+	if len(plain) < 2 {
+		return nil, ErrCorruptBlob
+	}
+	hl := int(binary.BigEndian.Uint16(plain[:2]))
+	if len(plain) < 2+hl {
+		return nil, ErrCorruptBlob
+	}
+	bind, _, err := parseSealHeader(plain[2 : 2+hl])
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	ok := bind.match(&t.pcrs)
+	t.mu.Unlock()
+	if !ok {
+		return nil, ErrPCRMismatch
+	}
+	return plain[2+hl:], nil
+}

@@ -1,0 +1,350 @@
+// Package tpm simulates a Trusted Platform Module at the protocol level used
+// by the Nexus: SHA-1 platform configuration registers with extend semantics,
+// an endorsement key, quote (signed PCR attestation), seal/unseal bound to
+// PCR state, the two data integrity registers (DIRs) of TPM v1.1 used by the
+// attested-storage update protocol, TPM v1.2 NVRAM, and monotonic counters.
+//
+// The simulation preserves the behaviour that the paper's security argument
+// depends on: a kernel booted with a different image produces different PCR
+// values, cannot unseal the storage root key material, and cannot read or
+// write the DIRs; a replayed disk image fails the DIR comparison at boot
+// (§3.3–3.4).
+package tpm
+
+import (
+	"crypto"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha1"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// DigestSize is the width of a PCR and a DIR (SHA-1, per TPM v1.1).
+const DigestSize = 20
+
+// Digest is a SHA-1 digest as stored in PCRs and DIRs.
+type Digest [DigestSize]byte
+
+// String returns the hex form of the digest.
+func (d Digest) String() string { return hex.EncodeToString(d[:]) }
+
+// NumPCRs is the number of platform configuration registers.
+const NumPCRs = 24
+
+// NumDIRs is the number of data integrity registers (TPM v1.1 provides two
+// 20-byte DIRs; the Nexus SSR update protocol needs exactly two, §3.3).
+const NumDIRs = 2
+
+// PCRIndex selects a platform configuration register.
+type PCRIndex int
+
+// Well-known PCR assignments used by the simulated boot sequence.
+const (
+	PCRFirmware   PCRIndex = 0
+	PCRBootLoader PCRIndex = 1
+	PCRKernel     PCRIndex = 2
+)
+
+// Errors returned by TPM operations.
+var (
+	ErrNotOwned      = errors.New("tpm: no owner has taken ownership")
+	ErrAlreadyOwned  = errors.New("tpm: ownership already taken")
+	ErrPCRMismatch   = errors.New("tpm: PCR state does not match binding")
+	ErrBadIndex      = errors.New("tpm: register index out of range")
+	ErrNVNotDefined  = errors.New("tpm: NVRAM index not defined")
+	ErrNVExists      = errors.New("tpm: NVRAM index already defined")
+	ErrNVTooLarge    = errors.New("tpm: data exceeds NVRAM space")
+	ErrSealedElse    = errors.New("tpm: blob sealed by a different TPM")
+	ErrCorruptBlob   = errors.New("tpm: sealed blob corrupt")
+	ErrNoSuchCounter = errors.New("tpm: counter not defined")
+)
+
+// nvSpace bounds total simulated NVRAM, matching the "finite amount of
+// secure NVRAM" of TPM v1.2.
+const nvSpace = 2048
+
+// TPM is a simulated secure coprocessor. The zero value is unusable; create
+// instances with Manufacture. All methods are safe for concurrent use.
+type TPM struct {
+	mu sync.Mutex
+
+	ek     *rsa.PrivateKey
+	ekID   string // hex fingerprint of the public EK
+	secret [32]byte
+
+	pcrs    [NumPCRs]Digest
+	started bool
+
+	owned    bool
+	srkSeed  [32]byte
+	srkBind  pcrBinding
+	dirs     [NumDIRs]Digest
+	dirBind  pcrBinding
+	nvram    map[uint32][]byte
+	nvUsed   int
+	counters map[uint32]uint64
+}
+
+// pcrBinding records a set of PCR indices and the values they must hold.
+type pcrBinding struct {
+	idxs []PCRIndex
+	vals []Digest
+}
+
+func (b pcrBinding) match(pcrs *[NumPCRs]Digest) bool {
+	for i, idx := range b.idxs {
+		if pcrs[idx] != b.vals[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Manufacture creates a fresh TPM with a new endorsement key. keyBits
+// selects the RSA modulus size; 0 means 1024, small enough to keep simulated
+// boots fast while exercising real signature paths.
+func Manufacture(keyBits int) (*TPM, error) {
+	if keyBits == 0 {
+		keyBits = 1024
+	}
+	ek, err := rsa.GenerateKey(rand.Reader, keyBits)
+	if err != nil {
+		return nil, fmt.Errorf("tpm: generating EK: %w", err)
+	}
+	t := &TPM{
+		ek:       ek,
+		ekID:     Fingerprint(&ek.PublicKey),
+		nvram:    map[uint32][]byte{},
+		counters: map[uint32]uint64{},
+	}
+	if _, err := rand.Read(t.secret[:]); err != nil {
+		return nil, fmt.Errorf("tpm: seeding internal secret: %w", err)
+	}
+	t.Startup()
+	return t, nil
+}
+
+// Fingerprint returns the hex SHA-256 fingerprint (truncated to 20 bytes for
+// readability) of an RSA public key; it names the key as a NAL principal.
+func Fingerprint(pub *rsa.PublicKey) string {
+	h := sha256.New()
+	h.Write(pub.N.Bytes())
+	var e [8]byte
+	binary.BigEndian.PutUint64(e[:], uint64(pub.E))
+	h.Write(e[:])
+	return hex.EncodeToString(h.Sum(nil)[:20])
+}
+
+// Startup simulates a platform power cycle: volatile PCRs reset to zero;
+// DIRs, NVRAM, counters, ownership, and keys persist.
+func (t *TPM) Startup() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.pcrs {
+		t.pcrs[i] = Digest{}
+	}
+	t.started = true
+}
+
+// EKPublic returns the public endorsement key.
+func (t *TPM) EKPublic() *rsa.PublicKey { return &t.ek.PublicKey }
+
+// EKFingerprint returns the fingerprint identifying this TPM.
+func (t *TPM) EKFingerprint() string { return t.ekID }
+
+// Extend extends PCR i with the SHA-1 hash of data and returns the new
+// value: PCR_i := SHA1(PCR_i || SHA1(data)).
+func (t *TPM) Extend(i PCRIndex, data []byte) (Digest, error) {
+	if i < 0 || int(i) >= NumPCRs {
+		return Digest{}, ErrBadIndex
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	event := sha1.Sum(data)
+	h := sha1.New()
+	h.Write(t.pcrs[i][:])
+	h.Write(event[:])
+	copy(t.pcrs[i][:], h.Sum(nil))
+	return t.pcrs[i], nil
+}
+
+// PCR reads the current value of register i.
+func (t *TPM) PCR(i PCRIndex) (Digest, error) {
+	if i < 0 || int(i) >= NumPCRs {
+		return Digest{}, ErrBadIndex
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pcrs[i], nil
+}
+
+// snapshotLocked captures current values of the given registers.
+func (t *TPM) snapshotLocked(idxs []PCRIndex) pcrBinding {
+	b := pcrBinding{idxs: append([]PCRIndex(nil), idxs...)}
+	for _, i := range idxs {
+		b.vals = append(b.vals, t.pcrs[i])
+	}
+	return b
+}
+
+// TakeOwnership creates the storage root key, binding it — and access to the
+// DIRs — to the current values of the given PCRs. A kernel booted from a
+// different image cannot pass the binding (§3.4).
+func (t *TPM) TakeOwnership(bound []PCRIndex) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.owned {
+		return ErrAlreadyOwned
+	}
+	for _, i := range bound {
+		if i < 0 || int(i) >= NumPCRs {
+			return ErrBadIndex
+		}
+	}
+	if _, err := rand.Read(t.srkSeed[:]); err != nil {
+		return fmt.Errorf("tpm: seeding SRK: %w", err)
+	}
+	t.srkBind = t.snapshotLocked(bound)
+	t.dirBind = t.snapshotLocked(bound)
+	t.owned = true
+	return nil
+}
+
+// Owned reports whether ownership has been taken.
+func (t *TPM) Owned() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.owned
+}
+
+// ForceClear abandons ownership and wipes SRK-protected state, DIRs, NVRAM,
+// and counters, as a physical-presence TPM_ForceClear would.
+func (t *TPM) ForceClear() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.owned = false
+	t.srkSeed = [32]byte{}
+	t.dirs = [NumDIRs]Digest{}
+	t.nvram = map[uint32][]byte{}
+	t.nvUsed = 0
+	t.counters = map[uint32]uint64{}
+}
+
+// DIRWrite stores a digest into DIR i. Access requires ownership and the
+// PCR state recorded at TakeOwnership.
+func (t *TPM) DIRWrite(i int, d Digest) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.dirAccessLocked(i); err != nil {
+		return err
+	}
+	t.dirs[i] = d
+	return nil
+}
+
+// DIRRead reads DIR i under the same access policy as DIRWrite.
+func (t *TPM) DIRRead(i int) (Digest, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.dirAccessLocked(i); err != nil {
+		return Digest{}, err
+	}
+	return t.dirs[i], nil
+}
+
+func (t *TPM) dirAccessLocked(i int) error {
+	if i < 0 || i >= NumDIRs {
+		return ErrBadIndex
+	}
+	if !t.owned {
+		return ErrNotOwned
+	}
+	if !t.dirBind.match(&t.pcrs) {
+		return ErrPCRMismatch
+	}
+	return nil
+}
+
+// NVDefine reserves an NVRAM area of the given size.
+func (t *TPM) NVDefine(index uint32, size int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.nvram[index]; ok {
+		return ErrNVExists
+	}
+	if t.nvUsed+size > nvSpace {
+		return ErrNVTooLarge
+	}
+	t.nvram[index] = make([]byte, size)
+	t.nvUsed += size
+	return nil
+}
+
+// NVWrite writes data to a defined NVRAM area.
+func (t *TPM) NVWrite(index uint32, data []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	buf, ok := t.nvram[index]
+	if !ok {
+		return ErrNVNotDefined
+	}
+	if len(data) > len(buf) {
+		return ErrNVTooLarge
+	}
+	copy(buf, data)
+	return nil
+}
+
+// NVRead returns a copy of a defined NVRAM area.
+func (t *TPM) NVRead(index uint32) ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	buf, ok := t.nvram[index]
+	if !ok {
+		return nil, ErrNVNotDefined
+	}
+	return append([]byte(nil), buf...), nil
+}
+
+// CounterCreate defines a monotonic counter starting at zero.
+func (t *TPM) CounterCreate(id uint32) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.counters[id]; !ok {
+		t.counters[id] = 0
+	}
+}
+
+// CounterIncrement advances a monotonic counter and returns the new value.
+func (t *TPM) CounterIncrement(id uint32) (uint64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v, ok := t.counters[id]
+	if !ok {
+		return 0, ErrNoSuchCounter
+	}
+	t.counters[id] = v + 1
+	return v + 1, nil
+}
+
+// CounterRead returns the current value of a monotonic counter.
+func (t *TPM) CounterRead(id uint32) (uint64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v, ok := t.counters[id]
+	if !ok {
+		return 0, ErrNoSuchCounter
+	}
+	return v, nil
+}
+
+// Sign signs digest (a SHA-256 hash) with the endorsement key. The Nexus
+// uses this to certify the Nexus key NK during boot.
+func (t *TPM) Sign(digest [32]byte) ([]byte, error) {
+	return rsa.SignPKCS1v15(rand.Reader, t.ek, crypto.SHA256, digest[:])
+}

@@ -1,0 +1,275 @@
+package tpm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func newTPM(t *testing.T) *TPM {
+	t.Helper()
+	tp, err := Manufacture(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func TestExtendIsOrderSensitive(t *testing.T) {
+	tp := newTPM(t)
+	a1, _ := tp.Extend(PCRKernel, []byte("kernel-v1"))
+	tp.Startup()
+	b1, _ := tp.Extend(PCRKernel, []byte("kernel-v2"))
+	if a1 == b1 {
+		t.Error("different images must yield different PCR values")
+	}
+	tp.Startup()
+	tp.Extend(PCRKernel, []byte("a"))
+	ab, _ := tp.Extend(PCRKernel, []byte("b"))
+	tp.Startup()
+	tp.Extend(PCRKernel, []byte("b"))
+	ba, _ := tp.Extend(PCRKernel, []byte("a"))
+	if ab == ba {
+		t.Error("extend must be order sensitive")
+	}
+}
+
+func TestExtendDeterministic(t *testing.T) {
+	tp1, tp2 := newTPM(t), newTPM(t)
+	d1, _ := tp1.Extend(3, []byte("same"))
+	d2, _ := tp2.Extend(3, []byte("same"))
+	if d1 != d2 {
+		t.Error("extend of identical data from reset state must agree across TPMs")
+	}
+}
+
+func TestStartupResetsPCRsOnly(t *testing.T) {
+	tp := newTPM(t)
+	tp.Extend(PCRKernel, []byte("nexus"))
+	if err := tp.TakeOwnership([]PCRIndex{PCRKernel}); err != nil {
+		t.Fatal(err)
+	}
+	want := Digest{9: 0xAB}
+	if err := tp.DIRWrite(0, want); err != nil {
+		t.Fatal(err)
+	}
+	tp.Startup()
+	pcr, _ := tp.PCR(PCRKernel)
+	if pcr != (Digest{}) {
+		t.Error("startup must reset PCRs")
+	}
+	// DIR persists but is unreadable until PCRs are re-established.
+	if _, err := tp.DIRRead(0); !errors.Is(err, ErrPCRMismatch) {
+		t.Errorf("DIR read before measurement: want ErrPCRMismatch, got %v", err)
+	}
+	tp.Extend(PCRKernel, []byte("nexus"))
+	got, err := tp.DIRRead(0)
+	if err != nil || got != want {
+		t.Errorf("DIR after re-measurement = %v, %v", got, err)
+	}
+}
+
+func TestDIRBlockedForModifiedKernel(t *testing.T) {
+	tp := newTPM(t)
+	tp.Extend(PCRKernel, []byte("nexus"))
+	if err := tp.TakeOwnership([]PCRIndex{PCRKernel}); err != nil {
+		t.Fatal(err)
+	}
+	tp.Startup()
+	tp.Extend(PCRKernel, []byte("evil-nexus"))
+	if err := tp.DIRWrite(0, Digest{1}); !errors.Is(err, ErrPCRMismatch) {
+		t.Errorf("modified kernel must not access DIRs: %v", err)
+	}
+}
+
+func TestOwnershipLifecycle(t *testing.T) {
+	tp := newTPM(t)
+	if err := tp.DIRWrite(0, Digest{}); !errors.Is(err, ErrNotOwned) {
+		t.Errorf("unowned DIR access: want ErrNotOwned, got %v", err)
+	}
+	if err := tp.TakeOwnership(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.TakeOwnership(nil); !errors.Is(err, ErrAlreadyOwned) {
+		t.Errorf("double ownership: want ErrAlreadyOwned, got %v", err)
+	}
+	if !tp.Owned() {
+		t.Error("Owned should report true")
+	}
+	tp.ForceClear()
+	if tp.Owned() {
+		t.Error("ForceClear must drop ownership")
+	}
+}
+
+func TestQuoteVerifies(t *testing.T) {
+	tp := newTPM(t)
+	tp.Extend(PCRFirmware, []byte("bios"))
+	tp.Extend(PCRKernel, []byte("nexus"))
+	nonce := []byte("fresh-nonce")
+	q, err := tp.Quote(nonce, []PCRIndex{PCRFirmware, PCRKernel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Verify(tp.EKPublic(), nonce); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	if err := q.Verify(tp.EKPublic(), []byte("stale")); err == nil {
+		t.Error("stale nonce must fail")
+	}
+	other := newTPM(t)
+	if err := q.Verify(other.EKPublic(), nonce); err == nil {
+		t.Error("wrong EK must fail")
+	}
+	// Tampered PCR value must fail.
+	q.Vals[1][0] ^= 0xFF
+	if err := q.Verify(tp.EKPublic(), nonce); err == nil {
+		t.Error("tampered quote must fail")
+	}
+}
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	tp := newTPM(t)
+	tp.Extend(PCRKernel, []byte("nexus"))
+	secret := []byte("the SRK-protected state")
+	blob, err := tp.Seal(secret, []PCRIndex{PCRKernel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tp.Unseal(blob)
+	if err != nil || !bytes.Equal(got, secret) {
+		t.Fatalf("Unseal = %q, %v", got, err)
+	}
+}
+
+func TestUnsealFailsAfterDifferentBoot(t *testing.T) {
+	tp := newTPM(t)
+	tp.Extend(PCRKernel, []byte("nexus"))
+	blob, err := tp.Seal([]byte("secret"), []PCRIndex{PCRKernel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp.Startup()
+	tp.Extend(PCRKernel, []byte("modified-nexus"))
+	if _, err := tp.Unseal(blob); !errors.Is(err, ErrPCRMismatch) {
+		t.Errorf("want ErrPCRMismatch, got %v", err)
+	}
+	// Re-measuring the genuine kernel restores access.
+	tp.Startup()
+	tp.Extend(PCRKernel, []byte("nexus"))
+	if _, err := tp.Unseal(blob); err != nil {
+		t.Errorf("genuine kernel should unseal: %v", err)
+	}
+}
+
+func TestUnsealOnWrongTPM(t *testing.T) {
+	tp1, tp2 := newTPM(t), newTPM(t)
+	blob, err := tp1.Seal([]byte("secret"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tp2.Unseal(blob); !errors.Is(err, ErrSealedElse) {
+		t.Errorf("want ErrSealedElse, got %v", err)
+	}
+}
+
+func TestUnsealTamperedBlob(t *testing.T) {
+	tp := newTPM(t)
+	blob, err := tp.Seal([]byte("secret"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob.Ciphertext[0] ^= 1
+	if _, err := tp.Unseal(blob); !errors.Is(err, ErrCorruptBlob) {
+		t.Errorf("want ErrCorruptBlob, got %v", err)
+	}
+}
+
+func TestNVRAM(t *testing.T) {
+	tp := newTPM(t)
+	if err := tp.NVDefine(1, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.NVDefine(1, 64); !errors.Is(err, ErrNVExists) {
+		t.Errorf("want ErrNVExists, got %v", err)
+	}
+	if err := tp.NVWrite(1, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tp.NVRead(1)
+	if err != nil || !bytes.Equal(got[:5], []byte("hello")) {
+		t.Errorf("NVRead = %q, %v", got, err)
+	}
+	if err := tp.NVWrite(2, nil); !errors.Is(err, ErrNVNotDefined) {
+		t.Errorf("want ErrNVNotDefined, got %v", err)
+	}
+	if err := tp.NVWrite(1, make([]byte, 65)); !errors.Is(err, ErrNVTooLarge) {
+		t.Errorf("want ErrNVTooLarge, got %v", err)
+	}
+	if err := tp.NVDefine(3, nvSpace); !errors.Is(err, ErrNVTooLarge) {
+		t.Errorf("space exhaustion: want ErrNVTooLarge, got %v", err)
+	}
+}
+
+func TestMonotonicCounters(t *testing.T) {
+	tp := newTPM(t)
+	if _, err := tp.CounterRead(7); !errors.Is(err, ErrNoSuchCounter) {
+		t.Errorf("want ErrNoSuchCounter, got %v", err)
+	}
+	tp.CounterCreate(7)
+	for want := uint64(1); want <= 5; want++ {
+		got, err := tp.CounterIncrement(7)
+		if err != nil || got != want {
+			t.Fatalf("increment = %d, %v; want %d", got, err, want)
+		}
+	}
+	v, _ := tp.CounterRead(7)
+	if v != 5 {
+		t.Errorf("CounterRead = %d, want 5", v)
+	}
+	tp.Startup()
+	v, _ = tp.CounterRead(7)
+	if v != 5 {
+		t.Error("counters must survive power cycles")
+	}
+}
+
+func TestQuickSealRoundTrip(t *testing.T) {
+	tp := newTPM(t)
+	tp.Extend(2, []byte("k"))
+	prop := func(data []byte) bool {
+		blob, err := tp.Seal(data, []PCRIndex{2})
+		if err != nil {
+			return false
+		}
+		got, err := tp.Unseal(blob)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBadIndexes(t *testing.T) {
+	tp := newTPM(t)
+	if _, err := tp.Extend(-1, nil); !errors.Is(err, ErrBadIndex) {
+		t.Error("negative PCR index must fail")
+	}
+	if _, err := tp.Extend(NumPCRs, nil); !errors.Is(err, ErrBadIndex) {
+		t.Error("large PCR index must fail")
+	}
+	if _, err := tp.PCR(99); !errors.Is(err, ErrBadIndex) {
+		t.Error("PCR(99) must fail")
+	}
+	tp.TakeOwnership(nil)
+	if err := tp.DIRWrite(NumDIRs, Digest{}); !errors.Is(err, ErrBadIndex) {
+		t.Error("DIR index out of range must fail")
+	}
+	if _, err := tp.Quote(nil, []PCRIndex{77}); !errors.Is(err, ErrBadIndex) {
+		t.Error("quote of bad index must fail")
+	}
+	if _, err := tp.Seal(nil, []PCRIndex{77}); !errors.Is(err, ErrBadIndex) {
+		t.Error("seal to bad index must fail")
+	}
+}

@@ -1,0 +1,123 @@
+// Package nexus is the public API of the logical-attestation library: a Go
+// reproduction of "Logical Attestation: An Authorization Architecture for
+// Trustworthy Computing" (Sirer et al., SOSP 2011).
+//
+// The package re-exports the stable surface of the internal subsystems:
+//
+//   - NAL formulas and proofs (ParseFormula, Derive, CheckProof)
+//   - the simulated platform (NewTPM, NewDisk, Boot)
+//   - kernel abstractions (processes, IPC, labelstores, goals, authorities,
+//     interpositioning) via the Kernel and Process types
+//   - the generic guard (NewGuard)
+//   - attested storage (InitStorage, RecoverStorage, regions, VKEYs)
+//
+// A minimal end-to-end flow:
+//
+//	t, _ := nexus.NewTPM(0)
+//	k, _ := nexus.Boot(t, nexus.NewDisk(), nexus.Options{})
+//	k.SetGuard(nexus.NewGuard(k))
+//	alice, _ := k.CreateProcess(0, []byte("alice-app"))
+//	label, _ := alice.Labels.Say("wantsAccess")
+//	... SetGoal / SetProof / Call ...
+//
+// See examples/ for complete programs and DESIGN.md for the system map.
+package nexus
+
+import (
+	"repro/internal/disk"
+	"repro/internal/guard"
+	"repro/internal/kernel"
+	"repro/internal/nal"
+	"repro/internal/nal/proof"
+	"repro/internal/ssr"
+	"repro/internal/tpm"
+)
+
+// Core platform types.
+type (
+	// TPM is the simulated secure coprocessor.
+	TPM = tpm.TPM
+	// Disk is the simulated secondary storage device.
+	Disk = disk.Disk
+	// Kernel is a running Nexus instance.
+	Kernel = kernel.Kernel
+	// Process is an isolated protection domain.
+	Process = kernel.Process
+	// Options configures Boot.
+	Options = kernel.Options
+	// Msg is an IPC request.
+	Msg = kernel.Msg
+	// Port is an IPC endpoint.
+	Port = kernel.Port
+	// Label is an attributable statement in a labelstore.
+	Label = kernel.Label
+	// Credential accompanies a proof (inline or labelstore reference).
+	Credential = kernel.Credential
+	// Authority answers live queries about dynamic state.
+	Authority = kernel.Authority
+	// Guard decides authorization requests.
+	Guard = guard.Generic
+)
+
+// Logic types.
+type (
+	// Formula is a NAL formula.
+	Formula = nal.Formula
+	// Principal is a NAL principal.
+	Principal = nal.Principal
+	// Proof is an explicit NAL derivation.
+	Proof = proof.Proof
+	// Deriver constructs proofs heuristically on the client side.
+	Deriver = proof.Deriver
+	// ProofEnv supplies credentials and authorities to the checker.
+	ProofEnv = proof.Env
+)
+
+// Storage types.
+type (
+	// Storage is the VDIR manager multiplexing the TPM's DIRs.
+	Storage = ssr.Manager
+	// Region is a secure storage region.
+	Region = ssr.Region
+	// KeyStore manages VKEYs.
+	KeyStore = ssr.KeyStore
+)
+
+// NewTPM manufactures a simulated TPM; keyBits of 0 selects the default.
+func NewTPM(keyBits int) (*TPM, error) { return tpm.Manufacture(keyBits) }
+
+// NewDisk creates an empty simulated disk.
+func NewDisk() *Disk { return disk.New() }
+
+// Boot runs the measured Nexus boot sequence.
+func Boot(t *TPM, d *Disk, opts Options) (*Kernel, error) { return kernel.Boot(t, d, opts) }
+
+// NewGuard creates the generic guard for a kernel.
+func NewGuard(k *Kernel) *Guard { return guard.New(k) }
+
+// ParseFormula parses NAL concrete syntax.
+func ParseFormula(src string) (Formula, error) { return nal.Parse(src) }
+
+// MustFormula is ParseFormula that panics on error, for literals.
+func MustFormula(src string) Formula { return nal.MustParse(src) }
+
+// ParsePrincipal parses a principal expression.
+func ParsePrincipal(src string) (Principal, error) { return nal.ParsePrincipal(src) }
+
+// CheckProof validates a proof against a goal.
+func CheckProof(p *Proof, goal Formula, env *ProofEnv) (proof.Result, error) {
+	return proof.Check(p, goal, env)
+}
+
+// ParseProof reads the textual proof exchange format.
+func ParseProof(src string) (*Proof, error) { return proof.Parse(src) }
+
+// InitStorage initializes attested storage on first boot.
+func InitStorage(t *TPM, d *Disk) (*Storage, error) { return ssr.Init(t, d) }
+
+// RecoverStorage recovers attested storage after a reboot, detecting
+// tampering and replay.
+func RecoverStorage(t *TPM, d *Disk) (*Storage, error) { return ssr.Recover(t, d) }
+
+// NewKeyStore creates a VKEY store.
+func NewKeyStore() *KeyStore { return ssr.NewKeyStore() }

@@ -1,0 +1,202 @@
+package nexus
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/nal"
+	"repro/internal/nal/proof"
+	"repro/internal/tpm"
+)
+
+// TestPublicAPIEndToEnd exercises the whole public surface: boot, guarded
+// access with a derived proof, label externalization across machines, and
+// attested storage surviving a reboot.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	tp, err := NewTPM(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDisk()
+	k, err := Boot(tp, d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.SetGuard(NewGuard(k))
+
+	// Guarded resource with a formula parsed from the public API.
+	server, _ := k.CreateProcess(0, []byte("srv"))
+	client, _ := k.CreateProcess(0, []byte("cli"))
+	port, _ := k.CreatePort(server, func(*Process, *Msg) ([]byte, error) {
+		return []byte("ok"), nil
+	})
+	goal := MustFormula("?S says wantsAccess")
+	if err := k.SetGoal(server, "read", "vault", goal, nil); err != nil {
+		t.Fatal(err)
+	}
+	cred, _ := client.Labels.Say("wantsAccess")
+	deriver := &Deriver{Creds: []Formula{cred.Formula}}
+	pf, err := deriver.Derive(nal.Says{P: client.Prin, F: nal.Pred{Name: "wantsAccess"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.SetProof(client, "read", "vault", pf, []Credential{{Inline: cred.Formula}})
+	out, err := k.Call(client, port.ID, &Msg{Op: "read", Obj: "vault"})
+	if err != nil || !bytes.Equal(out, []byte("ok")) {
+		t.Fatalf("guarded call = %q, %v", out, err)
+	}
+
+	// Proof text round trip through the public API.
+	pf2, err := ParseProof(pf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CheckProof(pf2, pf.Conclusion(), &ProofEnv{Credentials: []Formula{cred.Formula}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Externalize a label and verify it on another machine.
+	ext, err := client.Labels.Externalize(cred.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := kernel.VerifyExternalLabels(ext, tp.EKFingerprint())
+	if err != nil || len(labels) != 2 {
+		t.Fatalf("external chain = %v, %v", labels, err)
+	}
+}
+
+func TestPublicAPIStorageLifecycle(t *testing.T) {
+	tp, _ := NewTPM(0)
+	tp.Extend(tpm.PCRKernel, []byte("nexus"))
+	if err := tp.TakeOwnership([]tpm.PCRIndex{tpm.PCRKernel}); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDisk()
+	st, err := InitStorage(tp, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := NewKeyStore()
+	key, _ := ks.Create(0) // KeyAES
+	region, err := st.CreateRegion("tokens", 2, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := region.Write(0, []byte("cookie")); err != nil {
+		t.Fatal(err)
+	}
+	// Power cycle + recovery.
+	tp.Startup()
+	tp.Extend(tpm.PCRKernel, []byte("nexus"))
+	if _, err := RecoverStorage(tp, d); err != nil {
+		t.Fatal(err)
+	}
+	// A replayed disk is detected.
+	img := d.Snapshot()
+	region.Write(0, []byte("newer "))
+	d.Restore(img)
+	tp.Startup()
+	tp.Extend(tpm.PCRKernel, []byte("nexus"))
+	if _, err := RecoverStorage(tp, d); err == nil {
+		t.Fatal("replayed disk must abort recovery")
+	}
+}
+
+func TestPublicAPIParsers(t *testing.T) {
+	if _, err := ParseFormula("A says ok"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ParseFormula("((("); err == nil {
+		t.Error("bad formula accepted")
+	}
+	p, err := ParsePrincipal("kernel.ipd.7")
+	if err != nil || p.String() != "kernel.ipd.7" {
+		t.Errorf("ParsePrincipal = %v, %v", p, err)
+	}
+}
+
+// TestDecisionCacheInvalidationMatrix drives the §2.8 invalidation design
+// through the public kernel API: proof updates clear one entry, goal
+// updates clear the (op, obj) subregion, and unrelated resources are
+// unaffected.
+func TestDecisionCacheInvalidationMatrix(t *testing.T) {
+	tp, _ := NewTPM(0)
+	k, err := Boot(tp, NewDisk(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.SetGuard(NewGuard(k))
+	srv, _ := k.CreateProcess(0, []byte("srv"))
+	c1, _ := k.CreateProcess(0, []byte("c1"))
+	c2, _ := k.CreateProcess(0, []byte("c2"))
+	port, _ := k.CreatePort(srv, func(*Process, *Msg) ([]byte, error) { return nil, nil })
+
+	goal := MustFormula("?S says wantsAccess")
+	arm := func(cli *Process, obj string) {
+		cred := nal.Says{P: cli.Prin, F: nal.Pred{Name: "wantsAccess"}}
+		k.SetProof(cli, "read", obj, proof.Assume(0, cred), []Credential{{Inline: cred}})
+	}
+	for _, obj := range []string{"objA", "objB"} {
+		if err := k.SetGoal(srv, "read", obj, goal, nil); err != nil {
+			t.Fatal(err)
+		}
+		arm(c1, obj)
+		arm(c2, obj)
+	}
+	call := func(cli *Process, obj string) {
+		if _, err := k.Call(cli, port.ID, &Msg{Op: "read", Obj: obj}); err != nil {
+			t.Fatalf("call %s/%s: %v", cli.Prin, obj, err)
+		}
+	}
+	// Warm all four tuples.
+	for _, cli := range []*Process{c1, c2} {
+		for _, obj := range []string{"objA", "objB"} {
+			call(cli, obj)
+		}
+	}
+	base := k.GuardUpcalls()
+	// All cached now.
+	call(c1, "objA")
+	call(c2, "objB")
+	if k.GuardUpcalls() != base {
+		t.Fatal("warm tuples should not upcall")
+	}
+	// Proof update for (c1, objA) invalidates exactly that entry.
+	arm(c1, "objA")
+	call(c2, "objA") // other subject unaffected
+	call(c1, "objB") // other object unaffected
+	if k.GuardUpcalls() != base {
+		t.Error("proof update invalidated unrelated entries")
+	}
+	call(c1, "objA")
+	if k.GuardUpcalls() != base+1 {
+		t.Error("proof update did not invalidate its own entry")
+	}
+	// Goal update clears every subject's entry for (read, objB).
+	if err := k.SetGoal(srv, "read", "objB", goal, nil); err != nil {
+		t.Fatal(err)
+	}
+	base = k.GuardUpcalls()
+	call(c1, "objB")
+	call(c2, "objB")
+	if k.GuardUpcalls() != base+2 {
+		t.Error("goal update must invalidate all subjects for the resource")
+	}
+}
+
+func TestDeniedWithoutGuard(t *testing.T) {
+	tp, _ := NewTPM(0)
+	k, _ := Boot(tp, NewDisk(), Options{})
+	srv, _ := k.CreateProcess(0, []byte("srv"))
+	cli, _ := k.CreateProcess(0, []byte("cli"))
+	port, _ := k.CreatePort(srv, func(*Process, *Msg) ([]byte, error) { return nil, nil })
+	if err := k.SetGoal(srv, "read", "x", MustFormula("a"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Call(cli, port.ID, &Msg{Op: "read", Obj: "x"}); !errors.Is(err, kernel.ErrNoGuard) {
+		t.Errorf("want ErrNoGuard, got %v", err)
+	}
+}
