@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: check vet build test race bench-smoke bench-parallel fuzz-smoke
+
+# check is the CI gate: static analysis, build, the full race suite, and a
+# short benchmark smoke so the parallel benchmarks cannot bit-rot.
+check: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench-smoke just proves the parallel benchmarks still compile and run;
+# use bench-parallel for real measurements.
+bench-smoke:
+	$(GO) test -run=XXX -bench=Parallel -benchtime=100x .
+
+# bench-parallel measures multi-core scaling of the authorization fast
+# path (compare the -cpu=1 and -cpu=4 lines).
+bench-parallel:
+	$(GO) test -run=XXX -bench=Parallel -cpu=1,4 .
+
+# fuzz-smoke runs each NAL parser fuzzer briefly; CI-friendly bound.
+fuzz-smoke:
+	$(GO) test -run=XXX -fuzz=FuzzParseFormula -fuzztime=30s ./internal/nal
+	$(GO) test -run=XXX -fuzz=FuzzParsePrincipal -fuzztime=30s ./internal/nal

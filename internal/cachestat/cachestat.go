@@ -1,0 +1,60 @@
+// Package cachestat defines the hit/miss/eviction statistics contract
+// shared by the authorization caches: the guard proof cache (§2.9) and the
+// kernel decision cache (§2.8). Both caches expose the same Stats shape so
+// benchmarks and operators read them uniformly.
+package cachestat
+
+import "sync/atomic"
+
+// Stats is a point-in-time snapshot of cache activity. Whenever the cache
+// is quiescent, Lookups == Hits + Misses.
+type Stats struct {
+	Lookups   uint64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// Counters is the lock-free accumulator backing Stats. The zero value is
+// ready to use.
+type Counters struct {
+	lookups, hits, misses, evictions atomic.Uint64
+}
+
+// Lookup records one cache probe and its outcome.
+func (c *Counters) Lookup(hit bool) {
+	c.lookups.Add(1)
+	if hit {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+}
+
+// Evicted records n entries removed by eviction or invalidation.
+func (c *Counters) Evicted(n uint64) {
+	if n > 0 {
+		c.evictions.Add(n)
+	}
+}
+
+// Snapshot reads the counters. Individual fields are each read atomically;
+// cross-field invariants hold only when the cache is quiescent.
+func (c *Counters) Snapshot() Stats {
+	return Stats{
+		Lookups:   c.lookups.Load(),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+}
+
+// Reset zeroes all counters. Not linearizable with respect to concurrent
+// Lookup calls; callers that need exact invariants reset only while
+// quiescent.
+func (c *Counters) Reset() {
+	c.lookups.Store(0)
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.evictions.Store(0)
+}

@@ -1,0 +1,139 @@
+package guard
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/kernel"
+	"repro/internal/nal"
+	"repro/internal/nal/proof"
+	"repro/internal/tpm"
+)
+
+// request builds a self-contained guard request for subject subj asking to
+// read obj, with a valid inline-credential proof.
+func request(k *kernel.Kernel, subj nal.Principal, obj string) *kernel.GuardRequest {
+	cred := nal.Says{P: subj, F: nal.Pred{
+		Name: "wantsAccess", Args: []nal.Term{nal.Str(obj)},
+	}}
+	return &kernel.GuardRequest{
+		Kernel:  k,
+		Subject: subj,
+		Op:      "read",
+		Obj:     obj,
+		Goal:    nal.MustParse("?S says wantsAccess(?O)"),
+		Proof:   proof.Assume(0, cred),
+		Creds:   []kernel.Credential{{Inline: cred}},
+	}
+}
+
+// TestGuardConcurrentStress hammers one guard from 8 goroutines mixing
+// checks (which insert and hit cached proofs), cache resizes (which force
+// evictions), quota changes, and embedded-authority registration. Run with
+// -race. After the dust settles the statistics must be consistent:
+// lookups == hits + misses.
+func TestGuardConcurrentStress(t *testing.T) {
+	tp, err := tpm.Manufacture(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := kernel.Boot(tp, disk.New(), kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(k)
+
+	const workers = 8
+	const iters = 300
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			subj := nal.MustPrincipal(fmt.Sprintf("root%d.p%d", id%3, id))
+			for i := 0; i < iters; i++ {
+				switch i % 10 {
+				case 8:
+					// Shrink and restore the cache bound, forcing the
+					// eviction path under contention.
+					g.SetCacheSize(8)
+					g.SetCacheSize(DefaultCacheSize)
+				case 9:
+					g.RegisterEmbedded(fmt.Sprintf("aux%d-%d", id, i),
+						func(nal.Formula) bool { return true })
+					g.SetQuota(16)
+				default:
+					obj := fmt.Sprintf("obj%d", (id*iters+i)%64)
+					if d := g.Check(request(k, subj, obj)); !d.Allow {
+						t.Errorf("check denied: %s", d.Reason)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	s := g.StatsSnapshot()
+	if s.Lookups != s.Hits+s.Misses {
+		t.Errorf("stats inconsistent: lookups=%d hits=%d misses=%d", s.Lookups, s.Hits, s.Misses)
+	}
+	if s.Lookups == 0 || s.Hits == 0 {
+		t.Errorf("stress produced no cache activity: %+v", s)
+	}
+	if got := g.Len(); got < 0 || uint64(got) > s.Misses {
+		t.Errorf("cache holds %d entries, more than the %d misses that could have inserted", got, s.Misses)
+	}
+}
+
+// TestGuardConcurrentAuthorityChecks mixes cached-proof re-validation
+// (authority consultations on the hit path) with embedded authority
+// registration from other goroutines.
+func TestGuardConcurrentAuthorityChecks(t *testing.T) {
+	tp, err := tpm.Manufacture(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := kernel.Boot(tp, disk.New(), kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(k)
+	goal := nal.MustParse("NTP says ok")
+	ch := g.RegisterEmbedded("ntp", func(f nal.Formula) bool { return f.Equal(goal) })
+	req := &kernel.GuardRequest{
+		Kernel:  k,
+		Subject: nal.MustPrincipal("client"),
+		Op:      "read", Obj: "obj",
+		Goal:  goal,
+		Proof: &proof.Proof{Steps: []proof.Step{{Rule: proof.RuleAuthority, Channel: ch, F: goal}}},
+	}
+	if d := g.Check(req); !d.Allow {
+		t.Fatalf("warmup denied: %s", d.Reason)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if id%2 == 0 && i%50 == 0 {
+					g.RegisterEmbedded(fmt.Sprintf("noise%d-%d", id, i),
+						func(nal.Formula) bool { return false })
+				}
+				if d := g.Check(req); !d.Allow {
+					t.Errorf("denied: %s", d.Reason)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := g.StatsSnapshot()
+	if s.Lookups != s.Hits+s.Misses {
+		t.Errorf("stats inconsistent: %+v", s)
+	}
+}

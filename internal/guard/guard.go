@@ -10,38 +10,61 @@
 // proof hits the guard's internal proof cache; this is the "lemma" caching
 // of §2.9 that keeps dynamic-state checks sound while amortizing
 // proof-checking cost.
+//
+// The proof cache is lock-striped: entries are spread across shards by the
+// hash of their canonical key, so concurrent checks from different subjects
+// proceed in parallel and a cache hit takes only a shard read-lock. Cache
+// keys are assembled from interned canonical forms (nal.KeyOf), so the hot
+// path never re-serializes an AST.
 package guard
 
 import (
-	"crypto/sha1"
-	"encoding/hex"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/cachestat"
 	"repro/internal/kernel"
 	"repro/internal/nal"
 	"repro/internal/nal/proof"
 )
+
+// guardShards is the number of lock stripes in the proof cache. A power of
+// two so shard selection is a mask.
+const guardShards = 16
 
 // Generic is the default Nexus guard. Create instances with New; a single
 // guard may serve many resources. All methods are safe for concurrent use.
 type Generic struct {
 	k *kernel.Kernel
 
-	mu       sync.Mutex
+	embMu    sync.RWMutex
 	embedded map[string]func(nal.Formula) bool
-	cache    map[string]*cachedProof // proof cache (§2.9)
-	order    []string                // insertion order for eviction scans
-	maxCache int
-	quotas   map[string]int // cache entries per principal tree root
 
-	hits, misses, evictions uint64
+	shards   [guardShards]proofShard
+	size     atomic.Int64 // total entries across shards
+	maxCache atomic.Int64 // 0 or negative disables insertion
+	quota    atomic.Int64 // per-principal-root entry bound
+
+	quotaMu sync.Mutex
+	quotas  map[string]int // canonical root principal → live entries
+
+	stats cachestat.Counters
+}
+
+// proofShard is one stripe of the proof cache: an entry map plus FIFO
+// insertion order for eviction scans, under its own lock. entries and order
+// are kept exactly in sync.
+type proofShard struct {
+	mu      sync.RWMutex
+	entries map[string]*cachedProof
+	order   []string
 }
 
 // cachedProof records a structurally validated proof so later checks only
 // re-run its authority consultations.
 type cachedProof struct {
-	owner       string // root principal, for per-principal eviction
+	owner       string // canonical root principal, for per-principal eviction
 	authorities []authStep
 }
 
@@ -60,21 +83,28 @@ const DefaultQuota = 256
 // New creates a guard bound to a kernel (for labelstore fetches and
 // external-authority IPC).
 func New(k *kernel.Kernel) *Generic {
-	return &Generic{
+	g := &Generic{
 		k:        k,
 		embedded: map[string]func(nal.Formula) bool{},
-		cache:    map[string]*cachedProof{},
-		maxCache: DefaultCacheSize,
 		quotas:   map[string]int{},
 	}
+	for i := range g.shards {
+		g.shards[i].entries = map[string]*cachedProof{}
+	}
+	g.maxCache.Store(DefaultCacheSize)
+	g.quota.Store(DefaultQuota)
+	return g
 }
 
-// SetCacheSize adjusts the proof-cache bound (0 disables caching).
-func (g *Generic) SetCacheSize(n int) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.maxCache = n
-}
+// SetCacheSize adjusts the proof-cache bound (0 disables caching: no new
+// entries are inserted; existing entries remain until evicted).
+func (g *Generic) SetCacheSize(n int) { g.maxCache.Store(int64(n)) }
+
+// SetQuota adjusts the per-principal-root entry bound.
+func (g *Generic) SetQuota(n int) { g.quota.Store(int64(n)) }
+
+// Len reports the number of cached proofs.
+func (g *Generic) Len() int { return int(g.size.Load()) }
 
 // RegisterEmbedded installs an embedded authority: a predicate evaluated
 // inside the guard process, cheaper than an external authority because no
@@ -82,17 +112,25 @@ func (g *Generic) SetCacheSize(n int) {
 // name to use in proofs.
 func (g *Generic) RegisterEmbedded(name string, fn func(nal.Formula) bool) string {
 	ch := "embed:" + name
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.embMu.Lock()
+	defer g.embMu.Unlock()
 	g.embedded[ch] = fn
 	return ch
 }
 
 // Stats reports proof-cache hits, misses, and evictions.
 func (g *Generic) Stats() (hits, misses, evictions uint64) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.hits, g.misses, g.evictions
+	s := g.stats.Snapshot()
+	return s.Hits, s.Misses, s.Evictions
+}
+
+// StatsSnapshot reports full proof-cache statistics in the shape shared
+// with the kernel decision cache.
+func (g *Generic) StatsSnapshot() cachestat.Stats { return g.stats.Snapshot() }
+
+// shardIndex selects the stripe holding key.
+func shardIndex(key string) int {
+	return int(nal.HashString(key) & (guardShards - 1))
 }
 
 // Check implements kernel.Guard.
@@ -108,14 +146,11 @@ func (g *Generic) Check(req *kernel.GuardRequest) kernel.GuardDecision {
 	}
 
 	key := cacheKey(goal, req.Proof, creds)
-	g.mu.Lock()
-	entry, hit := g.cache[key]
-	if hit {
-		g.hits++
-	} else {
-		g.misses++
-	}
-	g.mu.Unlock()
+	sh := &g.shards[shardIndex(key)]
+	sh.mu.RLock()
+	entry, hit := sh.entries[key]
+	sh.mu.RUnlock()
+	g.stats.Lookup(hit)
 
 	if hit {
 		// Structure already validated; only dynamic state needs re-checking.
@@ -194,9 +229,9 @@ func (g *Generic) resolveCreds(req *kernel.GuardRequest) ([]nal.Formula, bool, e
 // authority answers one authority consultation: embedded first, then
 // external over IPC.
 func (g *Generic) authority(channel string, f nal.Formula) bool {
-	g.mu.Lock()
+	g.embMu.RLock()
 	fn, ok := g.embedded[channel]
-	g.mu.Unlock()
+	g.embMu.RUnlock()
 	if ok {
 		return fn(f)
 	}
@@ -206,66 +241,125 @@ func (g *Generic) authority(channel string, f nal.Formula) bool {
 
 // insert adds a validated proof to the cache, evicting preferentially from
 // the same principal's entries (performance isolation, §2.9) and enforcing
-// the per-tree-root quota.
+// the per-tree-root quota. Under concurrent insertion the size and quota
+// bounds may transiently overshoot by the number of racing inserters; they
+// are exact when single-threaded.
 func (g *Generic) insert(key string, subject nal.Principal, auths []authStep) {
-	root := nal.RootOf(subject).String()
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if g.maxCache <= 0 {
+	max := g.maxCache.Load()
+	if max <= 0 {
 		return
 	}
-	if _, ok := g.cache[key]; ok {
+	root := nal.KeyOfPrin(nal.RootOf(subject))
+	si := shardIndex(key)
+	sh := &g.shards[si]
+
+	sh.mu.RLock()
+	_, exists := sh.entries[key]
+	sh.mu.RUnlock()
+	if exists {
 		return
 	}
-	if g.quotas[root] >= DefaultQuota || len(g.cache) >= g.maxCache {
-		g.evictLocked(root)
+
+	g.quotaMu.Lock()
+	overQuota := int64(g.quotas[root]) >= g.quota.Load()
+	g.quotaMu.Unlock()
+	if overQuota {
+		g.evictOne(si, root, true)
 	}
-	g.cache[key] = &cachedProof{owner: root, authorities: auths}
-	g.order = append(g.order, key)
+	if g.size.Load() >= max {
+		g.evictOne(si, root, false)
+	}
+
+	// Size and quota accounting happens while the shard lock is held, so
+	// an entry's existence and its counts change atomically: a concurrent
+	// eviction can only touch the entry — and decrement the counts — after
+	// this insert has published both. Lock order is shard → quotaMu, the
+	// same as removeFirst, and no two shard locks are ever held at once.
+	sh.mu.Lock()
+	if _, ok := sh.entries[key]; ok {
+		sh.mu.Unlock()
+		return
+	}
+	sh.entries[key] = &cachedProof{owner: root, authorities: auths}
+	sh.order = append(sh.order, key)
+	g.size.Add(1)
+	g.quotaMu.Lock()
 	g.quotas[root]++
+	g.quotaMu.Unlock()
+	sh.mu.Unlock()
 }
 
-// evictLocked removes one entry, preferring the requesting principal's own.
-func (g *Generic) evictLocked(root string) {
+// evictOne removes one cached proof and returns whether a victim was found.
+// It prefers entries owned by root (performance isolation: a principal over
+// quota pays with its own entries); when ownedOnly is false it falls back
+// to an entry of any owner. Shards are scanned starting at the inserting
+// stripe, holding one shard lock at a time, and the victim is the oldest
+// matching entry within the first shard that has one — per-shard FIFO, not
+// a global age order.
+func (g *Generic) evictOne(start int, root string, ownedOnly bool) bool {
+	for i := 0; i < guardShards; i++ {
+		if g.shards[(start+i)%guardShards].removeFirst(g, func(e *cachedProof) bool {
+			return e.owner == root
+		}) {
+			return true
+		}
+	}
+	if ownedOnly {
+		return false
+	}
+	for i := 0; i < guardShards; i++ {
+		if g.shards[(start+i)%guardShards].removeFirst(g, func(*cachedProof) bool { return true }) {
+			return true
+		}
+	}
+	return false
+}
+
+// removeFirst evicts the oldest entry in the shard matching pred, updating
+// the guard's size, quota, and eviction accounting. It reports whether an
+// entry was removed.
+func (s *proofShard) removeFirst(g *Generic, pred func(*cachedProof) bool) bool {
+	s.mu.Lock()
 	victim := -1
-	for i, k := range g.order {
-		if e, ok := g.cache[k]; ok && e.owner == root {
-			victim = i
+	var owner string
+	for i, k := range s.order {
+		if e := s.entries[k]; e != nil && pred(e) {
+			victim, owner = i, e.owner
 			break
 		}
 	}
 	if victim == -1 {
-		for i, k := range g.order {
-			if _, ok := g.cache[k]; ok {
-				victim = i
-				break
-			}
-		}
+		s.mu.Unlock()
+		return false
 	}
-	if victim == -1 {
-		g.order = g.order[:0]
-		return
+	delete(s.entries, s.order[victim])
+	s.order = append(s.order[:victim:victim], s.order[victim+1:]...)
+	g.size.Add(-1)
+	g.quotaMu.Lock()
+	if g.quotas[owner]--; g.quotas[owner] <= 0 {
+		delete(g.quotas, owner)
 	}
-	k := g.order[victim]
-	if e, ok := g.cache[k]; ok {
-		g.quotas[e.owner]--
-		delete(g.cache, k)
-	}
-	g.order = append(g.order[:victim:victim], g.order[victim+1:]...)
-	g.evictions++
+	g.quotaMu.Unlock()
+	s.mu.Unlock()
+	g.stats.Evicted(1)
+	return true
 }
 
-// cacheKey identifies a (goal, proof, credentials) combination. The proof
-// contributes its cached fingerprint, so repeat evaluations of a registered
-// proof do not re-serialize it.
+// cacheKey identifies a (goal, proof, credentials) combination. The parts
+// are rendered with the canonical single-buffer encoders — one walk, one
+// allocation, no per-node string joins or hashing like the seed's
+// String()+SHA-1 path. Deliberately NOT nal.KeyOf: instantiated goals
+// embed per-process principals, so interning them would fill the global
+// table with dead entries as processes churn; the bounded, evicting proof
+// cache is the right home for per-request keys.
 func cacheKey(goal nal.Formula, p *proof.Proof, creds []nal.Formula) string {
-	h := sha1.New()
-	h.Write([]byte(goal.String()))
-	h.Write([]byte{0})
-	h.Write([]byte(p.Fingerprint()))
+	buf := make([]byte, 0, 192)
+	buf = nal.AppendFormula(buf, goal)
+	buf = append(buf, 0)
+	buf = append(buf, p.Fingerprint()...)
 	for _, c := range creds {
-		h.Write([]byte{0})
-		h.Write([]byte(c.String()))
+		buf = append(buf, 0)
+		buf = nal.AppendFormula(buf, c)
 	}
-	return hex.EncodeToString(h.Sum(nil))
+	return string(buf)
 }

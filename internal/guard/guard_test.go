@@ -290,3 +290,128 @@ func TestGuardSeparateForResource(t *testing.T) {
 type guardFunc func(*kernel.GuardRequest) kernel.GuardDecision
 
 func (f guardFunc) Check(r *kernel.GuardRequest) kernel.GuardDecision { return f(r) }
+
+func TestSetCacheSizeZeroDisablesCaching(t *testing.T) {
+	w := newWorld(t)
+	w.g.SetCacheSize(0)
+	w.k.DCache().Disable() // force every call through the guard
+	goal := nal.MustParse("?S says wantsAccess")
+	w.k.SetGoal(w.srv, "read", "obj", goal, nil)
+	cred := nal.Says{P: w.cli.Prin, F: nal.Pred{Name: "wantsAccess"}}
+	w.k.SetProof(w.cli, "read", "obj", proof.Assume(0, cred), []kernel.Credential{{Inline: cred}})
+	for i := 0; i < 3; i++ {
+		if err := w.call("read", "obj"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.g.Len() != 0 {
+		t.Errorf("disabled proof cache holds %d entries, want 0", w.g.Len())
+	}
+	s := w.g.StatsSnapshot()
+	if s.Hits != 0 || s.Misses != 3 {
+		t.Errorf("hits=%d misses=%d, want 0 hits and 3 misses with caching disabled", s.Hits, s.Misses)
+	}
+}
+
+// stressRequest builds a valid inline-credential request for a fabricated
+// subject, bypassing kernel process creation so that tests control the
+// principal tree root.
+func stressRequest(k *kernel.Kernel, subj nal.Principal, obj string) *kernel.GuardRequest {
+	cred := nal.Says{P: subj, F: nal.Pred{
+		Name: "wantsAccess", Args: []nal.Term{nal.Str(obj)},
+	}}
+	return &kernel.GuardRequest{
+		Kernel:  k,
+		Subject: subj,
+		Op:      "read",
+		Obj:     obj,
+		Goal:    nal.MustParse("?S says wantsAccess(?O)"),
+		Proof:   proof.Assume(0, cred),
+		Creds:   []kernel.Credential{{Inline: cred}},
+	}
+}
+
+// TestQuotaEvictionTargetsOwningRoot verifies that a principal exceeding
+// its per-tree-root quota evicts its own entries, not another root's
+// (performance isolation, §2.9).
+func TestQuotaEvictionTargetsOwningRoot(t *testing.T) {
+	w := newWorld(t)
+	w.g.SetQuota(2)
+	alice := nal.MustPrincipal("alice.p1")
+	bob := nal.MustPrincipal("bob.p1")
+
+	// Bob caches one proof; Alice then overflows her quota of 2.
+	if d := w.g.Check(stressRequest(w.k, bob, "bobobj")); !d.Allow {
+		t.Fatalf("bob denied: %s", d.Reason)
+	}
+	for i := 0; i < 4; i++ {
+		obj := "aliceobj" + string(rune('a'+i))
+		if d := w.g.Check(stressRequest(w.k, alice, obj)); !d.Allow {
+			t.Fatalf("alice denied: %s", d.Reason)
+		}
+	}
+	_, _, evictions := w.g.Stats()
+	if evictions != 2 {
+		t.Errorf("evictions = %d, want 2 (alice's 3rd and 4th inserts evict her own)", evictions)
+	}
+	if got := w.g.Len(); got != 3 {
+		t.Errorf("cache len = %d, want 3 (bob's entry plus alice's quota of 2)", got)
+	}
+	// Bob's entry survived: re-checking it hits the cache. Had eviction
+	// targeted the wrong root, bob's entry would be gone and alice would
+	// hold more than her quota.
+	before := w.g.StatsSnapshot().Hits
+	if d := w.g.Check(stressRequest(w.k, bob, "bobobj")); !d.Allow {
+		t.Fatalf("bob re-check denied: %s", d.Reason)
+	}
+	if w.g.StatsSnapshot().Hits != before+1 {
+		t.Error("bob's cached proof was evicted by alice's quota overflow")
+	}
+}
+
+// TestFullCacheEvictionPrefersOwnRoot verifies that when the global bound
+// is hit, the inserting principal's own entries are evicted first.
+func TestFullCacheEvictionPrefersOwnRoot(t *testing.T) {
+	w := newWorld(t)
+	w.g.SetCacheSize(3)
+	alice := nal.MustPrincipal("alice.p1")
+	bob := nal.MustPrincipal("bob.p1")
+
+	w.g.Check(stressRequest(w.k, bob, "bob1"))
+	w.g.Check(stressRequest(w.k, alice, "alice1"))
+	w.g.Check(stressRequest(w.k, alice, "alice2"))
+	// Cache full (3 entries). Alice's next insert evicts alice1, not bob1.
+	w.g.Check(stressRequest(w.k, alice, "alice3"))
+
+	if got := w.g.Len(); got != 3 {
+		t.Errorf("cache len = %d, want 3", got)
+	}
+	if _, _, evictions := w.g.Stats(); evictions != 1 {
+		t.Errorf("evictions = %d, want exactly 1", evictions)
+	}
+	before := w.g.StatsSnapshot().Hits
+	w.g.Check(stressRequest(w.k, bob, "bob1"))
+	if w.g.StatsSnapshot().Hits != before+1 {
+		t.Error("bob's entry was evicted although alice owned entries of her own")
+	}
+}
+
+// TestGuardStatsShape verifies the shared stats contract: lookups always
+// equals hits + misses, and the tuple accessor agrees with the snapshot.
+func TestGuardStatsShape(t *testing.T) {
+	w := newWorld(t)
+	alice := nal.MustPrincipal("alice.p1")
+	w.g.Check(stressRequest(w.k, alice, "x"))
+	w.g.Check(stressRequest(w.k, alice, "x"))
+	s := w.g.StatsSnapshot()
+	if s.Lookups != s.Hits+s.Misses {
+		t.Errorf("stats inconsistent: %+v", s)
+	}
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 1 and 1", s.Hits, s.Misses)
+	}
+	h, m, e := w.g.Stats()
+	if h != s.Hits || m != s.Misses || e != s.Evictions {
+		t.Error("Stats() disagrees with StatsSnapshot()")
+	}
+}

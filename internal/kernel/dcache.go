@@ -4,6 +4,8 @@ import (
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/cachestat"
 )
 
 // DecisionCache stores previously observed guard decisions keyed by the
@@ -11,12 +13,23 @@ import (
 // maps all entries with the same (operation, object) into the same
 // subregion, so a setgoal invalidation clears one subregion instead of the
 // whole cache; a proof update clears a single entry.
+//
+// Each subregion carries its own lock, so lookups and inserts for different
+// resources proceed in parallel and a setgoal invalidation stalls only the
+// one subregion it clears.
 type DecisionCache struct {
-	mu      sync.RWMutex
-	regions []map[string]bool // key → allow
-	enabled bool
+	regions []*dcRegion
+	enabled atomic.Bool
+	stats   cachestat.Counters
+}
 
-	hits, misses atomic.Uint64
+// dcRegion is one independently locked subregion. epoch counts
+// invalidations of the subregion; InsertIf uses it to discard decisions
+// that were computed against since-invalidated goal or proof state.
+type dcRegion struct {
+	mu    sync.RWMutex
+	m     map[string]bool // key → allow
+	epoch uint64
 }
 
 // NewDecisionCache creates a cache with the given subregion count (the
@@ -25,26 +38,19 @@ func NewDecisionCache(regions int) *DecisionCache {
 	if regions < 1 {
 		regions = 1
 	}
-	c := &DecisionCache{regions: make([]map[string]bool, regions), enabled: true}
+	c := &DecisionCache{regions: make([]*dcRegion, regions)}
 	for i := range c.regions {
-		c.regions[i] = map[string]bool{}
+		c.regions[i] = &dcRegion{m: map[string]bool{}}
 	}
+	c.enabled.Store(true)
 	return c
 }
 
 // Disable turns the cache off; lookups always miss.
-func (c *DecisionCache) Disable() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.enabled = false
-}
+func (c *DecisionCache) Disable() { c.enabled.Store(false) }
 
 // Enable turns the cache back on.
-func (c *DecisionCache) Enable() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.enabled = true
-}
+func (c *DecisionCache) Enable() { c.enabled.Store(true) }
 
 func regionHash(op, obj string) uint32 {
 	h := fnv.New32a()
@@ -58,64 +64,129 @@ func entryKey(subj, op, obj string) string {
 	return subj + "\x00" + op + "\x00" + obj
 }
 
+// region selects the subregion holding all entries for (op, obj).
+func (c *DecisionCache) region(op, obj string) *dcRegion {
+	return c.regions[regionHash(op, obj)%uint32(len(c.regions))]
+}
+
 // Lookup returns the cached decision for the tuple, if present.
 func (c *DecisionCache) Lookup(subj, op, obj string) (allow, ok bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	if !c.enabled {
-		c.misses.Add(1)
+	if !c.enabled.Load() {
+		c.stats.Lookup(false)
 		return false, false
 	}
-	r := c.regions[regionHash(op, obj)%uint32(len(c.regions))]
-	allow, ok = r[entryKey(subj, op, obj)]
-	if ok {
-		c.hits.Add(1)
-	} else {
-		c.misses.Add(1)
-	}
+	r := c.region(op, obj)
+	r.mu.RLock()
+	allow, ok = r.m[entryKey(subj, op, obj)]
+	r.mu.RUnlock()
+	c.stats.Lookup(ok)
 	return allow, ok
 }
 
-// Insert records a cacheable decision.
+// Insert records a cacheable decision unconditionally. It is meant for
+// benchmarks and tests that drive the cache directly; decision paths that
+// read goal or proof state before deciding must use Epoch + InsertIf, or a
+// concurrent invalidation can be lost and the stale decision cached.
 func (c *DecisionCache) Insert(subj, op, obj string, allow bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if !c.enabled {
+	if !c.enabled.Load() {
 		return
 	}
-	r := c.regions[regionHash(op, obj)%uint32(len(c.regions))]
-	r[entryKey(subj, op, obj)] = allow
+	r := c.region(op, obj)
+	r.mu.Lock()
+	r.m[entryKey(subj, op, obj)] = allow
+	r.mu.Unlock()
+}
+
+// Epoch returns the invalidation epoch of the subregion holding (op, obj).
+// Read it before consulting goal and proof state; pass it to InsertIf so a
+// decision computed against state invalidated mid-flight is discarded
+// instead of cached stale.
+func (c *DecisionCache) Epoch(op, obj string) uint64 {
+	r := c.region(op, obj)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.epoch
+}
+
+// InsertIf records a cacheable decision only if the subregion has not been
+// invalidated since the caller observed epoch.
+func (c *DecisionCache) InsertIf(subj, op, obj string, allow bool, epoch uint64) {
+	if !c.enabled.Load() {
+		return
+	}
+	r := c.region(op, obj)
+	r.mu.Lock()
+	if r.epoch == epoch {
+		r.m[entryKey(subj, op, obj)] = allow
+	}
+	r.mu.Unlock()
 }
 
 // InvalidateEntry clears the single entry for a proof update.
 func (c *DecisionCache) InvalidateEntry(subj, op, obj string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	r := c.regions[regionHash(op, obj)%uint32(len(c.regions))]
-	delete(r, entryKey(subj, op, obj))
+	r := c.region(op, obj)
+	k := entryKey(subj, op, obj)
+	r.mu.Lock()
+	_, present := r.m[k]
+	delete(r.m, k)
+	r.epoch++
+	r.mu.Unlock()
+	if present {
+		c.stats.Evicted(1)
+	}
 }
 
 // InvalidateRegion clears the subregion holding all subjects' entries for
-// (op, obj) — the setgoal invalidation path.
+// (op, obj) — the setgoal invalidation path. Only that one subregion is
+// locked; lookups against other subregions are unaffected.
 func (c *DecisionCache) InvalidateRegion(op, obj string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	i := regionHash(op, obj) % uint32(len(c.regions))
-	c.regions[i] = map[string]bool{}
+	r := c.region(op, obj)
+	r.mu.Lock()
+	n := len(r.m)
+	r.m = map[string]bool{}
+	r.epoch++
+	r.mu.Unlock()
+	c.stats.Evicted(uint64(n))
 }
 
-// Flush clears everything.
+// Flush clears everything and resets the statistics. Not linearizable with
+// respect to concurrent lookups; meant for quiescent reconfiguration.
 func (c *DecisionCache) Flush() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for i := range c.regions {
-		c.regions[i] = map[string]bool{}
+	for _, r := range c.regions {
+		r.mu.Lock()
+		r.m = map[string]bool{}
+		r.epoch++
+		r.mu.Unlock()
 	}
-	c.hits.Store(0)
-	c.misses.Store(0)
+	c.stats.Reset()
+}
+
+// Len reports the total number of cached decisions.
+func (c *DecisionCache) Len() int {
+	n := 0
+	for _, r := range c.regions {
+		r.mu.RLock()
+		n += len(r.m)
+		r.mu.RUnlock()
+	}
+	return n
+}
+
+// RegionLen reports the number of entries in the subregion holding (op,
+// obj); tests use it to observe invalidation granularity.
+func (c *DecisionCache) RegionLen(op, obj string) int {
+	r := c.region(op, obj)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.m)
 }
 
 // Stats reports hit and miss counts since the last Flush.
 func (c *DecisionCache) Stats() (hits, misses uint64) {
-	return c.hits.Load(), c.misses.Load()
+	s := c.stats.Snapshot()
+	return s.Hits, s.Misses
 }
+
+// StatsSnapshot reports full decision-cache statistics in the shape shared
+// with the guard proof cache; invalidated entries count as evictions.
+func (c *DecisionCache) StatsSnapshot() cachestat.Stats { return c.stats.Snapshot() }

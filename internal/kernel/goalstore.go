@@ -133,18 +133,20 @@ func (k *Kernel) Goal(op, obj string) (*GoalEntry, bool) {
 // SetProof registers the caller's proof for an access tuple; the kernel
 // invalidates only the caller's cached decision for that tuple.
 func (k *Kernel) SetProof(caller *Process, op, obj string, p *proof.Proof, creds []Credential) {
+	subj := caller.PrinString()
 	k.mu.Lock()
-	k.proofs[tupleKey{caller.Prin.String(), op, obj}] = &RegisteredProof{Proof: p, Creds: creds}
+	k.proofs[tupleKey{subj, op, obj}] = &RegisteredProof{Proof: p, Creds: creds}
 	k.mu.Unlock()
-	k.dcache.InvalidateEntry(caller.Prin.String(), op, obj)
+	k.dcache.InvalidateEntry(subj, op, obj)
 }
 
 // ClearProof removes the caller's proof for the tuple.
 func (k *Kernel) ClearProof(caller *Process, op, obj string) {
+	subj := caller.PrinString()
 	k.mu.Lock()
-	delete(k.proofs, tupleKey{caller.Prin.String(), op, obj})
+	delete(k.proofs, tupleKey{subj, op, obj})
 	k.mu.Unlock()
-	k.dcache.InvalidateEntry(caller.Prin.String(), op, obj)
+	k.dcache.InvalidateEntry(subj, op, obj)
 }
 
 // registeredProof fetches the subject's proof for a tuple.
@@ -164,7 +166,7 @@ func (k *Kernel) GuardUpcalls() uint64 {
 // authorize enforces the goal (if any) on (subject, op, obj): decision
 // cache first, guard upcall on miss (§2.8, Figure 1).
 func (k *Kernel) authorize(from *Process, op, obj string) error {
-	subj := from.Prin.String()
+	subj := from.PrinString()
 
 	// Fast path: cached decision.
 	if allow, ok := k.dcache.Lookup(subj, op, obj); ok {
@@ -173,6 +175,13 @@ func (k *Kernel) authorize(from *Process, op, obj string) error {
 		}
 		return fmt.Errorf("%w: cached denial for %s on %s/%s", ErrDenied, subj, op, obj)
 	}
+
+	// The epoch is read before any goal or proof state: if a setgoal or
+	// setproof invalidation lands while the decision below is in flight,
+	// InsertIf discards the result instead of caching it stale. (Reading
+	// it only after the fast-path miss keeps the cached path at a single
+	// region-lock acquisition.)
+	epoch := k.dcache.Epoch(op, obj)
 
 	entry, hasGoal := k.Goal(op, obj)
 	if !hasGoal {
@@ -183,7 +192,7 @@ func (k *Kernel) authorize(from *Process, op, obj string) error {
 		owner, registered := k.goals.owners[obj]
 		k.goals.mu.RUnlock()
 		allow := !registered || nal.IsAncestor(owner, from.Prin) || nal.IsAncestor(from.Prin, owner)
-		k.dcache.Insert(subj, op, obj, allow)
+		k.dcache.InsertIf(subj, op, obj, allow, epoch)
 		if allow {
 			return nil
 		}
@@ -192,7 +201,7 @@ func (k *Kernel) authorize(from *Process, op, obj string) error {
 
 	// Trivial ALLOW goal needs no guard.
 	if _, ok := entry.Goal.(nal.TrueF); ok {
-		k.dcache.Insert(subj, op, obj, true)
+		k.dcache.InsertIf(subj, op, obj, true, epoch)
 		return nil
 	}
 
@@ -222,7 +231,7 @@ func (k *Kernel) authorize(from *Process, op, obj string) error {
 	k.mu.Unlock()
 	dec := g.Check(req)
 	if dec.Cacheable {
-		k.dcache.Insert(subj, op, obj, dec.Allow)
+		k.dcache.InsertIf(subj, op, obj, dec.Allow, epoch)
 	}
 	if !dec.Allow {
 		return fmt.Errorf("%w: %s", ErrDenied, dec.Reason)

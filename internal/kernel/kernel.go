@@ -242,9 +242,14 @@ type Process struct {
 	// Labels is the process's default labelstore.
 	Labels *Labelstore
 
-	kernel *Kernel
-	exited bool
+	kernel  *Kernel
+	prinStr string // canonical form of Prin, precomputed off the hot path
+	exited  bool
 }
+
+// PrinString returns the canonical form of the process principal, computed
+// once at creation so authorization checks do not re-serialize it.
+func (p *Process) PrinString() string { return p.prinStr }
 
 // CreateProcess launches a new IPD from the given program image. parent is 0
 // for root processes.
@@ -259,12 +264,17 @@ func (k *Kernel) CreateProcess(parent int, image []byte) (*Process, error) {
 	pid := k.nextPID
 	k.nextPID++
 	sum := sha1.Sum(image)
+	prin := nal.SubChain(k.Prin, "ipd", fmt.Sprint(pid))
 	p := &Process{
 		PID:    pid,
 		Parent: parent,
-		Prin:   nal.SubChain(k.Prin, "ipd", fmt.Sprint(pid)),
+		Prin:   prin,
 		Hash:   hex.EncodeToString(sum[:]),
 		kernel: k,
+		// String, not KeyOfPrin: per-process principals are unique per
+		// PID, and interning them would fill the global table with
+		// dead entries as processes churn.
+		prinStr: prin.String(),
 	}
 	p.Labels = newLabelstore(p)
 	k.procs[pid] = p

@@ -1,0 +1,135 @@
+package nal
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestKeyOfMatchesString verifies the canonical key equals the printed form
+// for a spread of formulas, and that repeated calls return the interned
+// string without rebuilding it.
+func TestKeyOfMatchesString(t *testing.T) {
+	cases := []string{
+		"?S says wantsAccess",
+		"NTP says TimeNow < @2026-03-19",
+		"key:ab12 speaksfor alice on TimeNow",
+		`alice says openFile("/dir/file")`,
+		"a and b or not c => d",
+		"quota(alice) <= 80",
+		"[1, 2, \"x\"] = [alice, ?V]",
+		"kernel.ipd.12 says (a and hash:ff says b)",
+	}
+	for _, src := range cases {
+		f := MustParse(src)
+		if got, want := KeyOf(f), f.String(); got != want {
+			t.Errorf("KeyOf(%q) = %q, want %q", src, got, want)
+		}
+		// Structurally equal but separately built values share the key.
+		g := MustParse(src)
+		if KeyOf(f) != KeyOf(g) {
+			t.Errorf("equal formulas got different keys for %q", src)
+		}
+		if Hash64(f) != Hash64(g) {
+			t.Errorf("equal formulas got different hashes for %q", src)
+		}
+	}
+}
+
+// TestHash64Distinguishes spot-checks that structurally different formulas
+// (including cross-kind confusions a naive encoding would merge) hash
+// differently.
+func TestHash64Distinguishes(t *testing.T) {
+	pairs := [][2]string{
+		{"a", "a()"}, // both parse to Pred "a"; sanity: equal
+		{"a says b", "a says c"},
+		{"a speaksfor b", "b speaksfor a"},
+		{"a speaksfor b on p", "a speaksfor b"},
+		{"x < 5", "x <= 5"},
+		{"a and b", "a or b"},
+		{`f("ab")`, `f("a", "b")`},
+		{"p(a)", "p(\"a\")"},
+	}
+	for i, pc := range pairs {
+		f1, f2 := MustParse(pc[0]), MustParse(pc[1])
+		if i == 0 {
+			if Hash64(f1) != Hash64(f2) {
+				t.Errorf("%q and %q are equal but hash differently", pc[0], pc[1])
+			}
+			continue
+		}
+		if Hash64(f1) == Hash64(f2) {
+			t.Errorf("%q and %q hash identically", pc[0], pc[1])
+		}
+	}
+}
+
+// TestKeyOfPrin verifies principal keys match String and intern.
+func TestKeyOfPrin(t *testing.T) {
+	for _, src := range []string{"NTP", "key:ab12", "hash:ff", "kernel.ipd.12", "a.b.c"} {
+		p := MustPrincipal(src)
+		if KeyOfPrin(p) != p.String() {
+			t.Errorf("KeyOfPrin(%q) = %q, want %q", src, KeyOfPrin(p), p.String())
+		}
+	}
+}
+
+// TestTimeRoundTrip pins the Time canonical form: short dates only for
+// representable UTC midnights, RFC 3339 with nanoseconds otherwise, always
+// reparsing to the same instant.
+func TestTimeRoundTrip(t *testing.T) {
+	cases := []Time{
+		{T: time.Date(2026, 3, 19, 0, 0, 0, 0, time.UTC)},
+		{T: time.Date(2026, 3, 19, 15, 4, 5, 0, time.UTC)},
+		{T: time.Date(2026, 3, 19, 0, 0, 0, 500_000_000, time.UTC)},
+		{T: time.Date(2026, 3, 19, 0, 0, 0, 0, time.FixedZone("", 7*3600))},
+		{T: time.Date(2026, 3, 19, 1, 2, 3, 123456789, time.FixedZone("", -5*3600))},
+	}
+	for _, tc := range cases {
+		s := tc.String()
+		back, err := ParseTerm(s)
+		if err != nil {
+			t.Errorf("ParseTerm(%q): %v", s, err)
+			continue
+		}
+		if !back.EqualTerm(tc) {
+			t.Errorf("time round-trip %q: got %v, want %v", s, back, tc.T)
+		}
+	}
+}
+
+// TestStringEscapeRoundTrip pins the Str canonical form through the lexer's
+// Go-style unescaping.
+func TestStringEscapeRoundTrip(t *testing.T) {
+	for _, raw := range []string{"plain", `with "quotes"`, "tab\tnewline\n", "unié", `back\slash`} {
+		f := Pred{Name: "p", Args: []Term{Str(raw)}}
+		back, err := Parse(f.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", f.String(), err)
+		}
+		if !back.Equal(f) {
+			t.Errorf("escape round-trip failed for %q (printed %q)", raw, f.String())
+		}
+	}
+}
+
+// TestKeyOfConcurrent exercises the intern table from many goroutines; run
+// with -race.
+func TestKeyOfConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				f := Pred{Name: fmt.Sprintf("p%d", i%32), Args: []Term{Int(i % 8)}}
+				if KeyOf(f) != f.String() {
+					t.Error("concurrent KeyOf returned wrong canonical form")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

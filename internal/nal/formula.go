@@ -2,7 +2,6 @@ package nal
 
 import (
 	"fmt"
-	"strings"
 )
 
 // Formula is a NAL formula. Formulas are immutable values; all operations
@@ -133,51 +132,20 @@ func (op CompareOp) Eval(sign int) bool {
 	return false
 }
 
-func (p Pred) String() string {
-	if len(p.Args) == 0 {
-		return p.Name
-	}
-	parts := make([]string, len(p.Args))
-	for i, a := range p.Args {
-		parts[i] = a.String()
-	}
-	return p.Name + "(" + strings.Join(parts, ", ") + ")"
-}
+// The String methods delegate to the canonical encoders in canon.go, which
+// render the whole AST into one buffer; binary connectives are
+// parenthesized there so the output is unambiguous and reparseable.
 
-func (s Says) String() string {
-	return s.P.String() + " says " + paren(s.F)
-}
-
-func (s SpeaksFor) String() string {
-	out := s.A.String() + " speaksfor " + s.B.String()
-	if s.On != nil {
-		out += " on " + s.On.Pred
-	}
-	return out
-}
-
-func (c Compare) String() string {
-	return c.L.String() + " " + c.Op.String() + " " + c.R.String()
-}
-
-func (n Not) String() string     { return "not " + paren(n.F) }
-func (a And) String() string     { return paren(a.L) + " and " + paren(a.R) }
-func (o Or) String() string      { return paren(o.L) + " or " + paren(o.R) }
-func (i Implies) String() string { return paren(i.L) + " => " + paren(i.R) }
-func (FalseF) String() string    { return "false" }
-func (TrueF) String() string     { return "true" }
-
-// paren wraps binary connectives in parentheses so that String output is
-// unambiguous and reparseable; says, speaksfor, negation, and atomic
-// formulas bind tightly enough to stand alone.
-func paren(f Formula) string {
-	switch f.(type) {
-	case And, Or, Implies:
-		return "(" + f.String() + ")"
-	default:
-		return f.String()
-	}
-}
+func (p Pred) String() string      { return string(appendFormula(nil, p)) }
+func (s Says) String() string      { return string(appendFormula(nil, s)) }
+func (s SpeaksFor) String() string { return string(appendFormula(nil, s)) }
+func (c Compare) String() string   { return string(appendFormula(nil, c)) }
+func (n Not) String() string       { return string(appendFormula(nil, n)) }
+func (a And) String() string       { return string(appendFormula(nil, a)) }
+func (o Or) String() string        { return string(appendFormula(nil, o)) }
+func (i Implies) String() string   { return string(appendFormula(nil, i)) }
+func (FalseF) String() string      { return "false" }
+func (TrueF) String() string       { return "true" }
 
 func (p Pred) Equal(o Formula) bool {
 	v, ok := o.(Pred)

@@ -2,7 +2,7 @@ package nal
 
 import (
 	"fmt"
-	"strings"
+	"strconv"
 	"unicode"
 )
 
@@ -96,18 +96,23 @@ func lex(src string) ([]token, error) {
 			i = j
 		case r == '"':
 			j := i + 1
-			var sb strings.Builder
 			for j < len(rs) && rs[j] != '"' {
 				if rs[j] == '\\' && j+1 < len(rs) {
 					j++
 				}
-				sb.WriteRune(rs[j])
 				j++
 			}
 			if j >= len(rs) {
 				return nil, fmt.Errorf("nal: unterminated string at %d", i)
 			}
-			toks = append(toks, token{tkString, sb.String(), i})
+			// Go escape rules, matching the strconv.Quote form that Str
+			// terms print; anything Unquote rejects (raw control
+			// characters, bad escapes) is a lexing error.
+			s, err := strconv.Unquote(string(rs[i : j+1]))
+			if err != nil {
+				return nil, fmt.Errorf("nal: bad string literal at %d: %v", i, err)
+			}
+			toks = append(toks, token{tkString, s, i})
 			i = j + 1
 		case r == '=':
 			if i+1 < len(rs) && rs[i+1] == '>' {

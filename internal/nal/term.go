@@ -61,13 +61,7 @@ func (PrinTerm) isTerm() {}
 func (TermList) isTerm() {}
 func (Func) isTerm()     {}
 
-func (f Func) String() string {
-	parts := make([]string, len(f.Args))
-	for i, a := range f.Args {
-		parts[i] = a.String()
-	}
-	return f.Name + "(" + strings.Join(parts, ", ") + ")"
-}
+func (f Func) String() string { return string(appendTerm(nil, f)) }
 
 func (f Func) EqualTerm(o Term) bool {
 	v, ok := o.(Func)
@@ -87,22 +81,14 @@ func (i Int) String() string  { return strconv.FormatInt(int64(i), 10) }
 func (a Atom) String() string { return string(a) }
 func (v Var) String() string  { return "?" + string(v) }
 
-func (t Time) String() string {
-	if t.T.Hour() == 0 && t.T.Minute() == 0 && t.T.Second() == 0 {
-		return "@" + t.T.Format("2006-01-02")
-	}
-	return "@" + t.T.Format(time.RFC3339)
-}
+// Time renders as the short date form only when that form reparses to the
+// same instant (UTC-offset midnight with no sub-second part); otherwise RFC
+// 3339 with nanoseconds. See appendTimeValue in canon.go.
+func (t Time) String() string { return string(appendTerm(nil, t)) }
 
 func (p PrinTerm) String() string { return p.P.String() }
 
-func (l TermList) String() string {
-	parts := make([]string, len(l))
-	for i, t := range l {
-		parts[i] = t.String()
-	}
-	return "[" + strings.Join(parts, ", ") + "]"
-}
+func (l TermList) String() string { return string(appendTerm(nil, l)) }
 
 func (s Str) EqualTerm(o Term) bool { v, ok := o.(Str); return ok && v == s }
 func (i Int) EqualTerm(o Term) bool { v, ok := o.(Int); return ok && v == i }

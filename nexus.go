@@ -24,6 +24,7 @@
 package nexus
 
 import (
+	"repro/internal/cachestat"
 	"repro/internal/disk"
 	"repro/internal/guard"
 	"repro/internal/kernel"
@@ -57,6 +58,9 @@ type (
 	Authority = kernel.Authority
 	// Guard decides authorization requests.
 	Guard = guard.Generic
+	// CacheStats is the hit/miss/eviction snapshot shared by the guard
+	// proof cache and the kernel decision cache.
+	CacheStats = cachestat.Stats
 )
 
 // Logic types.
@@ -103,6 +107,13 @@ func MustFormula(src string) Formula { return nal.MustParse(src) }
 
 // ParsePrincipal parses a principal expression.
 func ParsePrincipal(src string) (Principal, error) { return nal.ParsePrincipal(src) }
+
+// FormulaKey returns the interned canonical key of a formula — identical
+// text to f.String(), memoized so repeated calls for structurally equal
+// formulas do not re-serialize the AST. Structurally equal formulas always
+// share one key (Time terms render in UTC, so equality and printing
+// agree). Use it when keying maps on formulas.
+func FormulaKey(f Formula) string { return nal.KeyOf(f) }
 
 // CheckProof validates a proof against a goal.
 func CheckProof(p *Proof, goal Formula, env *ProofEnv) (proof.Result, error) {
