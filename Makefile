@@ -28,7 +28,9 @@ bench-smoke:
 bench-parallel:
 	$(GO) test -run=XXX -bench=Parallel -cpu=1,4 .
 
-# fuzz-smoke runs each NAL parser fuzzer briefly; CI-friendly bound.
+# fuzz-smoke runs each fuzzer briefly; CI-friendly bound.
+FUZZTIME ?= 30s
 fuzz-smoke:
-	$(GO) test -run=XXX -fuzz=FuzzParseFormula -fuzztime=30s ./internal/nal
-	$(GO) test -run=XXX -fuzz=FuzzParsePrincipal -fuzztime=30s ./internal/nal
+	$(GO) test -run=XXX -fuzz=FuzzParseFormula -fuzztime=$(FUZZTIME) ./internal/nal
+	$(GO) test -run=XXX -fuzz=FuzzParsePrincipal -fuzztime=$(FUZZTIME) ./internal/nal
+	$(GO) test -run=XXX -fuzz=FuzzMsgWire -fuzztime=$(FUZZTIME) ./internal/kernel

@@ -73,6 +73,108 @@ func BenchmarkParallelGuard(b *testing.B) {
 	})
 }
 
+// BenchmarkParallelSyscall is the end-to-end multi-core proof for the
+// dispatch pipeline: GOMAXPROCS goroutines, each its own process, issuing
+// null system calls with authorization on and the decision cache warm. With
+// no kernel-global lock on the path, the -cpu=4 line should approach the
+// -cpu=1 line's per-op cost (on multi-core hardware) instead of convoying.
+func BenchmarkParallelSyscall(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		opts kernel.Options
+	}{
+		{"standard", kernel.Options{}},
+		{"bare", kernel.Options{NoInterposition: true, NoAuthorization: true}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			k := benchKernel(b, cfg.opts)
+			const nprocs = 16
+			procs := make([]*kernel.Process, nprocs)
+			for i := range procs {
+				p, err := k.CreateProcess(0, []byte(fmt.Sprintf("bench%d", i)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := p.Null(); err != nil { // warm the decision cache
+					b.Fatal(err)
+				}
+				procs[i] = p
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var next atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				p := procs[int(next.Add(1))%nprocs]
+				for pb.Next() {
+					if err := p.Null(); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkParallelIPC drives the same pipeline through Kernel.Call: many
+// client processes against one server port, decision cache warm, channel
+// enforcement on so the capability check is also on the measured path.
+func BenchmarkParallelIPC(b *testing.B) {
+	k := benchKernel(b, kernel.Options{})
+	k.EnforceChannels(true)
+	srv, err := k.CreateProcess(0, []byte("srv"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pt, err := k.CreatePort(srv, func(*kernel.Process, *kernel.Msg) ([]byte, error) {
+		return []byte("ok"), nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	const nprocs = 16
+	const objs = 64
+	procs := make([]*kernel.Process, nprocs)
+	for i := range procs {
+		p, err := k.CreateProcess(0, []byte(fmt.Sprintf("cli%d", i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := k.GrantChannel(p, pt.ID); err != nil {
+			b.Fatal(err)
+		}
+		procs[i] = p
+	}
+	msgs := make([]*kernel.Msg, objs)
+	for i := range msgs {
+		msgs[i] = &kernel.Msg{Op: "read", Obj: fmt.Sprintf("obj%d", i)}
+	}
+	for _, p := range procs { // warm every (subject, op, obj) decision
+		for _, m := range msgs {
+			if _, err := k.Call(p, pt.ID, m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var next atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		id := int(next.Add(1))
+		p := procs[id%nprocs]
+		i := id * 17
+		for pb.Next() {
+			if _, err := k.Call(p, pt.ID, msgs[i%objs]); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}
+
 // BenchmarkParallelDCache measures raw decision-cache throughput: a warm
 // cache probed from GOMAXPROCS goroutines with an occasional insert, the
 // kernel's per-syscall fast path.

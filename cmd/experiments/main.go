@@ -6,14 +6,17 @@
 //
 // Usage:
 //
-//	experiments -exp table1|table2|fig4|fig5|fig6|fig7|fig8|all [-quick]
+//	experiments -exp table1|table2|fig4|fig5|fig6|fig7|fig8|scale|all [-quick]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/disk"
@@ -32,7 +35,7 @@ import (
 var quick = flag.Bool("quick", false, "fewer iterations for a fast pass")
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1, table2, fig4, fig5, fig6, fig7, fig8, all)")
+	exp := flag.String("exp", "all", "experiment to run (table1, table2, fig4, fig5, fig6, fig7, fig8, scale, all)")
 	flag.Parse()
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
@@ -52,6 +55,7 @@ func main() {
 	run("fig6", fig6)
 	run("fig7", fig7)
 	run("fig8", fig8)
+	run("scale", scale)
 }
 
 // iters scales iteration counts.
@@ -534,6 +538,75 @@ func fig8Point(cfg fauxbook.StackConfig, size, n int) (float64, error) {
 		}
 	})
 	return 1e9 / lat, nil
+}
+
+// -------------------------------------------------------------- Scaling
+
+// scale is the lock-decomposition experiment: end-to-end dispatch
+// throughput (warm decision cache, authorization and interpositioning on)
+// as client concurrency grows. With the kernel decomposed into concurrent
+// registries, ops/sec should track the available cores; under a
+// kernel-global lock it stays flat however many workers are added.
+func scale() error {
+	total := iters(400000)
+	fmt.Printf("GOMAXPROCS=%d (speedup is bounded by available cores)\n\n", runtime.GOMAXPROCS(0))
+	fmt.Printf("%-8s %16s %16s\n", "workers", "syscall (ops/s)", "IPC (ops/s)")
+	for _, workers := range []int{1, 2, 4, 8} {
+		k := mustKernel(kernel.Options{})
+		srv, _ := k.CreateProcess(0, []byte("srv"))
+		pt, err := k.CreatePort(srv, func(*kernel.Process, *kernel.Msg) ([]byte, error) {
+			return []byte("ok"), nil
+		})
+		if err != nil {
+			return err
+		}
+		procs := make([]*kernel.Process, workers)
+		for i := range procs {
+			p, err := k.CreateProcess(0, []byte(fmt.Sprintf("w%d", i)))
+			if err != nil {
+				return err
+			}
+			// Warm the (subject, op, obj) decisions off the measured path.
+			if err := p.Null(); err != nil {
+				return err
+			}
+			if _, err := k.Call(p, pt.ID, &kernel.Msg{Op: "read", Obj: "obj"}); err != nil {
+				return err
+			}
+			procs[i] = p
+		}
+
+		var failures atomic.Int64
+		parallel := func(op func(p *kernel.Process) error) float64 {
+			per := total / workers
+			var wg sync.WaitGroup
+			start := time.Now()
+			for _, p := range procs {
+				wg.Add(1)
+				go func(p *kernel.Process) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						if err := op(p); err != nil {
+							failures.Add(1)
+						}
+					}
+				}(p)
+			}
+			wg.Wait()
+			return float64(per*workers) / time.Since(start).Seconds()
+		}
+
+		sys := parallel(func(p *kernel.Process) error { return p.Null() })
+		ipc := parallel(func(p *kernel.Process) error {
+			_, err := k.Call(p, pt.ID, &kernel.Msg{Op: "read", Obj: "obj"})
+			return err
+		})
+		if n := failures.Load(); n > 0 {
+			return fmt.Errorf("scale: %d operations failed; throughput numbers are invalid", n)
+		}
+		fmt.Printf("%-8d %16.0f %16.0f\n", workers, sys, ipc)
+	}
+	return nil
 }
 
 func sizeName(n int) string {

@@ -53,12 +53,37 @@ func (k *Kernel) RegisterAuthority(owner *Process, answer func(f nal.Formula) bo
 	k.authMu.Lock()
 	k.auth[a.Channel()] = a
 	k.authMu.Unlock()
+	if owner.exited.Load() {
+		// The owner raced Exit past the registration: retract the entry so
+		// no authority outlives its process (Exit's own retraction may have
+		// run before the insert landed).
+		k.dropAuthorities([]int{pt.ID})
+		k.ports.remove(pt.ID)
+		return nil, ErrNoSuchProcess
+	}
 	return a, nil
 }
 
+// dropAuthorities retracts the authorities bound to the given (dead) port
+// ids; Exit calls it with the ports it just closed.
+func (k *Kernel) dropAuthorities(portIDs []int) {
+	if len(portIDs) == 0 {
+		return
+	}
+	k.authMu.Lock()
+	for _, id := range portIDs {
+		delete(k.auth, channelName(id))
+	}
+	k.authMu.Unlock()
+}
+
+// channelName is the canonical authority-channel name for a port; the
+// registration key and exit-time retraction both derive from it.
+func channelName(portID int) string { return fmt.Sprintf("ipc:%d", portID) }
+
 // Channel returns the authority's channel name, used in proofs'
 // RuleAuthority steps.
-func (a *Authority) Channel() string { return fmt.Sprintf("ipc:%d", a.Port.ID) }
+func (a *Authority) Channel() string { return channelName(a.Port.ID) }
 
 // Prin returns the principal to which the authority's answers are
 // attributed.
@@ -70,9 +95,9 @@ func (a *Authority) Prin() nal.Principal { return a.prin }
 // substantially more expensive than embedded ones — Figure 4's rightmost
 // bars.
 func (k *Kernel) QueryAuthority(channel string, f nal.Formula) (bool, error) {
-	k.authMu.Lock()
+	k.authMu.RLock()
 	a, ok := k.auth[channel]
-	k.authMu.Unlock()
+	k.authMu.RUnlock()
 	if !ok {
 		return false, ErrNoSuchAuthority
 	}
@@ -89,8 +114,8 @@ func (k *Kernel) QueryAuthority(channel string, f nal.Formula) (bool, error) {
 
 // Authorities lists registered channels.
 func (k *Kernel) Authorities() []string {
-	k.authMu.Lock()
-	defer k.authMu.Unlock()
+	k.authMu.RLock()
+	defer k.authMu.RUnlock()
 	out := make([]string, 0, len(k.auth))
 	for ch := range k.auth {
 		out = append(out, ch)

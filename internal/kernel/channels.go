@@ -1,5 +1,7 @@
 package kernel
 
+import "sync"
+
 // Channel capabilities. The Nexus is a capability system (§1): a process
 // interacts with its environment only through the IPC channels it holds.
 // The kernel's channel table is the ground truth that the IPC connectivity
@@ -7,67 +9,184 @@ package kernel
 // or network drivers provably cannot leak data to them.
 //
 // Enforcement is optional so microbenchmarks can run with an open topology;
-// applications that rely on ¬hasPath labels enable it.
+// applications that rely on ¬hasPath labels enable it. The enforcement bit
+// lives in the kernel's atomic flag word, so a Call with enforcement off
+// never touches the table at all.
+
+// chanTable is the channel-capability registry: grants lock-striped by
+// holder pid, plus a reverse index (port → holder pids) so a dying port's
+// grants are revoked without scanning every process's grant set.
+//
+// Invariant: shards[pid][port] exists iff byPort[port][pid] exists. Both
+// sides are updated under revMu; the shard locks additionally protect the
+// forward maps so the warm-path holds() takes only one shard read-lock.
+//
+// Lock ordering: revMu → shard.mu.
+type chanTable struct {
+	shards [chanShards]chanShard
+
+	revMu  sync.Mutex
+	byPort map[int]map[int]bool // port id → pids granted
+}
+
+const chanShards = 16
+
+type chanShard struct {
+	mu sync.RWMutex
+	m  map[int]map[int]bool // pid → port id → true
+}
+
+func newChanTable() *chanTable {
+	t := &chanTable{byPort: map[int]map[int]bool{}}
+	for i := range t.shards {
+		t.shards[i].m = map[int]map[int]bool{}
+	}
+	return t
+}
+
+func (t *chanTable) shard(pid int) *chanShard {
+	return &t.shards[uint(pid)&(chanShards-1)]
+}
+
+func (t *chanTable) grant(pid, portID int) {
+	t.revMu.Lock()
+	if t.byPort[portID] == nil {
+		t.byPort[portID] = map[int]bool{}
+	}
+	t.byPort[portID][pid] = true
+	s := t.shard(pid)
+	s.mu.Lock()
+	if s.m[pid] == nil {
+		s.m[pid] = map[int]bool{}
+	}
+	s.m[pid][portID] = true
+	s.mu.Unlock()
+	t.revMu.Unlock()
+}
+
+func (t *chanTable) revoke(pid, portID int) {
+	t.revMu.Lock()
+	delete(t.byPort[portID], pid)
+	if len(t.byPort[portID]) == 0 {
+		delete(t.byPort, portID)
+	}
+	s := t.shard(pid)
+	s.mu.Lock()
+	delete(s.m[pid], portID)
+	if len(s.m[pid]) == 0 {
+		delete(s.m, pid)
+	}
+	s.mu.Unlock()
+	t.revMu.Unlock()
+}
+
+// holds is the warm-path membership probe: one shard read-lock.
+func (t *chanTable) holds(pid, portID int) bool {
+	s := t.shard(pid)
+	s.mu.RLock()
+	ok := s.m[pid][portID]
+	s.mu.RUnlock()
+	return ok
+}
+
+// dropPID removes every grant held by pid (process teardown).
+func (t *chanTable) dropPID(pid int) {
+	t.revMu.Lock()
+	s := t.shard(pid)
+	s.mu.Lock()
+	held := s.m[pid]
+	delete(s.m, pid)
+	s.mu.Unlock()
+	for portID := range held {
+		delete(t.byPort[portID], pid)
+		if len(t.byPort[portID]) == 0 {
+			delete(t.byPort, portID)
+		}
+	}
+	t.revMu.Unlock()
+}
+
+// dropPort revokes every grant to portID (port teardown), via the reverse
+// index rather than a scan.
+func (t *chanTable) dropPort(portID int) {
+	t.revMu.Lock()
+	holders := t.byPort[portID]
+	delete(t.byPort, portID)
+	for pid := range holders {
+		s := t.shard(pid)
+		s.mu.Lock()
+		delete(s.m[pid], portID)
+		if len(s.m[pid]) == 0 {
+			delete(s.m, pid)
+		}
+		s.mu.Unlock()
+	}
+	t.revMu.Unlock()
+}
+
+// snapshot returns pid → held port ids.
+func (t *chanTable) snapshot() map[int][]int {
+	out := map[int][]int{}
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		for pid, ports := range s.m {
+			for portID, ok := range ports {
+				if ok {
+					out[pid] = append(out[pid], portID)
+				}
+			}
+		}
+		s.mu.RUnlock()
+	}
+	return out
+}
 
 // GrantChannel gives a process the capability to call a port.
 func (k *Kernel) GrantChannel(p *Process, portID int) error {
-	if _, ok := k.FindPort(portID); !ok {
+	if _, ok := k.ports.find(portID); !ok {
 		return ErrNoSuchPort
 	}
-	k.chanMu.Lock()
-	defer k.chanMu.Unlock()
-	if k.chans[p.PID] == nil {
-		k.chans[p.PID] = map[int]bool{}
+	k.chans.grant(p.PID, portID)
+	// Unwind races with teardown: if the holder exited or the port died
+	// while the grant was landing, whichever cleanup the teardown missed is
+	// redone here (drops are idempotent), so no grant outlives its
+	// endpoints — and the caller learns the grant did not take effect.
+	if p.exited.Load() {
+		k.chans.dropPID(p.PID)
+		return ErrNoSuchProcess
 	}
-	k.chans[p.PID][portID] = true
+	if _, ok := k.ports.find(portID); !ok {
+		k.chans.dropPort(portID)
+		return ErrNoSuchPort
+	}
 	return nil
 }
 
 // RevokeChannel removes a capability.
 func (k *Kernel) RevokeChannel(p *Process, portID int) {
-	k.chanMu.Lock()
-	defer k.chanMu.Unlock()
-	delete(k.chans[p.PID], portID)
+	k.chans.revoke(p.PID, portID)
 }
 
 // EnforceChannels toggles capability enforcement on Call.
-func (k *Kernel) EnforceChannels(on bool) {
-	k.chanMu.Lock()
-	defer k.chanMu.Unlock()
-	k.enforceChans = on
-}
+func (k *Kernel) EnforceChannels(on bool) { k.setFlag(flagEnforceChans, on) }
 
 // holdsChannel reports whether p may call the port (owners always may).
-func (k *Kernel) holdsChannel(p *Process, pt *Port) bool {
-	if pt.Owner == p {
+// enforce is the flag bit the dispatch pipeline already loaded.
+func (k *Kernel) holdsChannel(p *Process, pt *Port, enforce bool) bool {
+	if pt.Owner == p || !enforce {
 		return true
 	}
-	k.chanMu.Lock()
-	defer k.chanMu.Unlock()
-	if !k.enforceChans {
-		return true
-	}
-	return k.chans[p.PID][pt.ID]
+	return k.chans.holds(p.PID, pt.ID)
 }
 
 // Channels returns a snapshot of the capability table: pid → owning pid of
 // each held port. The connectivity analyzer consumes this.
 func (k *Kernel) Channels() map[int][]int {
-	k.chanMu.Lock()
-	grants := make(map[int][]int, len(k.chans))
-	for pid, ports := range k.chans {
-		for portID, ok := range ports {
-			if ok {
-				grants[pid] = append(grants[pid], portID)
-			}
-		}
-	}
-	k.chanMu.Unlock()
-
 	out := map[int][]int{}
-	for pid, ports := range grants {
+	for pid, ports := range k.chans.snapshot() {
 		for _, portID := range ports {
-			if pt, ok := k.FindPort(portID); ok {
+			if pt, ok := k.ports.find(portID); ok {
 				out[pid] = append(out[pid], pt.Owner.PID)
 			}
 		}

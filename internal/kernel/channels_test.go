@@ -1,0 +1,115 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestExitCleansChannelState is the regression test for the channel-
+// capability leak: Exit must drop the dead process's own grants AND revoke
+// the grants other processes hold to the dead process's ports.
+func TestExitCleansChannelState(t *testing.T) {
+	k := bootKernel(t)
+	k.SetAuthorization(false)
+	k.EnforceChannels(true)
+
+	srv, _ := k.CreateProcess(0, []byte("srv"))
+	mid, _ := k.CreateProcess(0, []byte("mid"))
+	cli, _ := k.CreateProcess(0, []byte("cli"))
+
+	echo := func(_ *Process, m *Msg) ([]byte, error) { return []byte("ok"), nil }
+	srvPort, err := k.CreatePort(srv, echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	midPort, err := k.CreatePort(mid, echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// mid holds a channel to srv's port; cli holds a channel to mid's port.
+	if err := k.GrantChannel(mid, srvPort.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.GrantChannel(cli, midPort.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Call(cli, midPort.ID, &Msg{Op: "ping", Obj: "o"}); err != nil {
+		t.Fatalf("cli call to mid before exit: %v", err)
+	}
+
+	mid.Exit()
+
+	// Leak half 1: the dead process's own grants are gone.
+	if k.chans.holds(mid.PID, srvPort.ID) {
+		t.Error("exited process still holds a channel grant")
+	}
+	// Leak half 2: grants others held to the dead process's ports are gone.
+	if k.chans.holds(cli.PID, midPort.ID) {
+		t.Error("grant to a dead process's port left dangling")
+	}
+	if _, ok := k.FindPort(midPort.ID); ok {
+		t.Error("dead process's port still registered")
+	}
+	if _, err := k.Call(cli, midPort.ID, &Msg{Op: "ping", Obj: "o"}); !errors.Is(err, ErrNoSuchPort) {
+		t.Errorf("call to dead port: got %v, want ErrNoSuchPort", err)
+	}
+
+	// Unrelated state survives.
+	if _, ok := k.FindPort(srvPort.ID); !ok {
+		t.Error("unrelated port was dropped")
+	}
+	if _, err := k.Call(srv, srvPort.ID, &Msg{Op: "ping", Obj: "o"}); err != nil {
+		t.Errorf("owner call to its own port after unrelated exit: %v", err)
+	}
+
+	// The snapshot the connectivity analyzer reads agrees.
+	for pid, owners := range k.Channels() {
+		if pid == mid.PID {
+			t.Error("Channels() still lists the dead process as a holder")
+		}
+		for _, owner := range owners {
+			if owner == mid.PID {
+				t.Error("Channels() still lists an edge to the dead process")
+			}
+		}
+	}
+
+	// Exit is idempotent.
+	mid.Exit()
+}
+
+// TestRevokeChannel covers the non-exit revocation path against the sharded
+// table's forward/reverse indexes.
+func TestRevokeChannel(t *testing.T) {
+	k := bootKernel(t)
+	k.SetAuthorization(false)
+	k.EnforceChannels(true)
+
+	srv, _ := k.CreateProcess(0, []byte("srv"))
+	cli, _ := k.CreateProcess(0, []byte("cli"))
+	pt, _ := k.CreatePort(srv, func(*Process, *Msg) ([]byte, error) { return nil, nil })
+
+	if _, err := k.Call(cli, pt.ID, &Msg{Op: "ping", Obj: "o"}); !errors.Is(err, ErrDenied) {
+		t.Fatalf("ungranted call: got %v, want ErrDenied", err)
+	}
+	if err := k.GrantChannel(cli, pt.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Call(cli, pt.ID, &Msg{Op: "ping", Obj: "o"}); err != nil {
+		t.Fatalf("granted call: %v", err)
+	}
+	k.RevokeChannel(cli, pt.ID)
+	if _, err := k.Call(cli, pt.ID, &Msg{Op: "ping", Obj: "o"}); !errors.Is(err, ErrDenied) {
+		t.Fatalf("revoked call: got %v, want ErrDenied", err)
+	}
+	if k.chans.holds(cli.PID, pt.ID) {
+		t.Error("revoked grant still in forward index")
+	}
+	k.chans.revMu.Lock()
+	_, ok := k.chans.byPort[pt.ID]
+	k.chans.revMu.Unlock()
+	if ok {
+		t.Error("revoked grant still in reverse index")
+	}
+}

@@ -14,13 +14,13 @@ import (
 // PCR binding that protects NK makes this statement sound: only the genuine
 // kernel can unseal NK's private half (§2.4, §3.4).
 func (k *Kernel) nkEndorsement() (*cert.Certificate, error) {
-	k.mu.Lock()
+	k.nkMu.Lock()
 	if k.nkCert != nil {
 		c := k.nkCert
-		k.mu.Unlock()
+		k.nkMu.Unlock()
 		return c, nil
 	}
-	k.mu.Unlock()
+	k.nkMu.Unlock()
 
 	ekFP := k.TPM.EKFingerprint()
 	nkFP := tpm.Fingerprint(&k.NK.PublicKey)
@@ -37,9 +37,9 @@ func (k *Kernel) nkEndorsement() (*cert.Certificate, error) {
 	if err != nil {
 		return nil, err
 	}
-	k.mu.Lock()
+	k.nkMu.Lock()
 	k.nkCert = c
-	k.mu.Unlock()
+	k.nkMu.Unlock()
 	return c, nil
 }
 

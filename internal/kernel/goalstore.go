@@ -134,34 +134,25 @@ func (k *Kernel) Goal(op, obj string) (*GoalEntry, bool) {
 // invalidates only the caller's cached decision for that tuple.
 func (k *Kernel) SetProof(caller *Process, op, obj string, p *proof.Proof, creds []Credential) {
 	subj := caller.PrinString()
-	k.mu.Lock()
-	k.proofs[tupleKey{subj, op, obj}] = &RegisteredProof{Proof: p, Creds: creds}
-	k.mu.Unlock()
+	k.proofs.set(tupleKey{subj, op, obj}, &RegisteredProof{Proof: p, Creds: creds})
 	k.dcache.InvalidateEntry(subj, op, obj)
 }
 
 // ClearProof removes the caller's proof for the tuple.
 func (k *Kernel) ClearProof(caller *Process, op, obj string) {
 	subj := caller.PrinString()
-	k.mu.Lock()
-	delete(k.proofs, tupleKey{subj, op, obj})
-	k.mu.Unlock()
+	k.proofs.delete(tupleKey{subj, op, obj})
 	k.dcache.InvalidateEntry(subj, op, obj)
 }
 
 // registeredProof fetches the subject's proof for a tuple.
 func (k *Kernel) registeredProof(subj, op, obj string) *RegisteredProof {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	return k.proofs[tupleKey{subj, op, obj}]
+	return k.proofs.get(tupleKey{subj, op, obj})
 }
 
-// GuardUpcalls reports how many times the kernel crossed into a guard.
-func (k *Kernel) GuardUpcalls() uint64 {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	return k.guardUpcalls
-}
+// GuardUpcalls reports how many times the kernel crossed into a guard; the
+// counter is lock-free and also published at /proc/kernel/guard_upcalls.
+func (k *Kernel) GuardUpcalls() uint64 { return k.guardUpcalls.Load() }
 
 // authorize enforces the goal (if any) on (subject, op, obj): decision
 // cache first, guard upcall on miss (§2.8, Figure 1).
@@ -207,9 +198,7 @@ func (k *Kernel) authorize(from *Process, op, obj string) error {
 
 	g := entry.Guard
 	if g == nil {
-		k.mu.Lock()
-		g = k.guard
-		k.mu.Unlock()
+		g = k.defaultGuard()
 	}
 	if g == nil {
 		return ErrNoGuard
@@ -226,9 +215,7 @@ func (k *Kernel) authorize(from *Process, op, obj string) error {
 		req.Proof = rp.Proof
 		req.Creds = rp.Creds
 	}
-	k.mu.Lock()
-	k.guardUpcalls++
-	k.mu.Unlock()
+	k.guardUpcalls.Add(1)
 	dec := g.Check(req)
 	if dec.Cacheable {
 		k.dcache.InsertIf(subj, op, obj, dec.Allow, epoch)

@@ -30,12 +30,16 @@ type Interposer interface {
 // authorized: the monitor process must discharge the "interpose" goal on the
 // channel — typically by presenting a consent credential from the monitored
 // process (§3.2). Port 0 denotes the kernel system-call channel.
+//
+// The chain is copy-on-write: binding clones and republishes it, so calls
+// already in flight finish against the snapshot they loaded and never see a
+// half-installed monitor.
 func (k *Kernel) Interpose(caller *Process, portID int, mon Interposer) (int, error) {
 	if mon == nil {
 		return 0, ErrBadArgument
 	}
 	if portID != 0 {
-		if _, ok := k.FindPort(portID); !ok {
+		if _, ok := k.ports.find(portID); !ok {
 			return 0, ErrNoSuchPort
 		}
 	}
@@ -43,30 +47,50 @@ func (k *Kernel) Interpose(caller *Process, portID int, mon Interposer) (int, er
 	if err := k.authorize(caller, "interpose", obj); err != nil {
 		return 0, err
 	}
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	k.nextMon++
-	id := k.nextMon
-	k.redir[portID] = append(k.redir[portID], monEntry{id: id, Interposer: mon})
+	id := int(k.ports.nextMon.Add(1))
+	entry := monEntry{id: id, Interposer: mon}
+	if portID == 0 {
+		k.ports.sysChain.add(entry) // the syscall channel is never removed
+		return id, nil
+	}
+	// The membership check and chain publish are atomic with respect to
+	// port removal (both run under the registry's owner lock), so a
+	// monitor either lands on a live port — success, even if the port dies
+	// immediately after — or the bind fails; a dead port's chain is never
+	// mutated and a monitor never observes a call after a failed bind.
+	if !k.ports.interpose(portID, entry) {
+		return 0, ErrNoSuchPort
+	}
 	return id, nil
 }
 
 // Deinterpose removes a previously bound monitor by handle.
 func (k *Kernel) Deinterpose(caller *Process, portID int, handle int) error {
+	target, err := k.chainAt(portID)
+	if err != nil {
+		return err
+	}
 	obj := fmt.Sprintf("port:%d", portID)
 	if err := k.authorize(caller, "interpose", obj); err != nil {
 		return err
 	}
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	chain := k.redir[portID]
-	for i, m := range chain {
-		if m.id == handle {
-			k.redir[portID] = append(chain[:i:i], chain[i+1:]...)
-			return nil
-		}
+	if !target.removeByHandle(handle) {
+		return ErrBadArgument
 	}
-	return ErrBadArgument
+	return nil
+}
+
+// chainAt resolves the mutable interposition chain of a port (0 = the
+// kernel system-call channel).
+func (k *Kernel) chainAt(portID int) (*monChain, error) {
+	if portID == 0 {
+		return &k.ports.sysChain, nil
+	}
+	pt, ok := k.ports.find(portID)
+	if !ok {
+		return nil, ErrNoSuchPort
+	}
+	return &pt.chain, nil
 }
 
 // monEntry pairs a monitor with its registration handle.
@@ -77,9 +101,11 @@ type monEntry struct {
 
 // Monitors reports the number of monitors on a port.
 func (k *Kernel) Monitors(portID int) int {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	return len(k.redir[portID])
+	mc, err := k.chainAt(portID)
+	if err != nil {
+		return 0
+	}
+	return mc.len()
 }
 
 // FuncMonitor adapts plain functions to the Interposer interface.

@@ -1,0 +1,67 @@
+package kernel
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/nal"
+)
+
+// TestProcGuardUpcallsAndCacheStats verifies the lock-free guard-upcall
+// counter and the decision-cache statistics are live under /proc alongside
+// the registry gauges.
+func TestProcGuardUpcallsAndCacheStats(t *testing.T) {
+	k := bootKernel(t)
+	k.SetGuard(allowAllGuard{})
+	srv, _ := k.CreateProcess(0, []byte("srv"))
+	cli, _ := k.CreateProcess(0, []byte("cli"))
+	pt, _ := k.CreatePort(srv, func(*Process, *Msg) ([]byte, error) { return nil, nil })
+
+	read := func(path string) string {
+		t.Helper()
+		v, _, ok := k.Introsp.Read(path)
+		if !ok {
+			t.Fatalf("%s not published", path)
+		}
+		return v
+	}
+
+	if got := read("/proc/kernel/guard_upcalls"); got != "0" {
+		t.Fatalf("fresh guard_upcalls = %q, want 0", got)
+	}
+
+	k.SetGoal(srv, "read", "obj", nal.MustParse("?S says wantsAccess"), nil)
+	if _, err := k.Call(cli, pt.ID, &Msg{Op: "read", Obj: "obj"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := read("/proc/kernel/guard_upcalls"); got != fmt.Sprint(k.GuardUpcalls()) || got == "0" {
+		t.Fatalf("guard_upcalls = %q, counter = %d", got, k.GuardUpcalls())
+	}
+
+	// A second identical call is a decision-cache hit: no new upcall, and
+	// the published cache stats move.
+	before := k.GuardUpcalls()
+	if _, err := k.Call(cli, pt.ID, &Msg{Op: "read", Obj: "obj"}); err != nil {
+		t.Fatal(err)
+	}
+	if k.GuardUpcalls() != before {
+		t.Fatalf("cache hit still crossed into the guard")
+	}
+	stats := read("/proc/kernel/dcache")
+	for _, field := range []string{"lookups=", "hits=", "misses=", "evictions="} {
+		if !strings.Contains(stats, field) {
+			t.Errorf("dcache stats %q missing %s", stats, field)
+		}
+	}
+	if strings.Contains(stats, "hits=0 ") {
+		t.Errorf("dcache stats %q records no hit after a warm call", stats)
+	}
+
+	if got := read("/proc/kernel/nprocs"); got != "2" {
+		t.Errorf("nprocs = %q, want 2", got)
+	}
+	if got := read("/proc/kernel/nports"); got != "1" {
+		t.Errorf("nports = %q, want 1", got)
+	}
+}

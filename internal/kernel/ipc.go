@@ -24,6 +24,9 @@ type Port struct {
 	ID    int
 	Owner *Process
 	h     Handler
+	// chain is the port's interposition chain, copy-on-write so the
+	// dispatch pipeline reads it with one atomic load.
+	chain monChain
 }
 
 // Prin returns the port's principal IPC.<id> as a subprincipal of the
@@ -38,12 +41,15 @@ func (k *Kernel) CreatePort(owner *Process, h Handler) (*Port, error) {
 	if owner == nil || h == nil {
 		return nil, ErrBadArgument
 	}
-	k.mu.Lock()
-	id := k.nextPort
-	k.nextPort++
-	pt := &Port{ID: id, Owner: owner, h: h}
-	k.ports[id] = pt
-	k.mu.Unlock()
+	pt := k.ports.create(owner, h)
+	if owner.exited.Load() {
+		// The owner raced Exit past the registration: whichever teardown
+		// Exit's index walk missed is unwound here so no port outlives its
+		// owner.
+		k.ports.remove(pt.ID)
+		k.chans.dropPort(pt.ID)
+		return nil, ErrNoSuchProcess
+	}
 
 	// kernel says IPC.id speaksfor /proc/ipd/pid
 	binding := nal.Says{P: k.Prin, F: nal.SpeaksFor{A: pt.Prin(k), B: owner.Prin}}
@@ -53,93 +59,43 @@ func (k *Kernel) CreatePort(owner *Process, h Handler) (*Port, error) {
 
 // FindPort resolves a port id.
 func (k *Kernel) FindPort(id int) (*Port, bool) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	pt, ok := k.ports[id]
-	return pt, ok
+	return k.ports.find(id)
 }
 
-// Call performs a synchronous IPC from a process to a port: authorization
-// (decision cache, then guard upcall), the interposition chain, parameter
-// marshaling when interpositioning is enabled, and finally the handler.
+// Call performs a synchronous IPC from a process to a port through the
+// unified dispatch pipeline: channel check, authorization (decision cache,
+// then guard upcall), the interposition chain with parameter marshaling, and
+// finally the handler.
 func (k *Kernel) Call(from *Process, portID int, m *Msg) ([]byte, error) {
-	k.mu.Lock()
-	pt, ok := k.ports[portID]
-	authz := k.authz
-	interp := k.interp
-	var chain []monEntry
-	if interp {
-		chain = k.redir[portID]
-	}
-	k.mu.Unlock()
+	pt, ok := k.ports.find(portID)
 	if !ok {
 		return nil, ErrNoSuchPort
 	}
-	if !k.holdsChannel(from, pt) {
-		return nil, fmt.Errorf("%w: no channel to port %d", ErrDenied, portID)
-	}
-
-	if authz {
-		if err := k.authorize(from, m.Op, m.Obj); err != nil {
-			return nil, err
-		}
-	}
-
-	if interp {
-		// Parameter marshaling: interposition requires the kernel to
-		// materialize the argument buffer at the protection boundary so
-		// monitors can inspect and rewrite it (§5.1 measures this cost).
-		wire := marshalMsg(m)
-		for _, mon := range chain {
-			verdict := mon.OnCall(from, pt, m, wire)
-			switch verdict {
-			case VerdictBlock:
-				return nil, fmt.Errorf("%w: blocked by reference monitor", ErrDenied)
-			case VerdictAllow:
-			}
-		}
-		out, err := pt.h(from, m)
-		for i := len(chain) - 1; i >= 0; i-- {
-			out = chain[i].OnReturn(from, pt, m, out)
-		}
-		return out, err
-	}
-	return pt.h(from, m)
+	return k.dispatch(from, pt, m, pt.h)
 }
 
-// syscall routes a kernel-implemented system call through the same
-// authorization and interposition machinery as user IPC. Kernel services
-// listen conceptually on port 0.
+// syscall routes a kernel-implemented system call through the same dispatch
+// pipeline as user IPC. Kernel services listen conceptually on port 0, the
+// nil-port target of dispatch.
 func (k *Kernel) syscall(from *Process, op, obj string, args [][]byte, fn func() error) error {
-	k.mu.Lock()
-	authz := k.authz
-	interp := k.interp
-	var chain []monEntry
-	if interp {
-		chain = k.redir[0]
-	}
-	k.mu.Unlock()
-
-	if authz {
-		if err := k.authorize(from, op, obj); err != nil {
-			return err
-		}
-	}
-	if interp {
-		m := &Msg{Op: op, Obj: obj, Args: args}
-		wire := marshalMsg(m)
-		for _, mon := range chain {
-			if mon.OnCall(from, nil, m, wire) == VerdictBlock {
-				return fmt.Errorf("%w: blocked by reference monitor", ErrDenied)
+	// Degenerate-pipeline fast path: with interposition off there is no
+	// protection-boundary copy to materialize, so run the only remaining
+	// stage (authorization) directly and keep the Table 1 "bare" and
+	// Figure 4 "system call" baselines allocation-free. The moment any
+	// boundary machinery is on, the shared dispatch pipeline below runs.
+	if flags := k.flags.Load(); flags&flagInterp == 0 {
+		if flags&flagAuthz != 0 {
+			if err := k.authorize(from, op, obj); err != nil {
+				return err
 			}
 		}
-		err := fn()
-		for i := len(chain) - 1; i >= 0; i-- {
-			chain[i].OnReturn(from, nil, m, nil)
-		}
-		return err
+		return fn()
 	}
-	return fn()
+	m := &Msg{Op: op, Obj: obj, Args: args}
+	_, err := k.dispatch(from, nil, m, func(*Process, *Msg) ([]byte, error) {
+		return nil, fn()
+	})
+	return err
 }
 
 // marshalMsg serializes a message the way a kernel-mode switch with

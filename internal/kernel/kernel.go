@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cert"
@@ -43,9 +44,13 @@ var (
 const sealedNKFile = "/nexus/nk.sealed"
 
 // Kernel is a running Nexus instance.
+//
+// There is deliberately no kernel-wide mutex: each piece of kernel state is
+// its own independently synchronized registry with an explicit invariant
+// (see DESIGN.md "Kernel dispatch"), so the warm Call/syscall path crosses
+// the kernel boundary without serializing against unrelated control-plane
+// work.
 type Kernel struct {
-	mu sync.Mutex
-
 	TPM  *tpm.TPM
 	Disk *disk.Disk
 
@@ -61,32 +66,29 @@ type Kernel struct {
 	// Every process principal is a subprincipal of it (§2.4).
 	Prin nal.Principal
 
-	procs    map[int]*Process
-	nextPID  int
-	ports    map[int]*Port
-	nextPort int
-	nextMon  int
+	procs  *procTable    // pid → process
+	ports  *portRegistry // port id → port, interposition chains, owner index
+	goals  *goalStore    // (op, obj) → goal entry, object owners
+	dcache *DecisionCache
+	proofs *proofStore // (subj, op, obj) → registered proof
+	chans  *chanTable  // channel-capability grants
 
-	goals   *goalStore
-	dcache  *DecisionCache
-	proofs  map[tupleKey]*RegisteredProof
-	authz   bool
-	redir   map[int][]monEntry
-	interp  bool
-	authMu  sync.Mutex
+	// flags packs the global toggles (authorization, interposition, channel
+	// enforcement) into one word the dispatch pipeline loads atomically.
+	flags atomic.Uint32
+	// defGuard is the default guard consulted on decision-cache misses when
+	// the goal names none; swapped wholesale with an atomic pointer.
+	defGuard atomic.Pointer[Guard]
+	// guardUpcalls counts kernel → guard boundary crossings, lock-free.
+	guardUpcalls atomic.Uint64
+
+	authMu  sync.RWMutex
 	auth    map[string]*Authority
 	Introsp *introspect.Registry
 
-	startTime    time.Time
-	guard        Guard
-	guardUpcalls uint64
-	nkCert       *cert.Certificate
-
-	// Channel capability table: pid → port IDs the process may call when
-	// enforcement is on. Port owners implicitly hold their own ports.
-	chanMu       sync.Mutex
-	chans        map[int]map[int]bool
-	enforceChans bool
+	startTime time.Time
+	nkMu      sync.Mutex // guards nkCert memoization only
+	nkCert    *cert.Certificate
 }
 
 // Options configures Boot.
@@ -130,19 +132,16 @@ func Boot(t *tpm.TPM, d *disk.Disk, opts Options) (*Kernel, error) {
 	k := &Kernel{
 		TPM:       t,
 		Disk:      d,
-		procs:     map[int]*Process{},
-		ports:     map[int]*Port{},
-		proofs:    map[tupleKey]*RegisteredProof{},
-		redir:     map[int][]monEntry{},
+		procs:     newProcTable(),
+		ports:     newPortRegistry(),
+		proofs:    newProofStore(),
+		chans:     newChanTable(),
 		auth:      map[string]*Authority{},
-		authz:     !opts.NoAuthorization,
-		interp:    !opts.NoInterposition,
 		Introsp:   introspect.NewRegistry(),
 		startTime: time.Now(),
-		nextPID:   1,
-		nextPort:  1,
-		chans:     map[int]map[int]bool{},
 	}
+	k.setFlag(flagAuthz, !opts.NoAuthorization)
+	k.setFlag(flagInterp, !opts.NoInterposition)
 	regions := opts.DecisionCacheRegions
 	if regions == 0 {
 		regions = 64
@@ -212,24 +211,26 @@ func Boot(t *tpm.TPM, d *disk.Disk, opts Options) (*Kernel, error) {
 
 // SetGuard installs the system guard consulted on decision-cache misses.
 func (k *Kernel) SetGuard(g Guard) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	k.guard = g
+	if g == nil {
+		k.defGuard.Store(nil)
+		return
+	}
+	k.defGuard.Store(&g)
+}
+
+// defaultGuard returns the installed system guard, or nil.
+func (k *Kernel) defaultGuard() Guard {
+	if p := k.defGuard.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // SetAuthorization toggles goal checking (Figure 4 case "system call").
-func (k *Kernel) SetAuthorization(on bool) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	k.authz = on
-}
+func (k *Kernel) SetAuthorization(on bool) { k.setFlag(flagAuthz, on) }
 
 // SetInterposition toggles the redirector and marshaling (Table 1 bare).
-func (k *Kernel) SetInterposition(on bool) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	k.interp = on
-}
+func (k *Kernel) SetInterposition(on bool) { k.setFlag(flagInterp, on) }
 
 // Process is an isolated protection domain (IPD).
 type Process struct {
@@ -244,7 +245,7 @@ type Process struct {
 
 	kernel  *Kernel
 	prinStr string // canonical form of Prin, precomputed off the hot path
-	exited  bool
+	exited  atomic.Bool
 }
 
 // PrinString returns the canonical form of the process principal, computed
@@ -254,15 +255,12 @@ func (p *Process) PrinString() string { return p.prinStr }
 // CreateProcess launches a new IPD from the given program image. parent is 0
 // for root processes.
 func (k *Kernel) CreateProcess(parent int, image []byte) (*Process, error) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
 	if parent != 0 {
-		if _, ok := k.procs[parent]; !ok {
+		if _, ok := k.procs.get(parent); !ok {
 			return nil, ErrNoSuchProcess
 		}
 	}
-	pid := k.nextPID
-	k.nextPID++
+	pid := k.procs.alloc()
 	sum := sha1.Sum(image)
 	prin := nal.SubChain(k.Prin, "ipd", fmt.Sprint(pid))
 	p := &Process{
@@ -277,46 +275,38 @@ func (k *Kernel) CreateProcess(parent int, image []byte) (*Process, error) {
 		prinStr: prin.String(),
 	}
 	p.Labels = newLabelstore(p)
-	k.procs[pid] = p
+	k.procs.insert(p)
 	return p, nil
 }
 
-// Exit terminates the process, closing its ports and labelstore.
+// Exit terminates the process: it leaves the process table, its ports are
+// closed (via the per-owner index, not a registry scan), grants other
+// processes held to those ports are revoked, its own channel capabilities
+// are dropped, and authorities bound to its ports are retracted.
 func (p *Process) Exit() {
-	k := p.kernel
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	if p.exited {
+	if !p.exited.CompareAndSwap(false, true) {
 		return
 	}
-	p.exited = true
-	delete(k.procs, p.PID)
-	for id, port := range k.ports {
-		if port.Owner == p {
-			delete(k.ports, id)
-			delete(k.redir, id)
-		}
+	k := p.kernel
+	k.procs.remove(p.PID)
+	dead := k.ports.dropOwner(p.PID)
+	for _, id := range dead {
+		k.chans.dropPort(id)
 	}
+	k.dropAuthorities(dead)
+	k.chans.dropPID(p.PID)
 }
+
+// Exited reports whether the process has terminated.
+func (p *Process) Exited() bool { return p.exited.Load() }
 
 // Lookup returns a live process by pid.
 func (k *Kernel) Lookup(pid int) (*Process, bool) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	p, ok := k.procs[pid]
-	return p, ok
+	return k.procs.get(pid)
 }
 
 // Processes returns the live PIDs in unspecified order.
-func (k *Kernel) Processes() []int {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	out := make([]int, 0, len(k.procs))
-	for pid := range k.procs {
-		out = append(out, pid)
-	}
-	return out
-}
+func (k *Kernel) Processes() []int { return k.procs.pids() }
 
 // GetPPID is the getppid system call.
 func (p *Process) GetPPID() (int, error) {
@@ -349,19 +339,25 @@ func (p *Process) Null() error {
 }
 
 // publishIntrospection mounts the kernel's live state under /proc (§3.1).
+// Every value reads the owning registry directly — none takes a kernel-wide
+// lock, so introspection cannot stall the dispatch pipeline.
 func (k *Kernel) publishIntrospection() {
 	k.Introsp.Publish("/proc/kernel/bootid", k.Prin, func() string { return k.BootID })
 	k.Introsp.Publish("/proc/kernel/uptime", k.Prin, func() string {
 		return time.Since(k.startTime).String()
 	})
 	k.Introsp.Publish("/proc/kernel/nprocs", k.Prin, func() string {
-		k.mu.Lock()
-		defer k.mu.Unlock()
-		return fmt.Sprint(len(k.procs))
+		return fmt.Sprint(k.procs.len())
 	})
 	k.Introsp.Publish("/proc/kernel/nports", k.Prin, func() string {
-		k.mu.Lock()
-		defer k.mu.Unlock()
-		return fmt.Sprint(len(k.ports))
+		return fmt.Sprint(k.ports.len())
+	})
+	k.Introsp.Publish("/proc/kernel/guard_upcalls", k.Prin, func() string {
+		return fmt.Sprint(k.guardUpcalls.Load())
+	})
+	k.Introsp.Publish("/proc/kernel/dcache", k.Prin, func() string {
+		s := k.dcache.StatsSnapshot()
+		return fmt.Sprintf("lookups=%d hits=%d misses=%d evictions=%d",
+			s.Lookups, s.Hits, s.Misses, s.Evictions)
 	})
 }

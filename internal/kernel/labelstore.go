@@ -25,7 +25,7 @@ type Label struct {
 
 // Labelstore holds the labels issued by (or transferred to) one process.
 type Labelstore struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	owner  *Process
 	next   int
 	labels map[int]*Label
@@ -77,8 +77,8 @@ func (ls *Labelstore) insertSystem(f nal.Formula) *Label {
 
 // Get returns a label by handle.
 func (ls *Labelstore) Get(handle int) (*Label, error) {
-	ls.mu.Lock()
-	defer ls.mu.Unlock()
+	ls.mu.RLock()
+	defer ls.mu.RUnlock()
 	l, ok := ls.labels[handle]
 	if !ok {
 		return nil, ErrNoSuchLabel
@@ -121,8 +121,8 @@ func (ls *Labelstore) Transfer(handle int, to *Process) (*Label, error) {
 // All returns the formulas of every label in the store; guards treat these
 // as the credential set reachable from the subject.
 func (ls *Labelstore) All() []nal.Formula {
-	ls.mu.Lock()
-	defer ls.mu.Unlock()
+	ls.mu.RLock()
+	defer ls.mu.RUnlock()
 	out := make([]nal.Formula, 0, len(ls.labels))
 	for _, l := range ls.labels {
 		out = append(out, l.Formula)
@@ -132,8 +132,8 @@ func (ls *Labelstore) All() []nal.Formula {
 
 // Len reports the number of labels held.
 func (ls *Labelstore) Len() int {
-	ls.mu.Lock()
-	defer ls.mu.Unlock()
+	ls.mu.RLock()
+	defer ls.mu.RUnlock()
 	return len(ls.labels)
 }
 
@@ -151,9 +151,9 @@ type ExternalLabel struct {
 
 // Externalize converts a label into transferable certificate form.
 func (ls *Labelstore) Externalize(handle int) (*ExternalLabel, error) {
-	ls.mu.Lock()
+	ls.mu.RLock()
 	l, ok := ls.labels[handle]
-	ls.mu.Unlock()
+	ls.mu.RUnlock()
 	if !ok {
 		return nil, ErrNoSuchLabel
 	}

@@ -1,0 +1,185 @@
+package kernel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// portRegistry is the kernel's IPC-port registry: a lock-striped id → *Port
+// map, an atomic id allocator, the per-port interposition chains (owned here
+// as copy-on-write slices so the dispatch pipeline reads a chain with one
+// atomic load), and a per-owner index so process teardown drops a process's
+// ports without scanning the whole registry.
+//
+// Invariants:
+//   - a port id is present in a shard iff it is present in byOwner under its
+//     owner's pid (both updates happen under ownMu, which is the authority
+//     for membership);
+//   - the chain of a removed port is never mutated again (interpose binds
+//     under ownMu, the same lock removal holds, and removal is permanent);
+//   - chain mutation serializes on the chain's own mutex; readers never
+//     block.
+//
+// Lock ordering: ownMu → shard.mu. Chain mutexes are leaves.
+type portRegistry struct {
+	shards  [portShards]portShard
+	nextID  atomic.Int64
+	nextMon atomic.Int64
+
+	// sysChain is the interposition chain of the kernel system-call
+	// channel, conventionally port 0 — it has no Port object.
+	sysChain monChain
+
+	ownMu   sync.Mutex
+	byOwner map[int]map[int]bool // pid → owned port ids
+}
+
+const portShards = 16
+
+type portShard struct {
+	mu sync.RWMutex
+	m  map[int]*Port
+}
+
+func newPortRegistry() *portRegistry {
+	r := &portRegistry{byOwner: map[int]map[int]bool{}}
+	for i := range r.shards {
+		r.shards[i].m = map[int]*Port{}
+	}
+	return r
+}
+
+func (r *portRegistry) shard(id int) *portShard {
+	return &r.shards[uint(id)&(portShards-1)]
+}
+
+// create allocates an id, registers the port, and indexes it by owner.
+func (r *portRegistry) create(owner *Process, h Handler) *Port {
+	id := int(r.nextID.Add(1))
+	pt := &Port{ID: id, Owner: owner, h: h}
+	r.ownMu.Lock()
+	if r.byOwner[owner.PID] == nil {
+		r.byOwner[owner.PID] = map[int]bool{}
+	}
+	r.byOwner[owner.PID][id] = true
+	s := r.shard(id)
+	s.mu.Lock()
+	s.m[id] = pt
+	s.mu.Unlock()
+	r.ownMu.Unlock()
+	return pt
+}
+
+func (r *portRegistry) find(id int) (*Port, bool) {
+	s := r.shard(id)
+	s.mu.RLock()
+	pt, ok := s.m[id]
+	s.mu.RUnlock()
+	return pt, ok
+}
+
+// remove unregisters one port, returning whether it was present.
+func (r *portRegistry) remove(id int) bool {
+	r.ownMu.Lock()
+	defer r.ownMu.Unlock()
+	s := r.shard(id)
+	s.mu.Lock()
+	pt, ok := s.m[id]
+	delete(s.m, id)
+	s.mu.Unlock()
+	if ok {
+		delete(r.byOwner[pt.Owner.PID], id)
+		if len(r.byOwner[pt.Owner.PID]) == 0 {
+			delete(r.byOwner, pt.Owner.PID)
+		}
+	}
+	return ok
+}
+
+// dropOwner removes every port owned by pid via the per-owner index and
+// returns their ids; Exit uses it instead of scanning all ports.
+func (r *portRegistry) dropOwner(pid int) []int {
+	r.ownMu.Lock()
+	owned := r.byOwner[pid]
+	delete(r.byOwner, pid)
+	ids := make([]int, 0, len(owned))
+	for id := range owned {
+		s := r.shard(id)
+		s.mu.Lock()
+		delete(s.m, id)
+		s.mu.Unlock()
+		ids = append(ids, id)
+	}
+	r.ownMu.Unlock()
+	return ids
+}
+
+// interpose installs a monitor on a live port's chain. Membership check and
+// chain publish happen under ownMu — the lock remove/dropOwner hold while
+// deleting — so the bind linearizes against port teardown: it either lands
+// while the port is live or fails, never mutating a dead port's chain.
+func (r *portRegistry) interpose(portID int, e monEntry) bool {
+	r.ownMu.Lock()
+	defer r.ownMu.Unlock()
+	pt, ok := r.find(portID)
+	if !ok {
+		return false
+	}
+	pt.chain.add(e)
+	return true
+}
+
+func (r *portRegistry) len() int {
+	n := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// monChain is a copy-on-write interposition chain. Readers (the dispatch
+// pipeline, on every call when interpositioning is enabled) take one atomic
+// load; writers (Interpose/Deinterpose, control plane) clone the slice under
+// the chain mutex and publish the copy. A published slice is immutable.
+type monChain struct {
+	mu sync.Mutex
+	c  atomic.Pointer[[]monEntry]
+}
+
+func (mc *monChain) load() []monEntry {
+	if p := mc.c.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+func (mc *monChain) add(e monEntry) {
+	mc.mu.Lock()
+	old := mc.load()
+	chain := make([]monEntry, 0, len(old)+1)
+	chain = append(append(chain, old...), e)
+	mc.c.Store(&chain)
+	mc.mu.Unlock()
+}
+
+// removeByHandle unbinds the monitor registered under handle, reporting
+// whether it was found.
+func (mc *monChain) removeByHandle(handle int) bool {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	old := mc.load()
+	for i, e := range old {
+		if e.id == handle {
+			chain := make([]monEntry, 0, len(old)-1)
+			chain = append(append(chain, old[:i]...), old[i+1:]...)
+			mc.c.Store(&chain)
+			return true
+		}
+	}
+	return false
+}
+
+func (mc *monChain) len() int { return len(mc.load()) }

@@ -1,0 +1,260 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/nal"
+)
+
+// TestKernelRegistryStress is the whole-kernel race stress: goroutines mix
+// process create/exit, port creation, channel grant/revoke, interposition,
+// IPC calls, and goal updates against one kernel, then the decomposed
+// registries are checked against their cross-registry invariants:
+//
+//   - no port is owned by a dead process;
+//   - no channel grant is held by a dead process;
+//   - no channel grant points at a dead port;
+//   - no authority is bound to a dead port;
+//   - forward and reverse channel indexes agree.
+//
+// Run with -race; this is the test that demonstrates the warm dispatch path
+// and the control plane are safe without a kernel-global lock.
+func TestKernelRegistryStress(t *testing.T) {
+	k := bootKernel(t)
+	k.SetGuard(allowAllGuard{})
+	k.EnforceChannels(true)
+
+	srv, _ := k.CreateProcess(0, []byte("stable-srv"))
+	stable, err := k.CreatePort(srv, func(*Process, *Msg) ([]byte, error) { return []byte("ok"), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const rounds = 150
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				p, err := k.CreateProcess(0, []byte(fmt.Sprintf("w%d-%d", id, i)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				pt, err := k.CreatePort(p, func(*Process, *Msg) ([]byte, error) { return nil, nil })
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				obj := fmt.Sprintf("obj%d", i%5)
+				if err := k.GrantChannel(p, stable.ID); err != nil {
+					t.Error(err)
+					return
+				}
+				switch i % 4 {
+				case 0:
+					k.SetGoal(srv, "read", obj, nal.MustParse("?S says wantsAccess"), nil)
+				case 1:
+					if h, err := k.Interpose(p, pt.ID, FuncMonitor{}); err == nil {
+						k.Deinterpose(p, pt.ID, h)
+					} else if !errors.Is(err, ErrNoSuchPort) {
+						t.Errorf("interpose: %v", err)
+					}
+				case 2:
+					// Interpose on the kernel syscall channel, then remove.
+					if h, err := k.Interpose(p, 0, FuncMonitor{}); err == nil {
+						k.Deinterpose(p, 0, h)
+					}
+				case 3:
+					k.RevokeChannel(p, stable.ID)
+				}
+				// Calls race goal updates and interposition; allowed or
+				// denied, they must not corrupt registries.
+				k.Call(p, stable.ID, &Msg{Op: "read", Obj: obj})
+				k.Call(p, pt.ID, &Msg{Op: "read", Obj: obj})
+				p.Null()
+				p.Exit()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	assertRegistryInvariants(t, k)
+
+	if n := k.procs.len(); n != 1 {
+		t.Errorf("live processes after stress = %d, want 1 (stable server)", n)
+	}
+	if _, ok := k.FindPort(stable.ID); !ok {
+		t.Error("stable port vanished")
+	}
+	if _, err := k.Call(srv, stable.ID, &Msg{Op: "read", Obj: "obj0"}); err != nil {
+		t.Errorf("stable port call after stress: %v", err)
+	}
+	if k.Monitors(0) != 0 {
+		t.Errorf("syscall channel retains %d monitors", k.Monitors(0))
+	}
+}
+
+// assertRegistryInvariants checks the cross-registry consistency contract
+// the decomposed kernel maintains at quiescence.
+func assertRegistryInvariants(t *testing.T, k *Kernel) {
+	t.Helper()
+
+	live := map[int]bool{}
+	for _, pid := range k.Processes() {
+		live[pid] = true
+	}
+
+	// Port registry: every port's owner is live, and the owner index agrees
+	// with the shards.
+	portOwner := map[int]int{}
+	for i := range k.ports.shards {
+		s := &k.ports.shards[i]
+		s.mu.RLock()
+		for id, pt := range s.m {
+			portOwner[id] = pt.Owner.PID
+			if !live[pt.Owner.PID] {
+				t.Errorf("port %d owned by dead pid %d", id, pt.Owner.PID)
+			}
+			if pt.Owner.Exited() {
+				t.Errorf("port %d owned by exited process", id)
+			}
+		}
+		s.mu.RUnlock()
+	}
+	k.ports.ownMu.Lock()
+	indexed := 0
+	for pid, ports := range k.ports.byOwner {
+		indexed += len(ports)
+		for id := range ports {
+			if owner, ok := portOwner[id]; !ok || owner != pid {
+				t.Errorf("owner index lists port %d under pid %d, registry says owner %d", id, pid, owner)
+			}
+		}
+	}
+	k.ports.ownMu.Unlock()
+	if indexed != len(portOwner) {
+		t.Errorf("owner index covers %d ports, registry holds %d", indexed, len(portOwner))
+	}
+
+	// Channel table: grants only between live pids and live ports, and the
+	// reverse index mirrors the forward one.
+	forward := map[[2]int]bool{}
+	for pid, ports := range k.chans.snapshot() {
+		if !live[pid] {
+			t.Errorf("dead pid %d still holds channel grants", pid)
+		}
+		for _, portID := range ports {
+			forward[[2]int{pid, portID}] = true
+			if _, ok := portOwner[portID]; !ok {
+				t.Errorf("grant from pid %d to dead port %d", pid, portID)
+			}
+		}
+	}
+	k.chans.revMu.Lock()
+	reverse := 0
+	for portID, pids := range k.chans.byPort {
+		for pid := range pids {
+			reverse++
+			if !forward[[2]int{pid, portID}] {
+				t.Errorf("reverse index has (pid %d, port %d) missing from forward", pid, portID)
+			}
+		}
+	}
+	k.chans.revMu.Unlock()
+	if reverse != len(forward) {
+		t.Errorf("reverse index size %d != forward size %d", reverse, len(forward))
+	}
+
+	// Authorities: every registered authority's port is live.
+	k.authMu.RLock()
+	for ch, a := range k.auth {
+		if _, ok := portOwner[a.Port.ID]; !ok {
+			t.Errorf("authority %s bound to dead port %d", ch, a.Port.ID)
+		}
+	}
+	k.authMu.RUnlock()
+
+	// Decision cache stats stay coherent under the mixed load.
+	s := k.dcache.StatsSnapshot()
+	if s.Lookups != s.Hits+s.Misses {
+		t.Errorf("dcache stats inconsistent: %+v", s)
+	}
+}
+
+// TestExitRacesInterpose races monitor binding against the target port's
+// teardown: whichever side wins, a returned handle must denote a monitor
+// that was installed while the port was live, and the registries stay
+// consistent.
+func TestExitRacesInterpose(t *testing.T) {
+	k := bootKernel(t)
+	k.SetGuard(allowAllGuard{})
+	mon, _ := k.CreateProcess(0, []byte("mon"))
+	for i := 0; i < 200; i++ {
+		p, err := k.CreateProcess(0, []byte("victim"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt, err := k.CreatePort(p, func(*Process, *Msg) ([]byte, error) { return nil, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		var handle int
+		var ierr error
+		go func() {
+			defer wg.Done()
+			handle, ierr = k.Interpose(mon, pt.ID, FuncMonitor{})
+		}()
+		go func() {
+			defer wg.Done()
+			p.Exit()
+		}()
+		wg.Wait()
+		if ierr == nil && handle == 0 {
+			t.Fatal("nil error with zero handle")
+		}
+		if ierr != nil && !errors.Is(ierr, ErrNoSuchPort) {
+			t.Fatalf("round %d: interpose: %v", i, ierr)
+		}
+	}
+	assertRegistryInvariants(t, k)
+}
+
+// TestExitRacesCreatePort drives the create/exit boundary hard: a process
+// exiting concurrently with CreatePort and GrantChannel must never strand a
+// port or a grant, whichever side wins the race.
+func TestExitRacesCreatePort(t *testing.T) {
+	k := bootKernel(t)
+	k.SetAuthorization(false)
+	for i := 0; i < 300; i++ {
+		p, err := k.CreateProcess(0, []byte("racer"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		var pt *Port
+		go func() {
+			defer wg.Done()
+			pt, _ = k.CreatePort(p, func(*Process, *Msg) ([]byte, error) { return nil, nil })
+		}()
+		go func() {
+			defer wg.Done()
+			p.Exit()
+		}()
+		wg.Wait()
+		if pt != nil {
+			if _, ok := k.FindPort(pt.ID); ok {
+				t.Fatalf("round %d: port %d survived its owner's exit", i, pt.ID)
+			}
+		}
+	}
+	assertRegistryInvariants(t, k)
+}

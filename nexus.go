@@ -63,6 +63,33 @@ type (
 	CacheStats = cachestat.Stats
 )
 
+// Dispatch-pipeline types. Every kernel entry — user IPC and kernel system
+// calls alike — runs the same pipeline (resolve → channel check → authorize
+// → interpose/marshal → invoke → unwind); these are the types reference
+// monitors and guards plug into it with.
+type (
+	// Handler implements the server side of a port.
+	Handler = kernel.Handler
+	// Interposer is a reference monitor bound to an IPC channel.
+	Interposer = kernel.Interposer
+	// FuncMonitor adapts plain functions to the Interposer interface.
+	FuncMonitor = kernel.FuncMonitor
+	// Verdict is a reference monitor's decision on an intercepted call.
+	Verdict = kernel.Verdict
+	// GuardRequest carries everything a guard needs for one decision.
+	GuardRequest = kernel.GuardRequest
+	// GuardDecision is a guard's answer, including cacheability.
+	GuardDecision = kernel.GuardDecision
+	// LabelRef names a label held in some process's labelstore.
+	LabelRef = kernel.LabelRef
+)
+
+// Reference-monitor verdicts.
+const (
+	VerdictAllow = kernel.VerdictAllow
+	VerdictBlock = kernel.VerdictBlock
+)
+
 // Logic types.
 type (
 	// Formula is a NAL formula.
