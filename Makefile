@@ -18,10 +18,11 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench-smoke just proves the parallel benchmarks still compile and run;
-# use bench-parallel for real measurements.
+# bench-smoke runs every benchmark in the root package once (-benchtime=1x)
+# so bench code cannot rot; use bench-parallel (or go test -bench with a real
+# benchtime) for measurements.
 bench-smoke:
-	$(GO) test -run=XXX -bench=Parallel -benchtime=100x .
+	$(GO) test -run=XXX -bench=. -benchtime=1x .
 
 # bench-parallel measures multi-core scaling of the authorization fast
 # path (compare the -cpu=1 and -cpu=4 lines).
@@ -34,3 +35,4 @@ fuzz-smoke:
 	$(GO) test -run=XXX -fuzz=FuzzParseFormula -fuzztime=$(FUZZTIME) ./internal/nal
 	$(GO) test -run=XXX -fuzz=FuzzParsePrincipal -fuzztime=$(FUZZTIME) ./internal/nal
 	$(GO) test -run=XXX -fuzz=FuzzMsgWire -fuzztime=$(FUZZTIME) ./internal/kernel
+	$(GO) test -run=XXX -fuzz=FuzzParseProof -fuzztime=$(FUZZTIME) ./internal/nal/proof

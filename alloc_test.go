@@ -1,0 +1,83 @@
+// Allocation-regression pins for the dispatch hot paths. These are hard
+// ceilings, not aspirations: a change that adds an allocation to a pinned
+// path fails here before it shows up as a throughput regression in the
+// Figure 4/Table 1 benchmarks.
+package nexus
+
+import (
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/kernel"
+	"repro/internal/nal/proof"
+	"repro/internal/tpm"
+)
+
+// allocKernel boots a kernel for allocation measurement.
+func allocKernel(t *testing.T, opts kernel.Options) *kernel.Kernel {
+	t.Helper()
+	tp, err := tpm.Manufacture(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := kernel.Boot(tp, disk.New(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// TestAllocSyscallBare pins the interposition-off, authorization-off
+// syscall fast path (Table 1 "bare") at zero allocations per call.
+func TestAllocSyscallBare(t *testing.T) {
+	k := allocKernel(t, kernel.Options{NoInterposition: true, NoAuthorization: true})
+	p, _ := k.CreateProcess(0, []byte("bench"))
+	if err := p.Null(); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(200, func() { p.Null() }); allocs != 0 {
+		t.Errorf("bare null syscall allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestAllocSyscallWarmAuthz pins the interposition-off syscall path with
+// authorization on and the decision cache warm — the Figure 4 "system
+// call" steady state — at zero allocations per call.
+func TestAllocSyscallWarmAuthz(t *testing.T) {
+	k := allocKernel(t, kernel.Options{NoInterposition: true})
+	p, _ := k.CreateProcess(0, []byte("bench"))
+	if err := p.Null(); err != nil { // warm the decision cache
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(200, func() { p.Null() }); allocs != 0 {
+		t.Errorf("warm authorized null syscall allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestAllocMarshalMsg pins parameter marshaling — the per-call cost
+// interpositioning imposes (§5.1) — at one allocation (the wire buffer).
+func TestAllocMarshalMsg(t *testing.T) {
+	m := &kernel.Msg{Op: "write", Obj: "file:/x", Args: [][]byte{make([]byte, 64)}}
+	if allocs := testing.AllocsPerRun(200, func() { kernel.MarshalMsgForBench(m) }); allocs > 1 {
+		t.Errorf("marshalMsg allocates %.1f objects/op, want ≤ 1", allocs)
+	}
+}
+
+// TestAllocCompiledProofCheck pins the compiled proof checker's warm path
+// at zero allocations — the tentpole property that rules out text parsing
+// and canonical-string comparison on authorization misses.
+func TestAllocCompiledProofCheck(t *testing.T) {
+	pf, goal, creds := fig5Proof("delegate", 12)
+	env := &proof.Env{Credentials: creds}
+	if _, err := proof.Check(pf, goal, env); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := proof.Check(pf, goal, env); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("compiled proof check allocates %.1f objects/op, want 0", allocs)
+	}
+}

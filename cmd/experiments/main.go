@@ -6,7 +6,11 @@
 //
 // Usage:
 //
-//	experiments -exp table1|table2|fig4|fig5|fig6|fig7|fig8|scale|all [-quick]
+//	experiments -exp table1|table2|fig4|fig5|fig6|fig7|fig8|scale|proof|all [-quick]
+//
+// -exp proof additionally writes BENCH_proof.json (ns/op and allocs/op for
+// the authorization miss path, memo-hit path, and compiled vs. text
+// proofs), the recorded perf trajectory of the proof pipeline.
 package main
 
 import (
@@ -35,7 +39,7 @@ import (
 var quick = flag.Bool("quick", false, "fewer iterations for a fast pass")
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1, table2, fig4, fig5, fig6, fig7, fig8, scale, all)")
+	exp := flag.String("exp", "all", "experiment to run (table1, table2, fig4, fig5, fig6, fig7, fig8, scale, proof, all)")
 	flag.Parse()
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
@@ -56,6 +60,7 @@ func main() {
 	run("fig7", fig7)
 	run("fig8", fig8)
 	run("scale", scale)
+	run("proof", proofExp)
 }
 
 // iters scales iteration counts.

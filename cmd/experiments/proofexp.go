@@ -1,0 +1,194 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/nal"
+	"repro/internal/nal/proof"
+)
+
+// proofExp measures the compiled proof pipeline and records the results in
+// BENCH_proof.json, the first point of the recorded performance trajectory
+// for the authorization miss path. Rows:
+//
+//	miss/text       novel proof text: parse + compile + check
+//	warm/text       repeat proof text: parse-cache hit + compiled check
+//	check/compiled  compiled check, subproof memo enabled (warm)
+//	check/nomemo    compiled check, memo disabled
+//	check/textref   structural reference checker (the seed's miss path)
+//	compile         compilation alone
+//	subframe/*      subproof-carrying proof, memo on/off
+type proofRow struct {
+	Name      string  `json:"name"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	AllocsOp  int64   `json:"allocs_per_op"`
+	BytesOp   int64   `json:"bytes_per_op"`
+	MemoHits  uint64  `json:"memo_hits,omitempty"`
+	MemoMiss  uint64  `json:"memo_misses,omitempty"`
+	ProofLen  int     `json:"proof_len,omitempty"`
+	ChainLen  int     `json:"chain_len,omitempty"`
+	Iteration int     `json:"iterations"`
+}
+
+func benchRow(name string, extra func(*proofRow), body func(b *testing.B)) proofRow {
+	r := testing.Benchmark(body)
+	row := proofRow{
+		Name:      name,
+		NsPerOp:   float64(r.NsPerOp()),
+		AllocsOp:  r.AllocsPerOp(),
+		BytesOp:   r.AllocedBytesPerOp(),
+		Iteration: r.N,
+	}
+	if extra != nil {
+		extra(&row)
+	}
+	return row
+}
+
+func proofExp() error {
+	const chain = 12
+	pf, goal, creds := fig5Proof("delegate", chain)
+	text := pf.String()
+	env := &proof.Env{Credentials: creds}
+	var rows []proofRow
+
+	addChain := func(r proofRow) {
+		r.ChainLen = chain
+		r.ProofLen = pf.Len()
+		rows = append(rows, r)
+	}
+
+	// Novel text: defeat the parse cache with a unique spacer per iteration.
+	addChain(benchRow("miss/text", nil, func(b *testing.B) {
+		b.ReportAllocs()
+		texts := make([]string, b.N)
+		for i := range texts {
+			texts[i] = text + strings.Repeat(" ", i%197) + "\n" + fmt.Sprint(i) + ". true-i : true"
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p, err := proof.Parse(texts[i])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := proof.Check(p, p.Conclusion(), env); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	addChain(benchRow("warm/text", nil, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p, err := proof.Parse(text)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := proof.Check(p, goal, env); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	c, err := pf.Compiled()
+	if err != nil {
+		return err
+	}
+	before := proof.MemoStats()
+	addChain(benchRow("check/compiled", func(r *proofRow) {
+		s := proof.MemoStats()
+		r.MemoHits = s.Hits - before.Hits
+		r.MemoMiss = s.Misses - before.Misses
+	}, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Check(goal, env); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	proof.SetMemoEnabled(false)
+	addChain(benchRow("check/nomemo", nil, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Check(goal, env); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	proof.SetMemoEnabled(true)
+	addChain(benchRow("check/textref", nil, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := proof.CheckStructural(pf, goal, env); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	addChain(benchRow("compile", nil, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := proof.Compile(pf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// Subproof-carrying proof: what the memo exists for.
+	hyp := nal.MustParse("a")
+	sub := []proof.Step{{Rule: proof.RuleTrueI, F: nal.TrueF{}}}
+	cur := nal.Formula(nal.And{L: hyp, R: nal.TrueF{}})
+	sub = append(sub, proof.Step{Rule: proof.RuleAndI, Premises: []int{-1, 0}, F: cur})
+	for i := 0; i < 62; i++ {
+		cur = nal.And{L: hyp, R: cur}
+		sub = append(sub, proof.Step{Rule: proof.RuleAndI, Premises: []int{-1, len(sub) - 1}, F: cur})
+	}
+	sgoal := nal.Formula(nal.Implies{L: hyp, R: cur})
+	spf := &proof.Proof{Steps: []proof.Step{{
+		Rule: proof.RuleImpI, F: sgoal,
+		Sub: []proof.Subproof{{Hyp: hyp, Steps: sub}},
+	}}}
+	sc, err := spf.Compiled()
+	if err != nil {
+		return err
+	}
+	senv := &proof.Env{}
+	rows = append(rows, benchRow("subframe/memo", func(r *proofRow) { r.ProofLen = spf.Len() },
+		func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sc.Check(sgoal, senv); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	proof.SetMemoEnabled(false)
+	rows = append(rows, benchRow("subframe/nomemo", func(r *proofRow) { r.ProofLen = spf.Len() },
+		func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sc.Check(sgoal, senv); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	proof.SetMemoEnabled(true)
+
+	fmt.Printf("%-16s %12s %10s %10s\n", "path", "ns/op", "allocs/op", "B/op")
+	for _, r := range rows {
+		fmt.Printf("%-16s %12.0f %10d %10d\n", r.Name, r.NsPerOp, r.AllocsOp, r.BytesOp)
+	}
+
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_proof.json", append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("\nwrote BENCH_proof.json")
+	return nil
+}

@@ -1,0 +1,147 @@
+package cert
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"testing"
+	"time"
+
+	"repro/internal/nal"
+)
+
+func testCert(t *testing.T, key *rsa.PrivateKey, formula string, serial int64) *Certificate {
+	t.Helper()
+	c, err := Sign(Statement{
+		Speaker: "alice",
+		Formula: formula,
+		Serial:  serial,
+		Issued:  time.Unix(1700000000, 0),
+	}, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestVerifyCacheHit(t *testing.T) {
+	key, err := rsa.GenerateKey(rand.Reader, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := testCert(t, key, "wantsAccess(\"obj\")", 1)
+	vc := NewVerifyCache()
+
+	l1, id1, err := vc.Label(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.ToLabel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l1.Equal(want) {
+		t.Errorf("cached label %q, ToLabel %q", l1, want)
+	}
+	l2, id2, err := vc.Label(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l2.Equal(l1) || id1 != id2 || id1 == 0 {
+		t.Errorf("second lookup returned %q/%d, want %q/%d", l2, id2, l1, id1)
+	}
+	s := vc.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats %+v, want 1 hit 1 miss", s)
+	}
+	if fid, ok := nal.IDOf(want); !ok || fid != id1 {
+		t.Errorf("cached label ID %d does not match IDOf %d", id1, fid)
+	}
+}
+
+func TestVerifyCacheRejectsBadSignature(t *testing.T) {
+	key, _ := rsa.GenerateKey(rand.Reader, 1024)
+	c := testCert(t, key, "p", 1)
+	c.Sig[0] ^= 0xff
+	vc := NewVerifyCache()
+	if _, _, err := vc.Label(c); err == nil {
+		t.Fatal("tampered certificate accepted")
+	}
+	// Tampering changes the fingerprint, so the original still verifies.
+	c.Sig[0] ^= 0xff
+	if _, _, err := vc.Label(c); err != nil {
+		t.Fatalf("untampered certificate rejected: %v", err)
+	}
+}
+
+func TestVerifyCacheRevoke(t *testing.T) {
+	key, _ := rsa.GenerateKey(rand.Reader, 1024)
+	c := testCert(t, key, "p", 1)
+	vc := NewVerifyCache()
+	if _, _, err := vc.Label(c); err != nil {
+		t.Fatal(err)
+	}
+	vc.Revoke(c.Fingerprint())
+	if _, _, err := vc.Label(c); err != ErrRevoked {
+		t.Fatalf("revoked certificate: got %v, want ErrRevoked", err)
+	}
+	if vc.Len() != 0 {
+		t.Errorf("revoked entry still cached (len %d)", vc.Len())
+	}
+	// Revocation also blocks a cold path (never-cached certificate).
+	c2 := testCert(t, key, "p", 2)
+	vc.Revoke(c2.Fingerprint())
+	if _, _, err := vc.Label(c2); err != ErrRevoked {
+		t.Fatalf("pre-revoked certificate: got %v, want ErrRevoked", err)
+	}
+}
+
+func TestVerifyCacheRevokeSigner(t *testing.T) {
+	keyA, _ := rsa.GenerateKey(rand.Reader, 1024)
+	keyB, _ := rsa.GenerateKey(rand.Reader, 1024)
+	vc := NewVerifyCache()
+	a1 := testCert(t, keyA, "p", 1)
+	a2 := testCert(t, keyA, "q", 2)
+	b1 := testCert(t, keyB, "r", 3)
+	for _, c := range []*Certificate{a1, a2, b1} {
+		if _, _, err := vc.Label(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fpA, err := a1.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc.RevokeSigner(fpA)
+	if _, _, err := vc.Label(a1); err != ErrRevoked {
+		t.Errorf("a1 after signer revocation: %v, want ErrRevoked", err)
+	}
+	if _, _, err := vc.Label(a2); err != ErrRevoked {
+		t.Errorf("a2 after signer revocation: %v, want ErrRevoked", err)
+	}
+	if _, _, err := vc.Label(b1); err != nil {
+		t.Errorf("unrelated signer's certificate rejected: %v", err)
+	}
+	if vc.Len() != 1 {
+		t.Errorf("cache holds %d entries after signer revocation, want 1", vc.Len())
+	}
+}
+
+func TestVerifyCacheEviction(t *testing.T) {
+	key, _ := rsa.GenerateKey(rand.Reader, 1024)
+	vc := NewVerifyCache()
+	// All serials land in one shard only probabilistically; just overfill
+	// the whole cache and assert the global bound.
+	for i := 0; i < verifyShards*verifyShardCap+64; i++ {
+		c := testCert(t, key, "p", int64(i))
+		if _, _, err := vc.Label(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if max := verifyShards * verifyShardCap; vc.Len() > max {
+		t.Errorf("cache holds %d entries, cap %d", vc.Len(), max)
+	}
+	s := vc.Stats()
+	if s.Evictions == 0 {
+		t.Error("overfilled cache reported no evictions")
+	}
+}

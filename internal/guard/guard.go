@@ -19,11 +19,13 @@
 package guard
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/cachestat"
+	"repro/internal/cert"
 	"repro/internal/kernel"
 	"repro/internal/nal"
 	"repro/internal/nal/proof"
@@ -140,12 +142,12 @@ func (g *Generic) Check(req *kernel.GuardRequest) kernel.GuardDecision {
 		return kernel.GuardDecision{Allow: false, Cacheable: true, Reason: "no proof supplied"}
 	}
 
-	creds, hasRefs, err := g.resolveCreds(req)
+	creds, credIDs, hasDynamic, err := g.resolveCreds(req)
 	if err != nil {
 		return kernel.GuardDecision{Allow: false, Cacheable: false, Reason: err.Error()}
 	}
 
-	key := cacheKey(goal, req.Proof, creds)
+	key := cacheKey(goal, req.Proof, creds, credIDs)
 	sh := &g.shards[shardIndex(key)]
 	sh.mu.RLock()
 	entry, hit := sh.entries[key]
@@ -160,13 +162,14 @@ func (g *Generic) Check(req *kernel.GuardRequest) kernel.GuardDecision {
 					Reason: fmt.Sprintf("authority %s no longer affirms %s", a.channel, a.f)}
 			}
 		}
-		return kernel.GuardDecision{Allow: true, Cacheable: len(entry.authorities) == 0 && !hasRefs}
+		return kernel.GuardDecision{Allow: true, Cacheable: len(entry.authorities) == 0 && !hasDynamic}
 	}
 
 	var auths []authStep
 	env := &proof.Env{
-		Credentials: creds,
-		TrustRoots:  []nal.Principal{g.k.Prin},
+		Credentials:   creds,
+		CredentialIDs: credIDs,
+		TrustRoots:    []nal.Principal{g.k.Prin},
 		Authority: func(ch string, f nal.Formula) bool {
 			if !g.authority(ch, f) {
 				return false
@@ -180,11 +183,11 @@ func (g *Generic) Check(req *kernel.GuardRequest) kernel.GuardDecision {
 		// A failed check is cacheable only if it cannot become valid
 		// without a proof update (which invalidates the cache entry anyway)
 		// — i.e. when it did not depend on dynamic state.
-		return kernel.GuardDecision{Allow: false, Cacheable: res.AuthorityCalls == 0 && !hasRefs,
+		return kernel.GuardDecision{Allow: false, Cacheable: res.AuthorityCalls == 0 && !hasDynamic,
 			Reason: err.Error()}
 	}
 	g.insert(key, req.Subject, auths)
-	return kernel.GuardDecision{Allow: true, Cacheable: res.Cacheable && !hasRefs}
+	return kernel.GuardDecision{Allow: true, Cacheable: res.Cacheable && !hasDynamic}
 }
 
 // instantiate applies the guard substitution: ?S = subject, ?O = object,
@@ -198,32 +201,76 @@ func (g *Generic) instantiate(req *kernel.GuardRequest) nal.Formula {
 	return sub.Apply(req.Goal)
 }
 
-// resolveCreds materializes the credential list, fetching labelstore
-// references; hasRefs reports whether any credential came from a mutable
-// store.
-func (g *Generic) resolveCreds(req *kernel.GuardRequest) ([]nal.Formula, bool, error) {
+// resolveCreds materializes the credential list together with hash-cons
+// handles: inline credentials reuse the IDs interned at setproof,
+// labelstore references are fetched from the mutable store, and
+// certificates are verified through the kernel's pre-verification cache —
+// one fingerprint lookup on the warm path instead of an RSA check.
+// Duplicate certificates within one request resolve once. hasDynamic
+// reports whether any credential came from mutable or revocable state
+// (references, certificates); such decisions stay out of the kernel
+// decision cache so a label change or a revocation takes effect on the
+// next check.
+func (g *Generic) resolveCreds(req *kernel.GuardRequest) ([]nal.Formula, []nal.FormulaID, bool, error) {
 	creds := make([]nal.Formula, 0, len(req.Creds))
-	hasRefs := false
+	ids := make([]nal.FormulaID, 0, len(req.Creds))
+	hasDynamic := false
 	for i, c := range req.Creds {
 		switch {
 		case c.Inline != nil:
+			var id nal.FormulaID
+			if i < len(req.CredIDs) {
+				id = req.CredIDs[i]
+			}
+			if id == 0 {
+				id, _ = nal.IDOf(c.Inline)
+			}
 			creds = append(creds, c.Inline)
+			ids = append(ids, id)
 		case c.Ref != nil:
-			hasRefs = true
+			hasDynamic = true
 			p, ok := g.k.Lookup(c.Ref.PID)
 			if !ok {
-				return nil, true, fmt.Errorf("credential %d: process %d gone", i, c.Ref.PID)
+				return nil, nil, true, fmt.Errorf("credential %d: process %d gone", i, c.Ref.PID)
 			}
 			l, err := p.Labels.Get(c.Ref.Handle)
 			if err != nil {
-				return nil, true, fmt.Errorf("credential %d: %v", i, err)
+				return nil, nil, true, fmt.Errorf("credential %d: %v", i, err)
 			}
+			id, _ := nal.IDOf(l.Formula)
 			creds = append(creds, l.Formula)
+			ids = append(ids, id)
+		case c.Cert != nil:
+			hasDynamic = true
+			if j := prevCertIndex(req.Creds[:i], c.Cert); j >= 0 {
+				// The same certificate appeared earlier in this request:
+				// reuse its verified label instead of re-probing the cache.
+				creds = append(creds, creds[j])
+				ids = append(ids, ids[j])
+				break
+			}
+			f, id, err := g.k.CertCache().Label(c.Cert)
+			if err != nil {
+				return nil, nil, true, fmt.Errorf("credential %d: %v", i, err)
+			}
+			creds = append(creds, f)
+			ids = append(ids, id)
 		default:
-			return nil, hasRefs, fmt.Errorf("credential %d: empty", i)
+			return nil, nil, hasDynamic, fmt.Errorf("credential %d: empty", i)
 		}
 	}
-	return creds, hasRefs, nil
+	return creds, ids, hasDynamic, nil
+}
+
+// prevCertIndex reports the position of an earlier credential presenting
+// the same certificate object, or -1.
+func prevCertIndex(prev []kernel.Credential, c *cert.Certificate) int {
+	for j := range prev {
+		if prev[j].Cert == c {
+			return j
+		}
+	}
+	return -1
 }
 
 // authority answers one authority consultation: embedded first, then
@@ -345,21 +392,30 @@ func (s *proofShard) removeFirst(g *Generic, pred func(*cachedProof) bool) bool 
 	return true
 }
 
-// cacheKey identifies a (goal, proof, credentials) combination. The parts
-// are rendered with the canonical single-buffer encoders — one walk, one
-// allocation, no per-node string joins or hashing like the seed's
-// String()+SHA-1 path. Deliberately NOT nal.KeyOf: instantiated goals
-// embed per-process principals, so interning them would fill the global
-// table with dead entries as processes churn; the bounded, evicting proof
-// cache is the right home for per-request keys.
-func cacheKey(goal nal.Formula, p *proof.Proof, creds []nal.Formula) string {
-	buf := make([]byte, 0, 192)
+// cacheKey identifies a (goal, proof, credentials) combination. The goal is
+// rendered with the canonical single-buffer encoder — deliberately NOT
+// nal.KeyOf or nal.IDOf: instantiated goals embed per-process principals,
+// so interning them would fill the global tables with dead entries as
+// processes churn; the bounded, evicting proof cache is the right home for
+// per-request keys. Credentials, which do repeat across requests, are
+// encoded as hash-cons handles (a tag byte plus varint), so they are never
+// re-serialized and duplicate credentials contribute identical short runs
+// instead of inflating the key; a credential without a handle (cons
+// saturation) falls back to its canonical bytes under a distinct tag.
+func cacheKey(goal nal.Formula, p *proof.Proof, creds []nal.Formula, ids []nal.FormulaID) string {
+	buf := make([]byte, 0, 160)
 	buf = nal.AppendFormula(buf, goal)
 	buf = append(buf, 0)
 	buf = append(buf, p.Fingerprint()...)
-	for _, c := range creds {
+	for i, c := range creds {
 		buf = append(buf, 0)
-		buf = nal.AppendFormula(buf, c)
+		if i < len(ids) && ids[i] != 0 {
+			buf = append(buf, 1)
+			buf = binary.AppendUvarint(buf, uint64(ids[i]))
+		} else {
+			buf = append(buf, 2)
+			buf = nal.AppendFormula(buf, c)
+		}
 	}
 	return string(buf)
 }

@@ -28,9 +28,14 @@ type DecisionCache struct {
 // that were computed against since-invalidated goal or proof state.
 type dcRegion struct {
 	mu    sync.RWMutex
-	m     map[string]bool // key → allow
+	m     map[dcKey]bool // tuple → allow
 	epoch uint64
 }
+
+// dcKey is the access-control tuple as a composite map key: hashing a
+// struct of strings allocates nothing, unlike the concatenated string key
+// it replaces, which kept one allocation on every warm authorized syscall.
+type dcKey struct{ subj, op, obj string }
 
 // NewDecisionCache creates a cache with the given subregion count (the
 // configurable parameter trading invalidation cost against collision rate).
@@ -40,7 +45,7 @@ func NewDecisionCache(regions int) *DecisionCache {
 	}
 	c := &DecisionCache{regions: make([]*dcRegion, regions)}
 	for i := range c.regions {
-		c.regions[i] = &dcRegion{m: map[string]bool{}}
+		c.regions[i] = &dcRegion{m: map[dcKey]bool{}}
 	}
 	c.enabled.Store(true)
 	return c
@@ -60,10 +65,6 @@ func regionHash(op, obj string) uint32 {
 	return h.Sum32()
 }
 
-func entryKey(subj, op, obj string) string {
-	return subj + "\x00" + op + "\x00" + obj
-}
-
 // region selects the subregion holding all entries for (op, obj).
 func (c *DecisionCache) region(op, obj string) *dcRegion {
 	return c.regions[regionHash(op, obj)%uint32(len(c.regions))]
@@ -77,7 +78,7 @@ func (c *DecisionCache) Lookup(subj, op, obj string) (allow, ok bool) {
 	}
 	r := c.region(op, obj)
 	r.mu.RLock()
-	allow, ok = r.m[entryKey(subj, op, obj)]
+	allow, ok = r.m[dcKey{subj, op, obj}]
 	r.mu.RUnlock()
 	c.stats.Lookup(ok)
 	return allow, ok
@@ -93,7 +94,7 @@ func (c *DecisionCache) Insert(subj, op, obj string, allow bool) {
 	}
 	r := c.region(op, obj)
 	r.mu.Lock()
-	r.m[entryKey(subj, op, obj)] = allow
+	r.m[dcKey{subj, op, obj}] = allow
 	r.mu.Unlock()
 }
 
@@ -117,7 +118,7 @@ func (c *DecisionCache) InsertIf(subj, op, obj string, allow bool, epoch uint64)
 	r := c.region(op, obj)
 	r.mu.Lock()
 	if r.epoch == epoch {
-		r.m[entryKey(subj, op, obj)] = allow
+		r.m[dcKey{subj, op, obj}] = allow
 	}
 	r.mu.Unlock()
 }
@@ -125,7 +126,7 @@ func (c *DecisionCache) InsertIf(subj, op, obj string, allow bool, epoch uint64)
 // InvalidateEntry clears the single entry for a proof update.
 func (c *DecisionCache) InvalidateEntry(subj, op, obj string) {
 	r := c.region(op, obj)
-	k := entryKey(subj, op, obj)
+	k := dcKey{subj, op, obj}
 	r.mu.Lock()
 	_, present := r.m[k]
 	delete(r.m, k)
@@ -143,7 +144,7 @@ func (c *DecisionCache) InvalidateRegion(op, obj string) {
 	r := c.region(op, obj)
 	r.mu.Lock()
 	n := len(r.m)
-	r.m = map[string]bool{}
+	r.m = map[dcKey]bool{}
 	r.epoch++
 	r.mu.Unlock()
 	c.stats.Evicted(uint64(n))
@@ -154,7 +155,7 @@ func (c *DecisionCache) InvalidateRegion(op, obj string) {
 func (c *DecisionCache) Flush() {
 	for _, r := range c.regions {
 		r.mu.Lock()
-		r.m = map[string]bool{}
+		r.m = map[dcKey]bool{}
 		r.epoch++
 		r.mu.Unlock()
 	}

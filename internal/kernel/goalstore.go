@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/cert"
 	"repro/internal/nal"
 	"repro/internal/nal/proof"
 )
@@ -34,10 +35,13 @@ func newGoalStore() *goalStore {
 // Credential is one label presented with a proof. Inline credentials are
 // copied into the request and may be cached with the decision; labelstore
 // references are re-fetched from the (mutable) store on every check, so
-// decisions depending on them are not cacheable.
+// decisions depending on them are not cacheable. Certificate credentials
+// are verified through the kernel's pre-verification cache and, because
+// they are revocable there, also keep decisions out of the kernel cache.
 type Credential struct {
 	Inline nal.Formula
 	Ref    *LabelRef
+	Cert   *cert.Certificate
 }
 
 // LabelRef names a label held in some process's labelstore.
@@ -48,10 +52,16 @@ type LabelRef struct {
 
 // RegisteredProof is the proof a subject has bound to an access tuple via
 // the setproof control call; the kernel hands it to the guard on each
-// decision-cache miss.
+// decision-cache miss. SetProof compiles the proof and interns inline
+// credentials once at registration, so the authorization path touches only
+// IDs.
 type RegisteredProof struct {
 	Proof *proof.Proof
 	Creds []Credential
+	// CredIDs holds, position for position, the hash-cons handle of each
+	// inline credential (0 for references, certificates, or at cons
+	// saturation); guards fill the gaps per check.
+	CredIDs []nal.FormulaID
 }
 
 // Guard decides authorization requests on decision-cache misses (§2.6).
@@ -68,6 +78,9 @@ type GuardRequest struct {
 	// Proof and Creds are the subject's registered proof, nil if none.
 	Proof *proof.Proof
 	Creds []Credential
+	// CredIDs, when non-nil, is the registration-time interning of Creds
+	// (see RegisteredProof.CredIDs).
+	CredIDs []nal.FormulaID
 }
 
 // GuardDecision is the guard's answer, including whether the kernel may
@@ -131,10 +144,24 @@ func (k *Kernel) Goal(op, obj string) (*GoalEntry, bool) {
 }
 
 // SetProof registers the caller's proof for an access tuple; the kernel
-// invalidates only the caller's cached decision for that tuple.
+// invalidates only the caller's cached decision for that tuple. The proof
+// is compiled and its inline credentials interned here, once, so the
+// authorization miss path never re-parses or re-serializes proof state.
 func (k *Kernel) SetProof(caller *Process, op, obj string, p *proof.Proof, creds []Credential) {
 	subj := caller.PrinString()
-	k.proofs.set(tupleKey{subj, op, obj}, &RegisteredProof{Proof: p, Creds: creds})
+	rp := &RegisteredProof{Proof: p, Creds: creds}
+	if p != nil {
+		p.Compiled() // warm; a compile-rejected proof falls back at check time
+	}
+	if len(creds) > 0 {
+		rp.CredIDs = make([]nal.FormulaID, len(creds))
+		for i, c := range creds {
+			if c.Inline != nil {
+				rp.CredIDs[i], _ = nal.IDOf(c.Inline)
+			}
+		}
+	}
+	k.proofs.set(tupleKey{subj, op, obj}, rp)
 	k.dcache.InvalidateEntry(subj, op, obj)
 }
 
@@ -214,6 +241,7 @@ func (k *Kernel) authorize(from *Process, op, obj string) error {
 	if rp := k.registeredProof(subj, op, obj); rp != nil {
 		req.Proof = rp.Proof
 		req.Creds = rp.Creds
+		req.CredIDs = rp.CredIDs
 	}
 	k.guardUpcalls.Add(1)
 	dec := g.Check(req)

@@ -82,6 +82,11 @@ type Kernel struct {
 	// guardUpcalls counts kernel → guard boundary crossings, lock-free.
 	guardUpcalls atomic.Uint64
 
+	// certs memoizes certificate verification (signature check plus
+	// says-extraction) by fingerprint, shared by labelstore imports and
+	// guards resolving certificate credentials; revocation goes through it.
+	certs *cert.VerifyCache
+
 	authMu  sync.RWMutex
 	auth    map[string]*Authority
 	Introsp *introspect.Registry
@@ -136,6 +141,7 @@ func Boot(t *tpm.TPM, d *disk.Disk, opts Options) (*Kernel, error) {
 		ports:     newPortRegistry(),
 		proofs:    newProofStore(),
 		chans:     newChanTable(),
+		certs:     cert.NewVerifyCache(),
 		auth:      map[string]*Authority{},
 		Introsp:   introspect.NewRegistry(),
 		startTime: time.Now(),
@@ -225,6 +231,10 @@ func (k *Kernel) defaultGuard() Guard {
 	}
 	return nil
 }
+
+// CertCache exposes the kernel's credential pre-verification cache, for
+// guards resolving certificate credentials and for revocation.
+func (k *Kernel) CertCache() *cert.VerifyCache { return k.certs }
 
 // SetAuthorization toggles goal checking (Figure 4 case "system call").
 func (k *Kernel) SetAuthorization(on bool) { k.setFlag(flagAuthz, on) }

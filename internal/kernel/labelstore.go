@@ -177,9 +177,12 @@ func (ls *Labelstore) Externalize(handle int) (*ExternalLabel, error) {
 // Import verifies an external label and deposits the corresponding
 // key-attributed formula into the store. The resulting label reads
 // "key:<NK> says <speaker> says S"; proofs connect key:<NK> to a trusted
-// Nexus via the NK endorsement.
+// Nexus via the NK endorsement. Verification goes through the kernel's
+// pre-verification cache, so re-importing a known certificate (and any
+// guard resolving it as a credential) skips the RSA check; a revoked
+// certificate fails here regardless of cache state.
 func (ls *Labelstore) Import(ext *ExternalLabel) (*Label, error) {
-	f, err := ext.LabelCert.ToLabel()
+	f, _, err := ls.owner.kernel.certs.Label(ext.LabelCert)
 	if err != nil {
 		return nil, fmt.Errorf("kernel: import: %w", err)
 	}

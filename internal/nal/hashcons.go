@@ -1,0 +1,662 @@
+package nal
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the process-wide hash-cons table behind the compiled
+// proof pipeline. Where canon.go memoizes canonical *strings* (KeyOf), this
+// table assigns every distinct formula, term, and principal a stable small
+// integer handle — FormulaID, TermID, PrinID — such that two values are
+// structurally equal exactly when their IDs are equal. Formulas become nodes
+// of a shared DAG: a node stores its kind, its children *as IDs*, and a
+// pointer to a canonical AST representative, so
+//
+//   - equality is one integer compare (the proof checker's inner loop),
+//   - destructuring is one array index (FormulaNode/TermNode/PrinNode),
+//   - groundness is a precomputed bit, and
+//   - shared substructure (delegation chains, repeated credentials) is
+//     stored once however many proofs mention it.
+//
+// IDs are never reused and nodes are never mutated after publication, so a
+// handle embedded in a compiled proof stays valid for the process lifetime.
+//
+// Memory bound: the table is capped (SetConsLimit, default 1<<20 nodes per
+// kind). At the cap, consing fails softly — IDOf returns ok=false and every
+// caller (proof.Compile, the guard's key builder) falls back to the
+// structural-equality path, so an adversarial stream of distinct formulas
+// degrades throughput, never correctness or memory. Values that reach the
+// table via registered proofs are pinned by the kernel proof store anyway;
+// hash-consing them adds a bounded constant factor, not a new leak class.
+
+// FormulaID is a stable handle for a formula equality class. 0 is invalid.
+type FormulaID uint32
+
+// TermID is a stable handle for a term equality class. 0 is invalid.
+type TermID uint32
+
+// PrinID is a stable handle for a principal equality class. 0 is invalid.
+type PrinID uint32
+
+// FKind enumerates formula node kinds for destructuring by ID.
+type FKind uint8
+
+// Formula node kinds.
+const (
+	FInvalid FKind = iota
+	FPred
+	FSays
+	FSpeaksFor
+	FCompare
+	FNot
+	FAnd
+	FOr
+	FImplies
+	FFalse
+	FTrue
+)
+
+// TKind enumerates term node kinds.
+type TKind uint8
+
+// Term node kinds.
+const (
+	TInvalid TKind = iota
+	TStr
+	TInt
+	TTime
+	TAtom
+	TVar
+	TPrin
+	TList
+	TFunc
+)
+
+// PKind enumerates principal node kinds.
+type PKind uint8
+
+// Principal node kinds.
+const (
+	PInvalid PKind = iota
+	PName
+	PKey
+	PHash
+	PSub
+	PVar
+)
+
+// FNode is the immutable DAG node of a formula. Field use by kind:
+//
+//	FPred       Name, Args (term IDs)
+//	FSays       P (speaker), L (body formula)
+//	FSpeaksFor  A, B (principals), Name+HasScope (delegation pattern)
+//	FCompare    Op, L, R (term IDs)
+//	FNot        L (formula)
+//	FAnd/FOr/FImplies  L, R (formulas)
+type FNode struct {
+	Kind     FKind
+	Op       CompareOp
+	HasScope bool
+	Ground   bool
+	P, A, B  PrinID
+	L, R     uint32 // FormulaID or TermID depending on Kind
+	Name     string
+	Args     []TermID
+	f        Formula // canonical AST representative of the class
+}
+
+// TNode is the immutable DAG node of a term. S holds Str/Atom/Var text and
+// Func names; I holds Int values; P the PrinTerm principal; Args list/func
+// elements. Time terms are identified via the stored representative.
+type TNode struct {
+	Kind   TKind
+	Ground bool
+	I      int64
+	P      PrinID
+	S      string
+	Args   []TermID
+	t      Term
+}
+
+// PNode is the immutable DAG node of a principal.
+type PNode struct {
+	Kind   PKind
+	Parent PrinID
+	S      string // name, key, hash digest, or subprincipal tag
+	p      Principal
+}
+
+// ---------------------------------------------------------- chunked store
+
+// Node storage is append-only and chunked: a chunk is never reallocated, so
+// readers resolve an ID with two loads and no lock. The chunk directory is
+// copy-on-write; the published count only moves forward after the node's
+// chunk slot is fully written.
+const (
+	consChunkBits = 10
+	consChunkSize = 1 << consChunkBits
+)
+
+type consStore[T any] struct {
+	dir atomic.Pointer[[]*[consChunkSize]T]
+	n   atomic.Uint32
+}
+
+// get resolves a published id (1-based). Callers must pass ids obtained from
+// this table; get panics on 0 or out-of-range ids like a slice would.
+func (s *consStore[T]) get(id uint32) *T {
+	i := id - 1
+	dir := *s.dir.Load()
+	return &dir[i>>consChunkBits][i&(consChunkSize-1)]
+}
+
+// append stores v and returns its id. Callers serialize appends externally
+// (the cons table's insert lock).
+func (s *consStore[T]) append(v T) uint32 {
+	i := s.n.Load()
+	dirp := s.dir.Load()
+	var dir []*[consChunkSize]T
+	if dirp != nil {
+		dir = *dirp
+	}
+	if int(i>>consChunkBits) == len(dir) {
+		grown := make([]*[consChunkSize]T, len(dir)+1)
+		copy(grown, dir)
+		grown[len(dir)] = new([consChunkSize]T)
+		dir = grown
+		s.dir.Store(&dir)
+	}
+	dir[i>>consChunkBits][i&(consChunkSize-1)] = v
+	s.n.Store(i + 1) // publish after the slot is written
+	return i + 1
+}
+
+// ------------------------------------------------------------- cons table
+
+const consShards = 64
+
+type consShard struct {
+	mu sync.RWMutex
+	m  map[uint64][]uint32
+}
+
+type consTable[T any] struct {
+	shards [consShards]consShard
+	store  consStore[T]
+	insMu  sync.Mutex // serializes appends so ids are dense
+	limit  atomic.Uint32
+}
+
+func (t *consTable[T]) init(limit uint32) { t.limit.Store(limit) }
+
+// find returns the id of an existing node with hash h satisfying eq, or 0.
+func (t *consTable[T]) find(h uint64, eq func(*T) bool) uint32 {
+	sh := &t.shards[h&(consShards-1)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for _, id := range sh.m[h] {
+		if eq(t.store.get(id)) {
+			return id
+		}
+	}
+	return 0
+}
+
+// cons interns a node: an existing equal node's id, or a fresh append.
+// ok=false means the table is at its cap and the value was not stored.
+func (t *consTable[T]) cons(h uint64, eq func(*T) bool, v T) (uint32, bool) {
+	if id := t.find(h, eq); id != 0 {
+		return id, true
+	}
+	t.insMu.Lock()
+	defer t.insMu.Unlock()
+	sh := &t.shards[h&(consShards-1)]
+	// Re-check under the insert lock: a racing cons may have appended it.
+	sh.mu.RLock()
+	for _, id := range sh.m[h] {
+		if eq(t.store.get(id)) {
+			sh.mu.RUnlock()
+			return id, true
+		}
+	}
+	sh.mu.RUnlock()
+	if t.store.n.Load() >= t.limit.Load() {
+		return 0, false
+	}
+	id := t.store.append(v)
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = map[uint64][]uint32{}
+	}
+	sh.m[h] = append(sh.m[h], id)
+	sh.mu.Unlock()
+	return id, true
+}
+
+func (t *consTable[T]) len() int { return int(t.store.n.Load()) }
+
+// DefaultConsLimit bounds each node table (formulas, terms, principals).
+const DefaultConsLimit = 1 << 20
+
+var (
+	fTab consTable[FNode]
+	tTab consTable[TNode]
+	pTab consTable[PNode]
+)
+
+func init() {
+	fTab.init(DefaultConsLimit)
+	tTab.init(DefaultConsLimit)
+	pTab.init(DefaultConsLimit)
+}
+
+// SetConsLimit adjusts the per-kind node cap. Lowering it below the current
+// population stops further growth but keeps existing handles valid. Intended
+// for tests and capacity tuning at startup.
+func SetConsLimit(n int) {
+	if n < 0 {
+		n = 0
+	}
+	fTab.limit.Store(uint32(n))
+	tTab.limit.Store(uint32(n))
+	pTab.limit.Store(uint32(n))
+}
+
+// ConsStats reports the live node counts (formulas, terms, principals).
+func ConsStats() (formulas, terms, prins int) {
+	return fTab.len(), tTab.len(), pTab.len()
+}
+
+// ------------------------------------------------------------ node hashing
+
+// Node hashes mix the kind tag with child ids and leaf data. Children are
+// identified by id, so equal subtrees hash equal by induction and candidate
+// verification never walks an AST.
+func consHash(kind uint8, parts ...uint64) uint64 {
+	h := fnvOffset.byte(kind)
+	for _, p := range parts {
+		for i := 0; i < 8; i++ {
+			h = h.byte(byte(p >> (8 * i)))
+		}
+	}
+	return uint64(h)
+}
+
+func consHashStr(h uint64, s string) uint64 {
+	return uint64(fnv64(h).str(s).byte(0))
+}
+
+// -------------------------------------------------------------- principals
+
+// IDOfPrin interns p, returning its stable handle. ok=false only at the cap.
+func IDOfPrin(p Principal) (PrinID, bool) {
+	switch v := p.(type) {
+	case Name:
+		return consPrinLeaf(PName, string(v), p)
+	case Key:
+		return consPrinLeaf(PKey, string(v), p)
+	case HashPrin:
+		return consPrinLeaf(PHash, string(v), p)
+	case varPrin:
+		return consPrinLeaf(PVar, string(v), p)
+	case Sub:
+		parent, ok := IDOfPrin(v.Parent)
+		if !ok {
+			return 0, false
+		}
+		h := consHashStr(consHash(uint8(PSub)|0x80, uint64(parent)), v.Tag)
+		id, ok := pTab.cons(h, func(n *PNode) bool {
+			return n.Kind == PSub && n.Parent == parent && n.S == v.Tag
+		}, PNode{Kind: PSub, Parent: parent, S: v.Tag, p: p})
+		return PrinID(id), ok
+	}
+	return 0, false
+}
+
+func consPrinLeaf(kind PKind, s string, p Principal) (PrinID, bool) {
+	h := consHashStr(consHash(uint8(kind)|0x80), s)
+	id, ok := pTab.cons(h, func(n *PNode) bool {
+		return n.Kind == kind && n.S == s
+	}, PNode{Kind: kind, S: s, p: p})
+	return PrinID(id), ok
+}
+
+// PrinOfID returns the canonical principal of a handle.
+func PrinOfID(id PrinID) Principal { return pTab.store.get(uint32(id)).p }
+
+// PrinNode returns the immutable node for destructuring.
+func PrinNode(id PrinID) *PNode { return pTab.store.get(uint32(id)) }
+
+// IsAncestorID reports whether a is an ancestor (proper or improper) of b in
+// the subprincipal hierarchy, walking the DAG without allocating.
+func IsAncestorID(a, b PrinID) bool {
+	for {
+		if a == b {
+			return true
+		}
+		n := PrinNode(b)
+		if n.Kind != PSub {
+			return false
+		}
+		b = n.Parent
+	}
+}
+
+// ------------------------------------------------------------------- terms
+
+// IDOfTerm interns t, returning its stable handle. ok=false only at the cap.
+func IDOfTerm(t Term) (TermID, bool) {
+	switch v := t.(type) {
+	case Str:
+		return consTermLeaf(TStr, string(v), 0, t, true)
+	case Atom:
+		return consTermLeaf(TAtom, string(v), 0, t, true)
+	case Var:
+		return consTermLeaf(TVar, string(v), 0, t, false)
+	case Int:
+		h := consHash(uint8(TInt)|0x40, uint64(v))
+		id, ok := tTab.cons(h, func(n *TNode) bool {
+			return n.Kind == TInt && n.I == int64(v)
+		}, TNode{Kind: TInt, I: int64(v), Ground: true, t: t})
+		return TermID(id), ok
+	case Time:
+		// Hash by instant; verify with time.Equal via the representative, so
+		// zone-differing but instant-equal Times share a node.
+		h := consHash(uint8(TTime)|0x40, uint64(v.T.UnixNano()))
+		id, ok := tTab.cons(h, func(n *TNode) bool {
+			if n.Kind != TTime {
+				return false
+			}
+			return n.t.(Time).T.Equal(v.T)
+		}, TNode{Kind: TTime, I: v.T.UnixNano(), Ground: true, t: t})
+		return TermID(id), ok
+	case PrinTerm:
+		p, ok := IDOfPrin(v.P)
+		if !ok {
+			return 0, false
+		}
+		h := consHash(uint8(TPrin)|0x40, uint64(p))
+		id, ok := tTab.cons(h, func(n *TNode) bool {
+			return n.Kind == TPrin && n.P == p
+		}, TNode{Kind: TPrin, P: p, Ground: groundPrinID(p), t: t})
+		return TermID(id), ok
+	case TermList:
+		return consTermArgs(TList, "", v, t)
+	case Func:
+		return consTermArgs(TFunc, v.Name, v.Args, t)
+	}
+	return 0, false
+}
+
+func consTermLeaf(kind TKind, s string, i int64, t Term, ground bool) (TermID, bool) {
+	h := consHashStr(consHash(uint8(kind)|0x40, uint64(i)), s)
+	id, ok := tTab.cons(h, func(n *TNode) bool {
+		return n.Kind == kind && n.S == s && n.I == i
+	}, TNode{Kind: kind, S: s, I: i, Ground: ground, t: t})
+	return TermID(id), ok
+}
+
+func consTermArgs(kind TKind, name string, args []Term, t Term) (TermID, bool) {
+	ids := make([]TermID, len(args))
+	ground := true
+	for i, a := range args {
+		id, ok := IDOfTerm(a)
+		if !ok {
+			return 0, false
+		}
+		ids[i] = id
+		ground = ground && TermNode(id).Ground
+	}
+	h := consHash(uint8(kind) | 0x40)
+	for _, id := range ids {
+		h = consHash(uint8(kind)|0x40, h, uint64(id))
+	}
+	h = consHashStr(h, name)
+	id, ok := tTab.cons(h, func(n *TNode) bool {
+		return n.Kind == kind && n.S == name && termIDsEqual(n.Args, ids)
+	}, TNode{Kind: kind, S: name, Args: ids, Ground: ground, t: t})
+	return TermID(id), ok
+}
+
+func termIDsEqual(a, b []TermID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TermOfID returns the canonical term of a handle.
+func TermOfID(id TermID) Term { return tTab.store.get(uint32(id)).t }
+
+// TermNode returns the immutable node for destructuring.
+func TermNode(id TermID) *TNode { return tTab.store.get(uint32(id)) }
+
+func groundPrinID(id PrinID) bool {
+	for {
+		n := PrinNode(id)
+		switch n.Kind {
+		case PVar:
+			return false
+		case PSub:
+			id = n.Parent
+		default:
+			return true
+		}
+	}
+}
+
+// ---------------------------------------------------------------- formulas
+
+// IDOf interns formula f into the hash-cons DAG, returning its stable
+// handle: IDOf(a) == IDOf(b) exactly when a.Equal(b). ok=false only when the
+// table is at its cap; callers then fall back to structural equality.
+func IDOf(f Formula) (FormulaID, bool) {
+	switch v := f.(type) {
+	case TrueF:
+		return consF(consHash(uint8(FTrue)), func(n *FNode) bool { return n.Kind == FTrue },
+			FNode{Kind: FTrue, Ground: true, f: f})
+	case FalseF:
+		return consF(consHash(uint8(FFalse)), func(n *FNode) bool { return n.Kind == FFalse },
+			FNode{Kind: FFalse, Ground: true, f: f})
+	case Pred:
+		ids := make([]TermID, len(v.Args))
+		ground := true
+		for i, a := range v.Args {
+			id, ok := IDOfTerm(a)
+			if !ok {
+				return 0, false
+			}
+			ids[i] = id
+			ground = ground && TermNode(id).Ground
+		}
+		h := consHash(uint8(FPred))
+		for _, id := range ids {
+			h = consHash(uint8(FPred), h, uint64(id))
+		}
+		h = consHashStr(h, v.Name)
+		return consF(h, func(n *FNode) bool {
+			return n.Kind == FPred && n.Name == v.Name && termIDsEqual(n.Args, ids)
+		}, FNode{Kind: FPred, Name: v.Name, Args: ids, Ground: ground, f: f})
+	case Says:
+		p, ok := IDOfPrin(v.P)
+		if !ok {
+			return 0, false
+		}
+		body, ok := IDOf(v.F)
+		if !ok {
+			return 0, false
+		}
+		return ConsSays(p, body)
+	case SpeaksFor:
+		a, ok := IDOfPrin(v.A)
+		if !ok {
+			return 0, false
+		}
+		b, ok := IDOfPrin(v.B)
+		if !ok {
+			return 0, false
+		}
+		scope, hasScope := "", false
+		if v.On != nil {
+			scope, hasScope = v.On.Pred, true
+		}
+		return ConsSpeaksFor(a, b, scope, hasScope)
+	case Compare:
+		l, ok := IDOfTerm(v.L)
+		if !ok {
+			return 0, false
+		}
+		r, ok := IDOfTerm(v.R)
+		if !ok {
+			return 0, false
+		}
+		h := consHash(uint8(FCompare), uint64(v.Op), uint64(l), uint64(r))
+		return consF(h, func(n *FNode) bool {
+			return n.Kind == FCompare && n.Op == v.Op && n.L == uint32(l) && n.R == uint32(r)
+		}, FNode{Kind: FCompare, Op: v.Op, L: uint32(l), R: uint32(r),
+			Ground: TermNode(l).Ground && TermNode(r).Ground, f: f})
+	case Not:
+		inner, ok := IDOf(v.F)
+		if !ok {
+			return 0, false
+		}
+		return ConsNot(inner)
+	case And:
+		return consBinary(FAnd, v.L, v.R)
+	case Or:
+		return consBinary(FOr, v.L, v.R)
+	case Implies:
+		return consBinary(FImplies, v.L, v.R)
+	}
+	return 0, false
+}
+
+func consF(h uint64, eq func(*FNode) bool, v FNode) (FormulaID, bool) {
+	id, ok := fTab.cons(h, eq, v)
+	return FormulaID(id), ok
+}
+
+func consBinary(kind FKind, lf, rf Formula) (FormulaID, bool) {
+	l, ok := IDOf(lf)
+	if !ok {
+		return 0, false
+	}
+	r, ok := IDOf(rf)
+	if !ok {
+		return 0, false
+	}
+	return consBinaryID(kind, l, r)
+}
+
+func consBinaryID(kind FKind, l, r FormulaID) (FormulaID, bool) {
+	h := consHash(uint8(kind), uint64(l), uint64(r))
+	var build func() Formula
+	switch kind {
+	case FAnd:
+		build = func() Formula { return And{L: FormulaOfID(l), R: FormulaOfID(r)} }
+	case FOr:
+		build = func() Formula { return Or{L: FormulaOfID(l), R: FormulaOfID(r)} }
+	default:
+		build = func() Formula { return Implies{L: FormulaOfID(l), R: FormulaOfID(r)} }
+	}
+	if id := fTab.find(h, func(n *FNode) bool {
+		return n.Kind == kind && n.L == uint32(l) && n.R == uint32(r)
+	}); id != 0 {
+		return FormulaID(id), true
+	}
+	return consF(h, func(n *FNode) bool {
+		return n.Kind == kind && n.L == uint32(l) && n.R == uint32(r)
+	}, FNode{Kind: kind, L: uint32(l), R: uint32(r),
+		Ground: FormulaNode(l).Ground && FormulaNode(r).Ground, f: build()})
+}
+
+// ConsSays interns "P says F" from already-consed children in O(1).
+func ConsSays(p PrinID, body FormulaID) (FormulaID, bool) {
+	h := consHash(uint8(FSays), uint64(p), uint64(body))
+	if id := fTab.find(h, func(n *FNode) bool {
+		return n.Kind == FSays && n.P == p && n.L == uint32(body)
+	}); id != 0 {
+		return FormulaID(id), true
+	}
+	return consF(h, func(n *FNode) bool {
+		return n.Kind == FSays && n.P == p && n.L == uint32(body)
+	}, FNode{Kind: FSays, P: p, L: uint32(body),
+		Ground: groundPrinID(p) && FormulaNode(body).Ground,
+		f:      Says{P: PrinOfID(p), F: FormulaOfID(body)}})
+}
+
+// ConsSpeaksFor interns "A speaksfor B [on scope]" from consed children.
+func ConsSpeaksFor(a, b PrinID, scope string, hasScope bool) (FormulaID, bool) {
+	tag := uint64(0)
+	if hasScope {
+		tag = 1
+	}
+	h := consHashStr(consHash(uint8(FSpeaksFor), uint64(a), uint64(b), tag), scope)
+	eq := func(n *FNode) bool {
+		return n.Kind == FSpeaksFor && n.A == a && n.B == b &&
+			n.HasScope == hasScope && n.Name == scope
+	}
+	if id := fTab.find(h, eq); id != 0 {
+		return FormulaID(id), true
+	}
+	var on *Pattern
+	if hasScope {
+		on = &Pattern{Pred: scope}
+	}
+	return consF(h, eq, FNode{Kind: FSpeaksFor, A: a, B: b, Name: scope, HasScope: hasScope,
+		Ground: groundPrinID(a) && groundPrinID(b),
+		f:      SpeaksFor{A: PrinOfID(a), B: PrinOfID(b), On: on}})
+}
+
+// ConsNot interns "not F" from a consed child.
+func ConsNot(inner FormulaID) (FormulaID, bool) {
+	h := consHash(uint8(FNot), uint64(inner))
+	eq := func(n *FNode) bool { return n.Kind == FNot && n.L == uint32(inner) }
+	if id := fTab.find(h, eq); id != 0 {
+		return FormulaID(id), true
+	}
+	return consF(h, eq, FNode{Kind: FNot, L: uint32(inner),
+		Ground: FormulaNode(inner).Ground, f: Not{F: FormulaOfID(inner)}})
+}
+
+// ConsAnd interns a conjunction from consed children.
+func ConsAnd(l, r FormulaID) (FormulaID, bool) { return consBinaryID(FAnd, l, r) }
+
+// ConsOr interns a disjunction from consed children.
+func ConsOr(l, r FormulaID) (FormulaID, bool) { return consBinaryID(FOr, l, r) }
+
+// ConsImplies interns an implication from consed children.
+func ConsImplies(l, r FormulaID) (FormulaID, bool) { return consBinaryID(FImplies, l, r) }
+
+// FormulaOfID returns the canonical formula of a handle.
+func FormulaOfID(id FormulaID) Formula { return fTab.store.get(uint32(id)).f }
+
+// FormulaNode returns the immutable node for destructuring. Callers must
+// not mutate the node or its Args.
+func FormulaNode(id FormulaID) *FNode { return fTab.store.get(uint32(id)) }
+
+// GroundID reports the precomputed groundness bit of a formula handle.
+func GroundID(id FormulaID) bool { return FormulaNode(id).Ground }
+
+// PatternMatchesID is Pattern.Matches over the DAG: predicates with the
+// pattern's name, comparisons whose left side is the atom of that name, and
+// conjunctions of matches. It allocates nothing.
+func PatternMatchesID(pred string, id FormulaID) bool {
+	n := FormulaNode(id)
+	switch n.Kind {
+	case FPred:
+		return n.Name == pred
+	case FCompare:
+		l := TermNode(TermID(n.L))
+		return l.Kind == TAtom && l.S == pred
+	case FAnd:
+		return PatternMatchesID(pred, FormulaID(n.L)) && PatternMatchesID(pred, FormulaID(n.R))
+	}
+	return false
+}

@@ -1,0 +1,166 @@
+package nal
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mustID(t *testing.T, src string) FormulaID {
+	t.Helper()
+	id, ok := IDOf(MustParse(src))
+	if !ok {
+		t.Fatalf("IDOf(%q) hit the cons cap", src)
+	}
+	return id
+}
+
+func TestIDOfEqualityClasses(t *testing.T) {
+	cases := []string{
+		"true", "false",
+		"wantsAccess",
+		"isTypeSafe(hash:ab12)",
+		"alice says openFile(\"/dir/file\")",
+		"key:ab12 speaksfor alice on TimeNow",
+		"a and b or not c => d",
+		"quota(alice) <= 80",
+		"[1, 2, 3] = [1, 2, 3]",
+		"p says (q says r)",
+		"?S says wantsAccess(?O)",
+	}
+	for _, src := range cases {
+		id1 := mustID(t, src)
+		id2 := mustID(t, src) // independently parsed AST, same class
+		if id1 != id2 {
+			t.Errorf("%q: two parses got different IDs %d, %d", src, id1, id2)
+		}
+		if got := FormulaOfID(id1); !got.Equal(MustParse(src)) {
+			t.Errorf("%q: FormulaOfID returned %q", src, got)
+		}
+		if want := Ground(MustParse(src)); GroundID(id1) != want {
+			t.Errorf("%q: GroundID = %v, want %v", src, GroundID(id1), want)
+		}
+	}
+	// Distinct formulas get distinct IDs.
+	seen := map[FormulaID]string{}
+	for _, src := range cases {
+		id := mustID(t, src)
+		if prev, dup := seen[id]; dup {
+			t.Errorf("%q and %q share ID %d", src, prev, id)
+		}
+		seen[id] = src
+	}
+}
+
+func TestIDOfTimeInstant(t *testing.T) {
+	utc := Time{T: time.Date(2026, 3, 19, 15, 0, 0, 0, time.UTC)}
+	est := Time{T: utc.T.In(time.FixedZone("EST", -5*3600))}
+	a, ok1 := IDOfTerm(utc)
+	b, ok2 := IDOfTerm(est)
+	if !ok1 || !ok2 {
+		t.Fatal("cons cap hit")
+	}
+	if a != b {
+		t.Errorf("instant-equal Times got different IDs %d, %d", a, b)
+	}
+}
+
+func TestConsConstructorsMatchIDOf(t *testing.T) {
+	p, _ := IDOfPrin(Name("alice"))
+	body := mustID(t, "wantsAccess")
+	says, ok := ConsSays(p, body)
+	if !ok {
+		t.Fatal("cons cap hit")
+	}
+	if want := mustID(t, "alice says wantsAccess"); says != want {
+		t.Errorf("ConsSays = %d, IDOf = %d", says, want)
+	}
+	l, r := mustID(t, "a"), mustID(t, "b")
+	and, _ := ConsAnd(l, r)
+	if want := mustID(t, "a and b"); and != want {
+		t.Errorf("ConsAnd = %d, IDOf = %d", and, want)
+	}
+	not, _ := ConsNot(l)
+	if want := mustID(t, "not a"); not != want {
+		t.Errorf("ConsNot = %d, IDOf = %d", not, want)
+	}
+	a, _ := IDOfPrin(Name("a"))
+	b, _ := IDOfPrin(SubOf(Name("a"), "t"))
+	sf, _ := ConsSpeaksFor(a, b, "", false)
+	if want := mustID(t, "a speaksfor a.t"); sf != want {
+		t.Errorf("ConsSpeaksFor = %d, IDOf = %d", sf, want)
+	}
+	if !IsAncestorID(a, b) || IsAncestorID(b, a) {
+		t.Error("IsAncestorID disagrees with the subprincipal order")
+	}
+}
+
+func TestPatternMatchesID(t *testing.T) {
+	for _, tc := range []struct {
+		pred, formula string
+		want          bool
+	}{
+		{"wantsAccess", "wantsAccess(\"x\")", true},
+		{"wantsAccess", "other(\"x\")", false},
+		{"TimeNow", "TimeNow < @2026-03-19", true},
+		{"TimeNow", "wantsAccess and TimeNow < @2026-03-19", false},
+		{"p", "p and p(\"x\")", true},
+	} {
+		id := mustID(t, tc.formula)
+		if got := PatternMatchesID(tc.pred, id); got != tc.want {
+			t.Errorf("PatternMatchesID(%q, %q) = %v, want %v", tc.pred, tc.formula, got, tc.want)
+		}
+		want := Pattern{Pred: tc.pred}.Matches(MustParse(tc.formula))
+		if want != tc.want {
+			t.Errorf("test vector disagrees with Pattern.Matches for %q", tc.formula)
+		}
+	}
+}
+
+func TestConsConcurrent(t *testing.T) {
+	const goroutines = 8
+	var wg sync.WaitGroup
+	ids := make([][]FormulaID, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				f := MustParse(fmt.Sprintf("conc%d says p(%d)", i%17, i%29))
+				id, ok := IDOf(f)
+				if !ok {
+					t.Error("cons cap hit")
+					return
+				}
+				ids[g] = append(ids[g], id)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for i := range ids[0] {
+			if ids[g][i] != ids[0][i] {
+				t.Fatalf("goroutine %d got ID %d for item %d, goroutine 0 got %d",
+					g, ids[g][i], i, ids[0][i])
+			}
+		}
+	}
+}
+
+func TestConsCapDegradesSoftly(t *testing.T) {
+	id := mustID(t, "true") // interned before the freeze
+	SetConsLimit(0)         // freeze: existing handles stay valid, growth stops
+	defer SetConsLimit(DefaultConsLimit)
+
+	if _, ok := IDOf(MustParse("neverSeenBefore(\"cap-test\", 12345)")); ok {
+		t.Error("cons beyond the cap should report ok=false")
+	}
+	// Existing values still resolve and still intern-hit.
+	if _, ok := FormulaOfID(id).(TrueF); !ok {
+		t.Error("existing handle broken after cap freeze")
+	}
+	if again := mustID(t, "true"); again != id {
+		t.Errorf("frozen table returned a different ID for an existing value: %d vs %d", again, id)
+	}
+}

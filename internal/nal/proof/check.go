@@ -22,6 +22,11 @@ type Env struct {
 	// accepted even for principals they do not own — the trust preamble of
 	// the goal formula (§2.5). Typically the Nexus kernel principal.
 	TrustRoots []nal.Principal
+	// CredentialIDs optionally carries the hash-cons handles of Credentials,
+	// position for position. Callers that hold credentials long-term (the
+	// kernel proof store) precompute them once so the compiled checker skips
+	// per-call interning; when the lengths disagree the field is ignored.
+	CredentialIDs []nal.FormulaID
 }
 
 func (e *Env) trusted(p nal.Principal) bool {
@@ -57,7 +62,35 @@ var (
 // Check validates the proof and confirms that its conclusion equals goal.
 // Checking is total: it runs in time linear in proof size regardless of
 // input. On success the Result reports cacheability.
+//
+// Check routes through the compiled representation (Compile): formulas are
+// resolved to hash-consed IDs once per proof, every equality in the step
+// checks is an integer compare, and pure rule applications are memoized
+// across requests. Proofs the compiler rejects — and any proof once the
+// hash-cons table saturates — take the structural path below, which is the
+// semantic reference.
 func Check(p *Proof, goal nal.Formula, env *Env) (Result, error) {
+	if p == nil || len(p.Steps) == 0 {
+		return Result{}, ErrEmptyProof
+	}
+	if c, err := p.Compiled(); err == nil {
+		return c.Check(goal, env)
+	}
+	return checkText(p, goal, env)
+}
+
+// CheckStructural validates the proof with the structural (AST-equality)
+// reference checker, bypassing compilation and the memo. The ablation
+// benchmarks use it as the seed baseline; the fuzzer differentially tests
+// the compiled checker against it.
+func CheckStructural(p *Proof, goal nal.Formula, env *Env) (Result, error) {
+	return checkText(p, goal, env)
+}
+
+// checkText is the structural (AST-equality) checker: the reference
+// implementation the compiled checker is differentially fuzzed against, and
+// the fallback when compilation is unavailable.
+func checkText(p *Proof, goal nal.Formula, env *Env) (Result, error) {
 	var res Result
 	if p == nil || len(p.Steps) == 0 {
 		return res, ErrEmptyProof

@@ -47,25 +47,41 @@ func (d *Deriver) Derive(goal nal.Formula) (*Proof, error) {
 	if depth <= 0 {
 		depth = 8
 	}
-	b := &builder{d: d, index: map[string]int{}, visiting: map[string]bool{}}
+	b := &builder{d: d, index: map[dkey]int{}, visiting: map[dkey]bool{}}
 	if _, ok := b.derive(goal, depth); !ok {
 		return nil, fmt.Errorf("proof: no derivation found for %q", goal)
 	}
 	return &Proof{Steps: b.steps}, nil
 }
 
-// builder accumulates steps for one proof frame, deduplicating by canonical
-// formula text.
+// builder accumulates steps for one proof frame, deduplicating by
+// hash-consed formula identity — search state is keyed by FormulaID, so no
+// formula is serialized during derivation. When the cons table is saturated
+// the key falls back to the interned canonical string.
 type builder struct {
 	d        *Deriver
 	steps    []Step
-	index    map[string]int
-	visiting map[string]bool
+	index    map[dkey]int
+	visiting map[dkey]bool
 	hyp      nal.Formula // local hypothesis for subproof frames
 }
 
+// dkey identifies a formula equality class during search: the hash-cons
+// handle when available, the canonical string otherwise.
+type dkey struct {
+	id nal.FormulaID
+	s  string
+}
+
+func deriveKey(f nal.Formula) dkey {
+	if id, ok := nal.IDOf(f); ok {
+		return dkey{id: id}
+	}
+	return dkey{s: nal.KeyOf(f)}
+}
+
 func (b *builder) add(s Step) int {
-	key := s.F.String()
+	key := deriveKey(s.F)
 	if i, ok := b.index[key]; ok {
 		return i
 	}
@@ -78,7 +94,7 @@ func (b *builder) add(s Step) int {
 // derive returns the index of a step concluding goal, creating steps as
 // needed. The boolean reports success.
 func (b *builder) derive(goal nal.Formula, depth int) (int, bool) {
-	key := goal.String()
+	key := deriveKey(goal)
 	if i, ok := b.index[key]; ok {
 		return i, true
 	}
@@ -130,7 +146,7 @@ func (b *builder) derive(goal nal.Formula, depth int) (int, bool) {
 
 	case nal.Implies:
 		// imp-i with a hypothetical subproof in a fresh frame.
-		sub := &builder{d: b.d, index: map[string]int{}, visiting: map[string]bool{}, hyp: g.L}
+		sub := &builder{d: b.d, index: map[dkey]int{}, visiting: map[dkey]bool{}, hyp: g.L}
 		if _, ok := sub.derive(g.R, depth-1); ok {
 			return b.add(Step{
 				Rule: RuleImpI, F: goal,

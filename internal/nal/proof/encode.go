@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/nal"
 )
@@ -16,7 +17,59 @@ import (
 // and a hypothetical subproof is introduced by an "assume : formula" line
 // followed by its steps indented two further spaces. Premise -1 names the
 // hypothesis of the enclosing subproof.
+//
+// Parse memoizes: re-parsing byte-identical source returns the same
+// immutable *Proof, so a proof shipped repeatedly as text (§2.6's exchange
+// format) pays lexing, compilation, and fingerprinting once. Proofs are
+// immutable from birth — callers must not modify Steps — which the rest of
+// the system already assumes for registered proofs.
 func Parse(src string) (*Proof, error) {
+	sh := &parseTab[nal.HashString(src)&(parseCacheShards-1)]
+	sh.mu.RLock()
+	p := sh.m[src]
+	sh.mu.RUnlock()
+	if p != nil {
+		return p, nil
+	}
+	p, err := parseText(src)
+	if err != nil {
+		return nil, err
+	}
+	sh.mu.Lock()
+	if prev, ok := sh.m[src]; ok {
+		p = prev // a racing parse won; share its proof
+	} else {
+		if sh.m == nil {
+			sh.m = map[string]*Proof{}
+		}
+		if len(sh.order) >= parseCacheShardCap {
+			delete(sh.m, sh.order[0])
+			sh.order = sh.order[1:]
+		}
+		sh.m[src] = p
+		sh.order = append(sh.order, src)
+	}
+	sh.mu.Unlock()
+	return p, nil
+}
+
+// The parse cache is sharded and FIFO-capped; eviction only drops the memo,
+// never invalidates anything (hash-cons handles are process-stable).
+const (
+	parseCacheShards   = 16
+	parseCacheShardCap = 64
+)
+
+type parseShard struct {
+	mu    sync.RWMutex
+	m     map[string]*Proof
+	order []string
+}
+
+var parseTab [parseCacheShards]parseShard
+
+// parseText is the uncached parser core (the fuzzer targets it directly).
+func parseText(src string) (*Proof, error) {
 	var lines []string
 	for _, l := range strings.Split(src, "\n") {
 		if strings.TrimSpace(l) != "" {
@@ -40,6 +93,21 @@ func MustParse(src string) *Proof {
 		panic(err)
 	}
 	return p
+}
+
+// ruleTokenOK restricts rule names to bare words so every parsed step
+// prints back to a parseable header.
+func ruleTokenOK(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || '0' <= c && c <= '9' || c == '-' || c == '_') {
+			return false
+		}
+	}
+	return true
 }
 
 func indentOf(line string) int {
@@ -73,6 +141,13 @@ func parseFrame(lines []string, indent int) ([]Step, []string, error) {
 			sub, rest, err := parseSubproofs(lines, indent+1)
 			if err != nil {
 				return nil, nil, err
+			}
+			if len(rest) == len(lines) {
+				// Nothing consumed: the line is indented past this frame but
+				// is not an assume at the subproof level (e.g. an
+				// over-indented step). Without this check the loop would spin
+				// forever on the same line.
+				return nil, nil, fmt.Errorf("proof: misindented line %q", line)
 			}
 			steps[len(steps)-1].Sub = sub
 			lines = rest
@@ -128,6 +203,12 @@ func parseStep(body string) (Step, error) {
 		return Step{}, fmt.Errorf("proof: malformed step header %q", head)
 	}
 	// fields[0] is the step number (ignored; order is positional).
+	if !ruleTokenOK(fields[1]) {
+		// Unknown rules are tolerated (Check rejects them), but the token
+		// must be printable as a bare word or String would emit a header
+		// that does not reparse (e.g. a rule containing " : ").
+		return Step{}, fmt.Errorf("proof: malformed rule token %q", fields[1])
+	}
 	s := Step{Rule: Rule(fields[1]), F: f}
 	for _, fd := range fields[2:] {
 		switch {

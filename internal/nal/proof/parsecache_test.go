@@ -1,0 +1,53 @@
+package proof
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestParseMemoized(t *testing.T) {
+	src := "0. label #0 : alice says hello\n1. says-join 0 : alice says hello\n"
+	p1, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("byte-identical source did not return the shared proof")
+	}
+	// Different text (even semantically equal) parses fresh.
+	p3, err := Parse(src + "\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p1 {
+		t.Error("distinct source text unexpectedly shared a proof")
+	}
+}
+
+func TestParseCacheBounded(t *testing.T) {
+	// Overfill every shard; the cache must stay within its global cap.
+	for i := 0; i < parseCacheShards*parseCacheShardCap*2; i++ {
+		if _, err := Parse(fmt.Sprintf("0. true-i %d : true", i)); err != nil {
+			// The step number field is ignored by the parser, so these are
+			// distinct texts of the same proof.
+			t.Fatal(err)
+		}
+	}
+	total := 0
+	for i := range parseTab {
+		sh := &parseTab[i]
+		sh.mu.RLock()
+		if len(sh.m) != len(sh.order) {
+			t.Errorf("shard %d: map %d entries, order %d", i, len(sh.m), len(sh.order))
+		}
+		total += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	if total > parseCacheShards*parseCacheShardCap {
+		t.Errorf("parse cache holds %d entries, cap %d", total, parseCacheShards*parseCacheShardCap)
+	}
+}

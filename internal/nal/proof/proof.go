@@ -108,13 +108,30 @@ type Subproof struct {
 }
 
 // Proof is a complete derivation; its conclusion is the formula of the final
-// step. Proofs are treated as immutable once registered with a kernel; the
-// fingerprint is computed lazily and cached.
+// step. Proofs are immutable once parsed or registered: Parse may return a
+// shared *Proof for identical text, the kernel proof store and guard cache
+// alias registered proofs across requests, and the fingerprint and compiled
+// form are computed once — mutating Steps after any of those desynchronizes
+// all three. Build a new Proof instead.
 type Proof struct {
 	Steps []Step
 
 	fpOnce sync.Once
 	fp     string
+
+	cOnce    sync.Once
+	compiled *Compiled
+	cerr     error
+}
+
+// Compiled returns the proof's compiled form, translating it on first use
+// and caching the result; a kernel setproof warms this so the authorization
+// path never compiles. The error (a proof the compiler rejects, or a
+// saturated hash-cons table) is sticky, and callers respond by using the
+// structural checker instead.
+func (p *Proof) Compiled() (*Compiled, error) {
+	p.cOnce.Do(func() { p.compiled, p.cerr = Compile(p) })
+	return p.compiled, p.cerr
 }
 
 // Fingerprint returns a stable hash of the proof's textual form, computed

@@ -25,6 +25,7 @@ package nexus
 
 import (
 	"repro/internal/cachestat"
+	"repro/internal/cert"
 	"repro/internal/disk"
 	"repro/internal/guard"
 	"repro/internal/kernel"
@@ -96,12 +97,23 @@ type (
 	Formula = nal.Formula
 	// Principal is a NAL principal.
 	Principal = nal.Principal
+	// FormulaID is a stable hash-cons handle: two formulas are equal
+	// exactly when their IDs are equal.
+	FormulaID = nal.FormulaID
 	// Proof is an explicit NAL derivation.
 	Proof = proof.Proof
+	// CompiledProof is a proof lowered to hash-consed formula IDs; checking
+	// it performs no parsing and no structural comparison.
+	CompiledProof = proof.Compiled
 	// Deriver constructs proofs heuristically on the client side.
 	Deriver = proof.Deriver
 	// ProofEnv supplies credentials and authorities to the checker.
 	ProofEnv = proof.Env
+	// Certificate is an externalized, signed credential (§2.4).
+	Certificate = cert.Certificate
+	// CertVerifyCache pre-verifies certificates by fingerprint and carries
+	// revocation; each kernel owns one (Kernel.CertCache).
+	CertVerifyCache = cert.VerifyCache
 )
 
 // Storage types.
@@ -142,12 +154,25 @@ func ParsePrincipal(src string) (Principal, error) { return nal.ParsePrincipal(s
 // agree). Use it when keying maps on formulas.
 func FormulaKey(f Formula) string { return nal.KeyOf(f) }
 
-// CheckProof validates a proof against a goal.
+// CheckProof validates a proof against a goal. The proof is compiled to
+// hash-consed formula IDs on first check (and cached on the Proof), so
+// repeated checks compare integers, not ASTs.
 func CheckProof(p *Proof, goal Formula, env *ProofEnv) (proof.Result, error) {
 	return proof.Check(p, goal, env)
 }
 
-// ParseProof reads the textual proof exchange format.
+// CompileProof lowers a proof to its compiled representation explicitly
+// (CheckProof does this lazily).
+func CompileProof(p *Proof) (*CompiledProof, error) { return proof.Compile(p) }
+
+// FormulaIDOf interns a formula in the process-wide hash-cons DAG and
+// returns its stable handle; ok is false only when the (capped) table is
+// saturated. Equal formulas always receive equal IDs.
+func FormulaIDOf(f Formula) (FormulaID, bool) { return nal.IDOf(f) }
+
+// ParseProof reads the textual proof exchange format. Byte-identical proof
+// text is memoized: re-parsing returns the same immutable *Proof with its
+// compiled form and fingerprint already warm.
 func ParseProof(src string) (*Proof, error) { return proof.Parse(src) }
 
 // InitStorage initializes attested storage on first boot.
