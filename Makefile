@@ -1,10 +1,26 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench-parallel fuzz-smoke
+.PHONY: check vet build test race bench-smoke bench-parallel fuzz-smoke api-check api-update
 
-# check is the CI gate: static analysis, build, the full race suite, and a
-# short benchmark smoke so the parallel benchmarks cannot bit-rot.
-check: vet build race bench-smoke
+# check is the CI gate: static analysis, build, the full race suite, the
+# API-stability gate, and a short benchmark smoke so the parallel and batch
+# benchmarks cannot bit-rot.
+check: vet build race api-check bench-smoke
+
+# api-check regenerates the public-ABI listing (root package +
+# internal/kernel) and fails when it drifts from the committed api.txt —
+# the ABI changes deliberately, via `make api-update`, or not at all.
+api-check:
+	@$(GO) run ./cmd/apidump > .api.txt.gen; \
+	if ! diff -u api.txt .api.txt.gen; then \
+		rm -f .api.txt.gen; \
+		echo "api-check: public ABI drifted; run 'make api-update' and commit api.txt" >&2; \
+		exit 1; \
+	fi; rm -f .api.txt.gen
+
+# api-update rewrites the committed ABI listing after a deliberate change.
+api-update:
+	$(GO) run ./cmd/apidump > api.txt
 
 vet:
 	$(GO) vet ./...
@@ -35,4 +51,6 @@ fuzz-smoke:
 	$(GO) test -run=XXX -fuzz=FuzzParseFormula -fuzztime=$(FUZZTIME) ./internal/nal
 	$(GO) test -run=XXX -fuzz=FuzzParsePrincipal -fuzztime=$(FUZZTIME) ./internal/nal
 	$(GO) test -run=XXX -fuzz=FuzzMsgWire -fuzztime=$(FUZZTIME) ./internal/kernel
+	$(GO) test -run=XXX -fuzz=FuzzBatchWire -fuzztime=$(FUZZTIME) ./internal/kernel
+	$(GO) test -run=XXX -fuzz=FuzzHandleTable -fuzztime=$(FUZZTIME) ./internal/kernel
 	$(GO) test -run=XXX -fuzz=FuzzParseProof -fuzztime=$(FUZZTIME) ./internal/nal/proof

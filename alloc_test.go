@@ -63,6 +63,95 @@ func TestAllocMarshalMsg(t *testing.T) {
 	}
 }
 
+// abiAllocWorld wires a session world for allocation pinning: echo server,
+// client channel handle, guard admitting everything cacheably, decision
+// cache warm.
+func abiAllocWorld(t *testing.T, opts kernel.Options) (*kernel.Session, kernel.Cap) {
+	t.Helper()
+	k := allocKernel(t, opts)
+	k.SetGuard(guardAllowAll{})
+	srv, err := k.NewSession([]byte("srv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := srv.Listen(func(kernel.Caller, *kernel.Msg) ([]byte, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := srv.PortOf(pc)
+	cli, err := k.NewSession([]byte("cli"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := cli.Open(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Call(ch, &kernel.Msg{Op: "read", Obj: "obj"}); err != nil {
+		t.Fatal(err)
+	}
+	return cli, ch
+}
+
+// TestAllocSessionCallFast pins the Session.Call fast path — handle
+// resolve + warm authorized dispatch, interposition off — at zero
+// allocations: holding rights in a per-process handle table costs nothing
+// on the warm path beyond one shard read-lock.
+func TestAllocSessionCallFast(t *testing.T) {
+	cli, ch := abiAllocWorld(t, kernel.Options{NoInterposition: true})
+	m := &kernel.Msg{Op: "read", Obj: "obj"}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := cli.Call(ch, m); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("warm Session.Call allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestAllocBatchedSubmitWarm pins the warm batched-submit path: with the
+// full pipeline on (interposition + warm authorization), per-op allocations
+// at batch=64 must not exceed the single-call path — the batch marshals
+// into a pooled arena and reuses the caller's completion queue, so batching
+// can only shed allocation, never add it.
+func TestAllocBatchedSubmitWarm(t *testing.T) {
+	cli, ch := abiAllocWorld(t, kernel.Options{})
+	arg := make([]byte, 64)
+	m := &kernel.Msg{Op: "read", Obj: "obj", Args: [][]byte{arg}}
+	single := testing.AllocsPerRun(200, func() {
+		if _, err := cli.Call(ch, m); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	const depth = 64
+	subs := make([]kernel.Sub, depth)
+	for i := range subs {
+		subs[i] = kernel.Sub{Cap: ch, Op: "read", Obj: "obj", Args: [][]byte{arg}}
+	}
+	comps := make([]kernel.Completion, 0, depth)
+	batch := testing.AllocsPerRun(50, func() {
+		out, err := cli.Submit(nil, subs, comps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range out {
+			if out[i].Err != nil {
+				t.Fatal(out[i].Err)
+			}
+		}
+	})
+	perOp := batch / depth
+	if perOp > single {
+		t.Errorf("batched submit allocates %.2f objects/op, single-call path %.2f", perOp, single)
+	}
+	// Absolute ceiling: the amortized batch path must stay near zero even
+	// with marshaling on (one Msg escape + pool jitter across 64 ops).
+	if perOp > 0.25 {
+		t.Errorf("batched submit allocates %.2f objects/op, want ≤ 0.25", perOp)
+	}
+}
+
 // TestAllocCompiledProofCheck pins the compiled proof checker's warm path
 // at zero allocations — the tentpole property that rules out text parsing
 // and canonical-string comparison on authorization misses.

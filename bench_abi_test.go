@@ -1,0 +1,150 @@
+// Benchmarks for the user↔kernel ABI: Session.Call versus batched
+// submission through the submission/completion queue. BenchmarkBatchedIPC
+// is the acceptance exhibit for the ABI redesign — per-op latency at
+// batch=64 must undercut the single-call path, because the batch pushes N
+// operations through one kernel entry, resolving handles and authorizing
+// per-op while amortizing marshaling (one pooled arena instead of one
+// allocation per call) and dispatch setup.
+package nexus
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+// abiWorld wires the standard ABI measurement target: a guarded echo port
+// behind the full dispatch pipeline (authorization on with a warm decision
+// cache, interposition on — the "Nexus standard" configuration of Table 1),
+// a server session, and a client session holding a channel handle.
+func abiWorld(b *testing.B, opts kernel.Options) (cli *kernel.Session, ch kernel.Cap) {
+	b.Helper()
+	k := benchKernel(b, opts)
+	k.SetGuard(guardAllowAll{})
+	srv, err := k.NewSession([]byte("abi-srv"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pc, err := srv.Listen(func(kernel.Caller, *kernel.Msg) ([]byte, error) {
+		return nil, nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	portID, err := srv.PortOf(pc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cli, err = k.NewSession([]byte("abi-cli"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if ch, err = cli.Open(portID); err != nil {
+		b.Fatal(err)
+	}
+	// Warm the decision cache so the measured paths are the steady state.
+	if _, err := cli.Call(ch, &kernel.Msg{Op: "read", Obj: "obj"}); err != nil {
+		b.Fatal(err)
+	}
+	return cli, ch
+}
+
+// guardAllowAll admits every request cacheably, so the warm path is the
+// decision cache, exactly like the Figure 4 steady state.
+type guardAllowAll struct{}
+
+func (guardAllowAll) Check(*kernel.GuardRequest) kernel.GuardDecision {
+	return kernel.GuardDecision{Allow: true, Cacheable: true}
+}
+
+// BenchmarkBatchedIPC reports per-operation latency for the single-call
+// path and for batched submission at depths 1, 8, and 64. Every reported
+// ns/op is one IPC operation, whichever entry shape carried it.
+func BenchmarkBatchedIPC(b *testing.B) {
+	arg := make([]byte, 64)
+	b.Run("single", func(b *testing.B) {
+		cli, ch := abiWorld(b, kernel.Options{})
+		m := &kernel.Msg{Op: "read", Obj: "obj", Args: [][]byte{arg}}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cli.Call(ch, m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, depth := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("batch%d", depth), func(b *testing.B) {
+			cli, ch := abiWorld(b, kernel.Options{})
+			subs := make([]kernel.Sub, depth)
+			for i := range subs {
+				subs[i] = kernel.Sub{Cap: ch, Op: "read", Obj: "obj", Args: [][]byte{arg}}
+			}
+			comps := make([]kernel.Completion, 0, depth)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for done := 0; done < b.N; done += depth {
+				n := depth
+				if rem := b.N - done; rem < n {
+					n = rem
+				}
+				out, err := cli.Submit(nil, subs[:n], comps)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := range out {
+					if out[j].Err != nil {
+						b.Fatal(out[j].Err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBatchedSyscall measures object-handle submission — batched,
+// authorization-checked null operations — against the per-call syscall
+// path, isolating the ABI entry overhead with no handler work at all.
+func BenchmarkBatchedSyscall(b *testing.B) {
+	k := benchKernel(b, kernel.Options{})
+	k.SetGuard(guardAllowAll{})
+	s, err := k.NewSession([]byte("bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Null(); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("null-call", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.Null()
+		}
+	})
+	b.Run("null-batch64", func(b *testing.B) {
+		obj, err := s.OpenObject("null")
+		if err != nil {
+			b.Fatal(err)
+		}
+		subs := make([]kernel.Sub, 64)
+		for i := range subs {
+			subs[i] = kernel.Sub{Cap: obj, Op: "null"}
+		}
+		comps := make([]kernel.Completion, 0, 64)
+		if _, err := s.Submit(nil, subs[:1], comps); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for done := 0; done < b.N; done += 64 {
+			n := 64
+			if rem := b.N - done; rem < n {
+				n = rem
+			}
+			if _, err := s.Submit(nil, subs[:n], comps); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

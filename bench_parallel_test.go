@@ -126,7 +126,7 @@ func BenchmarkParallelIPC(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	pt, err := k.CreatePort(srv, func(*kernel.Process, *kernel.Msg) ([]byte, error) {
+	pt, err := k.CreatePort(srv, func(kernel.Caller, *kernel.Msg) ([]byte, error) {
 		return []byte("ok"), nil
 	})
 	if err != nil {

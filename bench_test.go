@@ -90,7 +90,7 @@ func BenchmarkTable1_NullBlocked(b *testing.B) {
 	p, _ := k.CreateProcess(0, []byte("bench"))
 	mon, _ := k.CreateProcess(0, []byte("mon"))
 	k.Interpose(mon, 0, kernel.FuncMonitor{
-		Call: func(*kernel.Process, *kernel.Port, *kernel.Msg, []byte) kernel.Verdict {
+		Call: func(kernel.Caller, *kernel.Msg, []byte) kernel.Verdict {
 			return kernel.VerdictBlock
 		},
 	})
@@ -109,8 +109,11 @@ func benchNexusFiles(b *testing.B, bare bool) {
 	g := guard.New(k)
 	k.SetGuard(g)
 	fs := mustFS(b, k)
-	app, _ := k.CreateProcess(0, []byte("bench"))
-	c := fs.ClientFor(app)
+	app, _ := k.NewSession([]byte("bench"))
+	c, err := fs.ClientFor(app)
+	if err != nil {
+		b.Fatal(err)
+	}
 	if err := c.Create("/bench"); err != nil {
 		b.Fatal(err)
 	}
@@ -246,7 +249,7 @@ func newFig4World(b *testing.B, cacheOn bool) *fig4World {
 	k.SetGuard(g)
 	srv, _ := k.CreateProcess(0, []byte("srv"))
 	cli, _ := k.CreateProcess(0, []byte("cli"))
-	port, err := k.CreatePort(srv, func(*kernel.Process, *kernel.Msg) ([]byte, error) {
+	port, err := k.CreatePort(srv, func(kernel.Caller, *kernel.Msg) ([]byte, error) {
 		return nil, nil
 	})
 	if err != nil {

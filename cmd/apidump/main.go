@@ -1,0 +1,142 @@
+// Command apidump renders the public ABI surface — every exported
+// declaration of the root nexus package and of internal/kernel (the
+// packages user-level code programs against) — as one sorted, normalized
+// line per declaration.
+//
+// `make check` regenerates the listing and diffs it against the committed
+// api.txt, so any change to the public ABI shows up as an explicit diff in
+// review: future PRs change the surface deliberately, never by accident.
+//
+// Regenerate with:
+//
+//	go run ./cmd/apidump > api.txt
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+// packages whose exported surface constitutes the ABI.
+var packages = []string{".", "./internal/kernel"}
+
+func main() {
+	var lines []string
+	for _, dir := range packages {
+		ls, err := dump(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "apidump: %s: %v\n", dir, err)
+			os.Exit(1)
+		}
+		lines = append(lines, ls...)
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+}
+
+// dump renders the exported declarations of the package in dir.
+func dump(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	for name, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || !exportedRecv(d) {
+						continue
+					}
+					cp := *d
+					cp.Body = nil // signature only
+					cp.Doc = nil
+					lines = append(lines, render(fset, name, &cp))
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						if !specExported(spec) {
+							continue
+						}
+						one := &ast.GenDecl{Tok: d.Tok, Specs: []ast.Spec{stripDoc(spec)}}
+						lines = append(lines, render(fset, name, one))
+					}
+				}
+			}
+		}
+	}
+	return lines, nil
+}
+
+// exportedRecv reports whether a method's receiver base type is exported
+// (top-level functions trivially qualify).
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// specExported reports whether a const/var/type spec declares any exported
+// name.
+func specExported(spec ast.Spec) bool {
+	switch s := spec.(type) {
+	case *ast.TypeSpec:
+		return s.Name.IsExported()
+	case *ast.ValueSpec:
+		for _, n := range s.Names {
+			if n.IsExported() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// stripDoc removes comments from a spec copy so the rendering is stable
+// under doc edits.
+func stripDoc(spec ast.Spec) ast.Spec {
+	switch s := spec.(type) {
+	case *ast.TypeSpec:
+		cp := *s
+		cp.Doc, cp.Comment = nil, nil
+		return &cp
+	case *ast.ValueSpec:
+		cp := *s
+		cp.Doc, cp.Comment = nil, nil
+		return &cp
+	}
+	return spec
+}
+
+// render prints a declaration as "pkg: one-line declaration".
+func render(fset *token.FileSet, pkg string, node any) string {
+	var buf bytes.Buffer
+	printer.Fprint(&buf, fset, node)
+	// Normalize to one line: collapse all whitespace runs.
+	return pkg + ": " + strings.Join(strings.Fields(buf.String()), " ")
+}

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/kernel"
+	"repro/internal/tpm"
+)
+
+// abiExp measures the user↔kernel ABI and records the results in
+// BENCH_abi.json: per-operation latency of the single-call path
+// (Session.Call) against batched submission at depths 1, 8, and 64, under
+// the full dispatch pipeline (warm authorization + interposition
+// marshaling). This is the acceptance exhibit for the ABI redesign: the
+// batch amortizes marshaling and entry overhead while still authorizing
+// every operation, so batch=64 per-op latency must undercut single-call.
+type abiRow struct {
+	Name       string  `json:"name"`
+	Depth      int     `json:"batch_depth"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	AllocsOp   float64 `json:"allocs_per_op"`
+	BytesOp    float64 `json:"bytes_per_op"`
+	Iterations int     `json:"iterations"`
+}
+
+// abiGuard admits every request cacheably (Figure 4 steady state).
+type abiGuard struct{}
+
+func (abiGuard) Check(*kernel.GuardRequest) kernel.GuardDecision {
+	return kernel.GuardDecision{Allow: true, Cacheable: true}
+}
+
+func abiExp() error {
+	t, err := tpm.Manufacture(1024)
+	if err != nil {
+		return err
+	}
+	k, err := kernel.Boot(t, disk.New(), kernel.Options{})
+	if err != nil {
+		return err
+	}
+	k.SetGuard(abiGuard{})
+	srv, err := k.NewSession([]byte("abi-srv"))
+	if err != nil {
+		return err
+	}
+	pc, err := srv.Listen(func(kernel.Caller, *kernel.Msg) ([]byte, error) { return nil, nil })
+	if err != nil {
+		return err
+	}
+	portID, err := srv.PortOf(pc)
+	if err != nil {
+		return err
+	}
+	cli, err := k.NewSession([]byte("abi-cli"))
+	if err != nil {
+		return err
+	}
+	ch, err := cli.Open(portID)
+	if err != nil {
+		return err
+	}
+	arg := make([]byte, 64)
+	m := &kernel.Msg{Op: "read", Obj: "obj", Args: [][]byte{arg}}
+	if _, err := cli.Call(ch, m); err != nil {
+		return err
+	}
+
+	var rows []abiRow
+	add := func(name string, depth int, body func(b *testing.B)) {
+		r := testing.Benchmark(body)
+		// Per-op figures: each iteration below is one operation.
+		rows = append(rows, abiRow{
+			Name:       name,
+			Depth:      depth,
+			NsPerOp:    float64(r.NsPerOp()),
+			AllocsOp:   float64(r.AllocsPerOp()),
+			BytesOp:    float64(r.AllocedBytesPerOp()),
+			Iterations: r.N,
+		})
+	}
+
+	add("call/single", 1, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cli.Call(ch, m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, depth := range []int{1, 8, 64} {
+		subs := make([]kernel.Sub, depth)
+		for i := range subs {
+			subs[i] = kernel.Sub{Cap: ch, Op: "read", Obj: "obj", Args: [][]byte{arg}}
+		}
+		comps := make([]kernel.Completion, 0, depth)
+		add(fmt.Sprintf("submit/batch%d", depth), depth, func(b *testing.B) {
+			b.ReportAllocs()
+			for done := 0; done < b.N; done += depth {
+				n := depth
+				if rem := b.N - done; rem < n {
+					n = rem
+				}
+				out, err := cli.Submit(nil, subs[:n], comps)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := range out {
+					if out[j].Err != nil {
+						b.Fatal(out[j].Err)
+					}
+				}
+			}
+		})
+	}
+
+	fmt.Printf("%-16s %8s %10s %8s\n", "path", "depth", "ns/op", "allocs")
+	var single, batch64 float64
+	for _, r := range rows {
+		fmt.Printf("%-16s %8d %10.1f %8.2f\n", r.Name, r.Depth, r.NsPerOp, r.AllocsOp)
+		switch r.Name {
+		case "call/single":
+			single = r.NsPerOp
+		case "submit/batch64":
+			batch64 = r.NsPerOp
+		}
+	}
+	if single > 0 {
+		fmt.Printf("batch64 speedup over single-call: %.2fx\n", single/batch64)
+	}
+
+	blob, err := json.MarshalIndent(struct {
+		Note string   `json:"note"`
+		Rows []abiRow `json:"rows"`
+	}{
+		Note: "user<->kernel ABI: Session.Call vs batched Submit, full pipeline (warm authz + interposition); per-op figures",
+		Rows: rows,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_abi.json", append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_abi.json")
+	return nil
+}

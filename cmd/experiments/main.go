@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	experiments -exp table1|table2|fig4|fig5|fig6|fig7|fig8|scale|proof|all [-quick]
+//	experiments -exp table1|table2|fig4|fig5|fig6|fig7|fig8|scale|proof|abi|all [-quick]
 //
 // -exp proof additionally writes BENCH_proof.json (ns/op and allocs/op for
 // the authorization miss path, memo-hit path, and compiled vs. text
@@ -39,7 +39,7 @@ import (
 var quick = flag.Bool("quick", false, "fewer iterations for a fast pass")
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1, table2, fig4, fig5, fig6, fig7, fig8, scale, proof, all)")
+	exp := flag.String("exp", "all", "experiment to run (table1, table2, fig4, fig5, fig6, fig7, fig8, scale, proof, abi, all)")
 	flag.Parse()
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
@@ -61,6 +61,7 @@ func main() {
 	run("fig8", fig8)
 	run("scale", scale)
 	run("proof", proofExp)
+	run("abi", abiExp)
 }
 
 // iters scales iteration counts.
@@ -113,26 +114,26 @@ func table1() error {
 	kBare := mustKernel(kernel.Options{NoInterposition: true, NoAuthorization: true})
 	pBare, _ := kBare.CreateProcess(0, []byte("bench"))
 	kStd := mustKernel(kernel.Options{NoAuthorization: true})
-	pStd, _ := kStd.CreateProcess(0, []byte("bench"))
+	sStd, _ := kStd.NewSession([]byte("bench"))
 	m := monolith.New()
 	mpid := m.Spawn(1)
 
 	rows = append(rows,
 		row{"null",
 			medianNs(9, n, func() { pBare.Null() }),
-			medianNs(9, n, func() { pStd.Null() }),
+			medianNs(9, n, func() { sStd.Null() }),
 			-1},
 		row{"getppid",
 			medianNs(9, n, func() { pBare.GetPPID() }),
-			medianNs(9, n, func() { pStd.GetPPID() }),
+			medianNs(9, n, func() { sStd.GetPPID() }),
 			medianNs(9, n, func() { m.GetPPID(mpid) })},
 		row{"gettimeofday",
 			medianNs(9, n, func() { pBare.GetTimeOfDay() }),
-			medianNs(9, n, func() { pStd.GetTimeOfDay() }),
+			medianNs(9, n, func() { sStd.GetTimeOfDay() }),
 			medianNs(9, n, func() { m.GetTimeOfDay() })},
 		row{"yield",
 			medianNs(9, n, func() { pBare.Yield() }),
-			medianNs(9, n, func() { pStd.Yield() }),
+			medianNs(9, n, func() { sStd.Yield() }),
 			medianNs(9, n, func() { m.Yield() })},
 	)
 
@@ -141,7 +142,10 @@ func table1() error {
 	if err != nil {
 		return err
 	}
-	c := fsrv.ClientFor(pStd)
+	c, err := fsrv.ClientFor(sStd)
+	if err != nil {
+		return err
+	}
 	if err := c.Create("/bench"); err != nil {
 		return err
 	}
@@ -218,7 +222,7 @@ func fig4Case(name string, cache bool, n int) float64 {
 	k.SetGuard(g)
 	srv, _ := k.CreateProcess(0, []byte("srv"))
 	cli, _ := k.CreateProcess(0, []byte("cli"))
-	port, _ := k.CreatePort(srv, func(*kernel.Process, *kernel.Msg) ([]byte, error) { return nil, nil })
+	port, _ := k.CreatePort(srv, func(kernel.Caller, *kernel.Msg) ([]byte, error) { return nil, nil })
 	call := func() { k.Call(cli, port.ID, &kernel.Msg{Op: "read", Obj: "obj"}) }
 	goal := nal.MustParse("?S says wantsAccess")
 
@@ -280,7 +284,7 @@ func fig5() error {
 			k.SetGuard(g)
 			srv, _ := k.CreateProcess(0, []byte("srv"))
 			cli, _ := k.CreateProcess(0, []byte("cli"))
-			port, _ := k.CreatePort(srv, func(*kernel.Process, *kernel.Msg) ([]byte, error) { return nil, nil })
+			port, _ := k.CreatePort(srv, func(kernel.Caller, *kernel.Msg) ([]byte, error) { return nil, nil })
 			k.SetGoal(srv, "read", "obj", goal, nil)
 			var kcreds []kernel.Credential
 			for _, c := range creds {
@@ -559,7 +563,7 @@ func scale() error {
 	for _, workers := range []int{1, 2, 4, 8} {
 		k := mustKernel(kernel.Options{})
 		srv, _ := k.CreateProcess(0, []byte("srv"))
-		pt, err := k.CreatePort(srv, func(*kernel.Process, *kernel.Msg) ([]byte, error) {
+		pt, err := k.CreatePort(srv, func(kernel.Caller, *kernel.Msg) ([]byte, error) {
 			return []byte("ok"), nil
 		})
 		if err != nil {

@@ -22,11 +22,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fsDrv, _ := k.CreateProcess(0, []byte("disk-driver"))
-	netDrv, _ := k.CreateProcess(0, []byte("net-driver"))
-	echo := func(*nexus.Process, *nexus.Msg) ([]byte, error) { return nil, nil }
-	netPort, _ := k.CreatePort(netDrv, echo)
-	k.CreatePort(fsDrv, echo)
+	fsDrv, _ := k.NewSession([]byte("disk-driver"))
+	netDrv, _ := k.NewSession([]byte("net-driver"))
+	echo := func(nexus.Caller, *nexus.Msg) ([]byte, error) { return nil, nil }
+	netCap, _ := netDrv.Listen(echo)
+	fsDrv.Listen(echo)
+	netPort, _ := netDrv.PortOf(netCap)
 	k.EnforceChannels(true)
 
 	analyzer, err := ipcgraph.New(k)
@@ -36,7 +37,7 @@ func main() {
 	owner := movieplayer.NewContentOwner(k, fsDrv, netDrv, []byte("4K-MOVIE-STREAM"))
 
 	// A user's unheard-of player binary: never whitelisted, but isolated.
-	player, _ := k.CreateProcess(0, []byte("obscure-open-source-player-v0.1"))
+	player, _ := k.NewSession([]byte("obscure-open-source-player-v0.1"))
 	fmt.Println("player goal:", owner.Goal(player))
 	content, err := movieplayer.RequestStream(k, analyzer, owner, player)
 	if err != nil {
@@ -45,8 +46,8 @@ func main() {
 	fmt.Printf("isolated player streams %q — no hash disclosed\n", content)
 
 	// A player that acquired a network channel is refused.
-	leaky, _ := k.CreateProcess(0, []byte("leaky-player"))
-	k.GrantChannel(leaky, netPort.ID)
+	leaky, _ := k.NewSession([]byte("leaky-player"))
+	leaky.Open(netPort)
 	if _, err := movieplayer.RequestStream(k, analyzer, owner, leaky); err != nil {
 		fmt.Println("leaky player refused:", err)
 	}

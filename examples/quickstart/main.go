@@ -1,14 +1,15 @@
 // Quickstart: boot a simulated Nexus, create principals, issue labels,
 // guard a resource with a goal formula, construct a proof, and watch the
-// guard admit and refuse requests.
+// guard admit and refuse requests — all through the typed Session ABI:
+// user code holds capability handles (nexus.Cap), never kernel pointers.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
 	nexus "repro"
-	"repro/internal/kernel"
 	"repro/internal/nal"
 	"repro/internal/nal/proof"
 )
@@ -26,35 +27,40 @@ func main() {
 	k.SetGuard(nexus.NewGuard(k))
 	fmt.Println("booted Nexus; kernel principal:", k.Prin)
 
-	// 2. Processes: a server owning a resource and two clients.
-	server, _ := k.CreateProcess(0, []byte("file-server"))
-	alice, _ := k.CreateProcess(0, []byte("alice-app"))
-	mallory, _ := k.CreateProcess(0, []byte("mallory-app"))
-	port, _ := k.CreatePort(server, func(from *nexus.Process, m *nexus.Msg) ([]byte, error) {
+	// 2. Sessions: a server owning a resource and two clients. Listen
+	// returns a capability handle; the port's public name is shared with
+	// clients, who Open it into handles of their own.
+	server, _ := k.NewSession([]byte("file-server"))
+	alice, _ := k.NewSession([]byte("alice-app"))
+	mallory, _ := k.NewSession([]byte("mallory-app"))
+	srvCap, _ := server.Listen(func(from nexus.Caller, m *nexus.Msg) ([]byte, error) {
 		return []byte("the secret contents"), nil
 	})
+	portID, _ := server.PortOf(srvCap)
+	aliceCh, _ := alice.Open(portID)
+	malloryCh, _ := mallory.Open(portID)
 
 	// 3. Policy: reading "vault" requires a certifier's blessing of the
 	// subject. ?S is bound to the requesting principal by the guard.
-	certifier, _ := k.CreateProcess(0, []byte("certifier"))
-	goal := nal.Says{P: certifier.Prin, F: nal.Pred{
+	certifier, _ := k.NewSession([]byte("certifier"))
+	goal := nal.Says{P: certifier.Prin(), F: nal.Pred{
 		Name: "vetted", Args: []nal.Term{nal.Var("S")},
 	}}
-	if err := k.SetGoal(server, "read", "vault", goal, nil); err != nil {
+	if err := server.SetGoal("read", "vault", goal, nil); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("goal formula:", goal)
 
 	// 4. Credential: the certifier vouches for alice — a label in NAL.
-	label, _ := certifier.Labels.SayFormula(nal.Pred{
-		Name: "vetted", Args: []nal.Term{nal.PrinTerm{P: alice.Prin}},
+	label, _ := certifier.SayFormula(nal.Pred{
+		Name: "vetted", Args: []nal.Term{nal.PrinTerm{P: alice.Prin()}},
 	})
 	fmt.Println("credential:  ", label.Formula)
 
 	// 5. Proof: alice derives the instantiated goal from her credential and
 	// registers it for the access tuple.
-	instantiated := nal.Says{P: certifier.Prin, F: nal.Pred{
-		Name: "vetted", Args: []nal.Term{nal.PrinTerm{P: alice.Prin}},
+	instantiated := nal.Says{P: certifier.Prin(), F: nal.Pred{
+		Name: "vetted", Args: []nal.Term{nal.PrinTerm{P: alice.Prin()}},
 	}}
 	d := &proof.Deriver{Creds: []nal.Formula{label.Formula}}
 	pf, err := d.Derive(instantiated)
@@ -63,19 +69,37 @@ func main() {
 	}
 	fmt.Println("proof:")
 	fmt.Print(pf)
-	k.SetProof(alice, "read", "vault", pf, []kernel.Credential{{Inline: label.Formula}})
+	alice.SetProof("read", "vault", pf, []nexus.Credential{{Inline: label.Formula}})
 
-	// 6. Access: alice passes; mallory (no proof) is refused.
-	out, err := k.Call(alice, port.ID, &nexus.Msg{Op: "read", Obj: "vault"})
+	// 6. Access: alice passes; mallory (no proof) is refused with a typed
+	// EACCES that still matches the ErrDenied sentinel.
+	out, err := alice.Call(aliceCh, &nexus.Msg{Op: "read", Obj: "vault"})
 	fmt.Printf("alice reads:   %q (err=%v)\n", out, err)
-	_, err = k.Call(mallory, port.ID, &nexus.Msg{Op: "read", Obj: "vault"})
-	fmt.Printf("mallory reads: err=%v\n", err)
+	_, err = mallory.Call(malloryCh, &nexus.Msg{Op: "read", Obj: "vault"})
+	fmt.Printf("mallory reads: errno=%v (ErrDenied=%v)\n",
+		nexus.ErrnoOf(err), errors.Is(err, nexus.ErrDenied))
 
 	// 7. The decision was cacheable: repeated access skips the guard.
 	before := k.GuardUpcalls()
 	for i := 0; i < 1000; i++ {
-		k.Call(alice, port.ID, &nexus.Msg{Op: "read", Obj: "vault"})
+		alice.Call(aliceCh, &nexus.Msg{Op: "read", Obj: "vault"})
 	}
 	fmt.Printf("guard upcalls for 1000 repeat reads: %d (decision cache)\n",
 		k.GuardUpcalls()-before)
+
+	// 8. Batched submission: push a burst of reads through one kernel
+	// entry. Authorization still runs per operation; marshaling and
+	// dispatch overhead are amortized across the batch.
+	q := alice.NewQueue(64)
+	for i := 0; i < 64; i++ {
+		q.Push(nexus.Sub{Cap: aliceCh, Op: "read", Obj: "vault", Tag: uint64(i)})
+	}
+	comps := q.Flush(nil)
+	ok := 0
+	for _, c := range comps {
+		if c.Err == nil {
+			ok++
+		}
+	}
+	fmt.Printf("batched submit: %d/%d completions ok\n", ok, len(comps))
 }

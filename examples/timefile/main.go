@@ -16,7 +16,6 @@ import (
 
 	nexus "repro"
 	"repro/internal/ipcgraph"
-	"repro/internal/kernel"
 	"repro/internal/nal"
 	"repro/internal/nal/proof"
 )
@@ -32,41 +31,43 @@ func main() {
 	}
 	k.SetGuard(nexus.NewGuard(k))
 
-	owner, _ := k.CreateProcess(0, []byte("owner"))
-	reader, _ := k.CreateProcess(0, []byte("reader"))
-	fsDrv, _ := k.CreateProcess(0, []byte("disk-driver"))
-	netDrv, _ := k.CreateProcess(0, []byte("net-driver"))
-	clock, _ := k.CreateProcess(0, []byte("ntp"))
-	server, _ := k.CreateProcess(0, []byte("secret-file-server"))
-	echo := func(*nexus.Process, *nexus.Msg) ([]byte, error) { return []byte("SECRET"), nil }
-	port, _ := k.CreatePort(server, echo)
-	k.CreatePort(fsDrv, echo)
-	k.CreatePort(netDrv, echo)
+	owner, _ := k.NewSession([]byte("owner"))
+	reader, _ := k.NewSession([]byte("reader"))
+	fsDrv, _ := k.NewSession([]byte("disk-driver"))
+	netDrv, _ := k.NewSession([]byte("net-driver"))
+	clock, _ := k.NewSession([]byte("ntp"))
+	server, _ := k.NewSession([]byte("secret-file-server"))
+	echo := func(nexus.Caller, *nexus.Msg) ([]byte, error) { return []byte("SECRET"), nil }
+	srvCap, _ := server.Listen(echo)
+	fsDrv.Listen(echo)
+	netDrv.Listen(echo)
 	k.EnforceChannels(true)
-	// The reader holds a channel to the file server only; the analyzer will
+	// The reader opens a channel to the file server only; the analyzer will
 	// confirm it has no path to the disk or network drivers.
-	if err := k.GrantChannel(reader, port.ID); err != nil {
+	portID, _ := server.PortOf(srvCap)
+	readerCh, err := reader.Open(portID)
+	if err != nil {
 		log.Fatal(err)
 	}
 
 	// The clock authority subscribes to one statement family and answers
 	// live — it never signs a label that could go stale (§2.7).
 	deadlineOpen := true
-	ntpAuth, err := k.RegisterAuthority(clock, func(f nal.Formula) bool {
-		return deadlineOpen && f.Equal(nal.Says{P: clock.Prin, F: nal.MustParse("TimeNow < @2026-07-01")})
+	ntpAuth, err := clock.RegisterAuthority(func(f nal.Formula) bool {
+		return deadlineOpen && f.Equal(nal.Says{P: clock.Prin(), F: nal.MustParse("TimeNow < @2026-07-01")})
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Owner trusts the clock on TimeNow statements only.
-	deleg, _ := owner.Labels.SayFormula(nal.SpeaksFor{
-		A: clock.Prin, B: owner.Prin, On: &nal.Pattern{Pred: "TimeNow"},
+	deleg, _ := owner.SayFormula(nal.SpeaksFor{
+		A: clock.Prin(), B: owner.Prin(), On: &nal.Pattern{Pred: "TimeNow"},
 	})
 
 	// The safety certifier turns IPC-analysis labels into safe(X).
 	analyzer, _ := ipcgraph.New(k)
-	certifier, _ := k.CreateProcess(0, []byte("safety-certifier"))
+	certifier, _ := k.NewSession([]byte("safety-certifier"))
 	noFS, err := analyzer.CertifyNoPath(reader, fsDrv)
 	if err != nil {
 		log.Fatal(err)
@@ -75,8 +76,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	safety, _ := certifier.Labels.SayFormula(nal.Pred{
-		Name: "safe", Args: []nal.Term{nal.PrinTerm{P: reader.Prin}},
+	safety, _ := certifier.SayFormula(nal.Pred{
+		Name: "safe", Args: []nal.Term{nal.PrinTerm{P: reader.Prin()}},
 	})
 	fmt.Println("analysis labels:")
 	fmt.Println(" ", noFS.Formula)
@@ -85,23 +86,23 @@ func main() {
 
 	// The paper's goal formula, with guard variables.
 	goal := nal.Conj(
-		nal.Says{P: owner.Prin, F: nal.MustParse("TimeNow < @2026-07-01")},
+		nal.Says{P: owner.Prin(), F: nal.MustParse("TimeNow < @2026-07-01")},
 		nal.MustParse(`?S says openFile("/secret")`),
-		nal.Says{P: certifier.Prin, F: nal.Pred{Name: "safe", Args: []nal.Term{nal.Var("S")}}},
+		nal.Says{P: certifier.Prin(), F: nal.Pred{Name: "safe", Args: []nal.Term{nal.Var("S")}}},
 	)
-	if err := k.SetGoal(server, "open", "file:/secret", goal, nil); err != nil {
+	if err := server.SetGoal("open", "file:/secret", goal, nil); err != nil {
 		log.Fatal(err)
 	}
 
 	// The reader assembles credentials and derives the proof.
-	request, _ := reader.Labels.SayFormula(nal.MustParse(`openFile("/secret")`))
+	request, _ := reader.SayFormula(nal.MustParse(`openFile("/secret")`))
 	creds := []nal.Formula{deleg.Formula, request.Formula, safety.Formula}
-	inst := nal.Subst{"S": nal.PrinTerm{P: reader.Prin}}.Apply(goal)
+	inst := nal.Subst{"S": nal.PrinTerm{P: reader.Prin()}}.Apply(goal)
 	d := &proof.Deriver{
 		Creds:      creds,
 		TrustRoots: []nal.Principal{k.Prin},
 		Authority: func(f nal.Formula) (string, bool) {
-			if s, ok := f.(nal.Says); ok && s.P.EqualPrin(clock.Prin) {
+			if s, ok := f.(nal.Says); ok && s.P.EqualPrin(clock.Prin()) {
 				return ntpAuth.Channel(), true
 			}
 			return "", false
@@ -111,18 +112,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	var kcreds []kernel.Credential
+	var kcreds []nexus.Credential
 	for _, c := range creds {
-		kcreds = append(kcreds, kernel.Credential{Inline: c})
+		kcreds = append(kcreds, nexus.Credential{Inline: c})
 	}
-	k.SetProof(reader, "open", "file:/secret", pf, kcreds)
+	reader.SetProof("open", "file:/secret", pf, kcreds)
 
-	out, err := k.Call(reader, port.ID, &nexus.Msg{Op: "open", Obj: "file:/secret"})
+	out, err := reader.Call(readerCh, &nexus.Msg{Op: "open", Obj: "file:/secret"})
 	fmt.Printf("before deadline: read %q (err=%v)\n", out, err)
 
 	// The deadline passes; the very next request fails — no revocation
 	// infrastructure needed, the authority simply stops affirming.
 	deadlineOpen = false
-	_, err = k.Call(reader, port.ID, &nexus.Msg{Op: "open", Obj: "file:/secret"})
-	fmt.Printf("after deadline:  err=%v\n", err)
+	_, err = reader.Call(readerCh, &nexus.Msg{Op: "open", Obj: "file:/secret"})
+	fmt.Printf("after deadline:  errno=%v\n", nexus.ErrnoOf(err))
 }

@@ -150,7 +150,7 @@ func TestRevocationViaAuthority(t *testing.T) {
 	revoker, _ := k.CreateProcess(0, []byte("revocation-service"))
 	srv, _ := k.CreateProcess(0, []byte("srv"))
 	cli, _ := k.CreateProcess(0, []byte("cli"))
-	port, _ := k.CreatePort(srv, func(*Process, *Msg) ([]byte, error) { return nil, nil })
+	port, _ := k.CreatePort(srv, func(Caller, *Msg) ([]byte, error) { return nil, nil })
 
 	// The issuer's revocable grant.
 	grant, err := issuer.Labels.SayFormula(nal.MustParse("Valid(access) => access"))

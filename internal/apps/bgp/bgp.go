@@ -38,7 +38,7 @@ type Announcement struct {
 type Verifier struct {
 	AS    int
 	Owned map[string]bool // prefixes this AS legitimately originates
-	proc  *kernel.Process
+	sess  *kernel.Session
 	mu    sync.Mutex
 	// received holds, per prefix, the shortest AS-path length heard and
 	// the set of full paths received (for extension checking).
@@ -49,11 +49,11 @@ type Verifier struct {
 
 // NewVerifier launches a verifier process for a speaker.
 func NewVerifier(k *kernel.Kernel, as int, owned []string) (*Verifier, error) {
-	p, err := k.CreateProcess(0, []byte(fmt.Sprintf("bgp-verifier-as%d", as)))
+	s, err := k.NewSession([]byte(fmt.Sprintf("bgp-verifier-as%d", as)))
 	if err != nil {
 		return nil, err
 	}
-	v := &Verifier{AS: as, Owned: map[string]bool{}, proc: p, received: map[string][][]int{}}
+	v := &Verifier{AS: as, Owned: map[string]bool{}, sess: s, received: map[string][][]int{}}
 	for _, pre := range owned {
 		v.Owned[pre] = true
 	}
@@ -61,7 +61,7 @@ func NewVerifier(k *kernel.Kernel, as int, owned []string) (*Verifier, error) {
 }
 
 // Prin returns the verifier's principal.
-func (v *Verifier) Prin() nal.Principal { return v.proc.Prin }
+func (v *Verifier) Prin() nal.Principal { return v.sess.Prin() }
 
 // Inbound records an advertisement the legacy speaker received from a peer.
 func (v *Verifier) Inbound(a *Announcement) {
@@ -142,5 +142,5 @@ func (v *Verifier) ConformanceLabel() (*kernel.Label, error) {
 		return nil, fmt.Errorf("%w: %d advertisements were rejected", ErrFabricated, rejected)
 	}
 	stmt := nal.Pred{Name: "bgpConformant", Args: []nal.Term{nal.Int(int64(v.AS))}}
-	return v.proc.Labels.SayFormula(stmt)
+	return v.sess.SayFormula(stmt)
 }

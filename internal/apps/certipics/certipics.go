@@ -46,22 +46,22 @@ func (im *Image) Hash() string {
 
 // Editor applies transformations and maintains the certified log.
 type Editor struct {
-	proc *kernel.Process
+	sess *kernel.Session
 	img  *Image
 	log  []string // "op(args) hashBefore hashAfter"
 }
 
 // NewEditor opens an image for editing under the CertiPics process.
 func NewEditor(k *kernel.Kernel, img *Image) (*Editor, error) {
-	p, err := k.CreateProcess(0, []byte("certipics"))
+	s, err := k.NewSession([]byte("certipics"))
 	if err != nil {
 		return nil, err
 	}
-	return &Editor{proc: p, img: img}, nil
+	return &Editor{sess: s, img: img}, nil
 }
 
 // Prin returns the editor's principal.
-func (e *Editor) Prin() nal.Principal { return e.proc.Prin }
+func (e *Editor) Prin() nal.Principal { return e.sess.Prin() }
 
 // Image returns the current image.
 func (e *Editor) Image() *Image { return e.img }
@@ -147,7 +147,7 @@ func (e *Editor) CertifyLog(src *Image) (*kernel.Label, error) {
 		nal.Atom("hash:" + e.img.Hash()),
 		logTerm,
 	}}
-	return e.proc.Labels.SayFormula(stmt)
+	return e.sess.SayFormula(stmt)
 }
 
 // CheckLog is the analyzer: given a certified log label and the disallowed

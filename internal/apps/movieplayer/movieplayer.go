@@ -25,31 +25,31 @@ type ContentOwner struct {
 	k *kernel.Kernel
 	// Goal: IPCAnalyzer says (not hasPath(player, FS)) and
 	//       IPCAnalyzer says (not hasPath(player, NetDriver)).
-	fsProc, netProc *kernel.Process
-	content         []byte
+	fs, net *kernel.Session
+	content []byte
 }
 
 // NewContentOwner creates an owner protecting content against exfiltration
-// through the named disk and network driver processes.
-func NewContentOwner(k *kernel.Kernel, fs, net *kernel.Process, content []byte) *ContentOwner {
-	return &ContentOwner{k: k, fsProc: fs, netProc: net, content: content}
+// through the named disk and network driver sessions.
+func NewContentOwner(k *kernel.Kernel, fs, net *kernel.Session, content []byte) *ContentOwner {
+	return &ContentOwner{k: k, fs: fs, net: net, content: content}
 }
 
-// Goal returns the owner's policy for a given player process.
-func (o *ContentOwner) Goal(player *kernel.Process) nal.Formula {
-	noPath := func(dst *kernel.Process) nal.Formula {
+// Goal returns the owner's policy for a given player session.
+func (o *ContentOwner) Goal(player *kernel.Session) nal.Formula {
+	noPath := func(dst *kernel.Session) nal.Formula {
 		return nal.Says{P: nal.Name("IPCAnalyzer"), F: nal.Not{F: nal.Pred{
 			Name: "hasPath",
-			Args: []nal.Term{nal.PrinTerm{P: player.Prin}, nal.PrinTerm{P: dst.Prin}},
+			Args: []nal.Term{nal.PrinTerm{P: player.Prin()}, nal.PrinTerm{P: dst.Prin()}},
 		}}}
 	}
-	return nal.And{L: noPath(o.fsProc), R: noPath(o.netProc)}
+	return nal.And{L: noPath(o.fs), R: noPath(o.net)}
 }
 
 // Stream checks the supplied credentials against the isolation goal and, on
 // success, returns the content. Note no hash of the player is demanded or
 // disclosed.
-func (o *ContentOwner) Stream(player *kernel.Process, creds []nal.Formula, pf *proof.Proof) ([]byte, error) {
+func (o *ContentOwner) Stream(player *kernel.Session, creds []nal.Formula, pf *proof.Proof) ([]byte, error) {
 	env := &proof.Env{Credentials: creds, TrustRoots: []nal.Principal{o.k.Prin}}
 	if _, err := proof.Check(pf, o.Goal(player), env); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrNotIsolated, err)
@@ -59,12 +59,12 @@ func (o *ContentOwner) Stream(player *kernel.Process, creds []nal.Formula, pf *p
 
 // RequestStream is the player-side flow: obtain analyzer labels, derive the
 // proof, and present it.
-func RequestStream(k *kernel.Kernel, a *ipcgraph.Analyzer, o *ContentOwner, player *kernel.Process) ([]byte, error) {
-	noFS, err := a.CertifyNoPath(player, o.fsProc)
+func RequestStream(k *kernel.Kernel, a *ipcgraph.Analyzer, o *ContentOwner, player *kernel.Session) ([]byte, error) {
+	noFS, err := a.CertifyNoPath(player, o.fs)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrNotIsolated, err)
 	}
-	noNet, err := a.CertifyNoPath(player, o.netProc)
+	noNet, err := a.CertifyNoPath(player, o.net)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrNotIsolated, err)
 	}

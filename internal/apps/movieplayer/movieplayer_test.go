@@ -11,7 +11,7 @@ import (
 	"repro/internal/tpm"
 )
 
-func world(t *testing.T) (*kernel.Kernel, *ipcgraph.Analyzer, *kernel.Process, *kernel.Process, *kernel.Process) {
+func world(t *testing.T) (*kernel.Kernel, *ipcgraph.Analyzer, *kernel.Session, *kernel.Session, *kernel.Session) {
 	t.Helper()
 	tp, err := tpm.Manufacture(1024)
 	if err != nil {
@@ -25,12 +25,12 @@ func world(t *testing.T) (*kernel.Kernel, *ipcgraph.Analyzer, *kernel.Process, *
 	if err != nil {
 		t.Fatal(err)
 	}
-	fs, _ := k.CreateProcess(0, []byte("fs-driver"))
-	net, _ := k.CreateProcess(0, []byte("net-driver"))
-	player, _ := k.CreateProcess(0, []byte("any-player-binary"))
-	echo := func(*kernel.Process, *kernel.Msg) ([]byte, error) { return nil, nil }
-	k.CreatePort(fs, echo)
-	k.CreatePort(net, echo)
+	fs, _ := k.NewSession([]byte("fs-driver"))
+	net, _ := k.NewSession([]byte("net-driver"))
+	player, _ := k.NewSession([]byte("any-player-binary"))
+	echo := func(kernel.Caller, *kernel.Msg) ([]byte, error) { return nil, nil }
+	fs.Listen(echo)
+	net.Listen(echo)
 	k.EnforceChannels(true)
 	return k, a, fs, net, player
 }
@@ -49,10 +49,11 @@ func TestIsolatedPlayerStreams(t *testing.T) {
 
 func TestConnectedPlayerRefused(t *testing.T) {
 	k, a, fs, net, player := world(t)
-	// The player holds a channel to the network driver: exfiltration
+	// The player opens a channel to the network driver: exfiltration
 	// becomes possible, so the analyzer refuses to certify.
-	netPort := portOf(t, k, net)
-	k.GrantChannel(player, netPort)
+	if _, err := player.Open(portOf(t, net)); err != nil {
+		t.Fatal(err)
+	}
 	owner := NewContentOwner(k, fs, net, []byte("MOVIE-BYTES"))
 	if _, err := RequestStream(k, a, owner, player); !errors.Is(err, ErrNotIsolated) {
 		t.Errorf("want ErrNotIsolated, got %v", err)
@@ -62,10 +63,15 @@ func TestConnectedPlayerRefused(t *testing.T) {
 func TestTransitivePathRefused(t *testing.T) {
 	k, a, fs, net, player := world(t)
 	// player → helper → net: indirect exfiltration path.
-	helper, _ := k.CreateProcess(0, []byte("helper"))
-	helperPort, _ := k.CreatePort(helper, func(*kernel.Process, *kernel.Msg) ([]byte, error) { return nil, nil })
-	k.GrantChannel(player, helperPort.ID)
-	k.GrantChannel(helper, portOf(t, k, net))
+	helper, _ := k.NewSession([]byte("helper"))
+	helperPort, _ := helper.Listen(func(kernel.Caller, *kernel.Msg) ([]byte, error) { return nil, nil })
+	helperID, _ := helper.PortOf(helperPort)
+	if _, err := player.Open(helperID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := helper.Open(portOf(t, net)); err != nil {
+		t.Fatal(err)
+	}
 	owner := NewContentOwner(k, fs, net, nil)
 	if _, err := RequestStream(k, a, owner, player); !errors.Is(err, ErrNotIsolated) {
 		t.Errorf("transitive path: want ErrNotIsolated, got %v", err)
@@ -77,26 +83,26 @@ func TestForgedCredentialsRejected(t *testing.T) {
 	owner := NewContentOwner(k, fs, net, []byte("MOVIE"))
 	// The player fabricates its own ¬hasPath labels (spoken by itself, not
 	// the analyzer): the proof cannot connect them to IPCAnalyzer.
-	lbl, err := player.Labels.Say("not hasPath(" + player.Prin.String() + ", " + fs.Prin.String() + ")")
+	lbl, err := player.Say("not hasPath(" + player.Prin().String() + ", " + fs.Prin().String() + ")")
 	if err != nil {
 		t.Fatal(err)
 	}
 	_ = lbl
 	_ = a
 	goal := owner.Goal(player)
-	if _, err := owner.Stream(player, player.Labels.All(), nil); err == nil {
+	if _, err := owner.Stream(player, player.Labels().All(), nil); err == nil {
 		t.Error("nil proof must be rejected")
 	}
 	_ = goal
 }
 
-func portOf(t *testing.T, k *kernel.Kernel, p *kernel.Process) int {
+// portOf finds the public name of the session's sole listening port via
+// the session's own handle table.
+func portOf(t *testing.T, s *kernel.Session) int {
 	t.Helper()
-	for id := 1; id < 100; id++ {
-		if pt, ok := k.FindPort(id); ok && pt.Owner == p {
-			return id
-		}
+	id, err := s.ListeningPort()
+	if err != nil {
+		t.Fatal(err)
 	}
-	t.Fatal("no port")
-	return 0
+	return id
 }

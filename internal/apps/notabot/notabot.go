@@ -24,7 +24,7 @@ var (
 // physical keypresses per window.
 type KeyboardDriver struct {
 	k    *kernel.Kernel
-	proc *kernel.Process
+	sess *kernel.Session
 
 	mu      sync.Mutex
 	presses int
@@ -33,15 +33,15 @@ type KeyboardDriver struct {
 
 // NewKeyboardDriver launches the driver process.
 func NewKeyboardDriver(k *kernel.Kernel) (*KeyboardDriver, error) {
-	p, err := k.CreateProcess(0, []byte("kbd-driver"))
+	s, err := k.NewSession([]byte("kbd-driver"))
 	if err != nil {
 		return nil, err
 	}
-	return &KeyboardDriver{k: k, proc: p}, nil
+	return &KeyboardDriver{k: k, sess: s}, nil
 }
 
 // Prin returns the driver principal.
-func (d *KeyboardDriver) Prin() nal.Principal { return d.proc.Prin }
+func (d *KeyboardDriver) Prin() nal.Principal { return d.sess.Prin() }
 
 // KeyPress records one physical keypress (called from the simulated
 // interrupt path).
@@ -76,11 +76,11 @@ func (d *KeyboardDriver) Attest(msgID string) (*Attestation, error) {
 	stmt := nal.Pred{Name: "humanInput", Args: []nal.Term{
 		nal.Str(msgID), nal.Int(int64(n)),
 	}}
-	label, err := d.proc.Labels.SayFormula(stmt)
+	label, err := d.sess.SayFormula(stmt)
 	if err != nil {
 		return nil, err
 	}
-	ext, err := d.proc.Labels.Externalize(label.Handle)
+	ext, err := d.sess.Attest(label.Handle)
 	if err != nil {
 		return nil, fmt.Errorf("notabot: externalizing: %w", err)
 	}

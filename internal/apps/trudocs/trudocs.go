@@ -42,7 +42,7 @@ type Policy struct {
 // Service issues excerpt certificates on behalf of a document-display
 // process.
 type Service struct {
-	proc   *kernel.Process
+	sess   *kernel.Session
 	policy Policy
 
 	mu     sync.Mutex
@@ -51,15 +51,15 @@ type Service struct {
 
 // New launches the TruDocs service.
 func New(k *kernel.Kernel, policy Policy) (*Service, error) {
-	p, err := k.CreateProcess(0, []byte("trudocs"))
+	s, err := k.NewSession([]byte("trudocs"))
 	if err != nil {
 		return nil, err
 	}
-	return &Service{proc: p, policy: policy, issued: map[string]int{}}, nil
+	return &Service{sess: s, policy: policy, issued: map[string]int{}}, nil
 }
 
 // Prin returns the service principal.
-func (s *Service) Prin() nal.Principal { return s.proc.Prin }
+func (s *Service) Prin() nal.Principal { return s.sess.Prin() }
 
 // DocHash names a document by content hash.
 func DocHash(doc string) string {
@@ -88,7 +88,7 @@ func (s *Service) Certify(doc, excerpt string) (*kernel.Label, error) {
 		nal.Atom("hash:" + DocHash(excerpt)),
 		nal.Atom("hash:" + dh),
 	}}
-	l, err := s.proc.Labels.SayFormula(stmt)
+	l, err := s.sess.SayFormula(stmt)
 	if err != nil {
 		return nil, err
 	}

@@ -45,8 +45,8 @@ var (
 type Service struct {
 	k         *kernel.Kernel
 	fs        *fsys.Client
-	web       *kernel.Process // lighttpd + framework tier
-	framework *kernel.Process
+	web       *kernel.Session // lighttpd + framework tier
+	framework *kernel.Session
 
 	mu       sync.Mutex
 	users    map[string]*user
@@ -78,17 +78,21 @@ type user struct {
 // must pass both labeling functions or deployment fails (§4.1's safety
 // guarantee: uncertified developer code never runs).
 func New(k *kernel.Kernel, fs *fsys.Server, tenantSrc string) (*Service, error) {
-	web, err := k.CreateProcess(0, []byte("lighttpd"))
+	web, err := k.NewSession([]byte("lighttpd"))
 	if err != nil {
 		return nil, err
 	}
-	fw, err := k.CreateProcess(web.PID, []byte("web-framework"))
+	fw, err := web.Spawn([]byte("web-framework"))
+	if err != nil {
+		return nil, err
+	}
+	fsc, err := fs.ClientFor(fw)
 	if err != nil {
 		return nil, err
 	}
 	s := &Service{
 		k:         k,
-		fs:        fs.ClientFor(fw),
+		fs:        fsc,
 		web:       web,
 		framework: fw,
 		users:     map[string]*user{},
@@ -106,8 +110,8 @@ func New(k *kernel.Kernel, fs *fsys.Server, tenantSrc string) (*Service, error) 
 	}
 	rewritten, safe := sandbox.Rewrite(prog)
 	s.tenant = rewritten
-	analyzer := nal.SubOf(fw.Prin, "analyzer")
-	rewriter := nal.SubOf(fw.Prin, "rewriter")
+	analyzer := nal.SubOf(fw.Prin(), "analyzer")
+	rewriter := nal.SubOf(fw.Prin(), "rewriter")
 	s.tenantLabels = []nal.Formula{
 		nal.Says{P: analyzer, F: legal},
 		nal.Says{P: rewriter, F: safe},
@@ -115,11 +119,11 @@ func New(k *kernel.Kernel, fs *fsys.Server, tenantSrc string) (*Service, error) 
 
 	// Embedded authorities (§4.1): session identity and friend-file
 	// membership, answered over live state.
-	s.sessionAuth, err = k.RegisterAuthority(web, s.answerSession)
+	s.sessionAuth, err = web.RegisterAuthority(s.answerSession)
 	if err != nil {
 		return nil, err
 	}
-	s.friendAuth, err = k.RegisterAuthority(fw, s.answerFriend)
+	s.friendAuth, err = fw.RegisterAuthority(s.answerFriend)
 	if err != nil {
 		return nil, err
 	}
@@ -190,7 +194,7 @@ func (s *Service) answerFriend(f nal.Formula) bool {
 // attached at the web-server layer after authentication (§4.1), so tenant
 // code cannot forge it.
 func (s *Service) prinFor(name string) nal.Principal {
-	return nal.SubChain(s.web.Prin, "user", name)
+	return nal.SubChain(s.web.Prin(), "user", name)
 }
 
 // MayFlow implements cobuf.FlowJudge over the social graph: data owned by
@@ -216,7 +220,7 @@ func (s *Service) userOf(p nal.Principal) (string, bool) {
 		return "", false
 	}
 	parent, ok := sub.Parent.(nal.Sub)
-	if !ok || parent.Tag != "user" || !parent.Parent.EqualPrin(s.web.Prin) {
+	if !ok || parent.Tag != "user" || !parent.Parent.EqualPrin(s.web.Prin()) {
 		return "", false
 	}
 	return sub.Tag, true
@@ -435,10 +439,10 @@ func (s *Service) LoadWall(name string) error {
 }
 
 // WebPrin returns the web tier's principal.
-func (s *Service) WebPrin() nal.Principal { return s.web.Prin }
+func (s *Service) WebPrin() nal.Principal { return s.web.Prin() }
 
 // FrameworkPrin returns the framework's principal.
-func (s *Service) FrameworkPrin() nal.Principal { return s.framework.Prin }
+func (s *Service) FrameworkPrin() nal.Principal { return s.framework.Prin() }
 
 func hashPass(name, pass string) string {
 	sum := sha256.Sum256([]byte(name + "\x00" + pass))

@@ -1,6 +1,7 @@
 package fauxbook
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -68,9 +69,12 @@ type WebStack struct {
 	cfg    StackConfig
 	k      *kernel.Kernel
 	g      *guard.Generic
-	web    *kernel.Process
-	client *kernel.Process
-	port   *kernel.Port
+	web    *kernel.Session
+	client *kernel.Session
+	// ch is the client tier's channel handle to the server port; sq is the
+	// client's reusable submission queue for pipelined request bursts.
+	ch kernel.Cap
+	sq *kernel.SubQueue
 
 	plain   map[string][]byte
 	regions map[string]*ssr.Region
@@ -107,15 +111,24 @@ func NewWebStack(k *kernel.Kernel, mgr *ssr.Manager, cfg StackConfig) (*WebStack
 		w.key = key
 	}
 	var err error
-	if w.web, err = k.CreateProcess(0, []byte("lighttpd-stack")); err != nil {
+	if w.web, err = k.NewSession([]byte("lighttpd-stack")); err != nil {
 		return nil, err
 	}
-	if w.client, err = k.CreateProcess(0, []byte("http-client")); err != nil {
+	if w.client, err = k.NewSession([]byte("http-client")); err != nil {
 		return nil, err
 	}
-	if w.port, err = k.CreatePort(w.web, w.handle); err != nil {
+	srvCap, err := w.web.Listen(w.handle)
+	if err != nil {
 		return nil, err
 	}
+	portID, err := w.web.PortOf(srvCap)
+	if err != nil {
+		return nil, err
+	}
+	if w.ch, err = w.client.Open(portID); err != nil {
+		return nil, err
+	}
+	w.sq = w.client.NewQueue(64)
 	if cfg.Dynamic {
 		prog, err := sandbox.Parse(wallTemplate)
 		if err != nil {
@@ -131,11 +144,11 @@ func NewWebStack(k *kernel.Kernel, mgr *ssr.Manager, cfg StackConfig) (*WebStack
 	case AccessStatic:
 		// One cacheable credential per (client, object class).
 		goal := nal.MustParse("?S says wantsAccess")
-		if err := k.SetGoal(w.web, "GET", "web:static", goal, nil); err != nil {
+		if err := w.web.SetGoal("GET", "web:static", goal, nil); err != nil {
 			return nil, err
 		}
-		cred := nal.Says{P: w.client.Prin, F: nal.Pred{Name: "wantsAccess"}}
-		k.SetProof(w.client, "GET", "web:static", proof.Assume(0, cred),
+		cred := nal.Says{P: w.client.Prin(), F: nal.Pred{Name: "wantsAccess"}}
+		w.client.SetProof("GET", "web:static", proof.Assume(0, cred),
 			[]kernel.Credential{{Inline: cred}})
 	case AccessDynamic:
 		// Every request consults the live session authority.
@@ -143,20 +156,20 @@ func NewWebStack(k *kernel.Kernel, mgr *ssr.Manager, cfg StackConfig) (*WebStack
 			return w.session && f.String() == "Sessions says valid"
 		})
 		goal := nal.MustParse("Sessions says valid")
-		if err := k.SetGoal(w.web, "GET", "web:static", goal, nil); err != nil {
+		if err := w.web.SetGoal("GET", "web:static", goal, nil); err != nil {
 			return nil, err
 		}
 		pf := &proof.Proof{Steps: []proof.Step{
 			{Rule: proof.RuleAuthority, Channel: w.authCh, F: goal},
 		}}
-		k.SetProof(w.client, "GET", "web:static", pf, nil)
+		w.client.SetProof("GET", "web:static", pf, nil)
 	}
 
 	if cfg.RefMon != RefMonNone {
 		policy := &refmon.Policy{Ops: map[string]bool{"GET": true}}
 		w.monitor = refmon.NewMonitor(policy, cfg.RefMon == RefMonUser)
 		w.monitor.SetCaching(cfg.RefMonCache)
-		if _, err := k.Interpose(w.web, w.port.ID, w.monitor); err != nil {
+		if _, err := w.web.Interpose(portID, w.monitor); err != nil {
 			return nil, err
 		}
 	}
@@ -245,16 +258,36 @@ func (w *WebStack) Monitor() *refmon.Monitor { return w.monitor }
 // Request performs one HTTP GET through the full stack and returns the
 // response body. This is the request path Figure 8 measures.
 func (w *WebStack) Request(path string) ([]byte, error) {
-	return w.k.Call(w.client, w.port.ID, &kernel.Msg{
+	return w.client.Call(w.ch, &kernel.Msg{
 		Op:   "GET",
 		Obj:  "web:static",
 		Args: [][]byte{[]byte(path)},
 	})
 }
 
+// RequestBatch pipelines many GETs through one batched submission — the
+// client tier's submission queue pushes the burst through a single kernel
+// entry, authorizing each request but amortizing marshaling and dispatch.
+func (w *WebStack) RequestBatch(paths []string) ([][]byte, error) {
+	for _, p := range paths {
+		w.sq.Push(kernel.Sub{
+			Cap: w.ch, Op: "GET", Obj: "web:static", Args: [][]byte{[]byte(p)},
+		})
+	}
+	comps := w.sq.Flush(context.Background())
+	out := make([][]byte, len(comps))
+	for i, c := range comps {
+		if c.Err != nil {
+			return nil, c.Err
+		}
+		out[i] = c.Out
+	}
+	return out, nil
+}
+
 // handle is the server tier: parse the request line, fetch the document
 // (optionally via the tenant interpreter), emit a response.
-func (w *WebStack) handle(from *kernel.Process, m *kernel.Msg) ([]byte, error) {
+func (w *WebStack) handle(from kernel.Caller, m *kernel.Msg) ([]byte, error) {
 	if len(m.Args) != 1 {
 		return nil, fmt.Errorf("fauxbook: malformed request")
 	}
@@ -264,7 +297,7 @@ func (w *WebStack) handle(from *kernel.Process, m *kernel.Msg) ([]byte, error) {
 		return []byte("HTTP/1.0 404 Not Found\r\n\r\n"), err
 	}
 	if w.cfg.Dynamic {
-		owner := nal.SubOf(w.web.Prin, "site")
+		owner := nal.SubOf(w.web.Prin(), "site")
 		env := &sandbox.Env{
 			Judge: openFlow{},
 			Inputs: map[string]*cobuf.Buf{

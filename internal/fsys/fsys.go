@@ -8,6 +8,7 @@
 package fsys
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -29,11 +30,15 @@ var (
 	ErrShortArgs = errors.New("fsys: malformed request")
 )
 
-// Server is the fileserver process state.
+// Server is the fileserver process state. It holds the kernel ABI only
+// through its Session: the port it serves is named by a capability handle,
+// and clients are identified by the Caller values the dispatch pipeline
+// delivers.
 type Server struct {
-	k    *kernel.Kernel
-	proc *kernel.Process
-	port *kernel.Port
+	k      *kernel.Kernel
+	sess   *kernel.Session
+	port   kernel.Cap
+	portID int
 
 	mu    sync.Mutex
 	files map[string]*file
@@ -53,33 +58,36 @@ type fd struct {
 }
 
 // Prin returns the fileserver's principal (FS in the paper's examples).
-func (s *Server) Prin() nal.Principal { return s.proc.Prin }
+func (s *Server) Prin() nal.Principal { return s.sess.Prin() }
 
-// Port returns the IPC port clients call.
-func (s *Server) Port() *kernel.Port { return s.port }
+// PortID returns the public name of the IPC port clients open.
+func (s *Server) PortID() int { return s.portID }
 
-// Proc returns the fileserver's process.
-func (s *Server) Proc() *kernel.Process { return s.proc }
+// Session returns the fileserver's ABI session.
+func (s *Server) Session() *kernel.Session { return s.sess }
 
 // New launches the file service as a user-level process with an IPC port.
 func New(k *kernel.Kernel) (*Server, error) {
-	proc, err := k.CreateProcess(0, []byte("nexus-fileserver"))
+	sess, err := k.NewSession([]byte("nexus-fileserver"))
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
 		k:     k,
-		proc:  proc,
+		sess:  sess,
 		files: map[string]*file{"/": {isDir: true}},
 		fds:   map[int]*fd{},
 		next:  3,
 	}
-	port, err := k.CreatePort(proc, s.handle)
+	port, err := sess.Listen(s.handle)
 	if err != nil {
 		return nil, err
 	}
 	s.port = port
-	k.Introsp.Publish("/proc/fs/nfiles", proc.Prin, func() string {
+	if s.portID, err = sess.PortOf(port); err != nil {
+		return nil, err
+	}
+	k.Introsp.Publish("/proc/fs/nfiles", sess.Prin(), func() string {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		return fmt.Sprint(len(s.files))
@@ -87,18 +95,49 @@ func New(k *kernel.Kernel) (*Server, error) {
 	return s, nil
 }
 
-// Client is a process's view of the file service.
+// Client is a session's view of the file service: a channel handle to the
+// fileserver port plus the per-batch scratch the bulk entry points reuse.
 type Client struct {
-	s *Server
-	p *kernel.Process
+	s    *Server
+	sess *kernel.Session
+	ch   kernel.Cap
 }
 
-// ClientFor returns a client bound to the calling process.
-func (s *Server) ClientFor(p *kernel.Process) *Client { return &Client{s: s, p: p} }
+// ClientFor returns a client bound to the calling session, opening a
+// channel to the fileserver port.
+func (s *Server) ClientFor(sess *kernel.Session) (*Client, error) {
+	ch, err := sess.Open(s.portID)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{s: s, sess: sess, ch: ch}, nil
+}
 
 // call performs the IPC round trip.
 func (c *Client) call(op, path string, args ...[]byte) ([]byte, error) {
-	return c.s.k.Call(c.p, c.s.port.ID, &kernel.Msg{Op: op, Obj: "file:" + path, Args: args})
+	return c.sess.Call(c.ch, &kernel.Msg{Op: op, Obj: "file:" + path, Args: args})
+}
+
+// WriteFiles stores many files through one batched submission: the Figure 8
+// style bulk path, amortizing per-call dispatch overhead through the
+// submission queue. It returns the first per-op error, if any.
+func (c *Client) WriteFiles(ctx context.Context, files map[string][]byte) error {
+	subs := make([]kernel.Sub, 0, len(files))
+	for path, data := range files {
+		subs = append(subs, kernel.Sub{
+			Cap: c.ch, Op: "writefile", Obj: "file:" + path, Args: [][]byte{data},
+		})
+	}
+	comps, err := c.sess.Submit(ctx, subs, nil)
+	if err != nil {
+		return err
+	}
+	for _, cm := range comps {
+		if cm.Err != nil {
+			return cm.Err
+		}
+	}
+	return nil
 }
 
 // Create makes an empty file. The fileserver registers the creator as the
@@ -189,7 +228,7 @@ func parseInt(b []byte) (int, error) {
 }
 
 // handle is the server-side dispatch.
-func (s *Server) handle(from *kernel.Process, m *kernel.Msg) ([]byte, error) {
+func (s *Server) handle(from kernel.Caller, m *kernel.Msg) ([]byte, error) {
 	path := strings.TrimPrefix(m.Obj, "file:")
 	switch m.Op {
 	case "create":
@@ -227,7 +266,7 @@ func parent(path string) string {
 	return path[:i]
 }
 
-func (s *Server) create(from *kernel.Process, path string, isDir bool) error {
+func (s *Server) create(from kernel.Caller, path string, isDir bool) error {
 	s.mu.Lock()
 	if _, ok := s.files[path]; ok {
 		s.mu.Unlock()
@@ -245,18 +284,18 @@ func (s *Server) create(from *kernel.Process, path string, isDir bool) error {
 	// passes ownership with "FS says caller speaksfor FS.<path>", uttered
 	// by FS and transferred into the caller's labelstore.
 	s.k.RegisterObject("file:"+path, from.Prin)
-	grant := nal.SpeaksFor{A: from.Prin, B: nal.SubOf(s.proc.Prin, path)}
-	l, err := s.proc.Labels.SayFormula(grant)
+	grant := nal.SpeaksFor{A: from.Prin, B: nal.SubOf(s.sess.Prin(), path)}
+	l, err := s.sess.SayFormula(grant)
 	if err != nil {
 		return fmt.Errorf("fsys: issuing ownership grant: %w", err)
 	}
-	if _, err := s.proc.Labels.Transfer(l.Handle, from); err != nil {
+	if _, err := s.sess.TransferLabel(l.Handle, from.PID); err != nil {
 		return fmt.Errorf("fsys: transferring ownership grant: %w", err)
 	}
 	return nil
 }
 
-func (s *Server) open(from *kernel.Process, path string) ([]byte, error) {
+func (s *Server) open(from kernel.Caller, path string) ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	f, ok := s.files[path]
@@ -272,7 +311,7 @@ func (s *Server) open(from *kernel.Process, path string) ([]byte, error) {
 	return intArg(fdNum), nil
 }
 
-func (s *Server) lookupFD(from *kernel.Process, m *kernel.Msg) (*fd, int, error) {
+func (s *Server) lookupFD(from kernel.Caller, m *kernel.Msg) (*fd, int, error) {
 	if len(m.Args) < 1 {
 		return nil, 0, ErrShortArgs
 	}
@@ -287,7 +326,7 @@ func (s *Server) lookupFD(from *kernel.Process, m *kernel.Msg) (*fd, int, error)
 	return d, n, nil
 }
 
-func (s *Server) close(from *kernel.Process, m *kernel.Msg) error {
+func (s *Server) close(from kernel.Caller, m *kernel.Msg) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	_, n, err := s.lookupFD(from, m)
@@ -298,7 +337,7 @@ func (s *Server) close(from *kernel.Process, m *kernel.Msg) error {
 	return nil
 }
 
-func (s *Server) read(from *kernel.Process, m *kernel.Msg) ([]byte, error) {
+func (s *Server) read(from kernel.Caller, m *kernel.Msg) ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	d, _, err := s.lookupFD(from, m)
@@ -328,7 +367,7 @@ func (s *Server) read(from *kernel.Process, m *kernel.Msg) ([]byte, error) {
 	return out, nil
 }
 
-func (s *Server) write(from *kernel.Process, m *kernel.Msg) ([]byte, error) {
+func (s *Server) write(from kernel.Caller, m *kernel.Msg) ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	d, _, err := s.lookupFD(from, m)
@@ -371,7 +410,7 @@ func (s *Server) readFile(path string) ([]byte, error) {
 	return append([]byte(nil), f.data...), nil
 }
 
-func (s *Server) writeFile(from *kernel.Process, path string, data []byte) error {
+func (s *Server) writeFile(from kernel.Caller, path string, data []byte) error {
 	s.mu.Lock()
 	f, ok := s.files[path]
 	if ok {

@@ -13,7 +13,7 @@ import (
 	"repro/internal/tpm"
 )
 
-func newFS(t *testing.T) (*kernel.Kernel, *Server, *Client, *kernel.Process) {
+func newFS(t *testing.T) (*kernel.Kernel, *Server, *Client, *kernel.Session) {
 	t.Helper()
 	tp, err := tpm.Manufacture(1024)
 	if err != nil {
@@ -28,11 +28,15 @@ func newFS(t *testing.T) (*kernel.Kernel, *Server, *Client, *kernel.Process) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := k.CreateProcess(0, []byte("app"))
+	app, err := k.NewSession([]byte("app"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	return k, s, s.ClientFor(p), p
+	c, err := s.ClientFor(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, s, c, app
 }
 
 func TestCreateOpenReadWriteClose(t *testing.T) {
@@ -121,8 +125,11 @@ func TestDescriptorsNotTransferable(t *testing.T) {
 	k, s, c, _ := newFS(t)
 	c.Create("/f")
 	fd, _ := c.Open("/f")
-	other, _ := k.CreateProcess(0, []byte("other"))
-	oc := s.ClientFor(other)
+	other, _ := k.NewSession([]byte("other"))
+	oc, err := s.ClientFor(other)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := oc.Read(fd, 1); !errors.Is(err, ErrBadFD) {
 		t.Errorf("foreign fd: want ErrBadFD, got %v", err)
 	}
@@ -134,16 +141,16 @@ func TestOwnershipGrantDeposited(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := nal.Says{P: s.Prin(), F: nal.SpeaksFor{
-		A: p.Prin, B: nal.SubOf(s.Prin(), "/mine"),
+		A: p.Prin(), B: nal.SubOf(s.Prin(), "/mine"),
 	}}
 	found := false
-	for _, f := range p.Labels.All() {
+	for _, f := range p.Labels().All() {
 		if f.Equal(nal.Formula(want)) {
 			found = true
 		}
 	}
 	if !found {
-		t.Errorf("ownership grant missing; have %v", p.Labels.All())
+		t.Errorf("ownership grant missing; have %v", p.Labels().All())
 	}
 }
 
@@ -153,23 +160,23 @@ func TestPerFileGoalFormula(t *testing.T) {
 	if err := c.Create("/secret"); err != nil {
 		t.Fatal(err)
 	}
-	certifier, _ := k.CreateProcess(0, []byte("safety-certifier"))
-	goal := nal.Says{P: certifier.Prin, F: nal.Pred{Name: "safe", Args: []nal.Term{nal.Var("S")}}}
+	certifier, _ := k.NewSession([]byte("safety-certifier"))
+	goal := nal.Says{P: certifier.Prin(), F: nal.Pred{Name: "safe", Args: []nal.Term{nal.Var("S")}}}
 	// The creator owns the nascent object, so it (not the fileserver) may
 	// set goals on it under the default policy (§2.6).
-	if err := k.SetGoal(s.Proc(), "open", "file:/secret", goal, nil); !errors.Is(err, kernel.ErrDenied) {
+	if err := s.Session().SetGoal("open", "file:/secret", goal, nil); !errors.Is(err, kernel.ErrDenied) {
 		t.Errorf("non-owner setgoal: want ErrDenied, got %v", err)
 	}
-	if err := k.SetGoal(p, "open", "file:/secret", goal, nil); err != nil {
+	if err := p.SetGoal("open", "file:/secret", goal, nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := c.Open("/secret"); !errors.Is(err, kernel.ErrDenied) {
 		t.Errorf("uncertified open: want ErrDenied, got %v", err)
 	}
 	// The certifier vouches; the client proves.
-	cred := nal.Says{P: certifier.Prin, F: nal.Pred{Name: "safe", Args: []nal.Term{nal.PrinTerm{P: p.Prin}}}}
+	cred := nal.Says{P: certifier.Prin(), F: nal.Pred{Name: "safe", Args: []nal.Term{nal.PrinTerm{P: p.Prin()}}}}
 	pf := proof.Assume(0, cred)
-	k.SetProof(p, "open", "file:/secret", pf, []kernel.Credential{{Inline: cred}})
+	p.SetProof("open", "file:/secret", pf, []kernel.Credential{{Inline: cred}})
 	if _, err := c.Open("/secret"); err != nil {
 		t.Errorf("certified open: %v", err)
 	}

@@ -33,7 +33,7 @@ func newWorld(t *testing.T) *world {
 	k.SetGuard(g)
 	srv, _ := k.CreateProcess(0, []byte("server"))
 	cli, _ := k.CreateProcess(0, []byte("client"))
-	pt, _ := k.CreatePort(srv, func(*kernel.Process, *kernel.Msg) ([]byte, error) {
+	pt, _ := k.CreatePort(srv, func(kernel.Caller, *kernel.Msg) ([]byte, error) {
 		return []byte("ok"), nil
 	})
 	return &world{k: k, g: g, srv: srv, cli: cli, pt: pt}

@@ -18,24 +18,24 @@ import (
 // Analyzer is the analysis process.
 type Analyzer struct {
 	k    *kernel.Kernel
-	proc *kernel.Process
+	sess *kernel.Session
 }
 
-// New launches the analyzer as a process on the kernel.
+// New launches the analyzer as a session on the kernel.
 func New(k *kernel.Kernel) (*Analyzer, error) {
-	p, err := k.CreateProcess(0, []byte("ipc-connectivity-analyzer"))
+	s, err := k.NewSession([]byte("ipc-connectivity-analyzer"))
 	if err != nil {
 		return nil, err
 	}
-	return &Analyzer{k: k, proc: p}, nil
+	return &Analyzer{k: k, sess: s}, nil
 }
 
 // Prin returns the analyzer's principal (IPCAnalyzer in the paper's
 // examples, bound to a concrete process by a kernel speaksfor label).
-func (a *Analyzer) Prin() nal.Principal { return a.proc.Prin }
+func (a *Analyzer) Prin() nal.Principal { return a.sess.Prin() }
 
-// Proc returns the analyzer's process.
-func (a *Analyzer) Proc() *kernel.Process { return a.proc }
+// Session returns the analyzer's ABI session.
+func (a *Analyzer) Session() *kernel.Session { return a.sess }
 
 // Reachable computes the set of PIDs transitively reachable from pid over
 // held IPC channels.
@@ -67,16 +67,17 @@ func (a *Analyzer) HasPath(src, dst int) bool {
 // CertifyNoPath analyzes the current channel table and, if src has no
 // transitive path to dst, deposits the label
 // "analyzer says not hasPath(src, dst)" in the analyzer's labelstore for
-// transfer to the subject. It fails when a path exists.
-func (a *Analyzer) CertifyNoPath(src, dst *kernel.Process) (*kernel.Label, error) {
-	if a.HasPath(src.PID, dst.PID) {
-		return nil, fmt.Errorf("ipcgraph: %s has a path to %s", src.Prin, dst.Prin)
+// transfer to the subject. It fails when a path exists. The snapshot it
+// analyzes is coherent: Kernel.Channels linearizes against teardown.
+func (a *Analyzer) CertifyNoPath(src, dst *kernel.Session) (*kernel.Label, error) {
+	if a.HasPath(src.PID(), dst.PID()) {
+		return nil, fmt.Errorf("ipcgraph: %s has a path to %s", src.Prin(), dst.Prin())
 	}
 	stmt := nal.Not{F: nal.Pred{
 		Name: "hasPath",
-		Args: []nal.Term{nal.PrinTerm{P: src.Prin}, nal.PrinTerm{P: dst.Prin}},
+		Args: []nal.Term{nal.PrinTerm{P: src.Prin()}, nal.PrinTerm{P: dst.Prin()}},
 	}}
-	return a.proc.Labels.SayFormula(stmt)
+	return a.sess.SayFormula(stmt)
 }
 
 // BindingLabel returns the kernel's statement that this process implements
@@ -84,7 +85,7 @@ func (a *Analyzer) CertifyNoPath(src, dst *kernel.Process) (*kernel.Label, error
 // that trust the kernel accept the analyzer's findings under the abstract
 // name.
 func (a *Analyzer) BindingLabel() nal.Formula {
-	return nal.Says{P: a.k.Prin, F: nal.SpeaksFor{A: a.proc.Prin, B: nal.Name("IPCAnalyzer")}}
+	return nal.Says{P: a.k.Prin, F: nal.SpeaksFor{A: a.sess.Prin(), B: nal.Name("IPCAnalyzer")}}
 }
 
 // Snapshot renders the current connectivity graph for debugging and

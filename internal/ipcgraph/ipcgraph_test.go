@@ -25,23 +25,37 @@ func boot(t *testing.T) *kernel.Kernel {
 }
 
 // topology: player → decoder → display; fs isolated.
-func setup(t *testing.T, k *kernel.Kernel) (player, decoder, display, fs *kernel.Process) {
+func setup(t *testing.T, k *kernel.Kernel) (player, decoder, display, fs *kernel.Session) {
 	t.Helper()
-	mk := func(name string) *kernel.Process {
-		p, err := k.CreateProcess(0, []byte(name))
+	mk := func(name string) *kernel.Session {
+		s, err := k.NewSession([]byte(name))
 		if err != nil {
 			t.Fatal(err)
 		}
-		return p
+		return s
 	}
 	player, decoder, display, fs = mk("player"), mk("decoder"), mk("display"), mk("fs")
-	echo := func(*kernel.Process, *kernel.Msg) ([]byte, error) { return nil, nil }
-	decPort, _ := k.CreatePort(decoder, echo)
-	dispPort, _ := k.CreatePort(display, echo)
-	k.CreatePort(fs, echo)
-	k.GrantChannel(player, decPort.ID)
-	k.GrantChannel(decoder, dispPort.ID)
+	echo := func(kernel.Caller, *kernel.Msg) ([]byte, error) { return nil, nil }
+	decoder.Listen(echo)
+	display.Listen(echo)
+	fs.Listen(echo)
+	mustOpen(t, player, decoder)
+	mustOpen(t, decoder, display)
 	return
+}
+
+// mustOpen opens a channel from s to the peer's listening port.
+func mustOpen(t *testing.T, s, peer *kernel.Session) kernel.Cap {
+	t.Helper()
+	id, err := peer.ListeningPort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Open(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
 }
 
 func TestReachability(t *testing.T) {
@@ -51,16 +65,16 @@ func TestReachability(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !a.HasPath(player.PID, decoder.PID) || !a.HasPath(player.PID, display.PID) {
+	if !a.HasPath(player.PID(), decoder.PID()) || !a.HasPath(player.PID(), display.PID()) {
 		t.Error("player should transitively reach decoder and display")
 	}
-	if a.HasPath(player.PID, fs.PID) {
+	if a.HasPath(player.PID(), fs.PID()) {
 		t.Error("player must not reach fs")
 	}
-	if a.HasPath(display.PID, player.PID) {
+	if a.HasPath(display.PID(), player.PID()) {
 		t.Error("edges are directed")
 	}
-	if !a.HasPath(player.PID, player.PID) {
+	if !a.HasPath(player.PID(), player.PID()) {
 		t.Error("self path trivially holds")
 	}
 	if !strings.Contains(a.Snapshot(), "->") {
@@ -78,7 +92,7 @@ func TestCertifyNoPath(t *testing.T) {
 	}
 	want := nal.Says{P: a.Prin(), F: nal.Not{F: nal.Pred{
 		Name: "hasPath",
-		Args: []nal.Term{nal.PrinTerm{P: player.Prin}, nal.PrinTerm{P: fs.Prin}},
+		Args: []nal.Term{nal.PrinTerm{P: player.Prin()}, nal.PrinTerm{P: fs.Prin()}},
 	}}}
 	if !lbl.Formula.Equal(nal.Formula(want)) {
 		t.Errorf("label = %q", lbl.Formula)
@@ -103,7 +117,7 @@ func TestMoviePlayerProofShape(t *testing.T) {
 	creds := []nal.Formula{a.BindingLabel(), noFS.Formula}
 	goal := nal.Says{P: nal.Name("IPCAnalyzer"), F: nal.Not{F: nal.Pred{
 		Name: "hasPath",
-		Args: []nal.Term{nal.PrinTerm{P: player.Prin}, nal.PrinTerm{P: fs.Prin}},
+		Args: []nal.Term{nal.PrinTerm{P: player.Prin()}, nal.PrinTerm{P: fs.Prin()}},
 	}}}
 	d := &proof.Deriver{Creds: creds, TrustRoots: []nal.Principal{k.Prin}}
 	pf, err := d.Derive(goal)
@@ -121,33 +135,22 @@ func TestMoviePlayerProofShape(t *testing.T) {
 func TestChannelEnforcement(t *testing.T) {
 	k := boot(t)
 	player, _, _, fs := setup(t, k)
-	fsPort := findPortOf(t, k, fs)
-	// Open topology: the call succeeds even without a grant.
-	if _, err := k.Call(player, fsPort, &kernel.Msg{Op: "x", Obj: "y"}); err != nil {
-		t.Fatalf("open topology: %v", err)
-	}
-	// Enforced: the analyzer's ¬hasPath claim is backed by the kernel.
+	// Enforced: the analyzer's ¬hasPath claim is backed by the kernel — a
+	// session with no channel handle cannot even address the port.
 	k.EnforceChannels(true)
-	if _, err := k.Call(player, fsPort, &kernel.Msg{Op: "x", Obj: "y"}); err == nil {
-		t.Error("enforced topology must block ungranted call")
+	fsCap := mustOpen(t, player, fs)
+	if _, err := player.Call(fsCap, &kernel.Msg{Op: "x", Obj: "y"}); err != nil {
+		t.Errorf("opened channel call: %v", err)
 	}
-	k.GrantChannel(player, fsPort)
-	if _, err := k.Call(player, fsPort, &kernel.Msg{Op: "x", Obj: "y"}); err != nil {
-		t.Errorf("granted call: %v", err)
+	// Closing the last handle revokes the channel capability; the stale
+	// handle fails with EBADF before the capability check even runs.
+	if err := player.Close(fsCap); err != nil {
+		t.Fatal(err)
 	}
-	k.RevokeChannel(player, fsPort)
-	if _, err := k.Call(player, fsPort, &kernel.Msg{Op: "x", Obj: "y"}); err == nil {
-		t.Error("revoked call must fail")
+	if _, err := player.Call(fsCap, &kernel.Msg{Op: "x", Obj: "y"}); kernel.ErrnoOf(err) != kernel.EBADF {
+		t.Errorf("closed handle: want EBADF, got %v", err)
 	}
-}
-
-func findPortOf(t *testing.T, k *kernel.Kernel, p *kernel.Process) int {
-	t.Helper()
-	for id := 1; id < 100; id++ {
-		if pt, ok := k.FindPort(id); ok && pt.Owner == p {
-			return id
-		}
+	if a, _ := New(k); a.HasPath(player.PID(), fs.PID()) {
+		t.Error("closed channel must leave the connectivity graph")
 	}
-	t.Fatal("no port for process")
-	return 0
 }

@@ -16,11 +16,14 @@ var ErrNoSuchAuthority = errors.New("kernel: no such authority")
 // deliberately untransferable: the kernel returns only a boolean to the
 // asking guard, never a storable credential.
 type Authority struct {
-	Port *Port
+	port *Port
 	// prin is the port principal; only statements attributed to it (or to
 	// principals it speaks for) are in scope.
 	prin nal.Principal
 }
+
+// PortID returns the id of the attested port the authority answers on.
+func (a *Authority) PortID() int { return a.port.ID }
 
 // authorityOp is the reserved IPC operation guards use to pose queries.
 const authorityOp = "authority-query"
@@ -33,7 +36,7 @@ func (k *Kernel) RegisterAuthority(owner *Process, answer func(f nal.Formula) bo
 	if answer == nil {
 		return nil, ErrBadArgument
 	}
-	pt, err := k.CreatePort(owner, func(from *Process, m *Msg) ([]byte, error) {
+	pt, err := k.CreatePort(owner, func(from Caller, m *Msg) ([]byte, error) {
 		if m.Op != authorityOp || len(m.Args) != 1 {
 			return nil, ErrBadArgument
 		}
@@ -49,7 +52,7 @@ func (k *Kernel) RegisterAuthority(owner *Process, answer func(f nal.Formula) bo
 	if err != nil {
 		return nil, err
 	}
-	a := &Authority{Port: pt, prin: pt.Prin(k)}
+	a := &Authority{port: pt, prin: pt.Prin(k)}
 	k.authMu.Lock()
 	k.auth[a.Channel()] = a
 	k.authMu.Unlock()
@@ -83,7 +86,7 @@ func channelName(portID int) string { return fmt.Sprintf("ipc:%d", portID) }
 
 // Channel returns the authority's channel name, used in proofs'
 // RuleAuthority steps.
-func (a *Authority) Channel() string { return channelName(a.Port.ID) }
+func (a *Authority) Channel() string { return channelName(a.port.ID) }
 
 // Prin returns the principal to which the authority's answers are
 // attributed.
@@ -101,7 +104,7 @@ func (k *Kernel) QueryAuthority(channel string, f nal.Formula) (bool, error) {
 	if !ok {
 		return false, ErrNoSuchAuthority
 	}
-	out, err := k.Call(a.Port.Owner, a.Port.ID, &Msg{
+	out, err := k.Call(a.port.Owner, a.port.ID, &Msg{
 		Op:   authorityOp,
 		Obj:  channel,
 		Args: [][]byte{[]byte(f.String())},

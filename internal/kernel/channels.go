@@ -124,24 +124,6 @@ func (t *chanTable) dropPort(portID int) {
 	t.revMu.Unlock()
 }
 
-// snapshot returns pid → held port ids.
-func (t *chanTable) snapshot() map[int][]int {
-	out := map[int][]int{}
-	for i := range t.shards {
-		s := &t.shards[i]
-		s.mu.RLock()
-		for pid, ports := range s.m {
-			for portID, ok := range ports {
-				if ok {
-					out[pid] = append(out[pid], portID)
-				}
-			}
-		}
-		s.mu.RUnlock()
-	}
-	return out
-}
-
 // GrantChannel gives a process the capability to call a port.
 func (k *Kernel) GrantChannel(p *Process, portID int) error {
 	if _, ok := k.ports.find(portID); !ok {
@@ -180,16 +162,28 @@ func (k *Kernel) holdsChannel(p *Process, pt *Port, enforce bool) bool {
 	return k.chans.holds(p.PID, pt.ID)
 }
 
-// Channels returns a snapshot of the capability table: pid → owning pid of
-// each held port. The connectivity analyzer consumes this.
+// Channels returns a coherent snapshot of the capability table: pid → owning
+// pid of each held port. The connectivity analyzer consumes this, and bases
+// ¬hasPath trust labels on it, so the snapshot must be linearizable against
+// teardown: it is built under revMu — the lock every grant, revoke, and
+// port/process teardown passes through — so the grant set returned is
+// exactly the table's state at one instant, never a part-old part-new
+// interleaving of a concurrent Exit. Grants whose port completed teardown
+// inside the revMu window (Exit removes the port from the registry before
+// revoking its grants) resolve as dead and are skipped, which matches the
+// post-teardown state.
 func (k *Kernel) Channels() map[int][]int {
 	out := map[int][]int{}
-	for pid, ports := range k.chans.snapshot() {
-		for _, portID := range ports {
-			if pt, ok := k.ports.find(portID); ok {
-				out[pid] = append(out[pid], pt.Owner.PID)
-			}
+	k.chans.revMu.Lock()
+	for portID, pids := range k.chans.byPort {
+		pt, ok := k.ports.find(portID)
+		if !ok || pt.dead.Load() {
+			continue
+		}
+		for pid := range pids {
+			out[pid] = append(out[pid], pt.Owner.PID)
 		}
 	}
+	k.chans.revMu.Unlock()
 	return out
 }

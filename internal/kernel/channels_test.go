@@ -17,7 +17,7 @@ func TestExitCleansChannelState(t *testing.T) {
 	mid, _ := k.CreateProcess(0, []byte("mid"))
 	cli, _ := k.CreateProcess(0, []byte("cli"))
 
-	echo := func(_ *Process, m *Msg) ([]byte, error) { return []byte("ok"), nil }
+	echo := func(_ Caller, m *Msg) ([]byte, error) { return []byte("ok"), nil }
 	srvPort, err := k.CreatePort(srv, echo)
 	if err != nil {
 		t.Fatal(err)
@@ -88,7 +88,7 @@ func TestRevokeChannel(t *testing.T) {
 
 	srv, _ := k.CreateProcess(0, []byte("srv"))
 	cli, _ := k.CreateProcess(0, []byte("cli"))
-	pt, _ := k.CreatePort(srv, func(*Process, *Msg) ([]byte, error) { return nil, nil })
+	pt, _ := k.CreatePort(srv, func(Caller, *Msg) ([]byte, error) { return nil, nil })
 
 	if _, err := k.Call(cli, pt.ID, &Msg{Op: "ping", Obj: "o"}); !errors.Is(err, ErrDenied) {
 		t.Fatalf("ungranted call: got %v, want ErrDenied", err)

@@ -16,7 +16,7 @@ func TestConcurrentCallsAndControlOps(t *testing.T) {
 	k := bootKernel(t)
 	k.SetGuard(allowAllGuard{})
 	srv, _ := k.CreateProcess(0, []byte("srv"))
-	pt, _ := k.CreatePort(srv, func(*Process, *Msg) ([]byte, error) { return []byte("ok"), nil })
+	pt, _ := k.CreatePort(srv, func(Caller, *Msg) ([]byte, error) { return []byte("ok"), nil })
 
 	const workers = 8
 	var wg sync.WaitGroup
@@ -70,8 +70,8 @@ func TestConcurrentAuthoritiesAndInterposition(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 100; i++ {
 				if i%10 == 0 {
-					if id, err := k.Interpose(mon, a.Port.ID, FuncMonitor{}); err == nil {
-						k.Deinterpose(mon, a.Port.ID, id)
+					if id, err := k.Interpose(mon, a.PortID(), FuncMonitor{}); err == nil {
+						k.Deinterpose(mon, a.PortID(), id)
 					}
 				}
 				if _, err := k.QueryAuthority(a.Channel(), nal.TrueF{}); err != nil {
@@ -140,7 +140,7 @@ func TestConcurrentGoalUpdatesAndCalls(t *testing.T) {
 	k := bootKernel(t)
 	k.SetGuard(allowAllGuard{})
 	srv, _ := k.CreateProcess(0, []byte("srv"))
-	pt, _ := k.CreatePort(srv, func(*Process, *Msg) ([]byte, error) { return []byte("ok"), nil })
+	pt, _ := k.CreatePort(srv, func(Caller, *Msg) ([]byte, error) { return []byte("ok"), nil })
 
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
@@ -187,7 +187,7 @@ func TestConcurrentLabelstoreTransfer(t *testing.T) {
 					t.Error(err)
 					return
 				}
-				if _, err := a.Labels.Transfer(l.Handle, b); err != nil {
+				if _, err := a.Labels.Transfer(l.Handle, b.Labels); err != nil {
 					t.Error(err)
 					return
 				}

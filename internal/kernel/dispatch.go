@@ -1,13 +1,11 @@
 package kernel
 
-import "fmt"
-
 // Kernel flag word bits: global toggles read on every dispatch with a single
 // atomic load.
 const (
-	flagAuthz uint32 = 1 << iota // goal checking on (Figure 4 "system call")
-	flagInterp                   // redirector + marshaling on (Table 1 bare)
-	flagEnforceChans             // channel-capability enforcement on Call
+	flagAuthz        uint32 = 1 << iota // goal checking on (Figure 4 "system call")
+	flagInterp                          // redirector + marshaling on (Table 1 bare)
+	flagEnforceChans                    // channel-capability enforcement on Call
 )
 
 func (k *Kernel) setFlag(bit uint32, on bool) {
@@ -23,8 +21,8 @@ func (k *Kernel) setFlag(bit uint32, on bool) {
 	}
 }
 
-// dispatch is the single kernel entry pipeline shared by IPC Call and
-// kernel-implemented system calls:
+// dispatch is the single kernel entry pipeline shared by IPC Call, the
+// Session ABI (Call and Submit), and kernel-implemented system calls:
 //
 //	resolve → channel check → authorize → interpose/marshal → invoke → unwind
 //
@@ -41,11 +39,22 @@ func (k *Kernel) setFlag(bit uint32, on bool) {
 // pipeline, so the ablation configurations (Table 1 bare, Figure 4 cases)
 // toggle dispatch stages rather than diverging code paths.
 func (k *Kernel) dispatch(from *Process, pt *Port, m *Msg, invoke Handler) ([]byte, error) {
-	flags := k.flags.Load()
+	return k.dispatchFlags(k.flags.Load(), from, pt, m, invoke, nil)
+}
 
+// dispatchFlags is dispatch with the toggle word pre-loaded (the batch
+// entry loads it once per submission) and an optional marshal arena: when
+// arena is non-nil the wire copy is appended there instead of allocating,
+// and the grown arena is returned through *arena.
+func (k *Kernel) dispatchFlags(flags uint32, from *Process, pt *Port, m *Msg, invoke Handler, arena *[]byte) ([]byte, error) {
 	// Channel check: capability systems gate connectivity before policy.
-	if pt != nil && !k.holdsChannel(from, pt, flags&flagEnforceChans != 0) {
-		return nil, fmt.Errorf("%w: no channel to port %d", ErrDenied, pt.ID)
+	if pt != nil {
+		if pt.dead.Load() {
+			return nil, abiErr(ENOENT, m.Op, "port closed")
+		}
+		if !k.holdsChannel(from, pt, flags&flagEnforceChans != 0) {
+			return nil, abiErr(EACCES, m.Op, "no channel to port")
+		}
 	}
 
 	// Authorization: decision cache, then guard upcall (§2.8).
@@ -55,25 +64,39 @@ func (k *Kernel) dispatch(from *Process, pt *Port, m *Msg, invoke Handler) ([]by
 		}
 	}
 
+	caller := Caller{PID: from.PID, Prin: from.Prin}
+	if pt != nil {
+		caller.Port = pt.ID
+	}
+
 	// Bare configuration: straight to the operation body.
 	if flags&flagInterp == 0 {
-		return invoke(from, m)
+		return invoke(caller, m)
 	}
 
 	// Interposition: the kernel materializes the argument buffer at the
 	// protection boundary so monitors can inspect and rewrite it (§5.1
 	// measures this cost); the chain is an immutable snapshot read with one
-	// atomic load, so a concurrent Interpose never tears a call.
+	// atomic load, so a concurrent Interpose never tears a call. The wire
+	// copy is valid only for the duration of the call — batch submissions
+	// reuse the arena it lives in.
 	chain := k.chainFor(pt)
-	wire := marshalMsg(m)
+	var wire []byte
+	if arena != nil {
+		start := len(*arena)
+		*arena = appendMsgWire(*arena, m)
+		wire = (*arena)[start:]
+	} else {
+		wire = marshalMsg(m)
+	}
 	for _, mon := range chain {
-		if mon.OnCall(from, pt, m, wire) == VerdictBlock {
-			return nil, fmt.Errorf("%w: blocked by reference monitor", ErrDenied)
+		if mon.OnCall(caller, m, wire) == VerdictBlock {
+			return nil, abiErr(EACCES, m.Op, "blocked by reference monitor")
 		}
 	}
-	out, err := invoke(from, m)
+	out, err := invoke(caller, m)
 	for i := len(chain) - 1; i >= 0; i-- {
-		out = chain[i].OnReturn(from, pt, m, out)
+		out = chain[i].OnReturn(caller, m, out)
 	}
 	return out, err
 }

@@ -2,8 +2,26 @@ package kernel
 
 import (
 	"bytes"
+	"sync"
 	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/tpm"
 )
+
+// bootKernelRaw boots a kernel outside a testing.T context (for the shared
+// fuzz world); it returns nil on platform failure.
+func bootKernelRaw() *Kernel {
+	tp, err := tpm.Manufacture(1024)
+	if err != nil {
+		return nil
+	}
+	k, err := Boot(tp, disk.New(), Options{})
+	if err != nil {
+		return nil
+	}
+	return k
+}
 
 // FuzzMsgWire fuzzes the IPC wire format the dispatch pipeline materializes
 // at the protection boundary, mirroring the NAL parser fuzzers: decoding
@@ -47,5 +65,179 @@ func FuzzMsgWire(f *testing.F) {
 				t.Fatalf("arg %d not stable", i)
 			}
 		}
+		// Batch extension: any accepted message, framed as a batch, must
+		// round-trip through the batch wire format too.
+		batch := MarshalBatch([]*Msg{m, m2})
+		back, err := UnmarshalBatch(batch)
+		if err != nil {
+			t.Fatalf("batch decode of accepted messages: %v", err)
+		}
+		if len(back) != 2 || !bytes.Equal(MarshalBatch(back), batch) {
+			t.Fatalf("batch round-trip not stable")
+		}
+	})
+}
+
+// FuzzBatchWire fuzzes the batch framing of the submission queue: decoding
+// arbitrary bytes must never panic, and accepted input must round-trip
+// byte-for-byte — the same contract FuzzMsgWire pins for single messages.
+func FuzzBatchWire(f *testing.F) {
+	seed := [][]byte{
+		{},
+		MarshalBatch(nil),
+		MarshalBatch([]*Msg{{}}),
+		MarshalBatch([]*Msg{{Op: "read", Obj: "file:/x"}}),
+		MarshalBatch([]*Msg{
+			{Op: "write", Obj: "obj", Args: [][]byte{[]byte("a"), {}, []byte("bc")}},
+			{Op: "GET", Obj: "web:static", Args: [][]byte{[]byte("/index.html")}},
+		}),
+		{0xff, 0xff, 0xff, 0xff},
+		{0x01, 0x00, 0x00, 0x00, 0x08, 0x00, 0x00, 0x00},
+	}
+	for _, s := range seed {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, wire []byte) {
+		msgs, err := UnmarshalBatch(wire) // must not panic, whatever the input
+		if err != nil {
+			return
+		}
+		again := MarshalBatch(msgs)
+		if !bytes.Equal(again, wire) {
+			t.Fatalf("encode(decode(batch)) != batch\n in:  %x\n out: %x", wire, again)
+		}
+	})
+}
+
+// fuzzWorld lazily boots one shared kernel (boots are RSA-keygen heavy)
+// with a stable echo port; each fuzz iteration gets its own subject
+// session, so iterations only share immutable targets.
+var fuzzOnce sync.Once
+var fuzzK *Kernel
+var fuzzPortID int
+
+func fuzzWorld(t *testing.T) (*Kernel, int) {
+	t.Helper()
+	fuzzOnce.Do(func() {
+		k := bootKernelRaw()
+		if k == nil {
+			return
+		}
+		k.SetAuthorization(false)
+		srv, err := k.NewSession([]byte("fuzz-srv"))
+		if err != nil {
+			return
+		}
+		pc, err := srv.Listen(func(Caller, *Msg) ([]byte, error) { return nil, nil })
+		if err != nil {
+			return
+		}
+		id, err := srv.PortOf(pc)
+		if err != nil {
+			return
+		}
+		fuzzK, fuzzPortID = k, id
+	})
+	if fuzzK == nil {
+		t.Skip("fuzz world unavailable")
+	}
+	return fuzzK, fuzzPortID
+}
+
+// FuzzHandleTable drives a session's capability table with a byte-coded op
+// stream split across two concurrent workers plus a racing Exit, then
+// asserts the table invariants: dup'd handles resolve to their referent,
+// closed and foreign handles always miss, and after Exit the table is empty
+// and dead — no handle outlives its process.
+func FuzzHandleTable(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5}, false)
+	f.Add([]byte{0, 0, 0, 3, 3, 3, 1, 2, 2, 2}, true)
+	f.Add([]byte{5, 4, 3, 2, 1, 0, 5, 4, 3, 2, 1, 0}, true)
+	f.Add([]byte{2, 2, 2, 2, 2, 2, 2, 2}, false)
+	f.Fuzz(func(t *testing.T, ops []byte, exitMid bool) {
+		if len(ops) > 256 {
+			ops = ops[:256]
+		}
+		k, portID := fuzzWorld(t)
+		s, err := k.NewSession([]byte("subject"))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		run := func(stream []byte) {
+			var caps []Cap
+			for _, op := range stream {
+				switch op % 6 {
+				case 0: // open a channel
+					if c, err := s.Open(portID); err == nil {
+						caps = append(caps, c)
+					}
+				case 1: // open an object
+					if c, err := s.OpenObject("obj"); err == nil {
+						caps = append(caps, c)
+					}
+				case 2: // dup the newest
+					if len(caps) > 0 {
+						if c, err := s.Dup(caps[len(caps)-1]); err == nil {
+							// Dup must resolve to the same referent.
+							p1, e1 := s.PortOf(caps[len(caps)-1])
+							p2, e2 := s.PortOf(c)
+							if (e1 == nil) != (e2 == nil) || p1 != p2 {
+								t.Errorf("dup diverges: %d/%v vs %d/%v", p1, e1, p2, e2)
+							}
+							caps = append(caps, c)
+						}
+					}
+				case 3: // close the oldest
+					if len(caps) > 0 {
+						s.Close(caps[0])
+						caps = caps[1:]
+					}
+				case 4: // double close / forged handle must miss, not corrupt
+					if len(caps) > 0 {
+						s.Close(caps[0])
+						s.Close(caps[0])
+						caps = caps[1:]
+					}
+					if _, err := s.PortOf(Cap(uint64(op)<<32 | 0x7fffffff)); err == nil {
+						t.Error("forged handle resolved")
+					}
+				case 5: // call through the newest
+					if len(caps) > 0 {
+						s.Call(caps[len(caps)-1], &Msg{Op: "x", Obj: "y"})
+					}
+				}
+			}
+		}
+
+		half := len(ops) / 2
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); run(ops[:half]) }()
+		go func() { defer wg.Done(); run(ops[half:]) }()
+		if exitMid {
+			wg.Add(1)
+			go func() { defer wg.Done(); s.Exit() }()
+		}
+		wg.Wait()
+		s.Exit()
+
+		// Exit teardown invariant: the table is empty and permanently dead.
+		if n := s.Handles(); n != 0 {
+			t.Fatalf("%d handles outlive their process", n)
+		}
+		if _, err := s.Open(portID); err == nil {
+			t.Fatal("alloc after exit succeeded")
+		}
+		if _, err := s.OpenObject("late"); err == nil {
+			t.Fatal("object alloc after exit succeeded")
+		}
+		// No channel grants outlive the process either.
+		for pid := range k.Channels() {
+			if pid == s.PID() {
+				t.Fatal("dead pid retains channel grants")
+			}
+		}
+		assertRegistryInvariants(t, k)
 	})
 }

@@ -1,7 +1,6 @@
 package kernel
 
 import (
-	"fmt"
 	"sync"
 
 	"repro/internal/cert"
@@ -100,6 +99,17 @@ func (k *Kernel) RegisterObject(obj string, owner nal.Principal) {
 	k.goals.owners[obj] = owner
 }
 
+// registerObjectIfNascent records owner as the object's creator only when
+// no creator is recorded yet — the Session.OpenObject claim path, which
+// must not let a later opener displace the first.
+func (k *Kernel) registerObjectIfNascent(obj string, owner nal.Principal) {
+	k.goals.mu.Lock()
+	if _, ok := k.goals.owners[obj]; !ok {
+		k.goals.owners[obj] = owner
+	}
+	k.goals.mu.Unlock()
+}
+
 // ReleaseObject removes the creator binding.
 func (k *Kernel) ReleaseObject(obj string) {
 	k.goals.mu.Lock()
@@ -191,7 +201,7 @@ func (k *Kernel) authorize(from *Process, op, obj string) error {
 		if allow {
 			return nil
 		}
-		return fmt.Errorf("%w: cached denial for %s on %s/%s", ErrDenied, subj, op, obj)
+		return abiErr(EACCES, op, "cached denial for "+subj+" on "+obj)
 	}
 
 	// The epoch is read before any goal or proof state: if a setgoal or
@@ -214,7 +224,7 @@ func (k *Kernel) authorize(from *Process, op, obj string) error {
 		if allow {
 			return nil
 		}
-		return fmt.Errorf("%w: default policy protects nascent %s", ErrDenied, obj)
+		return abiErr(EACCES, op, "default policy protects nascent "+obj)
 	}
 
 	// Trivial ALLOW goal needs no guard.
@@ -249,7 +259,7 @@ func (k *Kernel) authorize(from *Process, op, obj string) error {
 		k.dcache.InsertIf(subj, op, obj, dec.Allow, epoch)
 	}
 	if !dec.Allow {
-		return fmt.Errorf("%w: %s", ErrDenied, dec.Reason)
+		return abiErr(EACCES, op, dec.Reason)
 	}
 	return nil
 }

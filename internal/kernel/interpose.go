@@ -20,9 +20,14 @@ const (
 // block it or mutate the message in place; OnReturn sees and may rewrite the
 // response. Interposition composes: multiple monitors stack on one channel,
 // and the interpose call itself can be monitored.
+//
+// Monitors receive the caller as an ABI value (Caller), never a kernel
+// object pointer. The wire buffer is valid only for the duration of the
+// call — batched submissions marshal into a reused arena — so a monitor
+// that retains it must copy.
 type Interposer interface {
-	OnCall(from *Process, pt *Port, m *Msg, wire []byte) Verdict
-	OnReturn(from *Process, pt *Port, m *Msg, out []byte) []byte
+	OnCall(from Caller, m *Msg, wire []byte) Verdict
+	OnReturn(from Caller, m *Msg, out []byte) []byte
 }
 
 // Interpose binds a reference monitor to an IPC port and returns a handle
@@ -36,7 +41,7 @@ type Interposer interface {
 // half-installed monitor.
 func (k *Kernel) Interpose(caller *Process, portID int, mon Interposer) (int, error) {
 	if mon == nil {
-		return 0, ErrBadArgument
+		return 0, abiErr(EINVAL, "interpose", "nil monitor")
 	}
 	if portID != 0 {
 		if _, ok := k.ports.find(portID); !ok {
@@ -64,33 +69,35 @@ func (k *Kernel) Interpose(caller *Process, portID int, mon Interposer) (int, er
 	return id, nil
 }
 
-// Deinterpose removes a previously bound monitor by handle.
+// Deinterpose removes a previously bound monitor by handle. Like Interpose,
+// the membership check and chain mutation linearize against port teardown
+// under the registry owner lock: a dead port's chain is never mutated, and
+// removal on a dying port fails with ENOENT instead of racing the sweep.
 func (k *Kernel) Deinterpose(caller *Process, portID int, handle int) error {
-	target, err := k.chainAt(portID)
-	if err != nil {
-		return err
-	}
 	obj := fmt.Sprintf("port:%d", portID)
+	if portID == 0 {
+		if err := k.authorize(caller, "interpose", obj); err != nil {
+			return err
+		}
+		if !k.ports.sysChain.removeByHandle(handle) {
+			return abiErr(EINVAL, "deinterpose", "no such monitor handle")
+		}
+		return nil
+	}
+	if _, ok := k.ports.find(portID); !ok {
+		return ErrNoSuchPort
+	}
 	if err := k.authorize(caller, "interpose", obj); err != nil {
 		return err
 	}
-	if !target.removeByHandle(handle) {
-		return ErrBadArgument
+	found, live := k.ports.deinterpose(portID, handle)
+	if !live {
+		return ErrNoSuchPort
+	}
+	if !found {
+		return abiErr(EINVAL, "deinterpose", "no such monitor handle")
 	}
 	return nil
-}
-
-// chainAt resolves the mutable interposition chain of a port (0 = the
-// kernel system-call channel).
-func (k *Kernel) chainAt(portID int) (*monChain, error) {
-	if portID == 0 {
-		return &k.ports.sysChain, nil
-	}
-	pt, ok := k.ports.find(portID)
-	if !ok {
-		return nil, ErrNoSuchPort
-	}
-	return &pt.chain, nil
 }
 
 // monEntry pairs a monitor with its registration handle.
@@ -99,35 +106,40 @@ type monEntry struct {
 	Interposer
 }
 
-// Monitors reports the number of monitors on a port.
+// Monitors reports the number of monitors on a port as an atomic snapshot
+// of its published chain: the count is coherent with some linearization of
+// concurrent Interpose/Deinterpose calls, and a torn-down port reports 0.
 func (k *Kernel) Monitors(portID int) int {
-	mc, err := k.chainAt(portID)
-	if err != nil {
+	if portID == 0 {
+		return k.ports.sysChain.len()
+	}
+	pt, ok := k.ports.find(portID)
+	if !ok {
 		return 0
 	}
-	return mc.len()
+	return pt.chain.len()
 }
 
 // FuncMonitor adapts plain functions to the Interposer interface.
 type FuncMonitor struct {
-	Call func(from *Process, pt *Port, m *Msg, wire []byte) Verdict
-	Ret  func(from *Process, pt *Port, m *Msg, out []byte) []byte
+	Call func(from Caller, m *Msg, wire []byte) Verdict
+	Ret  func(from Caller, m *Msg, out []byte) []byte
 }
 
 // OnCall implements Interposer.
-func (f FuncMonitor) OnCall(from *Process, pt *Port, m *Msg, wire []byte) Verdict {
+func (f FuncMonitor) OnCall(from Caller, m *Msg, wire []byte) Verdict {
 	if f.Call == nil {
 		return VerdictAllow
 	}
-	return f.Call(from, pt, m, wire)
+	return f.Call(from, m, wire)
 }
 
 // OnReturn implements Interposer.
-func (f FuncMonitor) OnReturn(from *Process, pt *Port, m *Msg, out []byte) []byte {
+func (f FuncMonitor) OnReturn(from Caller, m *Msg, out []byte) []byte {
 	if f.Ret == nil {
 		return out
 	}
-	return f.Ret(from, pt, m, out)
+	return f.Ret(from, m, out)
 }
 
 // ConsentGoal is a convenience constructing the conventional goal formula

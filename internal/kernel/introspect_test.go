@@ -16,7 +16,7 @@ func TestProcGuardUpcallsAndCacheStats(t *testing.T) {
 	k.SetGuard(allowAllGuard{})
 	srv, _ := k.CreateProcess(0, []byte("srv"))
 	cli, _ := k.CreateProcess(0, []byte("cli"))
-	pt, _ := k.CreatePort(srv, func(*Process, *Msg) ([]byte, error) { return nil, nil })
+	pt, _ := k.CreatePort(srv, func(Caller, *Msg) ([]byte, error) { return nil, nil })
 
 	read := func(path string) string {
 		t.Helper()

@@ -3,6 +3,7 @@ package kernel
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/nal"
 )
@@ -14,8 +15,24 @@ type Msg struct {
 	Args [][]byte
 }
 
-// Handler implements the server side of a port.
-type Handler func(from *Process, m *Msg) ([]byte, error)
+// Caller identifies the process a dispatch runs on behalf of, plus the
+// target port. It is the value the ABI hands to handlers and reference
+// monitors in place of raw kernel object pointers: everything a user-level
+// server may learn about its peer crosses the boundary here, and nothing
+// else does.
+type Caller struct {
+	// PID is the calling process id.
+	PID int
+	// Prin is the calling process's principal (kernel.ipd.<pid>).
+	Prin nal.Principal
+	// Port is the target port id; 0 is the kernel system-call channel.
+	Port int
+}
+
+// Handler implements the server side of a port. The *Msg (and any wire
+// buffer derived from it) is valid only for the duration of the call;
+// handlers that retain arguments must copy them.
+type Handler func(from Caller, m *Msg) ([]byte, error)
 
 // Port is an IPC endpoint authoritatively bound to its owning process; the
 // kernel produces the binding label "kernel says IPC.x speaksfor owner"
@@ -27,6 +44,10 @@ type Port struct {
 	// chain is the port's interposition chain, copy-on-write so the
 	// dispatch pipeline reads it with one atomic load.
 	chain monChain
+	// dead is set (under the registry owner lock) when the port leaves the
+	// registry; capability handles resolve ports without a registry probe,
+	// so this flag is what keeps a cached *Port from outliving teardown.
+	dead atomic.Bool
 }
 
 // Prin returns the port's principal IPC.<id> as a subprincipal of the
@@ -39,7 +60,7 @@ func (pt *Port) Prin(k *Kernel) nal.Principal {
 // kernel's binding label in the owner's labelstore.
 func (k *Kernel) CreatePort(owner *Process, h Handler) (*Port, error) {
 	if owner == nil || h == nil {
-		return nil, ErrBadArgument
+		return nil, abiErr(EINVAL, "createport", "nil owner or handler")
 	}
 	pt := k.ports.create(owner, h)
 	if owner.exited.Load() {
@@ -48,7 +69,7 @@ func (k *Kernel) CreatePort(owner *Process, h Handler) (*Port, error) {
 		// owner.
 		k.ports.remove(pt.ID)
 		k.chans.dropPort(pt.ID)
-		return nil, ErrNoSuchProcess
+		return nil, abiErr(ESRCH, "createport", "owner exited")
 	}
 
 	// kernel says IPC.id speaksfor /proc/ipd/pid
@@ -92,20 +113,17 @@ func (k *Kernel) syscall(from *Process, op, obj string, args [][]byte, fn func()
 		return fn()
 	}
 	m := &Msg{Op: op, Obj: obj, Args: args}
-	_, err := k.dispatch(from, nil, m, func(*Process, *Msg) ([]byte, error) {
+	_, err := k.dispatch(from, nil, m, func(Caller, *Msg) ([]byte, error) {
 		return nil, fn()
 	})
 	return err
 }
 
-// marshalMsg serializes a message the way a kernel-mode switch with
-// interpositioning must: length-prefixed op, obj, and argument buffers.
-func marshalMsg(m *Msg) []byte {
-	n := 8 + len(m.Op) + len(m.Obj)
-	for _, a := range m.Args {
-		n += 4 + len(a)
-	}
-	buf := make([]byte, 0, n)
+// appendMsgWire serializes a message into buf the way a kernel-mode switch
+// with interpositioning must: length-prefixed op, obj, and argument
+// buffers. The batch path amortizes allocation by appending every message
+// of a submission into one arena.
+func appendMsgWire(buf []byte, m *Msg) []byte {
 	var l [4]byte
 	binary.LittleEndian.PutUint32(l[:], uint32(len(m.Op)))
 	buf = append(buf, l[:]...)
@@ -119,6 +137,20 @@ func marshalMsg(m *Msg) []byte {
 		buf = append(buf, a...)
 	}
 	return buf
+}
+
+// msgWireSize is the exact wire length of a message.
+func msgWireSize(m *Msg) int {
+	n := 8 + len(m.Op) + len(m.Obj)
+	for _, a := range m.Args {
+		n += 4 + len(a)
+	}
+	return n
+}
+
+// marshalMsg serializes one message into a fresh buffer.
+func marshalMsg(m *Msg) []byte {
+	return appendMsgWire(make([]byte, 0, msgWireSize(m)), m)
 }
 
 // DecodeWire decodes a marshaled message; user-level reference monitors use

@@ -66,12 +66,13 @@ type Kernel struct {
 	// Every process principal is a subprincipal of it (§2.4).
 	Prin nal.Principal
 
-	procs  *procTable    // pid → process
-	ports  *portRegistry // port id → port, interposition chains, owner index
-	goals  *goalStore    // (op, obj) → goal entry, object owners
-	dcache *DecisionCache
-	proofs *proofStore // (subj, op, obj) → registered proof
-	chans  *chanTable  // channel-capability grants
+	procs   *procTable    // pid → process
+	ports   *portRegistry // port id → port, interposition chains, owner index
+	goals   *goalStore    // (op, obj) → goal entry, object owners
+	dcache  *DecisionCache
+	proofs  *proofStore     // (subj, op, obj) → registered proof
+	chans   *chanTable      // channel-capability grants
+	handles *handleRegistry // pid → capability handle table (Session ABI)
 
 	// flags packs the global toggles (authorization, interposition, channel
 	// enforcement) into one word the dispatch pipeline loads atomically.
@@ -141,6 +142,7 @@ func Boot(t *tpm.TPM, d *disk.Disk, opts Options) (*Kernel, error) {
 		ports:     newPortRegistry(),
 		proofs:    newProofStore(),
 		chans:     newChanTable(),
+		handles:   newHandleRegistry(),
 		certs:     cert.NewVerifyCache(),
 		auth:      map[string]*Authority{},
 		Introsp:   introspect.NewRegistry(),
@@ -292,7 +294,9 @@ func (k *Kernel) CreateProcess(parent int, image []byte) (*Process, error) {
 // Exit terminates the process: it leaves the process table, its ports are
 // closed (via the per-owner index, not a registry scan), grants other
 // processes held to those ports are revoked, its own channel capabilities
-// are dropped, and authorities bound to its ports are retracted.
+// are dropped, authorities bound to its ports are retracted, and its
+// capability handle table is drained — no handle outlives its process,
+// whichever exit path ran.
 func (p *Process) Exit() {
 	if !p.exited.CompareAndSwap(false, true) {
 		return
@@ -305,6 +309,7 @@ func (p *Process) Exit() {
 	}
 	k.dropAuthorities(dead)
 	k.chans.dropPID(p.PID)
+	k.handles.dropPID(p.PID)
 }
 
 // Exited reports whether the process has terminated.

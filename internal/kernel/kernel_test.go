@@ -127,7 +127,7 @@ func TestIPCPortBindingLabel(t *testing.T) {
 	k := bootKernel(t)
 	srv, _ := k.CreateProcess(0, []byte("server"))
 	cli, _ := k.CreateProcess(0, []byte("client"))
-	pt, err := k.CreatePort(srv, func(from *Process, m *Msg) ([]byte, error) {
+	pt, err := k.CreatePort(srv, func(from Caller, m *Msg) ([]byte, error) {
 		return append([]byte("echo:"), m.Args[0]...), nil
 	})
 	if err != nil {
@@ -171,7 +171,7 @@ func TestLabelstoreSayAndTransfer(t *testing.T) {
 	if _, err := p.Labels.Say("safe(?X)"); err == nil {
 		t.Error("non-ground statement must fail")
 	}
-	nl, err := p.Labels.Transfer(l.Handle, q)
+	nl, err := p.Labels.Transfer(l.Handle, q.Labels)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,12 +248,12 @@ func TestInterpositionObservesAndBlocks(t *testing.T) {
 	srv, _ := k.CreateProcess(0, []byte("server"))
 	cli, _ := k.CreateProcess(0, []byte("client"))
 	mon, _ := k.CreateProcess(0, []byte("monitor"))
-	pt, _ := k.CreatePort(srv, func(from *Process, m *Msg) ([]byte, error) {
+	pt, _ := k.CreatePort(srv, func(from Caller, m *Msg) ([]byte, error) {
 		return []byte("ok"), nil
 	})
 	var seen []string
 	blockSecret := FuncMonitor{
-		Call: func(from *Process, p *Port, m *Msg, wire []byte) Verdict {
+		Call: func(from Caller, m *Msg, wire []byte) Verdict {
 			seen = append(seen, m.Op)
 			if m.Op == "secret" {
 				return VerdictBlock
@@ -280,7 +280,7 @@ func TestInterpositionObservesAndBlocks(t *testing.T) {
 	}
 	// Composability: a second monitor stacks.
 	count := 0
-	counter := FuncMonitor{Call: func(*Process, *Port, *Msg, []byte) Verdict { count++; return VerdictAllow }}
+	counter := FuncMonitor{Call: func(Caller, *Msg, []byte) Verdict { count++; return VerdictAllow }}
 	counterID, err := k.Interpose(mon, pt.ID, counter)
 	if err != nil {
 		t.Fatal(err)
@@ -306,7 +306,7 @@ func TestInterposeConsentGoal(t *testing.T) {
 	k := bootKernel(t)
 	srv, _ := k.CreateProcess(0, []byte("server"))
 	mon, _ := k.CreateProcess(0, []byte("monitor"))
-	pt, _ := k.CreatePort(srv, func(*Process, *Msg) ([]byte, error) { return nil, nil })
+	pt, _ := k.CreatePort(srv, func(Caller, *Msg) ([]byte, error) { return nil, nil })
 	// Protect the interpose operation with a goal nobody can satisfy yet.
 	obj := "port:" + itoa(pt.ID)
 	if err := k.SetGoal(srv, "interpose", obj, ConsentGoal(srv.Prin, pt.ID), denyAllGuard{}); err != nil {
@@ -338,7 +338,7 @@ func TestDefaultPolicyProtectsNascentObjects(t *testing.T) {
 	owner, _ := k.CreateProcess(0, []byte("owner"))
 	other, _ := k.CreateProcess(0, []byte("other"))
 	srv, _ := k.CreateProcess(0, []byte("resource-manager"))
-	pt, _ := k.CreatePort(srv, func(*Process, *Msg) ([]byte, error) { return nil, nil })
+	pt, _ := k.CreatePort(srv, func(Caller, *Msg) ([]byte, error) { return nil, nil })
 
 	k.RegisterObject("file:/x", owner.Prin)
 	if _, err := k.Call(owner, pt.ID, &Msg{Op: "read", Obj: "file:/x"}); err != nil {
@@ -363,7 +363,7 @@ func TestGoalVectorsToGuardAndCaches(t *testing.T) {
 	k := bootKernel(t)
 	srv, _ := k.CreateProcess(0, []byte("srv"))
 	cli, _ := k.CreateProcess(0, []byte("cli"))
-	pt, _ := k.CreatePort(srv, func(*Process, *Msg) ([]byte, error) { return nil, nil })
+	pt, _ := k.CreatePort(srv, func(Caller, *Msg) ([]byte, error) { return nil, nil })
 
 	goal := nal.MustParse("?S says wantsAccess")
 	if err := k.SetGoal(srv, "read", "obj", goal, allowAllGuard{}); err != nil {
@@ -402,7 +402,7 @@ func TestTrueGoalShortCircuits(t *testing.T) {
 	k := bootKernel(t)
 	srv, _ := k.CreateProcess(0, []byte("srv"))
 	cli, _ := k.CreateProcess(0, []byte("cli"))
-	pt, _ := k.CreatePort(srv, func(*Process, *Msg) ([]byte, error) { return nil, nil })
+	pt, _ := k.CreatePort(srv, func(Caller, *Msg) ([]byte, error) { return nil, nil })
 	if err := k.SetGoal(srv, "read", "obj", nal.TrueF{}, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -418,7 +418,7 @@ func TestNoGuardConfigured(t *testing.T) {
 	k := bootKernel(t)
 	srv, _ := k.CreateProcess(0, []byte("srv"))
 	cli, _ := k.CreateProcess(0, []byte("cli"))
-	pt, _ := k.CreatePort(srv, func(*Process, *Msg) ([]byte, error) { return nil, nil })
+	pt, _ := k.CreatePort(srv, func(Caller, *Msg) ([]byte, error) { return nil, nil })
 	if err := k.SetGoal(srv, "read", "obj", nal.MustParse("x"), nil); err != nil {
 		t.Fatal(err)
 	}

@@ -97,9 +97,10 @@ func (ls *Labelstore) Delete(handle int) error {
 	return nil
 }
 
-// Transfer moves a label into another process's labelstore, returning the
-// new handle. The formula (including its original speaker) is unchanged.
-func (ls *Labelstore) Transfer(handle int, to *Process) (*Label, error) {
+// Transfer moves a label into another labelstore, returning the new
+// handle. The formula (including its original speaker) is unchanged.
+// Session-level code transfers by pid via Session.TransferLabel.
+func (ls *Labelstore) Transfer(handle int, dst *Labelstore) (*Label, error) {
 	ls.mu.Lock()
 	l, ok := ls.labels[handle]
 	if ok {
@@ -109,7 +110,6 @@ func (ls *Labelstore) Transfer(handle int, to *Process) (*Label, error) {
 	if !ok {
 		return nil, ErrNoSuchLabel
 	}
-	dst := to.Labels
 	dst.mu.Lock()
 	defer dst.mu.Unlock()
 	nl := &Label{Handle: dst.next, Speaker: l.Speaker, Formula: l.Formula}

@@ -78,7 +78,9 @@ func (r *portRegistry) find(id int) (*Port, bool) {
 	return pt, ok
 }
 
-// remove unregisters one port, returning whether it was present.
+// remove unregisters one port, returning whether it was present. The dead
+// flag is published under ownMu so capability handles holding the *Port
+// observe teardown without a registry probe.
 func (r *portRegistry) remove(id int) bool {
 	r.ownMu.Lock()
 	defer r.ownMu.Unlock()
@@ -88,6 +90,7 @@ func (r *portRegistry) remove(id int) bool {
 	delete(s.m, id)
 	s.mu.Unlock()
 	if ok {
+		pt.dead.Store(true)
 		delete(r.byOwner[pt.Owner.PID], id)
 		if len(r.byOwner[pt.Owner.PID]) == 0 {
 			delete(r.byOwner, pt.Owner.PID)
@@ -106,6 +109,9 @@ func (r *portRegistry) dropOwner(pid int) []int {
 	for id := range owned {
 		s := r.shard(id)
 		s.mu.Lock()
+		if pt, ok := s.m[id]; ok {
+			pt.dead.Store(true)
+		}
 		delete(s.m, id)
 		s.mu.Unlock()
 		ids = append(ids, id)
@@ -127,6 +133,19 @@ func (r *portRegistry) interpose(portID int, e monEntry) bool {
 	}
 	pt.chain.add(e)
 	return true
+}
+
+// deinterpose removes a monitor from a live port's chain under ownMu,
+// mirroring interpose: (found, live). A removed port's chain is never
+// mutated, preserving the registry invariant against the teardown sweep.
+func (r *portRegistry) deinterpose(portID, handle int) (found, live bool) {
+	r.ownMu.Lock()
+	defer r.ownMu.Unlock()
+	pt, ok := r.find(portID)
+	if !ok {
+		return false, false
+	}
+	return pt.chain.removeByHandle(handle), true
 }
 
 func (r *portRegistry) len() int {

@@ -28,7 +28,7 @@ func TestKernelRegistryStress(t *testing.T) {
 	k.EnforceChannels(true)
 
 	srv, _ := k.CreateProcess(0, []byte("stable-srv"))
-	stable, err := k.CreatePort(srv, func(*Process, *Msg) ([]byte, error) { return []byte("ok"), nil })
+	stable, err := k.CreatePort(srv, func(Caller, *Msg) ([]byte, error) { return []byte("ok"), nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +46,7 @@ func TestKernelRegistryStress(t *testing.T) {
 					t.Error(err)
 					return
 				}
-				pt, err := k.CreatePort(p, func(*Process, *Msg) ([]byte, error) { return nil, nil })
+				pt, err := k.CreatePort(p, func(Caller, *Msg) ([]byte, error) { return nil, nil })
 				if err != nil {
 					t.Error(err)
 					return
@@ -143,9 +143,12 @@ func assertRegistryInvariants(t *testing.T, k *Kernel) {
 	}
 
 	// Channel table: grants only between live pids and live ports, and the
-	// reverse index mirrors the forward one.
+	// reverse index mirrors the forward one. The forward view is read
+	// shard-by-shard deliberately (the production Channels() snapshot is
+	// built from the reverse index) so the two sides are compared through
+	// independent paths.
 	forward := map[[2]int]bool{}
-	for pid, ports := range k.chans.snapshot() {
+	for pid, ports := range forwardGrants(k.chans) {
 		if !live[pid] {
 			t.Errorf("dead pid %d still holds channel grants", pid)
 		}
@@ -174,8 +177,8 @@ func assertRegistryInvariants(t *testing.T, k *Kernel) {
 	// Authorities: every registered authority's port is live.
 	k.authMu.RLock()
 	for ch, a := range k.auth {
-		if _, ok := portOwner[a.Port.ID]; !ok {
-			t.Errorf("authority %s bound to dead port %d", ch, a.Port.ID)
+		if _, ok := portOwner[a.PortID()]; !ok {
+			t.Errorf("authority %s bound to dead port %d", ch, a.PortID())
 		}
 	}
 	k.authMu.RUnlock()
@@ -185,6 +188,133 @@ func assertRegistryInvariants(t *testing.T, k *Kernel) {
 	if s.Lookups != s.Hits+s.Misses {
 		t.Errorf("dcache stats inconsistent: %+v", s)
 	}
+}
+
+// TestIntrospectionSnapshotRace races the introspection readers —
+// Kernel.Channels (the connectivity analyzer's input) and Kernel.Monitors —
+// against process/port/grant churn and monitor bind/unbind. Channels must
+// return a coherent snapshot: every grant it reports targets the stable
+// port (the only port ever granted here), resolved to the correct live
+// owner, and exited workers must never reappear once their teardown is
+// globally visible. Monitors must never report a count on a dead port.
+func TestIntrospectionSnapshotRace(t *testing.T) {
+	k := bootKernel(t)
+	k.SetAuthorization(false)
+	k.EnforceChannels(true)
+
+	srv, _ := k.NewSession([]byte("stable-srv"))
+	stableCap, err := srv.Listen(func(Caller, *Msg) ([]byte, error) { return []byte("ok"), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	stableID, _ := srv.PortOf(stableCap)
+
+	stop := make(chan struct{})
+	var churnWG, readWG sync.WaitGroup
+
+	// Churn: sessions open the stable port, listen on transient ports,
+	// interpose/deinterpose, and exit.
+	const churners = 4
+	for w := 0; w < churners; w++ {
+		churnWG.Add(1)
+		go func(id int) {
+			defer churnWG.Done()
+			for i := 0; i < 200; i++ {
+				s, err := k.NewSession([]byte(fmt.Sprintf("churn%d-%d", id, i)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				ch, err := s.Open(stableID)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				pc, err := s.Listen(func(Caller, *Msg) ([]byte, error) { return nil, nil })
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				pid, _ := s.PortOf(pc)
+				if h, err := s.Interpose(pid, FuncMonitor{}); err == nil {
+					if i%2 == 0 {
+						s.Deinterpose(pid, h)
+					}
+				}
+				s.Call(ch, &Msg{Op: "read", Obj: "obj"})
+				s.Exit()
+			}
+		}(w)
+	}
+
+	// Readers: snapshot coherence under churn.
+	for r := 0; r < 2; r++ {
+		readWG.Add(1)
+		go func() {
+			defer readWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := k.Channels()
+				for pid, owners := range snap {
+					if pid <= 0 {
+						t.Errorf("snapshot lists pid %d", pid)
+					}
+					for _, owner := range owners {
+						// Only the stable port is ever granted, so every
+						// resolved owner must be the stable server — a torn
+						// read of a dying grant would violate this.
+						if owner != srv.PID() {
+							t.Errorf("grant resolves to owner %d, want %d", owner, srv.PID())
+						}
+					}
+				}
+				// Monitors on the stable (never-interposed) port and the
+				// syscall channel stay constant; on dead ports it reports 0.
+				if n := k.Monitors(stableID); n != 0 {
+					t.Errorf("stable port reports %d monitors", n)
+				}
+			}
+		}()
+	}
+
+	// Readers observe the full churn window, then drain.
+	churnWG.Wait()
+	close(stop)
+	readWG.Wait()
+
+	// Quiescent coherence: the snapshot contains exactly the surviving
+	// grants (none — every churner exited), and invariants hold.
+	snap := k.Channels()
+	for pid := range snap {
+		if pid != srv.PID() {
+			t.Errorf("pid %d retains grants after exit", pid)
+		}
+	}
+	assertRegistryInvariants(t, k)
+}
+
+// forwardGrants reads the channel table's forward shards: pid → held port
+// ids. Test-only — production snapshots go through Kernel.Channels, which
+// linearizes on the reverse index under revMu.
+func forwardGrants(t *chanTable) map[int][]int {
+	out := map[int][]int{}
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		for pid, ports := range s.m {
+			for portID, ok := range ports {
+				if ok {
+					out[pid] = append(out[pid], portID)
+				}
+			}
+		}
+		s.mu.RUnlock()
+	}
+	return out
 }
 
 // TestExitRacesInterpose races monitor binding against the target port's
@@ -200,7 +330,7 @@ func TestExitRacesInterpose(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		pt, err := k.CreatePort(p, func(*Process, *Msg) ([]byte, error) { return nil, nil })
+		pt, err := k.CreatePort(p, func(Caller, *Msg) ([]byte, error) { return nil, nil })
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -243,7 +373,7 @@ func TestExitRacesCreatePort(t *testing.T) {
 		var pt *Port
 		go func() {
 			defer wg.Done()
-			pt, _ = k.CreatePort(p, func(*Process, *Msg) ([]byte, error) { return nil, nil })
+			pt, _ = k.CreatePort(p, func(Caller, *Msg) ([]byte, error) { return nil, nil })
 		}()
 		go func() {
 			defer wg.Done()

@@ -14,6 +14,7 @@
 package netdev
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -114,28 +115,29 @@ type Config struct {
 type EchoPath struct {
 	cfg     Config
 	k       *kernel.Kernel
-	driver  *kernel.Process
-	server  *kernel.Process
-	srvPort *kernel.Port
+	driver  *kernel.Session
+	server  *kernel.Session
+	drvCap  kernel.Cap // driver's channel handle to the server port
+	portID  int
 	monitor *refmon.Monitor
-	source  *kernel.Process
+	source  *kernel.Session
 }
 
 // NewEchoPath wires up the configured path on the given kernel.
 func NewEchoPath(k *kernel.Kernel, cfg Config) (*EchoPath, error) {
 	e := &EchoPath{cfg: cfg, k: k}
 	var err error
-	if e.driver, err = k.CreateProcess(0, []byte("e1000-driver")); err != nil {
+	if e.driver, err = k.NewSession([]byte("e1000-driver")); err != nil {
 		return nil, err
 	}
-	if e.source, err = k.CreateProcess(0, []byte("packet-source")); err != nil {
+	if e.source, err = k.NewSession([]byte("packet-source")); err != nil {
 		return nil, err
 	}
 	if cfg.ServerApp {
-		if e.server, err = k.CreateProcess(0, []byte("udp-echo")); err != nil {
+		if e.server, err = k.NewSession([]byte("udp-echo")); err != nil {
 			return nil, err
 		}
-		e.srvPort, err = k.CreatePort(e.server, func(from *kernel.Process, m *kernel.Msg) ([]byte, error) {
+		srvCap, err := e.server.Listen(func(from kernel.Caller, m *kernel.Msg) ([]byte, error) {
 			// The echo server runs the user-level UDP/IP stack: decode,
 			// swap endpoints, re-encode.
 			pkt, err := Decode(m.Args[0])
@@ -151,10 +153,16 @@ func NewEchoPath(k *kernel.Kernel, cfg Config) (*EchoPath, error) {
 		if err != nil {
 			return nil, err
 		}
+		if e.portID, err = e.server.PortOf(srvCap); err != nil {
+			return nil, err
+		}
+		if e.drvCap, err = e.driver.Open(e.portID); err != nil {
+			return nil, err
+		}
 		if cfg.RefMon != RefNone {
 			policy := &refmon.Policy{
 				Ops:     map[string]bool{"deliver": true},
-				Objects: map[string]bool{fmt.Sprintf("nic:%d", e.srvPort.ID): true},
+				Objects: map[string]bool{fmt.Sprintf("nic:%d", e.portID): true},
 				// Full (uncached) policy evaluation performs deep packet
 				// inspection: decode the frame and verify its checksum, the
 				// per-packet work that makes reference-monitor cache misses
@@ -170,7 +178,7 @@ func NewEchoPath(k *kernel.Kernel, cfg Config) (*EchoPath, error) {
 			}
 			e.monitor = refmon.NewMonitor(policy, cfg.RefMon == RefUser)
 			e.monitor.SetCaching(cfg.Cache)
-			if _, err := k.Interpose(e.driver, e.srvPort.ID, e.monitor); err != nil {
+			if _, err := e.driver.Interpose(e.portID, e.monitor); err != nil {
 				return nil, err
 			}
 		}
@@ -203,18 +211,55 @@ func (e *EchoPath) Process(wire []byte) ([]byte, error) {
 	}
 	// Deliver to the echo server over IPC (routing + scheduling +
 	// marshaling happen inside Call).
-	return e.k.Call(e.driver, e.srvPort.ID, &kernel.Msg{
+	return e.driver.Call(e.drvCap, &kernel.Msg{
 		Op:   "deliver",
-		Obj:  fmt.Sprintf("nic:%d", e.srvPort.ID),
+		Obj:  fmt.Sprintf("nic:%d", e.portID),
 		Args: [][]byte{wire},
 	})
+}
+
+// ProcessBatch runs a burst of frames through one batched submission: the
+// interrupt-coalescing shape, where the driver drains its ring into a
+// single kernel entry instead of one Call per packet.
+func (e *EchoPath) ProcessBatch(wires [][]byte) ([][]byte, error) {
+	if !e.cfg.ServerApp {
+		out := make([][]byte, 0, len(wires))
+		for _, w := range wires {
+			o, err := e.Process(w)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, o)
+		}
+		return out, nil
+	}
+	obj := fmt.Sprintf("nic:%d", e.portID)
+	subs := make([]kernel.Sub, len(wires))
+	for i, w := range wires {
+		subs[i] = kernel.Sub{Cap: e.drvCap, Op: "deliver", Obj: obj, Args: [][]byte{w}}
+	}
+	comps, err := e.driver.Submit(context.Background(), subs, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(comps))
+	for i, c := range comps {
+		if c.Err != nil {
+			return nil, c.Err
+		}
+		out[i] = c.Out
+	}
+	return out, nil
 }
 
 // Monitor exposes the installed reference monitor, if any.
 func (e *EchoPath) Monitor() *refmon.Monitor { return e.monitor }
 
-// Driver returns the driver process.
-func (e *EchoPath) Driver() *kernel.Process { return e.driver }
+// Driver returns the driver session.
+func (e *EchoPath) Driver() *kernel.Session { return e.driver }
+
+// PortID returns the echo server port's public name (0 without ServerApp).
+func (e *EchoPath) PortID() int { return e.portID }
 
 // MakeFrame builds a test datagram with an n-byte payload.
 func MakeFrame(n int) []byte {

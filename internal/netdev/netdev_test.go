@@ -137,10 +137,44 @@ func TestRefMonBlocksForeignTraffic(t *testing.T) {
 	}
 	// The DDRM only allows "deliver" to the bound NIC channel; a rogue
 	// driver op is blocked.
-	_, err = k.Call(e.Driver(), e.srvPort.ID, &kernel.Msg{
+	_, err = e.Driver().Call(mustOpenPort(t, e), &kernel.Msg{
 		Op: "exfiltrate", Obj: "nic:999", Args: [][]byte{MakeFrame(10)},
 	})
 	if !errors.Is(err, kernel.ErrDenied) {
 		t.Errorf("rogue op: want ErrDenied, got %v", err)
+	}
+}
+
+// mustOpenPort opens a fresh driver channel to the echo-server port.
+func mustOpenPort(t *testing.T, e *EchoPath) kernel.Cap {
+	t.Helper()
+	c, err := e.Driver().Open(e.PortID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestProcessBatchMatchesSingle drives the interrupt-coalescing batch path
+// and checks it echoes exactly what the per-packet path does.
+func TestProcessBatchMatchesSingle(t *testing.T) {
+	k := bootK(t)
+	e, err := NewEchoPath(k, Config{ServerApp: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := [][]byte{MakeFrame(16), MakeFrame(64), MakeFrame(256)}
+	batch, err := e.ProcessBatch(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range frames {
+		single, err := e.Process(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(single, batch[i]) {
+			t.Errorf("frame %d: batch echo differs from single echo", i)
+		}
 	}
 }

@@ -77,7 +77,7 @@ func (m *Monitor) Stats() (hits, misses, blocked uint64) {
 }
 
 // OnCall implements kernel.Interposer.
-func (m *Monitor) OnCall(from *kernel.Process, pt *kernel.Port, msg *kernel.Msg, wire []byte) kernel.Verdict {
+func (m *Monitor) OnCall(from kernel.Caller, msg *kernel.Msg, wire []byte) kernel.Verdict {
 	key := msg.Op + "\x00" + msg.Obj
 	m.mu.Lock()
 	if m.caching {
@@ -119,7 +119,7 @@ func (m *Monitor) OnCall(from *kernel.Process, pt *kernel.Port, msg *kernel.Msg,
 
 // OnReturn implements kernel.Interposer; DDRM policies do not rewrite
 // responses.
-func (m *Monitor) OnReturn(from *kernel.Process, pt *kernel.Port, msg *kernel.Msg, out []byte) []byte {
+func (m *Monitor) OnReturn(from kernel.Caller, msg *kernel.Msg, out []byte) []byte {
 	return out
 }
 
@@ -151,7 +151,7 @@ func (r *Relinquish) Seal() {
 }
 
 // OnCall implements kernel.Interposer.
-func (r *Relinquish) OnCall(from *kernel.Process, pt *kernel.Port, m *kernel.Msg, wire []byte) kernel.Verdict {
+func (r *Relinquish) OnCall(from kernel.Caller, m *kernel.Msg, wire []byte) kernel.Verdict {
 	r.mu.Lock()
 	sealed := r.sealed
 	r.mu.Unlock()
@@ -162,6 +162,6 @@ func (r *Relinquish) OnCall(from *kernel.Process, pt *kernel.Port, m *kernel.Msg
 }
 
 // OnReturn implements kernel.Interposer.
-func (r *Relinquish) OnReturn(from *kernel.Process, pt *kernel.Port, m *kernel.Msg, out []byte) []byte {
+func (r *Relinquish) OnReturn(from kernel.Caller, m *kernel.Msg, out []byte) []byte {
 	return out
 }

@@ -49,7 +49,7 @@ func TestMonitorCachingBehaviour(t *testing.T) {
 	m := NewMonitor(p, false)
 	msg := &kernel.Msg{Op: "send", Obj: "x"}
 	for i := 0; i < 5; i++ {
-		if m.OnCall(nil, nil, msg, nil) != kernel.VerdictAllow {
+		if m.OnCall(kernel.Caller{}, msg, nil) != kernel.VerdictAllow {
 			t.Fatal("allowed call blocked")
 		}
 	}
@@ -60,7 +60,7 @@ func TestMonitorCachingBehaviour(t *testing.T) {
 	// Negative decisions cache too.
 	bad := &kernel.Msg{Op: "evil", Obj: "x"}
 	for i := 0; i < 3; i++ {
-		if m.OnCall(nil, nil, bad, nil) != kernel.VerdictBlock {
+		if m.OnCall(kernel.Caller{}, bad, nil) != kernel.VerdictBlock {
 			t.Fatal("blocked call allowed")
 		}
 	}
@@ -70,8 +70,8 @@ func TestMonitorCachingBehaviour(t *testing.T) {
 	}
 	// Disabling the cache forces full evaluation.
 	m.SetCaching(false)
-	m.OnCall(nil, nil, msg, nil)
-	m.OnCall(nil, nil, msg, nil)
+	m.OnCall(kernel.Caller{}, msg, nil)
+	m.OnCall(kernel.Caller{}, msg, nil)
 	_, misses2, _ := m.Stats()
 	if misses2 < 3 {
 		t.Errorf("uncached misses = %d", misses2)
@@ -83,30 +83,38 @@ func TestUserLevelMonitorDecodesWire(t *testing.T) {
 	m := NewMonitor(p, true)
 	m.SetCaching(false)
 	// A user-level monitor must decode the wire copy; garbage wire blocks.
-	if m.OnCall(nil, nil, &kernel.Msg{Op: "send", Obj: "x"}, []byte{1, 2}) != kernel.VerdictBlock {
+	if m.OnCall(kernel.Caller{}, &kernel.Msg{Op: "send", Obj: "x"}, []byte{1, 2}) != kernel.VerdictBlock {
 		t.Error("undecodable wire should block")
 	}
 }
 
 func TestRelinquishMonitor(t *testing.T) {
 	k := boot(t)
-	srv, _ := k.CreateProcess(0, []byte("webserver"))
-	cli, _ := k.CreateProcess(0, []byte("cli"))
-	pt, _ := k.CreatePort(srv, func(*kernel.Process, *kernel.Msg) ([]byte, error) { return nil, nil })
+	srv, _ := k.NewSession([]byte("webserver"))
+	cli, _ := k.NewSession([]byte("cli"))
+	srvCap, _ := srv.Listen(func(kernel.Caller, *kernel.Msg) ([]byte, error) { return nil, nil })
+	portID, _ := srv.PortOf(srvCap)
+	cliCap, err := cli.Open(portID)
+	if err != nil {
+		t.Fatal(err)
+	}
 	r := &Relinquish{Allowed: map[string]bool{"ipc": true}}
-	mon, _ := k.CreateProcess(0, []byte("mon"))
-	if _, err := k.Interpose(mon, pt.ID, r); err != nil {
+	mon, _ := k.NewSession([]byte("mon"))
+	if _, err := mon.Interpose(portID, r); err != nil {
 		t.Fatal(err)
 	}
 	// During initialization anything goes.
-	if _, err := k.Call(cli, pt.ID, &kernel.Msg{Op: "open", Obj: "f"}); err != nil {
+	if _, err := cli.Call(cliCap, &kernel.Msg{Op: "open", Obj: "f"}); err != nil {
 		t.Fatalf("pre-seal: %v", err)
 	}
 	r.Seal()
-	if _, err := k.Call(cli, pt.ID, &kernel.Msg{Op: "open", Obj: "f"}); !errors.Is(err, kernel.ErrDenied) {
+	if _, err := cli.Call(cliCap, &kernel.Msg{Op: "open", Obj: "f"}); !errors.Is(err, kernel.ErrDenied) {
 		t.Errorf("post-seal: want ErrDenied, got %v", err)
 	}
-	if _, err := k.Call(cli, pt.ID, &kernel.Msg{Op: "ipc", Obj: "f"}); err != nil {
+	if ern := kernel.ErrnoOf(func() error { _, err := cli.Call(cliCap, &kernel.Msg{Op: "open", Obj: "f"}); return err }()); ern != kernel.EACCES {
+		t.Errorf("post-seal errno = %v, want EACCES", ern)
+	}
+	if _, err := cli.Call(cliCap, &kernel.Msg{Op: "ipc", Obj: "f"}); err != nil {
 		t.Errorf("allowed op post-seal: %v", err)
 	}
 }

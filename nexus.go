@@ -6,8 +6,8 @@
 //
 //   - NAL formulas and proofs (ParseFormula, Derive, CheckProof)
 //   - the simulated platform (NewTPM, NewDisk, Boot)
-//   - kernel abstractions (processes, IPC, labelstores, goals, authorities,
-//     interpositioning) via the Kernel and Process types
+//   - the typed user↔kernel ABI: Session, capability handles (Cap), batched
+//     submission (Session.Submit), and the errno-style Error taxonomy
 //   - the generic guard (NewGuard)
 //   - attested storage (InitStorage, RecoverStorage, regions, VKEYs)
 //
@@ -16,10 +16,12 @@
 //	t, _ := nexus.NewTPM(0)
 //	k, _ := nexus.Boot(t, nexus.NewDisk(), nexus.Options{})
 //	k.SetGuard(nexus.NewGuard(k))
-//	alice, _ := k.CreateProcess(0, []byte("alice-app"))
-//	label, _ := alice.Labels.Say("wantsAccess")
-//	... SetGoal / SetProof / Call ...
+//	alice, _ := k.NewSession([]byte("alice-app"))
+//	label, _ := alice.Say("wantsAccess")
+//	... alice.SetGoal / alice.SetProof / alice.Call(cap, msg) ...
 //
+// User-level code holds Sessions and Caps only; *Process and *Port stay
+// behind the kernel package boundary, which models the privilege boundary.
 // See examples/ for complete programs and DESIGN.md for the system map.
 package nexus
 
@@ -43,13 +45,16 @@ type (
 	Disk = disk.Disk
 	// Kernel is a running Nexus instance.
 	Kernel = kernel.Kernel
-	// Process is an isolated protection domain.
+	// Process is an isolated protection domain. Platform-level code
+	// (benchmarks, ablation drivers) may hold one; user-level code works
+	// through Session instead and never touches a *Process.
 	Process = kernel.Process
 	// Options configures Boot.
 	Options = kernel.Options
 	// Msg is an IPC request.
 	Msg = kernel.Msg
-	// Port is an IPC endpoint.
+	// Port is an IPC endpoint (platform-level; the ABI names ports by
+	// integer id and capability handle, never by pointer).
 	Port = kernel.Port
 	// Label is an attributable statement in a labelstore.
 	Label = kernel.Label
@@ -63,6 +68,61 @@ type (
 	// proof cache and the kernel decision cache.
 	CacheStats = cachestat.Stats
 )
+
+// ABI types: the typed Session surface user-level code programs against.
+// A Session pairs a process with its capability handle table; Caps are the
+// only names user code holds for kernel objects, and the errno-style Error
+// taxonomy replaces string matching on failures.
+type (
+	// Session is a process's typed handle on the kernel ABI.
+	Session = kernel.Session
+	// Cap is an opaque per-process capability handle.
+	Cap = kernel.Cap
+	// Caller identifies the peer process in handlers and monitors.
+	Caller = kernel.Caller
+	// Sub is one submission-queue entry for Session.Submit.
+	Sub = kernel.Sub
+	// Completion is the result of one submitted operation.
+	Completion = kernel.Completion
+	// SubQueue is a reusable submission/completion queue.
+	SubQueue = kernel.SubQueue
+	// Error is the structured ABI error (errno class + operation + detail).
+	Error = kernel.Error
+	// Errno is the ABI error class.
+	Errno = kernel.Errno
+)
+
+// Errno classes of the ABI error taxonomy.
+const (
+	EINVAL     = kernel.EINVAL
+	ESRCH      = kernel.ESRCH
+	ENOENT     = kernel.ENOENT
+	EBADF      = kernel.EBADF
+	EACCES     = kernel.EACCES
+	ENOGUARD   = kernel.ENOGUARD
+	EINTEGRITY = kernel.EINTEGRITY
+	ENOLABEL   = kernel.ENOLABEL
+	ENOAUTH    = kernel.ENOAUTH
+	ECANCELED  = kernel.ECANCELED
+)
+
+// CapSyscall is the pseudo-handle for the kernel system-call channel.
+const CapSyscall = kernel.CapSyscall
+
+// Sentinel errors of the ABI; typed *Error values unwrap to these, so both
+// errors.Is and ErrnoOf work on anything the kernel returns.
+var (
+	ErrDenied        = kernel.ErrDenied
+	ErrNoSuchPort    = kernel.ErrNoSuchPort
+	ErrNoSuchProcess = kernel.ErrNoSuchProcess
+	ErrBadArgument   = kernel.ErrBadArgument
+	ErrBadHandle     = kernel.ErrBadHandle
+	ErrNoGuard       = kernel.ErrNoGuard
+	ErrCanceled      = kernel.ErrCanceled
+)
+
+// ErrnoOf extracts the errno class from any error crossing the ABI.
+func ErrnoOf(err error) Errno { return kernel.ErrnoOf(err) }
 
 // Dispatch-pipeline types. Every kernel entry — user IPC and kernel system
 // calls alike — runs the same pipeline (resolve → channel check → authorize

@@ -29,7 +29,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	// Guarded resource with a formula parsed from the public API.
 	server, _ := k.CreateProcess(0, []byte("srv"))
 	client, _ := k.CreateProcess(0, []byte("cli"))
-	port, _ := k.CreatePort(server, func(*Process, *Msg) ([]byte, error) {
+	port, _ := k.CreatePort(server, func(Caller, *Msg) ([]byte, error) {
 		return []byte("ok"), nil
 	})
 	goal := MustFormula("?S says wantsAccess")
@@ -132,7 +132,7 @@ func TestDecisionCacheInvalidationMatrix(t *testing.T) {
 	srv, _ := k.CreateProcess(0, []byte("srv"))
 	c1, _ := k.CreateProcess(0, []byte("c1"))
 	c2, _ := k.CreateProcess(0, []byte("c2"))
-	port, _ := k.CreatePort(srv, func(*Process, *Msg) ([]byte, error) { return nil, nil })
+	port, _ := k.CreatePort(srv, func(Caller, *Msg) ([]byte, error) { return nil, nil })
 
 	goal := MustFormula("?S says wantsAccess")
 	arm := func(cli *Process, obj string) {
@@ -192,7 +192,7 @@ func TestDeniedWithoutGuard(t *testing.T) {
 	k, _ := Boot(tp, NewDisk(), Options{})
 	srv, _ := k.CreateProcess(0, []byte("srv"))
 	cli, _ := k.CreateProcess(0, []byte("cli"))
-	port, _ := k.CreatePort(srv, func(*Process, *Msg) ([]byte, error) { return nil, nil })
+	port, _ := k.CreatePort(srv, func(Caller, *Msg) ([]byte, error) { return nil, nil })
 	if err := k.SetGoal(srv, "read", "x", MustFormula("a"), nil); err != nil {
 		t.Fatal(err)
 	}
