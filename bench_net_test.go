@@ -1,0 +1,149 @@
+// Benchmarks for the distributed attestation plane: cross-node calls over
+// the loopback transport versus the same call made locally, and the wire
+// codec's warm-decode path. BenchmarkWireDecodeWarm is the acceptance
+// exhibit for the codec — decoding an already-seen formula must be an
+// intern lookup with zero allocations.
+package nexus
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/nal"
+)
+
+// netWorld wires two kernels over the loopback transport: an echo service
+// on the serving kernel (no goal: warm default-allow decisions) reachable
+// both locally (srv's own channel) and remotely (cli's session on the
+// dialing kernel).
+func netWorld(b *testing.B) (local *kernel.Session, localCap kernel.Cap, remote *kernel.Session, remoteCap kernel.Cap) {
+	b.Helper()
+	kStore := benchKernel(b, kernel.Options{})
+	kFront := benchKernel(b, kernel.Options{})
+
+	srv, err := kStore.NewSession([]byte("net-srv"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pc, err := srv.Listen(func(kernel.Caller, *kernel.Msg) ([]byte, error) {
+		return []byte("ok"), nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	port, _ := srv.PortOf(pc)
+
+	lt := kernel.NewLoopbackTransport()
+	nStore := kernel.NewNode(kStore)
+	l, err := lt.Listen("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	nStore.Serve(l)
+	if err := nStore.Export("echo", port); err != nil {
+		b.Fatal(err)
+	}
+	nFront := kernel.NewNode(kFront)
+	peer, err := nFront.Dial(lt, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		nFront.Close()
+		nStore.Close()
+	})
+
+	cli, err := kFront.NewSession([]byte("net-cli"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rc, err := cli.Connect(peer, "echo")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return srv, pc, cli, rc
+}
+
+// BenchmarkNetLocalCall is the single-node baseline the remote path is
+// compared against.
+func BenchmarkNetLocalCall(b *testing.B) {
+	local, lc, _, _ := netWorld(b)
+	m := &kernel.Msg{Op: "read", Obj: "obj"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := local.Call(lc, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNetRemoteCall crosses the loopback transport: both kernels'
+// dispatch pipelines plus framing, scheduling, and the channel hop.
+func BenchmarkNetRemoteCall(b *testing.B) {
+	_, _, remote, rc := netWorld(b)
+	m := &kernel.Msg{Op: "read", Obj: "obj"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := remote.CallRemote(rc, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchWireFormula is a credential-shaped formula: a keyed speaker chain
+// over a predicate, the kind that crosses nodes in proofs.
+func benchWireFormula(b *testing.B) nal.Formula {
+	b.Helper()
+	f, err := nal.Parse(`key:deadbeef.boot77.ipd.12 says mayArchive(walls, "alice", 42)`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
+// BenchmarkWireDecodeWarm: ingress decode of an already-seen formula is an
+// intern lookup — zero allocations (also pinned by
+// TestWireWarmDecodeZeroAlloc in internal/nal).
+func BenchmarkWireDecodeWarm(b *testing.B) {
+	f := benchWireFormula(b)
+	enc := nal.NewWireEncoder()
+	cold, err := enc.AppendFormula(nil, f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm, err := enc.AppendFormula(nil, f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec := nal.NewWireDecoder()
+	if _, _, err := dec.DecodeFormula(cold); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := dec.DecodeFormula(warm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireDecodeCold measures first-presentation decode (definitions
+// interned through the cons table) with fresh per-connection state.
+func BenchmarkWireDecodeCold(b *testing.B) {
+	f := benchWireFormula(b)
+	buf, err := nal.NewWireEncoder().AppendFormula(nil, f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec := nal.NewWireDecoder()
+		if _, _, err := dec.DecodeFormula(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -49,6 +49,9 @@ func benchKernel(b *testing.B, opts kernel.Options) *kernel.Kernel {
 	if err != nil {
 		b.Fatal(err)
 	}
+	// Exclude the decision audit log (a mutex + SHA-256 per verdict on the
+	// miss path) so benchmark trajectories stay comparable across PRs.
+	k.Audit().Disable()
 	return k
 }
 

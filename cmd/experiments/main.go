@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	experiments -exp table1|table2|fig4|fig5|fig6|fig7|fig8|scale|proof|abi|all [-quick]
+//	experiments -exp table1|table2|fig4|fig5|fig6|fig7|fig8|scale|proof|abi|net|all [-quick]
 //
 // -exp proof additionally writes BENCH_proof.json (ns/op and allocs/op for
 // the authorization miss path, memo-hit path, and compiled vs. text
@@ -39,7 +39,7 @@ import (
 var quick = flag.Bool("quick", false, "fewer iterations for a fast pass")
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1, table2, fig4, fig5, fig6, fig7, fig8, scale, proof, abi, all)")
+	exp := flag.String("exp", "all", "experiment to run (table1, table2, fig4, fig5, fig6, fig7, fig8, scale, proof, abi, net, all)")
 	flag.Parse()
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
@@ -62,6 +62,7 @@ func main() {
 	run("scale", scale)
 	run("proof", proofExp)
 	run("abi", abiExp)
+	run("net", netExp)
 }
 
 // iters scales iteration counts.
@@ -98,6 +99,11 @@ func mustKernel(opts kernel.Options) *kernel.Kernel {
 	if err != nil {
 		panic(err)
 	}
+	// The decision audit log rides the authorize miss path (a mutex plus a
+	// SHA-256 per verdict); the paper reproductions measure the dispatch
+	// pipeline itself, so keep the recorded trajectories comparable across
+	// PRs by excluding it here. Production configurations leave it on.
+	k.Audit().Disable()
 	return k
 }
 

@@ -1,0 +1,256 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/guard"
+	"repro/internal/kernel"
+	"repro/internal/nal"
+	"repro/internal/nal/proof"
+	"repro/internal/tpm"
+)
+
+// netExp measures the distributed attestation plane and records the
+// results in BENCH_net.json. Rows:
+//
+//	call/local            same call served by the local dispatch pipeline
+//	call/remote-loopback  cross-node call over the in-memory transport
+//	call/remote-tcp       cross-node call over the TCP backend
+//	call/remote-authz     cross-node call with credential-backed guard
+//	                      authorization on the serving kernel (warm)
+//	xfer/label            externalize + transfer + verified ingress intern
+//	wire/encode-warm      egress encode of an already-sent formula
+//	wire/decode-warm      ingress decode of an already-seen formula
+//	                      (the zero-alloc acceptance row)
+//	wire/decode-cold      first-presentation decode into the cons DAG
+//
+// The remote-vs-local overhead ratio is printed alongside.
+type netRow struct {
+	Name      string  `json:"name"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	AllocsOp  int64   `json:"allocs_per_op"`
+	BytesOp   int64   `json:"bytes_per_op"`
+	Iteration int     `json:"iterations"`
+}
+
+func netBenchRow(name string, body func(b *testing.B)) netRow {
+	r := testing.Benchmark(body)
+	return netRow{
+		Name:      name,
+		NsPerOp:   float64(r.NsPerOp()),
+		AllocsOp:  r.AllocsPerOp(),
+		BytesOp:   r.AllocedBytesPerOp(),
+		Iteration: r.N,
+	}
+}
+
+func netExp() error {
+	kStore := mustKernel(kernel.Options{})
+	kStore.SetGuard(guard.New(kStore))
+	kFront := mustKernel(kernel.Options{})
+
+	srv, err := kStore.NewSession([]byte("net-srv"))
+	if err != nil {
+		return err
+	}
+	pc, err := srv.Listen(func(kernel.Caller, *kernel.Msg) ([]byte, error) {
+		return []byte("ok"), nil
+	})
+	if err != nil {
+		return err
+	}
+	port, _ := srv.PortOf(pc)
+
+	lt := kernel.NewLoopbackTransport()
+	nStore := kernel.NewNode(kStore)
+	l, err := lt.Listen("exp")
+	if err != nil {
+		return err
+	}
+	nStore.Serve(l)
+	defer nStore.Close()
+	if err := nStore.Export("echo", port); err != nil {
+		return err
+	}
+	nFront := kernel.NewNode(kFront)
+	defer nFront.Close()
+	peer, err := nFront.Dial(lt, "exp")
+	if err != nil {
+		return err
+	}
+	cli, err := kFront.NewSession([]byte("net-cli"))
+	if err != nil {
+		return err
+	}
+	rc, err := cli.Connect(peer, "echo")
+	if err != nil {
+		return err
+	}
+
+	m := &kernel.Msg{Op: "read", Obj: "obj"}
+	var rows []netRow
+
+	local := netBenchRow("call/local", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := srv.Call(pc, m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rows = append(rows, local)
+
+	remote := netBenchRow("call/remote-loopback", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cli.CallRemote(rc, m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rows = append(rows, remote)
+
+	// TCP backend on the local loopback interface.
+	var tr kernel.TCPTransport
+	if tl, err := tr.Listen("127.0.0.1:0"); err == nil {
+		nStore.Serve(tl)
+		if tpeer, err := nFront.Dial(tr, tl.Addr()); err == nil {
+			if tc, err := cli.Connect(tpeer, "echo"); err == nil {
+				rows = append(rows, netBenchRow("call/remote-tcp", func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, err := cli.CallRemote(tc, m); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}))
+			}
+		}
+	}
+
+	// Credential-backed authorization on the serving kernel: goal demanding
+	// the client's attested statement, proof bound remotely, decisions
+	// uncacheable (reference credential) so every call crosses the guard.
+	frontNK := tpm.Fingerprint(&kFront.NK.PublicKey)
+	goal := nal.Says{P: nal.Key(frontNK), F: nal.Says{P: cli.Prin(), F: nal.Pred{Name: "mayBench"}}}
+	if err := srv.SetGoal("bench", "guarded", goal, nil); err != nil {
+		return err
+	}
+	lbl, err := cli.Say("mayBench")
+	if err != nil {
+		return err
+	}
+	rl, err := cli.TransferLabelRemote(peer, lbl.Handle)
+	if err != nil {
+		return err
+	}
+	if err := cli.SetProofRemote(peer, "bench", "guarded", proof.Assume(0, goal),
+		[]kernel.RemoteCred{{Ref: rl.Handle}}); err != nil {
+		return err
+	}
+	gm := &kernel.Msg{Op: "bench", Obj: "guarded"}
+	if _, err := cli.CallRemote(rc, gm); err != nil {
+		return fmt.Errorf("guarded remote call: %w", err)
+	}
+	rows = append(rows, netBenchRow("call/remote-authz", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cli.CallRemote(rc, gm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// Label transfer: externalize (RSA sign) + ship + verified ingress.
+	// Distinct labels defeat the verify cache, so this is the cold path.
+	rows = append(rows, netBenchRow("xfer/label", func(b *testing.B) {
+		b.ReportAllocs()
+		labels := make([]int, b.N)
+		for i := range labels {
+			l, err := cli.Say(fmt.Sprintf("attested(%d)", i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			labels[i] = l.Handle
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cli.TransferLabelRemote(peer, labels[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// Wire codec rows.
+	f, err := nal.Parse(`key:deadbeef.boot77.ipd.12 says mayArchive(walls, "alice", 42)`)
+	if err != nil {
+		return err
+	}
+	enc := nal.NewWireEncoder()
+	cold, err := enc.AppendFormula(nil, f)
+	if err != nil {
+		return err
+	}
+	warm, err := enc.AppendFormula(nil, f)
+	if err != nil {
+		return err
+	}
+	dec := nal.NewWireDecoder()
+	if _, _, err := dec.DecodeFormula(cold); err != nil {
+		return err
+	}
+	fid := mustID(f)
+	rows = append(rows, netBenchRow("wire/encode-warm", func(b *testing.B) {
+		b.ReportAllocs()
+		buf := make([]byte, 0, 64)
+		for i := 0; i < b.N; i++ {
+			buf = enc.AppendFormulaID(buf[:0], fid)
+		}
+	}))
+	rows = append(rows, netBenchRow("wire/decode-warm", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := dec.DecodeFormula(warm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	rows = append(rows, netBenchRow("wire/decode-cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d := nal.NewWireDecoder()
+			if _, _, err := d.DecodeFormula(cold); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	fmt.Printf("%-22s %12s %10s %10s\n", "path", "ns/op", "allocs/op", "B/op")
+	for _, r := range rows {
+		fmt.Printf("%-22s %12.0f %10d %10d\n", r.Name, r.NsPerOp, r.AllocsOp, r.BytesOp)
+	}
+	if local.NsPerOp > 0 {
+		fmt.Printf("\nremote/local overhead: %.1fx\n", remote.NsPerOp/local.NsPerOp)
+	}
+
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_net.json", append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_net.json")
+	return nil
+}
+
+func mustID(f nal.Formula) nal.FormulaID {
+	id, ok := nal.IDOf(f)
+	if !ok {
+		panic("cons table saturated")
+	}
+	return id
+}

@@ -1,0 +1,48 @@
+package cert
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Wire framing for credentials. A certificate's three fields (DER TBS,
+// signer key, signature) are length-prefixed with varints, so a credential
+// crosses a transport connection as one self-delimiting blob that decodes
+// without touching ASN.1 until verification. Transports deduplicate resends
+// by fingerprint at their layer (a certificate already presented on a
+// connection is referenced, not re-shipped); this codec only frames bytes.
+
+// ErrWireMalformed reports a syntactically invalid certificate wire form.
+var ErrWireMalformed = errors.New("cert: malformed wire certificate")
+
+// maxWireField bounds one field of a wire certificate; real certificates
+// are under a kilobyte, so this is generous while keeping a hostile length
+// prefix from forcing a huge allocation.
+const maxWireField = 1 << 20
+
+// AppendWire appends the certificate's wire form to dst.
+func (c *Certificate) AppendWire(dst []byte) []byte {
+	for _, f := range [][]byte{c.RawTBS, c.SignerKey, c.Sig} {
+		dst = binary.AppendUvarint(dst, uint64(len(f)))
+		dst = append(dst, f...)
+	}
+	return dst
+}
+
+// DecodeCertWire decodes one wire certificate from the front of buf,
+// returning it and the number of bytes consumed. The fields are copied, so
+// the certificate does not alias buf.
+func DecodeCertWire(buf []byte) (*Certificate, int, error) {
+	off := 0
+	fields := make([][]byte, 3)
+	for i := range fields {
+		n, vn := binary.Uvarint(buf[off:])
+		if vn <= 0 || n > maxWireField || n > uint64(len(buf)-off-vn) {
+			return nil, 0, ErrWireMalformed
+		}
+		off += vn
+		fields[i] = append([]byte(nil), buf[off:off+int(n)]...)
+		off += int(n)
+	}
+	return &Certificate{RawTBS: fields[0], SignerKey: fields[1], Sig: fields[2]}, off, nil
+}

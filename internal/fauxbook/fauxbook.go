@@ -60,6 +60,10 @@ type Service struct {
 	// labeling functions, presented to users as the §4.1 privacy evidence.
 	tenantLabels []nal.Formula
 
+	// archive, when attached, is the storage node holding wall archives
+	// across the attestation plane (multinode.go).
+	archive *remoteArchive
+
 	// sessionAuth and friendAuth are the embedded authorities of §4.1:
 	// name.webserver says user=alice, name.python says alice in
 	// bob.friends.
@@ -400,13 +404,7 @@ func (s *Service) PersistWall(name string) error {
 	}
 	wall := append([]*cobuf.Buf(nil), u.wall...)
 	s.mu.Unlock()
-	var blob []byte
-	for _, b := range wall {
-		m := cobuf.Marshal(b)
-		blob = append(blob, byte(len(m)>>8), byte(len(m)))
-		blob = append(blob, m...)
-	}
-	return s.fs.WriteFile("/fauxbook/"+name+".wall", blob)
+	return s.fs.WriteFile("/fauxbook/"+name+".wall", marshalWall(wall))
 }
 
 // LoadWall restores a persisted wall.
@@ -415,18 +413,9 @@ func (s *Service) LoadWall(name string) error {
 	if err != nil {
 		return err
 	}
-	var wall []*cobuf.Buf
-	for len(blob) >= 2 {
-		n := int(blob[0])<<8 | int(blob[1])
-		if len(blob) < 2+n {
-			return fmt.Errorf("fauxbook: corrupt wall file")
-		}
-		b, err := cobuf.Unmarshal(blob[2 : 2+n])
-		if err != nil {
-			return err
-		}
-		wall = append(wall, b)
-		blob = blob[2+n:]
+	wall, err := unmarshalWall(blob)
+	if err != nil {
+		return err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

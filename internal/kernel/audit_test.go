@@ -1,0 +1,195 @@
+package kernel
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/nal"
+)
+
+// auditGuard alternates allow/deny so the log sees both verdicts.
+type auditGuard struct{}
+
+func (g auditGuard) Check(req *GuardRequest) GuardDecision {
+	if strings.HasPrefix(req.Obj, "deny") {
+		return GuardDecision{Allow: false, Cacheable: false, Reason: "guard says no"}
+	}
+	return GuardDecision{Allow: true, Cacheable: false, Reason: "guard says yes"}
+}
+
+func auditWorld(t *testing.T) (*Kernel, *Process) {
+	t.Helper()
+	k := bootKernel(t)
+	k.SetGuard(auditGuard{})
+	p, err := k.CreateProcess(0, []byte("audited"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, p
+}
+
+// TestAuditChain: guard verdicts land in the log in order, the chain
+// verifies, and both allow and deny decisions are recorded with the
+// subject attributed.
+func TestAuditChain(t *testing.T) {
+	k, p := auditWorld(t)
+	goal := nal.MustParse("?S says never")
+	for _, obj := range []string{"allow-a", "deny-b", "allow-c"} {
+		if err := k.SetGoal(p, "read", obj, goal, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := k.syscall(p, "read", "allow-a", nil, func() error { return nil }); err != nil {
+			t.Fatalf("allow-a: %v", err)
+		}
+	}
+	if err := k.syscall(p, "read", "deny-b", nil, func() error { return nil }); !errors.Is(err, ErrDenied) {
+		t.Fatalf("deny-b: want denial, got %v", err)
+	}
+	if err := k.syscall(p, "read", "allow-c", nil, func() error { return nil }); err != nil {
+		t.Fatalf("allow-c: %v", err)
+	}
+
+	a := k.Audit()
+	if err := a.Verify(); err != nil {
+		t.Fatalf("chain does not verify: %v", err)
+	}
+	recs, _ := a.Records()
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4 (decisions are uncacheable here)", len(recs))
+	}
+	var sawDeny, sawAllow bool
+	for _, r := range recs {
+		if r.Subj != p.PrinString() {
+			t.Fatalf("record attributes %q, want %q", r.Subj, p.PrinString())
+		}
+		if r.Allow {
+			sawAllow = true
+		} else {
+			sawDeny = true
+			if r.Obj != "deny-b" {
+				t.Fatalf("denial recorded for %q", r.Obj)
+			}
+		}
+	}
+	if !sawDeny || !sawAllow {
+		t.Fatal("log missing an allow or a deny verdict")
+	}
+}
+
+// TestAuditTamperDetected: any in-place edit of a record breaks
+// verification against the published head.
+func TestAuditTamperDetected(t *testing.T) {
+	k, p := auditWorld(t)
+	if err := k.SetGoal(p, "read", "allow-x", nal.MustParse("?S says never"), nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := k.syscall(p, "read", "allow-x", nil, func() error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, base := k.Audit().Records()
+	head := k.Audit().Head()
+	if err := VerifyAuditChain(recs, base, head); err != nil {
+		t.Fatalf("pristine chain rejected: %v", err)
+	}
+
+	// Flip a verdict.
+	tampered := append([]AuditRecord(nil), recs...)
+	tampered[2].Allow = !tampered[2].Allow
+	if err := VerifyAuditChain(tampered, base, head); !errors.Is(err, ErrAuditChain) {
+		t.Fatalf("verdict flip not detected: %v", err)
+	}
+	// Rewrite a record consistently with its own hash but not the chain.
+	tampered = append([]AuditRecord(nil), recs...)
+	tampered[2].Obj = "something-else"
+	tampered[2].Hash = auditHash(tampered[2].Prev, tampered[2].Seq, tampered[2].Subj,
+		tampered[2].Op, tampered[2].Obj, tampered[2].Allow, tampered[2].Reason)
+	if err := VerifyAuditChain(tampered, base, head); !errors.Is(err, ErrAuditChain) {
+		t.Fatalf("rehashed edit not detected: %v", err)
+	}
+	// Delete a record.
+	deleted := append(append([]AuditRecord(nil), recs[:2]...), recs[3:]...)
+	if err := VerifyAuditChain(deleted, base, head); !errors.Is(err, ErrAuditChain) {
+		t.Fatalf("deletion not detected: %v", err)
+	}
+	// Truncate the tail.
+	if err := VerifyAuditChain(recs[:3], base, head); !errors.Is(err, ErrAuditChain) {
+		t.Fatalf("truncation not detected: %v", err)
+	}
+}
+
+// TestAuditEviction: the retention cap holds, the base hash advances, and
+// the retained window still verifies against the head.
+func TestAuditEviction(t *testing.T) {
+	k, p := auditWorld(t)
+	k.Audit().SetCap(8)
+	if err := k.SetGoal(p, "read", "allow-x", nal.MustParse("?S says never"), nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := k.syscall(p, "read", "allow-x", nil, func() error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := k.Audit()
+	if a.Len() > 8 {
+		t.Fatalf("retained %d records, cap is 8", a.Len())
+	}
+	if a.Total() < 50 {
+		t.Fatalf("total %d, want ≥ 50", a.Total())
+	}
+	if err := a.Verify(); err != nil {
+		t.Fatalf("chain does not verify after eviction: %v", err)
+	}
+	recs, _ := a.Records()
+	if recs[0].Seq == 0 {
+		t.Fatal("base did not advance past evicted records")
+	}
+}
+
+// TestAuditIntrospection: the log is published at /proc/kernel/audit.
+func TestAuditIntrospection(t *testing.T) {
+	k, p := auditWorld(t)
+	if err := k.SetGoal(p, "read", "allow-x", nal.MustParse("?S says never"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.syscall(p, "read", "allow-x", nil, func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	v, _, ok := k.Introsp.Read("/proc/kernel/audit")
+	if !ok {
+		t.Fatal("/proc/kernel/audit not published")
+	}
+	if !strings.Contains(v, "total=") || !strings.Contains(v, "head=") {
+		t.Fatalf("unexpected audit introspection: %q", v)
+	}
+}
+
+// TestAuditWarmPathSilent: decisions served from the decision cache do not
+// re-append records (the log records decisions, not replays).
+func TestAuditWarmPathSilent(t *testing.T) {
+	k, p := auditWorld(t)
+	// A cacheable decision: goal present, guard says cacheable.
+	k.SetGuard(cacheableAllowGuard{})
+	if err := k.SetGoal(p, "read", "allow-x", nal.MustParse("?S says never"), nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := k.syscall(p, "read", "allow-x", nil, func() error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := k.Audit().Total(); got != 1 {
+		t.Fatalf("cached replays re-recorded: %d records, want 1", got)
+	}
+}
+
+type cacheableAllowGuard struct{}
+
+func (cacheableAllowGuard) Check(req *GuardRequest) GuardDecision {
+	return GuardDecision{Allow: true, Cacheable: true, Reason: "cacheable allow"}
+}

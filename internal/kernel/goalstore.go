@@ -220,6 +220,11 @@ func (k *Kernel) authorize(from *Process, op, obj string) error {
 		owner, registered := k.goals.owners[obj]
 		k.goals.mu.RUnlock()
 		allow := !registered || nal.IsAncestor(owner, from.Prin) || nal.IsAncestor(from.Prin, owner)
+		if registered {
+			// Unguarded resources stay off the audit log; a creator-protected
+			// nascent object is a real policy decision and is recorded.
+			k.audit.record(subj, op, obj, allow, "default policy")
+		}
 		k.dcache.InsertIf(subj, op, obj, allow, epoch)
 		if allow {
 			return nil
@@ -238,6 +243,7 @@ func (k *Kernel) authorize(from *Process, op, obj string) error {
 		g = k.defaultGuard()
 	}
 	if g == nil {
+		k.audit.record(subj, op, obj, false, "no guard bound to goal")
 		return ErrNoGuard
 	}
 
@@ -255,6 +261,7 @@ func (k *Kernel) authorize(from *Process, op, obj string) error {
 	}
 	k.guardUpcalls.Add(1)
 	dec := g.Check(req)
+	k.audit.record(subj, op, obj, dec.Allow, dec.Reason)
 	if dec.Cacheable {
 		k.dcache.InsertIf(subj, op, obj, dec.Allow, epoch)
 	}

@@ -21,10 +21,13 @@ const CapSyscall Cap = 0
 type capKind uint8
 
 const (
-	capFree capKind = iota
-	capPort         // owner handle: the port this session listens on
-	capChan         // channel handle: a port this session may call
-	capObj          // object handle: a named, goal-protected object
+	capFree   capKind = iota
+	capPort           // owner handle: the port this session listens on
+	capChan           // channel handle: a port this session may call
+	capObj            // object handle: a named, goal-protected object
+	capRemote         // remote channel handle: a service on a peer kernel,
+	// represented by a local forwarder port so the standard dispatch
+	// pipeline (and Submit batching) applies to cross-node calls
 )
 
 // hslot is one handle-table entry.

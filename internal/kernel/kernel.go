@@ -88,6 +88,11 @@ type Kernel struct {
 	// guards resolving certificate credentials; revocation goes through it.
 	certs *cert.VerifyCache
 
+	// audit is the hash-chained record of authorization decisions,
+	// exported at /proc/kernel/audit. Only the decision (cache-miss) path
+	// writes it; warm cached requests replay already-recorded decisions.
+	audit *AuditLog
+
 	authMu  sync.RWMutex
 	auth    map[string]*Authority
 	Introsp *introspect.Registry
@@ -144,6 +149,7 @@ func Boot(t *tpm.TPM, d *disk.Disk, opts Options) (*Kernel, error) {
 		chans:     newChanTable(),
 		handles:   newHandleRegistry(),
 		certs:     cert.NewVerifyCache(),
+		audit:     newAuditLog(),
 		auth:      map[string]*Authority{},
 		Introsp:   introspect.NewRegistry(),
 		startTime: time.Now(),
@@ -291,6 +297,29 @@ func (k *Kernel) CreateProcess(parent int, image []byte) (*Process, error) {
 	return p, nil
 }
 
+// createRemoteProxy registers a proxy IPD standing in for a process on a
+// peer kernel: it occupies a local pid — so registries, channel grants,
+// labelstores, proof registration, and teardown work unchanged — but
+// carries the remote process's *global* principal (key:<NK>.<boot>.ipd.N),
+// so authorization, labels, and audit records attribute cross-node
+// activity to the real remote identity, never to a local subprincipal of
+// this kernel. Only the transport layer creates these, after the peer's
+// identity has been verified.
+func (k *Kernel) createRemoteProxy(prin nal.Principal) *Process {
+	pid := k.procs.alloc()
+	sum := sha1.Sum([]byte(prin.String()))
+	p := &Process{
+		PID:     pid,
+		Prin:    prin,
+		Hash:    hex.EncodeToString(sum[:]),
+		kernel:  k,
+		prinStr: prin.String(),
+	}
+	p.Labels = newLabelstore(p)
+	k.procs.insert(p)
+	return p
+}
+
 // Exit terminates the process: it leaves the process table, its ports are
 // closed (via the per-owner index, not a registry scan), grants other
 // processes held to those ports are revoked, its own channel capabilities
@@ -369,6 +398,9 @@ func (k *Kernel) publishIntrospection() {
 	})
 	k.Introsp.Publish("/proc/kernel/guard_upcalls", k.Prin, func() string {
 		return fmt.Sprint(k.guardUpcalls.Load())
+	})
+	k.Introsp.Publish("/proc/kernel/audit", k.Prin, func() string {
+		return k.audit.summary()
 	})
 	k.Introsp.Publish("/proc/kernel/dcache", k.Prin, func() string {
 		s := k.dcache.StatsSnapshot()

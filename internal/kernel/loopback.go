@@ -1,0 +1,158 @@
+package kernel
+
+import (
+	"errors"
+	"sync"
+)
+
+// LoopbackTransport is the in-memory transport backend: nodes in one
+// process connect by name, frames travel over buffered channels, and the
+// full handshake/codec/ingress path runs exactly as it would over TCP.
+// Tests and single-process experiments use it; nothing about the
+// attestation plane knows the difference.
+type LoopbackTransport struct {
+	mu        sync.Mutex
+	listeners map[string]*loopListener
+}
+
+// NewLoopbackTransport creates an empty in-memory transport.
+func NewLoopbackTransport() *LoopbackTransport {
+	return &LoopbackTransport{listeners: map[string]*loopListener{}}
+}
+
+// errLoopClosed reports an operation on a closed loopback endpoint.
+var errLoopClosed = errors.New("kernel: loopback endpoint closed")
+
+// Listen binds a name. Names are a flat namespace per transport instance.
+func (t *LoopbackTransport) Listen(addr string) (Listener, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.listeners[addr]; ok {
+		return nil, errors.New("kernel: loopback address in use: " + addr)
+	}
+	l := &loopListener{t: t, addr: addr, accept: make(chan Conn, 8), done: make(chan struct{})}
+	t.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects to a listening name.
+func (t *LoopbackTransport) Dial(addr string) (Conn, error) {
+	t.mu.Lock()
+	l, ok := t.listeners[addr]
+	t.mu.Unlock()
+	if !ok {
+		return nil, errors.New("kernel: no loopback listener at " + addr)
+	}
+	a, b := newLoopPipe()
+	select {
+	case l.accept <- b:
+		// Re-check after winning the send race: if the listener closed
+		// concurrently, the buffered conn may never be accepted. Closing
+		// our end unblocks both halves whether or not Close's drain
+		// already reaped it (loopConn ends share one done channel).
+		select {
+		case <-l.done:
+			a.Close()
+			return nil, errLoopClosed
+		default:
+			return a, nil
+		}
+	case <-l.done:
+		return nil, errLoopClosed
+	}
+}
+
+type loopListener struct {
+	t      *LoopbackTransport
+	addr   string
+	accept chan Conn
+	done   chan struct{}
+	once   sync.Once
+}
+
+func (l *loopListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, errLoopClosed
+	}
+}
+
+func (l *loopListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.t.mu.Lock()
+		if l.t.listeners[l.addr] == l {
+			delete(l.t.listeners, l.addr)
+		}
+		l.t.mu.Unlock()
+		// Reap connections that were enqueued but never accepted, so a
+		// Dial that raced the close errors out of its handshake instead
+		// of blocking forever. Dials landing after this drain observe the
+		// closed done channel and close their own end (see Dial).
+		for {
+			select {
+			case c := <-l.accept:
+				c.Close()
+			default:
+				return
+			}
+		}
+	})
+	return nil
+}
+
+func (l *loopListener) Addr() string { return l.addr }
+
+// loopConn is one end of an in-memory duplex pipe. Closing either end
+// unblocks both.
+type loopConn struct {
+	out  chan<- []byte
+	in   <-chan []byte
+	done chan struct{}
+	once *sync.Once
+}
+
+func newLoopPipe() (Conn, Conn) {
+	ab := make(chan []byte, 16)
+	ba := make(chan []byte, 16)
+	done := make(chan struct{})
+	once := &sync.Once{}
+	a := &loopConn{out: ab, in: ba, done: done, once: once}
+	b := &loopConn{out: ba, in: ab, done: done, once: once}
+	return a, b
+}
+
+func (c *loopConn) Send(frame []byte) error {
+	if len(frame) > maxNetFrame {
+		return errors.New("kernel: frame exceeds maximum size")
+	}
+	select {
+	case c.out <- frame:
+		return nil
+	case <-c.done:
+		return errLoopClosed
+	}
+}
+
+func (c *loopConn) Recv() ([]byte, error) {
+	select {
+	case f := <-c.in:
+		return f, nil
+	case <-c.done:
+		// Drain frames that raced the close so an orderly shutdown still
+		// delivers responses already in flight.
+		select {
+		case f := <-c.in:
+			return f, nil
+		default:
+		}
+		return nil, errLoopClosed
+	}
+}
+
+func (c *loopConn) Close() error {
+	c.once.Do(func() { close(c.done) })
+	return nil
+}

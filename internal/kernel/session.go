@@ -195,7 +195,7 @@ func (s *Session) Close(c Cap) error {
 		return ErrBadHandle
 	}
 	switch sl.kind {
-	case capPort:
+	case capPort, capRemote:
 		if s.k.ports.remove(sl.port.ID) {
 			s.k.chans.dropPort(sl.port.ID)
 			s.k.dropAuthorities([]int{sl.port.ID})

@@ -1,0 +1,101 @@
+package kernel
+
+import (
+	"repro/internal/nal/proof"
+)
+
+// Remote operations of the Session ABI. A remote service is named by a
+// *Peer (a verified connection to another node) plus the service name its
+// node exported; Connect converts that name into a capability handle
+// exactly as Open converts a local port name into one.
+//
+// The handle resolves to a local *forwarder port* owned by this session
+// whose handler ships the message to the peer, so a cross-node call runs
+// the dispatch pipeline twice — once here (local authorization of the
+// egress, local interposition chains, batch submission via Submit) and
+// once on the serving kernel against the caller's proxy principal. Nothing
+// between Session.Call and the remote handler knows the target is remote.
+
+// Connect opens a channel to a service exported by a peer node and returns
+// the capability handle for it. The peer kernel records the channel grant
+// against this session's proxy, so its connectivity analysis sees the
+// cross-node edge.
+func (s *Session) Connect(peer *Peer, service string) (Cap, error) {
+	remotePort, err := peer.connect(s.p.PID, service)
+	if err != nil {
+		return 0, err
+	}
+	pt, err := s.k.CreatePort(s.p, func(from Caller, m *Msg) ([]byte, error) {
+		return peer.call(from.PID, remotePort, m)
+	})
+	if err != nil {
+		return 0, err
+	}
+	c, ok := s.ht.alloc(hslot{kind: capRemote, port: pt, obj: service})
+	if !ok {
+		// The session raced Exit; unwind the forwarder port idempotently.
+		s.k.ports.remove(pt.ID)
+		s.k.chans.dropPort(pt.ID)
+		return 0, abiErr(ESRCH, "connect", "session exited")
+	}
+	return c, nil
+}
+
+// CallRemote performs a synchronous call through a remote handle. It is
+// Session.Call restricted to remote handles — same dispatch pipeline,
+// with the handle's kind asserted for callers that must not silently fall
+// back to a local port.
+func (s *Session) CallRemote(c Cap, m *Msg) ([]byte, error) {
+	sl, ok := s.ht.lookup(c)
+	if !ok || sl.kind != capRemote {
+		return nil, ErrBadHandle
+	}
+	return s.k.dispatch(s.p, sl.port, m, sl.port.h)
+}
+
+// RemoteLabel names a label this session deposited on a peer kernel: the
+// proxy pid and labelstore handle there. It is the value to place in a
+// RemoteCred.Ref for a later SetProofRemote.
+type RemoteLabel struct {
+	PID    int
+	Handle int
+}
+
+// TransferLabelRemote externalizes a label from this session's labelstore
+// (signing it under this node's TPM-rooted key, §2.4) and ships it to the
+// peer, whose kernel verifies it through its pre-verification cache and
+// interns it into this session's proxy labelstore there. The returned
+// RemoteLabel is stable for the life of the connection.
+func (s *Session) TransferLabelRemote(peer *Peer, labelHandle int) (RemoteLabel, error) {
+	ext, err := s.p.Labels.Externalize(labelHandle)
+	if err != nil {
+		return RemoteLabel{}, err
+	}
+	pid, h, err := peer.xferLabel(s.p.PID, ext)
+	if err != nil {
+		return RemoteLabel{}, err
+	}
+	return RemoteLabel{PID: pid, Handle: h}, nil
+}
+
+// TransferExternal ships an already-externalized label to the peer on
+// behalf of callerPID — the relay path for labels a node holds in
+// certificate form rather than in a labelstore. Ingress applies the same
+// verification as any transfer: the certificate must be signed by this
+// node's NK and its speaker rooted at this node's kernel principal, so a
+// relay cannot launder labels that did not originate here.
+func (p *Peer) TransferExternal(callerPID int, ext *ExternalLabel) (RemoteLabel, error) {
+	pid, h, err := p.xferLabel(callerPID, ext)
+	if err != nil {
+		return RemoteLabel{}, err
+	}
+	return RemoteLabel{PID: pid, Handle: h}, nil
+}
+
+// SetProofRemote registers a proof for this session's proxy identity on
+// the peer kernel, binding it to (op, obj) there. Inline credential
+// formulas travel through the per-connection wire codec (warm resends are
+// backreferences); certificates are deduplicated per connection.
+func (s *Session) SetProofRemote(peer *Peer, op, obj string, p *proof.Proof, creds []RemoteCred) error {
+	return peer.setProof(s.p.PID, op, obj, p, creds)
+}

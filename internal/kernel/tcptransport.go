@@ -1,0 +1,90 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCPTransport is the wire-level transport backend: frames are
+// length-prefixed (4-byte little-endian) over a TCP stream. The zero value
+// is ready to use. The attestation-plane handshake provides identity and
+// proof of key possession; the stream itself is neither encrypted nor
+// authenticated per-frame, which matches the paper's trust model — labels
+// are self-authenticating certificates — but means deployments that fear
+// active on-path attackers should run it inside an authenticated tunnel.
+type TCPTransport struct{}
+
+// Listen binds a TCP address (e.g. "127.0.0.1:0").
+func (TCPTransport) Listen(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpListener{l: l}, nil
+}
+
+// Dial connects to a listening node.
+func (TCPTransport) Dial(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpConn{c: c}, nil
+}
+
+type tcpListener struct{ l net.Listener }
+
+func (t *tcpListener) Accept() (Conn, error) {
+	c, err := t.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &tcpConn{c: c}, nil
+}
+
+func (t *tcpListener) Close() error { return t.l.Close() }
+func (t *tcpListener) Addr() string { return t.l.Addr().String() }
+
+type tcpConn struct {
+	c       net.Conn
+	sendMu  sync.Mutex
+	recvMu  sync.Mutex
+	lenBuf  [4]byte
+	rlenBuf [4]byte
+}
+
+func (t *tcpConn) Send(frame []byte) error {
+	if len(frame) > maxNetFrame {
+		return errors.New("kernel: frame exceeds maximum size")
+	}
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+	binary.LittleEndian.PutUint32(t.lenBuf[:], uint32(len(frame)))
+	if _, err := t.c.Write(t.lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := t.c.Write(frame)
+	return err
+}
+
+func (t *tcpConn) Recv() ([]byte, error) {
+	t.recvMu.Lock()
+	defer t.recvMu.Unlock()
+	if _, err := io.ReadFull(t.c, t.rlenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(t.rlenBuf[:])
+	if n > maxNetFrame {
+		return nil, errors.New("kernel: inbound frame exceeds maximum size")
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(t.c, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (t *tcpConn) Close() error { return t.c.Close() }

@@ -1,0 +1,947 @@
+// Inter-kernel transport: the distributed attestation plane.
+//
+// A Node attaches a transport endpoint to a running kernel. Two nodes that
+// complete the handshake exchange three kinds of traffic, all speaking the
+// binary wire vocabulary of wire_net.go:
+//
+//   - externalized labels: egress signs a label into certificate form under
+//     the node's TPM-rooted Nexus key (§2.4); ingress verifies it through
+//     the kernel's pre-verification cache and interns the resulting
+//     key-attributed formula into the calling proxy's labelstore;
+//   - proof registrations: a remote subject binds a proof (with inline,
+//     reference, or certificate credentials) to an access tuple on the
+//     serving kernel, exactly as a local setproof would;
+//   - remote calls: IPC requests routed into the serving kernel's standard
+//     dispatch() pipeline on behalf of a proxy process, so channel checks,
+//     authorization, interposition, and auditing apply unchanged.
+//
+// Identity. Each side presents its boot id, its NK public key, and the
+// TPM's endorsement of the NK ("key:EK says key:NK speaksfor
+// key:EK.nexus"), then proves possession of the NK by signing the peer's
+// nonce. A verified peer is the principal key:<NK-fp>.<boot-id> — the same
+// principal the remote kernel uses for itself — and every process on it is
+// represented locally by a proxy IPD whose principal is the remote
+// process's global name (key:<NK>.<boot>.ipd.<pid>). Labels arriving over
+// the connection are accepted only if their certificate is signed by the
+// peer's NK and their speaker is rooted at the peer's kernel principal;
+// anything else is cross-node speaker spoofing and is rejected before it
+// reaches a labelstore.
+//
+// Locking (leaf-ward order, see DESIGN.md "Distributed attestation
+// plane"): Node.mu guards the export/listener/peer tables and is never
+// held across connection I/O or kernel registry operations; Peer.mu
+// serializes one request/response exchange and the egress codec state;
+// serverConn state is confined to its serve goroutine and needs no lock.
+// Proxy teardown (conn close, Node.Close) takes kernel registry locks only
+// after every transport lock is released.
+package kernel
+
+import (
+	"crypto"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"crypto/x509"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cert"
+	"repro/internal/nal"
+	"repro/internal/nal/proof"
+	"repro/internal/tpm"
+)
+
+// Transport errors.
+var (
+	ErrTransportClosed = errors.New("kernel: transport closed")
+	ErrBadPeer         = errors.New("kernel: peer identity verification failed")
+	ErrSpoofedSpeaker  = errors.New("kernel: label speaker not rooted in sending node")
+)
+
+// Conn is a reliable, ordered, framed byte pipe between two nodes. Send
+// transfers ownership of the frame; Recv returns frames owned by the
+// caller. Close unblocks both directions on both ends.
+type Conn interface {
+	Send(frame []byte) error
+	Recv() ([]byte, error)
+	Close() error
+}
+
+// Listener accepts inbound transport connections.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	// Addr returns the bound address in the transport's own notation.
+	Addr() string
+}
+
+// Transport is a connection factory: the in-memory loopback for tests and
+// single-process experiments, TCP for real inter-machine deployment.
+type Transport interface {
+	Listen(addr string) (Listener, error)
+	Dial(addr string) (Conn, error)
+}
+
+// Node is a kernel's endpoint on the attestation plane.
+type Node struct {
+	k *Kernel
+
+	mu        sync.Mutex
+	exports   map[string]int // service name → public port id
+	trustedEK map[string]bool
+	listeners []Listener
+	conns     map[Conn]bool  // accepted connections, for Close
+	peers     map[*Peer]bool // dialed connections, for Close
+	closed    bool
+
+	wg sync.WaitGroup
+}
+
+// NewNode attaches a transport endpoint to the kernel.
+func NewNode(k *Kernel) *Node {
+	return &Node{
+		k:         k,
+		exports:   map[string]int{},
+		trustedEK: map[string]bool{},
+		conns:     map[Conn]bool{},
+		peers:     map[*Peer]bool{},
+	}
+}
+
+// Kernel returns the kernel this node fronts.
+func (n *Node) Kernel() *Kernel { return n.k }
+
+// Export publishes a port under a service name peers can Connect to.
+func (n *Node) Export(service string, portID int) error {
+	if _, ok := n.k.ports.find(portID); !ok {
+		return ErrNoSuchPort
+	}
+	n.mu.Lock()
+	n.exports[service] = portID
+	n.mu.Unlock()
+	return nil
+}
+
+// Unexport withdraws a service name.
+func (n *Node) Unexport(service string) {
+	n.mu.Lock()
+	delete(n.exports, service)
+	n.mu.Unlock()
+}
+
+// TrustEK adds a TPM endorsement-key fingerprint to the allowlist. With a
+// non-empty allowlist, handshakes from platforms with any other EK fail;
+// with an empty one any genuine platform connects and trust decisions fall
+// entirely to guards reasoning over key principals.
+func (n *Node) TrustEK(ekFP string) {
+	n.mu.Lock()
+	n.trustedEK[ekFP] = true
+	n.mu.Unlock()
+}
+
+// Serve starts accepting peer connections on the listener; it returns
+// immediately and serves in background goroutines until the node closes.
+func (n *Node) Serve(l Listener) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		l.Close()
+		return
+	}
+	n.listeners = append(n.listeners, l)
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			n.mu.Lock()
+			if n.closed {
+				n.mu.Unlock()
+				c.Close()
+				return
+			}
+			n.conns[c] = true
+			n.mu.Unlock()
+			n.wg.Add(1)
+			go func() {
+				defer n.wg.Done()
+				n.serveConn(c)
+			}()
+		}
+	}()
+}
+
+// Close tears the node down: listeners stop accepting, every connection is
+// closed (which exits the proxies it created), and dialed peers become
+// unusable. The kernel itself keeps running.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	ls := n.listeners
+	n.listeners = nil
+	conns := make([]Conn, 0, len(n.conns))
+	for c := range n.conns {
+		conns = append(conns, c)
+	}
+	n.conns = map[Conn]bool{}
+	peers := make([]*Peer, 0, len(n.peers))
+	for p := range n.peers {
+		peers = append(peers, p)
+	}
+	n.peers = map[*Peer]bool{}
+	n.mu.Unlock()
+
+	for _, l := range ls {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, p := range peers {
+		p.Close()
+	}
+	n.wg.Wait()
+}
+
+// identity is one side's handshake material.
+type identity struct {
+	bootID      string
+	nkPub       *rsa.PublicKey
+	nkFP, ekFP  string
+	endorsement *cert.Certificate
+}
+
+// prin returns the kernel principal the identity authenticates.
+func (id *identity) prin() nal.Principal {
+	return nal.SubOf(nal.Key(id.nkFP), id.bootID)
+}
+
+// localIdentity collects this node's handshake material.
+func (n *Node) localIdentity() (*identity, error) {
+	end, err := n.k.nkEndorsement()
+	if err != nil {
+		return nil, err
+	}
+	return &identity{
+		bootID:      n.k.BootID,
+		nkPub:       &n.k.NK.PublicKey,
+		nkFP:        tpm.Fingerprint(&n.k.NK.PublicKey),
+		ekFP:        n.k.TPM.EKFingerprint(),
+		endorsement: end,
+	}, nil
+}
+
+// appendIdentity encodes bootID, NK public key, and endorsement.
+func appendIdentity(dst []byte, id *identity) []byte {
+	dst = appendNetString(dst, id.bootID)
+	dst = appendNetBytes(dst, x509.MarshalPKCS1PublicKey(id.nkPub))
+	return appendNetBytes(dst, id.endorsement.AppendWire(nil))
+}
+
+// verifyIdentity decodes and verifies a peer's handshake material: the
+// endorsement must be a well-formed, signed "key:NK speaksfor
+// key:EK.nexus" statement and the presented NK public key must match the
+// fingerprint the endorsement names. Possession of the NK's private half
+// is proven separately by the nonce signature.
+func (n *Node) verifyIdentity(r *netCursor) (*identity, error) {
+	bootID, ok := r.str()
+	if !ok {
+		return nil, ErrBadPeer
+	}
+	pubDER, ok := r.bytes()
+	if !ok {
+		return nil, ErrBadPeer
+	}
+	endWire, ok := r.bytes()
+	if !ok {
+		return nil, ErrBadPeer
+	}
+	pub, err := x509.ParsePKCS1PublicKey(pubDER)
+	if err != nil {
+		return nil, ErrBadPeer
+	}
+	end, _, err := cert.DecodeCertWire(endWire)
+	if err != nil {
+		return nil, ErrBadPeer
+	}
+	label, err := end.ToLabel()
+	if err != nil {
+		return nil, fmt.Errorf("%w: endorsement invalid: %v", ErrBadPeer, err)
+	}
+	says, ok2 := label.(nal.Says)
+	if !ok2 {
+		return nil, ErrBadPeer
+	}
+	ek, ok2 := says.P.(nal.Key)
+	if !ok2 {
+		return nil, ErrBadPeer
+	}
+	sf, ok2 := says.F.(nal.SpeaksFor)
+	if !ok2 || sf.On != nil {
+		return nil, ErrBadPeer
+	}
+	nk, ok2 := sf.A.(nal.Key)
+	if !ok2 {
+		return nil, ErrBadPeer
+	}
+	// The endorsement's object must be the EK's own nexus subprincipal:
+	// key:EK.nexus, spoken by key:EK itself.
+	sub, ok2 := sf.B.(nal.Sub)
+	if !ok2 || sub.Tag != "nexus" || !sub.Parent.EqualPrin(ek) {
+		return nil, ErrBadPeer
+	}
+	if tpm.Fingerprint(pub) != string(nk) {
+		return nil, fmt.Errorf("%w: NK key does not match endorsement", ErrBadPeer)
+	}
+	n.mu.Lock()
+	trusted := len(n.trustedEK) == 0 || n.trustedEK[string(ek)]
+	n.mu.Unlock()
+	if !trusted {
+		return nil, fmt.Errorf("%w: platform EK %s not trusted", ErrBadPeer, ek)
+	}
+	return &identity{bootID: bootID, nkPub: pub, nkFP: string(nk), ekFP: string(ek), endorsement: end}, nil
+}
+
+// helloDigest is the proof-of-possession digest: role-tagged so a
+// reflected signature cannot stand in for the other side's.
+func helloDigest(role string, nonce []byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte("nexus-transport-hello/"))
+	h.Write([]byte(role))
+	h.Write([]byte{0})
+	h.Write(nonce)
+	var d [32]byte
+	h.Sum(d[:0])
+	return d
+}
+
+func signHello(key *rsa.PrivateKey, role string, nonce []byte) ([]byte, error) {
+	d := helloDigest(role, nonce)
+	return rsa.SignPKCS1v15(rand.Reader, key, crypto.SHA256, d[:])
+}
+
+func verifyHello(pub *rsa.PublicKey, role string, nonce, sig []byte) error {
+	d := helloDigest(role, nonce)
+	if rsa.VerifyPKCS1v15(pub, crypto.SHA256, d[:], sig) != nil {
+		return fmt.Errorf("%w: nonce signature invalid", ErrBadPeer)
+	}
+	return nil
+}
+
+// ---- Dialing side -------------------------------------------------------
+
+// Peer is a verified connection to a remote node, usable by any session on
+// this kernel. One request/response exchange is in flight at a time; the
+// egress codec tables (formula remap, certificate dedup) are per-peer.
+type Peer struct {
+	n *Node
+	c Conn
+
+	mu      sync.Mutex
+	enc     *nal.WireEncoder
+	certIdx map[string]uint64 // cert fingerprint → wire index (1-based)
+
+	prin   nal.Principal // key:<NK>.<boot>
+	nkFP   string
+	ekFP   string
+	bootID string
+
+	closed atomic.Bool
+}
+
+// Dial connects to a remote node, runs the identity handshake in both
+// directions, and returns the verified peer.
+func (n *Node) Dial(t Transport, addr string) (*Peer, error) {
+	c, err := t.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	p, err := n.handshakeClient(c)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		c.Close()
+		return nil, ErrTransportClosed
+	}
+	n.peers[p] = true
+	n.mu.Unlock()
+	return p, nil
+}
+
+func (n *Node) handshakeClient(c Conn) (*Peer, error) {
+	self, err := n.localIdentity()
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, 24)
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, err
+	}
+	frame := []byte{fHello, transportVersion}
+	frame = appendIdentity(frame, self)
+	frame = appendNetBytes(frame, nonce)
+	if err := c.Send(frame); err != nil {
+		return nil, err
+	}
+	resp, err := c.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) == 0 || resp[0] != fHelloOK {
+		return nil, ErrBadPeer
+	}
+	r := &netCursor{buf: resp[1:]}
+	peer, err := n.verifyIdentity(r)
+	if err != nil {
+		return nil, err
+	}
+	srvNonce, ok := r.bytes()
+	if !ok {
+		return nil, ErrBadPeer
+	}
+	sig, ok := r.bytes()
+	if !ok || !r.done() {
+		return nil, ErrBadPeer
+	}
+	if err := verifyHello(peer.nkPub, "server", nonce, sig); err != nil {
+		return nil, err
+	}
+	ackSig, err := signHello(n.k.NK, "client", srvNonce)
+	if err != nil {
+		return nil, err
+	}
+	ack := []byte{fHelloAck}
+	ack = appendNetBytes(ack, ackSig)
+	if err := c.Send(ack); err != nil {
+		return nil, err
+	}
+	return &Peer{
+		n: n, c: c,
+		enc:     nal.NewWireEncoder(),
+		certIdx: map[string]uint64{},
+		prin:    peer.prin(),
+		nkFP:    peer.nkFP,
+		ekFP:    peer.ekFP,
+		bootID:  peer.bootID,
+	}, nil
+}
+
+// KernelPrin returns the remote kernel's principal, key:<NK-fp>.<boot-id>.
+func (p *Peer) KernelPrin() nal.Principal { return p.prin }
+
+// NKFingerprint returns the remote Nexus key fingerprint.
+func (p *Peer) NKFingerprint() string { return p.nkFP }
+
+// EKFingerprint returns the remote platform's endorsement key fingerprint.
+func (p *Peer) EKFingerprint() string { return p.ekFP }
+
+// Close tears down the connection; the remote side exits the proxies this
+// peer's traffic created.
+func (p *Peer) Close() {
+	if p.closed.CompareAndSwap(false, true) {
+		p.c.Close()
+	}
+}
+
+// request runs one exchange. It decodes fErr frames into errors: kernel
+// ABI failures rebuild their errno class (so errors.Is(err, ErrDenied)
+// works across the wire), handler-level failures rebuild as plain errors.
+//
+// Any transport-level failure closes the peer: once a frame may have been
+// lost or torn, the per-connection codec tables (formula remap,
+// certificate dedup) on the two sides can disagree, and a desynced table
+// would resolve backreferences to the wrong values silently. Poisoning
+// the connection turns that silent corruption into ErrTransportClosed.
+func (p *Peer) request(frame []byte, wantType byte) ([]byte, error) {
+	if p.closed.Load() {
+		return nil, ErrTransportClosed
+	}
+	if err := p.c.Send(frame); err != nil {
+		p.Close()
+		return nil, fmt.Errorf("%w: %v", ErrTransportClosed, err)
+	}
+	resp, err := p.c.Recv()
+	if err != nil {
+		p.Close()
+		return nil, fmt.Errorf("%w: %v", ErrTransportClosed, err)
+	}
+	if len(resp) == 0 {
+		p.Close()
+		return nil, ErrTransportClosed
+	}
+	if resp[0] == fErr {
+		r := &netCursor{buf: resp[1:]}
+		en, ok1 := r.uvarint()
+		op, ok2 := r.str()
+		detail, ok3 := r.str()
+		if !ok1 || !ok2 || !ok3 {
+			p.Close()
+			return nil, ErrTransportClosed
+		}
+		if Errno(en) == EOK {
+			return nil, errors.New(detail)
+		}
+		return nil, abiErr(Errno(en), op, detail)
+	}
+	if resp[0] != wantType {
+		p.Close()
+		return nil, ErrTransportClosed
+	}
+	return resp[1:], nil
+}
+
+// connect asks the remote node for the public port behind a service name
+// and grants the caller's proxy a channel to it.
+func (p *Peer) connect(callerPID int, service string) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	frame := []byte{fConnect}
+	frame = binary.AppendUvarint(frame, uint64(callerPID))
+	frame = appendNetString(frame, service)
+	resp, err := p.request(frame, fConnOK)
+	if err != nil {
+		return 0, err
+	}
+	r := &netCursor{buf: resp}
+	port, ok := r.uvarint()
+	if !ok {
+		return 0, ErrTransportClosed
+	}
+	return int(port), nil
+}
+
+// call forwards one IPC request to the remote port.
+func (p *Peer) call(callerPID, portID int, m *Msg) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	frame := []byte{fCall}
+	frame = binary.AppendUvarint(frame, uint64(callerPID))
+	frame = binary.AppendUvarint(frame, uint64(portID))
+	frame = appendMsgFields(frame, m)
+	resp, err := p.request(frame, fCallOK)
+	if err != nil {
+		return nil, err
+	}
+	r := &netCursor{buf: resp}
+	out, ok := r.bytes()
+	if !ok {
+		return nil, ErrTransportClosed
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return append([]byte(nil), out...), nil
+}
+
+// xferLabel ships an externalized label; the remote side verifies it and
+// interns it into the caller's proxy labelstore, returning (proxy pid,
+// label handle) for use as a reference credential in later proofs.
+func (p *Peer) xferLabel(callerPID int, ext *ExternalLabel) (int, int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	frame := []byte{fXfer}
+	frame = binary.AppendUvarint(frame, uint64(callerPID))
+	frame = appendNetBytes(frame, ext.LabelCert.AppendWire(nil))
+	resp, err := p.request(frame, fXferOK)
+	if err != nil {
+		return 0, 0, err
+	}
+	r := &netCursor{buf: resp}
+	pid, ok1 := r.uvarint()
+	handle, ok2 := r.uvarint()
+	if !ok1 || !ok2 {
+		return 0, 0, ErrTransportClosed
+	}
+	return int(pid), int(handle), nil
+}
+
+// RemoteCred is one credential in a remote proof registration: exactly one
+// field is set. Inline formulas travel through the per-connection formula
+// codec; Ref names a label handle previously deposited in the caller's
+// proxy labelstore by TransferLabelRemote; Cert ships a certificate
+// (deduplicated per connection by fingerprint).
+type RemoteCred struct {
+	Inline nal.Formula
+	Ref    int
+	Cert   *cert.Certificate
+}
+
+// setProof registers a proof for the caller's proxy on the remote kernel.
+func (p *Peer) setProof(callerPID int, op, obj string, pf *proof.Proof, creds []RemoteCred) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	frame := []byte{fSetProof}
+	frame = binary.AppendUvarint(frame, uint64(callerPID))
+	frame = appendNetString(frame, op)
+	frame = appendNetString(frame, obj)
+	text := ""
+	if pf != nil {
+		text = pf.String()
+	}
+	frame = appendNetString(frame, text)
+	frame = binary.AppendUvarint(frame, uint64(len(creds)))
+	for i, c := range creds {
+		switch {
+		case c.Inline != nil:
+			body, err := p.enc.AppendFormula(nil, c.Inline)
+			if err != nil {
+				// Earlier credentials of this never-sent frame may already
+				// have committed remap/dedup state the server will not
+				// see; the connection's numbering is no longer shared, so
+				// poison it rather than risk silent misresolution later.
+				p.Close()
+				return fmt.Errorf("credential %d: %w", i, err)
+			}
+			frame = append(frame, wcInline)
+			frame = appendNetBytes(frame, body)
+		case c.Cert != nil:
+			fp := c.Cert.Fingerprint()
+			if idx, ok := p.certIdx[fp]; ok {
+				frame = append(frame, wcCertRef)
+				frame = binary.AppendUvarint(frame, idx)
+			} else {
+				frame = append(frame, wcCert)
+				frame = appendNetBytes(frame, c.Cert.AppendWire(nil))
+				p.certIdx[fp] = uint64(len(p.certIdx) + 1)
+			}
+		default:
+			frame = append(frame, wcRef)
+			frame = binary.AppendUvarint(frame, uint64(c.Ref))
+		}
+	}
+	_, err := p.request(frame, fOK)
+	return err
+}
+
+// ---- Serving side -------------------------------------------------------
+
+// serverConn is the per-connection ingress state; it is confined to the
+// connection's serve goroutine.
+type serverConn struct {
+	n    *Node
+	k    *Kernel
+	c    Conn
+	peer *identity
+	prin nal.Principal
+
+	dec     *nal.WireDecoder
+	certs   []*cert.Certificate // per-connection dedup table (wcCertRef)
+	proxies map[int]*Process    // remote pid → proxy IPD
+}
+
+func (n *Node) serveConn(c Conn) {
+	sc := &serverConn{
+		n: n, k: n.k, c: c,
+		dec:     nal.NewWireDecoder(),
+		proxies: map[int]*Process{},
+	}
+	defer sc.teardown()
+	if err := sc.handshake(); err != nil {
+		return
+	}
+	for {
+		frame, err := c.Recv()
+		if err != nil {
+			return
+		}
+		resp, fatal := sc.handle(frame)
+		if err := c.Send(resp); err != nil {
+			return
+		}
+		if fatal {
+			// The ingress codec tables stopped at a prefix the client no
+			// longer agrees with; every later backreference could resolve
+			// silently wrong. Tear the connection down instead.
+			return
+		}
+	}
+}
+
+// teardown exits every proxy this connection created and unregisters the
+// connection. It runs with no transport lock held except Node.mu for the
+// map update, released before the kernel registry work.
+func (sc *serverConn) teardown() {
+	sc.c.Close()
+	sc.n.mu.Lock()
+	delete(sc.n.conns, sc.c)
+	sc.n.mu.Unlock()
+	for _, p := range sc.proxies {
+		p.Exit()
+	}
+}
+
+func (sc *serverConn) handshake() error {
+	frame, err := sc.c.Recv()
+	if err != nil {
+		return err
+	}
+	if len(frame) < 2 || frame[0] != fHello || frame[1] != transportVersion {
+		return ErrBadPeer
+	}
+	r := &netCursor{buf: frame[2:]}
+	peer, err := sc.n.verifyIdentity(r)
+	if err != nil {
+		return err
+	}
+	cliNonce, ok := r.bytes()
+	if !ok || !r.done() {
+		return ErrBadPeer
+	}
+	self, err := sc.n.localIdentity()
+	if err != nil {
+		return err
+	}
+	nonce := make([]byte, 24)
+	if _, err := rand.Read(nonce); err != nil {
+		return err
+	}
+	sig, err := signHello(sc.k.NK, "server", cliNonce)
+	if err != nil {
+		return err
+	}
+	resp := []byte{fHelloOK}
+	resp = appendIdentity(resp, self)
+	resp = appendNetBytes(resp, nonce)
+	resp = appendNetBytes(resp, sig)
+	if err := sc.c.Send(resp); err != nil {
+		return err
+	}
+	ack, err := sc.c.Recv()
+	if err != nil {
+		return err
+	}
+	if len(ack) == 0 || ack[0] != fHelloAck {
+		return ErrBadPeer
+	}
+	ra := &netCursor{buf: ack[1:]}
+	ackSig, ok := ra.bytes()
+	if !ok || !ra.done() {
+		return ErrBadPeer
+	}
+	if err := verifyHello(peer.nkPub, "client", nonce, ackSig); err != nil {
+		return err
+	}
+	sc.peer = peer
+	sc.prin = peer.prin()
+	return nil
+}
+
+// proxy returns (creating on first use) the proxy IPD standing in for the
+// peer's process with the given remote pid. Its principal is the remote
+// process's global name, so server-side authorization, labels, and audit
+// records attribute cross-node activity to the real remote identity.
+func (sc *serverConn) proxy(remotePID int) *Process {
+	if p, ok := sc.proxies[remotePID]; ok && !p.Exited() {
+		return p
+	}
+	p := sc.k.createRemoteProxy(nal.SubChain(sc.prin, "ipd", fmt.Sprint(remotePID)))
+	sc.proxies[remotePID] = p
+	return p
+}
+
+// handle processes one request frame and returns the response frame.
+// fatal reports that per-connection codec state may have desynced from
+// the client's and the connection must close after the response is sent.
+func (sc *serverConn) handle(frame []byte) (resp []byte, fatal bool) {
+	if len(frame) == 0 {
+		return appendErrFrame(nil, "transport", abiErr(EINVAL, "transport", "empty frame")), true
+	}
+	typ := frame[0]
+	r := &netCursor{buf: frame[1:]}
+	switch typ {
+	case fConnect:
+		return sc.handleConnect(r), false
+	case fCall:
+		return sc.handleCall(r), false
+	case fXfer:
+		return sc.handleXfer(r), false
+	case fSetProof:
+		return sc.handleSetProof(r)
+	}
+	return appendErrFrame(nil, "transport", abiErr(EINVAL, "transport", "unknown frame type")), true
+}
+
+func (sc *serverConn) handleConnect(r *netCursor) []byte {
+	pid, ok1 := r.uvarint()
+	service, ok2 := r.str()
+	if !ok1 || !ok2 || !r.done() {
+		return appendErrFrame(nil, "connect", abiErr(EINVAL, "connect", "malformed frame"))
+	}
+	sc.n.mu.Lock()
+	portID, ok := sc.n.exports[service]
+	sc.n.mu.Unlock()
+	if !ok {
+		return appendErrFrame(nil, "connect", abiErr(ENOENT, "connect", "no exported service "+service))
+	}
+	if err := sc.k.GrantChannel(sc.proxy(int(pid)), portID); err != nil {
+		return appendErrFrame(nil, "connect", err)
+	}
+	resp := []byte{fConnOK}
+	return binary.AppendUvarint(resp, uint64(portID))
+}
+
+func (sc *serverConn) handleCall(r *netCursor) []byte {
+	pid, ok1 := r.uvarint()
+	portID, ok2 := r.uvarint()
+	if !ok1 || !ok2 {
+		return appendErrFrame(nil, "call", abiErr(EINVAL, "call", "malformed frame"))
+	}
+	m, ok := readMsgFields(r)
+	if !ok || !r.done() {
+		return appendErrFrame(nil, "call", abiErr(EINVAL, "call", "malformed message"))
+	}
+	// The standard dispatch pipeline: channel check, authorization against
+	// the proxy's (remote) principal, interposition, handler.
+	out, err := sc.k.Call(sc.proxy(int(pid)), int(portID), m)
+	if err != nil {
+		return appendErrFrame(nil, m.Op, err)
+	}
+	return appendNetBytes([]byte{fCallOK}, out)
+}
+
+// handleXfer is credential ingress: verify through the kernel's
+// pre-verification cache, enforce the cross-node speaker rooting rule, and
+// intern the label into the caller's proxy labelstore.
+func (sc *serverConn) handleXfer(r *netCursor) []byte {
+	pid, ok := r.uvarint()
+	if !ok {
+		return appendErrFrame(nil, "xferlabel", abiErr(EINVAL, "xferlabel", "malformed frame"))
+	}
+	certWire, ok := r.bytes()
+	if !ok || !r.done() {
+		return appendErrFrame(nil, "xferlabel", abiErr(EINVAL, "xferlabel", "malformed frame"))
+	}
+	c, _, err := cert.DecodeCertWire(certWire)
+	if err != nil {
+		return appendErrFrame(nil, "xferlabel", abiErr(EINVAL, "xferlabel", err.Error()))
+	}
+	f, _, err := sc.k.certs.Label(c)
+	if err != nil {
+		return appendErrFrame(nil, "xferlabel", abiErr(EACCES, "xferlabel", err.Error()))
+	}
+	// The certificate must be signed by the sending node's NK — a label
+	// signed by any other key, however valid, did not originate on the
+	// peer and cannot ride its connection.
+	says, ok2 := f.(nal.Says)
+	if !ok2 {
+		return appendErrFrame(nil, "xferlabel", abiErr(EINVAL, "xferlabel", "label not a says"))
+	}
+	if signer, ok3 := says.P.(nal.Key); !ok3 || string(signer) != sc.peer.nkFP {
+		return appendErrFrame(nil, "xferlabel",
+			fmt.Errorf("%w: label signed by %v, connection authenticated %s",
+				ErrSpoofedSpeaker, says.P, sc.peer.nkFP))
+	}
+	// Cross-node speaker rooting: the attributed speaker must be the
+	// sending kernel's principal or one of its subprincipals. Without this
+	// check a node could sign (with its own genuine NK) a label claiming
+	// another node's process said something, and the imported formula
+	// would attribute it there.
+	st, err := c.Statement()
+	if err != nil {
+		return appendErrFrame(nil, "xferlabel", abiErr(EINVAL, "xferlabel", err.Error()))
+	}
+	if st.Speaker != "" {
+		sp, err := nal.ParsePrincipal(st.Speaker)
+		if err != nil {
+			return appendErrFrame(nil, "xferlabel", abiErr(EINVAL, "xferlabel", "bad speaker"))
+		}
+		if !nal.IsAncestor(sc.prin, sp) {
+			return appendErrFrame(nil, "xferlabel",
+				fmt.Errorf("%w: speaker %s not under %s", ErrSpoofedSpeaker, st.Speaker, sc.prin))
+		}
+	}
+	proxy := sc.proxy(int(pid))
+	l := proxy.Labels.insertSystem(f)
+	resp := []byte{fXferOK}
+	resp = binary.AppendUvarint(resp, uint64(proxy.PID))
+	return binary.AppendUvarint(resp, uint64(l.Handle))
+}
+
+// handleSetProof decodes the credential vector *before* anything that can
+// fail for non-codec reasons (the proof parse): inline-credential and
+// certificate decode commit per-connection state the client has already
+// committed on its side, so by the time a benign failure can occur both
+// tables agree. Codec-level failures report fatal and close the
+// connection — a partially consumed definition stream must not survive.
+func (sc *serverConn) handleSetProof(r *netCursor) (resp []byte, fatal bool) {
+	pid, ok1 := r.uvarint()
+	op, ok2 := r.str()
+	obj, ok3 := r.str()
+	text, ok4 := r.str()
+	ncreds, ok5 := r.uvarint()
+	if !ok1 || !ok2 || !ok3 || !ok4 || !ok5 || ncreds > uint64(r.remaining()) {
+		return appendErrFrame(nil, "setproof", abiErr(EINVAL, "setproof", "malformed frame")), true
+	}
+	proxy := sc.proxy(int(pid))
+	creds := make([]Credential, 0, ncreds)
+	for i := uint64(0); i < ncreds; i++ {
+		kind, ok := r.byte()
+		if !ok {
+			return appendErrFrame(nil, "setproof", abiErr(EINVAL, "setproof", "truncated credentials")), true
+		}
+		switch kind {
+		case wcInline:
+			body, ok := r.bytes()
+			if !ok {
+				return appendErrFrame(nil, "setproof", abiErr(EINVAL, "setproof", "truncated inline credential")), true
+			}
+			id, _, err := sc.dec.DecodeFormula(body)
+			if err != nil {
+				return appendErrFrame(nil, "setproof", abiErr(EINVAL, "setproof", err.Error())), true
+			}
+			creds = append(creds, Credential{Inline: nal.FormulaOfID(id)})
+		case wcRef:
+			h, ok := r.uvarint()
+			if !ok {
+				return appendErrFrame(nil, "setproof", abiErr(EINVAL, "setproof", "truncated ref credential")), true
+			}
+			creds = append(creds, Credential{Ref: &LabelRef{PID: proxy.PID, Handle: int(h)}})
+		case wcCert:
+			cw, ok := r.bytes()
+			if !ok {
+				return appendErrFrame(nil, "setproof", abiErr(EINVAL, "setproof", "truncated certificate")), true
+			}
+			c, _, err := cert.DecodeCertWire(cw)
+			if err != nil {
+				return appendErrFrame(nil, "setproof", abiErr(EINVAL, "setproof", err.Error())), true
+			}
+			sc.certs = append(sc.certs, c)
+			creds = append(creds, Credential{Cert: c})
+		case wcCertRef:
+			idx, ok := r.uvarint()
+			if !ok || idx == 0 || idx > uint64(len(sc.certs)) {
+				return appendErrFrame(nil, "setproof", abiErr(EINVAL, "setproof", "dangling certificate reference")), true
+			}
+			creds = append(creds, Credential{Cert: sc.certs[idx-1]})
+		default:
+			return appendErrFrame(nil, "setproof", abiErr(EINVAL, "setproof", "unknown credential kind")), true
+		}
+	}
+	if !r.done() {
+		return appendErrFrame(nil, "setproof", abiErr(EINVAL, "setproof", "trailing bytes")), true
+	}
+	var pf *proof.Proof
+	if text != "" {
+		var err error
+		if pf, err = proof.Parse(text); err != nil {
+			return appendErrFrame(nil, "setproof", abiErr(EINVAL, "setproof", "bad proof: "+err.Error())), false
+		}
+	}
+	sc.k.SetProof(proxy, op, obj, pf, creds)
+	return []byte{fOK}, false
+}

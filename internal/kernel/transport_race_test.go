@@ -1,0 +1,129 @@
+package kernel_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+// TestLoopbackTransportStress is the transport-layer race stress, the
+// cross-node sibling of TestKernelRegistryStress: goroutines mix session
+// creation, Connect, remote calls, label transfers, and session Exit —
+// racing each other and racing connection teardown — over one loopback
+// connection pair plus churning extra dials. Run with -race.
+//
+// Errors from the races themselves (ESRCH on a session that lost to its
+// own Exit, transport-closed on a dialed-then-closed peer, EBADF on a
+// handle drained by Exit) are expected; what must hold afterwards is the
+// teardown invariant: once the nodes close, every proxy the connections
+// created has exited and neither kernel leaks processes.
+func TestLoopbackTransportStress(t *testing.T) {
+	front, store := bootNode(t), bootNode(t)
+	lt := kernel.NewLoopbackTransport()
+	nStore := kernel.NewNode(store)
+	l, err := lt.Listen("store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nStore.Serve(l)
+	nFront := kernel.NewNode(front)
+
+	srv, err := store.NewSession([]byte("stress-srv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := srv.Listen(func(from kernel.Caller, m *kernel.Msg) ([]byte, error) {
+		return []byte("ok"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	port, _ := srv.PortOf(pc)
+	if err := nStore.Export("echo", port); err != nil {
+		t.Fatal(err)
+	}
+
+	shared, err := nFront.Dial(lt, "store")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const rounds = 60
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				s, err := front.NewSession([]byte(fmt.Sprintf("w%d-%d", id, i)))
+				if err != nil {
+					continue
+				}
+				// Race the session's own Exit against its remote activity.
+				var inner sync.WaitGroup
+				if i%3 == 0 {
+					inner.Add(1)
+					go func() {
+						defer inner.Done()
+						s.Exit()
+					}()
+				}
+				c, err := s.Connect(shared, "echo")
+				if err == nil {
+					if _, err := s.CallRemote(c, &kernel.Msg{Op: "read", Obj: "o"}); err != nil &&
+						!errors.Is(err, kernel.ErrBadHandle) && !errors.Is(err, kernel.ErrNoSuchPort) &&
+						!errors.Is(err, kernel.ErrNoSuchProcess) && !errors.Is(err, kernel.ErrTransportClosed) {
+						t.Errorf("remote call: %v", err)
+					}
+				}
+				if lbl, err := s.Say("stress"); err == nil {
+					if _, err := s.TransferLabelRemote(shared, lbl.Handle); err != nil &&
+						!errors.Is(err, kernel.ErrNoSuchLabel) && !errors.Is(err, kernel.ErrTransportClosed) {
+						t.Errorf("label transfer: %v", err)
+					}
+				}
+				inner.Wait()
+				s.Exit()
+			}
+		}(w)
+	}
+
+	// Dial churn: extra connections come and go while the callers run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			p, err := nFront.Dial(lt, "store")
+			if err != nil {
+				t.Errorf("dial churn: %v", err)
+				return
+			}
+			s, err := front.NewSession([]byte("churn"))
+			if err == nil {
+				if c, err := s.Connect(p, "echo"); err == nil {
+					s.CallRemote(c, &kernel.Msg{Op: "read", Obj: "o"})
+				}
+				s.Exit()
+			}
+			p.Close()
+		}
+	}()
+	wg.Wait()
+
+	nFront.Close()
+	nStore.Close()
+
+	// Teardown invariant: the serving kernel's proxies are gone — only the
+	// server session's process remains.
+	if got := len(store.Processes()); got != 1 {
+		t.Fatalf("store kernel has %d live processes after close, want 1", got)
+	}
+	// The front kernel's sessions all exited.
+	if got := len(front.Processes()); got != 0 {
+		t.Fatalf("front kernel has %d live processes after close, want 0", got)
+	}
+}

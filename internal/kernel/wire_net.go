@@ -1,0 +1,151 @@
+package kernel
+
+import "encoding/binary"
+
+// Inter-kernel frame vocabulary. A frame is one type byte followed by a
+// type-specific payload built from three primitives: uvarints,
+// length-prefixed byte strings, and nested wire forms (nal codec messages,
+// cert wire certificates). Frames are self-delimiting; the transport below
+// them provides reliable, ordered, framed delivery and nothing else.
+//
+// The conversation is strictly request/response after a three-message
+// handshake (hello, hello-ok, hello-ack): the dialing side sends requests
+// and the accepting side answers each with exactly one response frame —
+// the matching *OK type or fErr.
+const (
+	fHello    byte = 1  // version, bootID, NK pub, endorsement cert, nonce
+	fHelloOK  byte = 2  // same identity payload + signature over client nonce
+	fHelloAck byte = 3  // signature over server nonce
+	fConnect  byte = 4  // callerPID, service name
+	fConnOK   byte = 5  // public port id
+	fCall     byte = 6  // callerPID, port id, op, obj, args
+	fCallOK   byte = 7  // result bytes
+	fXfer     byte = 8  // callerPID, label certificate
+	fXferOK   byte = 9  // proxy pid, labelstore handle
+	fSetProof byte = 10 // callerPID, op, obj, proof text, credentials
+	fOK       byte = 11 // empty success
+	fErr      byte = 12 // errno, op, detail
+)
+
+// Credential kinds inside an fSetProof frame.
+const (
+	wcInline  byte = 0 // nal wire-codec formula message
+	wcRef     byte = 1 // handle in the caller's proxy labelstore
+	wcCert    byte = 2 // full wire certificate; receiver assigns next index
+	wcCertRef byte = 3 // backreference to a previously shipped certificate
+)
+
+// transportVersion gates the handshake; mismatches fail closed.
+const transportVersion byte = 1
+
+// maxNetFrame bounds one frame; both backends enforce it on receive so a
+// hostile length prefix cannot force an unbounded allocation.
+const maxNetFrame = 1 << 22
+
+// netCursor is a bounds-checked reader over one frame's payload.
+type netCursor struct {
+	buf []byte
+	off int
+}
+
+func (r *netCursor) done() bool { return r.off == len(r.buf) }
+
+func (r *netCursor) remaining() int { return len(r.buf) - r.off }
+
+func (r *netCursor) byte() (byte, bool) {
+	if r.off >= len(r.buf) {
+		return 0, false
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b, true
+}
+
+func (r *netCursor) uvarint() (uint64, bool) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, false
+	}
+	r.off += n
+	return v, true
+}
+
+// bytes reads a length-prefixed field, aliasing the frame buffer.
+func (r *netCursor) bytes() ([]byte, bool) {
+	n, ok := r.uvarint()
+	if !ok || n > uint64(len(r.buf)-r.off) {
+		return nil, false
+	}
+	b := r.buf[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b, true
+}
+
+func (r *netCursor) str() (string, bool) {
+	b, ok := r.bytes()
+	return string(b), ok
+}
+
+func appendNetBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func appendNetString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// appendErrFrame encodes a failure response. Kernel ABI errors travel as
+// their errno class; handler-level errors travel as EOK plus detail and
+// are rebuilt as plain errors on the caller's side.
+func appendErrFrame(dst []byte, op string, err error) []byte {
+	dst = append(dst, fErr)
+	if e, ok := err.(*Error); ok {
+		dst = binary.AppendUvarint(dst, uint64(e.Errno))
+		dst = appendNetString(dst, e.Op)
+		return appendNetString(dst, e.Detail)
+	}
+	dst = binary.AppendUvarint(dst, uint64(ErrnoOf(err)))
+	dst = appendNetString(dst, op)
+	return appendNetString(dst, err.Error())
+}
+
+// appendMsgFields encodes op, obj, and the argument vector of a Msg.
+func appendMsgFields(dst []byte, m *Msg) []byte {
+	dst = appendNetString(dst, m.Op)
+	dst = appendNetString(dst, m.Obj)
+	dst = binary.AppendUvarint(dst, uint64(len(m.Args)))
+	for _, a := range m.Args {
+		dst = appendNetBytes(dst, a)
+	}
+	return dst
+}
+
+// readMsgFields decodes the fields appendMsgFields wrote. The argument
+// buffers alias the frame, matching the *Msg lifetime contract (valid for
+// the duration of the dispatch).
+func readMsgFields(r *netCursor) (*Msg, bool) {
+	op, ok := r.str()
+	if !ok {
+		return nil, false
+	}
+	obj, ok := r.str()
+	if !ok {
+		return nil, false
+	}
+	n, ok := r.uvarint()
+	if !ok || n > uint64(len(r.buf)-r.off) {
+		return nil, false
+	}
+	m := &Msg{Op: op, Obj: obj}
+	if n > 0 {
+		m.Args = make([][]byte, n)
+		for i := range m.Args {
+			if m.Args[i], ok = r.bytes(); !ok {
+				return nil, false
+			}
+		}
+	}
+	return m, true
+}

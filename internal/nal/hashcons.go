@@ -634,6 +634,98 @@ func ConsOr(l, r FormulaID) (FormulaID, bool) { return consBinaryID(FOr, l, r) }
 // ConsImplies interns an implication from consed children.
 func ConsImplies(l, r FormulaID) (FormulaID, bool) { return consBinaryID(FImplies, l, r) }
 
+// consPredIDs interns name(args) from already-consed argument handles,
+// building the representative AST only when the node is new. The wire
+// decoder uses it so ingress never re-walks (or re-parses) predicate
+// arguments it has already interned. The hash must match IDOf's FPred case
+// exactly or the two paths would split equality classes.
+func consPredIDs(name string, ids []TermID) (FormulaID, bool) {
+	h := consHash(uint8(FPred))
+	for _, id := range ids {
+		h = consHash(uint8(FPred), h, uint64(id))
+	}
+	h = consHashStr(h, name)
+	eq := func(n *FNode) bool {
+		return n.Kind == FPred && n.Name == name && termIDsEqual(n.Args, ids)
+	}
+	if id := fTab.find(h, eq); id != 0 {
+		return FormulaID(id), true
+	}
+	ground := true
+	args := make([]Term, len(ids))
+	for i, id := range ids {
+		args[i] = TermOfID(id)
+		ground = ground && TermNode(id).Ground
+	}
+	own := append([]TermID(nil), ids...)
+	return consF(h, eq, FNode{Kind: FPred, Name: name, Args: own, Ground: ground,
+		f: Pred{Name: name, Args: args}})
+}
+
+// consCompareIDs interns "l op r" from consed term handles.
+func consCompareIDs(op CompareOp, l, r TermID) (FormulaID, bool) {
+	h := consHash(uint8(FCompare), uint64(op), uint64(l), uint64(r))
+	eq := func(n *FNode) bool {
+		return n.Kind == FCompare && n.Op == op && n.L == uint32(l) && n.R == uint32(r)
+	}
+	if id := fTab.find(h, eq); id != 0 {
+		return FormulaID(id), true
+	}
+	return consF(h, eq, FNode{Kind: FCompare, Op: op, L: uint32(l), R: uint32(r),
+		Ground: TermNode(l).Ground && TermNode(r).Ground,
+		f:      Compare{Op: op, L: TermOfID(l), R: TermOfID(r)}})
+}
+
+// consSubID interns parent.tag from a consed parent handle.
+func consSubID(parent PrinID, tag string) (PrinID, bool) {
+	h := consHashStr(consHash(uint8(PSub)|0x80, uint64(parent)), tag)
+	id, ok := pTab.cons(h, func(n *PNode) bool {
+		return n.Kind == PSub && n.Parent == parent && n.S == tag
+	}, PNode{Kind: PSub, Parent: parent, S: tag,
+		p: Sub{Parent: PrinOfID(parent), Tag: tag}})
+	return PrinID(id), ok
+}
+
+// consPrinTermID interns a principal-in-term-position from its handle.
+func consPrinTermID(p PrinID) (TermID, bool) {
+	h := consHash(uint8(TPrin)|0x40, uint64(p))
+	id, ok := tTab.cons(h, func(n *TNode) bool {
+		return n.Kind == TPrin && n.P == p
+	}, TNode{Kind: TPrin, P: p, Ground: groundPrinID(p), t: PrinTerm{P: PrinOfID(p)}})
+	return TermID(id), ok
+}
+
+// consTermArgsIDs interns a list or function term from consed element
+// handles; the hash must match consTermArgs exactly.
+func consTermArgsIDs(kind TKind, name string, ids []TermID) (TermID, bool) {
+	h := consHash(uint8(kind) | 0x40)
+	for _, id := range ids {
+		h = consHash(uint8(kind)|0x40, h, uint64(id))
+	}
+	h = consHashStr(h, name)
+	eq := func(n *TNode) bool {
+		return n.Kind == kind && n.S == name && termIDsEqual(n.Args, ids)
+	}
+	if id := tTab.find(h, eq); id != 0 {
+		return TermID(id), true
+	}
+	ground := true
+	elems := make([]Term, len(ids))
+	for i, id := range ids {
+		elems[i] = TermOfID(id)
+		ground = ground && TermNode(id).Ground
+	}
+	var rep Term
+	if kind == TList {
+		rep = TermList(elems)
+	} else {
+		rep = Func{Name: name, Args: elems}
+	}
+	own := append([]TermID(nil), ids...)
+	id, ok := tTab.cons(h, eq, TNode{Kind: kind, S: name, Args: own, Ground: ground, t: rep})
+	return TermID(id), ok
+}
+
 // FormulaOfID returns the canonical formula of a handle.
 func FormulaOfID(id FormulaID) Formula { return fTab.store.get(uint32(id)).f }
 

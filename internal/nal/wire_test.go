@@ -1,0 +1,244 @@
+package nal
+
+import (
+	"testing"
+	"time"
+)
+
+// wireRoundTrip pushes f through a fresh encoder/decoder pair and returns
+// the decoded handle.
+func wireRoundTrip(t *testing.T, f Formula) FormulaID {
+	t.Helper()
+	enc := NewWireEncoder()
+	buf, err := enc.AppendFormula(nil, f)
+	if err != nil {
+		t.Fatalf("encode %v: %v", f, err)
+	}
+	dec := NewWireDecoder()
+	id, n, err := dec.DecodeFormula(buf)
+	if err != nil {
+		t.Fatalf("decode %v: %v", f, err)
+	}
+	if n != len(buf) {
+		t.Fatalf("decode consumed %d of %d bytes", n, len(buf))
+	}
+	return id
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	for _, src := range fuzzSeeds {
+		f := MustParse(src)
+		id := wireRoundTrip(t, f)
+		if !FormulaOfID(id).Equal(f) {
+			t.Errorf("%q: wire round-trip changed the formula: got %v", src, FormulaOfID(id))
+		}
+		want, ok := IDOf(f)
+		if !ok {
+			t.Fatalf("cons saturated in test")
+		}
+		if id != want {
+			t.Errorf("%q: decode interned into a different equality class (%d != %d)", src, id, want)
+		}
+	}
+}
+
+func TestWireTimeZonePreservesInstant(t *testing.T) {
+	loc := time.FixedZone("X", 3600)
+	f := Compare{Op: OpLT, L: Atom("TimeNow"), R: Time{T: time.Date(2026, 3, 19, 1, 2, 3, 500, loc)}}
+	id := wireRoundTrip(t, f)
+	if !FormulaOfID(id).Equal(f) {
+		t.Fatalf("instant not preserved: %v vs %v", FormulaOfID(id), f)
+	}
+}
+
+// TestWireBackref: the second send of the same formula is a bare root
+// reference, and both decodes yield the same handle.
+func TestWireBackref(t *testing.T) {
+	f := MustParse("key:ab12 says mayArchive(alice) and NTP says TimeNow < @2026-03-19")
+	enc := NewWireEncoder()
+	cold, err := enc.AppendFormula(nil, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := enc.AppendFormula(nil, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm) >= len(cold) {
+		t.Fatalf("warm message (%dB) not smaller than cold (%dB)", len(warm), len(cold))
+	}
+	dec := NewWireDecoder()
+	id1, _, err := dec.DecodeFormula(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, n, err := dec.DecodeFormula(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != id2 || n != len(warm) {
+		t.Fatalf("warm decode: id %d vs %d, consumed %d of %d", id2, id1, n, len(warm))
+	}
+}
+
+// TestWireWarmDecodeZeroAlloc pins the acceptance criterion: ingress decode
+// of an already-seen formula is an intern lookup that performs zero parsing
+// allocations.
+func TestWireWarmDecodeZeroAlloc(t *testing.T) {
+	f := MustParse("key:deadbeef.boot0.ipd.7 says requested(read, \"/archive/walls\") and x < 42")
+	enc := NewWireEncoder()
+	cold, err := enc.AppendFormula(nil, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := enc.AppendFormula(nil, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := NewWireDecoder()
+	want, _, err := dec.DecodeFormula(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		id, _, err := dec.DecodeFormula(warm)
+		if err != nil || id != want {
+			t.Fatalf("warm decode: id=%d err=%v", id, err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm wire decode allocates: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestWireSharedSubstructure: a formula sharing subtrees with an
+// already-sent one defines only the genuinely new nodes.
+func TestWireSharedSubstructure(t *testing.T) {
+	a := MustParse("key:ab12 says mayArchive(alice)")
+	b := MustParse("key:ab12 says mayArchive(alice) and key:ab12 says active(alice)")
+	enc := NewWireEncoder()
+	dec := NewWireDecoder()
+	bufA, err := enc.AppendFormula(nil, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := dec.DecodeFormula(bufA); err != nil {
+		t.Fatal(err)
+	}
+	encFresh := NewWireEncoder()
+	fresh, err := encFresh.AppendFormula(nil, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incr, err := enc.AppendFormula(nil, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(incr) >= len(fresh) {
+		t.Fatalf("incremental send (%dB) not smaller than fresh send (%dB)", len(incr), len(fresh))
+	}
+	idB, _, err := dec.DecodeFormula(incr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !FormulaOfID(idB).Equal(b) {
+		t.Fatalf("incremental decode changed the formula")
+	}
+}
+
+func TestWirePrinRoundTrip(t *testing.T) {
+	for _, src := range []string{"NTP", "key:ab12", "hash:590fb6", "kernel.ipd.12", "a.b.c"} {
+		p := MustPrincipal(src)
+		enc := NewWireEncoder()
+		buf, err := enc.AppendPrin(nil, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec := NewWireDecoder()
+		id, n, err := dec.DecodePrin(buf)
+		if err != nil || n != len(buf) {
+			t.Fatalf("%q: decode: %v (consumed %d/%d)", src, err, n, len(buf))
+		}
+		if !PrinOfID(id).EqualPrin(p) {
+			t.Errorf("%q: round-trip changed the principal", src)
+		}
+	}
+}
+
+// TestWireDecodeMalformed: truncations and corruptions of a valid message
+// must fail cleanly, never panic, and leave the decoder usable.
+func TestWireDecodeMalformed(t *testing.T) {
+	f := MustParse("key:ab12 says mayArchive(alice) or size = 3")
+	enc := NewWireEncoder()
+	buf, err := enc.AppendFormula(nil, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(buf); cut++ {
+		dec := NewWireDecoder()
+		if _, _, err := dec.DecodeFormula(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		}
+	}
+	// Forward references are rejected.
+	dec := NewWireDecoder()
+	if _, _, err := dec.DecodeFormula([]byte{wopRoot, 1}); err == nil {
+		t.Fatal("dangling root reference decoded successfully")
+	}
+	// A failed message must not poison the decoder for the next one.
+	if _, _, err := dec.DecodeFormula(buf); err != nil {
+		t.Fatalf("decoder unusable after failed message: %v", err)
+	}
+}
+
+// FuzzWireFormula is the differential round-trip fuzzer of the wire codec
+// against the text parser: any formula the parser accepts must encode,
+// decode into the same hash-cons equality class, and decode again (warm)
+// to the identical handle. Arbitrary bytes through the decoder must fail
+// without panicking.
+func FuzzWireFormula(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<12 {
+			return
+		}
+		// Decoder robustness on arbitrary bytes.
+		rd := NewWireDecoder()
+		rd.DecodeFormula([]byte(src))
+		rd.DecodePrin([]byte(src))
+
+		f1, err := Parse(src)
+		if err != nil {
+			return
+		}
+		enc := NewWireEncoder()
+		buf, err := enc.AppendFormula(nil, f1)
+		if err != nil {
+			return // cons table saturated: soft-fail path
+		}
+		dec := NewWireDecoder()
+		id, n, err := dec.DecodeFormula(buf)
+		if err != nil {
+			t.Fatalf("decode of %q failed: %v", src, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("decode of %q consumed %d of %d bytes", src, n, len(buf))
+		}
+		if !FormulaOfID(id).Equal(f1) {
+			t.Fatalf("wire round-trip changed %q: got %v", src, FormulaOfID(id))
+		}
+		if want, ok := IDOf(f1); ok && id != want {
+			t.Fatalf("decode of %q interned a different equality class", src)
+		}
+		warm, err := enc.AppendFormula(nil, f1)
+		if err != nil {
+			t.Fatalf("warm encode of %q failed: %v", src, err)
+		}
+		id2, _, err := dec.DecodeFormula(warm)
+		if err != nil || id2 != id {
+			t.Fatalf("warm decode of %q: id %d vs %d, err %v", src, id2, id, err)
+		}
+	})
+}

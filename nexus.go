@@ -176,6 +176,54 @@ type (
 	CertVerifyCache = cert.VerifyCache
 )
 
+// Distributed attestation plane: the wire codec, inter-kernel transport,
+// and remote credential exchange. A Node attaches a kernel to a transport;
+// a verified Peer exposes remote services that Sessions address through
+// capability handles, with externalized labels crossing as TPM-rooted
+// certificates.
+type (
+	// Node is a kernel's endpoint on the attestation plane.
+	Node = kernel.Node
+	// Peer is a verified connection to a remote node.
+	Peer = kernel.Peer
+	// Transport is a connection factory (loopback or TCP).
+	Transport = kernel.Transport
+	// Conn is a reliable, ordered, framed byte pipe between nodes.
+	Conn = kernel.Conn
+	// Listener accepts inbound transport connections.
+	Listener = kernel.Listener
+	// LoopbackTransport is the in-memory transport backend.
+	LoopbackTransport = kernel.LoopbackTransport
+	// TCPTransport is the TCP transport backend.
+	TCPTransport = kernel.TCPTransport
+	// RemoteCred is one credential in a remote proof registration.
+	RemoteCred = kernel.RemoteCred
+	// RemoteLabel names a label deposited in a proxy labelstore on a peer.
+	RemoteLabel = kernel.RemoteLabel
+	// ExternalLabel is a label externalized to certificate form (§2.4).
+	ExternalLabel = kernel.ExternalLabel
+	// WireEncoder is the egress half of a connection's formula remap state.
+	WireEncoder = nal.WireEncoder
+	// WireDecoder is the ingress half: warm decode is an intern lookup.
+	WireDecoder = nal.WireDecoder
+	// AuditLog is the kernel's hash-chained record of guard verdicts.
+	AuditLog = kernel.AuditLog
+	// AuditRecord is one authorization decision in the audit log.
+	AuditRecord = kernel.AuditRecord
+)
+
+// NewNode attaches a transport endpoint to a kernel.
+func NewNode(k *Kernel) *Node { return kernel.NewNode(k) }
+
+// NewLoopbackTransport creates an in-memory transport.
+func NewLoopbackTransport() *LoopbackTransport { return kernel.NewLoopbackTransport() }
+
+// VerifyAuditChain checks an audit record sequence against its base and
+// head hashes.
+func VerifyAuditChain(recs []AuditRecord, base, head [32]byte) error {
+	return kernel.VerifyAuditChain(recs, base, head)
+}
+
 // Storage types.
 type (
 	// Storage is the VDIR manager multiplexing the TPM's DIRs.
