@@ -34,11 +34,11 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench-smoke runs every benchmark in the root package once (-benchtime=1x)
-# so bench code cannot rot; use bench-parallel (or go test -bench with a real
-# benchtime) for measurements.
+# bench-smoke runs every benchmark in the root package and the ledger once
+# (-benchtime=1x) so bench code cannot rot; use bench-parallel (or go test
+# -bench with a real benchtime) for measurements.
 bench-smoke:
-	$(GO) test -run=XXX -bench=. -benchtime=1x .
+	$(GO) test -run=XXX -bench=. -benchtime=1x . ./internal/ledger
 
 # bench-parallel measures multi-core scaling of the authorization fast
 # path (compare the -cpu=1 and -cpu=4 lines).
@@ -56,3 +56,4 @@ fuzz-smoke:
 	$(GO) test -run=XXX -fuzz=FuzzParseProof -fuzztime=$(FUZZTIME) ./internal/nal/proof
 	$(GO) test -run=XXX -fuzz=FuzzWireFormula -fuzztime=$(FUZZTIME) ./internal/nal
 	$(GO) test -run=XXX -fuzz=FuzzWireCredential -fuzztime=$(FUZZTIME) ./internal/cert
+	$(GO) test -run=XXX -fuzz=FuzzWALRecovery -fuzztime=$(FUZZTIME) ./internal/ledger

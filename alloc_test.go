@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/disk"
 	"repro/internal/kernel"
+	"repro/internal/ledger"
 	"repro/internal/nal/proof"
 	"repro/internal/tpm"
 )
@@ -51,6 +52,30 @@ func TestAllocSyscallWarmAuthz(t *testing.T) {
 	}
 	if allocs := testing.AllocsPerRun(200, func() { p.Null() }); allocs != 0 {
 		t.Errorf("warm authorized null syscall allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestAllocSyscallWarmAuthzObserved pins the same warm authorized path
+// with the full observability plane engaged — metrics always on, a durable
+// ledger attached behind the audit log — at zero allocations. The plane's
+// contract is that only miss and transport paths are instrumented; this is
+// the test that holds it to that.
+func TestAllocSyscallWarmAuthzObserved(t *testing.T) {
+	k := allocKernel(t, kernel.Options{NoInterposition: true})
+	l, err := ledger.New(ledger.NewMemBackend(), ledger.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.AttachLedger(l)
+	p, _ := k.CreateProcess(0, []byte("bench"))
+	if err := p.Null(); err != nil { // warm the decision cache
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(200, func() { p.Null() }); allocs != 0 {
+		t.Errorf("warm authorized null syscall with metrics+ledger allocates %.1f objects/op, want 0", allocs)
+	}
+	if s := k.Metrics(); s.DCacheLookups == 0 {
+		t.Error("metrics plane not live during the pinned run")
 	}
 }
 

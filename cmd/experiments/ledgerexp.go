@@ -1,0 +1,253 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ledger"
+)
+
+// ledgerExp measures the durable audit ledger and records the results in
+// BENCH_ledger.json. Rows:
+//
+//	append/mem       one decision into the in-memory backend (amortized
+//	                 Merkle seal every 256 records)
+//	append/wal       the same append against the file WAL, fsync batched
+//	anchor/seal      sealing one 256-record batch: Merkle root + anchor
+//	                 hash over the running chain
+//	prove            building an inclusion proof for an anchored record
+//	verify           checking a proof offline against its batch anchor
+//	replay/wal       recovering a 10k-record WAL from disk into a live
+//	                 ledger (cost of a reboot)
+//
+// The prove/verify rows are the offline-auditor path: no kernel, no
+// backend, just the anchored batches and the proof.
+type ledgerRow struct {
+	Name      string  `json:"name"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	AllocsOp  int64   `json:"allocs_per_op"`
+	BytesOp   int64   `json:"bytes_per_op"`
+	Iteration int     `json:"iterations"`
+}
+
+func ledgerBenchRow(name string, body func(b *testing.B)) ledgerRow {
+	r := testing.Benchmark(body)
+	return ledgerRow{
+		Name:      name,
+		NsPerOp:   float64(r.NsPerOp()),
+		AllocsOp:  r.AllocsPerOp(),
+		BytesOp:   r.AllocedBytesPerOp(),
+		Iteration: r.N,
+	}
+}
+
+// ledgerRec builds the fixed-shape decision record used across rows.
+func ledgerRec(seq uint64) ledger.Record {
+	r := ledger.Record{
+		Seq:    seq,
+		Subj:   "ipd:12",
+		Op:     "read",
+		Obj:    "file:/bench",
+		Allow:  true,
+		Reason: "cache",
+	}
+	r.ChainHash[0] = byte(seq)
+	r.ChainHash[8] = byte(seq >> 8)
+	return r
+}
+
+func ledgerExp() error {
+	var rows []ledgerRow
+
+	// Both append rows bound the per-ledger corpus: the ledger retains
+	// every record for proof service, so an unbounded benchmark loop would
+	// measure GC scanning of an ever-growing heap, not the append path.
+	const appendWindow = 1 << 16
+
+	rows = append(rows, ledgerBenchRow("append/mem", func(b *testing.B) {
+		l, err := ledger.New(ledger.NewMemBackend(), ledger.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%appendWindow == 0 && i > 0 {
+				b.StopTimer()
+				if l, err = ledger.New(ledger.NewMemBackend(), ledger.Options{}); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			if err := l.Append(ledgerRec(uint64(i % appendWindow))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	dir, err := os.MkdirTemp("", "nexus-ledgerexp")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	rows = append(rows, ledgerBenchRow("append/wal", func(b *testing.B) {
+		gen := 0
+		open := func() (*ledger.WAL, *ledger.Ledger) {
+			gen++
+			w, err := ledger.OpenWAL(filepath.Join(dir, fmt.Sprintf("bench-%d-%d.wal", b.N, gen)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			l, err := ledger.New(w, ledger.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return w, l
+		}
+		w, l := open()
+		defer func() { w.Close() }()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%appendWindow == 0 && i > 0 {
+				b.StopTimer()
+				w.Close()
+				w, l = open()
+				b.StartTimer()
+			}
+			if err := l.Append(ledgerRec(uint64(i % appendWindow))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// Seal cost: one Merkle root + anchor per 256-record batch, isolated by
+	// pre-staging pending records off the clock.
+	rows = append(rows, ledgerBenchRow("anchor/seal", func(b *testing.B) {
+		const batch = 256
+		const window = 64 // batches per ledger; bounds retained heap
+		l, err := ledger.New(ledger.NewMemBackend(), ledger.Options{BatchSize: batch})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			if i%window == 0 && i > 0 {
+				if l, err = ledger.New(ledger.NewMemBackend(), ledger.Options{BatchSize: batch}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			base := uint64(i%window) * batch
+			for j := 0; j < batch-1; j++ {
+				if err := l.Append(ledgerRec(base + uint64(j))); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StartTimer()
+			// The batch-completing append triggers the seal.
+			if err := l.Append(ledgerRec(base + batch - 1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// Anchored corpus for the offline-auditor rows.
+	const corpus = 10000
+	lc, err := ledger.New(ledger.NewMemBackend(), ledger.Options{BatchSize: 256})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < corpus; i++ {
+		if err := lc.Append(ledgerRec(uint64(i))); err != nil {
+			return err
+		}
+	}
+	if err := lc.Flush(); err != nil {
+		return err
+	}
+
+	rows = append(rows, ledgerBenchRow("prove", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := lc.Prove(uint64(i % corpus)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	rec, _ := lc.Record(corpus / 2)
+	pf, err := lc.Prove(corpus / 2)
+	if err != nil {
+		return err
+	}
+	rows = append(rows, ledgerBenchRow("verify", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := ledger.VerifyInclusion(&rec, pf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// Reboot cost: replay a 10k-record WAL from disk into a live ledger.
+	replayPath := filepath.Join(dir, "replay.wal")
+	{
+		w, err := ledger.OpenWAL(replayPath)
+		if err != nil {
+			return err
+		}
+		l, err := ledger.New(w, ledger.Options{BatchSize: 256})
+		if err != nil {
+			return err
+		}
+		for i := 0; i < corpus; i++ {
+			if err := l.Append(ledgerRec(uint64(i))); err != nil {
+				return err
+			}
+		}
+		if err := l.Flush(); err != nil {
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+	}
+	rows = append(rows, ledgerBenchRow("replay/wal-10k", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w, err := ledger.OpenWAL(replayPath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			l, err := ledger.New(w, ledger.Options{BatchSize: 256})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if s := l.Stats(); s.Records != corpus {
+				b.Fatalf("replay recovered %d records, want %d", s.Records, corpus)
+			}
+			w.Close()
+		}
+	}))
+
+	fmt.Printf("%-16s %12s %10s %10s\n", "path", "ns/op", "allocs/op", "B/op")
+	for _, r := range rows {
+		fmt.Printf("%-16s %12.0f %10d %10d\n", r.Name, r.NsPerOp, r.AllocsOp, r.BytesOp)
+	}
+
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_ledger.json", append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_ledger.json")
+	return nil
+}

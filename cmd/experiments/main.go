@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	experiments -exp table1|table2|fig4|fig5|fig6|fig7|fig8|scale|proof|abi|net|all [-quick]
+//	experiments -exp table1|table2|fig4|fig5|fig6|fig7|fig8|scale|proof|abi|net|ledger|all [-quick]
 //
 // -exp proof additionally writes BENCH_proof.json (ns/op and allocs/op for
 // the authorization miss path, memo-hit path, and compiled vs. text
@@ -39,7 +39,7 @@ import (
 var quick = flag.Bool("quick", false, "fewer iterations for a fast pass")
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1, table2, fig4, fig5, fig6, fig7, fig8, scale, proof, abi, net, all)")
+	exp := flag.String("exp", "all", "experiment to run (table1, table2, fig4, fig5, fig6, fig7, fig8, scale, proof, abi, net, ledger, all)")
 	flag.Parse()
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
@@ -63,6 +63,7 @@ func main() {
 	run("proof", proofExp)
 	run("abi", abiExp)
 	run("net", netExp)
+	run("ledger", ledgerExp)
 }
 
 // iters scales iteration counts.

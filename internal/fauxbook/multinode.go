@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/fauxbook/cobuf"
 	"repro/internal/kernel"
+	"repro/internal/ledger"
 	"repro/internal/nal"
 	"repro/internal/nal/proof"
 	"repro/internal/tpm"
@@ -35,6 +36,7 @@ const archiveObj = "/archive/walls"
 // holds ciphertext-equivalent buffers it has no authority to reveal.
 type WallArchive struct {
 	sess *kernel.Session
+	led  *ledger.Ledger
 	port int
 
 	mu    sync.Mutex
@@ -46,13 +48,22 @@ type WallArchive struct {
 // DeployWallArchive starts the archive service on the storage kernel and
 // exports it under the given service name. The caller is responsible for
 // installing a default guard on the kernel (the goals set by Authorize
-// vector to it).
+// vector to it). Deployment also anchors the storage kernel's decisions
+// into a Merkle ledger (unless one is already attached), so every archive
+// authorization — including denials of rogue callers — becomes provable
+// offline via VerifyDecisionTrail.
 func DeployWallArchive(k *kernel.Kernel, n *kernel.Node, service string) (*WallArchive, error) {
 	sess, err := k.NewSession([]byte("wall-archive"))
 	if err != nil {
 		return nil, err
 	}
 	a := &WallArchive{sess: sess, blobs: map[string][]byte{}}
+	if a.led = k.Ledger(); a.led == nil {
+		if a.led, err = ledger.New(ledger.NewMemBackend(), ledger.Options{BatchSize: 64}); err != nil {
+			return nil, err
+		}
+		k.AttachLedger(a.led)
+	}
 	pc, err := sess.Listen(a.handle)
 	if err != nil {
 		return nil, err
@@ -92,6 +103,43 @@ func archiveGoal(frontNKFP string, framework nal.Principal) nal.Formula {
 
 // Port returns the archive's public port id on the storage kernel.
 func (a *WallArchive) Port() int { return a.port }
+
+// Ledger returns the decision ledger anchored behind the storage kernel's
+// audit log.
+func (a *WallArchive) Ledger() *ledger.Ledger { return a.led }
+
+// VerifyDecisionTrail seals the pending window and offline-verifies every
+// anchored decision of the storage kernel: the anchor chain must hold and
+// each record must prove against its batch root. It returns the number of
+// decisions verified — the storage operator's answer to "show me, without
+// trusting your kernel, what it authorized".
+func (a *WallArchive) VerifyDecisionTrail() (int, error) {
+	if err := a.led.Flush(); err != nil {
+		return 0, err
+	}
+	batches := a.led.Batches()
+	if err := ledger.VerifyAnchors(batches, [32]byte{}); err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, b := range batches {
+		for seq := b.FirstSeq; seq <= b.LastSeq; seq++ {
+			r, ok := a.led.Record(seq)
+			if !ok {
+				return n, fmt.Errorf("fauxbook: anchored decision %d missing", seq)
+			}
+			p, err := a.led.Prove(seq)
+			if err != nil {
+				return n, err
+			}
+			if err := ledger.VerifyInclusion(&r, p); err != nil {
+				return n, fmt.Errorf("fauxbook: decision %d: %w", seq, err)
+			}
+			n++
+		}
+	}
+	return n, nil
+}
 
 // Stats reports served puts and gets.
 func (a *WallArchive) Stats() (puts, gets uint64) {

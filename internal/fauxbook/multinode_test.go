@@ -111,6 +111,20 @@ func TestMultiNodeArchive(t *testing.T) {
 	if !found {
 		t.Fatal("storage audit log has no allow record for the framework's archive access")
 	}
+
+	// Every decision is anchored in the storage node's Merkle ledger and
+	// provable offline; the last anchored record binds the audit head.
+	n, err := arch.VerifyDecisionTrail()
+	if err != nil {
+		t.Fatalf("decision trail: %v", err)
+	}
+	if n != len(recs) {
+		t.Fatalf("trail proved %d decisions, audit recorded %d", n, len(recs))
+	}
+	last, ok := arch.Ledger().Record(uint64(n - 1))
+	if !ok || last.ChainHash != storeK.Audit().Head() {
+		t.Fatal("ledger trail does not bind the storage audit head")
+	}
 }
 
 // TestMultiNodeArchiveDenied: a node without the credential connects but

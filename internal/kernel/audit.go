@@ -75,6 +75,11 @@ type AuditLog struct {
 	nextSeq  uint64
 	cap      int
 	disabled bool
+	// sink, when set, receives every appended record in append order,
+	// called under the log's mutex. The sink must be leaf-ward: it may take
+	// its own (leaf) mutex — the ledger's Append does — but must never call
+	// back into the kernel or this log.
+	sink func(AuditRecord)
 }
 
 // defaultAuditCap bounds retained records; the chain head remains valid
@@ -98,23 +103,46 @@ func (a *AuditLog) record(subj, op, obj string, allow bool, reason string) {
 	if len(a.recs) >= a.cap && a.cap > 1 {
 		// Evict the older half; the base advances to the hash the first
 		// retained record chains from.
-		drop := len(a.recs) / 2
-		a.base = a.recs[drop-1].Hash
-		a.baseSeq = a.recs[drop].Seq
-		a.recs = append(a.recs[:0], a.recs[drop:]...)
+		a.evictLocked(len(a.recs) / 2)
 	}
 	a.recs = append(a.recs, r)
+	if a.sink != nil {
+		a.sink(r)
+	}
 	a.mu.Unlock()
 }
 
-// SetCap adjusts the retention bound (minimum 2). Intended for tests and
-// capacity tuning; the chain stays valid across the change.
+// evictLocked drops the oldest `drop` retained records, advancing the
+// chain base to the hash the first surviving record chains from. Caller
+// holds the mutex and guarantees 0 < drop ≤ len(recs)-1.
+func (a *AuditLog) evictLocked(drop int) {
+	a.base = a.recs[drop-1].Hash
+	a.baseSeq = a.recs[drop].Seq
+	a.recs = append(a.recs[:0], a.recs[drop:]...)
+}
+
+// SetCap adjusts the retention bound (minimum 2) and immediately evicts
+// down to it, so a quiet log cannot retain a stale, larger window until
+// the next write. The chain stays valid across the change: the base
+// advances exactly as on a write-driven eviction.
 func (a *AuditLog) SetCap(n int) {
 	if n < 2 {
 		n = 2
 	}
 	a.mu.Lock()
 	a.cap = n
+	if drop := len(a.recs) - n; drop > 0 {
+		a.evictLocked(drop)
+	}
+	a.mu.Unlock()
+}
+
+// SetSink installs a hook that observes every appended record — the
+// kernel uses it to forward decisions into the durable ledger (see
+// Kernel.AttachLedger). A nil fn detaches. See the sink field's contract.
+func (a *AuditLog) SetSink(fn func(AuditRecord)) {
+	a.mu.Lock()
+	a.sink = fn
 	a.mu.Unlock()
 }
 
@@ -157,38 +185,41 @@ func (a *AuditLog) Head() [32]byte {
 // Records returns a copy of the retained records plus the base hash the
 // first of them chains from — everything needed for offline verification.
 func (a *AuditLog) Records() ([]AuditRecord, [32]byte) {
-	recs, base, _ := a.Snapshot()
+	recs, _, base, _ := a.Snapshot()
 	return recs, base
 }
 
-// Snapshot returns records, base, and head captured atomically, so the
-// head always corresponds to the record set (a head read separately could
-// already cover records appended after the copy).
-func (a *AuditLog) Snapshot() ([]AuditRecord, [32]byte, [32]byte) {
+// Snapshot returns records, baseSeq, base, and head captured atomically,
+// so the head always corresponds to the record set (a head read separately
+// could already cover records appended after the copy). baseSeq is the
+// sequence number the first retained record must carry; without it a
+// verifier cannot tell a genuine eviction from a forged re-base that
+// drops records off the front of the window.
+func (a *AuditLog) Snapshot() ([]AuditRecord, uint64, [32]byte, [32]byte) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return append([]AuditRecord(nil), a.recs...), a.base, a.head
+	return append([]AuditRecord(nil), a.recs...), a.baseSeq, a.base, a.head
 }
 
 // Verify re-derives the chain over the retained records and checks it
 // terminates at the published head.
 func (a *AuditLog) Verify() error {
-	recs, base, head := a.Snapshot()
-	return VerifyAuditChain(recs, base, head)
+	recs, baseSeq, base, head := a.Snapshot()
+	return VerifyAuditChain(recs, baseSeq, base, head)
 }
 
-// VerifyAuditChain checks a record sequence against its base and head
-// hashes: each record must chain from its predecessor (the first from
-// base), carry the hash of its own content, and the last must equal head.
-// An empty sequence verifies iff head == base or head is zero.
-func VerifyAuditChain(recs []AuditRecord, base, head [32]byte) error {
+// VerifyAuditChain checks a record sequence against the retained window's
+// base seq and base/head hashes: the first record must carry baseSeq (so a
+// window re-based to hide its oldest records is rejected), each record
+// must chain from its predecessor (the first from base), carry the hash of
+// its own content, and the last must equal head. An empty sequence
+// verifies iff head == base or head is zero.
+func VerifyAuditChain(recs []AuditRecord, baseSeq uint64, base, head [32]byte) error {
 	prev := base
-	var seq uint64
+	seq := baseSeq
 	for i := range recs {
 		r := &recs[i]
-		if i == 0 {
-			seq = r.Seq
-		} else if r.Seq != seq {
+		if r.Seq != seq {
 			return fmt.Errorf("%w: record %d has seq %d, want %d", ErrAuditChain, i, r.Seq, seq)
 		}
 		if r.Prev != prev {

@@ -91,16 +91,15 @@ func TestAuditTamperDetected(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	recs, base := k.Audit().Records()
-	head := k.Audit().Head()
-	if err := VerifyAuditChain(recs, base, head); err != nil {
+	recs, baseSeq, base, head := k.Audit().Snapshot()
+	if err := VerifyAuditChain(recs, baseSeq, base, head); err != nil {
 		t.Fatalf("pristine chain rejected: %v", err)
 	}
 
 	// Flip a verdict.
 	tampered := append([]AuditRecord(nil), recs...)
 	tampered[2].Allow = !tampered[2].Allow
-	if err := VerifyAuditChain(tampered, base, head); !errors.Is(err, ErrAuditChain) {
+	if err := VerifyAuditChain(tampered, baseSeq, base, head); !errors.Is(err, ErrAuditChain) {
 		t.Fatalf("verdict flip not detected: %v", err)
 	}
 	// Rewrite a record consistently with its own hash but not the chain.
@@ -108,17 +107,93 @@ func TestAuditTamperDetected(t *testing.T) {
 	tampered[2].Obj = "something-else"
 	tampered[2].Hash = auditHash(tampered[2].Prev, tampered[2].Seq, tampered[2].Subj,
 		tampered[2].Op, tampered[2].Obj, tampered[2].Allow, tampered[2].Reason)
-	if err := VerifyAuditChain(tampered, base, head); !errors.Is(err, ErrAuditChain) {
+	if err := VerifyAuditChain(tampered, baseSeq, base, head); !errors.Is(err, ErrAuditChain) {
 		t.Fatalf("rehashed edit not detected: %v", err)
 	}
 	// Delete a record.
 	deleted := append(append([]AuditRecord(nil), recs[:2]...), recs[3:]...)
-	if err := VerifyAuditChain(deleted, base, head); !errors.Is(err, ErrAuditChain) {
+	if err := VerifyAuditChain(deleted, baseSeq, base, head); !errors.Is(err, ErrAuditChain) {
 		t.Fatalf("deletion not detected: %v", err)
 	}
 	// Truncate the tail.
-	if err := VerifyAuditChain(recs[:3], base, head); !errors.Is(err, ErrAuditChain) {
+	if err := VerifyAuditChain(recs[:3], baseSeq, base, head); !errors.Is(err, ErrAuditChain) {
 		t.Fatalf("truncation not detected: %v", err)
+	}
+}
+
+// TestAuditForgedRebase: dropping records off the *front* of the window
+// and advancing base/baseSeq to make the remainder self-consistent must
+// not verify — the first record's seq has to match the claimed baseSeq.
+func TestAuditForgedRebase(t *testing.T) {
+	k, p := auditWorld(t)
+	if err := k.SetGoal(p, "read", "allow-x", nal.MustParse("?S says never"), nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := k.syscall(p, "read", "allow-x", nil, func() error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, baseSeq, _, head := k.Audit().Snapshot()
+	// Forge: hide the first two records by re-basing the window on record 1's
+	// hash. The remaining chain is internally consistent and ends at the
+	// genuine head — only the baseSeq check can catch it.
+	forged := recs[2:]
+	forgedBase := recs[1].Hash
+	if err := VerifyAuditChain(forged, baseSeq, forgedBase, head); !errors.Is(err, ErrAuditChain) {
+		t.Fatalf("forged re-base not detected: %v", err)
+	}
+	// The same window is legitimate when the verifier is told the true
+	// baseSeq (this is exactly what eviction produces).
+	if err := VerifyAuditChain(forged, forged[0].Seq, forgedBase, head); err != nil {
+		t.Fatalf("genuine eviction window rejected: %v", err)
+	}
+}
+
+// TestAuditSetCapEvicts: shrinking the cap on a quiet log evicts
+// immediately — Len may never exceed the cap — and the surviving window
+// still verifies.
+func TestAuditSetCapEvicts(t *testing.T) {
+	k, p := auditWorld(t)
+	if err := k.SetGoal(p, "read", "allow-x", nal.MustParse("?S says never"), nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := k.syscall(p, "read", "allow-x", nil, func() error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := k.Audit()
+	if a.Len() != 20 {
+		t.Fatalf("setup: %d records", a.Len())
+	}
+	head := a.Head()
+	a.SetCap(5)
+	if a.Len() != 5 {
+		t.Fatalf("SetCap(5) left %d records retained", a.Len())
+	}
+	if a.Head() != head {
+		t.Fatal("eviction moved the chain head")
+	}
+	if err := a.Verify(); err != nil {
+		t.Fatalf("window does not verify after SetCap eviction: %v", err)
+	}
+	recs, baseSeq, _, _ := a.Snapshot()
+	if recs[0].Seq != 15 || baseSeq != 15 {
+		t.Fatalf("window starts at seq %d (baseSeq %d), want 15", recs[0].Seq, baseSeq)
+	}
+	// Growing the cap never evicts.
+	a.SetCap(100)
+	if a.Len() != 5 {
+		t.Fatalf("growing the cap changed retention: %d", a.Len())
+	}
+	// Shrinking below the floor clamps to 2.
+	a.SetCap(0)
+	if a.Len() != 2 {
+		t.Fatalf("SetCap(0) retained %d records, want 2 (clamped)", a.Len())
+	}
+	if err := a.Verify(); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -148,6 +223,131 @@ func TestAuditEviction(t *testing.T) {
 	recs, _ := a.Records()
 	if recs[0].Seq == 0 {
 		t.Fatal("base did not advance past evicted records")
+	}
+}
+
+// TestAuditEvictionBoundary: behavior exactly at the cap. The eviction
+// triggers on the write that would exceed the cap, so a log with exactly
+// cap records still holds them all; one more write halves the window.
+func TestAuditEvictionBoundary(t *testing.T) {
+	k, p := auditWorld(t)
+	a := k.Audit()
+	a.SetCap(8)
+	if err := k.SetGoal(p, "read", "allow-x", nal.MustParse("?S says never"), nil); err != nil {
+		t.Fatal(err)
+	}
+	write := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if err := k.syscall(p, "read", "allow-x", nil, func() error { return nil }); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	write(8)
+	if a.Len() != 8 {
+		t.Fatalf("cap exactly reached: retained %d, want 8", a.Len())
+	}
+	if err := a.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	write(1)
+	if a.Len() != 5 {
+		t.Fatalf("first write past the cap: retained %d, want 5 (half evicted)", a.Len())
+	}
+	if err := a.Verify(); err != nil {
+		t.Fatalf("window does not verify right after boundary eviction: %v", err)
+	}
+	recs, baseSeq, _, _ := a.Snapshot()
+	if baseSeq != 4 || recs[0].Seq != 4 {
+		t.Fatalf("base at seq %d (first retained %d), want 4", baseSeq, recs[0].Seq)
+	}
+}
+
+// TestAuditCapTwoChurn: the minimum cap under sustained writes — every
+// append evicts, the window stays verifiable, and the head keeps covering
+// the full history.
+func TestAuditCapTwoChurn(t *testing.T) {
+	k, p := auditWorld(t)
+	a := k.Audit()
+	a.SetCap(2)
+	if err := k.SetGoal(p, "read", "allow-x", nal.MustParse("?S says never"), nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if err := k.syscall(p, "read", "allow-x", nil, func() error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if a.Len() > 2 {
+			t.Fatalf("iteration %d: retained %d records, cap is 2", i, a.Len())
+		}
+		if err := a.Verify(); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+	if a.Total() != 30 {
+		t.Fatalf("total %d, want 30", a.Total())
+	}
+}
+
+// TestAuditEmptyLog: a never-written log verifies, snapshots cleanly, and
+// an all-zero head round-trips.
+func TestAuditEmptyLog(t *testing.T) {
+	a := newAuditLog()
+	if err := a.Verify(); err != nil {
+		t.Fatalf("empty log does not verify: %v", err)
+	}
+	recs, baseSeq, base, head := a.Snapshot()
+	if len(recs) != 0 || baseSeq != 0 || base != ([32]byte{}) || head != ([32]byte{}) {
+		t.Fatalf("empty snapshot not zero: %d recs, baseSeq %d", len(recs), baseSeq)
+	}
+	// Claiming a head over an empty window is rejected.
+	fake := [32]byte{1}
+	if err := VerifyAuditChain(nil, 0, base, fake); !errors.Is(err, ErrAuditChain) {
+		t.Fatalf("empty log with nonzero head accepted: %v", err)
+	}
+	// SetCap on an empty log must not panic or fabricate state.
+	a.SetCap(2)
+	if a.Len() != 0 || a.Total() != 0 {
+		t.Fatal("SetCap disturbed an empty log")
+	}
+}
+
+// TestAuditDisableAcrossEviction: disabling mid-stream drops decisions
+// without breaking the chain, including when evictions happen on both
+// sides of the gap; seq numbers stay dense (disabled decisions are not
+// numbered).
+func TestAuditDisableAcrossEviction(t *testing.T) {
+	k, p := auditWorld(t)
+	a := k.Audit()
+	a.SetCap(4)
+	if err := k.SetGoal(p, "read", "allow-x", nal.MustParse("?S says never"), nil); err != nil {
+		t.Fatal(err)
+	}
+	write := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if err := k.syscall(p, "read", "allow-x", nil, func() error { return nil }); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	write(6) // evicts at least once
+	a.Disable()
+	write(5) // silent
+	a.Enable()
+	write(6) // evicts again
+	if a.Total() != 12 {
+		t.Fatalf("total %d, want 12 (5 silent decisions unnumbered)", a.Total())
+	}
+	if err := a.Verify(); err != nil {
+		t.Fatalf("chain broken across disable/enable + evictions: %v", err)
+	}
+	recs, _, _, _ := a.Snapshot()
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Seq != recs[i-1].Seq+1 {
+			t.Fatalf("seq gap across disable window: %d then %d", recs[i-1].Seq, recs[i].Seq)
+		}
 	}
 }
 

@@ -10,6 +10,10 @@ var ErrBadHandle = errors.New("kernel: bad capability handle")
 // submission is processed.
 var ErrCanceled = errors.New("kernel: operation canceled")
 
+// ErrTimeout is returned when a transport dial, handshake, or I/O
+// operation exceeds its configured deadline.
+var ErrTimeout = errors.New("kernel: operation timed out")
+
 // Errno is the structured error class of the user↔kernel ABI. Every error
 // that crosses the kernel boundary through the Session API carries exactly
 // one Errno, so user code can switch on the class instead of matching
@@ -31,6 +35,7 @@ const (
 	ENOLABEL                // stale or foreign label handle ↔ ErrNoSuchLabel
 	ENOAUTH                 // no such authority channel     ↔ ErrNoSuchAuthority
 	ECANCELED               // context canceled mid-batch    ↔ ErrCanceled
+	ETIMEDOUT               // transport deadline exceeded   ↔ ErrTimeout
 )
 
 // errnoNames are the canonical render of each errno class.
@@ -46,6 +51,7 @@ var errnoNames = [...]string{
 	ENOLABEL:   "ENOLABEL",
 	ENOAUTH:    "ENOAUTH",
 	ECANCELED:  "ECANCELED",
+	ETIMEDOUT:  "ETIMEDOUT",
 }
 
 // String renders the errno name.
@@ -79,6 +85,8 @@ func (e Errno) sentinel() error {
 		return ErrNoSuchAuthority
 	case ECANCELED:
 		return ErrCanceled
+	case ETIMEDOUT:
+		return ErrTimeout
 	}
 	return nil
 }
@@ -131,7 +139,7 @@ func ErrnoOf(err error) Errno {
 	if errors.As(err, &e) {
 		return e.Errno
 	}
-	for class := EINVAL; class <= ECANCELED; class++ {
+	for class := EINVAL; class <= ETIMEDOUT; class++ {
 		if s := class.sentinel(); s != nil && errors.Is(err, s) {
 			return class
 		}

@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/cert"
 	"repro/internal/nal"
@@ -258,9 +259,12 @@ func (k *Kernel) authorize(from *Process, op, obj string) error {
 		req.Proof = rp.Proof
 		req.Creds = rp.Creds
 		req.CredIDs = rp.CredIDs
+		k.metrics.add(uint64(from.PID), mProofChecks, 1)
 	}
 	k.guardUpcalls.Add(1)
+	t0 := time.Now()
 	dec := g.Check(req)
+	k.metrics.guardNs.observe(time.Since(t0))
 	k.audit.record(subj, op, obj, dec.Allow, dec.Reason)
 	if dec.Cacheable {
 		k.dcache.InsertIf(subj, op, obj, dec.Allow, epoch)

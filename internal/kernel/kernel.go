@@ -26,6 +26,7 @@ import (
 	"repro/internal/cert"
 	"repro/internal/disk"
 	"repro/internal/introspect"
+	"repro/internal/ledger"
 	"repro/internal/nal"
 	"repro/internal/tpm"
 )
@@ -93,6 +94,16 @@ type Kernel struct {
 	// writes it; warm cached requests replay already-recorded decisions.
 	audit *AuditLog
 
+	// led is the durable ledger behind the audit log, when attached
+	// (AttachLedger); decisions are forwarded via the audit log's sink.
+	led atomic.Pointer[ledger.Ledger]
+
+	// metrics is the kernel-wide observability plane (counters and latency
+	// histograms, exported at /proc/kernel/metrics). Always non-nil;
+	// instrumentation lives only on miss and transport paths, never on the
+	// warm cached syscall path.
+	metrics *kernelMetrics
+
 	authMu  sync.RWMutex
 	auth    map[string]*Authority
 	Introsp *introspect.Registry
@@ -150,6 +161,7 @@ func Boot(t *tpm.TPM, d *disk.Disk, opts Options) (*Kernel, error) {
 		handles:   newHandleRegistry(),
 		certs:     cert.NewVerifyCache(),
 		audit:     newAuditLog(),
+		metrics:   &kernelMetrics{},
 		auth:      map[string]*Authority{},
 		Introsp:   introspect.NewRegistry(),
 		startTime: time.Now(),
@@ -406,5 +418,9 @@ func (k *Kernel) publishIntrospection() {
 		s := k.dcache.StatsSnapshot()
 		return fmt.Sprintf("lookups=%d hits=%d misses=%d evictions=%d",
 			s.Lookups, s.Hits, s.Misses, s.Evictions)
+	})
+	k.Introsp.Publish("/proc/kernel/metrics", k.Prin, func() string {
+		s := k.Metrics()
+		return s.render()
 	})
 }

@@ -1,0 +1,53 @@
+package kernel
+
+import (
+	"repro/internal/ledger"
+)
+
+// Durable ledger attachment: the audit log stays the kernel's in-memory,
+// bounded, hash-chained window; an attached ledger receives every decision
+// record as it is appended and anchors it durably (Merkle batches over a
+// pluggable backend — see package ledger). The ledger's Record carries the
+// audit chain hash *after* the record, so a ledger inclusion proof also
+// commits to the kernel's own chain at that point.
+//
+// Lock ordering: the forward runs under the audit log's mutex and acquires
+// the ledger's — both are leaves toward the rest of the kernel, and the
+// nesting audit.mu → ledger.mu is the one permitted edge between them
+// (ledger.Append never calls back into the kernel or the log).
+
+// AttachLedger wires a durable ledger behind the audit log. Decisions
+// recorded from now on are forwarded in append order; a fresh ledger
+// accepts the current audit sequence as its base, so attaching mid-run is
+// sound. Forwards the ledger rejects (sequence mismatch after a partial
+// recovery, say) are counted at ledger_forward_errors rather than failing
+// the decision path: authorization must not start failing because the
+// audit disk did.
+func (k *Kernel) AttachLedger(l *ledger.Ledger) {
+	k.led.Store(l)
+	m := k.metrics
+	k.audit.SetSink(func(r AuditRecord) {
+		err := l.Append(ledger.Record{
+			Seq:       r.Seq,
+			Subj:      r.Subj,
+			Op:        r.Op,
+			Obj:       r.Obj,
+			Allow:     r.Allow,
+			Reason:    r.Reason,
+			ChainHash: r.Hash,
+		})
+		if err != nil {
+			m.add(r.Seq, mLedgerFwdErrs, 1)
+		}
+	})
+}
+
+// DetachLedger stops forwarding and drops the ledger reference. The
+// ledger itself is left as-is (flush and close it separately).
+func (k *Kernel) DetachLedger() {
+	k.audit.SetSink(nil)
+	k.led.Store(nil)
+}
+
+// Ledger returns the attached ledger, or nil.
+func (k *Kernel) Ledger() *ledger.Ledger { return k.led.Load() }

@@ -1,0 +1,128 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ledger"
+	"repro/internal/nal"
+)
+
+// TestMetricsPlane: the kernel-wide snapshot reflects decision-path
+// activity, the attached ledger, and the text exposition at
+// /proc/kernel/metrics.
+func TestMetricsPlane(t *testing.T) {
+	k, p := auditWorld(t)
+	l, err := ledger.New(ledger.NewMemBackend(), ledger.Options{BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.AttachLedger(l)
+	if k.Ledger() != l {
+		t.Fatal("Ledger() does not return the attached ledger")
+	}
+	if err := k.SetGoal(p, "read", "allow-x", nal.MustParse("?S says never"), nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := k.syscall(p, "read", "allow-x", nil, func() error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s := k.Metrics()
+	if s.GuardUpcalls != 10 {
+		t.Fatalf("guard upcalls %d, want 10 (uncacheable guard)", s.GuardUpcalls)
+	}
+	if s.GuardUpcallNs.Count != 10 {
+		t.Fatalf("guard latency histogram has %d samples, want 10", s.GuardUpcallNs.Count)
+	}
+	var bucketSum uint64
+	for _, n := range s.GuardUpcallNs.Buckets {
+		bucketSum += n
+	}
+	if bucketSum != s.GuardUpcallNs.Count {
+		t.Fatalf("histogram buckets sum to %d, count is %d", bucketSum, s.GuardUpcallNs.Count)
+	}
+	if s.AuditRecords != 10 {
+		t.Fatalf("audit records %d, want 10", s.AuditRecords)
+	}
+	if s.LedgerRecords != 10 {
+		t.Fatalf("ledger records %d, want 10 (sink not forwarding?)", s.LedgerRecords)
+	}
+	if s.LedgerBatches != 2 {
+		t.Fatalf("ledger batches %d, want 2 (batch size 4)", s.LedgerBatches)
+	}
+	if s.DCacheLookups == 0 {
+		t.Fatal("dcache lookups not folded into the snapshot")
+	}
+	if s.LedgerForwardXErrs != 0 {
+		t.Fatalf("spurious ledger forward errors: %d", s.LedgerForwardXErrs)
+	}
+
+	v, _, ok := k.Introsp.Read("/proc/kernel/metrics")
+	if !ok {
+		t.Fatal("/proc/kernel/metrics not published")
+	}
+	for _, want := range []string{
+		"guard_upcalls 10", "audit_records 10", "ledger_records 10",
+		"ledger_batches 2", "guard_upcall_ns_count 10", "dcache_lookups ",
+	} {
+		if !strings.Contains(v, want) {
+			t.Fatalf("metrics exposition missing %q:\n%s", want, v)
+		}
+	}
+
+	// Detach: decisions stop forwarding, snapshot drops ledger occupancy.
+	k.DetachLedger()
+	if err := k.syscall(p, "read", "allow-x", nil, func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Metrics(); got.LedgerRecords != 0 || got.AuditRecords != 11 {
+		t.Fatalf("after detach: ledger %d audit %d, want 0/11", got.LedgerRecords, got.AuditRecords)
+	}
+}
+
+// TestLedgerBindsAuditChain: the ledger's records carry the kernel audit
+// chain hash, every decision of a run is provable after Flush, and the
+// last record's chain hash equals the audit log's live head.
+func TestLedgerBindsAuditChain(t *testing.T) {
+	k, p := auditWorld(t)
+	l, err := ledger.New(ledger.NewMemBackend(), ledger.Options{BatchSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.AttachLedger(l)
+	if err := k.SetGoal(p, "read", "allow-x", nal.MustParse("?S says never"), nil); err != nil {
+		t.Fatal(err)
+	}
+	const n = 30
+	for i := 0; i < n; i++ {
+		if err := k.syscall(p, "read", "allow-x", nil, func() error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ledger.VerifyAnchors(l.Batches(), [32]byte{}); err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(0); seq < n; seq++ {
+		r, ok := l.Record(seq)
+		if !ok {
+			t.Fatalf("decision %d missing from ledger", seq)
+		}
+		pf, err := l.Prove(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ledger.VerifyInclusion(&r, pf); err != nil {
+			t.Fatalf("decision %d: %v", seq, err)
+		}
+	}
+	last, _ := l.Record(n - 1)
+	if last.ChainHash != k.Audit().Head() {
+		t.Fatal("ledger's last chain hash is not the audit head")
+	}
+}

@@ -1,0 +1,122 @@
+package kernel_test
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/kernel"
+)
+
+// silentListener accepts TCP connections and never sends a byte — the
+// failure mode of a wedged or malicious peer that completes the TCP
+// handshake but not the attestation one.
+func silentListener(t *testing.T) net.Listener {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no TCP loopback available: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			// Hold the connection open, read nothing, send nothing.
+			defer c.Close()
+		}
+	}()
+	return l
+}
+
+// TestTCPHandshakeTimeout: dialing a listener that accepts but never
+// responds must fail with ETIMEDOUT within the configured handshake bound
+// instead of wedging Dial (and Session.Connect above it) forever.
+func TestTCPHandshakeTimeout(t *testing.T) {
+	l := silentListener(t)
+	front := bootNode(t)
+	n := kernel.NewNode(front)
+	defer n.Close()
+
+	tr := kernel.TCPTransport{HandshakeTimeout: 150 * time.Millisecond}
+	start := time.Now()
+	_, err := n.Dial(tr, l.Addr().String())
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Dial against a silent listener succeeded")
+	}
+	if !errors.Is(err, kernel.ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	if kernel.ErrnoOf(err) != kernel.ETIMEDOUT {
+		t.Fatalf("errno %v, want ETIMEDOUT", kernel.ErrnoOf(err))
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v, bound was 150ms", elapsed)
+	}
+	// The timeout is visible on the metrics plane.
+	if got := front.Metrics().NetTimeouts; got == 0 {
+		t.Fatal("net_timeouts not counted")
+	}
+}
+
+// TestTCPServerHandshakeTimeout: the serving side reaps a client that
+// connects and never speaks, instead of pinning the serve goroutine on a
+// read forever.
+func TestTCPServerHandshakeTimeout(t *testing.T) {
+	store := bootNode(t)
+	n := kernel.NewNode(store)
+	defer n.Close()
+	tr := kernel.TCPTransport{HandshakeTimeout: 150 * time.Millisecond}
+	l, err := tr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no TCP loopback available: %v", err)
+	}
+	n.Serve(l)
+
+	c, err := net.Dial("tcp", l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// The server must classify and count the abandoned handshake.
+	deadline := time.Now().Add(5 * time.Second)
+	for store.Metrics().NetTimeouts == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never timed out the silent client")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// And the connection is torn down: the socket reaches EOF.
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("server kept the silent connection open")
+	}
+}
+
+// TestTCPDialTimeoutConfig: the dial bound is configurable and the default
+// resolves to a sane nonzero value (we cannot portably force a dial
+// timeout, so this pins the classification plumbing instead: a refused
+// connection is NOT a timeout).
+func TestTCPDialTimeoutConfig(t *testing.T) {
+	// Grab a port that is then closed again: connecting to it refuses.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no TCP loopback available: %v", err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	tr := kernel.TCPTransport{DialTimeout: time.Second}
+	_, err = tr.Dial(addr)
+	if err == nil {
+		t.Fatal("dial to a closed port succeeded")
+	}
+	if errors.Is(err, kernel.ErrTimeout) {
+		t.Fatalf("connection refused misclassified as timeout: %v", err)
+	}
+}

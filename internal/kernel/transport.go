@@ -47,6 +47,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cert"
 	"repro/internal/nal"
@@ -357,11 +358,46 @@ type Peer struct {
 	ekFP   string
 	bootID string
 
+	// mkey selects this peer's metrics counter stripe.
+	mkey uint64
+
 	closed atomic.Bool
 }
 
+// connCounter hands out metrics stripe keys, one per connection in either
+// role, so concurrent connections write disjoint counter stripes.
+var connCounter atomic.Uint64
+
+// connDeadline is the optional Conn extension the node layer uses to
+// bound the attestation handshake: a transport that can set wire deadlines
+// exposes them here (tcpConn does), and the handshake runs under the
+// transport's configured HandshakeTimeout. Transports without deadlines
+// (loopback) handshake unbounded, as before.
+type connDeadline interface {
+	SetDeadline(t time.Time) error
+	HandshakeTimeout() time.Duration
+}
+
+// beginHandshake arms the handshake deadline on conns that support one and
+// returns the disarm func (clears the deadline so the established peer is
+// not reaped by it later).
+func beginHandshake(c Conn) func() {
+	dc, ok := c.(connDeadline)
+	if !ok {
+		return func() {}
+	}
+	d := dc.HandshakeTimeout()
+	if d <= 0 {
+		return func() {}
+	}
+	dc.SetDeadline(time.Now().Add(d))
+	return func() { dc.SetDeadline(time.Time{}) }
+}
+
 // Dial connects to a remote node, runs the identity handshake in both
-// directions, and returns the verified peer.
+// directions, and returns the verified peer. Dial and handshake are
+// bounded by the transport's configured timeouts (for TCPTransport:
+// DialTimeout and HandshakeTimeout); expiry surfaces as ETIMEDOUT.
 func (n *Node) Dial(t Transport, addr string) (*Peer, error) {
 	c, err := t.Dial(addr)
 	if err != nil {
@@ -369,6 +405,9 @@ func (n *Node) Dial(t Transport, addr string) (*Peer, error) {
 	}
 	p, err := n.handshakeClient(c)
 	if err != nil {
+		if errors.Is(err, ErrTimeout) {
+			n.k.metrics.add(0, mNetTimeouts, 1)
+		}
 		c.Close()
 		return nil, err
 	}
@@ -384,6 +423,7 @@ func (n *Node) Dial(t Transport, addr string) (*Peer, error) {
 }
 
 func (n *Node) handshakeClient(c Conn) (*Peer, error) {
+	defer beginHandshake(c)()
 	self, err := n.localIdentity()
 	if err != nil {
 		return nil, err
@@ -438,6 +478,7 @@ func (n *Node) handshakeClient(c Conn) (*Peer, error) {
 		nkFP:    peer.nkFP,
 		ekFP:    peer.ekFP,
 		bootID:  peer.bootID,
+		mkey:    connCounter.Add(1),
 	}, nil
 }
 
@@ -471,15 +512,28 @@ func (p *Peer) request(frame []byte, wantType byte) ([]byte, error) {
 	if p.closed.Load() {
 		return nil, ErrTransportClosed
 	}
+	m := p.n.k.metrics
+	t0 := time.Now()
+	m.add(p.mkey, mNetSends, 1)
+	m.add(p.mkey, mNetSendBytes, uint64(len(frame)))
 	if err := p.c.Send(frame); err != nil {
+		if errors.Is(err, ErrTimeout) {
+			m.add(p.mkey, mNetTimeouts, 1)
+		}
 		p.Close()
 		return nil, fmt.Errorf("%w: %v", ErrTransportClosed, err)
 	}
 	resp, err := p.c.Recv()
 	if err != nil {
+		if errors.Is(err, ErrTimeout) {
+			m.add(p.mkey, mNetTimeouts, 1)
+		}
 		p.Close()
 		return nil, fmt.Errorf("%w: %v", ErrTransportClosed, err)
 	}
+	m.add(p.mkey, mNetRecvs, 1)
+	m.add(p.mkey, mNetRecvBytes, uint64(len(resp)))
+	m.netReqNs.observe(time.Since(t0))
 	if len(resp) == 0 {
 		p.Close()
 		return nil, ErrTransportClosed
@@ -642,6 +696,9 @@ type serverConn struct {
 	dec     *nal.WireDecoder
 	certs   []*cert.Certificate // per-connection dedup table (wcCertRef)
 	proxies map[int]*Process    // remote pid → proxy IPD
+
+	// mkey selects this connection's metrics counter stripe.
+	mkey uint64
 }
 
 func (n *Node) serveConn(c Conn) {
@@ -649,17 +706,26 @@ func (n *Node) serveConn(c Conn) {
 		n: n, k: n.k, c: c,
 		dec:     nal.NewWireDecoder(),
 		proxies: map[int]*Process{},
+		mkey:    connCounter.Add(1),
 	}
 	defer sc.teardown()
 	if err := sc.handshake(); err != nil {
+		if errors.Is(err, ErrTimeout) {
+			sc.k.metrics.add(sc.mkey, mNetTimeouts, 1)
+		}
 		return
 	}
+	m := sc.k.metrics
 	for {
 		frame, err := c.Recv()
 		if err != nil {
 			return
 		}
+		m.add(sc.mkey, mNetRecvs, 1)
+		m.add(sc.mkey, mNetRecvBytes, uint64(len(frame)))
 		resp, fatal := sc.handle(frame)
+		m.add(sc.mkey, mNetSends, 1)
+		m.add(sc.mkey, mNetSendBytes, uint64(len(resp)))
 		if err := c.Send(resp); err != nil {
 			return
 		}
@@ -686,6 +752,7 @@ func (sc *serverConn) teardown() {
 }
 
 func (sc *serverConn) handshake() error {
+	defer beginHandshake(sc.c)()
 	frame, err := sc.c.Recv()
 	if err != nil {
 		return err
@@ -828,8 +895,10 @@ func (sc *serverConn) handleXfer(r *netCursor) []byte {
 	}
 	c, _, err := cert.DecodeCertWire(certWire)
 	if err != nil {
+		sc.k.metrics.add(sc.mkey, mWireDecodeErrs, 1)
 		return appendErrFrame(nil, "xferlabel", abiErr(EINVAL, "xferlabel", err.Error()))
 	}
+	sc.k.metrics.add(sc.mkey, mWireDecodes, 1)
 	f, _, err := sc.k.certs.Label(c)
 	if err != nil {
 		return appendErrFrame(nil, "xferlabel", abiErr(EACCES, "xferlabel", err.Error()))
@@ -902,8 +971,10 @@ func (sc *serverConn) handleSetProof(r *netCursor) (resp []byte, fatal bool) {
 			}
 			id, _, err := sc.dec.DecodeFormula(body)
 			if err != nil {
+				sc.k.metrics.add(sc.mkey, mWireDecodeErrs, 1)
 				return appendErrFrame(nil, "setproof", abiErr(EINVAL, "setproof", err.Error())), true
 			}
+			sc.k.metrics.add(sc.mkey, mWireDecodes, 1)
 			creds = append(creds, Credential{Inline: nal.FormulaOfID(id)})
 		case wcRef:
 			h, ok := r.uvarint()
@@ -918,8 +989,10 @@ func (sc *serverConn) handleSetProof(r *netCursor) (resp []byte, fatal bool) {
 			}
 			c, _, err := cert.DecodeCertWire(cw)
 			if err != nil {
+				sc.k.metrics.add(sc.mkey, mWireDecodeErrs, 1)
 				return appendErrFrame(nil, "setproof", abiErr(EINVAL, "setproof", err.Error())), true
 			}
+			sc.k.metrics.add(sc.mkey, mWireDecodes, 1)
 			sc.certs = append(sc.certs, c)
 			creds = append(creds, Credential{Cert: c})
 		case wcCertRef:

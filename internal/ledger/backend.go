@@ -1,0 +1,98 @@
+package ledger
+
+import "sync"
+
+// EntryKind discriminates the backend's event stream.
+type EntryKind byte
+
+const (
+	// EntryRecord is one appended decision record.
+	EntryRecord EntryKind = 0
+	// EntrySeal marks a batch boundary: everything since the previous seal
+	// belongs to one sealed batch. Seals make batch boundaries replayable,
+	// so a recovered ledger rebuilds the identical anchor chain even when
+	// batches were sealed early (Flush) or at a since-changed batch size.
+	EntrySeal EntryKind = 1
+)
+
+// Entry is one element of the backend's replay stream.
+type Entry struct {
+	Kind   EntryKind
+	Record Record // valid when Kind == EntryRecord
+}
+
+// Backend is the ledger's durability plane. The batcher calls AppendRecord
+// and AppendSeal in commit order under its own mutex, so implementations
+// need no ordering logic of their own; Sync bounds data loss (appends may
+// buffer until it returns). Replay re-delivers every persisted entry in
+// order and is called once, by New, before any append.
+type Backend interface {
+	AppendRecord(r Record) error
+	AppendSeal() error
+	Sync() error
+	Replay(fn func(Entry) error) error
+	Close() error
+}
+
+// MemBackend is the in-memory mock backend: a slice of entries with no
+// durability. Tests use it directly; it also stands in wherever a ledger
+// is wanted purely for its proofs (e.g. a kernel that anchors decisions
+// but delegates persistence elsewhere).
+type MemBackend struct {
+	mu      sync.Mutex
+	entries []Entry
+	// FailAppends, when set, makes appends fail — tests use it to check
+	// the batcher's backend-failure accounting.
+	FailAppends error
+}
+
+// NewMemBackend creates an empty in-memory backend.
+func NewMemBackend() *MemBackend { return &MemBackend{} }
+
+// AppendRecord implements Backend.
+func (m *MemBackend) AppendRecord(r Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.FailAppends != nil {
+		return m.FailAppends
+	}
+	m.entries = append(m.entries, Entry{Kind: EntryRecord, Record: r})
+	return nil
+}
+
+// AppendSeal implements Backend.
+func (m *MemBackend) AppendSeal() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.FailAppends != nil {
+		return m.FailAppends
+	}
+	m.entries = append(m.entries, Entry{Kind: EntrySeal})
+	return nil
+}
+
+// Sync implements Backend (a no-op in memory).
+func (m *MemBackend) Sync() error { return nil }
+
+// Replay implements Backend.
+func (m *MemBackend) Replay(fn func(Entry) error) error {
+	m.mu.Lock()
+	entries := append([]Entry(nil), m.entries...)
+	m.mu.Unlock()
+	for _, e := range entries {
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close implements Backend.
+func (m *MemBackend) Close() error { return nil }
+
+// Len reports the number of persisted entries (tests).
+func (m *MemBackend) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}

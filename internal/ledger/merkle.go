@@ -1,0 +1,66 @@
+package ledger
+
+import "crypto/sha256"
+
+// Merkle aggregation over leaf hashes. The tree uses the
+// promote-the-unpaired-node rule: at each level nodes pair left/right into
+// a parent; an odd trailing node rises unchanged. Leaf and interior hashes
+// are domain-separated ("nexus-ledger-leaf/" vs "nexus-ledger-node/"), so
+// an interior node can never be replayed as a record and vice versa.
+
+// merkleNode hashes an interior node from its two children.
+func merkleNode(l, r [32]byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte("nexus-ledger-node/"))
+	h.Write(l[:])
+	h.Write(r[:])
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// merkleRoot reduces a leaf level to its root. A single leaf is its own
+// root (leaf hashes are already domain-separated). Must not be called on
+// an empty level.
+func merkleRoot(leaves [][32]byte) [32]byte {
+	level := append([][32]byte(nil), leaves...)
+	for len(level) > 1 {
+		// In-place reduction: writes land at i/2, strictly behind the reads
+		// at i and i+1 (arguments are copied before the write).
+		next := level[:0]
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, merkleNode(level[i], level[i+1]))
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// merklePath collects the sibling hashes from leaf idx up to the root.
+// left[i] reports whether path[i] sits to the left of the running hash at
+// level i; levels where the node is unpaired contribute no path element.
+func merklePath(leaves [][32]byte, idx int) (path [][32]byte, left []bool) {
+	level := append([][32]byte(nil), leaves...)
+	for len(level) > 1 {
+		if idx%2 == 1 {
+			path = append(path, level[idx-1])
+			left = append(left, true)
+		} else if idx+1 < len(level) {
+			path = append(path, level[idx+1])
+			left = append(left, false)
+		}
+		var next [][32]byte
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, merkleNode(level[i], level[i+1]))
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+		idx /= 2
+	}
+	return path, left
+}

@@ -218,10 +218,10 @@ func NewNode(k *Kernel) *Node { return kernel.NewNode(k) }
 // NewLoopbackTransport creates an in-memory transport.
 func NewLoopbackTransport() *LoopbackTransport { return kernel.NewLoopbackTransport() }
 
-// VerifyAuditChain checks an audit record sequence against its base and
-// head hashes.
-func VerifyAuditChain(recs []AuditRecord, base, head [32]byte) error {
-	return kernel.VerifyAuditChain(recs, base, head)
+// VerifyAuditChain checks an audit record sequence against the retained
+// window's base seq and its base and head hashes.
+func VerifyAuditChain(recs []AuditRecord, baseSeq uint64, base, head [32]byte) error {
+	return kernel.VerifyAuditChain(recs, baseSeq, base, head)
 }
 
 // Storage types.
