@@ -134,6 +134,26 @@ func TestAllocSessionCallFast(t *testing.T) {
 	}
 }
 
+// TestAllocSessionCallInterposed pins the full-pipeline Session.Call —
+// channel check, warm authorization, interposition marshal — at zero
+// allocations: the wire copy shown to monitors is appended into a pooled
+// arena, so turning interposition on costs cycles, not garbage. This is
+// the regression pin for the BENCH_net call/local row.
+func TestAllocSessionCallInterposed(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool reuse is randomized under the race detector")
+	}
+	cli, ch := abiAllocWorld(t, kernel.Options{})
+	m := &kernel.Msg{Op: "read", Obj: "obj", Args: [][]byte{make([]byte, 64)}}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := cli.Call(ch, m); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("warm interposed Session.Call allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
 // TestAllocBatchedSubmitWarm pins the warm batched-submit path: with the
 // full pipeline on (interposition + warm authorization), per-op allocations
 // at batch=64 must not exceed the single-call path — the batch marshals
@@ -167,7 +187,10 @@ func TestAllocBatchedSubmitWarm(t *testing.T) {
 		}
 	})
 	perOp := batch / depth
-	if perOp > single {
+	// The batch entry's one reusable Msg escapes per Submit call; amortized
+	// over the batch that is the only per-op cost batching may add to the
+	// (now zero-alloc) single-call path.
+	if perOp > single+1.0/depth {
 		t.Errorf("batched submit allocates %.2f objects/op, single-call path %.2f", perOp, single)
 	}
 	// Absolute ceiling: the amortized batch path must stay near zero even

@@ -10,7 +10,6 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/nal"
 	"repro/internal/nal/proof"
-	"repro/internal/tpm"
 )
 
 // netExp measures the distributed attestation plane and records the
@@ -18,10 +17,16 @@ import (
 //
 //	call/local            same call served by the local dispatch pipeline
 //	call/remote-loopback  cross-node call over the in-memory transport
+//	call/remote-pipelined remote-loopback calls overlapped through the
+//	                      pipelined request window
+//	submit-remote/batch64 per-op cost of a 64-op batched remote submission
 //	call/remote-tcp       cross-node call over the TCP backend
 //	call/remote-authz     cross-node call with credential-backed guard
 //	                      authorization on the serving kernel (warm)
 //	xfer/label            externalize + transfer + verified ingress intern
+//	                      (cold: distinct labels defeat every cache)
+//	xfer/label-warm       re-crossing of an already-attested label:
+//	                      memoized certificate + session-key HMAC
 //	wire/encode-warm      egress encode of an already-sent formula
 //	wire/decode-warm      ingress decode of an already-seen formula
 //	                      (the zero-alloc acceptance row)
@@ -56,8 +61,11 @@ func netExp() error {
 	if err != nil {
 		return err
 	}
+	// The reply buffer is preallocated: the rows below measure the dispatch
+	// and transport planes, not a per-call string conversion in the handler.
+	okReply := []byte("ok")
 	pc, err := srv.Listen(func(kernel.Caller, *kernel.Msg) ([]byte, error) {
-		return []byte("ok"), nil
+		return okReply, nil
 	})
 	if err != nil {
 		return err
@@ -113,6 +121,48 @@ func netExp() error {
 	})
 	rows = append(rows, remote)
 
+	// Pipelined remote calls: many callers overlap their round-trips inside
+	// the per-connection in-flight window instead of waiting lockstep.
+	rows = append(rows, netBenchRow("call/remote-pipelined", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetParallelism(16)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := cli.CallRemote(rc, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}))
+
+	// Batched remote submission: 64 ops per wire exchange; the row records
+	// the per-op cost (one frame each way amortized across the batch).
+	const batchOps = 64
+	subs := make([]kernel.Sub, batchOps)
+	for i := range subs {
+		subs[i] = kernel.Sub{Cap: rc, Op: "read", Obj: "obj", Tag: uint64(i)}
+	}
+	var comps []kernel.Completion
+	batch := netBenchRow("submit-remote/batch64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var err error
+			comps, err = cli.SubmitRemote(nil, rc, subs, comps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := range comps {
+				if comps[j].Err != nil {
+					b.Fatal(comps[j].Err)
+				}
+			}
+		}
+	})
+	batch.NsPerOp /= batchOps
+	batch.AllocsOp /= batchOps
+	batch.BytesOp /= batchOps
+	rows = append(rows, batch)
+
 	// TCP backend on the local loopback interface.
 	var tr kernel.TCPTransport
 	if tl, err := tr.Listen("127.0.0.1:0"); err == nil {
@@ -134,7 +184,7 @@ func netExp() error {
 	// Credential-backed authorization on the serving kernel: goal demanding
 	// the client's attested statement, proof bound remotely, decisions
 	// uncacheable (reference credential) so every call crosses the guard.
-	frontNK := tpm.Fingerprint(&kFront.NK.PublicKey)
+	frontNK := kFront.NKFingerprint()
 	goal := nal.Says{P: nal.Key(frontNK), F: nal.Says{P: cli.Prin(), F: nal.Pred{Name: "mayBench"}}}
 	if err := srv.SetGoal("bench", "guarded", goal, nil); err != nil {
 		return err
@@ -164,7 +214,7 @@ func netExp() error {
 		}
 	}))
 
-	// Label transfer: externalize (RSA sign) + ship + verified ingress.
+	// Label transfer: externalize (Ed25519 sign) + ship + verified ingress.
 	// Distinct labels defeat the verify cache, so this is the cold path.
 	rows = append(rows, netBenchRow("xfer/label", func(b *testing.B) {
 		b.ReportAllocs()
@@ -179,6 +229,26 @@ func netExp() error {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := cli.TransferLabelRemote(peer, labels[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// Warm transfer: the same label re-crosses the connection. Egress reuses
+	// the memoized certificate, ingress authenticates by session-key HMAC
+	// against the connection's re-attestation table — no public-key
+	// operation on either side.
+	warmLbl, err := cli.Say("attestedWarm")
+	if err != nil {
+		return err
+	}
+	if _, err := cli.TransferLabelRemote(peer, warmLbl.Handle); err != nil {
+		return err
+	}
+	rows = append(rows, netBenchRow("xfer/label-warm", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cli.TransferLabelRemote(peer, warmLbl.Handle); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -136,6 +136,14 @@ func (vc *VerifyCache) Label(c *Certificate) (nal.Formula, nal.FormulaID, error)
 	return label, id, nil
 }
 
+// Revoked reports whether the certificate fingerprint, or its signer's key
+// fingerprint, has been blacklisted. Fast paths that skip re-verification
+// (per-connection re-attestation tables) consult this so a revocation still
+// takes effect on the next crossing.
+func (vc *VerifyCache) Revoked(certFP, signerFP string) bool {
+	return vc.revoked(certFP, signerFP)
+}
+
 func (vc *VerifyCache) revoked(certFP, signerFP string) bool {
 	vc.revMu.RLock()
 	defer vc.revMu.RUnlock()

@@ -1,6 +1,7 @@
 package cert
 
 import (
+	"crypto/ed25519"
 	"crypto/rand"
 	"crypto/rsa"
 	"sync"
@@ -15,6 +16,15 @@ import (
 // looks inside the key.
 var fuzzKey = sync.OnceValue(func() *rsa.PrivateKey {
 	k, err := rsa.GenerateKey(rand.Reader, 1024)
+	if err != nil {
+		panic(err)
+	}
+	return k
+})
+
+// fuzzEdKey is the Ed25519 counterpart (the node-key algorithm).
+var fuzzEdKey = sync.OnceValue(func() ed25519.PrivateKey {
+	_, k, err := ed25519.GenerateKey(rand.Reader)
 	if err != nil {
 		panic(err)
 	}
@@ -52,10 +62,11 @@ func TestCertWireRoundTrip(t *testing.T) {
 
 // FuzzWireCredential is the differential round-trip fuzzer of the
 // credential wire form against the text parser: for any speaker/formula
-// pair the NAL parser accepts, a signed certificate must round-trip
-// through the wire codec to a byte-identical artifact whose verified label
-// equals the original's. Arbitrary bytes through the decoder must fail
-// without panicking.
+// pair the NAL parser accepts, a signed certificate — under each signature
+// algorithm the plane speaks, RSA (TPM endorsements) and Ed25519 (node and
+// label signatures) — must round-trip through the wire codec to a
+// byte-identical artifact whose verified label equals the original's.
+// Arbitrary bytes through the decoder must fail without panicking.
 func FuzzWireCredential(f *testing.F) {
 	f.Add("kernel.ipd.3", "mayArchive(alice)", []byte{})
 	f.Add("", "key:ab12 speaksfor bob on wall", []byte{})
@@ -80,35 +91,50 @@ func FuzzWireCredential(f *testing.F) {
 				return
 			}
 		}
-		c, err := Sign(Statement{Speaker: speaker, Formula: formula, Serial: 1,
-			Issued: time.Unix(1700000000, 0)}, fuzzKey())
+		stmt := Statement{Speaker: speaker, Formula: formula, Serial: 1,
+			Issued: time.Unix(1700000000, 0)}
+		rsaCert, err := Sign(stmt, fuzzKey())
 		if err != nil {
 			// The canonical reprint of a parseable formula can still be
 			// rejected at signing (e.g. unprintable predicate names); the
 			// codec never sees it.
 			return
 		}
-		wantLabel, err := c.ToLabel()
+		edCert, err := SignEd25519(stmt, fuzzEdKey())
 		if err != nil {
-			return
+			t.Fatalf("Ed25519 rejected a statement RSA signed: %v", err)
 		}
-		buf := c.AppendWire(nil)
-		got, n, err := DecodeCertWire(buf)
-		if err != nil {
-			t.Fatalf("decode failed: %v", err)
+		for _, c := range []*Certificate{rsaCert, edCert} {
+			wantLabel, err := c.ToLabel()
+			if err != nil {
+				return
+			}
+			buf := c.AppendWire(nil)
+			got, n, err := DecodeCertWire(buf)
+			if err != nil {
+				t.Fatalf("decode failed: %v", err)
+			}
+			if n != len(buf) {
+				t.Fatalf("decode consumed %d of %d bytes", n, len(buf))
+			}
+			if got.Fingerprint() != c.Fingerprint() {
+				t.Fatal("round-trip changed the fingerprint")
+			}
+			gotLabel, err := got.ToLabel()
+			if err != nil {
+				t.Fatalf("decoded certificate does not verify: %v", err)
+			}
+			if !gotLabel.Equal(wantLabel) {
+				t.Fatalf("wire round-trip changed the label: %v vs %v", gotLabel, wantLabel)
+			}
 		}
-		if n != len(buf) {
-			t.Fatalf("decode consumed %d of %d bytes", n, len(buf))
-		}
-		if got.Fingerprint() != c.Fingerprint() {
-			t.Fatal("round-trip changed the fingerprint")
-		}
-		gotLabel, err := got.ToLabel()
-		if err != nil {
-			t.Fatalf("decoded certificate does not verify: %v", err)
-		}
-		if !gotLabel.Equal(wantLabel) {
-			t.Fatalf("wire round-trip changed the label: %v vs %v", gotLabel, wantLabel)
+		// Algorithm dispatch is structural (the two public-key encodings are
+		// mutually unparseable), so a signature cannot verify under the
+		// wrong algorithm even with the keys swapped in the wire form.
+		cross := *edCert
+		cross.SignerKey = rsaCert.SignerKey
+		if _, err := cross.Verify(); err == nil {
+			t.Fatal("Ed25519 signature verified under an RSA signer key")
 		}
 	})
 }

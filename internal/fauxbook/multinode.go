@@ -10,7 +10,6 @@ import (
 	"repro/internal/ledger"
 	"repro/internal/nal"
 	"repro/internal/nal/proof"
-	"repro/internal/tpm"
 )
 
 // Multi-node Fauxbook (§4.1 at ROADMAP scale): the web/framework tier runs
@@ -200,7 +199,7 @@ func (s *Service) AttachArchive(peer *kernel.Peer, service string) error {
 	if err != nil {
 		return fmt.Errorf("fauxbook: archive credential transfer: %w", err)
 	}
-	goal := archiveGoal(tpm.Fingerprint(&s.k.NK.PublicKey), s.framework.Prin())
+	goal := archiveGoal(s.k.NKFingerprint(), s.framework.Prin())
 	pf := proof.Assume(0, goal)
 	creds := []kernel.RemoteCred{{Ref: rl.Handle}}
 	for _, op := range []string{"put", "get"} {

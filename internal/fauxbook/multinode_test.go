@@ -43,7 +43,7 @@ func TestMultiNodeArchive(t *testing.T) {
 	front, svc := deploy(t, DefaultTenant)
 	lt := kernel.NewLoopbackTransport()
 	storeK, _, arch := bootStorageNode(t, lt, "store")
-	if err := arch.Authorize(tpm.Fingerprint(&front.NK.PublicKey), svc.FrameworkPrin()); err != nil {
+	if err := arch.Authorize(front.NKFingerprint(), svc.FrameworkPrin()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -134,7 +134,7 @@ func TestMultiNodeArchiveDenied(t *testing.T) {
 	front, svc := deploy(t, DefaultTenant)
 	lt := kernel.NewLoopbackTransport()
 	_, _, arch := bootStorageNode(t, lt, "store")
-	if err := arch.Authorize(tpm.Fingerprint(&front.NK.PublicKey), svc.FrameworkPrin()); err != nil {
+	if err := arch.Authorize(front.NKFingerprint(), svc.FrameworkPrin()); err != nil {
 		t.Fatal(err)
 	}
 

@@ -81,16 +81,22 @@ func (k *Kernel) dispatchFlags(flags uint32, from *Process, pt *Port, m *Msg, in
 	// copy is valid only for the duration of the call — batch submissions
 	// reuse the arena it lives in.
 	chain := k.chainFor(pt)
-	var wire []byte
-	if arena != nil {
-		start := len(*arena)
-		*arena = appendMsgWire(*arena, m)
-		wire = (*arena)[start:]
-	} else {
-		wire = marshalMsg(m)
+	pooled := arena == nil
+	if pooled {
+		// Single-call entry: borrow a pooled arena for the wire copy so the
+		// warm interposed path allocates nothing (batch entries pass their
+		// own arena and amortize the same way across the batch).
+		arena = wireArenas.Get().(*[]byte)
+		*arena = (*arena)[:0]
 	}
+	start := len(*arena)
+	*arena = appendMsgWire(*arena, m)
+	wire := (*arena)[start:]
 	for _, mon := range chain {
 		if mon.OnCall(caller, m, wire) == VerdictBlock {
+			if pooled && cap(*arena) <= arenaKeepCap {
+				wireArenas.Put(arena)
+			}
 			return nil, abiErr(EACCES, m.Op, "blocked by reference monitor")
 		}
 	}
@@ -98,7 +104,70 @@ func (k *Kernel) dispatchFlags(flags uint32, from *Process, pt *Port, m *Msg, in
 	for i := len(chain) - 1; i >= 0; i-- {
 		out = chain[i].OnReturn(caller, m, out)
 	}
+	if pooled && cap(*arena) <= arenaKeepCap {
+		wireArenas.Put(arena)
+	}
 	return out, err
+}
+
+// batchAdmit is the dispatch pipeline with its loop-invariant head hoisted
+// for a batch of operations against one port: the port-liveness and channel
+// checks and the interposition-chain snapshot depend only on (caller, port),
+// so a remote batch pays them once instead of per entry. The per-operation
+// stages — authorization and the OnCall sweep over the entry's wire form —
+// run through admitOp; the operation body and the OnReturn unwind stay with
+// the caller, which holds the batch's response buffer.
+type batchAdmit struct {
+	k      *Kernel
+	flags  uint32
+	from   *Process
+	caller Caller
+	chain  []monEntry
+}
+
+func (k *Kernel) batchAdmit(flags uint32, from *Process, pt *Port) (batchAdmit, error) {
+	if pt != nil {
+		if pt.dead.Load() {
+			return batchAdmit{}, abiErr(ENOENT, "submit", "port closed")
+		}
+		if !k.holdsChannel(from, pt, flags&flagEnforceChans != 0) {
+			return batchAdmit{}, abiErr(EACCES, "submit", "no channel to port")
+		}
+	}
+	ba := batchAdmit{k: k, flags: flags, from: from,
+		caller: Caller{PID: from.PID, Prin: from.Prin}}
+	if pt != nil {
+		ba.caller.Port = pt.ID
+	}
+	if flags&flagInterp != 0 {
+		ba.chain = k.chainFor(pt)
+	}
+	return ba, nil
+}
+
+// admitOp runs the per-operation admission stages over an entry whose wire
+// form the caller already holds (marshaled on egress, received on ingress) —
+// the chain inspects those bytes directly, no re-marshal.
+func (ba *batchAdmit) admitOp(m *Msg, wire []byte) error {
+	if ba.flags&flagAuthz != 0 {
+		if err := ba.k.authorize(ba.from, m.Op, m.Obj); err != nil {
+			return err
+		}
+	}
+	for _, mon := range ba.chain {
+		if mon.OnCall(ba.caller, m, wire) == VerdictBlock {
+			return abiErr(EACCES, m.Op, "blocked by reference monitor")
+		}
+	}
+	return nil
+}
+
+// unwind runs the OnReturn sweep for an admitted operation after its body.
+func (ba *batchAdmit) unwind(m *Msg, out []byte) []byte {
+	for i := len(ba.chain) - 1; i >= 0; i-- {
+		out = ba.chain[i].OnReturn(ba.caller, m, out)
+	}
+	return out
 }
 
 // chainFor returns the interposition chain for a port (nil = the kernel

@@ -14,6 +14,11 @@ var ErrCanceled = errors.New("kernel: operation canceled")
 // operation exceeds its configured deadline.
 var ErrTimeout = errors.New("kernel: operation timed out")
 
+// ErrAgain is returned when a bounded resource (the per-connection
+// in-flight window) is momentarily exhausted; the operation is safe to
+// retry once earlier work completes.
+var ErrAgain = errors.New("kernel: resource temporarily unavailable")
+
 // Errno is the structured error class of the user↔kernel ABI. Every error
 // that crosses the kernel boundary through the Session API carries exactly
 // one Errno, so user code can switch on the class instead of matching
@@ -36,6 +41,7 @@ const (
 	ENOAUTH                 // no such authority channel     ↔ ErrNoSuchAuthority
 	ECANCELED               // context canceled mid-batch    ↔ ErrCanceled
 	ETIMEDOUT               // transport deadline exceeded   ↔ ErrTimeout
+	EAGAIN                  // bounded resource exhausted    ↔ ErrAgain
 )
 
 // errnoNames are the canonical render of each errno class.
@@ -52,6 +58,7 @@ var errnoNames = [...]string{
 	ENOAUTH:    "ENOAUTH",
 	ECANCELED:  "ECANCELED",
 	ETIMEDOUT:  "ETIMEDOUT",
+	EAGAIN:     "EAGAIN",
 }
 
 // String renders the errno name.
@@ -87,6 +94,8 @@ func (e Errno) sentinel() error {
 		return ErrCanceled
 	case ETIMEDOUT:
 		return ErrTimeout
+	case EAGAIN:
+		return ErrAgain
 	}
 	return nil
 }
@@ -139,7 +148,7 @@ func ErrnoOf(err error) Errno {
 	if errors.As(err, &e) {
 		return e.Errno
 	}
-	for class := EINVAL; class <= ETIMEDOUT; class++ {
+	for class := EINVAL; class <= EAGAIN; class++ {
 		if s := class.sentinel(); s != nil && errors.Is(err, s) {
 			return class
 		}

@@ -23,8 +23,7 @@ func (k *Kernel) nkEndorsement() (*cert.Certificate, error) {
 	k.nkMu.Unlock()
 
 	ekFP := k.TPM.EKFingerprint()
-	nkFP := tpm.Fingerprint(&k.NK.PublicKey)
-	formula := fmt.Sprintf("key:%s speaksfor key:%s.nexus", nkFP, ekFP)
+	formula := fmt.Sprintf("key:%s speaksfor key:%s.nexus", k.nkFP, ekFP)
 	// The TPM signs with the EK. We reuse the cert container by building
 	// the statement and having the TPM produce the signature over its TBS
 	// bytes; cert.Sign needs a private key, so the endorsement is issued

@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"bytes"
+	"encoding/binary"
 	"sync"
 	"testing"
 
@@ -105,6 +106,194 @@ func FuzzBatchWire(f *testing.F) {
 		again := MarshalBatch(msgs)
 		if !bytes.Equal(again, wire) {
 			t.Fatalf("encode(decode(batch)) != batch\n in:  %x\n out: %x", wire, again)
+		}
+		// The streaming decoder the remote-batch ingress uses must agree
+		// with the canonical decoder on every accepted frame, including
+		// across reuse of one scratch Msg for the whole batch.
+		var sm Msg
+		rest := wire[4:]
+		for i, m := range msgs {
+			n := binary.LittleEndian.Uint32(rest[:4])
+			rest = rest[4:]
+			if !unmarshalMsgInto(&sm, rest[:n]) {
+				t.Fatalf("streaming decode rejected accepted message %d", i)
+			}
+			if sm.Op != m.Op || sm.Obj != m.Obj || len(sm.Args) != len(m.Args) {
+				t.Fatalf("streaming decode diverges on message %d: %+v vs %+v", i, sm, *m)
+			}
+			for j := range m.Args {
+				if !bytes.Equal(sm.Args[j], m.Args[j]) {
+					t.Fatalf("streaming decode diverges on message %d arg %d", i, j)
+				}
+			}
+			rest = rest[n:]
+		}
+	})
+}
+
+// remoteFuzz is the shared hostile-client world for FuzzRemoteSubmitFrame:
+// two booted kernels, a served loopback node, and one raw connection that
+// completed the attestation handshake but speaks arbitrary bytes after it.
+var remoteFuzz struct {
+	once  sync.Once
+	mu    sync.Mutex
+	lt    *LoopbackTransport
+	front *Node
+	c     Conn
+}
+
+// remoteFuzzConn returns the live hostile connection, redialing (and
+// re-handshaking) when a previous input got the connection torn down.
+func remoteFuzzConn(t *testing.T) Conn {
+	remoteFuzz.once.Do(func() {
+		front, store := bootKernelRaw(), bootKernelRaw()
+		if front == nil || store == nil {
+			return
+		}
+		store.SetAuthorization(false)
+		srv, err := store.NewSession([]byte("fuzz-srv"))
+		if err != nil {
+			return
+		}
+		pc, err := srv.Listen(func(Caller, *Msg) ([]byte, error) { return nil, nil })
+		if err != nil {
+			return
+		}
+		port, err := srv.PortOf(pc)
+		if err != nil {
+			return
+		}
+		lt := NewLoopbackTransport()
+		nStore := NewNode(store)
+		l, err := lt.Listen("store")
+		if err != nil {
+			return
+		}
+		nStore.Serve(l)
+		if err := nStore.Export("echo", port); err != nil {
+			return
+		}
+		remoteFuzz.lt = lt
+		remoteFuzz.front = NewNode(front)
+	})
+	if remoteFuzz.front == nil {
+		t.Skip("remote fuzz world unavailable")
+	}
+	if remoteFuzz.c == nil {
+		c, err := remoteFuzz.lt.Dial("store")
+		if err != nil {
+			t.Skipf("redial: %v", err)
+		}
+		// The handshake must be genuine — the server only talks to an
+		// attested peer — but everything after it is raw frame I/O.
+		if _, err := remoteFuzz.front.handshakeClient(c); err != nil {
+			t.Fatalf("handshake: %v", err)
+		}
+		remoteFuzz.c = c
+	}
+	return remoteFuzz.c
+}
+
+// FuzzRemoteSubmitFrame drives the serving side of the batched-submission
+// protocol with hostile frames on an attested connection: arbitrary request
+// id bytes, caller/port fields, and batch payloads (including overflowing
+// count prefixes). The server must never panic; it answers every parseable
+// request with either a completion vector or an fErr frame that echoes the
+// request id and carries a valid non-EOK errno, and tears the connection
+// down (cleanly) only when the request id itself is undecodable.
+func FuzzRemoteSubmitFrame(f *testing.F) {
+	valid := MarshalBatch([]*Msg{{Op: "read", Obj: "obj"}, {Op: "write", Obj: "obj", Args: [][]byte{[]byte("x")}}})
+	pp := binary.AppendUvarint(binary.AppendUvarint(nil, 7), 1)
+	f.Add([]byte{1}, append(append([]byte{}, pp...), valid...))
+	f.Add([]byte{1}, append(append([]byte{}, pp...), 0xff, 0xff, 0xff, 0xff)) // count overflow
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01},
+		append(append([]byte{}, pp...), valid...)) // max uvarint id
+	f.Add([]byte{0x80, 0x80}, []byte{})            // torn id
+	f.Add([]byte{2}, []byte{7, 1, 1, 0, 0, 0, 4, 0, 0, 0, 0, 0, 0, 0}) // short msg
+	f.Fuzz(func(t *testing.T, idBytes, payload []byte) {
+		if len(idBytes) > 10 || len(payload) > 4096 {
+			return
+		}
+		remoteFuzz.mu.Lock()
+		defer remoteFuzz.mu.Unlock()
+		c := remoteFuzzConn(t)
+		frame := append([]byte{fSubmit}, idBytes...)
+		frame = append(frame, payload...)
+		// The server parses the request id from the full remainder, so the
+		// id bytes may run into the payload; mirror that here.
+		wantID, n := binary.Uvarint(frame[1:])
+		idOK := n > 0
+		if err := c.Send(frame); err != nil {
+			remoteFuzz.c = nil // conn died earlier; next input redials
+			return
+		}
+		resp, err := c.Recv()
+		if err != nil {
+			// The server closed the connection: legal only when the request
+			// id itself was undecodable.
+			if idOK {
+				t.Fatalf("server dropped a frame with a decodable request id % x", idBytes)
+			}
+			remoteFuzz.c = nil
+			return
+		}
+		if len(resp) < 2 {
+			t.Fatalf("torn response % x", resp)
+		}
+		r := &netCursor{buf: resp[1:]}
+		gotID, ok := r.uvarint()
+		if !ok || gotID != wantID {
+			t.Fatalf("response id %d (ok=%v), want %d", gotID, ok, wantID)
+		}
+		switch resp[0] {
+		case fErr:
+			en, ok1 := r.uvarint()
+			_, ok2 := r.str()
+			_, ok3 := r.str()
+			if !ok1 || !ok2 || !ok3 || !r.done() {
+				t.Fatalf("malformed fErr frame % x", resp)
+			}
+			if Errno(en) == EOK || Errno(en) > EAGAIN {
+				t.Fatalf("errno class lost on hostile frame: %d", en)
+			}
+		case fSubmitOK:
+			nres, ok := r.uvarint()
+			if !ok {
+				t.Fatalf("malformed completion vector % x", resp)
+			}
+			for i := uint64(0); i < nres; i++ {
+				st, ok := r.byte()
+				if !ok {
+					t.Fatalf("truncated completion vector at %d", i)
+				}
+				switch st {
+				case wsOK:
+					if _, ok := r.bytes(); !ok {
+						t.Fatalf("truncated wsOK completion at %d", i)
+					}
+				case wsAbiErr:
+					en, ok1 := r.uvarint()
+					_, ok2 := r.str()
+					_, ok3 := r.str()
+					if !ok1 || !ok2 || !ok3 {
+						t.Fatalf("truncated wsAbiErr completion at %d", i)
+					}
+					if Errno(en) == EOK || Errno(en) > EAGAIN {
+						t.Fatalf("per-op errno class lost: %d", en)
+					}
+				case wsHdlrErr:
+					if _, ok := r.str(); !ok {
+						t.Fatalf("truncated wsHdlrErr completion at %d", i)
+					}
+				default:
+					t.Fatalf("unknown completion status %d", st)
+				}
+			}
+			if !r.done() {
+				t.Fatalf("trailing bytes after completion vector")
+			}
+		default:
+			t.Fatalf("unexpected response type %d to fSubmit", resp[0])
 		}
 	})
 }

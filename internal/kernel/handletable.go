@@ -34,8 +34,13 @@ const (
 type hslot struct {
 	gen  uint32
 	kind capKind
-	port *Port  // capPort / capChan
+	port *Port  // capPort / capChan / capRemote (forwarder)
 	obj  string // capObj
+	// capRemote: the connection and remote port behind the forwarder, so
+	// batched submission can frame ops for the wire directly instead of
+	// paying a per-op round-trip through the forwarder handler.
+	peer  *Peer
+	rport int
 }
 
 // handleTable is the per-process capability table: sharded like the port

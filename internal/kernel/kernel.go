@@ -13,8 +13,8 @@
 package kernel
 
 import (
+	"crypto/ed25519"
 	"crypto/rand"
-	"crypto/rsa"
 	"crypto/sha1"
 	"encoding/hex"
 	"errors"
@@ -56,12 +56,17 @@ type Kernel struct {
 	Disk *disk.Disk
 
 	// NK is the Nexus key, generated on first boot and sealed to the PCR
-	// state of the genuine kernel; it identifies this installation.
-	NK *rsa.PrivateKey
+	// state of the genuine kernel; it identifies this installation. It is
+	// Ed25519: everything the kernel signs at runtime (node handshakes,
+	// label certificates) uses it, leaving RSA only for the TPM
+	// endorsement hierarchy, which is what real TPM silicon speaks.
+	NK ed25519.PrivateKey
 	// NBK is the Nexus boot key identifying this unique boot.
-	NBK *rsa.PrivateKey
+	NBK ed25519.PrivateKey
 	// BootID is the hex hash of the public NBK.
 	BootID string
+	// nkFP is the cached fingerprint of NK's public half.
+	nkFP string
 
 	// Prin is the kernel's principal: key:<NK-fingerprint>.<boot-id>.
 	// Every process principal is a subprincipal of it (§2.4).
@@ -185,7 +190,7 @@ func Boot(t *tpm.TPM, d *disk.Disk, opts Options) (*Kernel, error) {
 		if err := t.TakeOwnership(bound); err != nil {
 			return nil, fmt.Errorf("kernel: taking TPM ownership: %w", err)
 		}
-		nk, err := rsa.GenerateKey(rand.Reader, 1024)
+		_, nk, err := ed25519.GenerateKey(rand.Reader)
 		if err != nil {
 			return nil, fmt.Errorf("kernel: generating NK: %w", err)
 		}
@@ -222,14 +227,15 @@ func Boot(t *tpm.TPM, d *disk.Disk, opts Options) (*Kernel, error) {
 	}
 
 	// The boot key identifies this unique boot instantiation.
-	nbk, err := rsa.GenerateKey(rand.Reader, 1024)
+	_, nbk, err := ed25519.GenerateKey(rand.Reader)
 	if err != nil {
 		return nil, fmt.Errorf("kernel: generating NBK: %w", err)
 	}
 	k.NBK = nbk
-	sum := sha1.Sum(marshalPub(&nbk.PublicKey))
+	sum := sha1.Sum(nbk.Public().(ed25519.PublicKey))
 	k.BootID = hex.EncodeToString(sum[:8])
-	k.Prin = nal.SubOf(nal.Key(tpm.Fingerprint(&k.NK.PublicKey)), k.BootID)
+	k.nkFP = cert.FingerprintEd25519(k.NK.Public().(ed25519.PublicKey))
+	k.Prin = nal.SubOf(nal.Key(k.nkFP), k.BootID)
 
 	k.publishIntrospection()
 	return k, nil
@@ -255,6 +261,10 @@ func (k *Kernel) defaultGuard() Guard {
 // CertCache exposes the kernel's credential pre-verification cache, for
 // guards resolving certificate credentials and for revocation.
 func (k *Kernel) CertCache() *cert.VerifyCache { return k.certs }
+
+// NKFingerprint returns the fingerprint of this kernel's Nexus key,
+// computed once at boot. It is the key component of the kernel principal.
+func (k *Kernel) NKFingerprint() string { return k.nkFP }
 
 // SetAuthorization toggles goal checking (Figure 4 case "system call").
 func (k *Kernel) SetAuthorization(on bool) { k.setFlag(flagAuthz, on) }

@@ -38,7 +38,7 @@ func TestBootFirstAndSecond(t *testing.T) {
 	if err != nil {
 		t.Fatalf("second boot: %v", err)
 	}
-	if k1.NK.PublicKey.N.Cmp(k2.NK.PublicKey.N) != 0 {
+	if !k1.NK.Equal(k2.NK) {
 		t.Error("NK must persist across reboots")
 	}
 	if k1.BootID == k2.BootID {

@@ -1,24 +1,24 @@
 package kernel
 
 import (
-	"crypto/rsa"
-	"crypto/x509"
+	"crypto/ed25519"
 	"encoding/asn1"
 	"fmt"
 
 	"repro/internal/tpm"
 )
 
-func marshalKey(k *rsa.PrivateKey) []byte {
-	return x509.MarshalPKCS1PrivateKey(k)
+// marshalKey serializes an Ed25519 private key as its 32-byte seed — the
+// form that goes into the TPM-sealed blob.
+func marshalKey(k ed25519.PrivateKey) []byte {
+	return k.Seed()
 }
 
-func unmarshalKey(der []byte) (*rsa.PrivateKey, error) {
-	return x509.ParsePKCS1PrivateKey(der)
-}
-
-func marshalPub(k *rsa.PublicKey) []byte {
-	return x509.MarshalPKCS1PublicKey(k)
+func unmarshalKey(raw []byte) (ed25519.PrivateKey, error) {
+	if len(raw) != ed25519.SeedSize {
+		return nil, fmt.Errorf("kernel: sealed key has wrong length %d", len(raw))
+	}
+	return ed25519.NewKeyFromSeed(raw), nil
 }
 
 // sealedBlobSeq is the on-disk form of a TPM sealed blob.

@@ -21,6 +21,16 @@ type Label struct {
 	Handle  int
 	Speaker nal.Principal
 	Formula nal.Formula
+
+	// ext memoizes the externalized (signed) form. Labels are immutable
+	// once issued and valid indefinitely (§2.7), so the certificate —
+	// including its Issued timestamp — is minted at most once per label;
+	// re-externalizing is then a pointer load. A stable certificate is also
+	// what makes downstream caches work: the verifier's VerifyCache and the
+	// per-connection re-attestation tables key on the certificate
+	// fingerprint, which would change with every fresh Issued time.
+	// Guarded by the store's mu.
+	ext *ExternalLabel
 }
 
 // Labelstore holds the labels issued by (or transferred to) one process.
@@ -149,16 +159,26 @@ type ExternalLabel struct {
 	NKCert *cert.Certificate
 }
 
-// Externalize converts a label into transferable certificate form.
+// Externalize converts a label into transferable certificate form, signed
+// with the kernel's Ed25519 Nexus key. The signed form is memoized on the
+// label: a label is immutable, so the first externalization fixes its
+// certificate and later calls return it without touching the signer.
 func (ls *Labelstore) Externalize(handle int) (*ExternalLabel, error) {
 	ls.mu.RLock()
 	l, ok := ls.labels[handle]
+	var ext *ExternalLabel
+	if ok {
+		ext = l.ext
+	}
 	ls.mu.RUnlock()
 	if !ok {
 		return nil, ErrNoSuchLabel
 	}
+	if ext != nil {
+		return ext, nil
+	}
 	k := ls.owner.kernel
-	labelCert, err := cert.Sign(cert.Statement{
+	labelCert, err := cert.SignEd25519(cert.Statement{
 		Speaker: l.Formula.(nal.Says).P.String(),
 		Formula: l.Formula.(nal.Says).F.String(),
 		Serial:  int64(handle),
@@ -171,7 +191,20 @@ func (ls *Labelstore) Externalize(handle int) (*ExternalLabel, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ExternalLabel{LabelCert: labelCert, NKCert: nkCert}, nil
+	ext = &ExternalLabel{LabelCert: labelCert, NKCert: nkCert}
+	ls.mu.Lock()
+	// Recheck under the write lock: the label may have raced a Delete (the
+	// signed form is then simply discarded) or another externalization (the
+	// first one wins so every caller sees one canonical certificate).
+	if cur, still := ls.labels[handle]; still {
+		if cur.ext != nil {
+			ext = cur.ext
+		} else {
+			cur.ext = ext
+		}
+	}
+	ls.mu.Unlock()
+	return ext, nil
 }
 
 // Import verifies an external label and deposits the corresponding

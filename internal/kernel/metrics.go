@@ -70,12 +70,18 @@ func (h *histogram) observe(d time.Duration) {
 	if d < 0 {
 		ns = 0
 	}
-	b := bits.Len64(ns)
+	h.observeCount(ns)
+}
+
+// observeCount records one plain value (queue depth, batch size) into the
+// same log2 buckets; for count histograms SumNs is the plain sum.
+func (h *histogram) observeCount(v uint64) {
+	b := bits.Len64(v)
 	if b >= histBuckets {
 		b = histBuckets - 1
 	}
 	h.count.Add(1)
-	h.sumNs.Add(ns)
+	h.sumNs.Add(v)
 	h.buckets[b].Add(1)
 }
 
@@ -104,6 +110,11 @@ type kernelMetrics struct {
 	guardNs histogram
 	// netReqNs times the client side of one transport round-trip.
 	netReqNs histogram
+	// netDepth samples the in-flight request depth of a pipelined
+	// connection, observed as each request enters the pending table.
+	netDepth histogram
+	// netBatch samples remote submission batch sizes (ops per fSubmit).
+	netBatch histogram
 }
 
 // add bumps a counter on the stripe selected by key (caller identity:
@@ -153,6 +164,10 @@ type MetricsSnapshot struct {
 	// Latency distributions.
 	GuardUpcallNs HistogramSnapshot
 	NetRequestNs  HistogramSnapshot
+	// Pipelined-transport distributions (counts, not nanoseconds): the
+	// in-flight depth seen by each request, and ops per remote batch.
+	NetInflightDepth HistogramSnapshot
+	NetBatchOps      HistogramSnapshot
 }
 
 // Metrics captures the kernel-wide observability snapshot, folding in the
@@ -179,6 +194,8 @@ func (k *Kernel) Metrics() MetricsSnapshot {
 		NetTimeouts:        m.total(mNetTimeouts),
 		GuardUpcallNs:      m.guardNs.snapshot(),
 		NetRequestNs:       m.netReqNs.snapshot(),
+		NetInflightDepth:   m.netDepth.snapshot(),
+		NetBatchOps:        m.netBatch.snapshot(),
 	}
 	if l := k.led.Load(); l != nil {
 		ls := l.Stats()
@@ -234,5 +251,7 @@ func (s *MetricsSnapshot) render() string {
 	}
 	hist("guard_upcall_ns", &s.GuardUpcallNs)
 	hist("net_request_ns", &s.NetRequestNs)
+	hist("net_inflight_depth", &s.NetInflightDepth)
+	hist("net_batch_ops", &s.NetBatchOps)
 	return b.String()
 }

@@ -1,6 +1,11 @@
 package kernel
 
 import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"time"
+
 	"repro/internal/nal/proof"
 )
 
@@ -31,7 +36,7 @@ func (s *Session) Connect(peer *Peer, service string) (Cap, error) {
 	if err != nil {
 		return 0, err
 	}
-	c, ok := s.ht.alloc(hslot{kind: capRemote, port: pt, obj: service})
+	c, ok := s.ht.alloc(hslot{kind: capRemote, port: pt, obj: service, peer: peer, rport: remotePort})
 	if !ok {
 		// The session raced Exit; unwind the forwarder port idempotently.
 		s.k.ports.remove(pt.ID)
@@ -51,6 +56,171 @@ func (s *Session) CallRemote(c Cap, m *Msg) ([]byte, error) {
 		return nil, ErrBadHandle
 	}
 	return s.k.dispatch(s.p, sl.port, m, sl.port.h)
+}
+
+// SubmitRemote pushes a batch of operations through one remote handle as a
+// single wire exchange: every operation runs the local egress half of the
+// dispatch pipeline — the loop-invariant head (channel check, interposition
+// chain) once per batch, then authorization and the OnCall sweep per
+// operation, with each entry marshaled directly into the outgoing frame so
+// the interposition copy and the wire bytes are the same bytes. The
+// survivors ship as one fSubmit frame, the serving kernel executes them in
+// order through the same hoisted admission against this session's proxy,
+// and one completion vector comes back. Operations that fail locally
+// complete locally and are not shipped.
+//
+// The contract matches Submit: comps is reused when it has capacity,
+// per-op failures land in Completion.Err, and the error return is reserved
+// for submission-level failures — context cancellation, a full in-flight
+// window (EAGAIN), or the connection failing mid-exchange, in which case
+// every shipped operation's Completion.Err carries the transport error.
+func (s *Session) SubmitRemote(ctx context.Context, c Cap, subs []Sub, comps []Completion) ([]Completion, error) {
+	sl, ok := s.ht.lookup(c)
+	if !ok || sl.kind != capRemote || sl.peer == nil {
+		return nil, ErrBadHandle
+	}
+	peer := sl.peer
+	if cap(comps) >= len(subs) {
+		comps = comps[:len(subs)]
+	} else {
+		comps = make([]Completion, len(subs))
+	}
+	k := s.k
+	flags := k.flags.Load()
+
+	id, ch, err := peer.begin("submit")
+	if err != nil {
+		return comps[:0], err
+	}
+	t0 := time.Now()
+
+	// Hoisted admission head: channel check and interposition chain are
+	// per-batch, authorization and OnCall per operation.
+	ba, baErr := k.batchAdmit(flags, s.p, sl.port)
+	if baErr != nil {
+		peer.abort(id)
+		for i := range subs {
+			comps[i] = Completion{Tag: subs[i].Tag, Err: baErr}
+		}
+		return comps, nil
+	}
+
+	frame := make([]byte, 0, 64+len(subs)*32)
+	frame = append(frame, fSubmit)
+	frame = binary.AppendUvarint(frame, id)
+	frame = binary.AppendUvarint(frame, uint64(s.p.PID))
+	frame = binary.AppendUvarint(frame, uint64(sl.rport))
+	countAt := len(frame)
+	frame = append(frame, 0, 0, 0, 0) // batch count, patched below
+
+	sent := make([]int, 0, len(subs))
+	var m Msg
+	canceled := false
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	for i := range subs {
+		sub := &subs[i]
+		comps[i] = Completion{Tag: sub.Tag}
+		if canceled {
+			comps[i].Err = abiErr(ECANCELED, sub.Op, "batch canceled")
+			continue
+		}
+		if done != nil {
+			select {
+			case <-done:
+				canceled = true
+				comps[i].Err = abiErr(ECANCELED, sub.Op, ctx.Err().Error())
+				continue
+			default:
+			}
+		}
+		m = Msg{Op: sub.Op, Obj: sub.Obj, Args: sub.Args}
+		// The interposition wire copy IS the batch entry: the canonical
+		// encoding is appended straight into the frame (after a length
+		// placeholder) and the OnCall sweep inspects it there, so a
+		// locally-admitted operation is marshaled exactly once end to end.
+		lenAt := len(frame)
+		frame = append(frame, 0, 0, 0, 0)
+		frame = appendMsgWire(frame, &m)
+		if err := ba.admitOp(&m, frame[lenAt+4:]); err != nil {
+			frame = frame[:lenAt]
+			comps[i].Err = err
+			continue
+		}
+		binary.LittleEndian.PutUint32(frame[lenAt:lenAt+4], uint32(len(frame)-lenAt-4))
+		sent = append(sent, i)
+	}
+
+	if len(sent) == 0 {
+		peer.abort(id)
+		if canceled {
+			return comps, abiErr(ECANCELED, "submit", "context canceled mid-batch")
+		}
+		return comps, nil
+	}
+	binary.LittleEndian.PutUint32(frame[countAt:countAt+4], uint32(len(sent)))
+
+	resp, err := peer.submit(id, ch, t0, frame)
+	if err != nil {
+		for _, ci := range sent {
+			comps[ci].Err = err
+		}
+		return comps, err
+	}
+	r := &netCursor{buf: resp}
+	nres, ok := r.uvarint()
+	if !ok || nres != uint64(len(sent)) {
+		peer.fail()
+		return comps, ErrTransportClosed
+	}
+	for _, ci := range sent {
+		st, ok := r.byte()
+		if !ok {
+			peer.fail()
+			return comps, ErrTransportClosed
+		}
+		switch st {
+		case wsOK:
+			out, ok := r.bytes()
+			if !ok {
+				peer.fail()
+				return comps, ErrTransportClosed
+			}
+			if len(out) > 0 {
+				// Aliases the response frame, which is exclusively ours.
+				comps[ci].Out = out
+			}
+		case wsAbiErr:
+			en, ok1 := r.uvarint()
+			op, ok2 := r.str()
+			detail, ok3 := r.str()
+			if !ok1 || !ok2 || !ok3 {
+				peer.fail()
+				return comps, ErrTransportClosed
+			}
+			comps[ci].Err = abiErr(Errno(en), op, detail)
+		case wsHdlrErr:
+			detail, ok := r.str()
+			if !ok {
+				peer.fail()
+				return comps, ErrTransportClosed
+			}
+			comps[ci].Err = errors.New(detail)
+		default:
+			peer.fail()
+			return comps, ErrTransportClosed
+		}
+	}
+	if !r.done() {
+		peer.fail()
+		return comps, ErrTransportClosed
+	}
+	if canceled {
+		return comps, abiErr(ECANCELED, "submit", "context canceled mid-batch")
+	}
+	return comps, nil
 }
 
 // RemoteLabel names a label this session deposited on a peer kernel: the

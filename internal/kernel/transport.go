@@ -1,47 +1,70 @@
 // Inter-kernel transport: the distributed attestation plane.
 //
 // A Node attaches a transport endpoint to a running kernel. Two nodes that
-// complete the handshake exchange three kinds of traffic, all speaking the
+// complete the handshake exchange four kinds of traffic, all speaking the
 // binary wire vocabulary of wire_net.go:
 //
 //   - externalized labels: egress signs a label into certificate form under
 //     the node's TPM-rooted Nexus key (§2.4); ingress verifies it through
 //     the kernel's pre-verification cache and interns the resulting
-//     key-attributed formula into the calling proxy's labelstore;
+//     key-attributed formula into the calling proxy's labelstore. A label
+//     whose certificate already verified on this connection re-crosses
+//     authenticated by an HMAC under the handshake-derived session key —
+//     no public-key operation on the warm path;
 //   - proof registrations: a remote subject binds a proof (with inline,
 //     reference, or certificate credentials) to an access tuple on the
 //     serving kernel, exactly as a local setproof would;
 //   - remote calls: IPC requests routed into the serving kernel's standard
 //     dispatch() pipeline on behalf of a proxy process, so channel checks,
-//     authorization, interposition, and auditing apply unchanged.
+//     authorization, interposition, and auditing apply unchanged;
+//   - batched submissions: one frame carrying N operations against one
+//     remote port, executed through the flags-preloaded dispatch variant
+//     with a pooled marshal arena, answered by one completion-vector frame.
 //
-// Identity. Each side presents its boot id, its NK public key, and the
-// TPM's endorsement of the NK ("key:EK says key:NK speaksfor
-// key:EK.nexus"), then proves possession of the NK by signing the peer's
-// nonce. A verified peer is the principal key:<NK-fp>.<boot-id> — the same
-// principal the remote kernel uses for itself — and every process on it is
-// represented locally by a proxy IPD whose principal is the remote
-// process's global name (key:<NK>.<boot>.ipd.<pid>). Labels arriving over
-// the connection are accepted only if their certificate is signed by the
-// peer's NK and their speaker is rooted at the peer's kernel principal;
-// anything else is cross-node speaker spoofing and is rejected before it
-// reaches a labelstore.
+// Identity. Each side presents its boot id, its Ed25519 NK public key, and
+// the TPM's endorsement of the NK ("key:EK says key:NK speaksfor
+// key:EK.nexus" — the endorsement itself stays RSA, because that is what
+// TPM silicon signs with), then proves possession of the NK by signing the
+// handshake transcript: the peer's nonce plus both sides' ephemeral X25519
+// keys, role-tagged so a reflected signature cannot stand in for the other
+// side's. Binding the ephemeral keys into the signatures means a
+// man-in-the-middle cannot substitute its own key agreement without
+// breaking a signature, so the derived session key is shared only by the
+// two authenticated kernels. A verified peer is the principal
+// key:<NK-fp>.<boot-id> — the same principal the remote kernel uses for
+// itself — and every process on it is represented locally by a proxy IPD
+// whose principal is the remote process's global name
+// (key:<NK>.<boot>.ipd.<pid>). Labels arriving over the connection are
+// accepted only if their certificate is signed by the peer's NK and their
+// speaker is rooted at the peer's kernel principal; anything else is
+// cross-node speaker spoofing and is rejected before it reaches a
+// labelstore.
 //
-// Locking (leaf-ward order, see DESIGN.md "Distributed attestation
-// plane"): Node.mu guards the export/listener/peer tables and is never
-// held across connection I/O or kernel registry operations; Peer.mu
-// serializes one request/response exchange and the egress codec state;
-// serverConn state is confined to its serve goroutine and needs no lock.
-// Proxy teardown (conn close, Node.Close) takes kernel registry locks only
-// after every transport lock is released.
+// Pipelining. After the handshake every frame carries a request id. The
+// dialing side keeps a pending-call table and may have up to maxInflight
+// requests outstanding; the window full condition surfaces as EAGAIN. A
+// receive loop per peer matches responses to waiters by id. The serving
+// side processes requests strictly in arrival order, so the observable
+// ordering semantics are those of the lockstep protocol — only the waiting
+// overlaps.
+//
+// Locking (leaf-ward order, see DESIGN.md "Remote fast path"): Node.mu
+// guards the export/listener/peer tables and is never held across
+// connection I/O or kernel registry operations; Peer.sendMu serializes
+// frame sends and the egress codec state (formula remap, certificate
+// dedup, re-attestation table); Peer.pendMu guards only the pending-call
+// table and is a leaf — it is never held across I/O, encoding, or any
+// other lock; serverConn state is confined to its serve goroutine and
+// needs no lock. Proxy teardown (conn close, Node.Close) takes kernel
+// registry locks only after every transport lock is released.
 package kernel
 
 import (
-	"crypto"
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"crypto/hmac"
 	"crypto/rand"
-	"crypto/rsa"
 	"crypto/sha256"
-	"crypto/x509"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -52,7 +75,6 @@ import (
 	"repro/internal/cert"
 	"repro/internal/nal"
 	"repro/internal/nal/proof"
-	"repro/internal/tpm"
 )
 
 // Transport errors.
@@ -61,6 +83,11 @@ var (
 	ErrBadPeer         = errors.New("kernel: peer identity verification failed")
 	ErrSpoofedSpeaker  = errors.New("kernel: label speaker not rooted in sending node")
 )
+
+// maxInflight bounds the per-connection pipelined request window. A full
+// window fails fast with EAGAIN rather than queueing unboundedly; callers
+// retry once earlier requests complete.
+const maxInflight = 128
 
 // Conn is a reliable, ordered, framed byte pipe between two nodes. Send
 // transfers ownership of the frame; Recv returns frames owned by the
@@ -218,7 +245,7 @@ func (n *Node) Close() {
 // identity is one side's handshake material.
 type identity struct {
 	bootID      string
-	nkPub       *rsa.PublicKey
+	nkPub       ed25519.PublicKey
 	nkFP, ekFP  string
 	endorsement *cert.Certificate
 }
@@ -236,8 +263,8 @@ func (n *Node) localIdentity() (*identity, error) {
 	}
 	return &identity{
 		bootID:      n.k.BootID,
-		nkPub:       &n.k.NK.PublicKey,
-		nkFP:        tpm.Fingerprint(&n.k.NK.PublicKey),
+		nkPub:       n.k.NK.Public().(ed25519.PublicKey),
+		nkFP:        n.k.nkFP,
 		ekFP:        n.k.TPM.EKFingerprint(),
 		endorsement: end,
 	}, nil
@@ -246,7 +273,7 @@ func (n *Node) localIdentity() (*identity, error) {
 // appendIdentity encodes bootID, NK public key, and endorsement.
 func appendIdentity(dst []byte, id *identity) []byte {
 	dst = appendNetString(dst, id.bootID)
-	dst = appendNetBytes(dst, x509.MarshalPKCS1PublicKey(id.nkPub))
+	dst = appendNetBytes(dst, id.nkPub)
 	return appendNetBytes(dst, id.endorsement.AppendWire(nil))
 }
 
@@ -254,24 +281,22 @@ func appendIdentity(dst []byte, id *identity) []byte {
 // endorsement must be a well-formed, signed "key:NK speaksfor
 // key:EK.nexus" statement and the presented NK public key must match the
 // fingerprint the endorsement names. Possession of the NK's private half
-// is proven separately by the nonce signature.
+// is proven separately by the transcript signature.
 func (n *Node) verifyIdentity(r *netCursor) (*identity, error) {
 	bootID, ok := r.str()
 	if !ok {
 		return nil, ErrBadPeer
 	}
-	pubDER, ok := r.bytes()
-	if !ok {
+	pubRaw, ok := r.bytes()
+	if !ok || len(pubRaw) != ed25519.PublicKeySize {
 		return nil, ErrBadPeer
 	}
 	endWire, ok := r.bytes()
 	if !ok {
 		return nil, ErrBadPeer
 	}
-	pub, err := x509.ParsePKCS1PublicKey(pubDER)
-	if err != nil {
-		return nil, ErrBadPeer
-	}
+	// Copy out of the frame: the identity outlives the handshake exchange.
+	pub := ed25519.PublicKey(append([]byte(nil), pubRaw...))
 	end, _, err := cert.DecodeCertWire(endWire)
 	if err != nil {
 		return nil, ErrBadPeer
@@ -302,7 +327,7 @@ func (n *Node) verifyIdentity(r *netCursor) (*identity, error) {
 	if !ok2 || sub.Tag != "nexus" || !sub.Parent.EqualPrin(ek) {
 		return nil, ErrBadPeer
 	}
-	if tpm.Fingerprint(pub) != string(nk) {
+	if cert.FingerprintEd25519(pub) != string(nk) {
 		return nil, fmt.Errorf("%w: NK key does not match endorsement", ErrBadPeer)
 	}
 	n.mu.Lock()
@@ -314,44 +339,101 @@ func (n *Node) verifyIdentity(r *netCursor) (*identity, error) {
 	return &identity{bootID: bootID, nkPub: pub, nkFP: string(nk), ekFP: string(ek), endorsement: end}, nil
 }
 
-// helloDigest is the proof-of-possession digest: role-tagged so a
-// reflected signature cannot stand in for the other side's.
-func helloDigest(role string, nonce []byte) [32]byte {
+// helloDigest is the proof-of-possession transcript digest: role-tagged so
+// a reflected signature cannot stand in for the other side's, and covering
+// both ephemeral X25519 keys so a man-in-the-middle cannot splice its own
+// key agreement into an otherwise authentic handshake.
+func helloDigest(role string, nonce, cliEph, srvEph []byte) [32]byte {
 	h := sha256.New()
-	h.Write([]byte("nexus-transport-hello/"))
+	h.Write([]byte("nexus-transport-hello/2/"))
 	h.Write([]byte(role))
 	h.Write([]byte{0})
 	h.Write(nonce)
+	h.Write([]byte{0})
+	h.Write(cliEph)
+	h.Write([]byte{0})
+	h.Write(srvEph)
 	var d [32]byte
 	h.Sum(d[:0])
 	return d
 }
 
-func signHello(key *rsa.PrivateKey, role string, nonce []byte) ([]byte, error) {
-	d := helloDigest(role, nonce)
-	return rsa.SignPKCS1v15(rand.Reader, key, crypto.SHA256, d[:])
+func signHello(key ed25519.PrivateKey, role string, nonce, cliEph, srvEph []byte) []byte {
+	d := helloDigest(role, nonce, cliEph, srvEph)
+	return ed25519.Sign(key, d[:])
 }
 
-func verifyHello(pub *rsa.PublicKey, role string, nonce, sig []byte) error {
-	d := helloDigest(role, nonce)
-	if rsa.VerifyPKCS1v15(pub, crypto.SHA256, d[:], sig) != nil {
-		return fmt.Errorf("%w: nonce signature invalid", ErrBadPeer)
+func verifyHello(pub ed25519.PublicKey, role string, nonce, cliEph, srvEph, sig []byte) error {
+	d := helloDigest(role, nonce, cliEph, srvEph)
+	if !ed25519.Verify(pub, d[:], sig) {
+		return fmt.Errorf("%w: transcript signature invalid", ErrBadPeer)
 	}
 	return nil
 }
 
+// deriveSessionKey produces the per-connection symmetric key from the
+// X25519 shared secret and both handshake nonces. Both sides compute the
+// same value; it authenticates warm re-attestations for the life of the
+// connection and is never written to the wire.
+func deriveSessionKey(shared, cliNonce, srvNonce []byte) []byte {
+	mac := hmac.New(sha256.New, shared)
+	mac.Write([]byte("nexus-session/2"))
+	mac.Write([]byte{0})
+	mac.Write(cliNonce)
+	mac.Write([]byte{0})
+	mac.Write(srvNonce)
+	return mac.Sum(nil)
+}
+
+// xferReTag authenticates one warm label re-crossing: an HMAC under the
+// session key over the target pid and the certificate fingerprint. Only
+// the two handshake parties hold the key, so a tag proves the request
+// originated on the authenticated peer — the property the cold path got
+// from the certificate signature itself.
+func xferReTag(key []byte, callerPID int, fp string) []byte {
+	mac := hmac.New(sha256.New, key)
+	mac.Write([]byte("nexus-xfer-re"))
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(callerPID))
+	mac.Write(b[:])
+	mac.Write([]byte(fp))
+	return mac.Sum(nil)
+}
+
 // ---- Dialing side -------------------------------------------------------
 
+// netResp is one matched response as delivered by the receive loop.
+type netResp struct {
+	typ     byte
+	payload []byte // after type byte and request id
+}
+
 // Peer is a verified connection to a remote node, usable by any session on
-// this kernel. One request/response exchange is in flight at a time; the
-// egress codec tables (formula remap, certificate dedup) are per-peer.
+// this kernel. Requests are pipelined: up to maxInflight may be outstanding
+// (more fail with EAGAIN), matched to callers by request id through the
+// pending table. The egress codec tables (formula remap, certificate
+// dedup, re-attestation) are per-peer, guarded by sendMu.
 type Peer struct {
 	n *Node
 	c Conn
 
-	mu      sync.Mutex
-	enc     *nal.WireEncoder
-	certIdx map[string]uint64 // cert fingerprint → wire index (1-based)
+	// sendMu serializes frame sends and the egress codec state. Because
+	// the server processes frames in arrival order, whatever order sends
+	// leave under sendMu is the order they take effect remotely.
+	sendMu   sync.Mutex
+	enc      *nal.WireEncoder
+	certIdx  map[string]uint64 // cert fingerprint → wire index (1-based)
+	attested map[string]bool   // cert fingerprints verified on this conn
+
+	// pendMu guards the pending-call table only; it is a leaf lock, never
+	// held across I/O or any other lock.
+	pendMu   sync.Mutex
+	pending  map[uint64]chan netResp
+	nextID   uint64
+	poisoned bool
+
+	// sessKey is the handshake-derived session key (see deriveSessionKey).
+	sessKey []byte
 
 	prin   nal.Principal // key:<NK>.<boot>
 	nkFP   string
@@ -361,7 +443,8 @@ type Peer struct {
 	// mkey selects this peer's metrics counter stripe.
 	mkey uint64
 
-	closed atomic.Bool
+	closed   atomic.Bool
+	recvDone chan struct{}
 }
 
 // connCounter hands out metrics stripe keys, one per connection in either
@@ -418,7 +501,12 @@ func (n *Node) Dial(t Transport, addr string) (*Peer, error) {
 		return nil, ErrTransportClosed
 	}
 	n.peers[p] = true
+	n.wg.Add(1)
 	n.mu.Unlock()
+	go func() {
+		defer n.wg.Done()
+		p.recvLoop()
+	}()
 	return p, nil
 }
 
@@ -432,9 +520,15 @@ func (n *Node) handshakeClient(c Conn) (*Peer, error) {
 	if _, err := rand.Read(nonce); err != nil {
 		return nil, err
 	}
+	eph, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	ephPub := eph.PublicKey().Bytes()
 	frame := []byte{fHello, transportVersion}
 	frame = appendIdentity(frame, self)
 	frame = appendNetBytes(frame, nonce)
+	frame = appendNetBytes(frame, ephPub)
 	if err := c.Send(frame); err != nil {
 		return nil, err
 	}
@@ -454,17 +548,26 @@ func (n *Node) handshakeClient(c Conn) (*Peer, error) {
 	if !ok {
 		return nil, ErrBadPeer
 	}
+	srvEphRaw, ok := r.bytes()
+	if !ok {
+		return nil, ErrBadPeer
+	}
 	sig, ok := r.bytes()
 	if !ok || !r.done() {
 		return nil, ErrBadPeer
 	}
-	if err := verifyHello(peer.nkPub, "server", nonce, sig); err != nil {
+	if err := verifyHello(peer.nkPub, "server", nonce, ephPub, srvEphRaw, sig); err != nil {
 		return nil, err
 	}
-	ackSig, err := signHello(n.k.NK, "client", srvNonce)
+	srvEph, err := ecdh.X25519().NewPublicKey(srvEphRaw)
 	if err != nil {
-		return nil, err
+		return nil, ErrBadPeer
 	}
+	shared, err := eph.ECDH(srvEph)
+	if err != nil {
+		return nil, ErrBadPeer
+	}
+	ackSig := signHello(n.k.NK, "client", srvNonce, ephPub, srvEphRaw)
 	ack := []byte{fHelloAck}
 	ack = appendNetBytes(ack, ackSig)
 	if err := c.Send(ack); err != nil {
@@ -472,13 +575,17 @@ func (n *Node) handshakeClient(c Conn) (*Peer, error) {
 	}
 	return &Peer{
 		n: n, c: c,
-		enc:     nal.NewWireEncoder(),
-		certIdx: map[string]uint64{},
-		prin:    peer.prin(),
-		nkFP:    peer.nkFP,
-		ekFP:    peer.ekFP,
-		bootID:  peer.bootID,
-		mkey:    connCounter.Add(1),
+		enc:      nal.NewWireEncoder(),
+		certIdx:  map[string]uint64{},
+		attested: map[string]bool{},
+		pending:  map[uint64]chan netResp{},
+		sessKey:  deriveSessionKey(shared, nonce, srvNonce),
+		prin:     peer.prin(),
+		nkFP:     peer.nkFP,
+		ekFP:     peer.ekFP,
+		bootID:   peer.bootID,
+		mkey:     connCounter.Add(1),
+		recvDone: make(chan struct{}),
 	}, nil
 }
 
@@ -491,60 +598,155 @@ func (p *Peer) NKFingerprint() string { return p.nkFP }
 // EKFingerprint returns the remote platform's endorsement key fingerprint.
 func (p *Peer) EKFingerprint() string { return p.ekFP }
 
+// Pending reports the number of in-flight requests (tests, introspection).
+func (p *Peer) Pending() int {
+	p.pendMu.Lock()
+	defer p.pendMu.Unlock()
+	return len(p.pending)
+}
+
 // Close tears down the connection; the remote side exits the proxies this
-// peer's traffic created.
-func (p *Peer) Close() {
+// peer's traffic created, and every in-flight call fails with
+// ErrTransportClosed.
+func (p *Peer) Close() { p.fail() }
+
+// fail poisons the peer: the connection closes, the pending table drains
+// (every waiter's channel is closed, which it reads as ErrTransportClosed),
+// and no new request can enter. Idempotent; callable from any goroutine.
+func (p *Peer) fail() {
 	if p.closed.CompareAndSwap(false, true) {
 		p.c.Close()
 	}
+	p.pendMu.Lock()
+	p.poisoned = true
+	pend := p.pending
+	p.pending = nil
+	p.pendMu.Unlock()
+	for _, ch := range pend {
+		close(ch)
+	}
 }
 
-// request runs one exchange. It decodes fErr frames into errors: kernel
-// ABI failures rebuild their errno class (so errors.Is(err, ErrDenied)
-// works across the wire), handler-level failures rebuild as plain errors.
-//
-// Any transport-level failure closes the peer: once a frame may have been
-// lost or torn, the per-connection codec tables (formula remap,
-// certificate dedup) on the two sides can disagree, and a desynced table
-// would resolve backreferences to the wrong values silently. Poisoning
-// the connection turns that silent corruption into ErrTransportClosed.
-func (p *Peer) request(frame []byte, wantType byte) ([]byte, error) {
-	if p.closed.Load() {
-		return nil, ErrTransportClosed
-	}
+// recvLoop is the peer's demultiplexer: it matches response frames to
+// pending requests by id. Any transport failure, torn frame, or response
+// to an id we never sent poisons the connection — once a frame may have
+// been lost the per-connection codec tables on the two sides can disagree,
+// and a desynced table would resolve backreferences to the wrong values
+// silently. Poisoning turns that silent corruption into ErrTransportClosed.
+func (p *Peer) recvLoop() {
+	defer close(p.recvDone)
+	defer p.fail()
 	m := p.n.k.metrics
-	t0 := time.Now()
+	for {
+		resp, err := p.c.Recv()
+		if err != nil {
+			if errors.Is(err, ErrTimeout) {
+				m.add(p.mkey, mNetTimeouts, 1)
+			}
+			return
+		}
+		m.add(p.mkey, mNetRecvs, 1)
+		m.add(p.mkey, mNetRecvBytes, uint64(len(resp)))
+		if len(resp) < 2 {
+			return
+		}
+		r := &netCursor{buf: resp[1:]}
+		id, ok := r.uvarint()
+		if !ok {
+			return
+		}
+		p.pendMu.Lock()
+		var ch chan netResp
+		if p.pending != nil {
+			ch = p.pending[id]
+			delete(p.pending, id)
+		}
+		p.pendMu.Unlock()
+		if ch == nil {
+			// A response to a request we never made (hostile or duplicated
+			// id): the streams are no longer in agreement.
+			return
+		}
+		ch <- netResp{typ: resp[0], payload: resp[1+r.off:]}
+	}
+}
+
+// begin registers a new in-flight request: it allocates the id, checks the
+// window, and returns the channel the receive loop will deliver on. The
+// depth histogram samples the pending-table size each request observes.
+func (p *Peer) begin(op string) (uint64, chan netResp, error) {
+	if p.closed.Load() {
+		return 0, nil, ErrTransportClosed
+	}
+	ch := make(chan netResp, 1)
+	p.pendMu.Lock()
+	if p.poisoned {
+		p.pendMu.Unlock()
+		return 0, nil, ErrTransportClosed
+	}
+	if len(p.pending) >= maxInflight {
+		p.pendMu.Unlock()
+		return 0, nil, abiErr(EAGAIN, op, "transport in-flight window full")
+	}
+	p.nextID++
+	id := p.nextID
+	p.pending[id] = ch
+	depth := len(p.pending)
+	p.pendMu.Unlock()
+	p.n.k.metrics.netDepth.observeCount(uint64(depth))
+	return id, ch, nil
+}
+
+// abort removes a pending entry whose request was never (fully) sent.
+func (p *Peer) abort(id uint64) {
+	p.pendMu.Lock()
+	if p.pending != nil {
+		delete(p.pending, id)
+	}
+	p.pendMu.Unlock()
+}
+
+// sendLocked sends one frame with sendMu held. A transport-level send
+// failure poisons the peer (the caller still aborts its own pending id
+// first so its channel is not closed under it).
+func (p *Peer) sendLocked(frame []byte) error {
+	m := p.n.k.metrics
 	m.add(p.mkey, mNetSends, 1)
 	m.add(p.mkey, mNetSendBytes, uint64(len(frame)))
 	if err := p.c.Send(frame); err != nil {
 		if errors.Is(err, ErrTimeout) {
 			m.add(p.mkey, mNetTimeouts, 1)
 		}
-		p.Close()
-		return nil, fmt.Errorf("%w: %v", ErrTransportClosed, err)
+		return err
 	}
-	resp, err := p.c.Recv()
-	if err != nil {
-		if errors.Is(err, ErrTimeout) {
-			m.add(p.mkey, mNetTimeouts, 1)
-		}
-		p.Close()
-		return nil, fmt.Errorf("%w: %v", ErrTransportClosed, err)
-	}
-	m.add(p.mkey, mNetRecvs, 1)
-	m.add(p.mkey, mNetRecvBytes, uint64(len(resp)))
-	m.netReqNs.observe(time.Since(t0))
-	if len(resp) == 0 {
-		p.Close()
+	return nil
+}
+
+func (p *Peer) send(frame []byte) error {
+	p.sendMu.Lock()
+	err := p.sendLocked(frame)
+	p.sendMu.Unlock()
+	return err
+}
+
+// await blocks until the receive loop delivers the response for this
+// request (or the peer fails). It decodes fErr frames into errors: kernel
+// ABI failures rebuild their errno class (so errors.Is(err, ErrDenied)
+// works across the wire), handler-level failures rebuild as plain errors.
+// A response of an unexpected type poisons the connection.
+func (p *Peer) await(t0 time.Time, ch chan netResp, wantType byte) ([]byte, error) {
+	resp, ok := <-ch
+	if !ok {
 		return nil, ErrTransportClosed
 	}
-	if resp[0] == fErr {
-		r := &netCursor{buf: resp[1:]}
+	p.n.k.metrics.netReqNs.observe(time.Since(t0))
+	if resp.typ == fErr {
+		r := &netCursor{buf: resp.payload}
 		en, ok1 := r.uvarint()
 		op, ok2 := r.str()
 		detail, ok3 := r.str()
 		if !ok1 || !ok2 || !ok3 {
-			p.Close()
+			p.fail()
 			return nil, ErrTransportClosed
 		}
 		if Errno(en) == EOK {
@@ -552,28 +754,44 @@ func (p *Peer) request(frame []byte, wantType byte) ([]byte, error) {
 		}
 		return nil, abiErr(Errno(en), op, detail)
 	}
-	if resp[0] != wantType {
-		p.Close()
+	if resp.typ != wantType {
+		p.fail()
 		return nil, ErrTransportClosed
 	}
-	return resp[1:], nil
+	return resp.payload, nil
+}
+
+// sendErr wraps a failed send: abort our pending entry, poison the peer,
+// and surface ErrTransportClosed.
+func (p *Peer) sendErr(id uint64, err error) error {
+	p.abort(id)
+	p.fail()
+	return fmt.Errorf("%w: %v", ErrTransportClosed, err)
 }
 
 // connect asks the remote node for the public port behind a service name
 // and grants the caller's proxy a channel to it.
 func (p *Peer) connect(callerPID int, service string) (int, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	id, ch, err := p.begin("connect")
+	if err != nil {
+		return 0, err
+	}
+	t0 := time.Now()
 	frame := []byte{fConnect}
+	frame = binary.AppendUvarint(frame, id)
 	frame = binary.AppendUvarint(frame, uint64(callerPID))
 	frame = appendNetString(frame, service)
-	resp, err := p.request(frame, fConnOK)
+	if err := p.send(frame); err != nil {
+		return 0, p.sendErr(id, err)
+	}
+	resp, err := p.await(t0, ch, fConnOK)
 	if err != nil {
 		return 0, err
 	}
 	r := &netCursor{buf: resp}
 	port, ok := r.uvarint()
 	if !ok {
+		p.fail()
 		return 0, ErrTransportClosed
 	}
 	return int(port), nil
@@ -581,37 +799,84 @@ func (p *Peer) connect(callerPID int, service string) (int, error) {
 
 // call forwards one IPC request to the remote port.
 func (p *Peer) call(callerPID, portID int, m *Msg) ([]byte, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	id, ch, err := p.begin(m.Op)
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
 	frame := []byte{fCall}
+	frame = binary.AppendUvarint(frame, id)
 	frame = binary.AppendUvarint(frame, uint64(callerPID))
 	frame = binary.AppendUvarint(frame, uint64(portID))
 	frame = appendMsgFields(frame, m)
-	resp, err := p.request(frame, fCallOK)
+	if err := p.send(frame); err != nil {
+		return nil, p.sendErr(id, err)
+	}
+	resp, err := p.await(t0, ch, fCallOK)
 	if err != nil {
 		return nil, err
 	}
 	r := &netCursor{buf: resp}
 	out, ok := r.bytes()
 	if !ok {
+		p.fail()
 		return nil, ErrTransportClosed
 	}
 	if len(out) == 0 {
 		return nil, nil
 	}
-	return append([]byte(nil), out...), nil
+	// The response frame is exclusively ours; hand the result out directly.
+	return out, nil
+}
+
+// submit ships a pre-built fSubmit frame and returns the completion-vector
+// payload. The frame must already carry the request id from begin.
+func (p *Peer) submit(id uint64, ch chan netResp, t0 time.Time, frame []byte) ([]byte, error) {
+	if err := p.send(frame); err != nil {
+		return nil, p.sendErr(id, err)
+	}
+	return p.await(t0, ch, fSubmitOK)
 }
 
 // xferLabel ships an externalized label; the remote side verifies it and
 // interns it into the caller's proxy labelstore, returning (proxy pid,
 // label handle) for use as a reference credential in later proofs.
+//
+// The first crossing of a certificate ships it whole and pays the
+// signature verification on the far side; once that succeeds the
+// fingerprint is marked attested for this connection, and every later
+// crossing sends only the fingerprint plus an HMAC under the session key
+// (fXferRe) — the warm path does no public-key cryptography on either
+// side. Re-attestation state is per-connection: a new connection always
+// re-verifies.
 func (p *Peer) xferLabel(callerPID int, ext *ExternalLabel) (int, int, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	frame := []byte{fXfer}
-	frame = binary.AppendUvarint(frame, uint64(callerPID))
-	frame = appendNetBytes(frame, ext.LabelCert.AppendWire(nil))
-	resp, err := p.request(frame, fXferOK)
+	fp := ext.LabelCert.Fingerprint()
+	id, ch, err := p.begin("xferlabel")
+	if err != nil {
+		return 0, 0, err
+	}
+	t0 := time.Now()
+	p.sendMu.Lock()
+	warm := p.attested[fp]
+	var frame []byte
+	if warm {
+		frame = []byte{fXferRe}
+		frame = binary.AppendUvarint(frame, id)
+		frame = binary.AppendUvarint(frame, uint64(callerPID))
+		frame = appendNetString(frame, fp)
+		frame = appendNetBytes(frame, xferReTag(p.sessKey, callerPID, fp))
+	} else {
+		frame = []byte{fXfer}
+		frame = binary.AppendUvarint(frame, id)
+		frame = binary.AppendUvarint(frame, uint64(callerPID))
+		frame = appendNetBytes(frame, ext.LabelCert.AppendWire(nil))
+	}
+	err = p.sendLocked(frame)
+	p.sendMu.Unlock()
+	if err != nil {
+		return 0, 0, p.sendErr(id, err)
+	}
+	resp, err := p.await(t0, ch, fXferOK)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -619,7 +884,13 @@ func (p *Peer) xferLabel(callerPID int, ext *ExternalLabel) (int, int, error) {
 	pid, ok1 := r.uvarint()
 	handle, ok2 := r.uvarint()
 	if !ok1 || !ok2 {
+		p.fail()
 		return 0, 0, ErrTransportClosed
+	}
+	if !warm {
+		p.sendMu.Lock()
+		p.attested[fp] = true
+		p.sendMu.Unlock()
 	}
 	return int(pid), int(handle), nil
 }
@@ -636,10 +907,19 @@ type RemoteCred struct {
 }
 
 // setProof registers a proof for the caller's proxy on the remote kernel.
+// Frame assembly holds sendMu throughout: encoding inline credentials
+// advances the per-connection remap/dedup tables, and the server commits
+// the same state in arrival order — which, with sends serialized, is
+// assembly order.
 func (p *Peer) setProof(callerPID int, op, obj string, pf *proof.Proof, creds []RemoteCred) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	id, ch, err := p.begin("setproof")
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	p.sendMu.Lock()
 	frame := []byte{fSetProof}
+	frame = binary.AppendUvarint(frame, id)
 	frame = binary.AppendUvarint(frame, uint64(callerPID))
 	frame = appendNetString(frame, op)
 	frame = appendNetString(frame, obj)
@@ -658,7 +938,9 @@ func (p *Peer) setProof(callerPID int, op, obj string, pf *proof.Proof, creds []
 				// have committed remap/dedup state the server will not
 				// see; the connection's numbering is no longer shared, so
 				// poison it rather than risk silent misresolution later.
-				p.Close()
+				p.sendMu.Unlock()
+				p.abort(id)
+				p.fail()
 				return fmt.Errorf("credential %d: %w", i, err)
 			}
 			frame = append(frame, wcInline)
@@ -678,11 +960,24 @@ func (p *Peer) setProof(callerPID int, op, obj string, pf *proof.Proof, creds []
 			frame = binary.AppendUvarint(frame, uint64(c.Ref))
 		}
 	}
-	_, err := p.request(frame, fOK)
+	err = p.sendLocked(frame)
+	p.sendMu.Unlock()
+	if err != nil {
+		return p.sendErr(id, err)
+	}
+	_, err = p.await(t0, ch, fOK)
 	return err
 }
 
 // ---- Serving side -------------------------------------------------------
+
+// xferEntry records one certificate already verified on this connection:
+// the label formula it denotes (post speaker-rooting checks) and the
+// signer fingerprint, kept for revocation probes on the warm path.
+type xferEntry struct {
+	f      nal.Formula
+	signer string
+}
 
 // serverConn is the per-connection ingress state; it is confined to the
 // connection's serve goroutine.
@@ -694,8 +989,15 @@ type serverConn struct {
 	prin nal.Principal
 
 	dec     *nal.WireDecoder
-	certs   []*cert.Certificate // per-connection dedup table (wcCertRef)
-	proxies map[int]*Process    // remote pid → proxy IPD
+	certs   []*cert.Certificate  // per-connection dedup table (wcCertRef)
+	proxies map[int]*Process     // remote pid → proxy IPD
+	xferFPs map[string]xferEntry // re-attestation table (fXferRe)
+
+	// sessKey is the handshake-derived session key shared with the peer.
+	sessKey []byte
+
+	// subMsg is the reused decode target for batched submissions.
+	subMsg Msg
 
 	// mkey selects this connection's metrics counter stripe.
 	mkey uint64
@@ -706,6 +1008,7 @@ func (n *Node) serveConn(c Conn) {
 		n: n, k: n.k, c: c,
 		dec:     nal.NewWireDecoder(),
 		proxies: map[int]*Process{},
+		xferFPs: map[string]xferEntry{},
 		mkey:    connCounter.Add(1),
 	}
 	defer sc.teardown()
@@ -723,7 +1026,15 @@ func (n *Node) serveConn(c Conn) {
 		}
 		m.add(sc.mkey, mNetRecvs, 1)
 		m.add(sc.mkey, mNetRecvBytes, uint64(len(frame)))
-		resp, fatal := sc.handle(frame)
+		if len(frame) < 2 {
+			return
+		}
+		r := &netCursor{buf: frame[1:]}
+		id, ok := r.uvarint()
+		if !ok {
+			return
+		}
+		resp, fatal := sc.handle(frame[0], id, r)
 		m.add(sc.mkey, mNetSends, 1)
 		m.add(sc.mkey, mNetSendBytes, uint64(len(resp)))
 		if err := c.Send(resp); err != nil {
@@ -766,7 +1077,15 @@ func (sc *serverConn) handshake() error {
 		return err
 	}
 	cliNonce, ok := r.bytes()
+	if !ok {
+		return ErrBadPeer
+	}
+	cliEphRaw, ok := r.bytes()
 	if !ok || !r.done() {
+		return ErrBadPeer
+	}
+	cliEph, err := ecdh.X25519().NewPublicKey(cliEphRaw)
+	if err != nil {
 		return ErrBadPeer
 	}
 	self, err := sc.n.localIdentity()
@@ -777,13 +1096,18 @@ func (sc *serverConn) handshake() error {
 	if _, err := rand.Read(nonce); err != nil {
 		return err
 	}
-	sig, err := signHello(sc.k.NK, "server", cliNonce)
+	eph, err := ecdh.X25519().GenerateKey(rand.Reader)
 	if err != nil {
 		return err
 	}
+	ephPub := eph.PublicKey().Bytes()
+	// cliNonce and cliEphRaw alias the hello frame, which lives until the
+	// handshake returns; the digest and session key consume them before.
+	sig := signHello(sc.k.NK, "server", cliNonce, cliEphRaw, ephPub)
 	resp := []byte{fHelloOK}
 	resp = appendIdentity(resp, self)
 	resp = appendNetBytes(resp, nonce)
+	resp = appendNetBytes(resp, ephPub)
 	resp = appendNetBytes(resp, sig)
 	if err := sc.c.Send(resp); err != nil {
 		return err
@@ -800,9 +1124,14 @@ func (sc *serverConn) handshake() error {
 	if !ok || !ra.done() {
 		return ErrBadPeer
 	}
-	if err := verifyHello(peer.nkPub, "client", nonce, ackSig); err != nil {
+	if err := verifyHello(peer.nkPub, "client", nonce, cliEphRaw, ephPub, ackSig); err != nil {
 		return err
 	}
+	shared, err := eph.ECDH(cliEph)
+	if err != nil {
+		return ErrBadPeer
+	}
+	sc.sessKey = deriveSessionKey(shared, cliNonce, nonce)
 	sc.peer = peer
 	sc.prin = peer.prin()
 	return nil
@@ -821,97 +1150,191 @@ func (sc *serverConn) proxy(remotePID int) *Process {
 	return p
 }
 
-// handle processes one request frame and returns the response frame.
-// fatal reports that per-connection codec state may have desynced from
-// the client's and the connection must close after the response is sent.
-func (sc *serverConn) handle(frame []byte) (resp []byte, fatal bool) {
-	if len(frame) == 0 {
-		return appendErrFrame(nil, "transport", abiErr(EINVAL, "transport", "empty frame")), true
-	}
-	typ := frame[0]
-	r := &netCursor{buf: frame[1:]}
+// handle processes one request frame and returns the response frame, which
+// echoes the request id. fatal reports that per-connection codec state may
+// have desynced from the client's and the connection must close after the
+// response is sent.
+func (sc *serverConn) handle(typ byte, id uint64, r *netCursor) (resp []byte, fatal bool) {
 	switch typ {
 	case fConnect:
-		return sc.handleConnect(r), false
+		return sc.handleConnect(id, r), false
 	case fCall:
-		return sc.handleCall(r), false
+		return sc.handleCall(id, r), false
 	case fXfer:
-		return sc.handleXfer(r), false
+		return sc.handleXfer(id, r), false
+	case fXferRe:
+		return sc.handleXferRe(id, r), false
+	case fSubmit:
+		return sc.handleSubmit(id, r), false
 	case fSetProof:
-		return sc.handleSetProof(r)
+		return sc.handleSetProof(id, r)
 	}
-	return appendErrFrame(nil, "transport", abiErr(EINVAL, "transport", "unknown frame type")), true
+	return appendErrFrame(nil, id, "transport", abiErr(EINVAL, "transport", "unknown frame type")), true
 }
 
-func (sc *serverConn) handleConnect(r *netCursor) []byte {
+func (sc *serverConn) handleConnect(id uint64, r *netCursor) []byte {
 	pid, ok1 := r.uvarint()
 	service, ok2 := r.str()
 	if !ok1 || !ok2 || !r.done() {
-		return appendErrFrame(nil, "connect", abiErr(EINVAL, "connect", "malformed frame"))
+		return appendErrFrame(nil, id, "connect", abiErr(EINVAL, "connect", "malformed frame"))
 	}
 	sc.n.mu.Lock()
 	portID, ok := sc.n.exports[service]
 	sc.n.mu.Unlock()
 	if !ok {
-		return appendErrFrame(nil, "connect", abiErr(ENOENT, "connect", "no exported service "+service))
+		return appendErrFrame(nil, id, "connect", abiErr(ENOENT, "connect", "no exported service "+service))
 	}
 	if err := sc.k.GrantChannel(sc.proxy(int(pid)), portID); err != nil {
-		return appendErrFrame(nil, "connect", err)
+		return appendErrFrame(nil, id, "connect", err)
 	}
 	resp := []byte{fConnOK}
+	resp = binary.AppendUvarint(resp, id)
 	return binary.AppendUvarint(resp, uint64(portID))
 }
 
-func (sc *serverConn) handleCall(r *netCursor) []byte {
+func (sc *serverConn) handleCall(id uint64, r *netCursor) []byte {
 	pid, ok1 := r.uvarint()
 	portID, ok2 := r.uvarint()
 	if !ok1 || !ok2 {
-		return appendErrFrame(nil, "call", abiErr(EINVAL, "call", "malformed frame"))
+		return appendErrFrame(nil, id, "call", abiErr(EINVAL, "call", "malformed frame"))
 	}
 	m, ok := readMsgFields(r)
 	if !ok || !r.done() {
-		return appendErrFrame(nil, "call", abiErr(EINVAL, "call", "malformed message"))
+		return appendErrFrame(nil, id, "call", abiErr(EINVAL, "call", "malformed message"))
 	}
 	// The standard dispatch pipeline: channel check, authorization against
 	// the proxy's (remote) principal, interposition, handler.
 	out, err := sc.k.Call(sc.proxy(int(pid)), int(portID), m)
 	if err != nil {
-		return appendErrFrame(nil, m.Op, err)
+		return appendErrFrame(nil, id, m.Op, err)
 	}
-	return appendNetBytes([]byte{fCallOK}, out)
+	resp := []byte{fCallOK}
+	resp = binary.AppendUvarint(resp, id)
+	return appendNetBytes(resp, out)
 }
 
-// handleXfer is credential ingress: verify through the kernel's
-// pre-verification cache, enforce the cross-node speaker rooting rule, and
-// intern the label into the caller's proxy labelstore.
-func (sc *serverConn) handleXfer(r *netCursor) []byte {
+// handleSubmit executes one batched submission: N operations against one
+// remote port, each run through the flags-preloaded dispatch pipeline on
+// the caller's proxy, marshaling (when interposition is on) into a pooled
+// arena. The batch framing is validated in full before any operation
+// executes, so a torn frame cannot half-run.
+func (sc *serverConn) handleSubmit(id uint64, r *netCursor) []byte {
+	pid, ok1 := r.uvarint()
+	portID, ok2 := r.uvarint()
+	if !ok1 || !ok2 {
+		return appendErrFrame(nil, id, "submit", abiErr(EINVAL, "submit", "malformed frame"))
+	}
+	batch := r.buf[r.off:]
+	if len(batch) < 4 {
+		return appendErrFrame(nil, id, "submit", abiErr(EINVAL, "submit", "truncated batch"))
+	}
+	count := binary.LittleEndian.Uint32(batch[:4])
+	body := batch[4:]
+	if uint64(count)*8 > uint64(len(body)) {
+		return appendErrFrame(nil, id, "submit", abiErr(EINVAL, "submit", "batch count exceeds buffer"))
+	}
+	// Validate the framing end to end before executing anything.
+	rest := body
+	for i := uint32(0); i < count; i++ {
+		if len(rest) < 4 {
+			return appendErrFrame(nil, id, "submit", abiErr(EINVAL, "submit", "truncated batch"))
+		}
+		n := binary.LittleEndian.Uint32(rest[:4])
+		rest = rest[4:]
+		if uint64(n) > uint64(len(rest)) {
+			return appendErrFrame(nil, id, "submit", abiErr(EINVAL, "submit", "truncated batch"))
+		}
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return appendErrFrame(nil, id, "submit", abiErr(EINVAL, "submit", "trailing bytes after batch"))
+	}
+	pt, ok := sc.k.ports.find(int(portID))
+	if !ok {
+		return appendErrFrame(nil, id, "submit", abiErr(ENOENT, "submit", "no such port"))
+	}
+	proxy := sc.proxy(int(pid))
+	k := sc.k
+	flags := k.flags.Load()
+	k.metrics.netBatch.observeCount(uint64(count))
+
+	// Ingress admission mirrors the egress leg: the hoisted head runs once,
+	// each entry then pays authorization plus the OnCall sweep over its
+	// received bytes — already the message's canonical wire form, so the
+	// chain inspects them in place with no re-marshal.
+	ba, baErr := k.batchAdmit(flags, proxy, pt)
+
+	resp := make([]byte, 0, 16+len(body)/2)
+	resp = append(resp, fSubmitOK)
+	resp = binary.AppendUvarint(resp, id)
+	resp = binary.AppendUvarint(resp, uint64(count))
+	m := &sc.subMsg
+	for i := uint32(0); i < count; i++ {
+		n := binary.LittleEndian.Uint32(body[:4])
+		wire := body[4 : 4+n]
+		body = body[4+n:]
+		var out []byte
+		var err error
+		if baErr != nil {
+			err = baErr
+		} else if !unmarshalMsgInto(m, wire) {
+			// Structurally framed but not a decodable message.
+			err = abiErr(EINVAL, "submit", "malformed message")
+		} else if err = ba.admitOp(m, wire); err == nil {
+			out, err = pt.h(ba.caller, m)
+			out = ba.unwind(m, out)
+		}
+		switch e := err.(type) {
+		case nil:
+			resp = append(resp, wsOK)
+			resp = appendNetBytes(resp, out)
+		case *Error:
+			resp = append(resp, wsAbiErr)
+			resp = binary.AppendUvarint(resp, uint64(e.Errno))
+			resp = appendNetString(resp, e.Op)
+			resp = appendNetString(resp, e.Detail)
+		default:
+			resp = append(resp, wsHdlrErr)
+			resp = appendNetString(resp, err.Error())
+		}
+	}
+	return resp
+}
+
+// handleXfer is cold credential ingress: verify through the kernel's
+// pre-verification cache, enforce the cross-node speaker rooting rule,
+// intern the label into the caller's proxy labelstore, and record the
+// certificate in the connection's re-attestation table so later crossings
+// can take the fXferRe path.
+func (sc *serverConn) handleXfer(id uint64, r *netCursor) []byte {
 	pid, ok := r.uvarint()
 	if !ok {
-		return appendErrFrame(nil, "xferlabel", abiErr(EINVAL, "xferlabel", "malformed frame"))
+		return appendErrFrame(nil, id, "xferlabel", abiErr(EINVAL, "xferlabel", "malformed frame"))
 	}
 	certWire, ok := r.bytes()
 	if !ok || !r.done() {
-		return appendErrFrame(nil, "xferlabel", abiErr(EINVAL, "xferlabel", "malformed frame"))
+		return appendErrFrame(nil, id, "xferlabel", abiErr(EINVAL, "xferlabel", "malformed frame"))
 	}
 	c, _, err := cert.DecodeCertWire(certWire)
 	if err != nil {
 		sc.k.metrics.add(sc.mkey, mWireDecodeErrs, 1)
-		return appendErrFrame(nil, "xferlabel", abiErr(EINVAL, "xferlabel", err.Error()))
+		return appendErrFrame(nil, id, "xferlabel", abiErr(EINVAL, "xferlabel", err.Error()))
 	}
 	sc.k.metrics.add(sc.mkey, mWireDecodes, 1)
 	f, _, err := sc.k.certs.Label(c)
 	if err != nil {
-		return appendErrFrame(nil, "xferlabel", abiErr(EACCES, "xferlabel", err.Error()))
+		return appendErrFrame(nil, id, "xferlabel", abiErr(EACCES, "xferlabel", err.Error()))
 	}
 	// The certificate must be signed by the sending node's NK — a label
 	// signed by any other key, however valid, did not originate on the
 	// peer and cannot ride its connection.
 	says, ok2 := f.(nal.Says)
 	if !ok2 {
-		return appendErrFrame(nil, "xferlabel", abiErr(EINVAL, "xferlabel", "label not a says"))
+		return appendErrFrame(nil, id, "xferlabel", abiErr(EINVAL, "xferlabel", "label not a says"))
 	}
-	if signer, ok3 := says.P.(nal.Key); !ok3 || string(signer) != sc.peer.nkFP {
-		return appendErrFrame(nil, "xferlabel",
+	signer, ok3 := says.P.(nal.Key)
+	if !ok3 || string(signer) != sc.peer.nkFP {
+		return appendErrFrame(nil, id, "xferlabel",
 			fmt.Errorf("%w: label signed by %v, connection authenticated %s",
 				ErrSpoofedSpeaker, says.P, sc.peer.nkFP))
 	}
@@ -922,21 +1345,58 @@ func (sc *serverConn) handleXfer(r *netCursor) []byte {
 	// would attribute it there.
 	st, err := c.Statement()
 	if err != nil {
-		return appendErrFrame(nil, "xferlabel", abiErr(EINVAL, "xferlabel", err.Error()))
+		return appendErrFrame(nil, id, "xferlabel", abiErr(EINVAL, "xferlabel", err.Error()))
 	}
 	if st.Speaker != "" {
 		sp, err := nal.ParsePrincipal(st.Speaker)
 		if err != nil {
-			return appendErrFrame(nil, "xferlabel", abiErr(EINVAL, "xferlabel", "bad speaker"))
+			return appendErrFrame(nil, id, "xferlabel", abiErr(EINVAL, "xferlabel", "bad speaker"))
 		}
 		if !nal.IsAncestor(sc.prin, sp) {
-			return appendErrFrame(nil, "xferlabel",
+			return appendErrFrame(nil, id, "xferlabel",
 				fmt.Errorf("%w: speaker %s not under %s", ErrSpoofedSpeaker, st.Speaker, sc.prin))
 		}
 	}
+	// Every trust check passed: remember the certificate for warm
+	// re-attested crossings on this connection.
+	sc.xferFPs[c.Fingerprint()] = xferEntry{f: f, signer: string(signer)}
 	proxy := sc.proxy(int(pid))
 	l := proxy.Labels.insertSystem(f)
 	resp := []byte{fXferOK}
+	resp = binary.AppendUvarint(resp, id)
+	resp = binary.AppendUvarint(resp, uint64(proxy.PID))
+	return binary.AppendUvarint(resp, uint64(l.Handle))
+}
+
+// handleXferRe is warm credential ingress: the certificate named by
+// fingerprint already passed signature verification and both trust rules
+// on this connection, so the crossing authenticates by HMAC under the
+// session key — the tag proves the request originated on the peer that
+// completed the handshake, which is exactly what the cold path's signature
+// check established. Revocation is still consulted: a certificate (or
+// signer) revoked since the cold crossing fails here.
+func (sc *serverConn) handleXferRe(id uint64, r *netCursor) []byte {
+	pid, ok1 := r.uvarint()
+	fp, ok2 := r.str()
+	tag, ok3 := r.bytes()
+	if !ok1 || !ok2 || !ok3 || !r.done() {
+		return appendErrFrame(nil, id, "xferlabel", abiErr(EINVAL, "xferlabel", "malformed frame"))
+	}
+	e, ok := sc.xferFPs[fp]
+	if !ok {
+		return appendErrFrame(nil, id, "xferlabel", abiErr(EACCES, "xferlabel", "certificate not attested on this connection"))
+	}
+	if !hmac.Equal(tag, xferReTag(sc.sessKey, int(pid), fp)) {
+		return appendErrFrame(nil, id, "xferlabel", abiErr(EACCES, "xferlabel", "re-attestation tag invalid"))
+	}
+	if sc.k.certs.Revoked(fp, e.signer) {
+		delete(sc.xferFPs, fp)
+		return appendErrFrame(nil, id, "xferlabel", abiErr(EACCES, "xferlabel", cert.ErrRevoked.Error()))
+	}
+	proxy := sc.proxy(int(pid))
+	l := proxy.Labels.insertSystem(e.f)
+	resp := []byte{fXferOK}
+	resp = binary.AppendUvarint(resp, id)
 	resp = binary.AppendUvarint(resp, uint64(proxy.PID))
 	return binary.AppendUvarint(resp, uint64(l.Handle))
 }
@@ -947,50 +1407,50 @@ func (sc *serverConn) handleXfer(r *netCursor) []byte {
 // committed on its side, so by the time a benign failure can occur both
 // tables agree. Codec-level failures report fatal and close the
 // connection — a partially consumed definition stream must not survive.
-func (sc *serverConn) handleSetProof(r *netCursor) (resp []byte, fatal bool) {
+func (sc *serverConn) handleSetProof(id uint64, r *netCursor) (resp []byte, fatal bool) {
 	pid, ok1 := r.uvarint()
 	op, ok2 := r.str()
 	obj, ok3 := r.str()
 	text, ok4 := r.str()
 	ncreds, ok5 := r.uvarint()
 	if !ok1 || !ok2 || !ok3 || !ok4 || !ok5 || ncreds > uint64(r.remaining()) {
-		return appendErrFrame(nil, "setproof", abiErr(EINVAL, "setproof", "malformed frame")), true
+		return appendErrFrame(nil, id, "setproof", abiErr(EINVAL, "setproof", "malformed frame")), true
 	}
 	proxy := sc.proxy(int(pid))
 	creds := make([]Credential, 0, ncreds)
 	for i := uint64(0); i < ncreds; i++ {
 		kind, ok := r.byte()
 		if !ok {
-			return appendErrFrame(nil, "setproof", abiErr(EINVAL, "setproof", "truncated credentials")), true
+			return appendErrFrame(nil, id, "setproof", abiErr(EINVAL, "setproof", "truncated credentials")), true
 		}
 		switch kind {
 		case wcInline:
 			body, ok := r.bytes()
 			if !ok {
-				return appendErrFrame(nil, "setproof", abiErr(EINVAL, "setproof", "truncated inline credential")), true
+				return appendErrFrame(nil, id, "setproof", abiErr(EINVAL, "setproof", "truncated inline credential")), true
 			}
-			id, _, err := sc.dec.DecodeFormula(body)
+			fid, _, err := sc.dec.DecodeFormula(body)
 			if err != nil {
 				sc.k.metrics.add(sc.mkey, mWireDecodeErrs, 1)
-				return appendErrFrame(nil, "setproof", abiErr(EINVAL, "setproof", err.Error())), true
+				return appendErrFrame(nil, id, "setproof", abiErr(EINVAL, "setproof", err.Error())), true
 			}
 			sc.k.metrics.add(sc.mkey, mWireDecodes, 1)
-			creds = append(creds, Credential{Inline: nal.FormulaOfID(id)})
+			creds = append(creds, Credential{Inline: nal.FormulaOfID(fid)})
 		case wcRef:
 			h, ok := r.uvarint()
 			if !ok {
-				return appendErrFrame(nil, "setproof", abiErr(EINVAL, "setproof", "truncated ref credential")), true
+				return appendErrFrame(nil, id, "setproof", abiErr(EINVAL, "setproof", "truncated ref credential")), true
 			}
 			creds = append(creds, Credential{Ref: &LabelRef{PID: proxy.PID, Handle: int(h)}})
 		case wcCert:
 			cw, ok := r.bytes()
 			if !ok {
-				return appendErrFrame(nil, "setproof", abiErr(EINVAL, "setproof", "truncated certificate")), true
+				return appendErrFrame(nil, id, "setproof", abiErr(EINVAL, "setproof", "truncated certificate")), true
 			}
 			c, _, err := cert.DecodeCertWire(cw)
 			if err != nil {
 				sc.k.metrics.add(sc.mkey, mWireDecodeErrs, 1)
-				return appendErrFrame(nil, "setproof", abiErr(EINVAL, "setproof", err.Error())), true
+				return appendErrFrame(nil, id, "setproof", abiErr(EINVAL, "setproof", err.Error())), true
 			}
 			sc.k.metrics.add(sc.mkey, mWireDecodes, 1)
 			sc.certs = append(sc.certs, c)
@@ -998,23 +1458,24 @@ func (sc *serverConn) handleSetProof(r *netCursor) (resp []byte, fatal bool) {
 		case wcCertRef:
 			idx, ok := r.uvarint()
 			if !ok || idx == 0 || idx > uint64(len(sc.certs)) {
-				return appendErrFrame(nil, "setproof", abiErr(EINVAL, "setproof", "dangling certificate reference")), true
+				return appendErrFrame(nil, id, "setproof", abiErr(EINVAL, "setproof", "dangling certificate reference")), true
 			}
 			creds = append(creds, Credential{Cert: sc.certs[idx-1]})
 		default:
-			return appendErrFrame(nil, "setproof", abiErr(EINVAL, "setproof", "unknown credential kind")), true
+			return appendErrFrame(nil, id, "setproof", abiErr(EINVAL, "setproof", "unknown credential kind")), true
 		}
 	}
 	if !r.done() {
-		return appendErrFrame(nil, "setproof", abiErr(EINVAL, "setproof", "trailing bytes")), true
+		return appendErrFrame(nil, id, "setproof", abiErr(EINVAL, "setproof", "trailing bytes")), true
 	}
 	var pf *proof.Proof
 	if text != "" {
 		var err error
 		if pf, err = proof.Parse(text); err != nil {
-			return appendErrFrame(nil, "setproof", abiErr(EINVAL, "setproof", "bad proof: "+err.Error())), false
+			return appendErrFrame(nil, id, "setproof", abiErr(EINVAL, "setproof", "bad proof: "+err.Error())), false
 		}
 	}
 	sc.k.SetProof(proxy, op, obj, pf, creds)
-	return []byte{fOK}, false
+	resp = []byte{fOK}
+	return binary.AppendUvarint(resp, id), false
 }

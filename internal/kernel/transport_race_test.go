@@ -79,6 +79,24 @@ func TestLoopbackTransportStress(t *testing.T) {
 						!errors.Is(err, kernel.ErrNoSuchProcess) && !errors.Is(err, kernel.ErrTransportClosed) {
 						t.Errorf("remote call: %v", err)
 					}
+					// Batched submission racing the same Exit/teardown mix.
+					subs := []kernel.Sub{
+						{Cap: c, Op: "read", Obj: "o", Tag: 1},
+						{Cap: c, Op: "read", Obj: "o", Tag: 2},
+						{Cap: c, Op: "read", Obj: "o", Tag: 3},
+					}
+					if comps, err := s.SubmitRemote(nil, c, subs, nil); err == nil {
+						for j := range comps {
+							if e := comps[j].Err; e != nil &&
+								!errors.Is(e, kernel.ErrNoSuchPort) && !errors.Is(e, kernel.ErrNoSuchProcess) &&
+								!errors.Is(e, kernel.ErrTransportClosed) && !errors.Is(e, kernel.ErrDenied) {
+								t.Errorf("batched remote op: %v", e)
+							}
+						}
+					} else if !errors.Is(err, kernel.ErrBadHandle) && !errors.Is(err, kernel.ErrAgain) &&
+						!errors.Is(err, kernel.ErrTransportClosed) {
+						t.Errorf("remote submit: %v", err)
+					}
 				}
 				if lbl, err := s.Say("stress"); err == nil {
 					if _, err := s.TransferLabelRemote(shared, lbl.Handle); err != nil &&
@@ -92,7 +110,8 @@ func TestLoopbackTransportStress(t *testing.T) {
 		}(w)
 	}
 
-	// Dial churn: extra connections come and go while the callers run.
+	// Dial churn: extra connections come and go while the callers run, with
+	// the peer's Close racing its own in-flight pipelined traffic.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -102,20 +121,38 @@ func TestLoopbackTransportStress(t *testing.T) {
 				t.Errorf("dial churn: %v", err)
 				return
 			}
+			var race sync.WaitGroup
+			race.Add(1)
+			go func() {
+				defer race.Done()
+				p.Close()
+			}()
 			s, err := front.NewSession([]byte("churn"))
 			if err == nil {
 				if c, err := s.Connect(p, "echo"); err == nil {
 					s.CallRemote(c, &kernel.Msg{Op: "read", Obj: "o"})
+					s.SubmitRemote(nil, c, []kernel.Sub{{Cap: c, Op: "read", Obj: "o"}}, nil)
 				}
 				s.Exit()
 			}
-			p.Close()
+			race.Wait()
+			// No pending-call entry outlives its connection: Close drained
+			// the table even with calls racing it.
+			if n := p.Pending(); n != 0 {
+				t.Errorf("churned peer holds %d pending calls after Close", n)
+			}
 		}
 	}()
 	wg.Wait()
 
+	if n := shared.Pending(); n != 0 {
+		t.Errorf("shared peer holds %d pending calls with no caller running", n)
+	}
 	nFront.Close()
 	nStore.Close()
+	if n := shared.Pending(); n != 0 {
+		t.Errorf("shared peer holds %d pending calls after node close", n)
+	}
 
 	// Teardown invariant: the serving kernel's proxies are gone — only the
 	// server session's process remains.

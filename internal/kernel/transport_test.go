@@ -66,7 +66,7 @@ func newTwoNodes(t *testing.T) *twoNodes {
 // key:<NK-fp>.<boot-id> in both directions.
 func TestPeerIdentity(t *testing.T) {
 	w := newTwoNodes(t)
-	want := nal.SubOf(nal.Key(tpm.Fingerprint(&w.store.NK.PublicKey)), w.store.BootID)
+	want := nal.SubOf(nal.Key(w.store.NKFingerprint()), w.store.BootID)
 	if !w.peer.KernelPrin().EqualPrin(want) {
 		t.Fatalf("peer principal %v, want %v", w.peer.KernelPrin(), want)
 	}
@@ -151,7 +151,7 @@ func TestRemoteCallThroughDispatch(t *testing.T) {
 	// The serving kernel attributed the call to the caller's global
 	// principal: key:<frontNK>.<frontBoot>.ipd.<pid>.
 	wantPrin := nal.SubChain(
-		nal.SubOf(nal.Key(tpm.Fingerprint(&w.front.NK.PublicKey)), w.front.BootID),
+		nal.SubOf(nal.Key(w.front.NKFingerprint()), w.front.BootID),
 		"ipd", strconv.Itoa(cli.PID())).String()
 	if got := srvCaller.Load(); got != wantPrin {
 		t.Fatalf("server saw caller %v, want %s", got, wantPrin)
@@ -228,7 +228,7 @@ func TestRemoteCredentialAuthorization(t *testing.T) {
 
 	// The goal on the serving kernel demands the client's attested
 	// statement: key:<frontNK> says (<client global prin> says mayArchive).
-	frontNK := tpm.Fingerprint(&w.front.NK.PublicKey)
+	frontNK := w.front.NKFingerprint()
 	cliPrin := nal.SubChain(nal.SubOf(nal.Key(frontNK), w.front.BootID), "ipd", strconv.Itoa(cli.PID()))
 	goal := nal.Says{P: nal.Key(frontNK), F: nal.Says{P: cliPrin, F: nal.Pred{Name: "mayArchive"}}}
 	if err := srv.SetGoal("get", "/walls", goal, nil); err != nil {
@@ -310,7 +310,7 @@ func TestCrossNodeSpeakerSpoofRejected(t *testing.T) {
 	// Case 1: signed by the front node's genuine NK, but the speaker
 	// claims to be a process of the *store* kernel.
 	victim := nal.SubChain(w.store.Prin, "ipd", "1")
-	forged, err := cert.Sign(cert.Statement{
+	forged, err := cert.SignEd25519(cert.Statement{
 		Speaker: victim.String(),
 		Formula: "pwned",
 		Serial:  1,
@@ -331,7 +331,7 @@ func TestCrossNodeSpeakerSpoofRejected(t *testing.T) {
 	// key that is not the connection's authenticated NK.
 	stranger := bootNode(t)
 	honest := nal.SubChain(w.front.Prin, "ipd", strconv.Itoa(cli.PID()))
-	foreign, err := cert.Sign(cert.Statement{
+	foreign, err := cert.SignEd25519(cert.Statement{
 		Speaker: honest.String(),
 		Formula: "pwned",
 		Serial:  2,
@@ -366,7 +366,7 @@ func TestSetProofSaturationPoisonsPeer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := cert.Sign(cert.Statement{Formula: "whatever", Serial: 1, Issued: time.Now()}, w.front.NK)
+	c, err := cert.SignEd25519(cert.Statement{Formula: "whatever", Serial: 1, Issued: time.Now()}, w.front.NK)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,14 +8,20 @@ import "encoding/binary"
 // cert wire certificates). Frames are self-delimiting; the transport below
 // them provides reliable, ordered, framed delivery and nothing else.
 //
-// The conversation is strictly request/response after a three-message
-// handshake (hello, hello-ok, hello-ack): the dialing side sends requests
-// and the accepting side answers each with exactly one response frame —
-// the matching *OK type or fErr.
+// After the three-message handshake (hello, hello-ok, hello-ack) the
+// connection is pipelined: every request and response frame carries a
+// uvarint request id immediately after the type byte. The dialing side may
+// have many requests in flight (bounded by the in-flight window); the
+// accepting side processes requests strictly in arrival order and answers
+// each with exactly one response frame — the matching *OK type or fErr —
+// echoing the request's id. Server-side FIFO processing is what makes the
+// ordering semantics of interleaved remote operations identical to the
+// lockstep protocol: requests take effect in send order, only the waiting
+// overlaps.
 const (
-	fHello    byte = 1  // version, bootID, NK pub, endorsement cert, nonce
-	fHelloOK  byte = 2  // same identity payload + signature over client nonce
-	fHelloAck byte = 3  // signature over server nonce
+	fHello    byte = 1  // version, bootID, NK pub, endorsement cert, nonce, eph X25519 pub
+	fHelloOK  byte = 2  // same identity payload + nonce + eph pub + transcript signature
+	fHelloAck byte = 3  // transcript signature (client role)
 	fConnect  byte = 4  // callerPID, service name
 	fConnOK   byte = 5  // public port id
 	fCall     byte = 6  // callerPID, port id, op, obj, args
@@ -25,6 +31,16 @@ const (
 	fSetProof byte = 10 // callerPID, op, obj, proof text, credentials
 	fOK       byte = 11 // empty success
 	fErr      byte = 12 // errno, op, detail
+	fSubmit   byte = 13 // callerPID, port id, batch-framed messages
+	fSubmitOK byte = 14 // per-op completion vector
+	fXferRe   byte = 15 // callerPID, cert fingerprint, session-key HMAC
+)
+
+// Per-op completion status bytes inside an fSubmitOK frame.
+const (
+	wsOK      byte = 0 // length-prefixed result bytes follow
+	wsAbiErr  byte = 1 // errno, op, detail follow
+	wsHdlrErr byte = 2 // handler-level error text follows
 )
 
 // Credential kinds inside an fSetProof frame.
@@ -35,8 +51,10 @@ const (
 	wcCertRef byte = 3 // backreference to a previously shipped certificate
 )
 
-// transportVersion gates the handshake; mismatches fail closed.
-const transportVersion byte = 1
+// transportVersion gates the handshake; mismatches fail closed. Version 2:
+// Ed25519 node identity, X25519 session-key agreement, pipelined request
+// ids, batched submission, and HMAC re-attestation.
+const transportVersion byte = 2
 
 // maxNetFrame bounds one frame; both backends enforce it on receive so a
 // hostile length prefix cannot force an unbounded allocation.
@@ -96,11 +114,13 @@ func appendNetString(dst []byte, s string) []byte {
 	return append(dst, s...)
 }
 
-// appendErrFrame encodes a failure response. Kernel ABI errors travel as
-// their errno class; handler-level errors travel as EOK plus detail and
-// are rebuilt as plain errors on the caller's side.
-func appendErrFrame(dst []byte, op string, err error) []byte {
+// appendErrFrame encodes a failure response for the request with the given
+// id. Kernel ABI errors travel as their errno class; handler-level errors
+// travel as EOK plus detail and are rebuilt as plain errors on the caller's
+// side.
+func appendErrFrame(dst []byte, id uint64, op string, err error) []byte {
 	dst = append(dst, fErr)
+	dst = binary.AppendUvarint(dst, id)
 	if e, ok := err.(*Error); ok {
 		dst = binary.AppendUvarint(dst, uint64(e.Errno))
 		dst = appendNetString(dst, e.Op)
@@ -120,6 +140,52 @@ func appendMsgFields(dst []byte, m *Msg) []byte {
 		dst = appendNetBytes(dst, a)
 	}
 	return dst
+}
+
+// unmarshalMsgInto decodes one message of the appendMsgWire format into m,
+// reusing m's Args backing array and keeping the previous Op/Obj strings
+// when the bytes match — in a homogeneous batch the per-op string cost
+// collapses to the first message. Argument buffers alias buf, matching the
+// *Msg lifetime contract (valid for the duration of the dispatch).
+func unmarshalMsgInto(m *Msg, buf []byte) bool {
+	if len(buf) < 4 {
+		return false
+	}
+	n := binary.LittleEndian.Uint32(buf[:4])
+	buf = buf[4:]
+	if uint32(len(buf)) < n {
+		return false
+	}
+	if string(buf[:n]) != m.Op {
+		m.Op = string(buf[:n])
+	}
+	buf = buf[n:]
+	if len(buf) < 4 {
+		return false
+	}
+	n = binary.LittleEndian.Uint32(buf[:4])
+	buf = buf[4:]
+	if uint32(len(buf)) < n {
+		return false
+	}
+	if string(buf[:n]) != m.Obj {
+		m.Obj = string(buf[:n])
+	}
+	buf = buf[n:]
+	m.Args = m.Args[:0]
+	for len(buf) > 0 {
+		if len(buf) < 4 {
+			return false
+		}
+		n = binary.LittleEndian.Uint32(buf[:4])
+		buf = buf[4:]
+		if uint32(len(buf)) < n {
+			return false
+		}
+		m.Args = append(m.Args, buf[:n])
+		buf = buf[n:]
+	}
+	return true
 }
 
 // readMsgFields decodes the fields appendMsgFields wrote. The argument
