@@ -1,11 +1,17 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench-parallel fuzz-smoke api-check api-update
+.PHONY: check vet build test race bench-smoke bench-parallel fuzz-smoke api-check api-update leakcheck
 
 # check is the CI gate: static analysis, build, the full race suite, the
-# API-stability gate, and a short benchmark smoke so the parallel and batch
-# benchmarks cannot bit-rot.
-check: vet build race api-check bench-smoke
+# API-stability gate, the transport goroutine-leak gate, and a short
+# benchmark smoke so the parallel and batch benchmarks cannot bit-rot.
+check: vet build race api-check leakcheck bench-smoke
+
+# leakcheck pins the event-driven transport's goroutine footprint: 1024
+# idle connections must cost O(worker-pool) goroutines, and a thousand
+# dial/call/close cycles must return the process to its baseline count.
+leakcheck:
+	$(GO) test -race -run 'TestTransportGoroutineFootprint|TestLoopbackTransportStress' ./internal/kernel
 
 # api-check regenerates the public-ABI listing (root package +
 # internal/kernel) and fails when it drifts from the committed api.txt —

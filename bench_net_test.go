@@ -92,6 +92,37 @@ func BenchmarkNetRemoteCall(b *testing.B) {
 	}
 }
 
+// BenchmarkNetConnChurn measures one full connection lifetime: dial (the
+// attested handshake — two Ed25519 signatures, an X25519 exchange — plus
+// scheduler registration) and close. The event-driven runtime makes this
+// the only per-connection cost; an established idle connection holds no
+// goroutine.
+func BenchmarkNetConnChurn(b *testing.B) {
+	kStore := benchKernel(b, kernel.Options{})
+	kFront := benchKernel(b, kernel.Options{})
+	lt := kernel.NewLoopbackTransport()
+	nStore := kernel.NewNode(kStore)
+	l, err := lt.Listen("churn")
+	if err != nil {
+		b.Fatal(err)
+	}
+	nStore.Serve(l)
+	nFront := kernel.NewNode(kFront)
+	b.Cleanup(func() {
+		nFront.Close()
+		nStore.Close()
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := nFront.Dial(lt, "churn")
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Close()
+	}
+}
+
 // benchWireFormula is a credential-shaped formula: a keyed speaker chain
 // over a predicate, the kind that crosses nodes in proofs.
 func benchWireFormula(b *testing.B) nal.Formula {

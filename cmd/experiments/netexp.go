@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/guard"
 	"repro/internal/kernel"
@@ -20,6 +22,12 @@ import (
 //	call/remote-pipelined remote-loopback calls overlapped through the
 //	                      pipelined request window
 //	submit-remote/batch64 per-op cost of a 64-op batched remote submission
+//	conn/churn            one connection lifetime: dial (attested
+//	                      handshake + scheduler registration) and close
+//	conn/idle-mem         ns/op is the dial cost amortized over 1024
+//	                      connections; bytes/op is the settled heap per
+//	                      established idle connection (both endpoints —
+//	                      loopback keeps client and server in-process)
 //	call/remote-tcp       cross-node call over the TCP backend
 //	call/remote-authz     cross-node call with credential-backed guard
 //	                      authorization on the serving kernel (warm)
@@ -162,6 +170,53 @@ func netExp() error {
 	batch.AllocsOp /= batchOps
 	batch.BytesOp /= batchOps
 	rows = append(rows, batch)
+
+	// Connection churn: a full dial+close cycle. The handshake dominates
+	// (two Ed25519 signatures, an X25519 exchange); the runtime adds only
+	// scheduler registration, so this row is also the shed-recovery rate.
+	rows = append(rows, netBenchRow("conn/churn", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p, err := nFront.Dial(lt, "exp")
+			if err != nil {
+				b.Fatal(err)
+			}
+			p.Close()
+		}
+	}))
+
+	// Idle-connection memory: 1024 established connections held open, the
+	// settled heap delta divided per connection. Loopback keeps both
+	// endpoints in this process, so the figure covers a client Peer plus a
+	// serverConn together — the honest per-link cost. No goroutines are
+	// held (see TestTransportGoroutineFootprint), so this is the whole
+	// marginal footprint of an idle connection.
+	{
+		const idleConns = 1024
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		peers := make([]*kernel.Peer, 0, idleConns)
+		t0 := time.Now()
+		for i := 0; i < idleConns; i++ {
+			p, err := nFront.Dial(lt, "exp")
+			if err != nil {
+				return fmt.Errorf("idle dial %d: %w", i, err)
+			}
+			peers = append(peers, p)
+		}
+		dialNs := float64(time.Since(t0).Nanoseconds()) / idleConns
+		runtime.GC()
+		runtime.ReadMemStats(&m1)
+		var perConn int64
+		if m1.HeapAlloc > m0.HeapAlloc {
+			perConn = int64(m1.HeapAlloc-m0.HeapAlloc) / idleConns
+		}
+		rows = append(rows, netRow{Name: "conn/idle-mem", NsPerOp: dialNs, BytesOp: perConn, Iteration: idleConns})
+		for _, p := range peers {
+			p.Close()
+		}
+	}
 
 	// TCP backend on the local loopback interface.
 	var tr kernel.TCPTransport

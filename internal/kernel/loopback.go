@@ -3,6 +3,7 @@ package kernel
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 )
 
 // LoopbackTransport is the in-memory transport backend: nodes in one
@@ -105,23 +106,41 @@ func (l *loopListener) Close() error {
 
 func (l *loopListener) Addr() string { return l.addr }
 
+// loopPipeCap is the per-direction buffer of a loopback pipe. It is
+// deliberately above maxRecvWindow: a sender staying within its advertised
+// credit window (plus interleaved credit grants) always finds channel
+// space, so scheduler workers never block on an in-window loopback Send.
+const loopPipeCap = 256
+
 // loopConn is one end of an in-memory duplex pipe. Closing either end
-// unblocks both.
+// unblocks both. It implements frameSource natively: Send wakes the peer
+// end's scheduler registration, so an idle loopback connection costs no
+// goroutine at all.
 type loopConn struct {
 	out  chan<- []byte
 	in   <-chan []byte
 	done chan struct{}
 	once *sync.Once
+	peer *loopConn
+	note atomic.Pointer[func()] // scheduler readiness callback, nil until start
 }
 
 func newLoopPipe() (Conn, Conn) {
-	ab := make(chan []byte, 16)
-	ba := make(chan []byte, 16)
+	ab := make(chan []byte, loopPipeCap)
+	ba := make(chan []byte, loopPipeCap)
 	done := make(chan struct{})
 	once := &sync.Once{}
 	a := &loopConn{out: ab, in: ba, done: done, once: once}
 	b := &loopConn{out: ba, in: ab, done: done, once: once}
+	a.peer, b.peer = b, a
 	return a, b
+}
+
+// wake invokes this end's readiness callback, if registered.
+func (c *loopConn) wake() {
+	if fn := c.note.Load(); fn != nil {
+		(*fn)()
+	}
 }
 
 func (c *loopConn) Send(frame []byte) error {
@@ -130,6 +149,7 @@ func (c *loopConn) Send(frame []byte) error {
 	}
 	select {
 	case c.out <- frame:
+		c.peer.wake()
 		return nil
 	case <-c.done:
 		return errLoopClosed
@@ -154,5 +174,44 @@ func (c *loopConn) Recv() ([]byte, error) {
 
 func (c *loopConn) Close() error {
 	c.once.Do(func() { close(c.done) })
+	// Wake both scheduler registrations so parked connections observe the
+	// closure instead of sleeping on a dead pipe.
+	c.wake()
+	c.peer.wake()
 	return nil
 }
+
+// frameSource implementation: the scheduler polls the inbound channel
+// directly. Blocking Recv remains in use during the handshake, before the
+// connection is registered; the register-time notify kick picks up frames
+// that landed in between.
+
+func (c *loopConn) start(notify func()) error {
+	c.note.Store(&notify)
+	return nil
+}
+
+func (c *loopConn) tryRecv(*netArena) ([]byte, error) {
+	select {
+	case f := <-c.in:
+		return f, nil
+	default:
+	}
+	select {
+	case <-c.done:
+		// Drain frames that raced the close so an orderly shutdown still
+		// delivers responses already in flight.
+		select {
+		case f := <-c.in:
+			return f, nil
+		default:
+		}
+		return nil, errLoopClosed
+	default:
+		return nil, nil
+	}
+}
+
+func (c *loopConn) drained() {}
+
+func (c *loopConn) stop() {}

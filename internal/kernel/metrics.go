@@ -39,6 +39,7 @@ const (
 	mNetRecvs // transport frames received
 	mNetRecvBytes
 	mNetTimeouts   // transport I/O classified ETIMEDOUT
+	mNetShed       // connections rejected at the MaxConns shed-load gate
 	mLedgerFwdErrs // audit→ledger forwards the ledger rejected
 	numMetrics
 )
@@ -115,6 +116,13 @@ type kernelMetrics struct {
 	netDepth histogram
 	// netBatch samples remote submission batch sizes (ops per fSubmit).
 	netBatch histogram
+	// netConns gauges live transport connections (accepted + dialed);
+	// netQueued gauges connections currently queued for a scheduler worker.
+	// Gauges, not striped counters: they go down as well as up.
+	netConns  atomic.Int64
+	netQueued atomic.Int64
+	// netQueueLen samples per-shard run-queue depth at each enqueue.
+	netQueueLen histogram
 }
 
 // add bumps a counter on the stripe selected by key (caller identity:
@@ -161,6 +169,10 @@ type MetricsSnapshot struct {
 	NetRecvs     uint64
 	NetRecvBytes uint64
 	NetTimeouts  uint64
+	// Transport runtime (event-driven scheduler).
+	NetLiveConns   uint64 // gauge: established connections (accepted + dialed)
+	NetPoolDepth   uint64 // gauge: connections queued for a scheduler worker
+	NetShedRejects uint64 // connections rejected at the MaxConns gate
 	// Latency distributions.
 	GuardUpcallNs HistogramSnapshot
 	NetRequestNs  HistogramSnapshot
@@ -168,6 +180,18 @@ type MetricsSnapshot struct {
 	// in-flight depth seen by each request, and ops per remote batch.
 	NetInflightDepth HistogramSnapshot
 	NetBatchOps      HistogramSnapshot
+	// NetQueueLen distributes per-shard scheduler run-queue depth,
+	// observed at each enqueue.
+	NetQueueLen HistogramSnapshot
+}
+
+// gauge clamps a live gauge at zero: teardown decrements can transiently
+// race ahead of their matching increments.
+func gauge(v int64) uint64 {
+	if v < 0 {
+		return 0
+	}
+	return uint64(v)
 }
 
 // Metrics captures the kernel-wide observability snapshot, folding in the
@@ -192,10 +216,14 @@ func (k *Kernel) Metrics() MetricsSnapshot {
 		NetRecvs:           m.total(mNetRecvs),
 		NetRecvBytes:       m.total(mNetRecvBytes),
 		NetTimeouts:        m.total(mNetTimeouts),
+		NetLiveConns:       gauge(m.netConns.Load()),
+		NetPoolDepth:       gauge(m.netQueued.Load()),
+		NetShedRejects:     m.total(mNetShed),
 		GuardUpcallNs:      m.guardNs.snapshot(),
 		NetRequestNs:       m.netReqNs.snapshot(),
 		NetInflightDepth:   m.netDepth.snapshot(),
 		NetBatchOps:        m.netBatch.snapshot(),
+		NetQueueLen:        m.netQueueLen.snapshot(),
 	}
 	if l := k.led.Load(); l != nil {
 		ls := l.Stats()
@@ -234,6 +262,9 @@ func (s *MetricsSnapshot) render() string {
 	row("net_recvs", s.NetRecvs)
 	row("net_recv_bytes", s.NetRecvBytes)
 	row("net_timeouts", s.NetTimeouts)
+	row("net_conns", s.NetLiveConns)
+	row("net_pool_depth", s.NetPoolDepth)
+	row("net_shed_rejects", s.NetShedRejects)
 	hist := func(name string, h *HistogramSnapshot) {
 		row(name+"_count", h.Count)
 		row(name+"_sum_ns", h.SumNs)
@@ -253,5 +284,6 @@ func (s *MetricsSnapshot) render() string {
 	hist("net_request_ns", &s.NetRequestNs)
 	hist("net_inflight_depth", &s.NetInflightDepth)
 	hist("net_batch_ops", &s.NetBatchOps)
+	hist("net_queue_len", &s.NetQueueLen)
 	return b.String()
 }

@@ -1,0 +1,307 @@
+//go:build linux
+
+// Epoll-driven frame source for TCP connections: the native backend of the
+// event-driven transport runtime on Linux. One poller goroutine per Node
+// (created lazily on the first TCP registration) watches every registered
+// socket with one-shot level-triggered epoll; readiness wakes the
+// connection's scheduler entry, and the owning worker then pulls complete
+// frames without blocking — FIONREAD bounds each read to what the socket
+// already holds, and partial frames are reassembled across wakeups in
+// per-connection state. Frame bodies are read directly into the shard's
+// pooled arena buffers, so the steady-state ingress path allocates nothing.
+package kernel
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"unsafe"
+)
+
+// tcpPollEvents is the one-shot registration: input readiness plus
+// peer-close, re-armed by drained() after the worker empties the socket.
+const tcpPollEvents = uint32(syscall.EPOLLIN|syscall.EPOLLRDHUP) | uint32(syscall.EPOLLONESHOT)
+
+var errNoRawConn = errors.New("kernel: connection exposes no raw descriptor")
+
+// netPoller multiplexes epoll readiness for all of a node's TCP
+// connections onto one goroutine.
+type netPoller struct {
+	epfd         int
+	wakeR, wakeW int
+
+	mu     sync.Mutex
+	conns  map[int]*tcpSource
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+func newNetPoller() (*netPoller, error) {
+	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+	if err != nil {
+		return nil, err
+	}
+	var pipe [2]int
+	if err := syscall.Pipe2(pipe[:], syscall.O_NONBLOCK|syscall.O_CLOEXEC); err != nil {
+		syscall.Close(epfd)
+		return nil, err
+	}
+	p := &netPoller{epfd: epfd, wakeR: pipe[0], wakeW: pipe[1], conns: map[int]*tcpSource{}}
+	ev := syscall.EpollEvent{Events: uint32(syscall.EPOLLIN), Fd: int32(p.wakeR)}
+	if err := syscall.EpollCtl(epfd, syscall.EPOLL_CTL_ADD, p.wakeR, &ev); err != nil {
+		syscall.Close(epfd)
+		syscall.Close(pipe[0])
+		syscall.Close(pipe[1])
+		return nil, err
+	}
+	p.wg.Add(1)
+	go p.loop()
+	return p, nil
+}
+
+func (p *netPoller) loop() {
+	defer p.wg.Done()
+	var events [64]syscall.EpollEvent
+	for {
+		n, err := syscall.EpollWait(p.epfd, events[:], -1)
+		if err != nil {
+			if err == syscall.EINTR {
+				continue
+			}
+			return
+		}
+		for i := 0; i < n; i++ {
+			ev := &events[i]
+			fd := int(ev.Fd)
+			if fd == p.wakeR {
+				p.mu.Lock()
+				closed := p.closed
+				p.mu.Unlock()
+				if closed {
+					return
+				}
+				var buf [64]byte
+				syscall.Read(p.wakeR, buf[:])
+				continue
+			}
+			p.mu.Lock()
+			ts := p.conns[fd]
+			p.mu.Unlock()
+			if ts == nil {
+				continue // deregistered while the event was in flight
+			}
+			if ev.Events&uint32(syscall.EPOLLERR|syscall.EPOLLHUP|syscall.EPOLLRDHUP) != 0 {
+				ts.hup.Store(true)
+			}
+			ts.notify()
+		}
+	}
+}
+
+func (p *netPoller) add(t *tcpSource) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrTransportClosed
+	}
+	p.conns[t.fd] = t
+	p.mu.Unlock()
+	ev := syscall.EpollEvent{Events: tcpPollEvents, Fd: int32(t.fd)}
+	if err := syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_ADD, t.fd, &ev); err != nil {
+		p.mu.Lock()
+		delete(p.conns, t.fd)
+		p.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+func (p *netPoller) rearm(t *tcpSource) error {
+	ev := syscall.EpollEvent{Events: tcpPollEvents, Fd: int32(t.fd)}
+	return syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_MOD, t.fd, &ev)
+}
+
+func (p *netPoller) del(t *tcpSource) {
+	p.mu.Lock()
+	delete(p.conns, t.fd)
+	p.mu.Unlock()
+	var ev syscall.EpollEvent
+	syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_DEL, t.fd, &ev)
+}
+
+func (p *netPoller) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	syscall.Write(p.wakeW, []byte{1})
+	p.wg.Wait()
+	syscall.Close(p.epfd)
+	syscall.Close(p.wakeR)
+	syscall.Close(p.wakeW)
+}
+
+// poller returns (creating on first use) the node's epoll poller.
+func (n *Node) poller() (*netPoller, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrTransportClosed
+	}
+	if n.np == nil {
+		np, err := newNetPoller()
+		if err != nil {
+			return nil, err
+		}
+		n.np = np
+	}
+	return n.np, nil
+}
+
+// newTCPSource wires a TCP connection into the node's poller.
+func (n *Node) newTCPSource(tc *tcpConn) (frameSource, error) {
+	sc, ok := tc.c.(syscall.Conn)
+	if !ok {
+		return nil, errNoRawConn
+	}
+	raw, err := sc.SyscallConn()
+	if err != nil {
+		return nil, err
+	}
+	fd := -1
+	if err := raw.Control(func(f uintptr) { fd = int(f) }); err != nil {
+		return nil, err
+	}
+	p, err := n.poller()
+	if err != nil {
+		return nil, err
+	}
+	return &tcpSource{tc: tc, p: p, raw: raw, fd: fd}, nil
+}
+
+// tcpSource is one TCP connection's pull-side ingress. The reassembly
+// state (hdr/body) is confined to the scheduler worker that owns the
+// connection; hup is written by the poller goroutine.
+type tcpSource struct {
+	tc     *tcpConn
+	p      *netPoller
+	raw    syscall.RawConn
+	fd     int
+	notify func()
+	hup    atomic.Bool
+
+	hdr     [4]byte // length-prefix reassembly
+	hdrGot  int
+	body    []byte // nil until the current frame's header is complete
+	bodyGot int
+}
+
+func (t *tcpSource) start(notify func()) error {
+	t.notify = notify
+	return t.p.add(t)
+}
+
+// avail reports the bytes currently queued in the socket receive buffer
+// (FIONREAD/TIOCINQ), which bounds every read below so tryRecv never
+// blocks a worker.
+func (t *tcpSource) avail() (int, error) {
+	var n int32
+	var serr error
+	cerr := t.raw.Control(func(fd uintptr) {
+		_, _, e := syscall.Syscall(syscall.SYS_IOCTL, fd, syscall.TIOCINQ, uintptr(unsafe.Pointer(&n)))
+		if e != 0 {
+			serr = e
+		}
+	})
+	if cerr != nil {
+		return 0, cerr
+	}
+	if serr != nil {
+		return 0, serr
+	}
+	return int(n), nil
+}
+
+func (t *tcpSource) tryRecv(ar *netArena) ([]byte, error) {
+	for {
+		avail, err := t.avail()
+		if err != nil {
+			return nil, err
+		}
+		if avail == 0 {
+			if t.hup.Load() {
+				// Readiness reported close/error and the receive queue is
+				// drained: the stream is over.
+				return nil, io.EOF
+			}
+			return nil, nil
+		}
+		if t.body == nil {
+			need := 4 - t.hdrGot
+			if need > avail {
+				need = avail
+			}
+			rn, err := t.tc.c.Read(t.hdr[t.hdrGot : t.hdrGot+need])
+			if err != nil {
+				return nil, err
+			}
+			if rn == 0 {
+				return nil, nil
+			}
+			t.hdrGot += rn
+			if t.hdrGot < 4 {
+				continue
+			}
+			fn := binary.LittleEndian.Uint32(t.hdr[:])
+			if fn > maxNetFrame {
+				return nil, errors.New("kernel: inbound frame exceeds maximum size")
+			}
+			// The frame body reads straight into the shard's pooled arena.
+			t.body = ar.get(int(fn))
+			t.bodyGot = 0
+			if fn == 0 {
+				frame := t.body
+				t.body = nil
+				t.hdrGot = 0
+				return frame, nil
+			}
+			continue
+		}
+		need := len(t.body) - t.bodyGot
+		if need > avail {
+			need = avail
+		}
+		rn, err := t.tc.c.Read(t.body[t.bodyGot : t.bodyGot+need])
+		if err != nil {
+			return nil, err
+		}
+		if rn == 0 {
+			return nil, nil
+		}
+		t.bodyGot += rn
+		if t.bodyGot == len(t.body) {
+			frame := t.body
+			t.body = nil
+			t.hdrGot = 0
+			return frame, nil
+		}
+	}
+}
+
+func (t *tcpSource) drained() {
+	if err := t.p.rearm(t); err != nil {
+		// Re-arm failed (poller closing, fd gone): force the worker back in
+		// so it observes the failure instead of sleeping forever.
+		t.hup.Store(true)
+		t.notify()
+	}
+}
+
+func (t *tcpSource) stop() { t.p.del(t) }

@@ -1,0 +1,18 @@
+//go:build !linux
+
+// On platforms without the epoll poller, TCP connections fall back to the
+// shim frame source: one parked reader goroutine per connection (see
+// shimSource in sched.go). The runtime semantics are identical; only the
+// goroutine footprint differs.
+package kernel
+
+import "errors"
+
+var errNoPoller = errors.New("kernel: no platform poller")
+
+// netPoller is a stub on this platform; it is never instantiated.
+type netPoller struct{}
+
+func (p *netPoller) close() {}
+
+func (n *Node) newTCPSource(tc *tcpConn) (frameSource, error) { return nil, errNoPoller }

@@ -1,0 +1,440 @@
+// Event-driven transport runtime: the connection scheduler.
+//
+// PR 7's transport was goroutine-per-connection — one serve goroutine per
+// accepted conn, one receive loop per dialed peer. Fine for two nodes,
+// wrong for a front-end fleet: 100k idle connections would cost 100k
+// goroutine stacks. This file replaces that with a sharded scheduler: a
+// bounded worker pool (TransportConfig.Workers) where each worker owns one
+// shard — a run queue of ready connections plus a pooled ingress arena —
+// and connections are multiplexed over the shards. An idle connection
+// costs a file descriptor and a few hundred bytes of state, not a stack.
+//
+// The per-connection state machine (csIdle/csQueued/csRunning/
+// csRunningDirty) guarantees that at most one worker processes a given
+// connection at a time, so all the per-connection ingress state that PR 5/7
+// confined to the serve goroutine (wire decoder, proxy table, credit
+// counters) stays plain-field, lock-free state — the confinement just moved
+// from "its goroutine" to "whichever worker holds it in csRunning".
+// notify() is lost-wakeup-safe: a notification landing while the
+// connection runs flips it to csRunningDirty, and the worker re-queues it
+// instead of parking it.
+//
+// Frame delivery is pulled through the frameSource interface: loopback
+// conns implement it natively (channel poll + cross-linked wakeups), TCP
+// conns on Linux are driven by the epoll poller in netpoll_linux.go, and
+// any other Conn implementation falls back to a shim goroutine — the one
+// place the old per-connection goroutine survives, for transports the
+// runtime cannot poll.
+package kernel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// TransportConfig sizes a Node's event-driven transport runtime. The zero
+// value selects every default; NewNode uses it.
+type TransportConfig struct {
+	// Workers is the ingress worker-pool size: the number of scheduler
+	// shards that process frames from accepted connections. Defaults to
+	// GOMAXPROCS, with a floor of 2. Handlers run on these workers, so a
+	// handler that blocks (or issues a synchronous nested remote call)
+	// occupies one worker for its duration.
+	Workers int
+	// MaxInflight bounds the pipelined request window per dialed peer: at
+	// most this many requests may be outstanding before begin() fails with
+	// EAGAIN. Defaults to DefaultMaxInflight (128).
+	MaxInflight int
+	// RecvWindow is the credit-based receive window this node advertises
+	// per connection in the handshake: the peer may have at most this many
+	// unacknowledged frames toward us before it must stall. Defaults to
+	// DefaultRecvWindow (128); clamped to maxRecvWindow so in-window
+	// loopback traffic can never block a scheduler worker on a full pipe.
+	RecvWindow int
+	// MaxConns caps accepted connections (handshaking + established).
+	// Beyond it the node sheds load gracefully: accept, answer with a
+	// typed EAGAIN error frame, close — never a silent drop. Defaults to
+	// DefaultMaxConns.
+	MaxConns int
+	// ReattestCap bounds the per-connection warm re-attestation tables
+	// (client-side attested fingerprints, server-side verified
+	// certificates) with LRU eviction; an evicted certificate simply
+	// re-crosses cold. Defaults to DefaultReattestCap.
+	ReattestCap int
+}
+
+// Transport-runtime defaults (see TransportConfig).
+const (
+	DefaultMaxInflight = 128
+	DefaultRecvWindow  = 128
+	DefaultMaxConns    = 1 << 17
+	DefaultReattestCap = 1024
+)
+
+// maxRecvWindow caps the advertised receive window. It is deliberately
+// below loopPipeCap: in-credit traffic (window frames plus a few interleaved
+// credit grants) must fit the loopback pipe buffer, so a scheduler worker
+// sending within the window never blocks on a full channel.
+const maxRecvWindow = 192
+
+// withDefaults resolves the zero fields.
+func (c TransportConfig) withDefaults() TransportConfig {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers < 2 {
+		// Two is the floor: a handler making a nested remote call occupies
+		// a worker while it waits, and a single-worker pool would have no
+		// capacity left to make progress for other connections.
+		c.Workers = 2
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = DefaultMaxInflight
+	}
+	if c.RecvWindow <= 0 {
+		c.RecvWindow = DefaultRecvWindow
+	}
+	if c.RecvWindow > maxRecvWindow {
+		c.RecvWindow = maxRecvWindow
+	}
+	if c.MaxConns <= 0 {
+		c.MaxConns = DefaultMaxConns
+	}
+	if c.ReattestCap <= 0 {
+		c.ReattestCap = DefaultReattestCap
+	}
+	return c
+}
+
+// demuxWorkers sizes the response-demultiplexer pool from the ingress pool.
+// Dialed peers live in their own (smaller) pool because response delivery
+// must stay independent of the ingress workers: a handler running on an
+// ingress worker that makes a nested remote call waits for a response, and
+// if that response could only be delivered by the same exhausted pool the
+// node would deadlock against itself.
+func demuxWorkers(workers int) int {
+	w := workers / 2
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// frameSource is the pull side of one connection's ingress: the scheduler
+// asks it for complete frames without blocking. start wires the readiness
+// callback (invoked whenever a frame — or a connection failure — may be
+// observable through tryRecv); tryRecv returns (nil, nil) when nothing is
+// available right now; drained re-arms readiness after an empty tryRecv
+// (needed by one-shot epoll registration); stop releases any resources
+// (poller registration, shim goroutine) at teardown.
+type frameSource interface {
+	start(notify func()) error
+	tryRecv(ar *netArena) ([]byte, error)
+	drained()
+	stop()
+}
+
+// netArena is a per-shard free list of frame buffers. Exactly one worker
+// owns each shard, so the arena needs no lock: frame reads land in pooled
+// buffers, are decoded in place, and are recycled after dispatch for frame
+// types whose payload cannot outlive the exchange (see recyclableFrame).
+type netArena struct {
+	bufs [][]byte
+}
+
+// arenaMaxBufs bounds the free list per shard; arenaKeepCap (shared with
+// the submission arenas in batch.go) bounds each buffer so one huge frame
+// cannot pin memory.
+const arenaMaxBufs = 32
+
+func (a *netArena) get(n int) []byte {
+	for i := len(a.bufs) - 1; i >= 0; i-- {
+		if cap(a.bufs[i]) >= n {
+			b := a.bufs[i]
+			a.bufs[i] = a.bufs[len(a.bufs)-1]
+			a.bufs[len(a.bufs)-1] = nil
+			a.bufs = a.bufs[:len(a.bufs)-1]
+			return b[:n]
+		}
+	}
+	if n < 512 {
+		return make([]byte, n, 512)
+	}
+	return make([]byte, n)
+}
+
+func (a *netArena) put(b []byte) {
+	if cap(b) == 0 || cap(b) > arenaKeepCap || len(a.bufs) >= arenaMaxBufs {
+		return
+	}
+	a.bufs = append(a.bufs, b[:0])
+}
+
+// Connection scheduling states.
+const (
+	csIdle int32 = iota // parked; a notify queues it
+	csQueued
+	csRunning
+	csRunningDirty // notified while running; the worker re-queues it
+	csDead
+)
+
+// schedQuantum bounds consecutive frames one connection processes before
+// the worker re-queues it, so one busy connection cannot starve its
+// shard-mates.
+const schedQuantum = 32
+
+// schedConn is one connection's scheduling handle.
+type schedConn struct {
+	src     frameSource
+	onFrame func(frame []byte, ar *netArena) bool // false = tear down
+	onClose func()                                // runs exactly once, on the owning worker
+	shard   *schedShard
+	m       *kernelMetrics
+	state   atomic.Int32
+}
+
+// notify marks the connection ready. Safe from any goroutine; lost-wakeup
+// free against the worker's own transitions.
+func (sc *schedConn) notify() {
+	for {
+		switch sc.state.Load() {
+		case csIdle:
+			if sc.state.CompareAndSwap(csIdle, csQueued) {
+				sc.shard.push(sc)
+				return
+			}
+		case csRunning:
+			if sc.state.CompareAndSwap(csRunning, csRunningDirty) {
+				return
+			}
+		default: // queued, dirty, dead: nothing to do
+			return
+		}
+	}
+}
+
+// die transitions to the terminal state and runs teardown. Only the owning
+// worker calls it, so it runs at most once.
+func (sc *schedConn) die() {
+	sc.state.Store(csDead)
+	sc.src.stop()
+	sc.onClose()
+}
+
+// run processes up to schedQuantum frames, then either parks the
+// connection (re-arming its readiness) or re-queues it.
+func (sc *schedConn) run(s *schedShard) {
+	if !sc.state.CompareAndSwap(csQueued, csRunning) {
+		return // torn down while queued
+	}
+	for i := 0; i < schedQuantum; i++ {
+		frame, err := sc.src.tryRecv(&s.arena)
+		if err != nil {
+			sc.die()
+			return
+		}
+		if frame == nil {
+			// Source empty: park, then re-arm. Re-arming after the idle
+			// transition means a readiness event racing it finds csIdle
+			// and queues the connection instead of being lost.
+			if sc.state.CompareAndSwap(csRunning, csIdle) {
+				sc.src.drained()
+				return
+			}
+			break // dirty: more arrived while running
+		}
+		if !sc.onFrame(frame, &s.arena) {
+			sc.die()
+			return
+		}
+	}
+	// Quantum exhausted or dirtied: back of the queue.
+	sc.state.Store(csQueued)
+	s.push(sc)
+}
+
+// schedShard is one worker's run queue plus its ingress arena.
+type schedShard struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []*schedConn
+	head   int
+	closed bool
+
+	// arena is confined to the shard's worker goroutine.
+	arena netArena
+}
+
+func (s *schedShard) push(sc *schedConn) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.q = append(s.q, sc)
+	depth := len(s.q) - s.head
+	s.mu.Unlock()
+	sc.m.netQueued.Add(1)
+	sc.m.netQueueLen.observeCount(uint64(depth))
+	s.cond.Signal()
+}
+
+// pop blocks for the next ready connection; nil means the shard closed.
+func (s *schedShard) pop() *schedConn {
+	s.mu.Lock()
+	for s.head == len(s.q) && !s.closed {
+		s.cond.Wait()
+	}
+	if s.head == len(s.q) {
+		s.mu.Unlock()
+		return nil
+	}
+	sc := s.q[s.head]
+	s.q[s.head] = nil
+	s.head++
+	if s.head == len(s.q) {
+		s.q = s.q[:0]
+		s.head = 0
+	}
+	s.mu.Unlock()
+	return sc
+}
+
+// connSched is a sharded worker pool: one worker goroutine per shard,
+// connections assigned round-robin at registration. The pool size is fixed
+// at construction — the runtime's goroutine footprint is O(workers),
+// independent of the connection count.
+type connSched struct {
+	m      *kernelMetrics
+	shards []*schedShard
+	next   atomic.Uint64
+	wg     sync.WaitGroup
+}
+
+func newConnSched(workers int, m *kernelMetrics) *connSched {
+	cs := &connSched{m: m, shards: make([]*schedShard, workers)}
+	for i := range cs.shards {
+		s := &schedShard{}
+		s.cond = sync.NewCond(&s.mu)
+		cs.shards[i] = s
+		cs.wg.Add(1)
+		go cs.worker(s)
+	}
+	return cs
+}
+
+func (cs *connSched) worker(s *schedShard) {
+	defer cs.wg.Done()
+	for {
+		sc := s.pop()
+		if sc == nil {
+			return
+		}
+		cs.m.netQueued.Add(-1)
+		sc.run(s)
+	}
+}
+
+// register adds a connection to the scheduler and kicks it once — frames
+// that arrived before the readiness callback was wired are picked up by
+// that initial pass.
+func (cs *connSched) register(src frameSource, onFrame func([]byte, *netArena) bool, onClose func()) (*schedConn, error) {
+	shard := cs.shards[cs.next.Add(1)%uint64(len(cs.shards))]
+	sc := &schedConn{src: src, onFrame: onFrame, onClose: onClose, shard: shard, m: cs.m}
+	if err := src.start(sc.notify); err != nil {
+		return nil, err
+	}
+	sc.notify()
+	return sc, nil
+}
+
+// close stops the workers. The caller must have torn down every registered
+// connection first (Node.Close waits for all teardowns before calling it).
+func (cs *connSched) close() {
+	for _, s := range cs.shards {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		s.cond.Broadcast()
+	}
+	cs.wg.Wait()
+}
+
+// shimSource adapts any Conn implementation the runtime cannot poll (a
+// third-party transport, TCP on platforms without the epoll poller): one
+// parked goroutine pulls frames with blocking Recv into a 1-deep inbox.
+// This preserves the public Transport/Conn contract at the cost of the
+// per-connection goroutine the native sources avoid.
+type shimSource struct {
+	c     Conn
+	inbox chan []byte
+	done  chan struct{}
+	once  sync.Once
+
+	failed atomic.Bool
+	err    error // written before failed.Store, read after failed.Load
+}
+
+func newShimSource(c Conn) *shimSource {
+	return &shimSource{c: c, inbox: make(chan []byte, 1), done: make(chan struct{})}
+}
+
+func (s *shimSource) start(notify func()) error {
+	go func() {
+		for {
+			f, err := s.c.Recv()
+			if err != nil {
+				s.err = err
+				s.failed.Store(true)
+				notify()
+				return
+			}
+			select {
+			case s.inbox <- f:
+			case <-s.done:
+				return
+			}
+			notify()
+		}
+	}()
+	return nil
+}
+
+func (s *shimSource) tryRecv(*netArena) ([]byte, error) {
+	select {
+	case f := <-s.inbox:
+		return f, nil
+	default:
+	}
+	if s.failed.Load() {
+		// Drain a frame that raced the failure flag before reporting it.
+		select {
+		case f := <-s.inbox:
+			return f, nil
+		default:
+		}
+		return nil, s.err
+	}
+	return nil, nil
+}
+
+func (s *shimSource) drained() {}
+
+func (s *shimSource) stop() { s.once.Do(func() { close(s.done) }) }
+
+// newFrameSource selects the ingress driver for a connection: loopback
+// conns are native sources, TCP conns use the platform poller when
+// available, and anything else gets the shim.
+func (n *Node) newFrameSource(c Conn) frameSource {
+	if fs, ok := c.(frameSource); ok {
+		return fs
+	}
+	if tc, ok := c.(*tcpConn); ok {
+		if src, err := n.newTCPSource(tc); err == nil {
+			return src
+		}
+	}
+	return newShimSource(c)
+}

@@ -153,6 +153,11 @@ func (t *tcpConn) Send(frame []byte) error {
 	return nil
 }
 
+// Recv blocks for one frame. Post-handshake ingress does not come through
+// here on Linux: the event runtime's epoll source (netpoll_linux.go) reads
+// the socket directly, bypassing recvMu — safe because blocking Recv is
+// only used during the handshake, strictly before the connection is
+// registered with the scheduler.
 func (t *tcpConn) Recv() ([]byte, error) {
 	t.recvMu.Lock()
 	defer t.recvMu.Unlock()

@@ -40,23 +40,47 @@
 // cross-node speaker spoofing and is rejected before it reaches a
 // labelstore.
 //
-// Pipelining. After the handshake every frame carries a request id. The
-// dialing side keeps a pending-call table and may have up to maxInflight
-// requests outstanding; the window full condition surfaces as EAGAIN. A
-// receive loop per peer matches responses to waiters by id. The serving
-// side processes requests strictly in arrival order, so the observable
-// ordering semantics are those of the lockstep protocol — only the waiting
-// overlaps.
+// Pipelining. After the handshake every non-credit frame carries a request
+// id. The dialing side keeps a pending-call table and may have up to
+// TransportConfig.MaxInflight requests outstanding; the window full
+// condition surfaces as EAGAIN. The serving side processes requests
+// strictly in arrival order, so the observable ordering semantics are
+// those of the lockstep protocol — only the waiting overlaps.
+//
+// Runtime. Connections are not goroutine-per-connection: every established
+// connection is registered with one of the node's sharded schedulers (see
+// sched.go) and is driven by a bounded worker pool — ingress workers run
+// the serving side (handlers included), a separate demux pool delivers
+// responses on dialed peers, so a handler making a nested remote call can
+// never starve its own response delivery. An idle connection costs a file
+// descriptor and its registration, not a goroutine stack. Frames arrive
+// through per-shard pooled arenas and request frames whose payload cannot
+// escape the exchange are recycled after the response is sent.
+//
+// Flow control. Each side advertises a receive window in the handshake
+// (transport version 3) and every post-handshake non-credit frame consumes
+// one send credit toward the peer; credits return in batches via fCredit
+// frames, which are exempt from the accounting. A client with no credits
+// fails fast with EAGAIN (same taxonomy as the in-flight window); a server
+// with no credits parks the connection's pending requests in a bounded
+// backlog — bounded because a peer that overruns the advertised window is
+// committing a protocol violation and is poisoned. A slow consumer
+// therefore stalls its own stream while the kernel's memory stays bounded.
 //
 // Locking (leaf-ward order, see DESIGN.md "Remote fast path"): Node.mu
 // guards the export/listener/peer tables and is never held across
 // connection I/O or kernel registry operations; Peer.sendMu serializes
 // frame sends and the egress codec state (formula remap, certificate
-// dedup, re-attestation table); Peer.pendMu guards only the pending-call
-// table and is a leaf — it is never held across I/O, encoding, or any
-// other lock; serverConn state is confined to its serve goroutine and
-// needs no lock. Proxy teardown (conn close, Node.Close) takes kernel
-// registry locks only after every transport lock is released.
+// dedup, re-attestation table); Peer.pendMu guards the pending-call table
+// and the request-credit counter and is a leaf — it is never held across
+// I/O, encoding, or any other lock; serverConn state needs no lock because
+// the scheduler guarantees at most one worker runs a given connection at a
+// time (the confinement that used to come from the serve goroutine).
+// Credit frames are sent without sendMu: they carry no codec state, and
+// Conn.Send is atomic per frame, so a demux worker returning credits can
+// never block behind a stalled sender. Proxy teardown (conn close,
+// Node.Close) takes kernel registry locks only after every transport lock
+// is released.
 package kernel
 
 import (
@@ -84,11 +108,6 @@ var (
 	ErrSpoofedSpeaker  = errors.New("kernel: label speaker not rooted in sending node")
 )
 
-// maxInflight bounds the per-connection pipelined request window. A full
-// window fails fast with EAGAIN rather than queueing unboundedly; callers
-// retry once earlier requests complete.
-const maxInflight = 128
-
 // Conn is a reliable, ordered, framed byte pipe between two nodes. Send
 // transfers ownership of the frame; Recv returns frames owned by the
 // caller. Close unblocks both directions on both ends.
@@ -115,27 +134,48 @@ type Transport interface {
 
 // Node is a kernel's endpoint on the attestation plane.
 type Node struct {
-	k *Kernel
+	k   *Kernel
+	cfg TransportConfig // resolved (withDefaults applied)
 
 	mu        sync.Mutex
 	exports   map[string]int // service name → public port id
 	trustedEK map[string]bool
 	listeners []Listener
-	conns     map[Conn]bool  // accepted connections, for Close
-	peers     map[*Peer]bool // dialed connections, for Close
+	conns     map[Conn]*schedConn // accepted conns; nil until registered
+	peers     map[*Peer]bool      // dialed connections, for Close
 	closed    bool
+	np        *netPoller // lazy epoll poller (linux); nil elsewhere
+
+	// nconns counts accepted connections (handshaking + established) for
+	// the shed-load gate.
+	nconns atomic.Int64
+
+	// ingress runs accepted connections (handlers included); demux delivers
+	// responses on dialed peers. Two pools so a handler blocked in a nested
+	// remote call cannot starve the delivery of the response it waits for.
+	ingress *connSched
+	demux   *connSched
 
 	wg sync.WaitGroup
 }
 
-// NewNode attaches a transport endpoint to the kernel.
-func NewNode(k *Kernel) *Node {
+// NewNode attaches a transport endpoint to the kernel with the default
+// runtime configuration.
+func NewNode(k *Kernel) *Node { return NewNodeWithConfig(k, TransportConfig{}) }
+
+// NewNodeWithConfig attaches a transport endpoint with an explicit runtime
+// configuration; zero fields select their defaults.
+func NewNodeWithConfig(k *Kernel, cfg TransportConfig) *Node {
+	cfg = cfg.withDefaults()
 	return &Node{
 		k:         k,
+		cfg:       cfg,
 		exports:   map[string]int{},
 		trustedEK: map[string]bool{},
-		conns:     map[Conn]bool{},
+		conns:     map[Conn]*schedConn{},
 		peers:     map[*Peer]bool{},
+		ingress:   newConnSched(cfg.Workers, k.metrics),
+		demux:     newConnSched(demuxWorkers(cfg.Workers), k.metrics),
 	}
 }
 
@@ -171,7 +211,10 @@ func (n *Node) TrustEK(ekFP string) {
 }
 
 // Serve starts accepting peer connections on the listener; it returns
-// immediately and serves in background goroutines until the node closes.
+// immediately and serves through the scheduler until the node closes.
+// Beyond TransportConfig.MaxConns the node sheds load gracefully: the
+// connection is accepted, answered with a typed EAGAIN error frame, and
+// closed — the dialer sees a clean retryable error, never a silent drop.
 func (n *Node) Serve(l Listener) {
 	n.mu.Lock()
 	if n.closed {
@@ -189,19 +232,31 @@ func (n *Node) Serve(l Listener) {
 			if err != nil {
 				return
 			}
+			if n.nconns.Load() >= int64(n.cfg.MaxConns) {
+				n.k.metrics.add(0, mNetShed, 1)
+				n.wg.Add(1)
+				// Reject off the accept loop so a slow rejected dialer
+				// cannot stall further accepts.
+				go func(c Conn) {
+					defer n.wg.Done()
+					c.Send(appendErrFrame(nil, 0, "accept",
+						abiErr(EAGAIN, "accept", "node connection limit reached")))
+					c.Close()
+				}(c)
+				continue
+			}
 			n.mu.Lock()
 			if n.closed {
 				n.mu.Unlock()
 				c.Close()
 				return
 			}
-			n.conns[c] = true
+			n.conns[c] = nil
 			n.mu.Unlock()
+			n.nconns.Add(1)
+			n.k.metrics.netConns.Add(1)
 			n.wg.Add(1)
-			go func() {
-				defer n.wg.Done()
-				n.serveConn(c)
-			}()
+			go n.serveConn(c)
 		}
 	}()
 }
@@ -219,10 +274,14 @@ func (n *Node) Close() {
 	ls := n.listeners
 	n.listeners = nil
 	conns := make([]Conn, 0, len(n.conns))
-	for c := range n.conns {
+	kicks := make([]*schedConn, 0, len(n.conns))
+	for c, sc := range n.conns {
 		conns = append(conns, c)
+		if sc != nil {
+			kicks = append(kicks, sc)
+		}
 	}
-	n.conns = map[Conn]bool{}
+	n.conns = map[Conn]*schedConn{}
 	peers := make([]*Peer, 0, len(n.peers))
 	for p := range n.peers {
 		peers = append(peers, p)
@@ -236,10 +295,25 @@ func (n *Node) Close() {
 	for _, c := range conns {
 		c.Close()
 	}
+	// Kick registered server conns: closing a TCP socket locally produces
+	// no epoll event, so a parked connection must be queued explicitly for
+	// its worker to observe the closed descriptor and tear it down.
+	for _, sc := range kicks {
+		sc.notify()
+	}
 	for _, p := range peers {
 		p.Close()
 	}
 	n.wg.Wait()
+	n.ingress.close()
+	n.demux.close()
+	n.mu.Lock()
+	np := n.np
+	n.np = nil
+	n.mu.Unlock()
+	if np != nil {
+		np.close()
+	}
 }
 
 // identity is one side's handshake material.
@@ -340,12 +414,14 @@ func (n *Node) verifyIdentity(r *netCursor) (*identity, error) {
 }
 
 // helloDigest is the proof-of-possession transcript digest: role-tagged so
-// a reflected signature cannot stand in for the other side's, and covering
+// a reflected signature cannot stand in for the other side's, covering
 // both ephemeral X25519 keys so a man-in-the-middle cannot splice its own
-// key agreement into an otherwise authentic handshake.
-func helloDigest(role string, nonce, cliEph, srvEph []byte) [32]byte {
+// key agreement into an otherwise authentic handshake, and covering both
+// advertised receive windows so an attacker cannot shrink (or inflate) a
+// side's flow-control window without breaking a signature.
+func helloDigest(role string, nonce, cliEph, srvEph []byte, cliWin, srvWin int) [32]byte {
 	h := sha256.New()
-	h.Write([]byte("nexus-transport-hello/2/"))
+	h.Write([]byte("nexus-transport-hello/3/"))
 	h.Write([]byte(role))
 	h.Write([]byte{0})
 	h.Write(nonce)
@@ -353,23 +429,31 @@ func helloDigest(role string, nonce, cliEph, srvEph []byte) [32]byte {
 	h.Write(cliEph)
 	h.Write([]byte{0})
 	h.Write(srvEph)
+	h.Write([]byte{0})
+	var w [16]byte
+	binary.LittleEndian.PutUint64(w[:8], uint64(cliWin))
+	binary.LittleEndian.PutUint64(w[8:], uint64(srvWin))
+	h.Write(w[:])
 	var d [32]byte
 	h.Sum(d[:0])
 	return d
 }
 
-func signHello(key ed25519.PrivateKey, role string, nonce, cliEph, srvEph []byte) []byte {
-	d := helloDigest(role, nonce, cliEph, srvEph)
+func signHello(key ed25519.PrivateKey, role string, nonce, cliEph, srvEph []byte, cliWin, srvWin int) []byte {
+	d := helloDigest(role, nonce, cliEph, srvEph, cliWin, srvWin)
 	return ed25519.Sign(key, d[:])
 }
 
-func verifyHello(pub ed25519.PublicKey, role string, nonce, cliEph, srvEph, sig []byte) error {
-	d := helloDigest(role, nonce, cliEph, srvEph)
+func verifyHello(pub ed25519.PublicKey, role string, nonce, cliEph, srvEph, sig []byte, cliWin, srvWin int) error {
+	d := helloDigest(role, nonce, cliEph, srvEph, cliWin, srvWin)
 	if !ed25519.Verify(pub, d[:], sig) {
 		return fmt.Errorf("%w: transcript signature invalid", ErrBadPeer)
 	}
 	return nil
 }
+
+// validWindow checks an advertised receive window against protocol bounds.
+func validWindow(w uint64) bool { return w >= 1 && w <= maxRecvWindow }
 
 // deriveSessionKey produces the per-connection symmetric key from the
 // X25519 shared secret and both handshake nonces. Both sides compute the
@@ -377,7 +461,7 @@ func verifyHello(pub ed25519.PublicKey, role string, nonce, cliEph, srvEph, sig 
 // connection and is never written to the wire.
 func deriveSessionKey(shared, cliNonce, srvNonce []byte) []byte {
 	mac := hmac.New(sha256.New, shared)
-	mac.Write([]byte("nexus-session/2"))
+	mac.Write([]byte("nexus-session/3"))
 	mac.Write([]byte{0})
 	mac.Write(cliNonce)
 	mac.Write([]byte{0})
@@ -402,17 +486,19 @@ func xferReTag(key []byte, callerPID int, fp string) []byte {
 
 // ---- Dialing side -------------------------------------------------------
 
-// netResp is one matched response as delivered by the receive loop.
+// netResp is one matched response as delivered by the demux worker.
 type netResp struct {
 	typ     byte
 	payload []byte // after type byte and request id
 }
 
 // Peer is a verified connection to a remote node, usable by any session on
-// this kernel. Requests are pipelined: up to maxInflight may be outstanding
-// (more fail with EAGAIN), matched to callers by request id through the
-// pending table. The egress codec tables (formula remap, certificate
-// dedup, re-attestation) are per-peer, guarded by sendMu.
+// this kernel. Requests are pipelined: up to TransportConfig.MaxInflight
+// may be outstanding (more fail with EAGAIN), matched to callers by
+// request id through the pending table. The egress codec tables (formula
+// remap, certificate dedup, re-attestation) are per-peer, guarded by
+// sendMu. Response frames are delivered by a demux-pool worker through
+// onFrame.
 type Peer struct {
 	n *Node
 	c Conn
@@ -423,14 +509,28 @@ type Peer struct {
 	sendMu   sync.Mutex
 	enc      *nal.WireEncoder
 	certIdx  map[string]uint64 // cert fingerprint → wire index (1-based)
-	attested map[string]bool   // cert fingerprints verified on this conn
+	attested *lruTable[bool]   // cert fingerprints verified on this conn
 
-	// pendMu guards the pending-call table only; it is a leaf lock, never
-	// held across I/O or any other lock.
+	// pendMu guards the pending-call table and the request-credit counter;
+	// it is a leaf lock, never held across I/O or any other lock.
 	pendMu   sync.Mutex
 	pending  map[uint64]chan netResp
 	nextID   uint64
 	poisoned bool
+	// reqCredits is the send window toward the server: initialized to the
+	// server's advertised receive window, consumed one per request frame,
+	// replenished by inbound fCredit frames (clamped at the advertised
+	// window, so a hostile over-grant cannot widen the stream).
+	reqCredits int
+
+	// maxInflight and srvWin are this connection's resolved limits:
+	// the pipelined-request cap and the server's advertised window.
+	maxInflight int
+	srvWin      int
+	// myWin is the window we advertised; respSeen counts responses
+	// delivered since the last credit return. Both are demux-confined.
+	myWin    int
+	respSeen int
 
 	// sessKey is the handshake-derived session key (see deriveSessionKey).
 	sessKey []byte
@@ -443,8 +543,11 @@ type Peer struct {
 	// mkey selects this peer's metrics counter stripe.
 	mkey uint64
 
-	closed   atomic.Bool
-	recvDone chan struct{}
+	closed atomic.Bool
+	// sconn is the demux-scheduler registration, stored after Dial
+	// registers the connection; fail() kicks it so a locally closed TCP
+	// socket (which produces no epoll event) still tears down promptly.
+	sconn atomic.Pointer[schedConn]
 }
 
 // connCounter hands out metrics stripe keys, one per connection in either
@@ -503,10 +606,29 @@ func (n *Node) Dial(t Transport, addr string) (*Peer, error) {
 	n.peers[p] = true
 	n.wg.Add(1)
 	n.mu.Unlock()
-	go func() {
-		defer n.wg.Done()
-		p.recvLoop()
-	}()
+	src := n.newFrameSource(c)
+	sconn, err := n.demux.register(src, p.onFrame, func() {
+		p.fail()
+		n.mu.Lock()
+		delete(n.peers, p)
+		n.mu.Unlock()
+		n.k.metrics.netConns.Add(-1)
+		n.wg.Done()
+	})
+	if err != nil {
+		n.mu.Lock()
+		delete(n.peers, p)
+		n.mu.Unlock()
+		n.wg.Done()
+		c.Close()
+		return nil, err
+	}
+	n.k.metrics.netConns.Add(1)
+	p.sconn.Store(sconn)
+	if p.closed.Load() {
+		// fail() raced the registration and may have missed the kick.
+		sconn.notify()
+	}
 	return p, nil
 }
 
@@ -525,8 +647,10 @@ func (n *Node) handshakeClient(c Conn) (*Peer, error) {
 		return nil, err
 	}
 	ephPub := eph.PublicKey().Bytes()
+	myWin := n.cfg.RecvWindow
 	frame := []byte{fHello, transportVersion}
 	frame = appendIdentity(frame, self)
+	frame = binary.AppendUvarint(frame, uint64(myWin))
 	frame = appendNetBytes(frame, nonce)
 	frame = appendNetBytes(frame, ephPub)
 	if err := c.Send(frame); err != nil {
@@ -536,6 +660,20 @@ func (n *Node) handshakeClient(c Conn) (*Peer, error) {
 	if err != nil {
 		return nil, err
 	}
+	if len(resp) > 0 && resp[0] == fErr {
+		// Pre-handshake rejection: the node shed our connection. Surface
+		// the typed errno (EAGAIN: retry later or elsewhere).
+		r := &netCursor{buf: resp[1:]}
+		if _, ok := r.uvarint(); ok {
+			en, ok1 := r.uvarint()
+			op, ok2 := r.str()
+			detail, ok3 := r.str()
+			if ok1 && ok2 && ok3 && Errno(en) != EOK {
+				return nil, abiErr(Errno(en), op, detail)
+			}
+		}
+		return nil, ErrBadPeer
+	}
 	if len(resp) == 0 || resp[0] != fHelloOK {
 		return nil, ErrBadPeer
 	}
@@ -543,6 +681,10 @@ func (n *Node) handshakeClient(c Conn) (*Peer, error) {
 	peer, err := n.verifyIdentity(r)
 	if err != nil {
 		return nil, err
+	}
+	srvWin, ok := r.uvarint()
+	if !ok || !validWindow(srvWin) {
+		return nil, ErrBadPeer
 	}
 	srvNonce, ok := r.bytes()
 	if !ok {
@@ -556,7 +698,7 @@ func (n *Node) handshakeClient(c Conn) (*Peer, error) {
 	if !ok || !r.done() {
 		return nil, ErrBadPeer
 	}
-	if err := verifyHello(peer.nkPub, "server", nonce, ephPub, srvEphRaw, sig); err != nil {
+	if err := verifyHello(peer.nkPub, "server", nonce, ephPub, srvEphRaw, sig, myWin, int(srvWin)); err != nil {
 		return nil, err
 	}
 	srvEph, err := ecdh.X25519().NewPublicKey(srvEphRaw)
@@ -567,7 +709,7 @@ func (n *Node) handshakeClient(c Conn) (*Peer, error) {
 	if err != nil {
 		return nil, ErrBadPeer
 	}
-	ackSig := signHello(n.k.NK, "client", srvNonce, ephPub, srvEphRaw)
+	ackSig := signHello(n.k.NK, "client", srvNonce, ephPub, srvEphRaw, myWin, int(srvWin))
 	ack := []byte{fHelloAck}
 	ack = appendNetBytes(ack, ackSig)
 	if err := c.Send(ack); err != nil {
@@ -575,17 +717,20 @@ func (n *Node) handshakeClient(c Conn) (*Peer, error) {
 	}
 	return &Peer{
 		n: n, c: c,
-		enc:      nal.NewWireEncoder(),
-		certIdx:  map[string]uint64{},
-		attested: map[string]bool{},
-		pending:  map[uint64]chan netResp{},
-		sessKey:  deriveSessionKey(shared, nonce, srvNonce),
-		prin:     peer.prin(),
-		nkFP:     peer.nkFP,
-		ekFP:     peer.ekFP,
-		bootID:   peer.bootID,
-		mkey:     connCounter.Add(1),
-		recvDone: make(chan struct{}),
+		enc:         nal.NewWireEncoder(),
+		certIdx:     map[string]uint64{},
+		attested:    newLRUTable[bool](n.cfg.ReattestCap),
+		pending:     map[uint64]chan netResp{},
+		reqCredits:  int(srvWin),
+		maxInflight: n.cfg.MaxInflight,
+		srvWin:      int(srvWin),
+		myWin:       myWin,
+		sessKey:     deriveSessionKey(shared, nonce, srvNonce),
+		prin:        peer.prin(),
+		nkFP:        peer.nkFP,
+		ekFP:        peer.ekFP,
+		bootID:      peer.bootID,
+		mkey:        connCounter.Add(1),
 	}, nil
 }
 
@@ -625,55 +770,91 @@ func (p *Peer) fail() {
 	for _, ch := range pend {
 		close(ch)
 	}
-}
-
-// recvLoop is the peer's demultiplexer: it matches response frames to
-// pending requests by id. Any transport failure, torn frame, or response
-// to an id we never sent poisons the connection — once a frame may have
-// been lost the per-connection codec tables on the two sides can disagree,
-// and a desynced table would resolve backreferences to the wrong values
-// silently. Poisoning turns that silent corruption into ErrTransportClosed.
-func (p *Peer) recvLoop() {
-	defer close(p.recvDone)
-	defer p.fail()
-	m := p.n.k.metrics
-	for {
-		resp, err := p.c.Recv()
-		if err != nil {
-			if errors.Is(err, ErrTimeout) {
-				m.add(p.mkey, mNetTimeouts, 1)
-			}
-			return
-		}
-		m.add(p.mkey, mNetRecvs, 1)
-		m.add(p.mkey, mNetRecvBytes, uint64(len(resp)))
-		if len(resp) < 2 {
-			return
-		}
-		r := &netCursor{buf: resp[1:]}
-		id, ok := r.uvarint()
-		if !ok {
-			return
-		}
-		p.pendMu.Lock()
-		var ch chan netResp
-		if p.pending != nil {
-			ch = p.pending[id]
-			delete(p.pending, id)
-		}
-		p.pendMu.Unlock()
-		if ch == nil {
-			// A response to a request we never made (hostile or duplicated
-			// id): the streams are no longer in agreement.
-			return
-		}
-		ch <- netResp{typ: resp[0], payload: resp[1+r.off:]}
+	// Kick the demux registration: a locally closed TCP socket produces no
+	// epoll event, so the worker must be queued explicitly to observe the
+	// dead descriptor and run teardown.
+	if sc := p.sconn.Load(); sc != nil {
+		sc.notify()
 	}
 }
 
+// onFrame is the peer's demultiplexer, run by a demux-pool worker: it
+// matches response frames to pending requests by id and absorbs fCredit
+// grants. Returning false tears the connection down — any torn frame,
+// malformed credit, or response to an id we never sent poisons the
+// connection, because once a frame may have been lost the per-connection
+// codec tables on the two sides can disagree, and a desynced table would
+// resolve backreferences to the wrong values silently. Poisoning turns
+// that silent corruption into ErrTransportClosed.
+//
+// Response payloads escape to the waiting caller, so response frames are
+// never recycled into the arena; credit frames are.
+func (p *Peer) onFrame(frame []byte, ar *netArena) bool {
+	m := p.n.k.metrics
+	m.add(p.mkey, mNetRecvs, 1)
+	m.add(p.mkey, mNetRecvBytes, uint64(len(frame)))
+	if len(frame) >= 1 && frame[0] == fCredit {
+		r := &netCursor{buf: frame[1:]}
+		nc, ok := r.uvarint()
+		if !ok || !r.done() {
+			return false
+		}
+		p.pendMu.Lock()
+		// Clamp at the advertised window: a hostile or buggy over-grant
+		// must never unblock the stream past what the server advertised.
+		// The comparison order is overflow-safe for any uint64 count.
+		if nc >= uint64(p.srvWin) || p.reqCredits+int(nc) > p.srvWin {
+			p.reqCredits = p.srvWin
+		} else {
+			p.reqCredits += int(nc)
+		}
+		p.pendMu.Unlock()
+		ar.put(frame)
+		return true
+	}
+	if len(frame) < 2 {
+		return false
+	}
+	r := &netCursor{buf: frame[1:]}
+	id, ok := r.uvarint()
+	if !ok {
+		return false
+	}
+	p.pendMu.Lock()
+	var ch chan netResp
+	if p.pending != nil {
+		ch = p.pending[id]
+		delete(p.pending, id)
+	}
+	p.pendMu.Unlock()
+	if ch == nil {
+		// A response to a request we never made (hostile or duplicated
+		// id): the streams are no longer in agreement.
+		return false
+	}
+	ch <- netResp{typ: frame[0], payload: frame[1+r.off:]}
+	// Return receive credits in batches once half our window has been
+	// consumed. Credit frames bypass sendMu: they carry no codec state and
+	// Conn.Send is atomic per frame, so the demux worker can never block
+	// behind a caller holding the send path.
+	p.respSeen++
+	if 2*p.respSeen >= p.myWin {
+		cf := []byte{fCredit}
+		cf = binary.AppendUvarint(cf, uint64(p.respSeen))
+		p.respSeen = 0
+		m.add(p.mkey, mNetSends, 1)
+		m.add(p.mkey, mNetSendBytes, uint64(len(cf)))
+		if err := p.c.Send(cf); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
 // begin registers a new in-flight request: it allocates the id, checks the
-// window, and returns the channel the receive loop will deliver on. The
-// depth histogram samples the pending-table size each request observes.
+// in-flight window and the send-credit window, and returns the channel the
+// demux worker will deliver on. The depth histogram samples the
+// pending-table size each request observes.
 func (p *Peer) begin(op string) (uint64, chan netResp, error) {
 	if p.closed.Load() {
 		return 0, nil, ErrTransportClosed
@@ -684,10 +865,15 @@ func (p *Peer) begin(op string) (uint64, chan netResp, error) {
 		p.pendMu.Unlock()
 		return 0, nil, ErrTransportClosed
 	}
-	if len(p.pending) >= maxInflight {
+	if len(p.pending) >= p.maxInflight {
 		p.pendMu.Unlock()
 		return 0, nil, abiErr(EAGAIN, op, "transport in-flight window full")
 	}
+	if p.reqCredits <= 0 {
+		p.pendMu.Unlock()
+		return 0, nil, abiErr(EAGAIN, op, "transport send window exhausted")
+	}
+	p.reqCredits--
 	p.nextID++
 	id := p.nextID
 	p.pending[id] = ch
@@ -697,11 +883,15 @@ func (p *Peer) begin(op string) (uint64, chan netResp, error) {
 	return id, ch, nil
 }
 
-// abort removes a pending entry whose request was never (fully) sent.
+// abort removes a pending entry whose request was never (fully) sent and
+// restores its send credit.
 func (p *Peer) abort(id uint64) {
 	p.pendMu.Lock()
 	if p.pending != nil {
-		delete(p.pending, id)
+		if _, ok := p.pending[id]; ok {
+			delete(p.pending, id)
+			p.reqCredits++
+		}
 	}
 	p.pendMu.Unlock()
 }
@@ -847,19 +1037,54 @@ func (p *Peer) submit(id uint64, ch chan netResp, t0 time.Time, frame []byte) ([
 // fingerprint is marked attested for this connection, and every later
 // crossing sends only the fingerprint plus an HMAC under the session key
 // (fXferRe) — the warm path does no public-key cryptography on either
-// side. Re-attestation state is per-connection: a new connection always
-// re-verifies.
+// side. Re-attestation state is per-connection (a new connection always
+// re-verifies) and LRU-bounded on both sides: if the server has evicted a
+// fingerprint we still remember (the two tables need not agree — caps may
+// differ between nodes), the warm attempt fails with EACCES and we retry
+// cold, at the cost of one extra round trip. A certificate revoked since
+// its cold crossing takes the same path and then fails the cold
+// verification properly.
 func (p *Peer) xferLabel(callerPID int, ext *ExternalLabel) (int, int, error) {
 	fp := ext.LabelCert.Fingerprint()
+	p.sendMu.Lock()
+	_, warm := p.attested.get(fp)
+	p.sendMu.Unlock()
+	if warm {
+		pid, handle, err := p.xferOnce(callerPID, fp, nil)
+		if err == nil {
+			return pid, handle, nil
+		}
+		if !errors.Is(err, ErrDenied) {
+			return 0, 0, err
+		}
+		// The server no longer honors the fingerprint (its table evicted
+		// it, or the certificate was revoked): forget it and go cold.
+		p.sendMu.Lock()
+		p.attested.remove(fp)
+		p.sendMu.Unlock()
+	}
+	pid, handle, err := p.xferOnce(callerPID, fp, ext.LabelCert)
+	if err != nil {
+		return 0, 0, err
+	}
+	p.sendMu.Lock()
+	p.attested.put(fp, true)
+	p.sendMu.Unlock()
+	return pid, handle, nil
+}
+
+// xferOnce performs one label-transfer exchange: warm (fXferRe by
+// fingerprint + session-key HMAC) when lc is nil, cold (fXfer with the
+// full certificate) otherwise.
+func (p *Peer) xferOnce(callerPID int, fp string, lc *cert.Certificate) (int, int, error) {
 	id, ch, err := p.begin("xferlabel")
 	if err != nil {
 		return 0, 0, err
 	}
 	t0 := time.Now()
 	p.sendMu.Lock()
-	warm := p.attested[fp]
 	var frame []byte
-	if warm {
+	if lc == nil {
 		frame = []byte{fXferRe}
 		frame = binary.AppendUvarint(frame, id)
 		frame = binary.AppendUvarint(frame, uint64(callerPID))
@@ -869,7 +1094,7 @@ func (p *Peer) xferLabel(callerPID int, ext *ExternalLabel) (int, int, error) {
 		frame = []byte{fXfer}
 		frame = binary.AppendUvarint(frame, id)
 		frame = binary.AppendUvarint(frame, uint64(callerPID))
-		frame = appendNetBytes(frame, ext.LabelCert.AppendWire(nil))
+		frame = appendNetBytes(frame, lc.AppendWire(nil))
 	}
 	err = p.sendLocked(frame)
 	p.sendMu.Unlock()
@@ -886,11 +1111,6 @@ func (p *Peer) xferLabel(callerPID int, ext *ExternalLabel) (int, int, error) {
 	if !ok1 || !ok2 {
 		p.fail()
 		return 0, 0, ErrTransportClosed
-	}
-	if !warm {
-		p.sendMu.Lock()
-		p.attested[fp] = true
-		p.sendMu.Unlock()
 	}
 	return int(pid), int(handle), nil
 }
@@ -979,8 +1199,9 @@ type xferEntry struct {
 	signer string
 }
 
-// serverConn is the per-connection ingress state; it is confined to the
-// connection's serve goroutine.
+// serverConn is the per-connection ingress state. It needs no lock: the
+// scheduler guarantees at most one worker runs the connection at a time,
+// so every field below is confined to "whichever worker holds it".
 type serverConn struct {
 	n    *Node
 	k    *Kernel
@@ -991,7 +1212,21 @@ type serverConn struct {
 	dec     *nal.WireDecoder
 	certs   []*cert.Certificate  // per-connection dedup table (wcCertRef)
 	proxies map[int]*Process     // remote pid → proxy IPD
-	xferFPs map[string]xferEntry // re-attestation table (fXferRe)
+	xferFPs *lruTable[xferEntry] // re-attestation table (fXferRe), LRU-bounded
+
+	// Flow control (worker-confined). advertWin is the receive window we
+	// advertised — it bounds the backlog of unprocessed request frames.
+	// respCredits is the send window toward the client (initialized to its
+	// advertised window, replenished by its fCredit frames); when it hits
+	// zero the connection parks its requests in the backlog instead of
+	// sending responses the client has no room for. served counts requests
+	// answered since the last credit grant back to the client.
+	advertWin   int
+	cliWin      int
+	respCredits int
+	served      int
+	backlog     [][]byte
+	backlogHead int
 
 	// sessKey is the handshake-derived session key shared with the peer.
 	sessKey []byte
@@ -1003,49 +1238,49 @@ type serverConn struct {
 	mkey uint64
 }
 
+// serveConn runs the handshake on a transient goroutine, then hands the
+// established connection to the ingress scheduler and returns — from that
+// point the connection costs no goroutine. The Serve accept loop did
+// wg.Add(1); exactly one of the paths below (handshake failure,
+// registration failure, or the scheduler's onClose) pairs it with Done.
 func (n *Node) serveConn(c Conn) {
 	sc := &serverConn{
 		n: n, k: n.k, c: c,
-		dec:     nal.NewWireDecoder(),
-		proxies: map[int]*Process{},
-		xferFPs: map[string]xferEntry{},
-		mkey:    connCounter.Add(1),
+		dec:       nal.NewWireDecoder(),
+		proxies:   map[int]*Process{},
+		xferFPs:   newLRUTable[xferEntry](n.cfg.ReattestCap),
+		advertWin: n.cfg.RecvWindow,
+		mkey:      connCounter.Add(1),
 	}
-	defer sc.teardown()
 	if err := sc.handshake(); err != nil {
 		if errors.Is(err, ErrTimeout) {
 			sc.k.metrics.add(sc.mkey, mNetTimeouts, 1)
 		}
+		sc.teardown()
+		n.wg.Done()
 		return
 	}
-	m := sc.k.metrics
-	for {
-		frame, err := c.Recv()
-		if err != nil {
-			return
-		}
-		m.add(sc.mkey, mNetRecvs, 1)
-		m.add(sc.mkey, mNetRecvBytes, uint64(len(frame)))
-		if len(frame) < 2 {
-			return
-		}
-		r := &netCursor{buf: frame[1:]}
-		id, ok := r.uvarint()
-		if !ok {
-			return
-		}
-		resp, fatal := sc.handle(frame[0], id, r)
-		m.add(sc.mkey, mNetSends, 1)
-		m.add(sc.mkey, mNetSendBytes, uint64(len(resp)))
-		if err := c.Send(resp); err != nil {
-			return
-		}
-		if fatal {
-			// The ingress codec tables stopped at a prefix the client no
-			// longer agrees with; every later backreference could resolve
-			// silently wrong. Tear the connection down instead.
-			return
-		}
+	src := n.newFrameSource(c)
+	sconn, err := n.ingress.register(src, sc.onFrame, func() {
+		sc.teardown()
+		n.wg.Done()
+	})
+	if err != nil {
+		sc.teardown()
+		n.wg.Done()
+		return
+	}
+	n.mu.Lock()
+	if _, ok := n.conns[c]; ok {
+		n.conns[c] = sconn
+	}
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		// Node.Close raced the registration: it closed c without finding a
+		// schedConn to kick, so kick ourselves (a locally closed TCP socket
+		// produces no epoll event).
+		sconn.notify()
 	}
 }
 
@@ -1057,9 +1292,111 @@ func (sc *serverConn) teardown() {
 	sc.n.mu.Lock()
 	delete(sc.n.conns, sc.c)
 	sc.n.mu.Unlock()
+	sc.n.nconns.Add(-1)
+	sc.k.metrics.netConns.Add(-1)
 	for _, p := range sc.proxies {
 		p.Exit()
 	}
+}
+
+// onFrame is the connection's ingress entry point, run by a scheduler
+// worker. Credit frames replenish the response window immediately; every
+// other frame joins the FIFO backlog (so request ordering is preserved
+// across parking) and drain processes as many as the window allows.
+// Returning false tears the connection down.
+func (sc *serverConn) onFrame(frame []byte, ar *netArena) bool {
+	m := sc.k.metrics
+	m.add(sc.mkey, mNetRecvs, 1)
+	m.add(sc.mkey, mNetRecvBytes, uint64(len(frame)))
+	if len(frame) >= 1 && frame[0] == fCredit {
+		r := &netCursor{buf: frame[1:]}
+		nc, ok := r.uvarint()
+		if !ok || !r.done() {
+			return false
+		}
+		// Clamp at the client's advertised window (overflow-safe for any
+		// uint64 count): a hostile over-grant cannot widen the stream.
+		if nc >= uint64(sc.cliWin) || sc.respCredits+int(nc) > sc.cliWin {
+			sc.respCredits = sc.cliWin
+		} else {
+			sc.respCredits += int(nc)
+		}
+		ar.put(frame)
+		return sc.drain(ar)
+	}
+	if len(sc.backlog)-sc.backlogHead >= sc.advertWin {
+		// The peer has more unacknowledged frames toward us than the
+		// window we advertised: protocol violation.
+		return false
+	}
+	sc.backlog = append(sc.backlog, frame)
+	return sc.drain(ar)
+}
+
+// drain processes backlogged frames while response credits last.
+func (sc *serverConn) drain(ar *netArena) bool {
+	for sc.respCredits > 0 && sc.backlogHead < len(sc.backlog) {
+		frame := sc.backlog[sc.backlogHead]
+		sc.backlog[sc.backlogHead] = nil
+		sc.backlogHead++
+		if sc.backlogHead == len(sc.backlog) {
+			sc.backlog = sc.backlog[:0]
+			sc.backlogHead = 0
+		}
+		if !sc.process(frame, ar) {
+			return false
+		}
+	}
+	return true
+}
+
+// process handles one request frame end to end: decode, dispatch, respond,
+// recycle, and grant request credits back to the client as the window
+// half-empties.
+func (sc *serverConn) process(frame []byte, ar *netArena) bool {
+	m := sc.k.metrics
+	if len(frame) < 2 {
+		return false
+	}
+	typ := frame[0]
+	r := &netCursor{buf: frame[1:]}
+	id, ok := r.uvarint()
+	if !ok {
+		return false
+	}
+	resp, fatal := sc.handle(typ, id, r)
+	m.add(sc.mkey, mNetSends, 1)
+	m.add(sc.mkey, mNetSendBytes, uint64(len(resp)))
+	sc.respCredits--
+	if err := sc.c.Send(resp); err != nil {
+		return false
+	}
+	if fatal {
+		// The ingress codec tables stopped at a prefix the client no
+		// longer agrees with; every later backreference could resolve
+		// silently wrong. Tear the connection down instead.
+		return false
+	}
+	switch typ {
+	case fConnect, fCall, fSubmit, fXferRe:
+		// These request payloads cannot escape the exchange (everything
+		// retained is copied), so the buffer returns to the shard arena.
+		// fXfer and fSetProof are excluded: decoded certificates alias
+		// their frames and are retained in per-connection tables.
+		ar.put(frame)
+	}
+	sc.served++
+	if 2*sc.served >= sc.advertWin {
+		cf := []byte{fCredit}
+		cf = binary.AppendUvarint(cf, uint64(sc.served))
+		sc.served = 0
+		m.add(sc.mkey, mNetSends, 1)
+		m.add(sc.mkey, mNetSendBytes, uint64(len(cf)))
+		if err := sc.c.Send(cf); err != nil {
+			return false
+		}
+	}
+	return true
 }
 
 func (sc *serverConn) handshake() error {
@@ -1075,6 +1412,10 @@ func (sc *serverConn) handshake() error {
 	peer, err := sc.n.verifyIdentity(r)
 	if err != nil {
 		return err
+	}
+	cliWin, ok := r.uvarint()
+	if !ok || !validWindow(cliWin) {
+		return ErrBadPeer
 	}
 	cliNonce, ok := r.bytes()
 	if !ok {
@@ -1101,11 +1442,13 @@ func (sc *serverConn) handshake() error {
 		return err
 	}
 	ephPub := eph.PublicKey().Bytes()
+	srvWin := sc.advertWin
 	// cliNonce and cliEphRaw alias the hello frame, which lives until the
 	// handshake returns; the digest and session key consume them before.
-	sig := signHello(sc.k.NK, "server", cliNonce, cliEphRaw, ephPub)
+	sig := signHello(sc.k.NK, "server", cliNonce, cliEphRaw, ephPub, int(cliWin), srvWin)
 	resp := []byte{fHelloOK}
 	resp = appendIdentity(resp, self)
+	resp = binary.AppendUvarint(resp, uint64(srvWin))
 	resp = appendNetBytes(resp, nonce)
 	resp = appendNetBytes(resp, ephPub)
 	resp = appendNetBytes(resp, sig)
@@ -1124,7 +1467,7 @@ func (sc *serverConn) handshake() error {
 	if !ok || !ra.done() {
 		return ErrBadPeer
 	}
-	if err := verifyHello(peer.nkPub, "client", nonce, cliEphRaw, ephPub, ackSig); err != nil {
+	if err := verifyHello(peer.nkPub, "client", nonce, cliEphRaw, ephPub, ackSig, int(cliWin), srvWin); err != nil {
 		return err
 	}
 	shared, err := eph.ECDH(cliEph)
@@ -1134,6 +1477,8 @@ func (sc *serverConn) handshake() error {
 	sc.sessKey = deriveSessionKey(shared, cliNonce, nonce)
 	sc.peer = peer
 	sc.prin = peer.prin()
+	sc.cliWin = int(cliWin)
+	sc.respCredits = int(cliWin)
 	return nil
 }
 
@@ -1358,8 +1703,9 @@ func (sc *serverConn) handleXfer(id uint64, r *netCursor) []byte {
 		}
 	}
 	// Every trust check passed: remember the certificate for warm
-	// re-attested crossings on this connection.
-	sc.xferFPs[c.Fingerprint()] = xferEntry{f: f, signer: string(signer)}
+	// re-attested crossings on this connection (LRU-bounded; an evicted
+	// certificate simply re-crosses cold).
+	sc.xferFPs.put(c.Fingerprint(), xferEntry{f: f, signer: string(signer)})
 	proxy := sc.proxy(int(pid))
 	l := proxy.Labels.insertSystem(f)
 	resp := []byte{fXferOK}
@@ -1382,7 +1728,7 @@ func (sc *serverConn) handleXferRe(id uint64, r *netCursor) []byte {
 	if !ok1 || !ok2 || !ok3 || !r.done() {
 		return appendErrFrame(nil, id, "xferlabel", abiErr(EINVAL, "xferlabel", "malformed frame"))
 	}
-	e, ok := sc.xferFPs[fp]
+	e, ok := sc.xferFPs.get(fp)
 	if !ok {
 		return appendErrFrame(nil, id, "xferlabel", abiErr(EACCES, "xferlabel", "certificate not attested on this connection"))
 	}
@@ -1390,7 +1736,7 @@ func (sc *serverConn) handleXferRe(id uint64, r *netCursor) []byte {
 		return appendErrFrame(nil, id, "xferlabel", abiErr(EACCES, "xferlabel", "re-attestation tag invalid"))
 	}
 	if sc.k.certs.Revoked(fp, e.signer) {
-		delete(sc.xferFPs, fp)
+		sc.xferFPs.remove(fp)
 		return appendErrFrame(nil, id, "xferlabel", abiErr(EACCES, "xferlabel", cert.ErrRevoked.Error()))
 	}
 	proxy := sc.proxy(int(pid))

@@ -3,8 +3,10 @@ package kernel_test
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/kernel"
 )
@@ -22,6 +24,7 @@ import (
 // created has exited and neither kernel leaks processes.
 func TestLoopbackTransportStress(t *testing.T) {
 	front, store := bootNode(t), bootNode(t)
+	baseline := runtime.NumGoroutine()
 	lt := kernel.NewLoopbackTransport()
 	nStore := kernel.NewNode(store)
 	l, err := lt.Listen("store")
@@ -110,39 +113,50 @@ func TestLoopbackTransportStress(t *testing.T) {
 		}(w)
 	}
 
-	// Dial churn: extra connections come and go while the callers run, with
-	// the peer's Close racing its own in-flight pipelined traffic.
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		for i := 0; i < rounds; i++ {
-			p, err := nFront.Dial(lt, "store")
+	// Dial churn: extra connections come and go while the callers run —
+	// thousands of dial/call/close cycles, each racing the peer's Close
+	// against its own in-flight pipelined traffic. This is the event-driven
+	// runtime's registration/teardown gauntlet: every cycle exercises
+	// handshake, scheduler register, demux delivery, and unregister.
+	const churners = 2
+	const churnCycles = 500 // per churner
+	for g := 0; g < churners; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s, err := front.NewSession([]byte(fmt.Sprintf("churn-%d", g)))
 			if err != nil {
-				t.Errorf("dial churn: %v", err)
+				t.Errorf("churn session: %v", err)
 				return
 			}
-			var race sync.WaitGroup
-			race.Add(1)
-			go func() {
-				defer race.Done()
-				p.Close()
-			}()
-			s, err := front.NewSession([]byte("churn"))
-			if err == nil {
+			defer s.Exit()
+			for i := 0; i < churnCycles; i++ {
+				p, err := nFront.Dial(lt, "store")
+				if err != nil {
+					t.Errorf("dial churn: %v", err)
+					return
+				}
+				var race sync.WaitGroup
+				race.Add(1)
+				go func() {
+					defer race.Done()
+					p.Close()
+				}()
 				if c, err := s.Connect(p, "echo"); err == nil {
 					s.CallRemote(c, &kernel.Msg{Op: "read", Obj: "o"})
-					s.SubmitRemote(nil, c, []kernel.Sub{{Cap: c, Op: "read", Obj: "o"}}, nil)
+					if i%16 == 0 {
+						s.SubmitRemote(nil, c, []kernel.Sub{{Cap: c, Op: "read", Obj: "o"}}, nil)
+					}
 				}
-				s.Exit()
+				race.Wait()
+				// No pending-call entry outlives its connection: Close
+				// drained the table even with calls racing it.
+				if n := p.Pending(); n != 0 {
+					t.Errorf("churned peer holds %d pending calls after Close", n)
+				}
 			}
-			race.Wait()
-			// No pending-call entry outlives its connection: Close drained
-			// the table even with calls racing it.
-			if n := p.Pending(); n != 0 {
-				t.Errorf("churned peer holds %d pending calls after Close", n)
-			}
-		}
-	}()
+		}(g)
+	}
 	wg.Wait()
 
 	if n := shared.Pending(); n != 0 {
@@ -162,5 +176,16 @@ func TestLoopbackTransportStress(t *testing.T) {
 	// The front kernel's sessions all exited.
 	if got := len(front.Processes()); got != 0 {
 		t.Fatalf("front kernel has %d live processes after close, want 0", got)
+	}
+
+	// Goroutine-leak gate: after a thousand connection lifetimes and two
+	// node closes, the process is back to its pre-transport footprint —
+	// connections are scheduler state, not goroutine stacks.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+4 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline+4 {
+		t.Fatalf("%d goroutines after close, baseline %d: transport leaks goroutines", n, baseline)
 	}
 }

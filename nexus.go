@@ -196,6 +196,8 @@ type (
 	LoopbackTransport = kernel.LoopbackTransport
 	// TCPTransport is the TCP transport backend.
 	TCPTransport = kernel.TCPTransport
+	// TransportConfig sizes a node's event-driven transport runtime.
+	TransportConfig = kernel.TransportConfig
 	// RemoteCred is one credential in a remote proof registration.
 	RemoteCred = kernel.RemoteCred
 	// RemoteLabel names a label deposited in a proxy labelstore on a peer.
@@ -214,6 +216,12 @@ type (
 
 // NewNode attaches a transport endpoint to a kernel.
 func NewNode(k *Kernel) *Node { return kernel.NewNode(k) }
+
+// NewNodeWithConfig attaches a transport endpoint with an explicit runtime
+// configuration; zero fields select their defaults.
+func NewNodeWithConfig(k *Kernel, cfg TransportConfig) *Node {
+	return kernel.NewNodeWithConfig(k, cfg)
+}
 
 // NewLoopbackTransport creates an in-memory transport.
 func NewLoopbackTransport() *LoopbackTransport { return kernel.NewLoopbackTransport() }
