@@ -1,11 +1,24 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench-parallel fuzz-smoke api-check api-update leakcheck
+.PHONY: check vet lint lint-fix-hints build test race bench-smoke bench-parallel fuzz-smoke api-check api-update leakcheck
 
-# check is the CI gate: static analysis, build, the full race suite, the
-# API-stability gate, the transport goroutine-leak gate, and a short
-# benchmark smoke so the parallel and batch benchmarks cannot bit-rot.
-check: vet build race api-check leakcheck bench-smoke
+# check is the CI gate: static analysis (vet + nexuslint), build, the full
+# race suite, the API-stability gate, the transport goroutine-leak gate,
+# and a short benchmark smoke so the parallel and batch benchmarks cannot
+# bit-rot.
+check: vet lint build race api-check leakcheck bench-smoke
+
+# lint runs nexuslint, the repo-specific analyzer suite: the lock-order
+# DAG (internal/analysis/lockorder.txt), the errno taxonomy on ABI error
+# surfaces, //nexus:noalloc warm paths, and atomic/plain access mixing.
+# See DESIGN.md "Static analysis (nexuslint)".
+lint:
+	$(GO) run ./cmd/nexuslint ./...
+
+# lint-fix-hints reruns nexuslint verbosely: each finding carries the
+# held-lock chain or noalloc call path that produced it.
+lint-fix-hints:
+	$(GO) run ./cmd/nexuslint -v ./...
 
 # leakcheck pins the event-driven transport's goroutine footprint: 1024
 # idle connections must cost O(worker-pool) goroutines, and a thousand

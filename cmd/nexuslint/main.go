@@ -1,0 +1,104 @@
+// Command nexuslint runs the repo-specific static-analysis suite
+// (internal/analysis) over the module: lockorder, errnolint, noalloc and
+// atomiclint. It prints findings as `file:line: [analyzer] message` and
+// exits non-zero if there are any. With -v each finding also prints its
+// explanation chain (the held-lock path for lockorder, the call path for
+// noalloc), which is what `make lint-fix-hints` uses so violations are
+// debuggable from CI logs alone.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print the explanation chain for each finding")
+	run := flag.String("run", "", "comma-separated analyzer subset (default: all)")
+	lockspec := flag.String("lockspec", "", "lock DAG spec path (default: <module>/internal/analysis/lockorder.txt)")
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fatal(err)
+	}
+	specPath := *lockspec
+	if specPath == "" {
+		specPath = filepath.Join(root, "internal", "analysis", "lockorder.txt")
+	}
+	spec, err := analysis.ParseLockSpec(specPath)
+	if err != nil {
+		fatal(fmt.Errorf("lock spec: %w", err))
+	}
+
+	prog, err := analysis.LoadPackages(root, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+
+	all := []analysis.Analyzer{
+		analysis.Lockorder{Spec: spec},
+		analysis.Errnolint{},
+		analysis.Noalloc{},
+		analysis.Atomiclint{},
+	}
+	var selected []analysis.Analyzer
+	if *run == "" {
+		selected = all
+	} else {
+		want := map[string]bool{}
+		for _, n := range strings.Split(*run, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		for _, a := range all {
+			if want[a.Name()] {
+				selected = append(selected, a)
+				delete(want, a.Name())
+			}
+		}
+		for n := range want {
+			fatal(fmt.Errorf("unknown analyzer %q", n))
+		}
+	}
+
+	findings := analysis.RunAll(prog, selected)
+	for _, f := range findings {
+		fmt.Println(rel(root, f.String()))
+		if *verbose && f.Chain != "" {
+			fmt.Println("\t" + f.Chain)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "nexuslint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// rel shortens absolute paths in a finding line to module-relative ones.
+func rel(root, line string) string {
+	return strings.ReplaceAll(line, root+string(filepath.Separator), "")
+}
+
+func moduleRoot() (string, error) {
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		return "", fmt.Errorf("not inside a module: %v", err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nexuslint:", err)
+	os.Exit(2)
+}

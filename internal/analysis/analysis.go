@@ -1,0 +1,215 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer report, rendered as `file:line: [analyzer] message`.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+	// Chain is the verbose explanation (-v / lint-fix-hints): the held-lock
+	// chain for a lockorder finding, the call path for a noalloc finding.
+	Chain string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+}
+
+// Analyzer is one repo-specific invariant checker.
+type Analyzer interface {
+	Name() string
+	Run(prog *Program) []Finding
+}
+
+// RunAll runs every analyzer and returns the merged findings in stable
+// position order.
+func RunAll(prog *Program, analyzers []Analyzer) []Finding {
+	var all []Finding
+	for _, a := range analyzers {
+		all = append(all, a.Run(prog)...)
+	}
+	SortFindings(all)
+	return all
+}
+
+// SortFindings orders findings by file, line, analyzer, message.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// ---- shared type/identity helpers --------------------------------------
+
+// unparen strips parentheses (ast.Unparen needs go1.22; the module pins 1.21).
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// deref strips pointers down to the element type.
+func deref(t types.Type) types.Type {
+	for {
+		p, ok := t.Underlying().(*types.Pointer)
+		if !ok {
+			return t
+		}
+		t = p.Elem()
+	}
+}
+
+// namedOf returns the named type behind t (after pointer deref), or nil.
+func namedOf(t types.Type) *types.Named {
+	n, _ := deref(t).(*types.Named)
+	return n
+}
+
+// isSyncLock reports whether t is sync.Mutex or sync.RWMutex.
+func isSyncLock(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	if n.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex"
+}
+
+// fieldIdentity names a struct field as `<pkg>.<Type>.<field>`, walking the
+// selection's embedding chain so the identity is the *declaring* struct.
+// idx addresses the field: for a FieldVal selection pass sel.Index(); for a
+// method promoted through an embedded field pass sel.Index()[:len-1].
+// Returns "" when the declaring struct is unnamed.
+func fieldIdentity(recv types.Type, idx []int) string {
+	t := recv
+	for i := 0; i < len(idx)-1; i++ {
+		st, ok := deref(t).Underlying().(*types.Struct)
+		if !ok {
+			return ""
+		}
+		t = st.Field(idx[i]).Type()
+	}
+	n := namedOf(t)
+	if n == nil {
+		return ""
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok || idx[len(idx)-1] >= st.NumFields() {
+		return ""
+	}
+	f := st.Field(idx[len(idx)-1])
+	pkg := "_"
+	if n.Obj().Pkg() != nil {
+		pkg = n.Obj().Pkg().Name()
+	}
+	return pkg + "." + n.Obj().Name() + "." + f.Name()
+}
+
+// exprIdentity names the storage location an expression denotes, for lock
+// and atomic-field identity: `pkg.Type.field` for struct fields (however
+// deep the access chain), `pkg.var` for package-level variables, "" for
+// anything unnameable (locals, results of calls).
+func (pk *Package) exprIdentity(expr ast.Expr) string {
+	switch e := unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pk.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return fieldIdentity(sel.Recv(), sel.Index())
+		}
+		// Qualified package-level var: pkgname.Var.
+		if v, ok := pk.Info.Uses[e.Sel].(*types.Var); ok && isPkgLevel(v) {
+			return v.Pkg().Name() + "." + v.Name()
+		}
+	case *ast.Ident:
+		if v, ok := pk.Info.Uses[e].(*types.Var); ok && isPkgLevel(v) {
+			return v.Pkg().Name() + "." + v.Name()
+		}
+	case *ast.StarExpr:
+		return pk.exprIdentity(e.X)
+	}
+	return ""
+}
+
+func isPkgLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// calleeOf resolves a call expression to the static *types.Func it invokes:
+// package functions, methods (including promoted ones), and qualified
+// cross-package calls. Returns nil for func values, interface methods that
+// cannot be devirtualized, builtins, and type conversions.
+func (pk *Package) calleeOf(call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := pk.Info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pk.Info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Qualified: pkg.Func.
+		if f, ok := pk.Info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// funcDisplay renders a function for messages: pkg.Func or pkg.(*T).Method.
+func funcDisplay(f *types.Func) string {
+	if f == nil {
+		return "?"
+	}
+	sig, _ := f.Type().(*types.Signature)
+	pkg := ""
+	if f.Pkg() != nil {
+		pkg = f.Pkg().Name() + "."
+	}
+	if sig != nil && sig.Recv() != nil {
+		if n := namedOf(sig.Recv().Type()); n != nil {
+			return pkg + n.Obj().Name() + "." + f.Name()
+		}
+	}
+	return pkg + f.Name()
+}
+
+// docHasDirective reports whether a function's doc comment carries the
+// given `//nexus:<name>` annotation.
+func docHasDirective(fd *ast.FuncDecl, name string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.Contains(c.Text, "nexus:"+name) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Atomiclint flags mixed atomic/plain access: once any struct field is
+// operated on through a sync/atomic package function (atomic.LoadUint64,
+// atomic.AddInt32, atomic.CompareAndSwapPointer, ...), every other access
+// to that field anywhere in the module must also go through sync/atomic —
+// a plain read or write, or an escaping &field, is a data race the race
+// detector only catches when the interleaving happens to occur.
+//
+// Fields of the typed atomic.* kinds (atomic.Uint64, atomic.Pointer[T], …)
+// are safe by construction — the type system already forbids plain access
+// — which is why the kernel prefers them; this analyzer polices the
+// function-style residue. A deliberate pre-publication initialization
+// carries `//nexus:atomic-ok` on the line.
+type Atomiclint struct{}
+
+// Name implements Analyzer.
+func (Atomiclint) Name() string { return "atomiclint" }
+
+// Run implements Analyzer.
+func (Atomiclint) Run(prog *Program) []Finding {
+	// Pass 1: every field address passed to a sync/atomic function.
+	atomicFields := map[string]token.Pos{}
+	for _, pk := range prog.Pkgs {
+		for _, f := range pk.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !isAtomicFuncCall(pk, call) {
+					return true
+				}
+				for _, a := range call.Args {
+					if id := addrFieldIdentity(pk, a); id != "" {
+						if _, seen := atomicFields[id]; !seen {
+							atomicFields[id] = call.Pos()
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other access to those fields must be atomic too.
+	var fs []Finding
+	for _, pk := range prog.Pkgs {
+		for _, f := range pk.Files {
+			skip := map[ast.Node]bool{}
+			ast.Inspect(f, func(n ast.Node) bool {
+				if skip[n] {
+					return false
+				}
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if isAtomicFuncCall(pk, n) {
+						// The &field arguments of this call are the
+						// sanctioned access path.
+						for _, a := range n.Args {
+							if u, ok := unparen(a).(*ast.UnaryExpr); ok && u.Op == token.AND {
+								skip[a] = true
+								skip[u] = true
+							}
+						}
+					}
+				case *ast.SelectorExpr:
+					sel, ok := pk.Info.Selections[n]
+					if !ok || sel.Kind() != types.FieldVal {
+						return true
+					}
+					id := fieldIdentity(sel.Recv(), sel.Index())
+					firstAtomic, isAtomic := atomicFields[id]
+					if !isAtomic {
+						return true
+					}
+					if pk.suppressed(prog.Fset, n, "atomic-ok") {
+						return false
+					}
+					fs = append(fs, Finding{
+						Pos:      prog.Fset.Position(n.Pos()),
+						Analyzer: "atomiclint",
+						Message: fmt.Sprintf("plain access to %s, which is accessed with sync/atomic at %s: use atomic ops everywhere or a typed atomic field",
+							id, prog.Fset.Position(firstAtomic)),
+					})
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return fs
+}
+
+// isAtomicFuncCall reports whether a call invokes a package-level function
+// of sync/atomic (not a method of the typed atomic.* kinds).
+func isAtomicFuncCall(pk *Package, call *ast.CallExpr) bool {
+	f := pk.calleeOf(call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, _ := f.Type().(*types.Signature)
+	return sig != nil && sig.Recv() == nil
+}
+
+// addrFieldIdentity names the field in an `&x.f` argument, or "".
+func addrFieldIdentity(pk *Package, arg ast.Expr) string {
+	u, ok := unparen(arg).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return ""
+	}
+	sel, ok := unparen(u.X).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	s, ok := pk.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return ""
+	}
+	return fieldIdentity(s.Recv(), s.Index())
+}

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// Errnolint enforces the ABI error taxonomy: on error surfaces — exported
+// methods of Session, functions annotated `//nexus:errno`, and exported
+// error-returning functions of the module root package — every error must
+// be a *kernel.Error (built by abiErr/&Error{...}) or wrap a classified
+// package-level sentinel, so ErrnoOf can always recover exactly one errno
+// class. Raw `errors.New(...)` calls and `fmt.Errorf(...)` calls that do
+// not wrap a sentinel are findings. A deliberate exception carries
+// `//nexus:errno-ok` on the offending line.
+//
+// The check is construction-site based: it does not trace error values
+// through assignments or across calls (helpers that build ABI errors are
+// annotated `//nexus:errno` themselves). That keeps it sound against the
+// failure it hunts — a raw, class-less error born directly on the surface.
+type Errnolint struct{}
+
+// Name implements Analyzer.
+func (Errnolint) Name() string { return "errnolint" }
+
+// Run implements Analyzer.
+func (Errnolint) Run(prog *Program) []Finding {
+	var fs []Finding
+	for _, pk := range prog.Pkgs {
+		isRoot := pk.Path == prog.ModulePath && prog.ModulePath != ""
+		for _, fi := range funcsOf(prog, pk) {
+			if !errnoSurface(fi, isRoot) || fi.Decl.Body == nil {
+				continue
+			}
+			ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := pk.calleeOf(call)
+				if callee == nil || callee.Pkg() == nil {
+					return true
+				}
+				raw := ""
+				switch {
+				case callee.Pkg().Path() == "errors" && callee.Name() == "New":
+					raw = "errors.New"
+				case callee.Pkg().Path() == "fmt" && callee.Name() == "Errorf":
+					if wrapsSentinel(pk, call) {
+						return true
+					}
+					raw = "fmt.Errorf"
+				default:
+					return true
+				}
+				if pk.suppressed(prog.Fset, call, "errno-ok") {
+					return true
+				}
+				fs = append(fs, Finding{
+					Pos:      prog.Fset.Position(call.Pos()),
+					Analyzer: "errnolint",
+					Message: fmt.Sprintf("raw %s on ABI error surface %s: return a *kernel.Error (abiErr) or wrap a classified sentinel",
+						raw, funcDisplay(fi.Obj)),
+				})
+				return true
+			})
+		}
+	}
+	return fs
+}
+
+// errnoSurface reports whether a function is part of the ABI error
+// surface.
+func errnoSurface(fi *FuncInfo, isRootPkg bool) bool {
+	if !returnsError(fi.Obj) {
+		return false
+	}
+	if docHasDirective(fi.Decl, "errno") {
+		return true
+	}
+	if !fi.Obj.Exported() {
+		return false
+	}
+	if isRootPkg {
+		return true
+	}
+	sig, _ := fi.Obj.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if n := namedOf(sig.Recv().Type()); n != nil && n.Obj().Name() == "Session" {
+			return true
+		}
+	}
+	return false
+}
+
+func returnsError(f *types.Func) bool {
+	sig, _ := f.Type().(*types.Signature)
+	if sig == nil {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		t := sig.Results().At(i).Type()
+		if isErrorType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	if n, ok := t.(*types.Named); ok && n.Obj().Name() == "error" && n.Obj().Pkg() == nil {
+		return true
+	}
+	if i, ok := t.Underlying().(*types.Interface); ok {
+		return i.NumMethods() == 1 && i.Method(0).Name() == "Error"
+	}
+	// *kernel.Error and friends satisfy the surface trivially.
+	if n := namedOf(t); n != nil && n.Obj().Name() == "Error" {
+		return true
+	}
+	return false
+}
+
+// wrapsSentinel reports whether a fmt.Errorf call carries at least one
+// argument that is already classified: a package-level `Err*` sentinel of
+// a module package, or a value of a named `Error` type (e.g.
+// *kernel.Error).
+func wrapsSentinel(pk *Package, call *ast.CallExpr) bool {
+	for _, a := range call.Args[1:] {
+		switch e := unparen(a).(type) {
+		case *ast.Ident:
+			if sentinelVar(pk.Info.Uses[e]) {
+				return true
+			}
+		case *ast.SelectorExpr:
+			if sentinelVar(pk.Info.Uses[e.Sel]) {
+				return true
+			}
+		}
+		if tv, ok := pk.Info.Types[a]; ok {
+			if n := namedOf(tv.Type); n != nil && n.Obj().Name() == "Error" && n.Obj().Pkg() != nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func sentinelVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || !isPkgLevel(v) {
+		return false
+	}
+	if len(v.Name()) < 4 || v.Name()[:3] != "Err" && v.Name()[:3] != "err" {
+		return false
+	}
+	return isErrorIface(v.Type())
+}
+
+func isErrorIface(t types.Type) bool {
+	i, ok := t.Underlying().(*types.Interface)
+	return ok && i.NumMethods() == 1 && i.Method(0).Name() == "Error"
+}

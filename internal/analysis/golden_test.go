@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// want is one `// want "regex"` expectation from a testdata file.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile("//\\s*want\\s+(`([^`]+)`|\"([^\"]+)\")")
+
+func parseWants(t *testing.T, dir string) []*want {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ws []*want
+	for _, f := range files {
+		fh, err := os.Open(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(fh)
+		for ln := 1; sc.Scan(); ln++ {
+			m := wantRe.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			pat := m[2]
+			if pat == "" {
+				pat = m[3]
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regex %q: %v", f, ln, pat, err)
+			}
+			ws = append(ws, &want{file: filepath.Base(f), line: ln, re: re})
+		}
+		fh.Close()
+	}
+	return ws
+}
+
+// runGolden loads one testdata corpus, runs the analyzer, and requires an
+// exact match between findings and `// want` expectations: every finding
+// must be expected, every expectation must fire.
+func runGolden(t *testing.T, name string, mk func(*Program) Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", name)
+	prog, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	findings := mk(prog).Run(prog)
+	SortFindings(findings)
+	wants := parseWants(t, dir)
+
+	for _, f := range findings {
+		pos := fmt.Sprintf("%s:%d", filepath.Base(f.Pos.Filename), f.Pos.Line)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == filepath.Base(f.Pos.Filename) && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected finding at %s: %s", pos, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestGoldenLockorder(t *testing.T) {
+	spec, err := ParseLockSpec(filepath.Join("testdata", "lockorder", "lockorder.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runGolden(t, "lockorder", func(*Program) Analyzer { return Lockorder{Spec: spec} })
+}
+
+func TestGoldenErrnolint(t *testing.T) {
+	runGolden(t, "errnolint", func(*Program) Analyzer { return Errnolint{} })
+}
+
+func TestGoldenNoalloc(t *testing.T) {
+	runGolden(t, "noalloc", func(*Program) Analyzer { return Noalloc{} })
+}
+
+func TestGoldenAtomiclint(t *testing.T) {
+	runGolden(t, "atomiclint", func(*Program) Analyzer { return Atomiclint{} })
+}
+
+// TestGoldenLockorderSpecRot removes the exercised edge from the corpus
+// spec and requires the previously clean acquisition to become a finding:
+// the DAG file cannot silently drift from the code.
+func TestGoldenLockorderSpecRot(t *testing.T) {
+	spec, err := ParseLockSpec(filepath.Join("testdata", "lockorder", "lockorder.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := spec.WithoutEdge("a.Table.insMu", "a.Shard.mu")
+	prog, err := LoadDir(filepath.Join("testdata", "lockorder"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Lockorder{Spec: cut}.Run(prog)
+	for _, f := range findings {
+		if strings.Contains(f.Message, "undeclared lock-order edge a.Table.insMu -> a.Shard.mu") {
+			return
+		}
+	}
+	t.Fatalf("deleting edge a.Table.insMu -> a.Shard.mu did not produce a finding; got: %v", findings)
+}
+
+func TestParseLockSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		"edge a.X -> ",
+		"edge a.X a.Y",
+		"leaf",
+		"frob a.X",
+		"edge a.X -> a.Y sometimes",
+	} {
+		if _, err := parseLockSpec("spec", bad); err == nil {
+			t.Errorf("parseLockSpec(%q): expected error", bad)
+		}
+	}
+	spec, err := parseLockSpec("spec", "# c\nedge a.X -> a.Y dynamic\nleaf a.Z # trailing\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Edges) != 1 || !spec.Edges[0].Dynamic || len(spec.Leaves) != 1 {
+		t.Fatalf("parsed %+v", spec)
+	}
+}
+
+func TestLockSpecCycle(t *testing.T) {
+	spec, err := parseLockSpec("spec", "edge a.X -> a.Y\nedge a.Y -> a.X\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.cycle() == "" {
+		t.Fatal("two-edge cycle not detected")
+	}
+	selfEdge, err := parseLockSpec("spec", "edge a.X -> a.X\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if selfEdge.cycle() != "" {
+		t.Fatal("self-edge (sibling shards) must not count as a cycle")
+	}
+}

@@ -1,0 +1,279 @@
+// Package analysis implements nexuslint, the repo-specific static-analysis
+// suite that mechanizes the kernel's concurrency, errno, and hot-path
+// invariants (DESIGN.md "Static analysis"). It is stdlib-only: packages are
+// enumerated with `go list -json -deps`, parsed with go/parser, and
+// type-checked with go/types; standard-library dependencies are resolved
+// through the source importer. No golang.org/x/tools.
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked module package.
+type Package struct {
+	Path  string
+	Dir   string
+	Pkg   *types.Package
+	Info  *types.Info
+	Files []*ast.File
+
+	// suppress maps file name → set of lines carrying a nexuslint
+	// suppression comment, keyed by suppression kind ("coldpath",
+	// "errno-ok", "atomic-ok").
+	suppress map[string]map[int]map[string]bool
+}
+
+// FuncInfo pairs a declared function or method with its body and package.
+type FuncInfo struct {
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+}
+
+// Program is the loaded module: every package type-checked, plus a
+// module-wide index of function bodies so analyzers can traverse static
+// call graphs.
+type Program struct {
+	Fset       *token.FileSet
+	ModulePath string
+	Pkgs       []*Package
+	funcs      map[*types.Func]*FuncInfo
+}
+
+// FuncOf returns the declaration info for a function object declared in
+// the module, or nil (stdlib, interface methods, func values).
+func (p *Program) FuncOf(obj *types.Func) *FuncInfo {
+	return p.funcs[obj]
+}
+
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Standard   bool
+	GoFiles    []string
+	Imports    []string
+	Module     *struct{ Path string }
+}
+
+// LoadPackages loads and type-checks the module packages matched by
+// patterns (plus their intra-module dependencies) rooted at dir.
+func LoadPackages(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var p listPkg
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("go list decode: %v", err)
+		}
+		if p.Standard || p.Module == nil {
+			continue // stdlib goes through the source importer
+		}
+		pkgs = append(pkgs, p)
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("no module packages matched %v", patterns)
+	}
+	modPath := pkgs[0].Module.Path
+
+	prog := &Program{
+		Fset:       token.NewFileSet(),
+		ModulePath: modPath,
+		funcs:      map[*types.Func]*FuncInfo{},
+	}
+	std := importer.ForCompiler(prog.Fset, "source", nil)
+	checked := map[string]*types.Package{}
+	inModule := map[string]bool{}
+	for _, p := range pkgs {
+		inModule[p.ImportPath] = true
+	}
+
+	// Type-check in dependency order: a package is ready once every
+	// intra-module import has been checked.
+	remaining := pkgs
+	for len(remaining) > 0 {
+		var next []listPkg
+		progress := false
+		for _, lp := range remaining {
+			ready := true
+			for _, imp := range lp.Imports {
+				if inModule[imp] && checked[imp] == nil {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				next = append(next, lp)
+				continue
+			}
+			progress = true
+			pk, err := prog.check(lp, std, checked)
+			if err != nil {
+				return nil, err
+			}
+			checked[lp.ImportPath] = pk.Pkg
+			prog.Pkgs = append(prog.Pkgs, pk)
+		}
+		if !progress {
+			return nil, fmt.Errorf("import cycle or unresolved deps among %d packages", len(remaining))
+		}
+		remaining = next
+	}
+	sort.Slice(prog.Pkgs, func(i, j int) bool { return prog.Pkgs[i].Path < prog.Pkgs[j].Path })
+	return prog, nil
+}
+
+// LoadDir loads a single directory of Go files as one standalone package —
+// the harness entry for the per-analyzer testdata corpora (which the go
+// tool itself never builds).
+func LoadDir(dir string) (*Program, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	fis, err := filepath.Glob(filepath.Join(abs, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(fis)
+	prog := &Program{Fset: token.NewFileSet(), funcs: map[*types.Func]*FuncInfo{}}
+	std := importer.ForCompiler(prog.Fset, "source", nil)
+	lp := listPkg{Dir: abs, ImportPath: "a"}
+	for _, f := range fis {
+		lp.GoFiles = append(lp.GoFiles, filepath.Base(f))
+	}
+	pk, err := prog.check(lp, std, nil)
+	if err != nil {
+		return nil, err
+	}
+	prog.Pkgs = []*Package{pk}
+	return prog, nil
+}
+
+// check parses and type-checks one package and indexes its declarations.
+func (prog *Program) check(lp listPkg, std types.Importer, mod map[string]*types.Package) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		af, err := parser.ParseFile(prog.Fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, af)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer:    moduleImporter{std: std, mod: mod},
+		FakeImportC: true,
+	}
+	tpkg, err := conf.Check(lp.ImportPath, prog.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", lp.ImportPath, err)
+	}
+	pk := &Package{
+		Path:     lp.ImportPath,
+		Dir:      lp.Dir,
+		Pkg:      tpkg,
+		Info:     info,
+		Files:    files,
+		suppress: map[string]map[int]map[string]bool{},
+	}
+	pk.indexSuppressions(prog.Fset)
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+				prog.funcs[obj] = &FuncInfo{Obj: obj, Decl: fd, Pkg: pk}
+			}
+		}
+	}
+	return pk, nil
+}
+
+// moduleImporter resolves intra-module imports from the already-checked
+// set and everything else (stdlib) through the source importer.
+type moduleImporter struct {
+	std types.Importer
+	mod map[string]*types.Package
+}
+
+func (m moduleImporter) Import(path string) (*types.Package, error) {
+	if p := m.mod[path]; p != nil {
+		return p, nil
+	}
+	return m.std.Import(path)
+}
+
+// indexSuppressions records per-line nexuslint suppression comments:
+//
+//	//nexus:coldpath   — noalloc skips the statement on this line
+//	//nexus:errno-ok   — errnolint accepts the raw error on this line
+//	//nexus:atomic-ok  — atomiclint accepts the plain access on this line
+func (pk *Package) indexSuppressions(fset *token.FileSet) {
+	for _, f := range pk.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				kind := ""
+				switch {
+				case strings.Contains(c.Text, "nexus:coldpath"):
+					kind = "coldpath"
+				case strings.Contains(c.Text, "nexus:errno-ok"):
+					kind = "errno-ok"
+				case strings.Contains(c.Text, "nexus:atomic-ok"):
+					kind = "atomic-ok"
+				default:
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := pk.suppress[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					pk.suppress[pos.Filename] = byLine
+				}
+				kinds := byLine[pos.Line]
+				if kinds == nil {
+					kinds = map[string]bool{}
+					byLine[pos.Line] = kinds
+				}
+				kinds[kind] = true
+			}
+		}
+	}
+}
+
+// suppressed reports whether a node's line carries the given suppression.
+func (pk *Package) suppressed(fset *token.FileSet, n ast.Node, kind string) bool {
+	pos := fset.Position(n.Pos())
+	return pk.suppress[pos.Filename][pos.Line][kind]
+}

@@ -1,0 +1,564 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Lockorder checks every mutex acquisition in the module against the
+// declared lock DAG (lockorder.txt): an acquisition made while another
+// lock is held is an edge `held -> acquired`, and every such edge must be
+// declared — and every declared static edge must still exist, so the spec
+// cannot rot. Locks are identified by their declaring struct and field
+// (`pkg.Type.field`, so all shards of a striped registry share one
+// identity) or as `pkg.var` for package-level mutexes.
+//
+// Held sets are computed by a source-order walk of each function body
+// (Lock/RLock acquire, Unlock/RUnlock release, `defer Unlock` holds to
+// function exit) and propagated through the *intra-package* static call
+// graph: a call made while holding L contributes an edge L -> M for every
+// lock M the callee (transitively) acquires. Known soundness limits —
+// cross-package calls, calls through interfaces or stored func values, and
+// locks reached through local aliases — are documented in DESIGN.md;
+// dynamically established edges are declared with the `dynamic` attribute.
+type Lockorder struct {
+	Spec *LockSpec
+}
+
+// Name implements Analyzer.
+func (Lockorder) Name() string { return "lockorder" }
+
+const maxEdgeReports = 3 // occurrences reported per undeclared edge
+
+type obsEdge struct {
+	from, to string
+	pos      token.Pos
+	chain    string
+}
+
+type heldLock struct {
+	id  string
+	pos token.Pos
+}
+
+type loCall struct {
+	callee *types.Func
+	held   []heldLock
+	pos    token.Pos
+}
+
+type loSummary struct {
+	fn       *types.Func
+	acquires map[string]string // lock id -> how (trace for -v)
+	aPos     map[string]token.Pos
+	calls    []loCall
+}
+
+// Run implements Analyzer.
+func (l Lockorder) Run(prog *Program) []Finding {
+	var edges []obsEdge
+	known := map[string]bool{}
+
+	for _, pk := range prog.Pkgs {
+		collectLockDecls(pk, known)
+		sums := map[*types.Func]*loSummary{}
+		for _, fi := range funcsOf(prog, pk) {
+			w := &loWalker{prog: prog, pk: pk, sum: &loSummary{
+				fn:       fi.Obj,
+				acquires: map[string]string{},
+				aPos:     map[string]token.Pos{},
+			}}
+			w.edges = &edges
+			if fi.Decl.Body != nil {
+				w.block(fi.Decl.Body)
+			}
+			sums[fi.Obj] = w.sum
+		}
+
+		// Transitive acquisitions over the intra-package call graph.
+		for changed := true; changed; {
+			changed = false
+			for _, sum := range sums {
+				for _, c := range sum.calls {
+					callee := sums[c.callee]
+					if callee == nil {
+						continue
+					}
+					for id, via := range callee.acquires {
+						if _, ok := sum.acquires[id]; !ok {
+							sum.acquires[id] = via
+							sum.aPos[id] = callee.aPos[id]
+							changed = true
+						}
+					}
+				}
+			}
+		}
+
+		// Edges through calls: held at the call site × transitive
+		// acquisitions of the callee.
+		for _, sum := range sums {
+			for _, c := range sum.calls {
+				if len(c.held) == 0 {
+					continue
+				}
+				callee := sums[c.callee]
+				if callee == nil {
+					continue
+				}
+				for id, via := range callee.acquires {
+					for _, h := range c.held {
+						edges = append(edges, obsEdge{
+							from: h.id, to: id, pos: c.pos,
+							chain: fmt.Sprintf("holding %s (acquired at %s) across call to %s; %s",
+								h.id, prog.Fset.Position(h.pos), funcDisplay(c.callee), via),
+						})
+					}
+				}
+			}
+		}
+	}
+
+	return l.report(prog, edges, known)
+}
+
+// report reconciles observed edges with the declared DAG.
+func (l Lockorder) report(prog *Program, edges []obsEdge, known map[string]bool) []Finding {
+	var fs []Finding
+	specPos := func(line int) token.Position {
+		return token.Position{Filename: l.Spec.File, Line: line}
+	}
+
+	leaves := map[string]int{}
+	for _, lf := range l.Spec.Leaves {
+		leaves[lf.Lock] = lf.Line
+	}
+
+	// Undeclared observed edges (and edges out of declared leaves).
+	type edgeKey struct{ from, to string }
+	seen := map[edgeKey]int{}
+	observed := map[edgeKey]bool{}
+	for _, e := range edges {
+		k := edgeKey{e.from, e.to}
+		observed[k] = true
+		if line, isLeaf := leaves[e.from]; isLeaf {
+			if seen[k] == 0 {
+				fs = append(fs, Finding{
+					Pos:      prog.Fset.Position(e.pos),
+					Analyzer: l.Name(),
+					Message: fmt.Sprintf("%s is declared leaf (lockorder.txt:%d) but %s is acquired while it is held",
+						e.from, line, e.to),
+					Chain: e.chain,
+				})
+			}
+			seen[k]++
+			continue
+		}
+		if l.Spec.Allows(e.from, e.to) {
+			continue
+		}
+		if seen[k] < maxEdgeReports {
+			fs = append(fs, Finding{
+				Pos:      prog.Fset.Position(e.pos),
+				Analyzer: l.Name(),
+				Message: fmt.Sprintf("undeclared lock-order edge %s -> %s (declare it in lockorder.txt if intended)",
+					e.from, e.to),
+				Chain: e.chain,
+			})
+		}
+		seen[k]++
+	}
+
+	// Spec rot: declared static edges must be observed, and every endpoint
+	// must still name a real lock. Declarations naming a package outside
+	// the loaded set are skipped, so a partial run (`nexuslint -run
+	// lockorder ./internal/kernel/...`) checks only the edges it can see;
+	// `make lint` always loads the whole module.
+	loaded := map[string]bool{}
+	for _, pk := range prog.Pkgs {
+		loaded[pk.Pkg.Name()] = true
+	}
+	pkgOf := func(id string) string {
+		if i := strings.IndexByte(id, '.'); i > 0 {
+			return id[:i]
+		}
+		return id
+	}
+	for _, e := range l.Spec.Edges {
+		if !loaded[pkgOf(e.From)] || !loaded[pkgOf(e.To)] {
+			continue
+		}
+		for _, end := range []string{e.From, e.To} {
+			if !known[end] {
+				fs = append(fs, Finding{
+					Pos:      specPos(e.Line),
+					Analyzer: l.Name(),
+					Message:  fmt.Sprintf("unknown lock %s in lockorder.txt (field renamed or removed?)", end),
+				})
+			}
+		}
+		if e.Dynamic {
+			continue
+		}
+		if !observed[edgeKey{e.From, e.To}] {
+			fs = append(fs, Finding{
+				Pos:      specPos(e.Line),
+				Analyzer: l.Name(),
+				Message: fmt.Sprintf("declared edge %s -> %s is no longer exercised by any static path (remove it or mark it dynamic)",
+					e.From, e.To),
+			})
+		}
+		if _, isLeaf := leaves[e.From]; isLeaf {
+			fs = append(fs, Finding{
+				Pos:      specPos(e.Line),
+				Analyzer: l.Name(),
+				Message:  fmt.Sprintf("%s is declared both leaf and edge source", e.From),
+			})
+		}
+	}
+	for _, lf := range l.Spec.Leaves {
+		if !loaded[pkgOf(lf.Lock)] {
+			continue
+		}
+		if !known[lf.Lock] {
+			fs = append(fs, Finding{
+				Pos:      specPos(lf.Line),
+				Analyzer: l.Name(),
+				Message:  fmt.Sprintf("unknown lock %s in lockorder.txt (field renamed or removed?)", lf.Lock),
+			})
+		}
+	}
+
+	// The declared graph must stay a DAG.
+	if cyc := l.Spec.cycle(); cyc != "" {
+		fs = append(fs, Finding{
+			Pos:      specPos(1),
+			Analyzer: l.Name(),
+			Message:  "declared lock graph has a cycle: " + cyc,
+		})
+	}
+	return fs
+}
+
+// collectLockDecls records every nameable mutex in the package: struct
+// fields of type sync.Mutex/RWMutex and package-level mutex vars.
+func collectLockDecls(pk *Package, known map[string]bool) {
+	scope := pk.Pkg.Scope()
+	for _, name := range scope.Names() {
+		switch obj := scope.Lookup(name).(type) {
+		case *types.TypeName:
+			n, ok := obj.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			st, ok := n.Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if isSyncLock(st.Field(i).Type()) {
+					known[pk.Pkg.Name()+"."+n.Obj().Name()+"."+st.Field(i).Name()] = true
+				}
+			}
+		case *types.Var:
+			if isSyncLock(obj.Type()) {
+				known[pk.Pkg.Name()+"."+name] = true
+			}
+		}
+	}
+}
+
+// funcsOf returns the module function declarations of one package in
+// stable order.
+func funcsOf(prog *Program, pk *Package) []*FuncInfo {
+	var fis []*FuncInfo
+	for _, fi := range prog.funcs {
+		if fi.Pkg == pk {
+			fis = append(fis, fi)
+		}
+	}
+	sort.Slice(fis, func(i, j int) bool { return fis[i].Decl.Pos() < fis[j].Decl.Pos() })
+	return fis
+}
+
+// ---- per-function walker ------------------------------------------------
+
+var lockAcquire = map[string]bool{"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true}
+var lockRelease = map[string]bool{"Unlock": true, "RUnlock": true}
+
+type loWalker struct {
+	prog  *Program
+	pk    *Package
+	sum   *loSummary
+	held  []heldLock
+	edges *[]obsEdge
+}
+
+func (w *loWalker) block(b *ast.BlockStmt) {
+	for _, s := range b.List {
+		w.stmt(s)
+	}
+}
+
+func (w *loWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		w.block(s)
+	case *ast.ExprStmt:
+		w.expr(s.X)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e)
+		}
+	case *ast.IfStmt:
+		w.stmt(s.Init)
+		w.expr(s.Cond)
+		w.block(s.Body)
+		w.stmt(s.Else)
+	case *ast.ForStmt:
+		w.stmt(s.Init)
+		if s.Cond != nil {
+			w.expr(s.Cond)
+		}
+		w.block(s.Body)
+		w.stmt(s.Post)
+	case *ast.RangeStmt:
+		w.expr(s.X)
+		w.block(s.Body)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init)
+		if s.Tag != nil {
+			w.expr(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				w.expr(e)
+			}
+			for _, bs := range cc.Body {
+				w.stmt(bs)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init)
+		w.stmt(s.Assign)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, bs := range cc.Body {
+				w.stmt(bs)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			w.stmt(cc.Comm)
+			for _, bs := range cc.Body {
+				w.stmt(bs)
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e)
+		}
+	case *ast.DeferStmt:
+		w.deferCall(s.Call)
+	case *ast.GoStmt:
+		// A goroutine body runs concurrently: it inherits no held set, and
+		// its acquisitions do not happen during this frame.
+		for _, a := range s.Call.Args {
+			w.expr(a)
+		}
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.separate(fl)
+		}
+	case *ast.SendStmt:
+		w.expr(s.Chan)
+		w.expr(s.Value)
+	case *ast.IncDecStmt:
+		w.expr(s.X)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, sp := range gd.Specs {
+				if vs, ok := sp.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// deferCall handles `defer f(...)`: a deferred Unlock keeps the lock held
+// to function exit; any other deferred body runs at exit, outside the
+// current held set.
+func (w *loWalker) deferCall(call *ast.CallExpr) {
+	for _, a := range call.Args {
+		w.expr(a) // arguments evaluate at defer time
+	}
+	if kind, id := w.lockCall(call); kind != "" {
+		_ = id
+		return // defer Unlock: still held; defer Lock: ignored
+	}
+	if fl, ok := call.Fun.(*ast.FuncLit); ok {
+		w.separate(fl)
+	}
+}
+
+// separate analyzes a function literal as its own frame with an empty held
+// set: its internal edges count, its acquisitions do not leak to the
+// enclosing frame.
+func (w *loWalker) separate(fl *ast.FuncLit) {
+	nw := &loWalker{prog: w.prog, pk: w.pk, edges: w.edges, sum: &loSummary{
+		fn:       w.sum.fn,
+		acquires: map[string]string{},
+		aPos:     map[string]token.Pos{},
+	}}
+	nw.block(fl.Body)
+}
+
+func (w *loWalker) expr(e ast.Expr) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.CallExpr:
+		w.call(e)
+	case *ast.FuncLit:
+		w.separate(e)
+	case *ast.ParenExpr:
+		w.expr(e.X)
+	case *ast.SelectorExpr:
+		w.expr(e.X)
+	case *ast.IndexExpr:
+		w.expr(e.X)
+		w.expr(e.Index)
+	case *ast.IndexListExpr:
+		w.expr(e.X)
+		for _, i := range e.Indices {
+			w.expr(i)
+		}
+	case *ast.SliceExpr:
+		w.expr(e.X)
+		w.expr(e.Low)
+		w.expr(e.High)
+		w.expr(e.Max)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X)
+	case *ast.StarExpr:
+		w.expr(e.X)
+	case *ast.UnaryExpr:
+		w.expr(e.X)
+	case *ast.BinaryExpr:
+		w.expr(e.X)
+		w.expr(e.Y)
+	case *ast.KeyValueExpr:
+		w.expr(e.Value)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			w.expr(el)
+		}
+	}
+}
+
+// lockCall classifies a call as a sync.Mutex/RWMutex acquire or release
+// and names the lock; returns ("", "") for anything else.
+func (w *loWalker) lockCall(call *ast.CallExpr) (kind, id string) {
+	fun, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	name := fun.Sel.Name
+	if !lockAcquire[name] && !lockRelease[name] {
+		return "", ""
+	}
+	sel, ok := w.pk.Info.Selections[fun]
+	if !ok || sel.Kind() != types.MethodVal {
+		return "", ""
+	}
+	m, ok := sel.Obj().(*types.Func)
+	if !ok {
+		return "", ""
+	}
+	sig, _ := m.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil || !isSyncLock(sig.Recv().Type()) {
+		return "", ""
+	}
+	if idx := sel.Index(); len(idx) > 1 {
+		// Method promoted through an embedded mutex field: the lock is the
+		// embedded field itself.
+		id = fieldIdentity(sel.Recv(), idx[:len(idx)-1])
+	} else {
+		id = w.pk.exprIdentity(fun.X)
+	}
+	if lockAcquire[name] {
+		return "acquire", id
+	}
+	return "release", id
+}
+
+func (w *loWalker) call(call *ast.CallExpr) {
+	for _, a := range call.Args {
+		w.expr(a)
+	}
+	if fun, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		w.expr(fun.X) // a receiver chain may itself contain calls
+	}
+
+	if kind, id := w.lockCall(call); kind != "" {
+		if id == "" {
+			return // unnameable lock (local alias): documented limit
+		}
+		switch kind {
+		case "acquire":
+			for _, h := range w.held {
+				*w.edges = append(*w.edges, obsEdge{
+					from: h.id, to: id, pos: call.Pos(),
+					chain: fmt.Sprintf("holding %s (acquired at %s) at this acquisition",
+						h.id, w.prog.Fset.Position(h.pos)),
+				})
+			}
+			if _, ok := w.sum.acquires[id]; !ok {
+				w.sum.acquires[id] = fmt.Sprintf("%s acquires %s at %s",
+					funcDisplay(w.sum.fn), id, w.prog.Fset.Position(call.Pos()))
+				w.sum.aPos[id] = call.Pos()
+			}
+			w.held = append(w.held, heldLock{id: id, pos: call.Pos()})
+		case "release":
+			for i := len(w.held) - 1; i >= 0; i-- {
+				if w.held[i].id == id {
+					w.held = append(w.held[:i], w.held[i+1:]...)
+					break
+				}
+			}
+		}
+		return
+	}
+
+	if fl, ok := call.Fun.(*ast.FuncLit); ok {
+		// Immediately-invoked literal: runs in this frame, under the
+		// current held set.
+		w.block(fl.Body)
+		return
+	}
+
+	callee := w.pk.calleeOf(call)
+	if callee == nil {
+		return
+	}
+	fi := w.prog.FuncOf(callee)
+	if fi == nil || fi.Pkg != w.pk {
+		return // cross-package or bodiless: outside the intra-package graph
+	}
+	held := make([]heldLock, len(w.held))
+	copy(held, w.held)
+	w.sum.calls = append(w.sum.calls, loCall{callee: callee, held: held, pos: call.Pos()})
+}

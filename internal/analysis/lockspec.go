@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// LockSpec is the parsed machine-readable lock DAG
+// (internal/analysis/lockorder.txt). Grammar, one declaration per line:
+//
+//	edge <from> -> <to> [dynamic]
+//	leaf <lock>
+//	# comment
+//
+// Lock names are `pkg.Type.field` for struct-field mutexes and `pkg.var`
+// for package-level ones. `dynamic` marks an edge established through a
+// dynamic call (a stored closure or interface) that the static call graph
+// cannot witness — it is allowed but exempt from the spec-rot check.
+// `leaf` declares a lock that must have no outgoing edges at all.
+type LockSpec struct {
+	File   string
+	Edges  []SpecEdge
+	Leaves []SpecLeaf
+}
+
+// SpecEdge is one declared may-acquire edge: To may be acquired while From
+// is held.
+type SpecEdge struct {
+	From, To string
+	Dynamic  bool
+	Line     int
+}
+
+// SpecLeaf declares a lock with no permitted outgoing edges.
+type SpecLeaf struct {
+	Lock string
+	Line int
+}
+
+// ParseLockSpec reads a lock DAG spec file.
+func ParseLockSpec(path string) (*LockSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return parseLockSpec(path, string(data))
+}
+
+func parseLockSpec(path, data string) (*LockSpec, error) {
+	spec := &LockSpec{File: path}
+	for i, line := range strings.Split(data, "\n") {
+		ln := i + 1
+		if j := strings.IndexByte(line, '#'); j >= 0 {
+			line = line[:j]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "edge":
+			// edge A -> B [dynamic]
+			if len(fields) < 4 || fields[2] != "->" {
+				return nil, fmt.Errorf("%s:%d: malformed edge (want `edge A -> B [dynamic]`)", path, ln)
+			}
+			e := SpecEdge{From: fields[1], To: fields[3], Line: ln}
+			if len(fields) == 5 && fields[4] == "dynamic" {
+				e.Dynamic = true
+			} else if len(fields) > 4 {
+				return nil, fmt.Errorf("%s:%d: unknown edge attribute %q", path, ln, fields[4])
+			}
+			spec.Edges = append(spec.Edges, e)
+		case "leaf":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("%s:%d: malformed leaf (want `leaf A`)", path, ln)
+			}
+			spec.Leaves = append(spec.Leaves, SpecLeaf{Lock: fields[1], Line: ln})
+		default:
+			return nil, fmt.Errorf("%s:%d: unknown directive %q", path, ln, fields[0])
+		}
+	}
+	return spec, nil
+}
+
+// Allows reports whether the spec declares the edge from -> to.
+func (s *LockSpec) Allows(from, to string) bool {
+	for _, e := range s.Edges {
+		if e.From == from && e.To == to {
+			return true
+		}
+	}
+	return false
+}
+
+// WithoutEdge returns a copy of the spec with one edge removed — the
+// spec-rot guard tests use it to prove a deleted edge fails the lint.
+func (s *LockSpec) WithoutEdge(from, to string) *LockSpec {
+	cp := &LockSpec{File: s.File, Leaves: s.Leaves}
+	for _, e := range s.Edges {
+		if e.From == from && e.To == to {
+			continue
+		}
+		cp.Edges = append(cp.Edges, e)
+	}
+	return cp
+}
+
+// cycle returns a declared cycle as a printable chain, or "".
+func (s *LockSpec) cycle() string {
+	next := map[string][]string{}
+	for _, e := range s.Edges {
+		if e.From == e.To {
+			continue // self-edges model sibling shards, not recursion
+		}
+		next[e.From] = append(next[e.From], e.To)
+	}
+	const white, grey, black = 0, 1, 2
+	color := map[string]int{}
+	var stack []string
+	var found []string
+	var visit func(n string) bool
+	visit = func(n string) bool {
+		color[n] = grey
+		stack = append(stack, n)
+		for _, m := range next[n] {
+			switch color[m] {
+			case white:
+				if visit(m) {
+					return true
+				}
+			case grey:
+				for i, s := range stack {
+					if s == m {
+						found = append(found, stack[i:]...)
+						found = append(found, m)
+						return true
+					}
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[n] = black
+		return false
+	}
+	for n := range next {
+		if color[n] == white && visit(n) {
+			return strings.Join(found, " -> ")
+		}
+	}
+	return ""
+}

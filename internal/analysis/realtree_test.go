@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The real-tree tests load the whole module once and share it: the load
+// type-checks every package (and its stdlib imports) from source.
+var realTree struct {
+	once sync.Once
+	prog *Program
+	err  error
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+func loadRealTree(t *testing.T) *Program {
+	t.Helper()
+	root := moduleRoot(t)
+	realTree.once.Do(func() {
+		realTree.prog, realTree.err = LoadPackages(root, "./...")
+	})
+	if realTree.err != nil {
+		t.Fatalf("load module: %v", realTree.err)
+	}
+	return realTree.prog
+}
+
+func realSpec(t *testing.T) *LockSpec {
+	t.Helper()
+	spec, err := ParseLockSpec(filepath.Join(moduleRoot(t), "internal", "analysis", "lockorder.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// TestRealTreeClean is the self-test `make lint` relies on: the shipped
+// tree must be finding-free under all four analyzers.
+func TestRealTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module typecheck is slow")
+	}
+	prog := loadRealTree(t)
+	analyzers := []Analyzer{Lockorder{Spec: realSpec(t)}, Errnolint{}, Noalloc{}, Atomiclint{}}
+	for _, a := range analyzers {
+		for _, f := range a.Run(prog) {
+			t.Errorf("%s", f.String())
+		}
+	}
+}
+
+// TestRealTreeSpecRotGuard deletes a declared, exercised edge from the
+// real spec and requires the lint to fail: every edge in lockorder.txt is
+// load-bearing.
+func TestRealTreeSpecRotGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module typecheck is slow")
+	}
+	prog := loadRealTree(t)
+	cut := realSpec(t).WithoutEdge("kernel.portRegistry.ownMu", "kernel.portShard.mu")
+	findings := Lockorder{Spec: cut}.Run(prog)
+	for _, f := range findings {
+		if strings.Contains(f.Message, "undeclared lock-order edge kernel.portRegistry.ownMu -> kernel.portShard.mu") {
+			return
+		}
+	}
+	t.Fatalf("deleting an exercised edge from lockorder.txt did not fail the lint; findings: %d", len(findings))
+}
+
+// TestRealTreeKnownLocks spot-checks the lock-identity scheme against
+// fields that anchor the declared DAG.
+func TestRealTreeKnownLocks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module typecheck is slow")
+	}
+	prog := loadRealTree(t)
+	known := map[string]bool{}
+	for _, pk := range prog.Pkgs {
+		collectLockDecls(pk, known)
+	}
+	for _, id := range []string{
+		"kernel.portRegistry.ownMu",
+		"kernel.chanTable.revMu",
+		"kernel.Peer.pendMu",
+		"kernel.AuditLog.mu",
+		"ledger.Ledger.mu",
+		"nal.consTable.insMu",
+		"ssr.Region.mu",
+	} {
+		if !known[id] {
+			t.Errorf("lock %s not found by collectLockDecls (identity scheme drifted?)", id)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Golden corpus for the atomiclint analyzer.
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	hits uint64 // accessed via sync/atomic below: atomic everywhere
+	cold uint64 // never atomic: plain access is fine
+}
+
+func (c *counter) bump() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+// read mixes a plain load into an otherwise-atomic field.
+func (c *counter) read() uint64 {
+	return c.hits // want `plain access to a\.counter\.hits`
+}
+
+// sanctioned goes through sync/atomic: no finding (near miss — same
+// field, same read, correct access path).
+func (c *counter) sanctioned() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+// coldRead touches the never-atomic neighbor field: no finding.
+func (c *counter) coldRead() uint64 {
+	return c.cold
+}
+
+// reset documents a deliberate pre-publication plain write.
+func (c *counter) reset() {
+	c.hits = 0 //nexus:atomic-ok — no reader can hold c yet
+}
+
+// typedCounter uses the typed atomic kinds: never flagged, the type
+// system already forbids plain access.
+type typedCounter struct {
+	hits atomic.Uint64
+}
+
+func (t *typedCounter) bump() {
+	t.hits.Add(1)
+}

@@ -1,0 +1,44 @@
+// Golden corpus for the errnolint analyzer.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrClassified is a package-level sentinel: wrapping it classifies an
+// error.
+var ErrClassified = errors.New("a: classified failure")
+
+// Session mirrors the kernel Session type: exported methods are on the
+// ABI error surface by name.
+type Session struct{}
+
+// Submit is surface by virtue of being an exported Session method.
+func (s *Session) Submit() error {
+	return errors.New("raw failure") // want `raw errors\.New on ABI error surface a\.Session\.Submit`
+}
+
+// Close wraps the sentinel: classified, no finding (near miss — same
+// surface as Submit, but ErrnoOf can recover a class).
+func (s *Session) Close() error {
+	return fmt.Errorf("close failed: %w", ErrClassified)
+}
+
+//nexus:errno
+func annotated(n int) error {
+	return fmt.Errorf("bad argument %d", n) // want `raw fmt\.Errorf on ABI error surface a\.annotated`
+}
+
+// helper is unexported and unannotated: off the surface, raw errors are
+// its caller's problem (near miss — identical construction to Submit).
+func helper() error {
+	return errors.New("internal detail")
+}
+
+// legacy documents a deliberate exception with a line suppression.
+//
+//nexus:errno
+func legacy() error {
+	return errors.New("grandfathered wire format") //nexus:errno-ok
+}

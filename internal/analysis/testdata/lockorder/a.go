@@ -1,0 +1,80 @@
+// Golden corpus for the lockorder analyzer. The spec next to this file
+// (lockorder.txt) declares edge a.Table.insMu -> a.Shard.mu and leaf
+// a.Leaf.mu.
+package a
+
+import "sync"
+
+type Table struct {
+	insMu sync.Mutex
+}
+
+type Shard struct {
+	mu sync.Mutex
+}
+
+type Leaf struct {
+	mu sync.Mutex
+}
+
+var shard Shard
+
+// declared exercises the declared edge: no finding (near miss — the same
+// shape as undeclared below, but the spec allows it).
+func (t *Table) declared() {
+	t.insMu.Lock()
+	defer t.insMu.Unlock()
+	shard.mu.Lock()
+	shard.mu.Unlock()
+}
+
+// undeclared acquires insMu while holding the shard — the reverse of the
+// declared order.
+func (t *Table) undeclared() {
+	shard.mu.Lock()
+	defer shard.mu.Unlock()
+	t.insMu.Lock() // want `undeclared lock-order edge a\.Shard\.mu -> a\.Table\.insMu`
+	t.insMu.Unlock()
+}
+
+// leafViolation holds a declared leaf across an acquisition.
+func (l *Leaf) leafViolation() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	shard.mu.Lock() // want `a\.Leaf\.mu is declared leaf`
+	shard.mu.Unlock()
+}
+
+// transitive holds insMu across a call whose callee acquires a Leaf —
+// the edge is observed through the intra-package call graph, not a
+// literal Lock in this body.
+func (t *Table) transitive(l *Leaf) {
+	t.insMu.Lock()
+	defer t.insMu.Unlock()
+	touchLeaf(l) // want `undeclared lock-order edge a\.Table\.insMu -> a\.Leaf\.mu`
+}
+
+func touchLeaf(l *Leaf) {
+	l.mu.Lock()
+	l.mu.Unlock()
+}
+
+// sequential releases before the next acquisition: no edge, no finding
+// (near miss — same two locks as undeclared, never held together).
+func (t *Table) sequential() {
+	t.insMu.Lock()
+	t.insMu.Unlock()
+	shard.mu.Lock()
+	shard.mu.Unlock()
+}
+
+// goroutineFrame: a goroutine body inherits no held set, so the
+// acquisition inside it observes no edge from insMu.
+func (t *Table) goroutineFrame() {
+	t.insMu.Lock()
+	defer t.insMu.Unlock()
+	go func() {
+		shard.mu.Lock()
+		shard.mu.Unlock()
+	}()
+}

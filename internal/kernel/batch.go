@@ -56,11 +56,16 @@ const arenaKeepCap = 64 << 10
 // Out buffers and errors in completions are owned by the caller; the wire
 // copies shown to monitors during the batch are not valid afterwards. A nil
 // ctx disables cancellation.
+//
+// The per-op loop is allocation-free once comps and the wire arenas are
+// warm (pinned by TestAllocBatchedSubmitWarm).
+//
+//nexus:noalloc
 func (s *Session) Submit(ctx context.Context, subs []Sub, comps []Completion) ([]Completion, error) {
 	if cap(comps) >= len(subs) {
 		comps = comps[:len(subs)]
 	} else {
-		comps = make([]Completion, len(subs))
+		comps = make([]Completion, len(subs)) //nexus:coldpath — grow once; steady state reuses the caller's slice
 	}
 	k := s.k
 	flags := k.flags.Load()
@@ -219,27 +224,30 @@ func MarshalBatch(msgs []*Msg) []byte {
 }
 
 // UnmarshalBatch decodes a batch-framed buffer. Decoding arbitrary bytes
-// never panics; accepted input round-trips byte-for-byte.
+// never panics; accepted input round-trips byte-for-byte. Malformed input
+// is an EINVAL-classed ABI error, never a raw string.
+//
+//nexus:errno
 func UnmarshalBatch(buf []byte) ([]*Msg, error) {
 	if len(buf) < 4 {
-		return nil, fmt.Errorf("kernel: truncated batch")
+		return nil, abiErr(EINVAL, "batch", "truncated batch header")
 	}
 	count := binary.LittleEndian.Uint32(buf[:4])
 	buf = buf[4:]
 	// Each message costs at least 8 bytes on the wire; reject absurd counts
 	// before allocating.
 	if uint64(count)*8 > uint64(len(buf)) {
-		return nil, fmt.Errorf("kernel: batch count %d exceeds buffer", count)
+		return nil, abiErr(EINVAL, "batch", fmt.Sprintf("count %d exceeds buffer", count))
 	}
 	msgs := make([]*Msg, 0, count)
 	for i := uint32(0); i < count; i++ {
 		if len(buf) < 4 {
-			return nil, fmt.Errorf("kernel: truncated batch")
+			return nil, abiErr(EINVAL, "batch", "truncated frame header")
 		}
 		n := binary.LittleEndian.Uint32(buf[:4])
 		buf = buf[4:]
 		if uint32(len(buf)) < n {
-			return nil, fmt.Errorf("kernel: truncated batch")
+			return nil, abiErr(EINVAL, "batch", "truncated frame body")
 		}
 		m, err := unmarshalMsg(buf[:n])
 		if err != nil {
@@ -248,13 +256,13 @@ func UnmarshalBatch(buf []byte) ([]*Msg, error) {
 		// The inner frame must be the message's canonical length, or
 		// re-encoding would not reproduce the input.
 		if int(n) != msgWireSize(m) {
-			return nil, fmt.Errorf("kernel: batch frame length %d not canonical", n)
+			return nil, abiErr(EINVAL, "batch", fmt.Sprintf("frame length %d not canonical", n))
 		}
 		msgs = append(msgs, m)
 		buf = buf[n:]
 	}
 	if len(buf) != 0 {
-		return nil, fmt.Errorf("kernel: %d trailing bytes after batch", len(buf))
+		return nil, abiErr(EINVAL, "batch", fmt.Sprintf("%d trailing bytes", len(buf)))
 	}
 	return msgs, nil
 }

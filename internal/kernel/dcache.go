@@ -1,7 +1,6 @@
 package kernel
 
 import (
-	"hash/fnv"
 	"sync"
 	"sync/atomic"
 
@@ -57,12 +56,20 @@ func (c *DecisionCache) Disable() { c.enabled.Store(false) }
 // Enable turns the cache back on.
 func (c *DecisionCache) Enable() { c.enabled.Store(true) }
 
+// regionHash is FNV-1a over op, a 0 separator, then obj — computed inline
+// so the warm lookup path stays allocation-free in the static view too
+// (hash values are identical to the fnv.New32a formulation it replaces).
 func regionHash(op, obj string) uint32 {
-	h := fnv.New32a()
-	h.Write([]byte(op))
-	h.Write([]byte{0})
-	h.Write([]byte(obj))
-	return h.Sum32()
+	const prime32 = 16777619
+	h := uint32(2166136261)
+	for i := 0; i < len(op); i++ {
+		h = (h ^ uint32(op[i])) * prime32
+	}
+	h = (h ^ 0) * prime32
+	for i := 0; i < len(obj); i++ {
+		h = (h ^ uint32(obj[i])) * prime32
+	}
+	return h
 }
 
 // region selects the subregion holding all entries for (op, obj).

@@ -38,6 +38,8 @@ func (k *Kernel) setFlag(bit uint32, on bool) {
 // capability-table shard read-lock. Every stage is a stage of this one
 // pipeline, so the ablation configurations (Table 1 bare, Figure 4 cases)
 // toggle dispatch stages rather than diverging code paths.
+//
+//nexus:errno
 func (k *Kernel) dispatch(from *Process, pt *Port, m *Msg, invoke Handler) ([]byte, error) {
 	return k.dispatchFlags(k.flags.Load(), from, pt, m, invoke, nil)
 }
@@ -46,6 +48,12 @@ func (k *Kernel) dispatch(from *Process, pt *Port, m *Msg, invoke Handler) ([]by
 // entry loads it once per submission) and an optional marshal arena: when
 // arena is non-nil the wire copy is appended there instead of allocating,
 // and the grown arena is returned through *arena.
+//
+// The warm path is allocation-free (pinned by TestAllocSyscallWarmAuthz and
+// TestAllocBatchedSubmitWarm; nexuslint checks the static view).
+//
+//nexus:noalloc
+//nexus:errno
 func (k *Kernel) dispatchFlags(flags uint32, from *Process, pt *Port, m *Msg, invoke Handler, arena *[]byte) ([]byte, error) {
 	// Channel check: capability systems gate connectivity before policy.
 	if pt != nil {

@@ -134,7 +134,10 @@ func (e *Error) Is(target error) bool {
 	return false
 }
 
-// abiErr builds a typed ABI error.
+// abiErr builds a typed ABI error. It allocates, deliberately: error
+// construction is off the warm path by definition.
+//
+//nexus:alloc-ok
 func abiErr(errno Errno, op, detail string) *Error {
 	return &Error{Errno: errno, Op: op, Detail: detail}
 }

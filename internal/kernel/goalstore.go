@@ -193,7 +193,8 @@ func (k *Kernel) registeredProof(subj, op, obj string) *RegisteredProof {
 func (k *Kernel) GuardUpcalls() uint64 { return k.guardUpcalls.Load() }
 
 // authorize enforces the goal (if any) on (subject, op, obj): decision
-// cache first, guard upcall on miss (§2.8, Figure 1).
+// cache first, guard upcall on miss (§2.8, Figure 1). The hit path is
+// allocation-free; the miss path (authorizeMiss) allocates by design.
 func (k *Kernel) authorize(from *Process, op, obj string) error {
 	subj := from.PrinString()
 
@@ -202,9 +203,19 @@ func (k *Kernel) authorize(from *Process, op, obj string) error {
 		if allow {
 			return nil
 		}
-		return abiErr(EACCES, op, "cached denial for "+subj+" on "+obj)
+		return abiErr(EACCES, op, "cached denial for "+subj+" on "+obj) //nexus:coldpath
 	}
+	return k.authorizeMiss(from, subj, op, obj)
+}
 
+// authorizeMiss is the cache-miss continuation of authorize: goal lookup,
+// guard upcall, audit record, cache fill. It allocates (GuardRequest,
+// audit record, reason strings) — that cost is the price of a policy
+// decision, paid once per (subject, op, obj) epoch, and is why the
+// decision cache exists.
+//
+//nexus:alloc-ok
+func (k *Kernel) authorizeMiss(from *Process, subj, op, obj string) error {
 	// The epoch is read before any goal or proof state: if a setgoal or
 	// setproof invalidation lands while the decision below is in flight,
 	// InsertIf discards the result instead of caching it stale. (Reading

@@ -161,17 +161,20 @@ func DecodeWire(buf []byte) (*Msg, error) { return unmarshalMsg(buf) }
 func MarshalMsgForBench(m *Msg) []byte { return marshalMsg(m) }
 
 // unmarshalMsg decodes a marshaled message; reference monitors use it to
-// inspect rewritten argument buffers.
+// inspect rewritten argument buffers. Malformed input is an EINVAL-classed
+// ABI error (this is the DecodeWire surface monitors see).
+//
+//nexus:errno
 func unmarshalMsg(buf []byte) (*Msg, error) {
 	m := &Msg{}
 	next := func() ([]byte, error) {
 		if len(buf) < 4 {
-			return nil, fmt.Errorf("kernel: truncated message")
+			return nil, abiErr(EINVAL, "decode-msg", "truncated message header")
 		}
 		n := binary.LittleEndian.Uint32(buf[:4])
 		buf = buf[4:]
 		if uint32(len(buf)) < n {
-			return nil, fmt.Errorf("kernel: truncated message")
+			return nil, abiErr(EINVAL, "decode-msg", "truncated message body")
 		}
 		out := buf[:n]
 		buf = buf[n:]

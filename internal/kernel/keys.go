@@ -14,9 +14,14 @@ func marshalKey(k ed25519.PrivateKey) []byte {
 	return k.Seed()
 }
 
+// unmarshalKey rebuilds the node key from an unsealed seed. A wrong-sized
+// seed means the sealed blob was corrupted or tampered with, so the
+// failure is classified as a boot-integrity (EINTEGRITY) error.
+//
+//nexus:errno
 func unmarshalKey(raw []byte) (ed25519.PrivateKey, error) {
 	if len(raw) != ed25519.SeedSize {
-		return nil, fmt.Errorf("kernel: sealed key has wrong length %d", len(raw))
+		return nil, abiErr(EINTEGRITY, "unseal-key", fmt.Sprintf("sealed key has wrong length %d", len(raw)))
 	}
 	return ed25519.NewKeyFromSeed(raw), nil
 }
@@ -32,10 +37,11 @@ func sealedBlobMarshal(b *tpm.SealedBlob) ([]byte, error) {
 	return asn1.Marshal(sealedBlobSeq{EKID: b.EKID, Nonce: b.Nonce, Ciphertext: b.Ciphertext})
 }
 
+//nexus:errno
 func sealedBlobUnmarshal(der []byte) (*tpm.SealedBlob, error) {
 	var s sealedBlobSeq
 	if rest, err := asn1.Unmarshal(der, &s); err != nil || len(rest) != 0 {
-		return nil, fmt.Errorf("kernel: sealed blob decode failed")
+		return nil, abiErr(EINTEGRITY, "unseal-blob", "sealed blob decode failed")
 	}
 	return &tpm.SealedBlob{EKID: s.EKID, Nonce: s.Nonce, Ciphertext: s.Ciphertext}, nil
 }

@@ -3,7 +3,7 @@ package kernel
 import (
 	"context"
 	"encoding/binary"
-	"errors"
+	"fmt"
 	"time"
 
 	"repro/internal/nal/proof"
@@ -208,7 +208,7 @@ func (s *Session) SubmitRemote(ctx context.Context, c Cap, subs []Sub, comps []C
 				peer.fail()
 				return comps, ErrTransportClosed
 			}
-			comps[ci].Err = errors.New(detail)
+			comps[ci].Err = fmt.Errorf("%w: %s", ErrRemoteHandler, detail)
 		default:
 			peer.fail()
 			return comps, ErrTransportClosed

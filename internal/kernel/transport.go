@@ -106,6 +106,11 @@ var (
 	ErrTransportClosed = errors.New("kernel: transport closed")
 	ErrBadPeer         = errors.New("kernel: peer identity verification failed")
 	ErrSpoofedSpeaker  = errors.New("kernel: label speaker not rooted in sending node")
+
+	// ErrRemoteHandler classifies a handler-level error rebuilt from a
+	// peer's wire frame: the remote handler itself failed (EOK class, not
+	// a kernel ABI error). The original handler text follows the sentinel.
+	ErrRemoteHandler = errors.New("kernel: remote handler error")
 )
 
 // Conn is a reliable, ordered, framed byte pipe between two nodes. Send
@@ -940,7 +945,7 @@ func (p *Peer) await(t0 time.Time, ch chan netResp, wantType byte) ([]byte, erro
 			return nil, ErrTransportClosed
 		}
 		if Errno(en) == EOK {
-			return nil, errors.New(detail)
+			return nil, fmt.Errorf("%w: %s", ErrRemoteHandler, detail)
 		}
 		return nil, abiErr(Errno(en), op, detail)
 	}

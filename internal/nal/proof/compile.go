@@ -177,14 +177,20 @@ func (c *Compiled) stepPure(cs *cstep) bool {
 // Check validates the compiled proof and confirms its conclusion equals
 // goal, with the semantics of Check on the source proof. The warm path —
 // every formula already interned, memo hits on pure steps — allocates
-// nothing.
+// nothing (pinned by TestAllocCompiledProofCheck; nexuslint checks the
+// static view).
+//
+//nexus:noalloc
 func (c *Compiled) Check(goal nal.Formula, env *Env) (Result, error) {
 	var res Result
 	if env == nil {
-		env = &Env{}
+		env = &Env{} //nexus:coldpath — warm callers pass their own Env
 	}
 	credIDs := env.CredentialIDs
-	if len(credIDs) != len(env.Credentials) {
+	// Interning credentials on the fly is the compatibility path; warm
+	// callers (the kernel's registered-proof pipeline) precompute
+	// CredentialIDs once at SetProof time.
+	if len(credIDs) != len(env.Credentials) { //nexus:coldpath
 		var buf [32]nal.FormulaID
 		credIDs = buf[:0]
 		for _, cr := range env.Credentials {

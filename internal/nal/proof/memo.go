@@ -91,6 +91,10 @@ func memoLookup(k *memoKey) (memoVal, bool) {
 	return v, ok
 }
 
+// memoInsert runs only on a memo miss (and the rare shard reset): the
+// allocation is amortized across every later hit.
+//
+//nexus:alloc-ok
 func memoInsert(k *memoKey, v memoVal) {
 	if !memoEnabled.Load() {
 		return

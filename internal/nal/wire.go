@@ -313,7 +313,10 @@ func (d *WireDecoder) pRef(r *wireReader) (PrinID, bool) {
 // Definitions extend the connection's remap tables as a side effect; a
 // malformed or truncated message fails without losing previously decoded
 // state. The warm path — a message that is a bare root reference — reads
-// one opcode and one varint and allocates nothing.
+// one opcode and one varint and allocates nothing (pinned by
+// BenchmarkWireDecodeWarm; nexuslint checks the static view).
+//
+//nexus:noalloc
 func (d *WireDecoder) DecodeFormula(buf []byte) (FormulaID, int, error) {
 	r := wireReader{buf: buf}
 	for {
@@ -375,6 +378,11 @@ func (d *WireDecoder) DecodePrin(buf []byte) (PrinID, int, error) {
 	}
 }
 
+// Definitions intern new nodes and extend the remap tables; the cost is
+// paid once per novel subterm on a connection. The noalloc warm path is
+// the bare reference case in DecodeFormula.
+//
+//nexus:alloc-ok
 func (d *WireDecoder) defFormula(r *wireReader) error {
 	kb, ok := r.byte()
 	if !ok {
@@ -484,6 +492,11 @@ func (d *WireDecoder) defFormula(r *wireReader) error {
 	return nil
 }
 
+// Definitions intern new nodes and extend the remap tables; the cost is
+// paid once per novel subterm on a connection. The noalloc warm path is
+// the bare reference case in DecodeFormula.
+//
+//nexus:alloc-ok
 func (d *WireDecoder) defTerm(r *wireReader) error {
 	kb, ok := r.byte()
 	if !ok {
@@ -557,6 +570,11 @@ func (d *WireDecoder) defTerm(r *wireReader) error {
 	return nil
 }
 
+// Definitions intern new nodes and extend the remap tables; the cost is
+// paid once per novel subterm on a connection. The noalloc warm path is
+// the bare reference case in DecodeFormula.
+//
+//nexus:alloc-ok
 func (d *WireDecoder) defPrin(r *wireReader) error {
 	kb, ok := r.byte()
 	if !ok {
