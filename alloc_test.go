@@ -16,6 +16,10 @@ import (
 
 // allocKernel boots a kernel for allocation measurement.
 func allocKernel(t *testing.T, opts kernel.Options) *kernel.Kernel {
+	return allocKernelTB(t, opts)
+}
+
+func allocKernelTB(t testing.TB, opts kernel.Options) *kernel.Kernel {
 	t.Helper()
 	tp, err := tpm.Manufacture(1024)
 	if err != nil {
@@ -197,6 +201,116 @@ func TestAllocBatchedSubmitWarm(t *testing.T) {
 	// with marshaling on (one Msg escape + pool jitter across 64 ops).
 	if perOp > 0.25 {
 		t.Errorf("batched submit allocates %.2f objects/op, want ≤ 0.25", perOp)
+	}
+}
+
+// remoteAllocWorld wires a two-kernel loopback world for transport
+// allocation pinning: echo service exported by one node, dialed by the
+// other, connection warm (handshake done, channel freelist and frame pool
+// primed by a burst of calls).
+func remoteAllocWorld(t testing.TB) (*kernel.Session, kernel.Cap) {
+	t.Helper()
+	kSrv := allocKernelTB(t, kernel.Options{})
+	kSrv.SetGuard(guardAllowAll{})
+	kCli := allocKernelTB(t, kernel.Options{})
+	srv, err := kSrv.NewSession([]byte("srv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := srv.Listen(func(kernel.Caller, *kernel.Msg) ([]byte, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	port, _ := srv.PortOf(pc)
+	lt := kernel.NewLoopbackTransport()
+	nSrv := kernel.NewNode(kSrv)
+	l, err := lt.Listen("alloc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nSrv.Serve(l)
+	t.Cleanup(nSrv.Close)
+	if err := nSrv.Export("echo", port); err != nil {
+		t.Fatal(err)
+	}
+	nCli := kernel.NewNode(kCli)
+	t.Cleanup(nCli.Close)
+	peer, err := nCli.Dial(lt, "alloc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := kCli.NewSession([]byte("cli"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := cli.Connect(peer, "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &kernel.Msg{Op: "read", Obj: "obj"}
+	for i := 0; i < 64; i++ {
+		if _, err := cli.CallRemote(rc, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cli, rc
+}
+
+// TestAllocRemoteCallWarm pins the warm cross-node call over the loopback
+// transport at ≤2 allocations per op, both endpoints included. The request
+// frame stages in a pooled egress buffer, the pending-call channel comes
+// from the connection's freelist, and the request buffer recirculates
+// through the server's ingress arena back to the frame pool; the only
+// inherent allocation left is the response frame, which escapes to the
+// caller. This is the regression pin for the BENCH_net
+// call/remote-loopback row and the static //nexus:noalloc egress roots.
+func TestAllocRemoteCallWarm(t *testing.T) {
+	if raceEnabled {
+		t.Skip("cross-goroutine pool reuse is perturbed under the race detector")
+	}
+	cli, rc := remoteAllocWorld(t)
+	m := &kernel.Msg{Op: "read", Obj: "obj"}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := cli.CallRemote(rc, m); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 2 {
+		t.Errorf("warm remote call allocates %.1f objects/op, want ≤ 2", allocs)
+	}
+}
+
+// TestAllocSubmitRemoteBatchWarm pins the batched remote submission path
+// at effectively zero allocations per operation: the batch frame builds in
+// one pooled buffer whose ownership transfers to the egress combiner, the
+// completion queue is reused, and per-batch costs (the sent-index slice,
+// the response frame) amortize across the 64 operations. This is the
+// regression pin for the BENCH_net submit-remote/batch64 row.
+func TestAllocSubmitRemoteBatchWarm(t *testing.T) {
+	if raceEnabled {
+		t.Skip("cross-goroutine pool reuse is perturbed under the race detector")
+	}
+	cli, rc := remoteAllocWorld(t)
+	const depth = 64
+	subs := make([]kernel.Sub, depth)
+	for i := range subs {
+		subs[i] = kernel.Sub{Cap: rc, Op: "read", Obj: "obj", Tag: uint64(i)}
+	}
+	comps := make([]kernel.Completion, 0, depth)
+	run := func() {
+		out, err := cli.SubmitRemote(nil, rc, subs, comps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range out {
+			if out[i].Err != nil {
+				t.Fatal(out[i].Err)
+			}
+		}
+	}
+	run() // warm the batch path (sent-slice sizing, response pooling)
+	perOp := testing.AllocsPerRun(50, run) / depth
+	if perOp > 0.25 {
+		t.Errorf("batched remote submit allocates %.2f objects/op, want ≤ 0.25", perOp)
 	}
 }
 

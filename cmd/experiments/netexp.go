@@ -29,6 +29,13 @@ import (
 //	                      established idle connection (both endpoints —
 //	                      loopback keeps client and server in-process)
 //	call/remote-tcp       cross-node call over the TCP backend
+//	call/remote-tcp-batch64 per-op cost of a 64-op batch over TCP
+//	tcp/wakeups-per-req   ns_per_op abused as a ratio: blocking poll
+//	                      wakeups per TCP request, both kernels summed —
+//	                      the wakeup-free datapath acceptance figure
+//	egress/coalesce       ns_per_op abused as a ratio: frames per egress
+//	                      flush during a pipelined TCP burst (how many
+//	                      frames each write carries)
 //	call/remote-authz     cross-node call with credential-backed guard
 //	                      authorization on the serving kernel (warm)
 //	xfer/label            externalize + transfer + verified ingress intern
@@ -224,15 +231,98 @@ func netExp() error {
 		nStore.Serve(tl)
 		if tpeer, err := nFront.Dial(tr, tl.Addr()); err == nil {
 			if tc, err := cli.Connect(tpeer, "echo"); err == nil {
-				rows = append(rows, netBenchRow("call/remote-tcp", func(b *testing.B) {
+				tcp := netBenchRow("call/remote-tcp", func(b *testing.B) {
 					b.ReportAllocs()
 					for i := 0; i < b.N; i++ {
 						if _, err := cli.CallRemote(tc, m); err != nil {
 							b.Fatal(err)
 						}
 					}
-				}))
+				})
+				rows = append(rows, tcp)
+
+				// Poll-wakeup accounting over a dedicated warm loop (not the
+				// benchmark above: testing.Benchmark's calibration runs would
+				// inflate the numerator against the final run's iteration
+				// count). The per-shard pollers should wake once per inbound
+				// frame at most, so a lockstep request/response must land
+				// near 2 wakeups/request — one per direction.
+				{
+					const wakeReqs = 5000
+					wake0 := kStore.Metrics().NetPollWakeups + kFront.Metrics().NetPollWakeups
+					for i := 0; i < wakeReqs; i++ {
+						if _, err := cli.CallRemote(tc, m); err != nil {
+							return fmt.Errorf("wakeup loop: %w", err)
+						}
+					}
+					wake1 := kStore.Metrics().NetPollWakeups + kFront.Metrics().NetPollWakeups
+					perReq := float64(wake1-wake0) / float64(wakeReqs)
+					fmt.Printf("net_poll_wakeups per TCP request: %.2f\n", perReq)
+					rows = append(rows, netRow{Name: "tcp/wakeups-per-req", NsPerOp: perReq, Iteration: wakeReqs})
+				}
+
+				// Batched remote submission over TCP: the batch64 sibling of
+				// the loopback row, with real sockets and the contiguous
+				// egress combiner under it.
+				tsubs := make([]kernel.Sub, batchOps)
+				for i := range tsubs {
+					tsubs[i] = kernel.Sub{Cap: tc, Op: "read", Obj: "obj", Tag: uint64(i)}
+				}
+				var tcomps []kernel.Completion
+				tbatch := netBenchRow("call/remote-tcp-batch64", func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						var err error
+						tcomps, err = cli.SubmitRemote(nil, tc, tsubs, tcomps)
+						if err != nil {
+							b.Fatal(err)
+						}
+						for j := range tcomps {
+							if tcomps[j].Err != nil {
+								b.Fatal(tcomps[j].Err)
+							}
+						}
+					}
+				})
+				tbatch.NsPerOp /= batchOps
+				tbatch.AllocsOp /= batchOps
+				tbatch.BytesOp /= batchOps
+				rows = append(rows, tbatch)
+
+				// Egress coalescing ratio: a pipelined burst overlaps many
+				// requests in flight, so responses produced within one
+				// scheduling quantum leave in one write. frames/flush ≈ 1 is
+				// lockstep; the pipelined figure is the coalescing win.
+				snap := func() (flushes, frames uint64) {
+					s0, s1 := kStore.Metrics(), kFront.Metrics()
+					return s0.NetEgressFlushes + s1.NetEgressFlushes,
+						s0.NetEgressCoalescedFrames + s1.NetEgressCoalescedFrames
+				}
+				fl0, fr0 := snap()
+				coal := netBenchRow("egress/coalesce", func(b *testing.B) {
+					b.SetParallelism(16)
+					b.RunParallel(func(pb *testing.PB) {
+						for pb.Next() {
+							if _, err := cli.CallRemote(tc, m); err != nil {
+								b.Fatal(err)
+							}
+						}
+					})
+				})
+				fl1, fr1 := snap()
+				if fl1 > fl0 {
+					ratio := float64(fr1-fr0) / float64(fl1-fl0)
+					fmt.Printf("egress coalescing (pipelined TCP): %.2f frames/flush over %d flushes\n", ratio, fl1-fl0)
+					coal.NsPerOp = ratio
+					coal.AllocsOp, coal.BytesOp = 0, 0
+					rows = append(rows, coal)
+				}
 			}
+			// Tear the TCP link down before the loopback rows below: a live
+			// socket on a shard makes its worker park in epoll, and loopback
+			// traffic sharing that shard would pay eventfd kicks instead of
+			// condvar handoffs — cross-backend interference, not signal.
+			tpeer.Close()
 		}
 	}
 

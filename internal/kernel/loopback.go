@@ -7,7 +7,7 @@ import (
 )
 
 // LoopbackTransport is the in-memory transport backend: nodes in one
-// process connect by name, frames travel over buffered channels, and the
+// process connect by name, frames travel over an in-memory ring, and the
 // full handshake/codec/ingress path runs exactly as it would over TCP.
 // Tests and single-process experiments use it; nothing about the
 // attestation plane knows the difference.
@@ -50,7 +50,7 @@ func (t *LoopbackTransport) Dial(addr string) (Conn, error) {
 		// Re-check after winning the send race: if the listener closed
 		// concurrently, the buffered conn may never be accepted. Closing
 		// our end unblocks both halves whether or not Close's drain
-		// already reaped it (loopConn ends share one done channel).
+		// already reaped it (loopConn ends share one pipe state).
 		select {
 		case <-l.done:
 			a.Close()
@@ -106,74 +106,121 @@ func (l *loopListener) Close() error {
 
 func (l *loopListener) Addr() string { return l.addr }
 
-// loopPipeCap is the per-direction buffer of a loopback pipe. It is
-// deliberately above maxRecvWindow: a sender staying within its advertised
-// credit window (plus interleaved credit grants) always finds channel
-// space, so scheduler workers never block on an in-window loopback Send.
-const loopPipeCap = 256
+// loopKeepFrames bounds the queue backing array retained after a
+// direction fully drains, so an idle connection pins a few slots of slice
+// header, not a deep ring.
+const loopKeepFrames = 64
+
+// loopState is the shared state of one loopback pipe: two frame queues
+// (one per direction), their condvars (blocking Recv is handshake-only),
+// and the closed flag. mu is a leaf lock — scheduler wakeups run strictly
+// after it is released, so it can never order against a shard lock.
+type loopState struct {
+	mu     sync.Mutex
+	cond   [2]*sync.Cond
+	q      [2][][]byte
+	head   [2]int
+	closed bool
+}
+
+// popLocked removes the next frame of direction i, resetting (and, above
+// the retention bound, releasing) the backing array on full drain.
+func (st *loopState) popLocked(i int) ([]byte, bool) {
+	if st.head[i] == len(st.q[i]) {
+		return nil, false
+	}
+	f := st.q[i][st.head[i]]
+	st.q[i][st.head[i]] = nil
+	st.head[i]++
+	if st.head[i] == len(st.q[i]) {
+		if cap(st.q[i]) > loopKeepFrames {
+			st.q[i] = nil
+		} else {
+			st.q[i] = st.q[i][:0]
+		}
+		st.head[i] = 0
+	}
+	return f, true
+}
 
 // loopConn is one end of an in-memory duplex pipe. Closing either end
 // unblocks both. It implements frameSource natively: Send wakes the peer
 // end's scheduler registration, so an idle loopback connection costs no
-// goroutine at all.
+// goroutine at all — and, since the queues grow on demand and shrink when
+// drained, almost no memory.
 type loopConn struct {
-	out  chan<- []byte
-	in   <-chan []byte
-	done chan struct{}
-	once *sync.Once
+	st   *loopState
+	w, r int // this end writes st.q[w], reads st.q[r]
 	peer *loopConn
-	note atomic.Pointer[func()] // scheduler readiness callback, nil until start
+	note atomic.Pointer[schedConn] // scheduler handle, nil until start
 }
 
 func newLoopPipe() (Conn, Conn) {
-	ab := make(chan []byte, loopPipeCap)
-	ba := make(chan []byte, loopPipeCap)
-	done := make(chan struct{})
-	once := &sync.Once{}
-	a := &loopConn{out: ab, in: ba, done: done, once: once}
-	b := &loopConn{out: ba, in: ab, done: done, once: once}
+	st := &loopState{}
+	st.cond[0] = sync.NewCond(&st.mu)
+	st.cond[1] = sync.NewCond(&st.mu)
+	a := &loopConn{st: st, w: 0, r: 1}
+	b := &loopConn{st: st, w: 1, r: 0}
 	a.peer, b.peer = b, a
 	return a, b
 }
 
-// wake invokes this end's readiness callback, if registered.
+// wake queues this end's scheduler registration, if any. Callers must not
+// hold st.mu: notify re-enters the scheduler shard lock.
 func (c *loopConn) wake() {
-	if fn := c.note.Load(); fn != nil {
-		(*fn)()
+	if sc := c.note.Load(); sc != nil {
+		sc.notify()
 	}
 }
 
+// Send never blocks: the queue grows on demand, and the transport's
+// credit window (each side advertises at most maxRecvWindow) bounds how
+// deep a protocol-abiding peer can make it.
 func (c *loopConn) Send(frame []byte) error {
 	if len(frame) > maxNetFrame {
 		return errors.New("kernel: frame exceeds maximum size")
 	}
-	select {
-	case c.out <- frame:
-		c.peer.wake()
-		return nil
-	case <-c.done:
+	st := c.st
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
 		return errLoopClosed
 	}
+	st.q[c.w] = append(st.q[c.w], frame)
+	st.cond[c.w].Signal()
+	st.mu.Unlock()
+	c.peer.wake()
+	return nil
 }
 
+// Recv blocks for one frame — handshake-only once the connection is
+// registered with a scheduler (tryRecv is the runtime's path). Frames
+// queued before a close still drain, so an orderly shutdown delivers
+// responses already in flight.
 func (c *loopConn) Recv() ([]byte, error) {
-	select {
-	case f := <-c.in:
-		return f, nil
-	case <-c.done:
-		// Drain frames that raced the close so an orderly shutdown still
-		// delivers responses already in flight.
-		select {
-		case f := <-c.in:
-			return f, nil
-		default:
-		}
+	st := c.st
+	st.mu.Lock()
+	for st.head[c.r] == len(st.q[c.r]) && !st.closed {
+		st.cond[c.r].Wait()
+	}
+	f, ok := st.popLocked(c.r)
+	st.mu.Unlock()
+	if !ok {
 		return nil, errLoopClosed
 	}
+	return f, nil
 }
 
 func (c *loopConn) Close() error {
-	c.once.Do(func() { close(c.done) })
+	st := c.st
+	st.mu.Lock()
+	already := st.closed
+	st.closed = true
+	if !already {
+		st.cond[0].Broadcast()
+		st.cond[1].Broadcast()
+	}
+	st.mu.Unlock()
 	// Wake both scheduler registrations so parked connections observe the
 	// closure instead of sleeping on a dead pipe.
 	c.wake()
@@ -181,35 +228,28 @@ func (c *loopConn) Close() error {
 	return nil
 }
 
-// frameSource implementation: the scheduler polls the inbound channel
-// directly. Blocking Recv remains in use during the handshake, before the
-// connection is registered; the register-time notify kick picks up frames
-// that landed in between.
+// frameSource implementation: the scheduler polls the inbound queue
+// directly. The register-time notify kick picks up frames that landed
+// between the handshake and registration.
 
-func (c *loopConn) start(notify func()) error {
-	c.note.Store(&notify)
+func (c *loopConn) start(sc *schedConn) error {
+	c.note.Store(sc)
 	return nil
 }
 
 func (c *loopConn) tryRecv(*netArena) ([]byte, error) {
-	select {
-	case f := <-c.in:
+	st := c.st
+	st.mu.Lock()
+	f, ok := st.popLocked(c.r)
+	closed := st.closed
+	st.mu.Unlock()
+	if ok {
 		return f, nil
-	default:
 	}
-	select {
-	case <-c.done:
-		// Drain frames that raced the close so an orderly shutdown still
-		// delivers responses already in flight.
-		select {
-		case f := <-c.in:
-			return f, nil
-		default:
-		}
+	if closed {
 		return nil, errLoopClosed
-	default:
-		return nil, nil
 	}
+	return nil, nil
 }
 
 func (c *loopConn) drained() {}

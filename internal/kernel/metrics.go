@@ -38,9 +38,12 @@ const (
 	mNetSendBytes
 	mNetRecvs // transport frames received
 	mNetRecvBytes
-	mNetTimeouts   // transport I/O classified ETIMEDOUT
-	mNetShed       // connections rejected at the MaxConns shed-load gate
-	mLedgerFwdErrs // audit→ledger forwards the ledger rejected
+	mNetTimeouts       // transport I/O classified ETIMEDOUT
+	mNetShed           // connections rejected at the MaxConns shed-load gate
+	mNetPollWakeups    // blocking EpollWait returns on parked shard workers
+	mNetEgressFlushes  // egress-combiner flushes (writes to the connection)
+	mNetEgressFrames   // frames that left through the combiner
+	mLedgerFwdErrs     // audit→ledger forwards the ledger rejected
 	numMetrics
 )
 
@@ -173,6 +176,13 @@ type MetricsSnapshot struct {
 	NetLiveConns   uint64 // gauge: established connections (accepted + dialed)
 	NetPoolDepth   uint64 // gauge: connections queued for a scheduler worker
 	NetShedRejects uint64 // connections rejected at the MaxConns gate
+	// Wakeup-free datapath: shard-worker poll wakeups and egress
+	// coalescing. A parked worker resuming from EpollWait counts one
+	// wakeup however many connections the return readies; frames-per-flush
+	// (NetEgressCoalescedFrames / NetEgressFlushes) measures coalescing.
+	NetPollWakeups           uint64
+	NetEgressFlushes         uint64
+	NetEgressCoalescedFrames uint64
 	// Latency distributions.
 	GuardUpcallNs HistogramSnapshot
 	NetRequestNs  HistogramSnapshot
@@ -219,6 +229,9 @@ func (k *Kernel) Metrics() MetricsSnapshot {
 		NetLiveConns:       gauge(m.netConns.Load()),
 		NetPoolDepth:       gauge(m.netQueued.Load()),
 		NetShedRejects:     m.total(mNetShed),
+		NetPollWakeups:     m.total(mNetPollWakeups),
+		NetEgressFlushes:   m.total(mNetEgressFlushes),
+		NetEgressCoalescedFrames: m.total(mNetEgressFrames),
 		GuardUpcallNs:      m.guardNs.snapshot(),
 		NetRequestNs:       m.netReqNs.snapshot(),
 		NetInflightDepth:   m.netDepth.snapshot(),
@@ -265,6 +278,9 @@ func (s *MetricsSnapshot) render() string {
 	row("net_conns", s.NetLiveConns)
 	row("net_pool_depth", s.NetPoolDepth)
 	row("net_shed_rejects", s.NetShedRejects)
+	row("net_poll_wakeups", s.NetPollWakeups)
+	row("net_egress_flushes", s.NetEgressFlushes)
+	row("net_egress_coalesced_frames", s.NetEgressCoalescedFrames)
 	hist := func(name string, h *HistogramSnapshot) {
 		row(name+"_count", h.Count)
 		row(name+"_sum_ns", h.SumNs)

@@ -1,21 +1,42 @@
 //go:build linux
 
-// Epoll-driven frame source for TCP connections: the native backend of the
-// event-driven transport runtime on Linux. One poller goroutine per Node
-// (created lazily on the first TCP registration) watches every registered
-// socket with one-shot level-triggered epoll; readiness wakes the
-// connection's scheduler entry, and the owning worker then pulls complete
-// frames without blocking — FIONREAD bounds each read to what the socket
-// already holds, and partial frames are reassembled across wakeups in
-// per-connection state. Frame bodies are read directly into the shard's
-// pooled arena buffers, so the steady-state ingress path allocates nothing.
+// Per-shard epoll backend of the event-driven transport runtime: the
+// native frame source for TCP connections on Linux.
+//
+// There is no poller thread. Each scheduler shard owns an epoll instance,
+// and when the shard's run queue empties its worker parks on that instance
+// (schedShard.pop) — socket readiness resumes the worker directly and the
+// woken worker immediately runs the ready connection, where the old
+// shared-poller design paid a poller→worker thread handoff (a context
+// switch each way) per wakeup. The park itself is a goroutine park, not a
+// blocked thread: the epoll descriptor is handed to the Go runtime's
+// netpoller (an epoll fd is readable exactly when its interest set has
+// pending events), and the worker sleeps in RawRead until it is. Parking a
+// raw EpollWait thread instead would pin the worker's P in _Psyscall until
+// sysmon retakes it — tens of microseconds per wakeup on a small
+// GOMAXPROCS, paid on every hop of a lockstep round trip; the
+// netpoller-integrated park releases the P immediately and the wake is an
+// ordinary goroutine switch. Sockets are registered one-shot
+// (EPOLLONESHOT) and re-armed by drained() after the worker empties them;
+// cross-thread notify() on a parked shard writes the shard's eventfd,
+// which lives in the same epoll set. If the runtime refuses the epoll fd,
+// the shard falls back to parking a thread in blocking EpollWait.
+//
+// Ownership: the epoll fd and eventfd belong to the shard (closed by
+// connSched.close after its worker exits); the fd→source registration
+// table is guarded by schedShard.mu; the event and ready buffers are
+// confined to the owning worker. FIONREAD bounds each read to what the
+// socket already holds so tryRecv never blocks a worker, partial frames
+// are reassembled across wakeups in per-connection state, and frame
+// bodies are read directly into the shard's pooled arena buffers, so the
+// steady-state ingress path allocates nothing.
 package kernel
 
 import (
 	"encoding/binary"
 	"errors"
 	"io"
-	"sync"
+	"os"
 	"sync/atomic"
 	"syscall"
 	"unsafe"
@@ -27,151 +48,243 @@ const tcpPollEvents = uint32(syscall.EPOLLIN|syscall.EPOLLRDHUP) | uint32(syscal
 
 var errNoRawConn = errors.New("kernel: connection exposes no raw descriptor")
 
-// netPoller multiplexes epoll readiness for all of a node's TCP
-// connections onto one goroutine.
-type netPoller struct {
-	epfd         int
-	wakeR, wakeW int
+// eventfd flags (not exported by the syscall package).
+const (
+	efdNonblock = 0x800
+	efdCloexec  = 0x80000
+)
 
-	mu     sync.Mutex
-	conns  map[int]*tcpSource
-	closed bool
+// shardPoller is one shard's epoll instance: the descriptors, the
+// registration table, and the worker-confined event scratch.
+type shardPoller struct {
+	epfd int
+	efd  int // eventfd: cross-thread wakeup for a parked worker
 
-	wg sync.WaitGroup
+	// ef wraps epfd so the worker can park on it through the runtime
+	// netpoller; rc is its raw-access handle. raw means the runtime
+	// rejected the descriptor and the worker parks a thread in blocking
+	// EpollWait instead.
+	ef  *os.File
+	rc  syscall.RawConn
+	raw bool
+
+	// conns and nfds are guarded by the owning schedShard's mu.
+	conns map[int]*tcpSource
+	nfds  int
+
+	// events and ready are confined to the shard's worker goroutine.
+	events [64]syscall.EpollEvent
+	ready  []*tcpSource
 }
 
-func newNetPoller() (*netPoller, error) {
+func newShardPoller() (*shardPoller, error) {
 	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
 	if err != nil {
 		return nil, err
 	}
-	var pipe [2]int
-	if err := syscall.Pipe2(pipe[:], syscall.O_NONBLOCK|syscall.O_CLOEXEC); err != nil {
+	efd, _, errno := syscall.Syscall(syscall.SYS_EVENTFD2, 0, efdNonblock|efdCloexec, 0)
+	if errno != 0 {
 		syscall.Close(epfd)
+		return nil, errno
+	}
+	p := &shardPoller{epfd: epfd, efd: int(efd), conns: map[int]*tcpSource{}}
+	ev := syscall.EpollEvent{Events: uint32(syscall.EPOLLIN), Fd: int32(p.efd)}
+	if err := syscall.EpollCtl(epfd, syscall.EPOLL_CTL_ADD, p.efd, &ev); err != nil {
+		syscall.Close(epfd)
+		syscall.Close(p.efd)
 		return nil, err
 	}
-	p := &netPoller{epfd: epfd, wakeR: pipe[0], wakeW: pipe[1], conns: map[int]*tcpSource{}}
-	ev := syscall.EpollEvent{Events: uint32(syscall.EPOLLIN), Fd: int32(p.wakeR)}
-	if err := syscall.EpollCtl(epfd, syscall.EPOLL_CTL_ADD, p.wakeR, &ev); err != nil {
-		syscall.Close(epfd)
-		syscall.Close(pipe[0])
-		syscall.Close(pipe[1])
-		return nil, err
+	// Hand the epoll descriptor itself to the runtime netpoller: O_NONBLOCK
+	// makes os.NewFile register it, and from then on a parked worker is a
+	// parked goroutine (RawRead), not a thread holding its P hostage in a
+	// blocking EpollWait.
+	syscall.SetNonblock(epfd, true)
+	p.ef = os.NewFile(uintptr(epfd), "shard-epoll")
+	rc, err := p.ef.SyscallConn()
+	if err != nil {
+		p.raw = true
+		return p, nil
 	}
-	p.wg.Add(1)
-	go p.loop()
+	p.rc = rc
+	// Probe whether the runtime actually accepted the descriptor: force one
+	// real park with a wakeup already pending. Pollable: the park wakes
+	// immediately and the second callback ends the read. Not pollable:
+	// waitRead fails and the shard falls back to raw EpollWait parking.
+	p.kick()
+	calls := 0
+	if err := rc.Read(func(uintptr) bool { calls++; return calls > 1 }); err != nil {
+		p.raw = true
+	}
+	var buf [8]byte
+	syscall.Read(p.efd, buf[:]) // drain the probe kick
 	return p, nil
 }
 
-func (p *netPoller) loop() {
-	defer p.wg.Done()
-	var events [64]syscall.EpollEvent
+// kick resumes a worker parked in EpollWait. The eventfd add is cheap,
+// async-safe, and coalesces: concurrent kicks cost one wakeup.
+func (p *shardPoller) kick() {
+	var one [8]byte
+	binary.NativeEndian.PutUint64(one[:], 1)
 	for {
-		n, err := syscall.EpollWait(p.epfd, events[:], -1)
-		if err != nil {
-			if err == syscall.EINTR {
-				continue
-			}
+		_, err := syscall.Write(p.efd, one[:])
+		if err != syscall.EINTR {
 			return
 		}
-		for i := 0; i < n; i++ {
-			ev := &events[i]
-			fd := int(ev.Fd)
-			if fd == p.wakeR {
-				p.mu.Lock()
-				closed := p.closed
-				p.mu.Unlock()
-				if closed {
-					return
-				}
-				var buf [64]byte
-				syscall.Read(p.wakeR, buf[:])
-				continue
-			}
-			p.mu.Lock()
-			ts := p.conns[fd]
-			p.mu.Unlock()
-			if ts == nil {
-				continue // deregistered while the event was in flight
-			}
-			if ev.Events&uint32(syscall.EPOLLERR|syscall.EPOLLHUP|syscall.EPOLLRDHUP) != 0 {
-				ts.hup.Store(true)
-			}
-			ts.notify()
-		}
 	}
 }
 
-func (p *netPoller) add(t *tcpSource) error {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		return ErrTransportClosed
+// close releases the descriptors. Only called after the shard's worker has
+// exited and every source is deregistered.
+func (p *shardPoller) close() {
+	if p.ef != nil {
+		p.ef.Close() // closes epfd and deregisters it from the netpoller
+	} else {
+		syscall.Close(p.epfd)
 	}
-	p.conns[t.fd] = t
-	p.mu.Unlock()
-	ev := syscall.EpollEvent{Events: tcpPollEvents, Fd: int32(t.fd)}
-	if err := syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_ADD, t.fd, &ev); err != nil {
-		p.mu.Lock()
-		delete(p.conns, t.fd)
-		p.mu.Unlock()
-		return err
-	}
-	return nil
+	syscall.Close(p.efd)
 }
 
-func (p *netPoller) rearm(t *tcpSource) error {
-	ev := syscall.EpollEvent{Events: tcpPollEvents, Fd: int32(t.fd)}
-	return syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_MOD, t.fd, &ev)
-}
-
-func (p *netPoller) del(t *tcpSource) {
-	p.mu.Lock()
-	delete(p.conns, t.fd)
-	p.mu.Unlock()
-	var ev syscall.EpollEvent
-	syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_DEL, t.fd, &ev)
-}
-
-func (p *netPoller) close() {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+// pollEvents collects readiness from the shard's poller — blocking (the
+// worker parks until readiness or a kick) or nonblocking (the pre-dequeue
+// starvation guard in pop). The blocking park is a goroutine park: RawRead
+// sleeps in the runtime netpoller until the epoll set has events, then
+// pollOnce dispatches them. The worker parks only after a pollOnce pass
+// found the set empty, so the netpoller's edge-triggered registration of
+// the epfd cannot miss a pending event.
+func (s *schedShard) pollEvents(block bool) {
+	if !block {
+		s.pollOnce()
 		return
 	}
-	p.closed = true
-	p.mu.Unlock()
-	syscall.Write(p.wakeW, []byte{1})
-	p.wg.Wait()
-	syscall.Close(p.epfd)
-	syscall.Close(p.wakeR)
-	syscall.Close(p.wakeW)
+	if s.ep.raw {
+		s.pollWaitRaw()
+		return
+	}
+	found := false
+	err := s.ep.rc.Read(func(uintptr) bool {
+		found = s.pollOnce()
+		return found
+	})
+	if err != nil || !found {
+		// The file is closing at teardown (or the poll failed): un-park and
+		// let the pop loop observe the shard's closed flag.
+		s.mu.Lock()
+		s.parked = false
+		s.mu.Unlock()
+		return
+	}
+	s.m.add(s.idx, mNetPollWakeups, 1)
 }
 
-// poller returns (creating on first use) the node's epoll poller.
-func (n *Node) poller() (*netPoller, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.closed {
-		return nil, ErrTransportClosed
+// pollOnce runs one nonblocking EpollWait pass and dispatches what it
+// finds, reporting whether anything (socket readiness or an eventfd kick)
+// was there. Ready sources are collected under mu (the registration
+// table's lock) and notified after it is released, because notify()
+// re-enters the shard through push.
+func (s *schedShard) pollOnce() bool {
+	ep := s.ep
+	n, err := syscall.EpollWait(ep.epfd, ep.events[:], 0)
+	if err != nil {
+		// EINTR or a dying epfd: report found so the caller re-checks the
+		// queue and closed flag instead of parking on a set it cannot read.
+		s.mu.Lock()
+		s.parked = false
+		s.mu.Unlock()
+		return true
 	}
-	if n.np == nil {
-		np, err := newNetPoller()
-		if err != nil {
-			return nil, err
+	if n == 0 {
+		return false
+	}
+	s.mu.Lock()
+	s.parked = false
+	ready := ep.ready[:0]
+	kicked := false
+	for i := 0; i < n; i++ {
+		ev := &ep.events[i]
+		fd := int(ev.Fd)
+		if fd == ep.efd {
+			kicked = true
+			continue
 		}
-		n.np = np
+		ts := ep.conns[fd]
+		if ts == nil {
+			continue // deregistered while the event was in flight
+		}
+		if ev.Events&uint32(syscall.EPOLLERR|syscall.EPOLLHUP|syscall.EPOLLRDHUP) != 0 {
+			ts.hup.Store(true)
+		}
+		ready = append(ready, ts)
 	}
-	return n.np, nil
+	s.mu.Unlock()
+	if kicked {
+		// Drain the counter so a level-triggered eventfd does not re-fire.
+		var buf [8]byte
+		syscall.Read(ep.efd, buf[:])
+	}
+	for i, ts := range ready {
+		ts.sc.notify()
+		ready[i] = nil
+	}
+	ep.ready = ready[:0]
+	return true
 }
 
-// newTCPSource wires a TCP connection into the node's poller.
-func (n *Node) newTCPSource(tc *tcpConn) (frameSource, error) {
-	sc, ok := tc.c.(syscall.Conn)
+// pollWaitRaw is the fallback park for a poller the runtime netpoller
+// rejected: block the worker's thread in EpollWait and dispatch the events
+// it returns. Costs a hostage P for the duration of the block (see the
+// package comment), which is why it is only the fallback.
+func (s *schedShard) pollWaitRaw() {
+	ep := s.ep
+	n, err := syscall.EpollWait(ep.epfd, ep.events[:], -1)
+	if err != nil {
+		s.mu.Lock()
+		s.parked = false
+		s.mu.Unlock()
+		return // EINTR or a dying epfd: the pop loop re-parks or exits
+	}
+	s.mu.Lock()
+	s.parked = false
+	ready := ep.ready[:0]
+	kicked := false
+	for i := 0; i < n; i++ {
+		ev := &ep.events[i]
+		fd := int(ev.Fd)
+		if fd == ep.efd {
+			kicked = true
+			continue
+		}
+		ts := ep.conns[fd]
+		if ts == nil {
+			continue
+		}
+		if ev.Events&uint32(syscall.EPOLLERR|syscall.EPOLLHUP|syscall.EPOLLRDHUP) != 0 {
+			ts.hup.Store(true)
+		}
+		ready = append(ready, ts)
+	}
+	s.mu.Unlock()
+	if kicked {
+		var buf [8]byte
+		syscall.Read(ep.efd, buf[:])
+	}
+	if n > 0 {
+		s.m.add(s.idx, mNetPollWakeups, 1)
+	}
+	for i, ts := range ready {
+		ts.sc.notify()
+		ready[i] = nil
+	}
+	ep.ready = ready[:0]
+}
+
+// newTCPSource extracts the raw descriptor; registration with a shard's
+// poller happens in start, once the scheduler has picked the shard.
+func newTCPSource(tc *tcpConn) (frameSource, error) {
+	sysc, ok := tc.c.(syscall.Conn)
 	if !ok {
 		return nil, errNoRawConn
 	}
-	raw, err := sc.SyscallConn()
+	raw, err := sysc.SyscallConn()
 	if err != nil {
 		return nil, err
 	}
@@ -179,23 +292,18 @@ func (n *Node) newTCPSource(tc *tcpConn) (frameSource, error) {
 	if err := raw.Control(func(f uintptr) { fd = int(f) }); err != nil {
 		return nil, err
 	}
-	p, err := n.poller()
-	if err != nil {
-		return nil, err
-	}
-	return &tcpSource{tc: tc, p: p, raw: raw, fd: fd}, nil
+	return &tcpSource{tc: tc, raw: raw, fd: fd}, nil
 }
 
 // tcpSource is one TCP connection's pull-side ingress. The reassembly
 // state (hdr/body) is confined to the scheduler worker that owns the
-// connection; hup is written by the poller goroutine.
+// connection; hup may be written by any worker observing readiness.
 type tcpSource struct {
-	tc     *tcpConn
-	p      *netPoller
-	raw    syscall.RawConn
-	fd     int
-	notify func()
-	hup    atomic.Bool
+	tc  *tcpConn
+	raw syscall.RawConn
+	fd  int
+	sc  *schedConn
+	hup atomic.Bool
 
 	hdr     [4]byte // length-prefix reassembly
 	hdrGot  int
@@ -203,9 +311,27 @@ type tcpSource struct {
 	bodyGot int
 }
 
-func (t *tcpSource) start(notify func()) error {
-	t.notify = notify
-	return t.p.add(t)
+func (t *tcpSource) start(sc *schedConn) error {
+	t.sc = sc
+	s := sc.shard
+	s.mu.Lock()
+	if s.closed || s.ep == nil {
+		s.mu.Unlock()
+		return ErrTransportClosed
+	}
+	s.ep.conns[t.fd] = t
+	s.ep.nfds++
+	epfd := s.ep.epfd
+	s.mu.Unlock()
+	ev := syscall.EpollEvent{Events: tcpPollEvents, Fd: int32(t.fd)}
+	if err := syscall.EpollCtl(epfd, syscall.EPOLL_CTL_ADD, t.fd, &ev); err != nil {
+		s.mu.Lock()
+		delete(s.ep.conns, t.fd)
+		s.ep.nfds--
+		s.mu.Unlock()
+		return err
+	}
+	return nil
 }
 
 // avail reports the bytes currently queued in the socket receive buffer
@@ -295,13 +421,39 @@ func (t *tcpSource) tryRecv(ar *netArena) ([]byte, error) {
 	}
 }
 
+// drained re-arms the one-shot registration after the worker emptied the
+// socket.
 func (t *tcpSource) drained() {
-	if err := t.p.rearm(t); err != nil {
-		// Re-arm failed (poller closing, fd gone): force the worker back in
+	s := t.sc.shard
+	s.mu.Lock()
+	ep := s.ep
+	registered := ep != nil && ep.conns[t.fd] == t
+	s.mu.Unlock()
+	if !registered {
+		return
+	}
+	ev := syscall.EpollEvent{Events: tcpPollEvents, Fd: int32(t.fd)}
+	if err := syscall.EpollCtl(ep.epfd, syscall.EPOLL_CTL_MOD, t.fd, &ev); err != nil {
+		// Re-arm failed (fd gone, shard closing): force the worker back in
 		// so it observes the failure instead of sleeping forever.
 		t.hup.Store(true)
-		t.notify()
+		t.sc.notify()
 	}
 }
 
-func (t *tcpSource) stop() { t.p.del(t) }
+func (t *tcpSource) stop() {
+	s := t.sc.shard
+	s.mu.Lock()
+	ep := s.ep
+	if ep != nil && ep.conns[t.fd] == t {
+		delete(ep.conns, t.fd)
+		ep.nfds--
+	} else {
+		ep = nil
+	}
+	s.mu.Unlock()
+	if ep != nil {
+		var ev syscall.EpollEvent
+		syscall.EpollCtl(ep.epfd, syscall.EPOLL_CTL_DEL, t.fd, &ev)
+	}
+}

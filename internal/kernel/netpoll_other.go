@@ -1,18 +1,31 @@
 //go:build !linux
 
-// On platforms without the epoll poller, TCP connections fall back to the
+// On platforms without the epoll backend, scheduler shards have no poller
+// (workers park on the shard condvar) and TCP connections fall back to the
 // shim frame source: one parked reader goroutine per connection (see
 // shimSource in sched.go). The runtime semantics are identical; only the
-// goroutine footprint differs.
+// goroutine footprint and the wakeup path differ.
 package kernel
 
 import "errors"
 
 var errNoPoller = errors.New("kernel: no platform poller")
 
-// netPoller is a stub on this platform; it is never instantiated.
-type netPoller struct{}
+// shardPoller is a stub on this platform; newShardPoller reporting
+// (nil, nil) makes newConnSched build cond-parked shards.
+type shardPoller struct {
+	// nfds mirrors the Linux field so shard code can reference it; it
+	// stays zero because no source ever registers.
+	nfds int
+}
 
-func (p *netPoller) close() {}
+func newShardPoller() (*shardPoller, error) { return nil, nil }
 
-func (n *Node) newTCPSource(tc *tcpConn) (frameSource, error) { return nil, errNoPoller }
+func (p *shardPoller) kick()  {}
+func (p *shardPoller) close() {}
+
+// pollEvents is never reached with a nil poller; present to satisfy the
+// shard's platform-neutral call sites.
+func (s *schedShard) pollEvents(block bool) {}
+
+func newTCPSource(tc *tcpConn) (frameSource, error) { return nil, errNoPoller }

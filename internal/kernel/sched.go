@@ -19,18 +19,34 @@
 // connection runs flips it to csRunningDirty, and the worker re-queues it
 // instead of parking it.
 //
-// Frame delivery is pulled through the frameSource interface: loopback
-// conns implement it natively (channel poll + cross-linked wakeups), TCP
-// conns on Linux are driven by the epoll poller in netpoll_linux.go, and
-// any other Conn implementation falls back to a shim goroutine — the one
-// place the old per-connection goroutine survives, for transports the
-// runtime cannot poll.
+// Polling is wakeup-free on Linux: each shard owns an epoll instance
+// (netpoll_linux.go), and when a worker's run queue empties while sockets
+// are registered it parks on its own shard's descriptor — a goroutine park
+// through the runtime netpoller, so socket readiness resumes the worker
+// directly with no poller-thread handoff and no P pinned in a blocking
+// syscall. A shard with no registered sockets parks on its condvar
+// instead, keeping loopback handoffs at goroutine-switch cost. Cross-
+// thread notify() on an epoll-parked shard (loopback sends, shim sources,
+// teardown kicks) writes the shard's eventfd. Frame delivery is pulled through the
+// frameSource interface: loopback conns implement it natively, TCP conns
+// on Linux are epoll-driven, and any other Conn implementation falls back
+// to a shim goroutine — the one place the old per-connection goroutine
+// survives, for transports the runtime cannot poll.
 package kernel
 
 import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+)
+
+// Test knobs (set before nodes are built, reset after): debugForceShim
+// routes every connection through the shim source, debugNoShardPoller
+// builds schedulers without epoll shards (cond-parked workers), so the
+// portable fallback paths run under the full transport suite on Linux CI.
+var (
+	debugForceShim     bool
+	debugNoShardPoller bool
 )
 
 // TransportConfig sizes a Node's event-driven transport runtime. The zero
@@ -50,7 +66,7 @@ type TransportConfig struct {
 	// per connection in the handshake: the peer may have at most this many
 	// unacknowledged frames toward us before it must stall. Defaults to
 	// DefaultRecvWindow (128); clamped to maxRecvWindow so in-window
-	// loopback traffic can never block a scheduler worker on a full pipe.
+	// loopback traffic can never block a scheduler worker.
 	RecvWindow int
 	// MaxConns caps accepted connections (handshaking + established).
 	// Beyond it the node sheds load gracefully: accept, answer with a
@@ -72,10 +88,10 @@ const (
 	DefaultReattestCap = 1024
 )
 
-// maxRecvWindow caps the advertised receive window. It is deliberately
-// below loopPipeCap: in-credit traffic (window frames plus a few interleaved
-// credit grants) must fit the loopback pipe buffer, so a scheduler worker
-// sending within the window never blocks on a full channel.
+// maxRecvWindow caps the advertised receive window: in-credit traffic
+// (window frames plus a few interleaved credit grants) must stay small
+// enough that a scheduler worker staging it through the egress combiner
+// never holds an unbounded queue.
 const maxRecvWindow = 192
 
 // withDefaults resolves the zero fields.
@@ -122,14 +138,15 @@ func demuxWorkers(workers int) int {
 }
 
 // frameSource is the pull side of one connection's ingress: the scheduler
-// asks it for complete frames without blocking. start wires the readiness
-// callback (invoked whenever a frame — or a connection failure — may be
-// observable through tryRecv); tryRecv returns (nil, nil) when nothing is
-// available right now; drained re-arms readiness after an empty tryRecv
-// (needed by one-shot epoll registration); stop releases any resources
-// (poller registration, shim goroutine) at teardown.
+// asks it for complete frames without blocking. start wires the source to
+// its scheduling handle (whose notify is invoked whenever a frame — or a
+// connection failure — may be observable through tryRecv); tryRecv returns
+// (nil, nil) when nothing is available right now; drained re-arms
+// readiness after an empty tryRecv (needed by one-shot epoll
+// registration); stop releases any resources (poller registration, shim
+// goroutine) at teardown.
 type frameSource interface {
-	start(notify func()) error
+	start(sc *schedConn) error
 	tryRecv(ar *netArena) ([]byte, error)
 	drained()
 	stop()
@@ -139,6 +156,8 @@ type frameSource interface {
 // owns each shard, so the arena needs no lock: frame reads land in pooled
 // buffers, are decoded in place, and are recycled after dispatch for frame
 // types whose payload cannot outlive the exchange (see recyclableFrame).
+// It overflows into (and refills from) the global framePool, coupling the
+// ingress recycle stream to the egress combiner's buffer demand.
 type netArena struct {
 	bufs [][]byte
 }
@@ -158,14 +177,15 @@ func (a *netArena) get(n int) []byte {
 			return b[:n]
 		}
 	}
-	if n < 512 {
-		return make([]byte, n, 512)
-	}
-	return make([]byte, n)
+	return getFrameBuf(n)
 }
 
 func (a *netArena) put(b []byte) {
-	if cap(b) == 0 || cap(b) > arenaKeepCap || len(a.bufs) >= arenaMaxBufs {
+	if cap(b) == 0 || cap(b) > arenaKeepCap {
+		return
+	}
+	if len(a.bufs) >= arenaMaxBufs {
+		putFrameBuf(b)
 		return
 	}
 	a.bufs = append(a.bufs, b[:0])
@@ -189,6 +209,8 @@ const schedQuantum = 32
 type schedConn struct {
 	src     frameSource
 	onFrame func(frame []byte, ar *netArena) bool // false = tear down
+	onFlush func() bool                           // egress flush at quantum end; false = tear down
+	onPark  func()                                // trim pooled scratch before csIdle
 	onClose func()                                // runs exactly once, on the owning worker
 	shard   *schedShard
 	m       *kernelMetrics
@@ -223,8 +245,20 @@ func (sc *schedConn) die() {
 	sc.onClose()
 }
 
+// flush drains the connection's egress combiner, if it has one.
+func (sc *schedConn) flush() bool {
+	if sc.onFlush == nil {
+		return true
+	}
+	return sc.onFlush()
+}
+
 // run processes up to schedQuantum frames, then either parks the
-// connection (re-arming its readiness) or re-queues it.
+// connection (re-arming its readiness) or re-queues it. The egress
+// combiner is flushed before every state transition out of csRunning, so
+// staged responses are confined to exactly one worker's quantum and a
+// racing notify can never interleave a second worker with unflushed
+// egress.
 func (sc *schedConn) run(s *schedShard) {
 	if !sc.state.CompareAndSwap(csQueued, csRunning) {
 		return // torn down while queued
@@ -232,13 +266,24 @@ func (sc *schedConn) run(s *schedShard) {
 	for i := 0; i < schedQuantum; i++ {
 		frame, err := sc.src.tryRecv(&s.arena)
 		if err != nil {
+			// Push out whatever was staged (an orderly shutdown may still
+			// deliver responses in flight); the connection is done either way.
+			sc.flush()
 			sc.die()
 			return
 		}
 		if frame == nil {
-			// Source empty: park, then re-arm. Re-arming after the idle
-			// transition means a readiness event racing it finds csIdle
-			// and queues the connection instead of being lost.
+			// Source empty: flush, trim, park, then re-arm. Flushing before
+			// the idle transition keeps the combiner worker-confined;
+			// re-arming after it means a readiness event racing the park
+			// finds csIdle and queues the connection instead of being lost.
+			if !sc.flush() {
+				sc.die()
+				return
+			}
+			if sc.onPark != nil {
+				sc.onPark()
+			}
 			if sc.state.CompareAndSwap(csRunning, csIdle) {
 				sc.src.drained()
 				return
@@ -246,22 +291,48 @@ func (sc *schedConn) run(s *schedShard) {
 			break // dirty: more arrived while running
 		}
 		if !sc.onFrame(frame, &s.arena) {
+			// Flush so the final (error/poison) response reaches the peer
+			// before the connection closes under it.
+			sc.flush()
 			sc.die()
 			return
 		}
 	}
-	// Quantum exhausted or dirtied: back of the queue.
+	// Quantum exhausted or dirtied: flush and go to the back of the queue.
+	if !sc.flush() {
+		sc.die()
+		return
+	}
 	sc.state.Store(csQueued)
 	s.push(sc)
 }
 
-// schedShard is one worker's run queue plus its ingress arena.
+// schedShard is one worker's run queue plus its ingress arena and, on
+// Linux, its epoll poller. When the queue empties the owning worker blocks
+// in EpollWait if the shard has registered sockets — socket readiness
+// resumes it with no intermediate thread — and on the condvar otherwise;
+// parked tracks the EpollWait state so cross-thread pushes know to write
+// the eventfd rather than signal the cond.
 type schedShard struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	q      []*schedConn
 	head   int
 	closed bool
+	// parked is true while the worker is parked on the shard's poller with
+	// an empty queue (cond-parked workers never set it). push clears it and
+	// kicks the eventfd — exactly one kicker per park, so spurious eventfd
+	// traffic stays bounded.
+	parked bool
+
+	// ep is the shard's poller; nil when the platform has none (or
+	// debugNoShardPoller), in which case the worker parks on cond. Its
+	// registration table is guarded by mu; its event buffers are confined
+	// to the owning worker.
+	ep *shardPoller
+
+	idx uint64 // metrics stripe key for shard-level counters
+	m   *kernelMetrics
 
 	// arena is confined to the shard's worker goroutine.
 	arena netArena
@@ -275,31 +346,59 @@ func (s *schedShard) push(sc *schedConn) {
 	}
 	s.q = append(s.q, sc)
 	depth := len(s.q) - s.head
+	wake := s.parked
+	s.parked = false
 	s.mu.Unlock()
 	sc.m.netQueued.Add(1)
 	sc.m.netQueueLen.observeCount(uint64(depth))
-	s.cond.Signal()
+	if wake {
+		s.ep.kick()
+	} else {
+		s.cond.Signal()
+	}
 }
 
 // pop blocks for the next ready connection; nil means the shard closed.
+// While the shard has registered sockets, the worker parks in EpollWait
+// itself — readiness events queue connections directly on this shard with
+// no handoff — and a nonblocking poll runs before each dequeue, so one
+// busy connection's re-queues cannot starve a shard-mate whose one-shot
+// readiness event is already pending. With no sockets registered (a
+// loopback-only shard, or no poller at all) the worker parks on the
+// condvar instead: a cond wake is a goroutine handoff the Go scheduler can
+// service on the same thread, where waking an EpollWait-parked worker
+// costs an eventfd write plus an OS thread wakeup — a ~40x round-trip
+// penalty for loopback traffic that never involves a descriptor.
 func (s *schedShard) pop() *schedConn {
-	s.mu.Lock()
-	for s.head == len(s.q) && !s.closed {
-		s.cond.Wait()
-	}
-	if s.head == len(s.q) {
+	for {
+		s.mu.Lock()
+		for s.head == len(s.q) && !s.closed && (s.ep == nil || s.ep.nfds == 0) {
+			s.cond.Wait()
+		}
+		if s.head < len(s.q) {
+			sc := s.q[s.head]
+			s.q[s.head] = nil
+			s.head++
+			if s.head == len(s.q) {
+				s.q = s.q[:0]
+				s.head = 0
+			}
+			poll := s.ep != nil && s.ep.nfds > 0
+			s.mu.Unlock()
+			if poll {
+				s.pollEvents(false)
+			}
+			return sc
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return nil
+		}
+		// Queue empty on a polling shard: park the worker in EpollWait.
+		s.parked = true
 		s.mu.Unlock()
-		return nil
+		s.pollEvents(true)
 	}
-	sc := s.q[s.head]
-	s.q[s.head] = nil
-	s.head++
-	if s.head == len(s.q) {
-		s.q = s.q[:0]
-		s.head = 0
-	}
-	s.mu.Unlock()
-	return sc
 }
 
 // connSched is a sharded worker pool: one worker goroutine per shard,
@@ -309,14 +408,39 @@ func (s *schedShard) pop() *schedConn {
 type connSched struct {
 	m      *kernelMetrics
 	shards []*schedShard
-	next   atomic.Uint64
-	wg     sync.WaitGroup
+	// polling reports that every shard owns an epoll poller (all-or-
+	// nothing, so a connection can be registered on any shard).
+	polling bool
+	next    atomic.Uint64
+	wg      sync.WaitGroup
 }
 
 func newConnSched(workers int, m *kernelMetrics) *connSched {
 	cs := &connSched{m: m, shards: make([]*schedShard, workers)}
+	pollers := make([]*shardPoller, workers)
+	if !debugNoShardPoller {
+		ok := true
+		for i := range pollers {
+			p, err := newShardPoller()
+			if err != nil || p == nil {
+				ok = false
+				break
+			}
+			pollers[i] = p
+		}
+		if ok {
+			cs.polling = true
+		} else {
+			for _, p := range pollers {
+				if p != nil {
+					p.close()
+				}
+			}
+			pollers = make([]*shardPoller, workers)
+		}
+	}
 	for i := range cs.shards {
-		s := &schedShard{}
+		s := &schedShard{ep: pollers[i], idx: uint64(i), m: m}
 		s.cond = sync.NewCond(&s.mu)
 		cs.shards[i] = s
 		cs.wg.Add(1)
@@ -338,28 +462,41 @@ func (cs *connSched) worker(s *schedShard) {
 }
 
 // register adds a connection to the scheduler and kicks it once — frames
-// that arrived before the readiness callback was wired are picked up by
-// that initial pass.
-func (cs *connSched) register(src frameSource, onFrame func([]byte, *netArena) bool, onClose func()) (*schedConn, error) {
+// that arrived before the source was wired are picked up by that initial
+// pass. onFlush (may be nil) drains the connection's egress combiner
+// whenever the worker leaves csRunning; onPark (may be nil) releases
+// pooled scratch as the connection parks to csIdle.
+func (cs *connSched) register(src frameSource, onFrame func([]byte, *netArena) bool, onFlush func() bool, onPark, onClose func()) (*schedConn, error) {
 	shard := cs.shards[cs.next.Add(1)%uint64(len(cs.shards))]
-	sc := &schedConn{src: src, onFrame: onFrame, onClose: onClose, shard: shard, m: cs.m}
-	if err := src.start(sc.notify); err != nil {
+	sc := &schedConn{src: src, onFrame: onFrame, onFlush: onFlush, onPark: onPark, onClose: onClose, shard: shard, m: cs.m}
+	if err := src.start(sc); err != nil {
 		return nil, err
 	}
 	sc.notify()
 	return sc, nil
 }
 
-// close stops the workers. The caller must have torn down every registered
-// connection first (Node.Close waits for all teardowns before calling it).
+// close stops the workers and releases the shard pollers. The caller must
+// have torn down every registered connection first (Node.Close waits for
+// all teardowns before calling it).
 func (cs *connSched) close() {
 	for _, s := range cs.shards {
 		s.mu.Lock()
 		s.closed = true
+		wake := s.parked
+		s.parked = false
 		s.mu.Unlock()
 		s.cond.Broadcast()
+		if wake {
+			s.ep.kick()
+		}
 	}
 	cs.wg.Wait()
+	for _, s := range cs.shards {
+		if s.ep != nil {
+			s.ep.close()
+		}
+	}
 }
 
 // shimSource adapts any Conn implementation the runtime cannot poll (a
@@ -381,14 +518,14 @@ func newShimSource(c Conn) *shimSource {
 	return &shimSource{c: c, inbox: make(chan []byte, 1), done: make(chan struct{})}
 }
 
-func (s *shimSource) start(notify func()) error {
+func (s *shimSource) start(sc *schedConn) error {
 	go func() {
 		for {
 			f, err := s.c.Recv()
 			if err != nil {
 				s.err = err
 				s.failed.Store(true)
-				notify()
+				sc.notify()
 				return
 			}
 			select {
@@ -396,7 +533,7 @@ func (s *shimSource) start(notify func()) error {
 			case <-s.done:
 				return
 			}
-			notify()
+			sc.notify()
 		}
 	}()
 	return nil
@@ -425,14 +562,17 @@ func (s *shimSource) drained() {}
 func (s *shimSource) stop() { s.once.Do(func() { close(s.done) }) }
 
 // newFrameSource selects the ingress driver for a connection: loopback
-// conns are native sources, TCP conns use the platform poller when
-// available, and anything else gets the shim.
-func (n *Node) newFrameSource(c Conn) frameSource {
+// conns are native sources, TCP conns use the per-shard pollers when the
+// target scheduler has them, and anything else gets the shim.
+func (n *Node) newFrameSource(c Conn, cs *connSched) frameSource {
+	if debugForceShim {
+		return newShimSource(c)
+	}
 	if fs, ok := c.(frameSource); ok {
 		return fs
 	}
-	if tc, ok := c.(*tcpConn); ok {
-		if src, err := n.newTCPSource(tc); err == nil {
+	if tc, ok := c.(*tcpConn); ok && cs.polling {
+		if src, err := newTCPSource(tc); err == nil {
 			return src
 		}
 	}

@@ -106,7 +106,9 @@ func (s *Session) SubmitRemote(ctx context.Context, c Cap, subs []Sub, comps []C
 		return comps, nil
 	}
 
-	frame := make([]byte, 0, 64+len(subs)*32)
+	// The batch frame builds in a pooled buffer; ownership transfers to the
+	// peer's egress combiner at submit (early-abort paths recycle it here).
+	frame := getFrameBuf(64 + len(subs)*32)[:0]
 	frame = append(frame, fSubmit)
 	frame = binary.AppendUvarint(frame, id)
 	frame = binary.AppendUvarint(frame, uint64(s.p.PID))
@@ -156,6 +158,7 @@ func (s *Session) SubmitRemote(ctx context.Context, c Cap, subs []Sub, comps []C
 
 	if len(sent) == 0 {
 		peer.abort(id)
+		putFrameBuf(frame)
 		if canceled {
 			return comps, abiErr(ECANCELED, "submit", "context canceled mid-batch")
 		}

@@ -153,6 +153,24 @@ func (t *tcpConn) Send(frame []byte) error {
 	return nil
 }
 
+// SendRaw writes a run of already-length-prefixed frames in one Write —
+// the egress combiner's contiguous-mode flush (rawWriter interface). The
+// caller owns the framing; this is a single ordered write on the stream,
+// serialized with Send under the same lock.
+func (t *tcpConn) SendRaw(p []byte) error {
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+	if d := t.cfg.IOTimeout; d > 0 {
+		if err := t.c.SetWriteDeadline(time.Now().Add(d)); err != nil {
+			return err
+		}
+	}
+	if _, err := t.c.Write(p); err != nil {
+		return tcpErr("send", err)
+	}
+	return nil
+}
+
 // Recv blocks for one frame. Post-handshake ingress does not come through
 // here on Linux: the event runtime's epoll source (netpoll_linux.go) reads
 // the socket directly, bypassing recvMu — safe because blocking Recv is

@@ -52,10 +52,16 @@
 // sched.go) and is driven by a bounded worker pool — ingress workers run
 // the serving side (handlers included), a separate demux pool delivers
 // responses on dialed peers, so a handler making a nested remote call can
-// never starve its own response delivery. An idle connection costs a file
-// descriptor and its registration, not a goroutine stack. Frames arrive
-// through per-shard pooled arenas and request frames whose payload cannot
-// escape the exchange are recycled after the response is sent.
+// never starve its own response delivery. On Linux each shard worker owns
+// its own epoll instance and parks in EpollWait directly (netpoll_linux.go)
+// — socket readiness resumes the worker with no poller-thread handoff. An
+// idle connection costs a file descriptor and its registration, not a
+// goroutine stack. Frames arrive through per-shard pooled arenas, request
+// frames whose payload cannot escape the exchange are recycled after the
+// response is sent, and outbound frames leave through per-connection
+// egress combiners (egress.go): frames staged within one scheduling
+// quantum — responses, credit grants, pipelined requests — flush as a
+// single write at quantum end.
 //
 // Flow control. Each side advertises a receive window in the handshake
 // (transport version 3) and every post-handshake non-credit frame consumes
@@ -70,17 +76,21 @@
 // Locking (leaf-ward order, see DESIGN.md "Remote fast path"): Node.mu
 // guards the export/listener/peer tables and is never held across
 // connection I/O or kernel registry operations; Peer.sendMu serializes
-// frame sends and the egress codec state (formula remap, certificate
-// dedup, re-attestation table); Peer.pendMu guards the pending-call table
-// and the request-credit counter and is a leaf — it is never held across
-// I/O, encoding, or any other lock; serverConn state needs no lock because
-// the scheduler guarantees at most one worker runs a given connection at a
-// time (the confinement that used to come from the serve goroutine).
-// Credit frames are sent without sendMu: they carry no codec state, and
-// Conn.Send is atomic per frame, so a demux worker returning credits can
-// never block behind a stalled sender. Proxy teardown (conn close,
-// Node.Close) takes kernel registry locks only after every transport lock
-// is released.
+// frame staging and the egress codec state (formula remap, certificate
+// dedup, re-attestation table, warm-tag HMAC) but is never held across
+// the wire write itself — the combining flusher (flushLocked) releases it
+// around the write, so sendMu orders only against the frame-pool lock
+// (kernel.Peer.sendMu → kernel.bufPool.mu); Peer.pendMu guards the
+// pending-call table, the request-credit counter, and the channel free
+// list, and is a leaf — it is never held across I/O, encoding, or any
+// other lock; serverConn state (its egress combiner included) needs no
+// lock because the scheduler guarantees at most one worker runs a given
+// connection at a time (the confinement that used to come from the serve
+// goroutine). Credit frames ride the same egress combiners as everything
+// else: with sendMu never held across I/O, a demux worker returning
+// credits is no longer exposed to a stalled sender. Proxy teardown (conn
+// close, Node.Close) takes kernel registry locks only after every
+// transport lock is released.
 package kernel
 
 import (
@@ -92,6 +102,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -149,7 +160,6 @@ type Node struct {
 	conns     map[Conn]*schedConn // accepted conns; nil until registered
 	peers     map[*Peer]bool      // dialed connections, for Close
 	closed    bool
-	np        *netPoller // lazy epoll poller (linux); nil elsewhere
 
 	// nconns counts accepted connections (handshaking + established) for
 	// the shed-load gate.
@@ -312,13 +322,6 @@ func (n *Node) Close() {
 	n.wg.Wait()
 	n.ingress.close()
 	n.demux.close()
-	n.mu.Lock()
-	np := n.np
-	n.np = nil
-	n.mu.Unlock()
-	if np != nil {
-		np.close()
-	}
 }
 
 // identity is one side's handshake material.
@@ -474,19 +477,38 @@ func deriveSessionKey(shared, cliNonce, srvNonce []byte) []byte {
 	return mac.Sum(nil)
 }
 
-// xferReTag authenticates one warm label re-crossing: an HMAC under the
+// reTagger authenticates warm label re-crossings: an HMAC under the
 // session key over the target pid and the certificate fingerprint. Only
 // the two handshake parties hold the key, so a tag proves the request
 // originated on the authenticated peer — the property the cold path got
-// from the certificate signature itself.
-func xferReTag(key []byte, callerPID int, fp string) []byte {
-	mac := hmac.New(sha256.New, key)
-	mac.Write([]byte("nexus-xfer-re"))
+// from the certificate signature itself. The keyed HMAC state and the
+// scratch buffers are cached per connection (confinement is the owner's:
+// Peer.sendMu on the dialing side, the scheduler worker on the serving
+// side), so a warm crossing computes its tag without allocating.
+type reTagger struct {
+	mac     hash.Hash
+	scratch []byte // string→bytes staging for the fingerprint
+	tagBuf  []byte // Sum output, valid until the next tag call
+}
+
+var xferReLabel = []byte("nexus-xfer-re")
+
+func newReTagger(sessKey []byte) *reTagger {
+	return &reTagger{mac: hmac.New(sha256.New, sessKey)}
+}
+
+// tag computes the re-attestation tag for (callerPID, fp); the result is
+// owned by the tagger and valid until the next call.
+func (rt *reTagger) tag(callerPID int, fp string) []byte {
+	rt.mac.Reset()
+	rt.mac.Write(xferReLabel)
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], uint64(callerPID))
-	mac.Write(b[:])
-	mac.Write([]byte(fp))
-	return mac.Sum(nil)
+	rt.mac.Write(b[:])
+	rt.scratch = append(rt.scratch[:0], fp...)
+	rt.mac.Write(rt.scratch)
+	rt.tagBuf = rt.mac.Sum(rt.tagBuf[:0])
+	return rt.tagBuf
 }
 
 // ---- Dialing side -------------------------------------------------------
@@ -508,18 +530,25 @@ type Peer struct {
 	n *Node
 	c Conn
 
-	// sendMu serializes frame sends and the egress codec state. Because
-	// the server processes frames in arrival order, whatever order sends
-	// leave under sendMu is the order they take effect remotely.
+	// sendMu serializes frame staging and the egress codec state. Because
+	// the server processes frames in arrival order, whatever order frames
+	// are staged under sendMu is the order they take effect remotely. It is
+	// never held across the wire write: flushLocked releases it around the
+	// write, so staging only ever waits on encoding, not on I/O.
 	sendMu   sync.Mutex
 	enc      *nal.WireEncoder
 	certIdx  map[string]uint64 // cert fingerprint → wire index (1-based)
 	attested *lruTable[bool]   // cert fingerprints verified on this conn
+	eg       *egress           // outbound combiner (staging under sendMu)
+	flushing bool              // a combining flush is in progress (sendMu)
+	reTag    *reTagger         // warm re-attestation tags (sendMu)
 
-	// pendMu guards the pending-call table and the request-credit counter;
-	// it is a leaf lock, never held across I/O or any other lock.
+	// pendMu guards the pending-call table, the request-credit counter, and
+	// the response-channel free list; it is a leaf lock, never held across
+	// I/O or any other lock.
 	pendMu   sync.Mutex
 	pending  map[uint64]chan netResp
+	chanFree []chan netResp // pooled single-use response channels
 	nextID   uint64
 	poisoned bool
 	// reqCredits is the send window toward the server: initialized to the
@@ -611,8 +640,8 @@ func (n *Node) Dial(t Transport, addr string) (*Peer, error) {
 	n.peers[p] = true
 	n.wg.Add(1)
 	n.mu.Unlock()
-	src := n.newFrameSource(c)
-	sconn, err := n.demux.register(src, p.onFrame, func() {
+	src := n.newFrameSource(c, n.demux)
+	sconn, err := n.demux.register(src, p.onFrame, nil, nil, func() {
 		p.fail()
 		n.mu.Lock()
 		delete(n.peers, p)
@@ -720,22 +749,26 @@ func (n *Node) handshakeClient(c Conn) (*Peer, error) {
 	if err := c.Send(ack); err != nil {
 		return nil, err
 	}
+	sessKey := deriveSessionKey(shared, nonce, srvNonce)
+	mkey := connCounter.Add(1)
 	return &Peer{
 		n: n, c: c,
 		enc:         nal.NewWireEncoder(),
 		certIdx:     map[string]uint64{},
 		attested:    newLRUTable[bool](n.cfg.ReattestCap),
+		eg:          newEgress(c, n.k.metrics, mkey),
+		reTag:       newReTagger(sessKey),
 		pending:     map[uint64]chan netResp{},
 		reqCredits:  int(srvWin),
 		maxInflight: n.cfg.MaxInflight,
 		srvWin:      int(srvWin),
 		myWin:       myWin,
-		sessKey:     deriveSessionKey(shared, nonce, srvNonce),
+		sessKey:     sessKey,
 		prin:        peer.prin(),
 		nkFP:        peer.nkFP,
 		ekFP:        peer.ekFP,
 		bootID:      peer.bootID,
-		mkey:        connCounter.Add(1),
+		mkey:        mkey,
 	}, nil
 }
 
@@ -839,17 +872,21 @@ func (p *Peer) onFrame(frame []byte, ar *netArena) bool {
 	}
 	ch <- netResp{typ: frame[0], payload: frame[1+r.off:]}
 	// Return receive credits in batches once half our window has been
-	// consumed. Credit frames bypass sendMu: they carry no codec state and
-	// Conn.Send is atomic per frame, so the demux worker can never block
-	// behind a caller holding the send path.
+	// consumed. Credits ride the egress combiner like every other frame:
+	// sendMu is never held across I/O, so the demux worker waits at most
+	// for a caller's encoding, never for a stalled wire — and a credit
+	// staged while a caller's flush is in flight coalesces into it.
 	p.respSeen++
 	if 2*p.respSeen >= p.myWin {
-		cf := []byte{fCredit}
-		cf = binary.AppendUvarint(cf, uint64(p.respSeen))
+		grant := uint64(p.respSeen)
 		p.respSeen = 0
-		m.add(p.mkey, mNetSends, 1)
-		m.add(p.mkey, mNetSendBytes, uint64(len(cf)))
-		if err := p.c.Send(cf); err != nil {
+		p.sendMu.Lock()
+		b := p.eg.begin()
+		b = append(b, fCredit)
+		b = binary.AppendUvarint(b, grant)
+		err := p.commitFlush(b)
+		p.sendMu.Unlock()
+		if err != nil {
 			return false
 		}
 	}
@@ -864,7 +901,6 @@ func (p *Peer) begin(op string) (uint64, chan netResp, error) {
 	if p.closed.Load() {
 		return 0, nil, ErrTransportClosed
 	}
-	ch := make(chan netResp, 1)
 	p.pendMu.Lock()
 	if p.poisoned {
 		p.pendMu.Unlock()
@@ -878,6 +914,15 @@ func (p *Peer) begin(op string) (uint64, chan netResp, error) {
 		p.pendMu.Unlock()
 		return 0, nil, abiErr(EAGAIN, op, "transport send window exhausted")
 	}
+	var ch chan netResp
+	if n := len(p.chanFree); n > 0 {
+		ch = p.chanFree[n-1]
+		p.chanFree[n-1] = nil
+		p.chanFree = p.chanFree[:n-1]
+	} else {
+		//nexus:coldpath — the free list warms up to the in-flight window.
+		ch = make(chan netResp, 1)
+	}
 	p.reqCredits--
 	p.nextID++
 	id := p.nextID
@@ -888,38 +933,89 @@ func (p *Peer) begin(op string) (uint64, chan netResp, error) {
 	return id, ch, nil
 }
 
+// putChan recycles a single-use response channel. Only channels already
+// removed from the pending table may be pooled: fail() closes every
+// channel it finds there, and a closed channel must never reach a new
+// request — hence the poisoned check, under the same pendMu that fail()
+// drains the table under.
+func (p *Peer) putChan(ch chan netResp) {
+	p.pendMu.Lock()
+	if !p.poisoned && len(p.chanFree) < p.maxInflight {
+		p.chanFree = append(p.chanFree, ch)
+	}
+	p.pendMu.Unlock()
+}
+
 // abort removes a pending entry whose request was never (fully) sent and
-// restores its send credit.
+// restores its send credit. A channel still in the table was never reached
+// by the demux worker (it removes entries before delivering) nor by fail()
+// (which empties the table before closing), so it is clean to pool.
 func (p *Peer) abort(id uint64) {
 	p.pendMu.Lock()
 	if p.pending != nil {
-		if _, ok := p.pending[id]; ok {
+		if ch, ok := p.pending[id]; ok {
 			delete(p.pending, id)
 			p.reqCredits++
+			if !p.poisoned && len(p.chanFree) < p.maxInflight {
+				p.chanFree = append(p.chanFree, ch)
+			}
 		}
 	}
 	p.pendMu.Unlock()
 }
 
-// sendLocked sends one frame with sendMu held. A transport-level send
-// failure poisons the peer (the caller still aborts its own pending id
-// first so its channel is not closed under it).
-func (p *Peer) sendLocked(frame []byte) error {
+// flushLocked drains the egress combiner, releasing sendMu around the wire
+// write so staging never waits on I/O. Exactly one flusher runs at a time
+// (flushing): a stager that finds a flush in progress just returns — its
+// frames are in the staged half the flusher re-checks after every write —
+// and a write failure surfaces to that stager through fail(), which closes
+// its pending channel. Called with sendMu held; returns with it held.
+func (p *Peer) flushLocked() error {
+	if p.flushing {
+		return nil
+	}
+	p.flushing = true
+	var err error
+	for err == nil && p.eg.pend > 0 {
+		buf, frames, n := p.eg.take()
+		p.sendMu.Unlock()
+		werr := p.eg.write(buf, frames, n)
+		p.sendMu.Lock()
+		p.eg.release(buf, frames)
+		err = werr
+	}
+	p.flushing = false
+	if err != nil && errors.Is(err, ErrTimeout) { //nexus:coldpath — write-failure accounting
+		p.n.k.metrics.add(p.mkey, mNetTimeouts, 1)
+	}
+	return err
+}
+
+// commitFlush seals the frame begun on the egress combiner and flushes.
+// Called with sendMu held. The seal-and-flush path is pooled end to end
+// (pinned by TestAllocRemoteCallWarm).
+//
+//nexus:noalloc
+func (p *Peer) commitFlush(b []byte) error {
+	n := p.eg.commit(b)
+	m := p.n.k.metrics
+	m.add(p.mkey, mNetSends, 1)
+	m.add(p.mkey, mNetSendBytes, uint64(n))
+	return p.flushLocked()
+}
+
+// sendOwned stages one fully built frame (taking ownership of it) and
+// flushes — the batch-submission egress (pinned by
+// TestAllocSubmitRemoteBatchWarm).
+//
+//nexus:noalloc
+func (p *Peer) sendOwned(frame []byte) error {
+	p.sendMu.Lock()
 	m := p.n.k.metrics
 	m.add(p.mkey, mNetSends, 1)
 	m.add(p.mkey, mNetSendBytes, uint64(len(frame)))
-	if err := p.c.Send(frame); err != nil {
-		if errors.Is(err, ErrTimeout) {
-			m.add(p.mkey, mNetTimeouts, 1)
-		}
-		return err
-	}
-	return nil
-}
-
-func (p *Peer) send(frame []byte) error {
-	p.sendMu.Lock()
-	err := p.sendLocked(frame)
+	p.eg.stage(frame)
+	err := p.flushLocked()
 	p.sendMu.Unlock()
 	return err
 }
@@ -934,6 +1030,9 @@ func (p *Peer) await(t0 time.Time, ch chan netResp, wantType byte) ([]byte, erro
 	if !ok {
 		return nil, ErrTransportClosed
 	}
+	// Delivery happened, so the demux worker already removed the channel
+	// from the pending table; it is single-use and clean to recycle.
+	p.putChan(ch)
 	p.n.k.metrics.netReqNs.observe(time.Since(t0))
 	if resp.typ == fErr {
 		r := &netCursor{buf: resp.payload}
@@ -972,11 +1071,15 @@ func (p *Peer) connect(callerPID int, service string) (int, error) {
 		return 0, err
 	}
 	t0 := time.Now()
-	frame := []byte{fConnect}
-	frame = binary.AppendUvarint(frame, id)
-	frame = binary.AppendUvarint(frame, uint64(callerPID))
-	frame = appendNetString(frame, service)
-	if err := p.send(frame); err != nil {
+	p.sendMu.Lock()
+	b := p.eg.begin()
+	b = append(b, fConnect)
+	b = binary.AppendUvarint(b, id)
+	b = binary.AppendUvarint(b, uint64(callerPID))
+	b = appendNetString(b, service)
+	err = p.commitFlush(b)
+	p.sendMu.Unlock()
+	if err != nil {
 		return 0, p.sendErr(id, err)
 	}
 	resp, err := p.await(t0, ch, fConnOK)
@@ -999,12 +1102,16 @@ func (p *Peer) call(callerPID, portID int, m *Msg) ([]byte, error) {
 		return nil, err
 	}
 	t0 := time.Now()
-	frame := []byte{fCall}
-	frame = binary.AppendUvarint(frame, id)
-	frame = binary.AppendUvarint(frame, uint64(callerPID))
-	frame = binary.AppendUvarint(frame, uint64(portID))
-	frame = appendMsgFields(frame, m)
-	if err := p.send(frame); err != nil {
+	p.sendMu.Lock()
+	b := p.eg.begin()
+	b = append(b, fCall)
+	b = binary.AppendUvarint(b, id)
+	b = binary.AppendUvarint(b, uint64(callerPID))
+	b = binary.AppendUvarint(b, uint64(portID))
+	b = appendMsgFields(b, m)
+	err = p.commitFlush(b)
+	p.sendMu.Unlock()
+	if err != nil {
 		return nil, p.sendErr(id, err)
 	}
 	resp, err := p.await(t0, ch, fCallOK)
@@ -1024,10 +1131,11 @@ func (p *Peer) call(callerPID, portID int, m *Msg) ([]byte, error) {
 	return out, nil
 }
 
-// submit ships a pre-built fSubmit frame and returns the completion-vector
-// payload. The frame must already carry the request id from begin.
+// submit ships a pre-built fSubmit frame (taking ownership of it) and
+// returns the completion-vector payload. The frame must already carry the
+// request id from begin.
 func (p *Peer) submit(id uint64, ch chan netResp, t0 time.Time, frame []byte) ([]byte, error) {
-	if err := p.send(frame); err != nil {
+	if err := p.sendOwned(frame); err != nil {
 		return nil, p.sendErr(id, err)
 	}
 	return p.await(t0, ch, fSubmitOK)
@@ -1088,20 +1196,20 @@ func (p *Peer) xferOnce(callerPID int, fp string, lc *cert.Certificate) (int, in
 	}
 	t0 := time.Now()
 	p.sendMu.Lock()
-	var frame []byte
+	b := p.eg.begin()
 	if lc == nil {
-		frame = []byte{fXferRe}
-		frame = binary.AppendUvarint(frame, id)
-		frame = binary.AppendUvarint(frame, uint64(callerPID))
-		frame = appendNetString(frame, fp)
-		frame = appendNetBytes(frame, xferReTag(p.sessKey, callerPID, fp))
+		b = append(b, fXferRe)
+		b = binary.AppendUvarint(b, id)
+		b = binary.AppendUvarint(b, uint64(callerPID))
+		b = appendNetString(b, fp)
+		b = appendNetBytes(b, p.reTag.tag(callerPID, fp))
 	} else {
-		frame = []byte{fXfer}
-		frame = binary.AppendUvarint(frame, id)
-		frame = binary.AppendUvarint(frame, uint64(callerPID))
-		frame = appendNetBytes(frame, lc.AppendWire(nil))
+		b = append(b, fXfer)
+		b = binary.AppendUvarint(b, id)
+		b = binary.AppendUvarint(b, uint64(callerPID))
+		b = appendNetBytes(b, lc.AppendWire(nil))
 	}
-	err = p.sendLocked(frame)
+	err = p.commitFlush(b)
 	p.sendMu.Unlock()
 	if err != nil {
 		return 0, 0, p.sendErr(id, err)
@@ -1143,17 +1251,18 @@ func (p *Peer) setProof(callerPID int, op, obj string, pf *proof.Proof, creds []
 	}
 	t0 := time.Now()
 	p.sendMu.Lock()
-	frame := []byte{fSetProof}
-	frame = binary.AppendUvarint(frame, id)
-	frame = binary.AppendUvarint(frame, uint64(callerPID))
-	frame = appendNetString(frame, op)
-	frame = appendNetString(frame, obj)
+	b := p.eg.begin()
+	b = append(b, fSetProof)
+	b = binary.AppendUvarint(b, id)
+	b = binary.AppendUvarint(b, uint64(callerPID))
+	b = appendNetString(b, op)
+	b = appendNetString(b, obj)
 	text := ""
 	if pf != nil {
 		text = pf.String()
 	}
-	frame = appendNetString(frame, text)
-	frame = binary.AppendUvarint(frame, uint64(len(creds)))
+	b = appendNetString(b, text)
+	b = binary.AppendUvarint(b, uint64(len(creds)))
 	for i, c := range creds {
 		switch {
 		case c.Inline != nil:
@@ -1163,29 +1272,30 @@ func (p *Peer) setProof(callerPID int, op, obj string, pf *proof.Proof, creds []
 				// have committed remap/dedup state the server will not
 				// see; the connection's numbering is no longer shared, so
 				// poison it rather than risk silent misresolution later.
+				p.eg.abandon(b)
 				p.sendMu.Unlock()
 				p.abort(id)
 				p.fail()
 				return fmt.Errorf("credential %d: %w", i, err)
 			}
-			frame = append(frame, wcInline)
-			frame = appendNetBytes(frame, body)
+			b = append(b, wcInline)
+			b = appendNetBytes(b, body)
 		case c.Cert != nil:
 			fp := c.Cert.Fingerprint()
 			if idx, ok := p.certIdx[fp]; ok {
-				frame = append(frame, wcCertRef)
-				frame = binary.AppendUvarint(frame, idx)
+				b = append(b, wcCertRef)
+				b = binary.AppendUvarint(b, idx)
 			} else {
-				frame = append(frame, wcCert)
-				frame = appendNetBytes(frame, c.Cert.AppendWire(nil))
+				b = append(b, wcCert)
+				b = appendNetBytes(b, c.Cert.AppendWire(nil))
 				p.certIdx[fp] = uint64(len(p.certIdx) + 1)
 			}
 		default:
-			frame = append(frame, wcRef)
-			frame = binary.AppendUvarint(frame, uint64(c.Ref))
+			b = append(b, wcRef)
+			b = binary.AppendUvarint(b, uint64(c.Ref))
 		}
 	}
-	err = p.sendLocked(frame)
+	err = p.commitFlush(b)
 	p.sendMu.Unlock()
 	if err != nil {
 		return p.sendErr(id, err)
@@ -1236,7 +1346,15 @@ type serverConn struct {
 	// sessKey is the handshake-derived session key shared with the peer.
 	sessKey []byte
 
-	// subMsg is the reused decode target for batched submissions.
+	// eg is the outbound combiner: responses and credit grants stage into
+	// it and flush at quantum end (or at its high-water mark). reTag
+	// verifies warm re-attestation tags. Both worker-confined.
+	eg    *egress
+	reTag *reTagger
+
+	// subMsg is the reused decode target for calls and batched
+	// submissions; its Op/Obj strings persist across warm requests so a
+	// repeated target decodes without allocating.
 	subMsg Msg
 
 	// mkey selects this connection's metrics counter stripe.
@@ -1265,8 +1383,10 @@ func (n *Node) serveConn(c Conn) {
 		n.wg.Done()
 		return
 	}
-	src := n.newFrameSource(c)
-	sconn, err := n.ingress.register(src, sc.onFrame, func() {
+	sc.eg = newEgress(c, n.k.metrics, sc.mkey)
+	sc.reTag = newReTagger(sc.sessKey)
+	src := n.newFrameSource(c, n.ingress)
+	sconn, err := n.ingress.register(src, sc.onFrame, sc.flushEgress, sc.park, func() {
 		sc.teardown()
 		n.wg.Done()
 	})
@@ -1355,9 +1475,23 @@ func (sc *serverConn) drain(ar *netArena) bool {
 	return true
 }
 
-// process handles one request frame end to end: decode, dispatch, respond,
-// recycle, and grant request credits back to the client as the window
-// half-empties.
+// flushEgress drains the connection's staged responses; the scheduler
+// calls it on every transition out of csRunning, so staged frames never
+// outlive the quantum that produced them. Flushing recycles through the
+// frame pool, never the allocator (pinned by TestAllocRemoteCallWarm).
+//
+//nexus:noalloc
+func (sc *serverConn) flushEgress() bool { return sc.eg.flush() == nil }
+
+// park releases oversized egress scratch as the connection idles, so a
+// parked connection pins at most egressParkCap of staging memory.
+func (sc *serverConn) park() { sc.eg.trim() }
+
+// process handles one request frame end to end: decode, dispatch, stage
+// the response on the egress combiner, recycle, and grant request credits
+// back to the client as the window half-empties. Responses flush at
+// quantum end (schedConn.run) or when staging crosses its high-water mark
+// — so a pipelined burst answered within one quantum leaves as one write.
 func (sc *serverConn) process(frame []byte, ar *netArena) bool {
 	m := sc.k.metrics
 	if len(frame) < 2 {
@@ -1369,17 +1503,17 @@ func (sc *serverConn) process(frame []byte, ar *netArena) bool {
 	if !ok {
 		return false
 	}
-	resp, fatal := sc.handle(typ, id, r)
+	b := sc.eg.begin()
+	b, fatal := sc.handle(b, typ, id, r)
+	n := sc.eg.commit(b)
 	m.add(sc.mkey, mNetSends, 1)
-	m.add(sc.mkey, mNetSendBytes, uint64(len(resp)))
+	m.add(sc.mkey, mNetSendBytes, uint64(n))
 	sc.respCredits--
-	if err := sc.c.Send(resp); err != nil {
-		return false
-	}
 	if fatal {
 		// The ingress codec tables stopped at a prefix the client no
 		// longer agrees with; every later backreference could resolve
-		// silently wrong. Tear the connection down instead.
+		// silently wrong. Tear the connection down — the scheduler flushes
+		// staged egress (this error response included) before closing.
 		return false
 	}
 	switch typ {
@@ -1392,12 +1526,16 @@ func (sc *serverConn) process(frame []byte, ar *netArena) bool {
 	}
 	sc.served++
 	if 2*sc.served >= sc.advertWin {
-		cf := []byte{fCredit}
-		cf = binary.AppendUvarint(cf, uint64(sc.served))
+		b := sc.eg.begin()
+		b = append(b, fCredit)
+		b = binary.AppendUvarint(b, uint64(sc.served))
+		cn := sc.eg.commit(b)
 		sc.served = 0
 		m.add(sc.mkey, mNetSends, 1)
-		m.add(sc.mkey, mNetSendBytes, uint64(len(cf)))
-		if err := sc.c.Send(cf); err != nil {
+		m.add(sc.mkey, mNetSendBytes, uint64(cn))
+	}
+	if sc.eg.full() {
+		if sc.eg.flush() != nil {
 			return false
 		}
 	}
@@ -1500,67 +1638,70 @@ func (sc *serverConn) proxy(remotePID int) *Process {
 	return p
 }
 
-// handle processes one request frame and returns the response frame, which
-// echoes the request id. fatal reports that per-connection codec state may
-// have desynced from the client's and the connection must close after the
-// response is sent.
-func (sc *serverConn) handle(typ byte, id uint64, r *netCursor) (resp []byte, fatal bool) {
+// handle processes one request frame, appending the response frame (which
+// echoes the request id) to dst — the open frame on the egress combiner,
+// so the response body lands directly in the staging buffer. fatal reports
+// that per-connection codec state may have desynced from the client's and
+// the connection must close after the response is flushed. Error paths
+// append to the handler's original dst value, discarding any partial
+// response bytes appended before the failure.
+func (sc *serverConn) handle(dst []byte, typ byte, id uint64, r *netCursor) (resp []byte, fatal bool) {
 	switch typ {
 	case fConnect:
-		return sc.handleConnect(id, r), false
+		return sc.handleConnect(dst, id, r), false
 	case fCall:
-		return sc.handleCall(id, r), false
+		return sc.handleCall(dst, id, r), false
 	case fXfer:
-		return sc.handleXfer(id, r), false
+		return sc.handleXfer(dst, id, r), false
 	case fXferRe:
-		return sc.handleXferRe(id, r), false
+		return sc.handleXferRe(dst, id, r), false
 	case fSubmit:
-		return sc.handleSubmit(id, r), false
+		return sc.handleSubmit(dst, id, r), false
 	case fSetProof:
-		return sc.handleSetProof(id, r)
+		return sc.handleSetProof(dst, id, r)
 	}
-	return appendErrFrame(nil, id, "transport", abiErr(EINVAL, "transport", "unknown frame type")), true
+	return appendErrFrame(dst, id, "transport", abiErr(EINVAL, "transport", "unknown frame type")), true
 }
 
-func (sc *serverConn) handleConnect(id uint64, r *netCursor) []byte {
+func (sc *serverConn) handleConnect(dst []byte, id uint64, r *netCursor) []byte {
 	pid, ok1 := r.uvarint()
 	service, ok2 := r.str()
 	if !ok1 || !ok2 || !r.done() {
-		return appendErrFrame(nil, id, "connect", abiErr(EINVAL, "connect", "malformed frame"))
+		return appendErrFrame(dst, id, "connect", abiErr(EINVAL, "connect", "malformed frame"))
 	}
 	sc.n.mu.Lock()
 	portID, ok := sc.n.exports[service]
 	sc.n.mu.Unlock()
 	if !ok {
-		return appendErrFrame(nil, id, "connect", abiErr(ENOENT, "connect", "no exported service "+service))
+		return appendErrFrame(dst, id, "connect", abiErr(ENOENT, "connect", "no exported service "+service))
 	}
 	if err := sc.k.GrantChannel(sc.proxy(int(pid)), portID); err != nil {
-		return appendErrFrame(nil, id, "connect", err)
+		return appendErrFrame(dst, id, "connect", err)
 	}
-	resp := []byte{fConnOK}
-	resp = binary.AppendUvarint(resp, id)
-	return binary.AppendUvarint(resp, uint64(portID))
+	dst = append(dst, fConnOK)
+	dst = binary.AppendUvarint(dst, id)
+	return binary.AppendUvarint(dst, uint64(portID))
 }
 
-func (sc *serverConn) handleCall(id uint64, r *netCursor) []byte {
+func (sc *serverConn) handleCall(dst []byte, id uint64, r *netCursor) []byte {
 	pid, ok1 := r.uvarint()
 	portID, ok2 := r.uvarint()
 	if !ok1 || !ok2 {
-		return appendErrFrame(nil, id, "call", abiErr(EINVAL, "call", "malformed frame"))
+		return appendErrFrame(dst, id, "call", abiErr(EINVAL, "call", "malformed frame"))
 	}
-	m, ok := readMsgFields(r)
-	if !ok || !r.done() {
-		return appendErrFrame(nil, id, "call", abiErr(EINVAL, "call", "malformed message"))
+	m := &sc.subMsg
+	if !readMsgFieldsInto(m, r) || !r.done() {
+		return appendErrFrame(dst, id, "call", abiErr(EINVAL, "call", "malformed message"))
 	}
 	// The standard dispatch pipeline: channel check, authorization against
 	// the proxy's (remote) principal, interposition, handler.
 	out, err := sc.k.Call(sc.proxy(int(pid)), int(portID), m)
 	if err != nil {
-		return appendErrFrame(nil, id, m.Op, err)
+		return appendErrFrame(dst, id, m.Op, err)
 	}
-	resp := []byte{fCallOK}
-	resp = binary.AppendUvarint(resp, id)
-	return appendNetBytes(resp, out)
+	dst = append(dst, fCallOK)
+	dst = binary.AppendUvarint(dst, id)
+	return appendNetBytes(dst, out)
 }
 
 // handleSubmit executes one batched submission: N operations against one
@@ -1568,40 +1709,40 @@ func (sc *serverConn) handleCall(id uint64, r *netCursor) []byte {
 // the caller's proxy, marshaling (when interposition is on) into a pooled
 // arena. The batch framing is validated in full before any operation
 // executes, so a torn frame cannot half-run.
-func (sc *serverConn) handleSubmit(id uint64, r *netCursor) []byte {
+func (sc *serverConn) handleSubmit(dst []byte, id uint64, r *netCursor) []byte {
 	pid, ok1 := r.uvarint()
 	portID, ok2 := r.uvarint()
 	if !ok1 || !ok2 {
-		return appendErrFrame(nil, id, "submit", abiErr(EINVAL, "submit", "malformed frame"))
+		return appendErrFrame(dst, id, "submit", abiErr(EINVAL, "submit", "malformed frame"))
 	}
 	batch := r.buf[r.off:]
 	if len(batch) < 4 {
-		return appendErrFrame(nil, id, "submit", abiErr(EINVAL, "submit", "truncated batch"))
+		return appendErrFrame(dst, id, "submit", abiErr(EINVAL, "submit", "truncated batch"))
 	}
 	count := binary.LittleEndian.Uint32(batch[:4])
 	body := batch[4:]
 	if uint64(count)*8 > uint64(len(body)) {
-		return appendErrFrame(nil, id, "submit", abiErr(EINVAL, "submit", "batch count exceeds buffer"))
+		return appendErrFrame(dst, id, "submit", abiErr(EINVAL, "submit", "batch count exceeds buffer"))
 	}
 	// Validate the framing end to end before executing anything.
 	rest := body
 	for i := uint32(0); i < count; i++ {
 		if len(rest) < 4 {
-			return appendErrFrame(nil, id, "submit", abiErr(EINVAL, "submit", "truncated batch"))
+			return appendErrFrame(dst, id, "submit", abiErr(EINVAL, "submit", "truncated batch"))
 		}
 		n := binary.LittleEndian.Uint32(rest[:4])
 		rest = rest[4:]
 		if uint64(n) > uint64(len(rest)) {
-			return appendErrFrame(nil, id, "submit", abiErr(EINVAL, "submit", "truncated batch"))
+			return appendErrFrame(dst, id, "submit", abiErr(EINVAL, "submit", "truncated batch"))
 		}
 		rest = rest[n:]
 	}
 	if len(rest) != 0 {
-		return appendErrFrame(nil, id, "submit", abiErr(EINVAL, "submit", "trailing bytes after batch"))
+		return appendErrFrame(dst, id, "submit", abiErr(EINVAL, "submit", "trailing bytes after batch"))
 	}
 	pt, ok := sc.k.ports.find(int(portID))
 	if !ok {
-		return appendErrFrame(nil, id, "submit", abiErr(ENOENT, "submit", "no such port"))
+		return appendErrFrame(dst, id, "submit", abiErr(ENOENT, "submit", "no such port"))
 	}
 	proxy := sc.proxy(int(pid))
 	k := sc.k
@@ -1614,7 +1755,7 @@ func (sc *serverConn) handleSubmit(id uint64, r *netCursor) []byte {
 	// chain inspects them in place with no re-marshal.
 	ba, baErr := k.batchAdmit(flags, proxy, pt)
 
-	resp := make([]byte, 0, 16+len(body)/2)
+	resp := dst
 	resp = append(resp, fSubmitOK)
 	resp = binary.AppendUvarint(resp, id)
 	resp = binary.AppendUvarint(resp, uint64(count))
@@ -1656,35 +1797,35 @@ func (sc *serverConn) handleSubmit(id uint64, r *netCursor) []byte {
 // intern the label into the caller's proxy labelstore, and record the
 // certificate in the connection's re-attestation table so later crossings
 // can take the fXferRe path.
-func (sc *serverConn) handleXfer(id uint64, r *netCursor) []byte {
+func (sc *serverConn) handleXfer(dst []byte, id uint64, r *netCursor) []byte {
 	pid, ok := r.uvarint()
 	if !ok {
-		return appendErrFrame(nil, id, "xferlabel", abiErr(EINVAL, "xferlabel", "malformed frame"))
+		return appendErrFrame(dst, id, "xferlabel", abiErr(EINVAL, "xferlabel", "malformed frame"))
 	}
 	certWire, ok := r.bytes()
 	if !ok || !r.done() {
-		return appendErrFrame(nil, id, "xferlabel", abiErr(EINVAL, "xferlabel", "malformed frame"))
+		return appendErrFrame(dst, id, "xferlabel", abiErr(EINVAL, "xferlabel", "malformed frame"))
 	}
 	c, _, err := cert.DecodeCertWire(certWire)
 	if err != nil {
 		sc.k.metrics.add(sc.mkey, mWireDecodeErrs, 1)
-		return appendErrFrame(nil, id, "xferlabel", abiErr(EINVAL, "xferlabel", err.Error()))
+		return appendErrFrame(dst, id, "xferlabel", abiErr(EINVAL, "xferlabel", err.Error()))
 	}
 	sc.k.metrics.add(sc.mkey, mWireDecodes, 1)
 	f, _, err := sc.k.certs.Label(c)
 	if err != nil {
-		return appendErrFrame(nil, id, "xferlabel", abiErr(EACCES, "xferlabel", err.Error()))
+		return appendErrFrame(dst, id, "xferlabel", abiErr(EACCES, "xferlabel", err.Error()))
 	}
 	// The certificate must be signed by the sending node's NK — a label
 	// signed by any other key, however valid, did not originate on the
 	// peer and cannot ride its connection.
 	says, ok2 := f.(nal.Says)
 	if !ok2 {
-		return appendErrFrame(nil, id, "xferlabel", abiErr(EINVAL, "xferlabel", "label not a says"))
+		return appendErrFrame(dst, id, "xferlabel", abiErr(EINVAL, "xferlabel", "label not a says"))
 	}
 	signer, ok3 := says.P.(nal.Key)
 	if !ok3 || string(signer) != sc.peer.nkFP {
-		return appendErrFrame(nil, id, "xferlabel",
+		return appendErrFrame(dst, id, "xferlabel",
 			fmt.Errorf("%w: label signed by %v, connection authenticated %s",
 				ErrSpoofedSpeaker, says.P, sc.peer.nkFP))
 	}
@@ -1695,15 +1836,15 @@ func (sc *serverConn) handleXfer(id uint64, r *netCursor) []byte {
 	// would attribute it there.
 	st, err := c.Statement()
 	if err != nil {
-		return appendErrFrame(nil, id, "xferlabel", abiErr(EINVAL, "xferlabel", err.Error()))
+		return appendErrFrame(dst, id, "xferlabel", abiErr(EINVAL, "xferlabel", err.Error()))
 	}
 	if st.Speaker != "" {
 		sp, err := nal.ParsePrincipal(st.Speaker)
 		if err != nil {
-			return appendErrFrame(nil, id, "xferlabel", abiErr(EINVAL, "xferlabel", "bad speaker"))
+			return appendErrFrame(dst, id, "xferlabel", abiErr(EINVAL, "xferlabel", "bad speaker"))
 		}
 		if !nal.IsAncestor(sc.prin, sp) {
-			return appendErrFrame(nil, id, "xferlabel",
+			return appendErrFrame(dst, id, "xferlabel",
 				fmt.Errorf("%w: speaker %s not under %s", ErrSpoofedSpeaker, st.Speaker, sc.prin))
 		}
 	}
@@ -1713,10 +1854,10 @@ func (sc *serverConn) handleXfer(id uint64, r *netCursor) []byte {
 	sc.xferFPs.put(c.Fingerprint(), xferEntry{f: f, signer: string(signer)})
 	proxy := sc.proxy(int(pid))
 	l := proxy.Labels.insertSystem(f)
-	resp := []byte{fXferOK}
-	resp = binary.AppendUvarint(resp, id)
-	resp = binary.AppendUvarint(resp, uint64(proxy.PID))
-	return binary.AppendUvarint(resp, uint64(l.Handle))
+	dst = append(dst, fXferOK)
+	dst = binary.AppendUvarint(dst, id)
+	dst = binary.AppendUvarint(dst, uint64(proxy.PID))
+	return binary.AppendUvarint(dst, uint64(l.Handle))
 }
 
 // handleXferRe is warm credential ingress: the certificate named by
@@ -1726,30 +1867,30 @@ func (sc *serverConn) handleXfer(id uint64, r *netCursor) []byte {
 // completed the handshake, which is exactly what the cold path's signature
 // check established. Revocation is still consulted: a certificate (or
 // signer) revoked since the cold crossing fails here.
-func (sc *serverConn) handleXferRe(id uint64, r *netCursor) []byte {
+func (sc *serverConn) handleXferRe(dst []byte, id uint64, r *netCursor) []byte {
 	pid, ok1 := r.uvarint()
 	fp, ok2 := r.str()
 	tag, ok3 := r.bytes()
 	if !ok1 || !ok2 || !ok3 || !r.done() {
-		return appendErrFrame(nil, id, "xferlabel", abiErr(EINVAL, "xferlabel", "malformed frame"))
+		return appendErrFrame(dst, id, "xferlabel", abiErr(EINVAL, "xferlabel", "malformed frame"))
 	}
 	e, ok := sc.xferFPs.get(fp)
 	if !ok {
-		return appendErrFrame(nil, id, "xferlabel", abiErr(EACCES, "xferlabel", "certificate not attested on this connection"))
+		return appendErrFrame(dst, id, "xferlabel", abiErr(EACCES, "xferlabel", "certificate not attested on this connection"))
 	}
-	if !hmac.Equal(tag, xferReTag(sc.sessKey, int(pid), fp)) {
-		return appendErrFrame(nil, id, "xferlabel", abiErr(EACCES, "xferlabel", "re-attestation tag invalid"))
+	if !hmac.Equal(tag, sc.reTag.tag(int(pid), fp)) {
+		return appendErrFrame(dst, id, "xferlabel", abiErr(EACCES, "xferlabel", "re-attestation tag invalid"))
 	}
 	if sc.k.certs.Revoked(fp, e.signer) {
 		sc.xferFPs.remove(fp)
-		return appendErrFrame(nil, id, "xferlabel", abiErr(EACCES, "xferlabel", cert.ErrRevoked.Error()))
+		return appendErrFrame(dst, id, "xferlabel", abiErr(EACCES, "xferlabel", cert.ErrRevoked.Error()))
 	}
 	proxy := sc.proxy(int(pid))
 	l := proxy.Labels.insertSystem(e.f)
-	resp := []byte{fXferOK}
-	resp = binary.AppendUvarint(resp, id)
-	resp = binary.AppendUvarint(resp, uint64(proxy.PID))
-	return binary.AppendUvarint(resp, uint64(l.Handle))
+	dst = append(dst, fXferOK)
+	dst = binary.AppendUvarint(dst, id)
+	dst = binary.AppendUvarint(dst, uint64(proxy.PID))
+	return binary.AppendUvarint(dst, uint64(l.Handle))
 }
 
 // handleSetProof decodes the credential vector *before* anything that can
@@ -1758,50 +1899,50 @@ func (sc *serverConn) handleXferRe(id uint64, r *netCursor) []byte {
 // committed on its side, so by the time a benign failure can occur both
 // tables agree. Codec-level failures report fatal and close the
 // connection — a partially consumed definition stream must not survive.
-func (sc *serverConn) handleSetProof(id uint64, r *netCursor) (resp []byte, fatal bool) {
+func (sc *serverConn) handleSetProof(dst []byte, id uint64, r *netCursor) (resp []byte, fatal bool) {
 	pid, ok1 := r.uvarint()
 	op, ok2 := r.str()
 	obj, ok3 := r.str()
 	text, ok4 := r.str()
 	ncreds, ok5 := r.uvarint()
 	if !ok1 || !ok2 || !ok3 || !ok4 || !ok5 || ncreds > uint64(r.remaining()) {
-		return appendErrFrame(nil, id, "setproof", abiErr(EINVAL, "setproof", "malformed frame")), true
+		return appendErrFrame(dst, id, "setproof", abiErr(EINVAL, "setproof", "malformed frame")), true
 	}
 	proxy := sc.proxy(int(pid))
 	creds := make([]Credential, 0, ncreds)
 	for i := uint64(0); i < ncreds; i++ {
 		kind, ok := r.byte()
 		if !ok {
-			return appendErrFrame(nil, id, "setproof", abiErr(EINVAL, "setproof", "truncated credentials")), true
+			return appendErrFrame(dst, id, "setproof", abiErr(EINVAL, "setproof", "truncated credentials")), true
 		}
 		switch kind {
 		case wcInline:
 			body, ok := r.bytes()
 			if !ok {
-				return appendErrFrame(nil, id, "setproof", abiErr(EINVAL, "setproof", "truncated inline credential")), true
+				return appendErrFrame(dst, id, "setproof", abiErr(EINVAL, "setproof", "truncated inline credential")), true
 			}
 			fid, _, err := sc.dec.DecodeFormula(body)
 			if err != nil {
 				sc.k.metrics.add(sc.mkey, mWireDecodeErrs, 1)
-				return appendErrFrame(nil, id, "setproof", abiErr(EINVAL, "setproof", err.Error())), true
+				return appendErrFrame(dst, id, "setproof", abiErr(EINVAL, "setproof", err.Error())), true
 			}
 			sc.k.metrics.add(sc.mkey, mWireDecodes, 1)
 			creds = append(creds, Credential{Inline: nal.FormulaOfID(fid)})
 		case wcRef:
 			h, ok := r.uvarint()
 			if !ok {
-				return appendErrFrame(nil, id, "setproof", abiErr(EINVAL, "setproof", "truncated ref credential")), true
+				return appendErrFrame(dst, id, "setproof", abiErr(EINVAL, "setproof", "truncated ref credential")), true
 			}
 			creds = append(creds, Credential{Ref: &LabelRef{PID: proxy.PID, Handle: int(h)}})
 		case wcCert:
 			cw, ok := r.bytes()
 			if !ok {
-				return appendErrFrame(nil, id, "setproof", abiErr(EINVAL, "setproof", "truncated certificate")), true
+				return appendErrFrame(dst, id, "setproof", abiErr(EINVAL, "setproof", "truncated certificate")), true
 			}
 			c, _, err := cert.DecodeCertWire(cw)
 			if err != nil {
 				sc.k.metrics.add(sc.mkey, mWireDecodeErrs, 1)
-				return appendErrFrame(nil, id, "setproof", abiErr(EINVAL, "setproof", err.Error())), true
+				return appendErrFrame(dst, id, "setproof", abiErr(EINVAL, "setproof", err.Error())), true
 			}
 			sc.k.metrics.add(sc.mkey, mWireDecodes, 1)
 			sc.certs = append(sc.certs, c)
@@ -1809,24 +1950,24 @@ func (sc *serverConn) handleSetProof(id uint64, r *netCursor) (resp []byte, fata
 		case wcCertRef:
 			idx, ok := r.uvarint()
 			if !ok || idx == 0 || idx > uint64(len(sc.certs)) {
-				return appendErrFrame(nil, id, "setproof", abiErr(EINVAL, "setproof", "dangling certificate reference")), true
+				return appendErrFrame(dst, id, "setproof", abiErr(EINVAL, "setproof", "dangling certificate reference")), true
 			}
 			creds = append(creds, Credential{Cert: sc.certs[idx-1]})
 		default:
-			return appendErrFrame(nil, id, "setproof", abiErr(EINVAL, "setproof", "unknown credential kind")), true
+			return appendErrFrame(dst, id, "setproof", abiErr(EINVAL, "setproof", "unknown credential kind")), true
 		}
 	}
 	if !r.done() {
-		return appendErrFrame(nil, id, "setproof", abiErr(EINVAL, "setproof", "trailing bytes")), true
+		return appendErrFrame(dst, id, "setproof", abiErr(EINVAL, "setproof", "trailing bytes")), true
 	}
 	var pf *proof.Proof
 	if text != "" {
 		var err error
 		if pf, err = proof.Parse(text); err != nil {
-			return appendErrFrame(nil, id, "setproof", abiErr(EINVAL, "setproof", "bad proof: "+err.Error())), false
+			return appendErrFrame(dst, id, "setproof", abiErr(EINVAL, "setproof", "bad proof: "+err.Error())), false
 		}
 	}
 	sc.k.SetProof(proxy, op, obj, pf, creds)
-	resp = []byte{fOK}
-	return binary.AppendUvarint(resp, id), false
+	dst = append(dst, fOK)
+	return binary.AppendUvarint(dst, id), false
 }

@@ -132,7 +132,9 @@ func TestLRUTable(t *testing.T) {
 // backlog, resume exactly on credit, preserve FIFO order across parking —
 // and poison the connection when the client overruns the advertised
 // window.
-func TestSlowConsumerBackpressure(t *testing.T) {
+func TestSlowConsumerBackpressure(t *testing.T) { testSlowConsumerBackpressure(t) }
+
+func testSlowConsumerBackpressure(t *testing.T) {
 	const cliWin, srvWin = 4, 8
 	c, _, _, _ := rawPair(t,
 		TransportConfig{RecvWindow: cliWin},
@@ -199,7 +201,9 @@ func TestSlowConsumerBackpressure(t *testing.T) {
 // the clamp must pin its response window at the client's advertised window,
 // so a subsequent flood still parks and the overrun still poisons — the
 // hostile grant must not unblock the stream past its window.
-func TestHostileCreditClampServer(t *testing.T) {
+func TestHostileCreditClampServer(t *testing.T) { testHostileCreditClampServer(t) }
+
+func testHostileCreditClampServer(t *testing.T) {
 	const cliWin, srvWin = 4, 8
 	c, _, _, _ := rawPair(t,
 		TransportConfig{RecvWindow: cliWin},
@@ -236,7 +240,9 @@ func TestHostileCreditClampServer(t *testing.T) {
 // TestHostileCreditClampClient forges oversized server grants into the
 // peer's demux entry point: reqCredits must clamp at the server's
 // advertised window.
-func TestHostileCreditClampClient(t *testing.T) {
+func TestHostileCreditClampClient(t *testing.T) { testHostileCreditClampClient(t) }
+
+func testHostileCreditClampClient(t *testing.T) {
 	const cliWin, srvWin = 4, 8
 	_, p, _, _ := rawPair(t,
 		TransportConfig{RecvWindow: cliWin},
@@ -274,7 +280,9 @@ func TestHostileCreditClampClient(t *testing.T) {
 // re-transfer of the evicted label must fall back to the cold path (full
 // certificate) transparently — an eviction costs one re-crossing, never an
 // error.
-func TestReattestTableBounded(t *testing.T) {
+func TestReattestTableBounded(t *testing.T) { testReattestTableBounded(t) }
+
+func testReattestTableBounded(t *testing.T) {
 	front, store := bootK(t), bootK(t)
 	nStore := NewNodeWithConfig(store, TransportConfig{ReattestCap: 2})
 	lt := NewLoopbackTransport()

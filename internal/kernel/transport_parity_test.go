@@ -1,0 +1,164 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// Frame-source parity: the transport's protocol semantics — flow control,
+// hostile-credit clamping, poison-on-desync, re-attestation bounding,
+// concurrent teardown — must not depend on which runtime feeds frames to
+// the scheduler. The native sources (the loopback queue's direct scheduler
+// coupling, the per-shard epoll TCP source) are the fast paths; the
+// portable shim source is the fallback every other platform runs. This
+// suite re-runs the core semantic tests with every connection forced
+// through the shim and the shard pollers disabled, so the fallback path
+// keeps passing the same gauntlet as the fast paths.
+
+// forceShimSource routes every connection registered while the test runs
+// through the portable shim frame source and parks shard workers on their
+// condvars instead of epoll, restoring the defaults at cleanup. Callers
+// must not run parallel to other transport tests (the knobs are global;
+// none of this package's tests call t.Parallel).
+func forceShimSource(t *testing.T) {
+	t.Helper()
+	debugForceShim = true
+	debugNoShardPoller = true
+	t.Cleanup(func() {
+		debugForceShim = false
+		debugNoShardPoller = false
+	})
+}
+
+func TestFrameSourceParityShim(t *testing.T) {
+	forceShimSource(t)
+	t.Run("SlowConsumerBackpressure", testSlowConsumerBackpressure)
+	t.Run("HostileCreditClampServer", testHostileCreditClampServer)
+	t.Run("HostileCreditClampClient", testHostileCreditClampClient)
+	t.Run("ReattestTableBounded", testReattestTableBounded)
+	t.Run("PoisonOnDesync", testPoisonOnDesync)
+	t.Run("Stress", testTransportStressSmall)
+}
+
+// TestPoisonOnDesync pins the desync discipline on the native sources; the
+// shim parity run above repeats it through the fallback.
+func TestPoisonOnDesync(t *testing.T) { testPoisonOnDesync(t) }
+
+// testPoisonOnDesync sends a frame of unknown type: the server must answer
+// with a typed error (flushed before teardown — the egress combiner's
+// poison-before-die ordering) and then close the connection, because its
+// per-connection codec tables may have desynced from the client's.
+func testPoisonOnDesync(t *testing.T) {
+	c, _, _, _ := rawPair(t, TransportConfig{}, TransportConfig{})
+	if err := c.Send(binary.AppendUvarint([]byte{0xEE}, 7)); err != nil {
+		t.Fatal(err)
+	}
+	id, err := recvResp(t, c)
+	if err != nil {
+		t.Fatalf("poisoned connection died before flushing its error response: %v", err)
+	}
+	if id != 7 {
+		t.Fatalf("error response echoes id %d, want 7", id)
+	}
+	// After the flushed error the connection must be dead: the next
+	// receive fails rather than delivering anything.
+	if _, err := c.Recv(); err == nil {
+		t.Fatal("connection survived a desyncing frame")
+	}
+}
+
+// testTransportStressSmall is a scaled-down sibling of the external
+// TestLoopbackTransportStress for the parity run: concurrent remote calls,
+// batched submissions, and dial/close churn over one transport, ending on
+// the no-pending-calls and proxy-teardown invariants.
+func testTransportStressSmall(t *testing.T) {
+	front, store := bootK(t), bootK(t)
+	nStore := NewNode(store)
+	lt := NewLoopbackTransport()
+	l, err := lt.Listen("store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nStore.Serve(l)
+	nFront := NewNode(front)
+
+	srv, err := store.NewSession([]byte("parity-srv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := srv.Listen(func(Caller, *Msg) ([]byte, error) { return []byte("ok"), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	port, _ := srv.PortOf(pc)
+	if err := nStore.Export("echo", port); err != nil {
+		t.Fatal(err)
+	}
+	shared, err := nFront.Dial(lt, "store")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 4
+	const rounds = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			s, err := front.NewSession([]byte(fmt.Sprintf("parity-%d", id)))
+			if err != nil {
+				t.Errorf("session: %v", err)
+				return
+			}
+			defer s.Exit()
+			c, err := s.Connect(shared, "echo")
+			if err != nil {
+				t.Errorf("connect: %v", err)
+				return
+			}
+			for i := 0; i < rounds; i++ {
+				if _, err := s.CallRemote(c, &Msg{Op: "read", Obj: "o"}); err != nil {
+					t.Errorf("remote call: %v", err)
+					return
+				}
+				if i%8 == 0 {
+					subs := []Sub{{Cap: c, Op: "read", Obj: "o", Tag: 1}, {Cap: c, Op: "read", Obj: "o", Tag: 2}}
+					comps, err := s.SubmitRemote(nil, c, subs, nil)
+					if err != nil {
+						t.Errorf("remote submit: %v", err)
+						return
+					}
+					for j := range comps {
+						if comps[j].Err != nil {
+							t.Errorf("batched op: %v", comps[j].Err)
+						}
+					}
+				}
+				if i%16 == 0 {
+					p, err := nFront.Dial(lt, "store")
+					if err != nil {
+						t.Errorf("churn dial: %v", err)
+						return
+					}
+					p.Close()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if n := shared.Pending(); n != 0 {
+		t.Errorf("shared peer holds %d pending calls with no caller running", n)
+	}
+	nFront.Close()
+	nStore.Close()
+	if got := len(store.Processes()); got != 1 {
+		t.Fatalf("store kernel has %d live processes after close, want 1", got)
+	}
+	if got := len(front.Processes()); got != 0 {
+		t.Fatalf("front kernel has %d live processes after close, want 0", got)
+	}
+}

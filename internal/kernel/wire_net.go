@@ -198,30 +198,39 @@ func unmarshalMsgInto(m *Msg, buf []byte) bool {
 	return true
 }
 
-// readMsgFields decodes the fields appendMsgFields wrote. The argument
-// buffers alias the frame, matching the *Msg lifetime contract (valid for
-// the duration of the dispatch).
-func readMsgFields(r *netCursor) (*Msg, bool) {
-	op, ok := r.str()
+// readMsgFieldsInto decodes the fields appendMsgFields wrote into m,
+// reusing m's Args backing array and keeping the previous Op/Obj strings
+// when the bytes match — a connection's warm calls repeat the same target,
+// so the per-call string cost collapses to the first request (the same
+// trick unmarshalMsgInto plays for batch entries). Argument buffers alias
+// the frame, matching the *Msg lifetime contract (valid for the duration
+// of the dispatch).
+func readMsgFieldsInto(m *Msg, r *netCursor) bool {
+	op, ok := r.bytes()
 	if !ok {
-		return nil, false
+		return false
 	}
-	obj, ok := r.str()
+	if string(op) != m.Op {
+		m.Op = string(op)
+	}
+	obj, ok := r.bytes()
 	if !ok {
-		return nil, false
+		return false
+	}
+	if string(obj) != m.Obj {
+		m.Obj = string(obj)
 	}
 	n, ok := r.uvarint()
 	if !ok || n > uint64(len(r.buf)-r.off) {
-		return nil, false
+		return false
 	}
-	m := &Msg{Op: op, Obj: obj}
-	if n > 0 {
-		m.Args = make([][]byte, n)
-		for i := range m.Args {
-			if m.Args[i], ok = r.bytes(); !ok {
-				return nil, false
-			}
+	m.Args = m.Args[:0]
+	for i := uint64(0); i < n; i++ {
+		a, ok := r.bytes()
+		if !ok {
+			return false
 		}
+		m.Args = append(m.Args, a)
 	}
-	return m, true
+	return true
 }
